@@ -1,0 +1,135 @@
+//! Ablation benches for the design choices DESIGN.md calls out.
+//!
+//! Each ablation runs the same workload under two model variants and
+//! reports both the runtime cost and (via eprintln at setup) the modelled
+//! quantity that changes, so `cargo bench` output documents the effect:
+//!
+//! * calibrated throttle response vs the physically-derived DVFS curve;
+//! * window-averaged sampling vs instantaneous point sampling;
+//! * manufacturing variability on vs off;
+//! * duty-cycle modelling on vs off.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use vpp_bench::{run, small_workload};
+use vpp_gpu::{DvfsCurve, Gpu, Kernel, KernelKind};
+use vpp_telemetry::Sampler;
+
+fn configured(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    g.warm_up_time(Duration::from_millis(500));
+    g
+}
+
+/// Throttle response: the calibrated `(1-(1-r)^γ)` curve vs solving the
+/// DVFS voltage/frequency model directly (time ∝ 1/f).
+fn ablation_throttle_model(c: &mut Criterion) {
+    let kernel = Kernel::new(KernelKind::TensorGemm, 5e7, 1.0);
+    let gpu = Gpu::nominal();
+    let p0 = gpu.uncapped_power(&kernel);
+    let dvfs = DvfsCurve::a100();
+    // Document the modelled difference at the paper's 200 W point.
+    let mut capped = Gpu::nominal();
+    capped.set_power_limit(200.0);
+    let calibrated = capped.throttle_perf(p0, KernelKind::TensorGemm);
+    let phi = (200.0 - 52.0) / (p0 - 52.0);
+    let dvfs_perf = dvfs.clock_for_power(phi);
+    eprintln!(
+        "[ablation] 200 W on a {p0:.0} W kernel: calibrated perf {calibrated:.3}, \
+         raw DVFS perf {dvfs_perf:.3}"
+    );
+
+    let mut g = configured(c);
+    g.bench_function("throttle_calibrated", |b| {
+        b.iter(|| black_box(capped.throttle_perf(black_box(p0), KernelKind::TensorGemm)))
+    });
+    g.bench_function("throttle_dvfs_solve", |b| {
+        b.iter(|| black_box(dvfs.clock_for_power(black_box(phi))))
+    });
+    g.finish();
+}
+
+/// Sampling: window-averaged (Cray PM semantics) vs instantaneous points.
+fn ablation_sampling(c: &mut Criterion) {
+    let plan = small_workload();
+    let res = run(&plan, 1, None);
+    let trace = res.node_traces[0].node.clone();
+    let windowed = Sampler::ideal(2.0).sample(&trace);
+    let instant = trace.sample_instant(2.0);
+    let w_mode = vpp_stats::high_power_mode(windowed.values()).x;
+    let i_mode = vpp_stats::high_power_mode(&instant).x;
+    eprintln!(
+        "[ablation] high power mode: window-averaged {w_mode:.0} W vs instantaneous \
+         {i_mode:.0} W (Fig. 2's merging only happens with window averaging)"
+    );
+
+    let mut g = configured(c);
+    g.bench_function("sampling_window_averaged", |b| {
+        b.iter(|| black_box(Sampler::ideal(2.0).sample(&trace).mean()))
+    });
+    g.bench_function("sampling_instantaneous", |b| {
+        b.iter(|| black_box(trace.sample_instant(2.0).len()))
+    });
+    g.finish();
+}
+
+/// Variability: sampled fleets vs nominal hardware.
+fn ablation_variability(c: &mut Criterion) {
+    let plan = small_workload();
+    let mut g = configured(c);
+    g.bench_function("fleet_sampled_nodes", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut spec = vpp_cluster::JobSpec::new(1);
+            spec.seed = seed;
+            black_box(
+                vpp_cluster::execute(&plan, &spec, &vpp_cluster::NetworkModel::perlmutter())
+                    .runtime_s,
+            )
+        })
+    });
+    g.bench_function("fleet_fixed_node", |b| {
+        let spec = vpp_cluster::JobSpec::new(1);
+        b.iter(|| {
+            black_box(
+                vpp_cluster::execute(&plan, &spec, &vpp_cluster::NetworkModel::perlmutter())
+                    .runtime_s,
+            )
+        })
+    });
+    g.finish();
+}
+
+/// Duty cycling: with vs without the launch-gap duty model.
+fn ablation_duty(c: &mut Criterion) {
+    let gpu = Gpu::nominal();
+    let with = Kernel::with_duty(KernelKind::Fft3d, 2e6, 1.0, 0.5);
+    let without = Kernel::new(KernelKind::Fft3d, 2e6, 1.0);
+    eprintln!(
+        "[ablation] Fft3d power: duty 0.5 → {:.0} W, duty 1.0 → {:.0} W \
+         (duty is what keeps k-point-bound workloads cool)",
+        gpu.uncapped_power(&with),
+        gpu.uncapped_power(&without)
+    );
+    let mut g = configured(c);
+    g.bench_function("execute_with_duty", |b| {
+        b.iter(|| black_box(gpu.execute(&with).watts))
+    });
+    g.bench_function("execute_full_duty", |b| {
+        b.iter(|| black_box(gpu.execute(&without).watts))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    ablations,
+    ablation_throttle_model,
+    ablation_sampling,
+    ablation_variability,
+    ablation_duty
+);
+criterion_main!(ablations);

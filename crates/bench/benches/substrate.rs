@@ -1,0 +1,198 @@
+//! Micro-benchmarks of the simulation substrate's hot paths: trace algebra,
+//! the event queue, sampling, KDE/mode extraction, and plan lowering.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use vpp_sim::{EventQueue, PowerTrace, Rng};
+use vpp_stats::kde::{Bandwidth, Kde};
+use vpp_telemetry::Sampler;
+
+fn configured(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group("substrate");
+    g.sample_size(20);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(300));
+    g
+}
+
+fn long_trace(segments: usize) -> PowerTrace {
+    let mut rng = Rng::new(7);
+    let mut t = PowerTrace::new(0.0);
+    for _ in 0..segments {
+        t.push(rng.uniform(0.005, 0.5), rng.uniform(50.0, 2000.0));
+    }
+    t
+}
+
+fn bench_trace_ops(c: &mut Criterion) {
+    let mut g = configured(c);
+    let a = long_trace(50_000);
+    let b = long_trace(50_000);
+    g.bench_function("trace_build_100k_segments", |bch| {
+        bch.iter(|| black_box(long_trace(100_000).len()))
+    });
+    g.bench_function("trace_energy_50k", |bch| {
+        bch.iter(|| black_box(a.energy()))
+    });
+    g.bench_function("trace_sum_two_50k", |bch| {
+        bch.iter(|| black_box(PowerTrace::sum(&[&a, &b]).len()))
+    });
+    g.bench_function("trace_window_mean_50k", |bch| {
+        bch.iter(|| black_box(a.mean_power(100.0, 500.0)))
+    });
+    g.finish();
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = configured(c);
+    g.bench_function("event_queue_10k_schedule_drain", |bch| {
+        bch.iter(|| {
+            let mut q = EventQueue::new();
+            let mut rng = Rng::new(3);
+            for i in 0..10_000 {
+                q.schedule(rng.uniform(0.0, 1e6), i);
+            }
+            let mut n = 0;
+            q.drain(|_, _| n += 1);
+            black_box(n)
+        })
+    });
+    g.finish();
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut g = configured(c);
+    let trace = long_trace(50_000);
+    g.bench_function("sampler_2s_over_50k_segments", |bch| {
+        bch.iter(|| black_box(Sampler::ideal(2.0).sample(&trace).len()))
+    });
+    g.bench_function("sampler_high_rate_over_50k_segments", |bch| {
+        bch.iter(|| black_box(Sampler::high_rate().sample(&trace).len()))
+    });
+    g.finish();
+}
+
+fn bench_stats(c: &mut Criterion) {
+    let mut g = configured(c);
+    let mut rng = Rng::new(11);
+    let data: Vec<f64> = (0..4000)
+        .map(|_| {
+            if rng.bool(0.7) {
+                rng.normal(1700.0, 40.0)
+            } else {
+                rng.normal(700.0, 60.0)
+            }
+        })
+        .collect();
+    g.bench_function("kde_fit_and_grid_4k_samples", |bch| {
+        bch.iter(|| {
+            let kde = Kde::fit(&data, Bandwidth::Silverman);
+            black_box(kde.grid(512).1[256])
+        })
+    });
+    g.bench_function("high_power_mode_4k_samples", |bch| {
+        bch.iter(|| black_box(vpp_stats::high_power_mode(&data).x))
+    });
+    g.bench_function("fwhm_4k_samples", |bch| {
+        let mode = vpp_stats::high_power_mode(&data);
+        bch.iter(|| black_box(vpp_stats::fwhm(&data, mode)))
+    });
+    g.finish();
+}
+
+fn bench_plan_lowering(c: &mut Criterion) {
+    let mut g = configured(c);
+    g.bench_function("lower_pdo4_plan", |bch| {
+        let p = vpp_core::benchmarks::pdo4().params();
+        let cost = vpp_dft::CostModel::calibrated();
+        bch.iter(|| {
+            black_box(
+                vpp_dft::build_plan(&p, &vpp_dft::ParallelLayout::nodes(2), &cost)
+                    .ops
+                    .len(),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_parsers(c: &mut Criterion) {
+    let mut g = configured(c);
+    let incar = "ALGO = Damped\nLHFCALC = .TRUE.\nNELM = 41\nNBANDS = 640\nENCUT = 400\nNSIM = 4\n";
+    g.bench_function("parse_incar", |bch| {
+        bch.iter(|| black_box(vpp_dft::parse_incar(black_box(incar)).unwrap().deck.nelm))
+    });
+    let poscar = "Si256\n1.0\n17.24 0 0\n0 17.24 0\n0 0 17.24\nSi\n255\nDirect\n";
+    g.bench_function("parse_poscar", |bch| {
+        bch.iter(|| black_box(vpp_dft::parse_poscar(black_box(poscar)).unwrap().n_ions()))
+    });
+    g.finish();
+}
+
+fn bench_lqcd_lowering(c: &mut Criterion) {
+    let mut g = configured(c);
+    let w = vpp_lqcd::MilcWorkload {
+        lattice: [32, 32, 32, 48],
+        trajectories: 2,
+        md_steps: 6,
+        solver: vpp_lqcd::SolverParams {
+            cg_iters: 400,
+            solves_per_step: 2,
+        },
+    };
+    let net = vpp_cluster::NetworkModel::perlmutter();
+    let cm = vpp_dft::CostModel::calibrated();
+    g.bench_function("lower_milc_plan", |bch| {
+        bch.iter(|| {
+            black_box(
+                w.build_plan(&vpp_dft::ParallelLayout::nodes(1), &net, &cm)
+                    .ops
+                    .len(),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_fleet(c: &mut Criterion) {
+    let mut g = configured(c);
+    let mut deck = vpp_dft::Incar::default_deck();
+    deck.nelm = 6;
+    let p = vpp_dft::SystemParams::derive(&vpp_dft::Supercell::silicon(128), &deck);
+    let plan = vpp_dft::build_plan(
+        &p,
+        &vpp_dft::ParallelLayout::nodes(1),
+        &vpp_dft::CostModel::calibrated(),
+    );
+    let requests: Vec<vpp_fleet::JobRequest> = (0..4)
+        .map(|id| vpp_fleet::JobRequest {
+            id,
+            name: format!("j{id}"),
+            plan: plan.clone(),
+            nodes: 1,
+            arrival_s: id as f64 * 5.0,
+            cap_w: None,
+            est_node_power_w: 1100.0,
+        })
+        .collect();
+    let spec = vpp_fleet::FleetSpec::new(2);
+    let net = vpp_cluster::NetworkModel::perlmutter();
+    g.bench_function("fleet_four_jobs_two_nodes", |bch| {
+        bch.iter(|| black_box(vpp_fleet::simulate(&spec, &requests, &net).makespan_s))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    substrate,
+    bench_trace_ops,
+    bench_event_queue,
+    bench_sampling,
+    bench_stats,
+    bench_plan_lowering,
+    bench_parsers,
+    bench_lqcd_lowering,
+    bench_fleet
+);
+criterion_main!(substrate);

@@ -1,0 +1,435 @@
+//! The job executor: replay a per-rank plan on modelled nodes.
+
+use crate::network::NetworkModel;
+use vpp_dft::{Op, ScfPlan};
+use vpp_gpu::{Kernel, KernelKind};
+use vpp_node::{ComponentTraces, CpuModel, MemoryModel, NodeInstance};
+use vpp_sim::{PowerTrace, Rng};
+
+/// Fault injection: one underperforming node (failing DIMM, thermal issue,
+/// congested NIC) — what the paper's five-repeat / DGEMM-screen protocol
+/// exists to catch (§III-B.1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Straggler {
+    /// Index of the slow node within the allocation.
+    pub node: usize,
+    /// Multiplier on that node's GPU kernel durations (> 1 = slower).
+    pub slowdown: f64,
+}
+
+/// Job configuration: where and how a plan runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobSpec {
+    /// Allocated nodes (4 GPUs / MPI ranks each).
+    pub nodes: usize,
+    /// GPU power limit applied via the node's `nvidia-smi` analogue;
+    /// `None` = default 400 W.
+    pub gpu_power_cap_w: Option<f64>,
+    /// Fleet seed: selects which physical nodes the job lands on.
+    pub seed: u64,
+    /// Job start time on the shared clock, seconds.
+    pub start_s: f64,
+    /// Startup stage (input parsing, wavefunction init), seconds.
+    pub init_host_s: f64,
+    /// Optional injected straggler node.
+    pub straggler: Option<Straggler>,
+    /// OS-noise amplitude: each op on each rank is stretched by up to this
+    /// fraction (uniform, per-rank deterministic). 0 = no jitter.
+    pub os_jitter: f64,
+}
+
+impl JobSpec {
+    /// A default job on `nodes` nodes.
+    #[must_use]
+    pub fn new(nodes: usize) -> Self {
+        assert!(nodes > 0, "need at least one node");
+        Self {
+            nodes,
+            gpu_power_cap_w: None,
+            seed: 0x5641_5350, // "VASP"
+            start_s: 0.0,
+            init_host_s: 6.0,
+            straggler: None,
+            os_jitter: 0.0,
+        }
+    }
+}
+
+/// Outcome of one job execution.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// Wall-clock runtime, seconds (the paper's performance metric).
+    pub runtime_s: f64,
+    /// Monitoring channels for each allocated node.
+    pub node_traces: Vec<ComponentTraces>,
+}
+
+impl JobResult {
+    /// Total energy-to-solution across all nodes, joules (Figs. 7, 8).
+    #[must_use]
+    pub fn energy_j(&self) -> f64 {
+        self.node_traces.iter().map(|c| c.node.energy()).sum()
+    }
+
+    /// Per-node mean power over the run, watts.
+    #[must_use]
+    pub fn mean_node_power_w(&self) -> f64 {
+        if self.node_traces.is_empty() || self.runtime_s <= 0.0 {
+            return 0.0;
+        }
+        self.energy_j() / self.runtime_s / self.node_traces.len() as f64
+    }
+}
+
+/// Execute `plan` under `spec` over `network`.
+#[must_use]
+pub fn execute(plan: &ScfPlan, spec: &JobSpec, network: &NetworkModel) -> JobResult {
+    assert!(spec.nodes > 0);
+    let fleet = Rng::new(spec.seed);
+    let mut nodes: Vec<NodeInstance> = (0..spec.nodes)
+        .map(|i| NodeInstance::sample(&mut fleet.fork(i as u64)))
+        .collect();
+    if let Some(cap) = spec.gpu_power_cap_w {
+        for n in &mut nodes {
+            n.set_gpu_power_limit(cap);
+        }
+    }
+    let gpn = nodes[0].gpus.len();
+    let ranks = spec.nodes * gpn;
+
+    let mut gpu_traces: Vec<PowerTrace> =
+        (0..ranks).map(|_| PowerTrace::new(spec.start_s)).collect();
+    let mut cpu_traces: Vec<PowerTrace> =
+        (0..spec.nodes).map(|_| PowerTrace::new(spec.start_s)).collect();
+    let mut mem_traces: Vec<PowerTrace> =
+        (0..spec.nodes).map(|_| PowerTrace::new(spec.start_s)).collect();
+    let mut clock: Vec<f64> = vec![spec.start_s; ranks];
+
+    assert!(
+        (0.0..1.0).contains(&spec.os_jitter),
+        "os_jitter must be in [0, 1)"
+    );
+    if let Some(s) = spec.straggler {
+        assert!(s.node < spec.nodes, "straggler node out of range");
+        assert!(s.slowdown >= 1.0, "straggler must not speed up");
+    }
+    let mut jitter_rngs: Vec<Rng> = (0..ranks)
+        .map(|r| Rng::new(spec.seed ^ 0x6a69_7474).fork(r as u64))
+        .collect();
+    let stretch = |r: usize, rngs: &mut Vec<Rng>| -> f64 {
+        let mut f = 1.0;
+        if let Some(s) = spec.straggler {
+            if r / gpn == s.node {
+                f *= s.slowdown;
+            }
+        }
+        if spec.os_jitter > 0.0 {
+            f *= 1.0 + spec.os_jitter * rngs[r].f64();
+        }
+        f
+    };
+
+    let init = Op::Host {
+        duration_s: spec.init_host_s,
+        cpu_active: 0.30,
+        mem_active: 0.40,
+    };
+
+    for op in std::iter::once(&init).chain(plan.ops.iter()) {
+        match op {
+            Op::Gpu(kernel) => {
+                for r in 0..ranks {
+                    let gpu = &nodes[r / gpn].gpus[r % gpn];
+                    let ex = gpu.execute(kernel);
+                    let dur = ex.duration_s * stretch(r, &mut jitter_rngs);
+                    gpu_traces[r].push(dur, ex.watts);
+                    clock[r] += dur;
+                }
+                for (n, node) in nodes.iter().enumerate() {
+                    // The host drives launch queues while GPUs compute; use
+                    // the node's first rank as the node-local timeline.
+                    let dur = nodes[n].gpus[0].execute(kernel).duration_s;
+                    cpu_traces[n].push(dur, node.cpu.power(CpuModel::GPU_HOST_DRIVE));
+                    mem_traces[n].push(dur, node.mem.power(MemoryModel::GPU_HOST_DRIVE));
+                }
+            }
+            Op::Host {
+                duration_s,
+                cpu_active,
+                mem_active,
+            } => {
+                for r in 0..ranks {
+                    let gpu = &nodes[r / gpn].gpus[r % gpn];
+                    gpu_traces[r].push(*duration_s, gpu.idle_w());
+                    clock[r] += duration_s;
+                }
+                for (n, node) in nodes.iter().enumerate() {
+                    cpu_traces[n].push(*duration_s, node.cpu.power(*cpu_active));
+                    mem_traces[n].push(*duration_s, node.mem.power(*mem_active));
+                }
+            }
+            Op::Collective { bytes, kind } => {
+                let t_sync = clock.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                let comm_s = network.collective_time(*kind, *bytes, spec.nodes, gpn);
+                for r in 0..ranks {
+                    let gpu = &nodes[r / gpn].gpus[r % gpn];
+                    let wait = t_sync - clock[r];
+                    if wait > 0.0 {
+                        gpu_traces[r].push(wait, gpu.idle_w());
+                    }
+                    if comm_s > 0.0 {
+                        let k = Kernel::new(KernelKind::NcclComm, *bytes, comm_s);
+                        let p = gpu.uncapped_power(&k).min(gpu.effective_ceiling());
+                        gpu_traces[r].push(comm_s, p);
+                    }
+                    clock[r] = t_sync + comm_s;
+                }
+                for (n, node) in nodes.iter().enumerate() {
+                    // Host side: progress engine + NIC staging for the
+                    // node-local span of this collective.
+                    let span = clock[n * gpn] - cpu_traces[n].end();
+                    if span > 0.0 {
+                        cpu_traces[n].push(span, node.cpu.power(0.12));
+                        mem_traces[n].push(span, node.mem.power(0.35));
+                    }
+                }
+            }
+        }
+    }
+
+    // Final barrier: the job ends when the slowest rank finishes.
+    let t_end = clock.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    for r in 0..ranks {
+        let pad = t_end - clock[r];
+        if pad > 0.0 {
+            let gpu = &nodes[r / gpn].gpus[r % gpn];
+            gpu_traces[r].push(pad, gpu.idle_w());
+        }
+    }
+    for (n, node) in nodes.iter().enumerate() {
+        let pad = t_end - cpu_traces[n].end();
+        if pad > 0.0 {
+            cpu_traces[n].push(pad, node.cpu.power(0.0));
+        }
+        let pad = t_end - mem_traces[n].end();
+        if pad > 0.0 {
+            mem_traces[n].push(pad, node.mem.power(0.0));
+        }
+    }
+
+    // Assemble per-node channels (peripherals active for the job's span).
+    let mut node_traces = Vec::with_capacity(spec.nodes);
+    let mut gpu_iter = gpu_traces.into_iter();
+    for (n, node) in nodes.iter().enumerate() {
+        let gpus: Vec<PowerTrace> = (0..gpn).map(|_| gpu_iter.next().unwrap()).collect();
+        let periph = PowerTrace::from_segments(
+            spec.start_s,
+            [(t_end - spec.start_s, node.periph_active_w)],
+        );
+        node_traces.push(ComponentTraces::assemble(
+            cpu_traces[n].clone(),
+            mem_traces[n].clone(),
+            gpus,
+            periph,
+        ));
+    }
+
+    JobResult {
+        runtime_s: t_end - spec.start_s,
+        node_traces,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpp_dft::{build_plan, CostModel, Incar, ParallelLayout, Supercell, SystemParams};
+
+    fn si_plan(atoms: usize, nodes: usize) -> ScfPlan {
+        let mut deck = Incar::default_deck();
+        deck.nelm = 10;
+        let p = SystemParams::derive(&Supercell::silicon(atoms), &deck);
+        build_plan(&p, &ParallelLayout::nodes(nodes), &CostModel::calibrated())
+    }
+
+    fn quick_spec(nodes: usize) -> JobSpec {
+        let mut s = JobSpec::new(nodes);
+        s.init_host_s = 1.0;
+        s
+    }
+
+    #[test]
+    fn single_node_job_produces_traces() {
+        let plan = si_plan(64, 1);
+        let res = execute(&plan, &quick_spec(1), &NetworkModel::perlmutter());
+        assert_eq!(res.node_traces.len(), 1);
+        assert_eq!(res.node_traces[0].gpus.len(), 4);
+        assert!(res.runtime_s > 1.0);
+        assert!(res.energy_j() > 0.0);
+    }
+
+    #[test]
+    fn all_channels_span_the_full_runtime() {
+        let plan = si_plan(64, 2);
+        let res = execute(&plan, &quick_spec(2), &NetworkModel::perlmutter());
+        for c in &res.node_traces {
+            assert!((c.node.duration() - res.runtime_s).abs() < 1e-6);
+            assert!((c.cpu.duration() - res.runtime_s).abs() < 1e-6);
+            assert!((c.mem.duration() - res.runtime_s).abs() < 1e-6);
+            for g in &c.gpus {
+                assert!((g.duration() - res.runtime_s).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn execution_is_deterministic() {
+        let plan = si_plan(64, 1);
+        let a = execute(&plan, &quick_spec(1), &NetworkModel::perlmutter());
+        let b = execute(&plan, &quick_spec(1), &NetworkModel::perlmutter());
+        assert_eq!(a.runtime_s, b.runtime_s);
+        assert_eq!(a.node_traces[0].node, b.node_traces[0].node);
+    }
+
+    #[test]
+    fn different_seeds_select_different_nodes() {
+        let plan = si_plan(64, 1);
+        let mut s1 = quick_spec(1);
+        let mut s2 = quick_spec(1);
+        s1.seed = 1;
+        s2.seed = 2;
+        let a = execute(&plan, &s1, &NetworkModel::perlmutter());
+        let b = execute(&plan, &s2, &NetworkModel::perlmutter());
+        assert_ne!(
+            a.node_traces[0].node.energy(),
+            b.node_traces[0].node.energy()
+        );
+    }
+
+    #[test]
+    fn more_nodes_run_faster_but_less_than_linearly() {
+        let p1 = si_plan(256, 1);
+        let p4 = si_plan(256, 4);
+        let net = NetworkModel::perlmutter();
+        let r1 = execute(&p1, &quick_spec(1), &net);
+        let r4 = execute(&p4, &quick_spec(4), &net);
+        assert!(r4.runtime_s < r1.runtime_s, "speedup expected");
+        assert!(
+            r4.runtime_s > r1.runtime_s / 4.0,
+            "perfect scaling is impossible with serial terms"
+        );
+    }
+
+    #[test]
+    fn power_cap_slows_and_caps_power() {
+        // Use a large saturating workload so the cap binds.
+        let plan = si_plan(1024, 1);
+        let net = NetworkModel::perlmutter();
+        let base = execute(&plan, &quick_spec(1), &net);
+        let mut capped_spec = quick_spec(1);
+        capped_spec.gpu_power_cap_w = Some(200.0);
+        let capped = execute(&plan, &capped_spec, &net);
+        assert!(capped.runtime_s > base.runtime_s, "throttling slows the job");
+        let max_gpu = capped.node_traces[0]
+            .gpus
+            .iter()
+            .filter_map(|g| g.max_power())
+            .fold(0.0, f64::max);
+        assert!(max_gpu <= 200.0 + 1e-9, "max GPU power {max_gpu} over cap");
+    }
+
+    #[test]
+    fn node_power_stays_under_tdp() {
+        let plan = si_plan(512, 1);
+        let res = execute(&plan, &quick_spec(1), &NetworkModel::perlmutter());
+        let peak = res.node_traces[0].node.max_power().unwrap();
+        assert!(peak < 2350.0, "node peak {peak} exceeds TDP");
+        assert!(peak > 600.0, "a 512-atom run should load the node: {peak}");
+    }
+
+    #[test]
+    fn gpus_dominate_node_power_for_big_systems() {
+        // Fig. 3: >70 % of node power from the four GPUs for hot workloads.
+        let plan = si_plan(1024, 1);
+        let res = execute(&plan, &quick_spec(1), &NetworkModel::perlmutter());
+        let c = &res.node_traces[0];
+        let t0 = c.node.start() + 2.0;
+        let t1 = c.node.end() - 2.0;
+        let gpu_e: f64 = c.gpus.iter().map(|g| g.energy_between(t0, t1)).sum();
+        let node_e = c.node.energy_between(t0, t1);
+        let share = gpu_e / node_e;
+        assert!(share > 0.60, "GPU share = {share}");
+    }
+
+    #[test]
+    fn straggler_slows_the_whole_job() {
+        // One slow node gates every collective: the job runtime follows the
+        // straggler, and healthy nodes wait at barriers (the §III-B.1
+        // screening protocol exists to catch exactly this).
+        let plan = si_plan(256, 2);
+        let net = NetworkModel::perlmutter();
+        let base = execute(&plan, &quick_spec(2), &net);
+        let mut spec = quick_spec(2);
+        spec.straggler = Some(Straggler {
+            node: 1,
+            slowdown: 1.30,
+        });
+        let slow = execute(&plan, &spec, &net);
+        let ratio = slow.runtime_s / base.runtime_s;
+        assert!(
+            (1.20..1.40).contains(&ratio),
+            "30% straggler should gate the job: ratio {ratio}"
+        );
+        // The healthy node idles at barriers: its mean power drops.
+        let healthy_mean = |r: &JobResult| {
+            r.node_traces[0].node.energy() / r.node_traces[0].node.duration()
+        };
+        assert!(healthy_mean(&slow) < healthy_mean(&base));
+    }
+
+    #[test]
+    #[should_panic(expected = "straggler node out of range")]
+    fn straggler_index_is_validated() {
+        let plan = si_plan(64, 1);
+        let mut spec = quick_spec(1);
+        spec.straggler = Some(Straggler {
+            node: 5,
+            slowdown: 2.0,
+        });
+        let _ = execute(&plan, &spec, &NetworkModel::perlmutter());
+    }
+
+    #[test]
+    fn os_jitter_stretches_runtime_deterministically() {
+        let plan = si_plan(64, 1);
+        let net = NetworkModel::perlmutter();
+        let base = execute(&plan, &quick_spec(1), &net);
+        let mut spec = quick_spec(1);
+        spec.os_jitter = 0.05;
+        let a = execute(&plan, &spec, &net);
+        let b = execute(&plan, &spec, &net);
+        assert_eq!(a.runtime_s, b.runtime_s, "jitter must be seeded");
+        assert!(a.runtime_s > base.runtime_s);
+        assert!(a.runtime_s < base.runtime_s * 1.10, "5% jitter, ≤10% effect");
+    }
+
+    #[test]
+    fn zero_jitter_is_bitwise_identical_to_default() {
+        let plan = si_plan(64, 1);
+        let net = NetworkModel::perlmutter();
+        let base = execute(&plan, &quick_spec(1), &net);
+        let mut spec = quick_spec(1);
+        spec.os_jitter = 0.0;
+        spec.straggler = None;
+        let same = execute(&plan, &spec, &net);
+        assert_eq!(base.runtime_s.to_bits(), same.runtime_s.to_bits());
+    }
+
+    #[test]
+    fn mean_node_power_is_reasonable() {
+        let plan = si_plan(256, 1);
+        let res = execute(&plan, &quick_spec(1), &NetworkModel::perlmutter());
+        let p = res.mean_node_power_w();
+        assert!((500.0..2350.0).contains(&p), "mean node power = {p}");
+    }
+}

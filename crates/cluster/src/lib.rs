@@ -1,0 +1,17 @@
+//! Multi-node job execution.
+//!
+//! Executes a `vpp-dft` plan on modelled Perlmutter nodes: one MPI rank per
+//! GPU, four ranks per node (§III-B), NCCL collectives over NVLink within a
+//! node and Slingshot between nodes, per-board manufacturing variability
+//! desynchronising ranks between collectives, and GPU power caps applied
+//! through the node's `nvidia-smi`-like interface.
+//!
+//! The output is one [`vpp_node::ComponentTraces`] per node — exactly the
+//! channels the paper's monitoring stack records — plus the job runtime and
+//! energy.
+
+pub mod job;
+pub mod network;
+
+pub use job::{execute, JobResult, JobSpec, Straggler};
+pub use network::NetworkModel;

@@ -1,0 +1,132 @@
+//! NCCL collective time model over NVLink (intra-node) and HPE Slingshot
+//! (inter-node).
+//!
+//! Ring algorithms: an all-reduce moves `2·(n-1)/n` of the payload through
+//! the slowest link and pays a latency term per ring step. Within one node
+//! the four A100s talk over NVLink3; across nodes the bottleneck is the
+//! Cassini NIC.
+
+use vpp_dft::CollectiveKind;
+
+/// Link parameters of the modelled fabric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkModel {
+    /// Effective NVLink bandwidth per GPU pair, bytes/s.
+    pub nvlink_bw: f64,
+    /// Effective Slingshot bandwidth per NIC, bytes/s.
+    pub slingshot_bw: f64,
+    /// Per-step latency within a node, seconds.
+    pub latency_intra_s: f64,
+    /// Per-step latency across nodes, seconds.
+    pub latency_inter_s: f64,
+}
+
+impl NetworkModel {
+    /// Perlmutter-like parameters: NVLink3 ~250 GB/s effective, one
+    /// Slingshot "Cassini" NIC per GPU at ~22 GB/s effective.
+    #[must_use]
+    pub fn perlmutter() -> Self {
+        Self {
+            nvlink_bw: 250.0e9,
+            slingshot_bw: 22.0e9,
+            latency_intra_s: 8.0e-6,
+            latency_inter_s: 25.0e-6,
+        }
+    }
+
+    /// Wall time of one collective with `bytes` payload per rank on a job
+    /// spanning `nodes × gpus_per_node` ranks.
+    ///
+    /// # Panics
+    /// If the job has no ranks or `bytes` is negative.
+    #[must_use]
+    pub fn collective_time(
+        &self,
+        kind: CollectiveKind,
+        bytes: f64,
+        nodes: usize,
+        gpus_per_node: usize,
+    ) -> f64 {
+        assert!(nodes > 0 && gpus_per_node > 0, "empty job");
+        assert!(bytes >= 0.0 && bytes.is_finite(), "bad payload {bytes}");
+        let n = (nodes * gpus_per_node) as f64;
+        if n <= 1.0 {
+            return 0.0;
+        }
+        let (bw, lat) = if nodes == 1 {
+            (self.nvlink_bw, self.latency_intra_s)
+        } else {
+            (self.slingshot_bw, self.latency_inter_s)
+        };
+        let steps = n.log2().ceil().max(1.0);
+        match kind {
+            CollectiveKind::AllReduce => 2.0 * (n - 1.0) / n * bytes / bw + 2.0 * steps * lat,
+            CollectiveKind::Broadcast => bytes / bw + steps * lat,
+            CollectiveKind::AllToAll => (n - 1.0) / n * bytes * 2.0 / bw + n * lat,
+        }
+    }
+}
+
+impl Default for NetworkModel {
+    fn default() -> Self {
+        Self::perlmutter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpp_dft::CollectiveKind::*;
+
+    #[test]
+    fn single_rank_is_free() {
+        let net = NetworkModel::perlmutter();
+        // A 1-GPU job has nobody to talk to.
+        assert_eq!(net.collective_time(AllReduce, 1e9, 1, 1), 0.0);
+    }
+
+    #[test]
+    fn intra_node_is_faster_than_inter_node() {
+        let net = NetworkModel::perlmutter();
+        let intra = net.collective_time(AllReduce, 1e8, 1, 4);
+        let inter = net.collective_time(AllReduce, 1e8, 4, 4);
+        assert!(inter > 3.0 * intra, "intra {intra}, inter {inter}");
+    }
+
+    #[test]
+    fn allreduce_grows_with_bytes() {
+        let net = NetworkModel::perlmutter();
+        let small = net.collective_time(AllReduce, 1e6, 2, 4);
+        let large = net.collective_time(AllReduce, 1e8, 2, 4);
+        assert!(large > 10.0 * small);
+    }
+
+    #[test]
+    fn latency_floor_for_tiny_payloads() {
+        let net = NetworkModel::perlmutter();
+        let t = net.collective_time(AllReduce, 8.0, 8, 4);
+        assert!(t >= 2.0 * 5.0 * net.latency_inter_s, "t = {t}");
+    }
+
+    #[test]
+    fn latency_grows_with_scale() {
+        let net = NetworkModel::perlmutter();
+        let t2 = net.collective_time(AllReduce, 8.0, 2, 4);
+        let t32 = net.collective_time(AllReduce, 8.0, 32, 4);
+        assert!(t32 > t2);
+    }
+
+    #[test]
+    fn broadcast_cheaper_than_allreduce() {
+        let net = NetworkModel::perlmutter();
+        let ar = net.collective_time(AllReduce, 1e8, 4, 4);
+        let bc = net.collective_time(Broadcast, 1e8, 4, 4);
+        assert!(bc < ar);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad payload")]
+    fn negative_bytes_panics() {
+        let _ = NetworkModel::perlmutter().collective_time(AllReduce, -1.0, 2, 4);
+    }
+}

@@ -1,0 +1,77 @@
+//! Shared power-cap sweep used by Figs. 10 and 12.
+
+use crate::benchmarks::Benchmark;
+use crate::protocol::{measure, Measured, RunConfig, StudyContext};
+
+/// The cap levels of the study (§V-A), watts.
+pub const CAPS: [f64; 4] = [400.0, 300.0, 200.0, 100.0];
+
+/// One benchmark measured under every cap at its study node count.
+#[derive(Debug, Clone)]
+pub struct BenchCaps {
+    pub name: String,
+    pub nodes: usize,
+    /// `(cap, measurement)`, in [`CAPS`] order (default cap first).
+    pub runs: Vec<(f64, Measured)>,
+}
+
+impl BenchCaps {
+    /// Normalised performance at each cap: `runtime(default)/runtime(cap)`.
+    #[must_use]
+    pub fn normalised_perf(&self) -> Vec<(f64, f64)> {
+        let base = self.runs[0].1.runtime_s;
+        self.runs
+            .iter()
+            .map(|(cap, m)| (*cap, base / m.runtime_s))
+            .collect()
+    }
+
+    /// GPU high power mode as a fraction of the applied cap (Fig. 10).
+    #[must_use]
+    pub fn mode_cap_fractions(&self) -> Vec<(f64, f64)> {
+        self.runs
+            .iter()
+            .map(|(cap, m)| (*cap, m.gpu_summary.high_mode_w / cap))
+            .collect()
+    }
+}
+
+/// Measure `benchmarks` under every cap.
+#[must_use]
+pub fn measure_caps(benchmarks: &[Benchmark], ctx: &StudyContext) -> Vec<BenchCaps> {
+    benchmarks
+        .iter()
+        .map(|b| BenchCaps {
+            name: b.name().to_string(),
+            nodes: b.cap_study_nodes,
+            runs: CAPS
+                .iter()
+                .map(|&cap| {
+                    let mut cfg = RunConfig::capped(b.cap_study_nodes, cap);
+                    cfg.seed_salt = 0xCA9 + cap as u64;
+                    (cap, measure(b, &cfg, ctx))
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks;
+
+    #[test]
+    fn caps_sweep_structure() {
+        let ctx = StudyContext::quick();
+        let data = measure_caps(&[benchmarks::b_hr105_hse()], &ctx);
+        assert_eq!(data.len(), 1);
+        assert_eq!(data[0].runs.len(), 4);
+        let perf = data[0].normalised_perf();
+        assert_eq!(perf[0].1, 1.0, "baseline normalises to itself");
+        // Performance can only degrade (or stay) as caps deepen.
+        for w in perf.windows(2) {
+            assert!(w[1].1 <= w[0].1 + 0.02, "{perf:?}");
+        }
+    }
+}

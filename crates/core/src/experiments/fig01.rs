@@ -1,0 +1,187 @@
+//! Fig. 1: per-node power of a 4-node Si256_hse job whose script runs
+//! DGEMM, STREAM, and an idle phase before VASP.
+//!
+//! The paper's point: individual nodes show consistent power offsets across
+//! *identical* phases (manufacturing variability), so the same nodes that
+//! run DGEMM hotter also run VASP hotter.
+
+use crate::benchmarks::si256_hse;
+use crate::experiments::{f, render_table};
+use crate::protocol::{plan_for, StudyContext};
+use vpp_cluster::{execute, JobSpec};
+use vpp_node::prologue::full_prologue;
+use vpp_node::NodeInstance;
+use vpp_sim::Rng;
+
+/// Phase powers of one node in the job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodePhases {
+    pub node: usize,
+    pub idle_w: f64,
+    pub dgemm_w: f64,
+    pub stream_w: f64,
+    pub vasp_mode_w: f64,
+}
+
+/// The figure's data: one row per node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig01 {
+    pub rows: Vec<NodePhases>,
+    /// Largest spread (max − min) over nodes of any single phase, watts.
+    pub max_phase_spread_w: f64,
+}
+
+/// Fleet seed used for the figure (fixed so node offsets are stable).
+const FLEET_SEED: u64 = 0xF16_0001;
+
+/// Run the 4-node prologue + VASP job and extract per-node phase powers.
+#[must_use]
+pub fn run(ctx: &StudyContext) -> Fig01 {
+    let bench = si256_hse();
+    let nodes = 4;
+    let plan = plan_for(&bench, nodes, ctx);
+    let spec = JobSpec {
+        nodes,
+        gpu_power_cap_w: None,
+        seed: FLEET_SEED,
+        start_s: 110.0, // after the prologue
+        init_host_s: 6.0,
+        straggler: None,
+        os_jitter: 0.0,
+    };
+    let result = execute(&plan, &spec, &ctx.network);
+
+    // Reconstruct the same physical nodes the executor drew and replay the
+    // screening prologue on each.
+    let fleet = Rng::new(FLEET_SEED);
+    let mut rows = Vec::with_capacity(nodes);
+    for i in 0..nodes {
+        let inst = NodeInstance::sample(&mut fleet.fork(i as u64));
+        let pro = full_prologue(&inst, 0.0, 60.0, 30.0, 20.0);
+        let vasp_series = ctx.sampler.sample(&result.node_traces[i].node);
+        let vasp_mode = vpp_stats::high_power_mode(vasp_series.values()).x;
+        rows.push(NodePhases {
+            node: i,
+            idle_w: pro.node.mean_power(90.0, 110.0),
+            dgemm_w: pro.node.mean_power(0.0, 60.0),
+            stream_w: pro.node.mean_power(60.0, 90.0),
+            vasp_mode_w: vasp_mode,
+        });
+    }
+
+    let spread = |get: fn(&NodePhases) -> f64| {
+        let vals: Vec<f64> = rows.iter().map(get).collect();
+        vals.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+            - vals.iter().copied().fold(f64::INFINITY, f64::min)
+    };
+    let max_phase_spread_w = [
+        spread(|r| r.idle_w),
+        spread(|r| r.dgemm_w),
+        spread(|r| r.stream_w),
+        spread(|r| r.vasp_mode_w),
+    ]
+    .into_iter()
+    .fold(0.0, f64::max);
+
+    Fig01 {
+        rows,
+        max_phase_spread_w,
+    }
+}
+
+impl std::fmt::Display for Fig01 {
+    fn fmt(&self, fmt: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let header = vec![
+            "node".to_string(),
+            "idle W".to_string(),
+            "dgemm W".to_string(),
+            "stream W".to_string(),
+            "vasp mode W".to_string(),
+        ];
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.node.to_string(),
+                    f(r.idle_w, 0),
+                    f(r.dgemm_w, 0),
+                    f(r.stream_w, 0),
+                    f(r.vasp_mode_w, 0),
+                ]
+            })
+            .collect();
+        writeln!(
+            fmt,
+            "{}",
+            render_table(
+                "Fig. 1 — per-node power across job phases (4-node Si256_hse)",
+                &header,
+                &rows
+            )
+        )?;
+        writeln!(
+            fmt,
+            "max per-phase spread across nodes: {:.0} W",
+            self.max_phase_spread_w
+        )
+    }
+}
+
+
+impl Fig01 {
+    /// Machine-readable export.
+    #[must_use]
+    pub fn csv(&self) -> String {
+        let mut out = String::from("node,idle_w,dgemm_w,stream_w,vasp_mode_w\n");
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{},{:.1},{:.1},{:.1},{:.1}\n",
+                r.node, r.idle_w, r.dgemm_w, r.stream_w, r.vasp_mode_w
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_nodes_with_visible_but_bounded_variation() {
+        let ctx = StudyContext::quick();
+        let fig = run(&ctx);
+        assert_eq!(fig.rows.len(), 4);
+        for r in &fig.rows {
+            assert!(r.dgemm_w > r.stream_w, "node {}: dgemm ≤ stream", r.node);
+            assert!(r.stream_w > r.idle_w, "node {}: stream ≤ idle", r.node);
+            assert!((400.0..520.0).contains(&r.idle_w), "idle {}", r.idle_w);
+            assert!(r.vasp_mode_w > 1500.0, "vasp mode {}", r.vasp_mode_w);
+        }
+        assert!(
+            fig.max_phase_spread_w > 5.0,
+            "nodes should differ visibly: {}",
+            fig.max_phase_spread_w
+        );
+        assert!(fig.max_phase_spread_w < 120.0, "spread too wide");
+    }
+
+    #[test]
+    fn hot_nodes_stay_hot_across_phases() {
+        // The paper's observation: the same node offsets appear in DGEMM
+        // and idle. Check rank correlation between idle and dgemm orders.
+        let ctx = StudyContext::quick();
+        let fig = run(&ctx);
+        let mut by_idle: Vec<usize> = (0..4).collect();
+        by_idle.sort_by(|&a, &b| fig.rows[a].idle_w.total_cmp(&fig.rows[b].idle_w));
+        let mut by_dgemm: Vec<usize> = (0..4).collect();
+        by_dgemm.sort_by(|&a, &b| fig.rows[a].dgemm_w.total_cmp(&fig.rows[b].dgemm_w));
+        // At least the hottest idle node should be in the top-2 of dgemm.
+        let hottest_idle = by_idle[3];
+        assert!(
+            by_dgemm[2] == hottest_idle || by_dgemm[3] == hottest_idle,
+            "idle order {by_idle:?} vs dgemm order {by_dgemm:?}"
+        );
+    }
+}

@@ -1,0 +1,92 @@
+//! Fig. 4: parallel efficiency of the seven benchmarks vs node count.
+
+use crate::benchmarks::suite;
+use crate::experiments::scaling::{measure_suite, BenchScaling, NODE_COUNTS};
+use crate::experiments::{f, render_table};
+use crate::protocol::StudyContext;
+
+/// The figure's data: per-benchmark efficiency series.
+#[derive(Debug, Clone)]
+pub struct Fig04 {
+    pub node_counts: Vec<usize>,
+    /// `(benchmark, efficiencies aligned with node_counts)`.
+    pub series: Vec<(String, Vec<f64>)>,
+}
+
+/// Compute from fresh scaling runs.
+#[must_use]
+pub fn run(ctx: &StudyContext) -> Fig04 {
+    from_scaling(&measure_suite(&suite(), &NODE_COUNTS, ctx), &NODE_COUNTS)
+}
+
+/// Compute from pre-measured scaling data (shared with Fig. 5).
+#[must_use]
+pub fn from_scaling(data: &[BenchScaling], node_counts: &[usize]) -> Fig04 {
+    Fig04 {
+        node_counts: node_counts.to_vec(),
+        series: data
+            .iter()
+            .map(|b| {
+                (
+                    b.name.clone(),
+                    b.efficiencies().into_iter().map(|(_, e)| e).collect(),
+                )
+            })
+            .collect(),
+    }
+}
+
+impl std::fmt::Display for Fig04 {
+    fn fmt(&self, fmt: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut header = vec!["benchmark".to_string()];
+        header.extend(self.node_counts.iter().map(|n| format!("{n} nodes")));
+        let rows: Vec<Vec<String>> = self
+            .series
+            .iter()
+            .map(|(name, effs)| {
+                let mut row = vec![name.clone()];
+                row.extend(effs.iter().map(|e| f(*e, 2)));
+                row
+            })
+            .collect();
+        write!(
+            fmt,
+            "{}",
+            render_table("Fig. 4 — parallel efficiency of VASP", &header, &rows)
+        )
+    }
+}
+
+
+impl Fig04 {
+    /// Machine-readable export.
+    #[must_use]
+    pub fn csv(&self) -> String {
+        let mut out = String::from("benchmark,nodes,parallel_efficiency\n");
+        for (name, effs) in &self.series {
+            for (n, e) in self.node_counts.iter().zip(effs) {
+                out.push_str(&format!("{name},{n},{e:.3}\n"));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks;
+    use crate::experiments::scaling::measure_suite;
+
+    #[test]
+    fn efficiency_declines_with_nodes() {
+        let ctx = StudyContext::quick();
+        let data = measure_suite(&[benchmarks::pdo4()], &[1, 2, 4], &ctx);
+        let fig = from_scaling(&data, &[1, 2, 4]);
+        let effs = &fig.series[0].1;
+        assert_eq!(effs[0], 1.0);
+        assert!(effs[1] <= 1.05);
+        assert!(effs[2] <= effs[1] + 0.05, "{effs:?}");
+        assert!(effs[2] > 0.15, "unrealistically bad scaling: {effs:?}");
+    }
+}

@@ -1,0 +1,121 @@
+//! Fig. 5: high power mode per node for each benchmark vs node count.
+//!
+//! The paper's headline: power varies far more across *workloads*
+//! (766–1810 W) than across *concurrency* (flat while parallel efficiency
+//! stays ≥ ~70 %, visible drop below).
+
+use crate::benchmarks::suite;
+use crate::experiments::scaling::{measure_suite, BenchScaling, NODE_COUNTS};
+use crate::experiments::{f, render_table};
+use crate::protocol::StudyContext;
+
+/// The figure's data: per-benchmark high-power-mode series.
+#[derive(Debug, Clone)]
+pub struct Fig05 {
+    pub node_counts: Vec<usize>,
+    /// `(benchmark, node-0 high power mode per node count)`.
+    pub series: Vec<(String, Vec<f64>)>,
+}
+
+/// Compute from fresh scaling runs.
+#[must_use]
+pub fn run(ctx: &StudyContext) -> Fig05 {
+    from_scaling(&measure_suite(&suite(), &NODE_COUNTS, ctx), &NODE_COUNTS)
+}
+
+/// Compute from pre-measured scaling data (shared with Fig. 4).
+#[must_use]
+pub fn from_scaling(data: &[BenchScaling], node_counts: &[usize]) -> Fig05 {
+    Fig05 {
+        node_counts: node_counts.to_vec(),
+        series: data
+            .iter()
+            .map(|b| {
+                (
+                    b.name.clone(),
+                    b.high_modes().into_iter().map(|(_, w)| w).collect(),
+                )
+            })
+            .collect(),
+    }
+}
+
+impl Fig05 {
+    /// Range of 1-node high power modes across workloads, watts —
+    /// the paper reports 766 to 1810 W.
+    #[must_use]
+    pub fn workload_range_w(&self) -> (f64, f64) {
+        let first: Vec<f64> = self.series.iter().map(|(_, s)| s[0]).collect();
+        (
+            first.iter().copied().fold(f64::INFINITY, f64::min),
+            first.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        )
+    }
+}
+
+impl std::fmt::Display for Fig05 {
+    fn fmt(&self, fmt: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut header = vec!["benchmark".to_string()];
+        header.extend(self.node_counts.iter().map(|n| format!("{n} nodes")));
+        let rows: Vec<Vec<String>> = self
+            .series
+            .iter()
+            .map(|(name, modes)| {
+                let mut row = vec![name.clone()];
+                row.extend(modes.iter().map(|w| f(*w, 0)));
+                row
+            })
+            .collect();
+        writeln!(
+            fmt,
+            "{}",
+            render_table(
+                "Fig. 5 — high power mode per node (W) vs node count",
+                &header,
+                &rows
+            )
+        )?;
+        let (lo, hi) = self.workload_range_w();
+        writeln!(fmt, "1-node workload range: {lo:.0} – {hi:.0} W")
+    }
+}
+
+
+impl Fig05 {
+    /// Machine-readable export.
+    #[must_use]
+    pub fn csv(&self) -> String {
+        let mut out = String::from("benchmark,nodes,high_mode_w\n");
+        for (name, modes) in &self.series {
+            for (n, w) in self.node_counts.iter().zip(modes) {
+                out.push_str(&format!("{name},{n},{w:.1}\n"));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks;
+    use crate::experiments::scaling::measure_suite;
+
+    #[test]
+    fn workload_variation_exceeds_concurrency_variation() {
+        let ctx = StudyContext::quick();
+        let data = measure_suite(
+            &[benchmarks::si256_hse(), benchmarks::gaasbi64()],
+            &[1, 2],
+            &ctx,
+        );
+        let fig = from_scaling(&data, &[1, 2]);
+        let hse = &fig.series[0].1;
+        let gaasbi = &fig.series[1].1;
+        // Across workloads: hundreds of watts.
+        assert!(hse[0] - gaasbi[0] > 600.0, "{hse:?} vs {gaasbi:?}");
+        // Across concurrency (within PE ≥ 70 % territory): small.
+        let drift = (hse[0] - hse[1]).abs() / hse[0];
+        assert!(drift < 0.12, "power should be ~flat 1→2 nodes: {drift}");
+    }
+}

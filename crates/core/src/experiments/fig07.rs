@@ -1,0 +1,198 @@
+//! Fig. 7: power/energy vs the internal parameters NPLWV (left panel,
+//! swept via ENCUT) and NBANDS (right panel), Si256_hse on one node.
+//!
+//! The paper's mechanism: plane waves are distributed *within* each GPU →
+//! more of them means wider kernels and higher power; bands are processed
+//! *sequentially* per GPU → more of them means longer runtime and more
+//! energy at unchanged power.
+
+use crate::benchmarks::si256_hse;
+use crate::experiments::{f, render_table};
+use crate::protocol::{measure, RunConfig, StudyContext};
+
+/// One sweep point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepRow {
+    /// The swept value (NPLWV or NBANDS).
+    pub x: usize,
+    pub node_mode_w: f64,
+    pub node_mean_w: f64,
+    pub runtime_s: f64,
+    pub energy_mj: f64,
+}
+
+/// The figure's data: both panels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig07 {
+    /// Left panel: varying plane-wave counts (via ENCUT).
+    pub nplwv_rows: Vec<SweepRow>,
+    /// Right panel: varying band counts.
+    pub nbands_rows: Vec<SweepRow>,
+}
+
+/// ENCUT values for the NPLWV sweep, eV.
+pub const ENCUTS: [f64; 5] = [160.0, 245.0, 340.0, 450.0, 600.0];
+/// NBANDS values for the band sweep.
+pub const NBANDS: [usize; 5] = [320, 640, 1280, 1920, 2560];
+
+/// Run both sweeps. `nelm_override` shortens runs for tests (None = paper
+/// iteration count).
+#[must_use]
+pub fn run_with_nelm(ctx: &StudyContext, nelm_override: Option<usize>) -> Fig07 {
+    let base = si256_hse();
+
+    let sweep = |mutate: &dyn Fn(&mut crate::benchmarks::Benchmark), salt: u64| {
+        let mut b = base.clone();
+        if let Some(nelm) = nelm_override {
+            b.deck.nelm = nelm;
+        }
+        mutate(&mut b);
+        let mut cfg = RunConfig::nodes(1);
+        cfg.seed_salt = salt;
+        let m = measure(&b, &cfg, ctx);
+        SweepRow {
+            x: 0,
+            node_mode_w: m.node_summary.high_mode_w,
+            node_mean_w: m.node_summary.mean_w,
+            runtime_s: m.runtime_s,
+            energy_mj: m.energy_j / 1e6,
+        }
+    };
+
+    let nplwv_rows = ENCUTS
+        .iter()
+        .enumerate()
+        .map(|(i, &encut)| {
+            let mut row = sweep(
+                &|b| b.deck.encut_ev = Some(encut),
+                0x0701 + i as u64,
+            );
+            let mut b = base.clone();
+            b.deck.encut_ev = Some(encut);
+            row.x = b.params().nplwv;
+            row
+        })
+        .collect();
+
+    let nbands_rows = NBANDS
+        .iter()
+        .enumerate()
+        .map(|(i, &nb)| {
+            let mut row = sweep(&|b| b.deck.nbands = Some(nb), 0x0702 + i as u64);
+            row.x = nb;
+            row
+        })
+        .collect();
+
+    Fig07 {
+        nplwv_rows,
+        nbands_rows,
+    }
+}
+
+/// Run with the paper's NELM.
+#[must_use]
+pub fn run(ctx: &StudyContext) -> Fig07 {
+    run_with_nelm(ctx, None)
+}
+
+impl std::fmt::Display for Fig07 {
+    fn fmt(&self, fmt: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let header = |x: &str| {
+            vec![
+                x.to_string(),
+                "mode W".to_string(),
+                "mean W".to_string(),
+                "runtime s".to_string(),
+                "energy MJ".to_string(),
+            ]
+        };
+        let render = |rows: &[SweepRow]| -> Vec<Vec<String>> {
+            rows.iter()
+                .map(|r| {
+                    vec![
+                        r.x.to_string(),
+                        f(r.node_mode_w, 0),
+                        f(r.node_mean_w, 0),
+                        f(r.runtime_s, 0),
+                        f(r.energy_mj, 2),
+                    ]
+                })
+                .collect()
+        };
+        writeln!(
+            fmt,
+            "{}",
+            render_table(
+                "Fig. 7 (left) — power/energy vs NPLWV (Si256_hse, 1 node)",
+                &header("NPLWV"),
+                &render(&self.nplwv_rows)
+            )
+        )?;
+        write!(
+            fmt,
+            "{}",
+            render_table(
+                "Fig. 7 (right) — power/energy vs NBANDS (Si256_hse, 1 node)",
+                &header("NBANDS"),
+                &render(&self.nbands_rows)
+            )
+        )
+    }
+}
+
+
+impl Fig07 {
+    /// Machine-readable export (both panels, tagged by sweep).
+    #[must_use]
+    pub fn csv(&self) -> String {
+        let mut out = String::from("sweep,x,node_mode_w,node_mean_w,runtime_s,energy_mj\n");
+        for (tag, rows) in [("nplwv", &self.nplwv_rows), ("nbands", &self.nbands_rows)] {
+            for r in rows {
+                out.push_str(&format!(
+                    "{tag},{},{:.1},{:.1},{:.1},{:.3}\n",
+                    r.x, r.node_mode_w, r.node_mean_w, r.runtime_s, r.energy_mj
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig() -> Fig07 {
+        run_with_nelm(&StudyContext::quick(), Some(6))
+    }
+
+    #[test]
+    fn power_rises_with_nplwv_but_not_nbands() {
+        let fig = fig();
+        // Left panel: visibly higher power at the top of the sweep.
+        let first = fig.nplwv_rows.first().unwrap();
+        let last = fig.nplwv_rows.last().unwrap();
+        assert!(last.x > first.x);
+        assert!(
+            last.node_mode_w > first.node_mode_w + 50.0,
+            "{} W → {} W",
+            first.node_mode_w,
+            last.node_mode_w
+        );
+        // Right panel: mode stays flat within a small tolerance.
+        let modes: Vec<f64> = fig.nbands_rows.iter().map(|r| r.node_mode_w).collect();
+        let spread = modes.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+            - modes.iter().copied().fold(f64::INFINITY, f64::min);
+        assert!(spread < 0.08 * modes[0], "NBANDS mode spread {spread} W");
+    }
+
+    #[test]
+    fn nbands_scales_runtime_and_energy() {
+        let fig = fig();
+        let rt: Vec<f64> = fig.nbands_rows.iter().map(|r| r.runtime_s).collect();
+        let e: Vec<f64> = fig.nbands_rows.iter().map(|r| r.energy_mj).collect();
+        assert!(rt.last().unwrap() > &(rt[0] * 2.0), "{rt:?}");
+        assert!(e.last().unwrap() > &(e[0] * 2.0), "{e:?}");
+    }
+}

@@ -1,0 +1,140 @@
+//! Fig. 8: Si256_hse power and energy-to-solution vs concurrency.
+//!
+//! Power stays steady over the efficient range of node counts and sags once
+//! communication eats into computational intensity; energy-to-solution
+//! rises monotonically with concurrency.
+
+use crate::benchmarks::si256_hse;
+use crate::experiments::{f, render_table};
+use crate::protocol::{measure, RunConfig, StudyContext};
+
+/// One concurrency point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConcurrencyRow {
+    pub nodes: usize,
+    pub node_mode_w: f64,
+    pub node_mean_w: f64,
+    pub runtime_s: f64,
+    pub energy_mj: f64,
+    pub efficiency: f64,
+}
+
+/// The figure's data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig08 {
+    pub rows: Vec<ConcurrencyRow>,
+}
+
+/// Node counts of the sweep.
+pub const NODES: [usize; 6] = [1, 2, 4, 8, 16, 32];
+
+/// Run the concurrency sweep.
+#[must_use]
+pub fn run(ctx: &StudyContext) -> Fig08 {
+    let bench = si256_hse();
+    let mut rows: Vec<ConcurrencyRow> = NODES
+        .iter()
+        .map(|&n| {
+            let mut cfg = RunConfig::nodes(n);
+            cfg.seed_salt = 0x0800 + n as u64;
+            let m = measure(&bench, &cfg, ctx);
+            ConcurrencyRow {
+                nodes: n,
+                node_mode_w: m.node_summary.high_mode_w,
+                node_mean_w: m.node_summary.mean_w,
+                runtime_s: m.runtime_s,
+                energy_mj: m.energy_j / 1e6,
+                efficiency: 0.0,
+            }
+        })
+        .collect();
+    let t1 = rows[0].runtime_s;
+    for r in &mut rows {
+        r.efficiency = vpp_stats::parallel_efficiency(t1, r.nodes as f64, r.runtime_s);
+    }
+    Fig08 { rows }
+}
+
+impl std::fmt::Display for Fig08 {
+    fn fmt(&self, fmt: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let header = vec![
+            "nodes".to_string(),
+            "mode W/node".to_string(),
+            "mean W/node".to_string(),
+            "runtime s".to_string(),
+            "energy MJ".to_string(),
+            "PE".to_string(),
+        ];
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.nodes.to_string(),
+                    f(r.node_mode_w, 0),
+                    f(r.node_mean_w, 0),
+                    f(r.runtime_s, 0),
+                    f(r.energy_mj, 2),
+                    f(r.efficiency, 2),
+                ]
+            })
+            .collect();
+        write!(
+            fmt,
+            "{}",
+            render_table(
+                "Fig. 8 — Si256_hse power & energy-to-solution vs concurrency",
+                &header,
+                &rows
+            )
+        )
+    }
+}
+
+
+impl Fig08 {
+    /// Machine-readable export.
+    #[must_use]
+    pub fn csv(&self) -> String {
+        let mut out = String::from(
+            "nodes,node_mode_w,node_mean_w,runtime_s,energy_mj,parallel_efficiency\n",
+        );
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{},{:.1},{:.1},{:.1},{:.3},{:.3}\n",
+                r.nodes, r.node_mode_w, r.node_mean_w, r.runtime_s, r.energy_mj, r.efficiency
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_rises_power_flat_then_drops() {
+        // Reduced sweep for test speed: compute three points manually.
+        let ctx = StudyContext::quick();
+        let bench = si256_hse();
+        let points: Vec<_> = [1usize, 4, 16]
+            .iter()
+            .map(|&n| {
+                let m = measure(&bench, &RunConfig::nodes(n), &ctx);
+                (n, m.node_summary.high_mode_w, m.energy_j, m.runtime_s)
+            })
+            .collect();
+        // Energy monotonically increasing with concurrency.
+        assert!(points[1].2 > points[0].2, "{points:?}");
+        assert!(points[2].2 > points[1].2, "{points:?}");
+        // Power roughly flat 1→4 nodes (efficient range)...
+        let drift = (points[1].1 - points[0].1).abs() / points[0].1;
+        assert!(drift < 0.12, "power drifted {drift}");
+        // ...and visibly below the 1-node level by 16 nodes.
+        assert!(
+            points[2].1 < points[0].1,
+            "power should sag at scale: {points:?}"
+        );
+    }
+}

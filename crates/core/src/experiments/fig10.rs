@@ -1,0 +1,119 @@
+//! Fig. 10: efficacy of power capping — the per-GPU high power mode as a
+//! fraction of the applied cap, for caps of 400/300/200/100 W.
+//!
+//! The paper: bars stay at or below 1.0 (the cap regulates successfully)
+//! except at the 100 W floor, where a visible regulation error appears.
+
+use crate::benchmarks::suite;
+use crate::experiments::capping::{measure_caps, BenchCaps, CAPS};
+use crate::experiments::{f, render_table};
+use crate::protocol::StudyContext;
+
+/// The figure's data.
+#[derive(Debug, Clone)]
+pub struct Fig10 {
+    /// `(benchmark, nodes, fraction per cap aligned with CAPS)`.
+    pub series: Vec<(String, usize, Vec<f64>)>,
+}
+
+/// Run the cap sweep over the full suite.
+#[must_use]
+pub fn run(ctx: &StudyContext) -> Fig10 {
+    from_caps(&measure_caps(&suite(), ctx))
+}
+
+/// Compute from pre-measured cap data (shared with Fig. 12).
+#[must_use]
+pub fn from_caps(data: &[BenchCaps]) -> Fig10 {
+    Fig10 {
+        series: data
+            .iter()
+            .map(|b| {
+                (
+                    b.name.clone(),
+                    b.nodes,
+                    b.mode_cap_fractions().into_iter().map(|(_, x)| x).collect(),
+                )
+            })
+            .collect(),
+    }
+}
+
+impl std::fmt::Display for Fig10 {
+    fn fmt(&self, fmt: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut header = vec!["benchmark (nodes)".to_string()];
+        header.extend(CAPS.iter().map(|c| format!("{c:.0} W cap")));
+        let rows: Vec<Vec<String>> = self
+            .series
+            .iter()
+            .map(|(name, nodes, fracs)| {
+                let mut row = vec![format!("{name} ({nodes})")];
+                row.extend(fracs.iter().map(|x| f(*x, 2)));
+                row
+            })
+            .collect();
+        writeln!(
+            fmt,
+            "{}",
+            render_table(
+                "Fig. 10 — GPU high power mode as a fraction of the applied cap",
+                &header,
+                &rows
+            )
+        )?;
+        writeln!(fmt, "(1.00 = exactly at the cap; >1 = regulation error)")
+    }
+}
+
+
+impl Fig10 {
+    /// Machine-readable export.
+    #[must_use]
+    pub fn csv(&self) -> String {
+        let mut out = String::from("benchmark,nodes,cap_w,mode_over_cap\n");
+        for (name, nodes, fracs) in &self.series {
+            for (cap, frac) in CAPS.iter().zip(fracs) {
+                out.push_str(&format!("{name},{nodes},{cap:.0},{frac:.3}\n"));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks;
+    use crate::experiments::capping::measure_caps;
+
+    #[test]
+    fn caps_regulate_except_at_the_floor() {
+        let ctx = StudyContext::quick();
+        let data = measure_caps(&[benchmarks::si256_hse()], &ctx);
+        let fig = from_caps(&data);
+        let fracs = &fig.series[0].2;
+        // 400/300/200 W: within the cap.
+        for (cap, frac) in CAPS.iter().zip(fracs) {
+            if *cap >= 200.0 {
+                assert!(*frac <= 1.005, "cap {cap}: fraction {frac}");
+            }
+        }
+        // 100 W: visible error above the line for the hungriest workload.
+        let floor_frac = fracs[3];
+        assert!(
+            floor_frac > 1.0,
+            "paper: error at the 100 W floor; got {floor_frac}"
+        );
+        assert!(floor_frac < 1.3, "but bounded: {floor_frac}");
+    }
+
+    #[test]
+    fn light_workloads_sit_far_below_shallow_caps() {
+        let ctx = StudyContext::quick();
+        let data = measure_caps(&[benchmarks::gaasbi64()], &ctx);
+        let fig = from_caps(&data);
+        let fracs = &fig.series[0].2;
+        // At the default 400 W cap GaAsBi-64 uses a small fraction.
+        assert!(fracs[0] < 0.55, "{fracs:?}");
+    }
+}

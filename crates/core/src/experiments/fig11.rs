@@ -1,0 +1,166 @@
+//! Fig. 11: effect of a 200 W GPU cap on the Si128_acfdtr timeline.
+//!
+//! The paper: the power peaks are cut roughly in half, the troughs are
+//! unchanged (capping also *flattens* within-job power variation), and the
+//! formerly high-power stretches visibly slow down.
+
+use crate::benchmarks::si128_acfdtr;
+use crate::experiments::{f, render_table};
+use crate::protocol::{measure, Measured, RunConfig, StudyContext};
+
+/// Summary of one run (uncapped or capped).
+#[derive(Debug, Clone)]
+pub struct CapRun {
+    pub cap_w: Option<f64>,
+    pub runtime_s: f64,
+    pub node_peak_w: f64,
+    pub node_trough_w: f64,
+    pub gpu_peak_w: f64,
+    /// Node power timeline, down-sampled for plotting.
+    pub timeline: Vec<(f64, f64)>,
+}
+
+/// The figure's data: both runs.
+#[derive(Debug, Clone)]
+pub struct Fig11 {
+    pub uncapped: CapRun,
+    pub capped: CapRun,
+}
+
+fn cap_run(m: &Measured) -> CapRun {
+    let series = &m.node_series;
+    let factor = (series.len() / 60).max(1);
+    let d = series.downsample(factor);
+    CapRun {
+        cap_w: m.cap_w,
+        runtime_s: m.runtime_s,
+        node_peak_w: m.node_summary.max_w,
+        node_trough_w: m.node_summary.min_w,
+        gpu_peak_w: m.gpu_summary.max_w,
+        timeline: d
+            .times()
+            .iter()
+            .copied()
+            .zip(d.values().iter().copied())
+            .collect(),
+    }
+}
+
+/// Run Si128_acfdtr with and without the 200 W cap.
+#[must_use]
+pub fn run(ctx: &StudyContext) -> Fig11 {
+    let bench = si128_acfdtr();
+    let base = measure(&bench, &RunConfig::nodes(1), ctx);
+    let capped = measure(&bench, &RunConfig::capped(1, 200.0), ctx);
+    Fig11 {
+        uncapped: cap_run(&base),
+        capped: cap_run(&capped),
+    }
+}
+
+impl Fig11 {
+    /// Fraction by which the cap reduced the node power peak.
+    #[must_use]
+    pub fn peak_reduction(&self) -> f64 {
+        1.0 - self.capped.node_peak_w / self.uncapped.node_peak_w
+    }
+
+    /// Relative change of the trough (should be ≈0).
+    #[must_use]
+    pub fn trough_change(&self) -> f64 {
+        (self.capped.node_trough_w - self.uncapped.node_trough_w).abs()
+            / self.uncapped.node_trough_w
+    }
+}
+
+impl std::fmt::Display for Fig11 {
+    fn fmt(&self, fmt: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let header = vec![
+            "run".to_string(),
+            "runtime s".to_string(),
+            "node peak W".to_string(),
+            "node trough W".to_string(),
+            "GPU0 peak W".to_string(),
+        ];
+        let rows = vec![
+            vec![
+                "default (400 W)".to_string(),
+                f(self.uncapped.runtime_s, 0),
+                f(self.uncapped.node_peak_w, 0),
+                f(self.uncapped.node_trough_w, 0),
+                f(self.uncapped.gpu_peak_w, 0),
+            ],
+            vec![
+                "capped (200 W)".to_string(),
+                f(self.capped.runtime_s, 0),
+                f(self.capped.node_peak_w, 0),
+                f(self.capped.node_trough_w, 0),
+                f(self.capped.gpu_peak_w, 0),
+            ],
+        ];
+        writeln!(
+            fmt,
+            "{}",
+            render_table(
+                "Fig. 11 — Si128_acfdtr with and without a 200 W GPU cap (1 node)",
+                &header,
+                &rows
+            )
+        )?;
+        writeln!(
+            fmt,
+            "peak reduced by {:.0}%, trough changed by {:.1}%, runtime stretched {:.1}x",
+            self.peak_reduction() * 100.0,
+            self.trough_change() * 100.0,
+            self.capped.runtime_s / self.uncapped.runtime_s
+        )?;
+        for (tag, run) in [("default", &self.uncapped), ("200 W cap", &self.capped)] {
+            let values: Vec<f64> = run.timeline.iter().map(|&(_, w)| w).collect();
+            writeln!(fmt, "{tag} node power (W):")?;
+            write!(fmt, "{}", crate::plot::timeline_chart(&values, 4, 400.0, 2000.0))?;
+        }
+        Ok(())
+    }
+}
+
+
+impl Fig11 {
+    /// Machine-readable export: both timelines.
+    #[must_use]
+    pub fn csv(&self) -> String {
+        let mut out = String::from("run,time_s,node_w\n");
+        for (tag, run) in [("default", &self.uncapped), ("capped_200w", &self.capped)] {
+            for &(t, w) in &run.timeline {
+                out.push_str(&format!("{tag},{t:.1},{w:.1}\n"));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cap_halves_peaks_leaves_troughs_slows_run() {
+        let fig = run(&StudyContext::quick());
+        // Paper: "the peak power is reduced by about 50%".
+        assert!(
+            (0.30..0.60).contains(&fig.peak_reduction()),
+            "peak reduction {}",
+            fig.peak_reduction()
+        );
+        // "...while the troughs remain unchanged".
+        assert!(fig.trough_change() < 0.08, "trough moved {}", fig.trough_change());
+        // "...the execution ... is now visibly slowed down".
+        assert!(
+            fig.capped.runtime_s > fig.uncapped.runtime_s * 1.04,
+            "{} vs {}",
+            fig.capped.runtime_s,
+            fig.uncapped.runtime_s
+        );
+        // GPU peak respects the cap.
+        assert!(fig.capped.gpu_peak_w <= 205.0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Fig. 12: performance under GPU power caps, normalised to the default
+//! 400 W limit, for all seven benchmarks.
+//!
+//! The paper's headline result: 300 W is free; at 200 W (50 % TDP) the two
+//! most power-hungry benchmarks lose ≈9 % and the rest less; at 100 W the
+//! hungry ones lose >60 % while GaAsBi-64 and PdO2 stay within 5 %.
+
+use crate::benchmarks::suite;
+use crate::experiments::capping::{measure_caps, BenchCaps, CAPS};
+use crate::experiments::{f, render_table};
+use crate::protocol::StudyContext;
+
+/// The figure's data.
+#[derive(Debug, Clone)]
+pub struct Fig12 {
+    /// `(benchmark, nodes, normalised perf per cap aligned with CAPS)`.
+    pub series: Vec<(String, usize, Vec<f64>)>,
+}
+
+/// Run the cap sweep over the full suite.
+#[must_use]
+pub fn run(ctx: &StudyContext) -> Fig12 {
+    from_caps(&measure_caps(&suite(), ctx))
+}
+
+/// Compute from pre-measured cap data (shared with Fig. 10).
+#[must_use]
+pub fn from_caps(data: &[BenchCaps]) -> Fig12 {
+    Fig12 {
+        series: data
+            .iter()
+            .map(|b| {
+                (
+                    b.name.clone(),
+                    b.nodes,
+                    b.normalised_perf().into_iter().map(|(_, x)| x).collect(),
+                )
+            })
+            .collect(),
+    }
+}
+
+impl Fig12 {
+    /// Normalised perf of one benchmark at one cap.
+    #[must_use]
+    pub fn perf(&self, name: &str, cap_w: f64) -> Option<f64> {
+        let idx = CAPS.iter().position(|&c| c == cap_w)?;
+        self.series
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .map(|(_, _, p)| p[idx])
+    }
+}
+
+impl std::fmt::Display for Fig12 {
+    fn fmt(&self, fmt: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut header = vec!["benchmark (nodes)".to_string()];
+        header.extend(CAPS.iter().map(|c| format!("{c:.0} W")));
+        let rows: Vec<Vec<String>> = self
+            .series
+            .iter()
+            .map(|(name, nodes, perf)| {
+                let mut row = vec![format!("{name} ({nodes})")];
+                row.extend(perf.iter().map(|x| f(*x, 2)));
+                row
+            })
+            .collect();
+        write!(
+            fmt,
+            "{}",
+            render_table(
+                "Fig. 12 — normalised performance vs GPU power cap",
+                &header,
+                &rows
+            )
+        )
+    }
+}
+
+
+impl Fig12 {
+    /// Machine-readable export.
+    #[must_use]
+    pub fn csv(&self) -> String {
+        let mut out = String::from("benchmark,nodes,cap_w,normalised_perf\n");
+        for (name, nodes, perf) in &self.series {
+            for (cap, p) in CAPS.iter().zip(perf) {
+                out.push_str(&format!("{name},{nodes},{cap:.0},{p:.3}\n"));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks;
+    use crate::experiments::capping::measure_caps;
+
+    #[test]
+    fn hungry_benchmark_has_the_paper_knee() {
+        let ctx = StudyContext::quick();
+        let data = measure_caps(&[benchmarks::si256_hse()], &ctx);
+        let fig = from_caps(&data);
+        let p300 = fig.perf("Si256_hse", 300.0).unwrap();
+        let p200 = fig.perf("Si256_hse", 200.0).unwrap();
+        let p100 = fig.perf("Si256_hse", 100.0).unwrap();
+        assert!(p300 > 0.95, "300 W should be ~free: {p300}");
+        assert!((0.82..0.97).contains(&p200), "200 W ≈ 9% loss: {p200}");
+        assert!(p100 < 0.55, "100 W is drastic: {p100}");
+    }
+
+    #[test]
+    fn light_benchmark_tolerates_the_floor() {
+        let ctx = StudyContext::quick();
+        let data = measure_caps(&[benchmarks::gaasbi64()], &ctx);
+        let fig = from_caps(&data);
+        let p100 = fig.perf("GaAsBi-64", 100.0).unwrap();
+        assert!(
+            p100 > 0.90,
+            "paper: GaAsBi-64 loses <5% even at 100 W: {p100}"
+        );
+    }
+}

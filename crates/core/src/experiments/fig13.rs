@@ -1,0 +1,132 @@
+//! Fig. 13: Si256_hse performance under caps at varied node counts,
+//! normalised per node count to the default limit.
+//!
+//! The paper: the cap response is essentially independent of concurrency —
+//! free at 300 W, ≈9 % at 200 W, >60 % at 100 W at every node count.
+
+use crate::benchmarks::si256_hse;
+use crate::experiments::capping::CAPS;
+use crate::experiments::{f, render_table};
+use crate::protocol::{measure, RunConfig, StudyContext};
+
+/// The figure's data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig13 {
+    pub node_counts: Vec<usize>,
+    /// `series[i][j]` = normalised perf at `node_counts[i]`, `CAPS[j]`.
+    pub series: Vec<Vec<f64>>,
+}
+
+/// Node counts of the sweep.
+pub const NODES: [usize; 4] = [1, 2, 4, 8];
+
+/// Run the sweep (node counts × caps).
+#[must_use]
+pub fn run(ctx: &StudyContext) -> Fig13 {
+    run_with_nodes(ctx, &NODES)
+}
+
+/// Run with custom node counts (tests use a subset).
+#[must_use]
+pub fn run_with_nodes(ctx: &StudyContext, nodes: &[usize]) -> Fig13 {
+    let bench = si256_hse();
+    let series = nodes
+        .iter()
+        .map(|&n| {
+            let runtimes: Vec<f64> = CAPS
+                .iter()
+                .map(|&cap| {
+                    let mut cfg = RunConfig::capped(n, cap);
+                    cfg.seed_salt = 0x1300 + n as u64;
+                    measure(&bench, &cfg, ctx).runtime_s
+                })
+                .collect();
+            runtimes.iter().map(|&t| runtimes[0] / t).collect()
+        })
+        .collect();
+    Fig13 {
+        node_counts: nodes.to_vec(),
+        series,
+    }
+}
+
+impl Fig13 {
+    /// Largest spread of normalised perf across node counts at any cap.
+    #[must_use]
+    pub fn max_spread(&self) -> f64 {
+        (0..CAPS.len())
+            .map(|j| {
+                let col: Vec<f64> = self.series.iter().map(|s| s[j]).collect();
+                col.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+                    - col.iter().copied().fold(f64::INFINITY, f64::min)
+            })
+            .fold(0.0, f64::max)
+    }
+}
+
+impl std::fmt::Display for Fig13 {
+    fn fmt(&self, fmt: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut header = vec!["nodes".to_string()];
+        header.extend(CAPS.iter().map(|c| format!("{c:.0} W")));
+        let rows: Vec<Vec<String>> = self
+            .node_counts
+            .iter()
+            .zip(&self.series)
+            .map(|(n, perf)| {
+                let mut row = vec![n.to_string()];
+                row.extend(perf.iter().map(|x| f(*x, 2)));
+                row
+            })
+            .collect();
+        writeln!(
+            fmt,
+            "{}",
+            render_table(
+                "Fig. 13 — Si256_hse normalised performance vs cap, per node count",
+                &header,
+                &rows
+            )
+        )?;
+        writeln!(
+            fmt,
+            "max spread across node counts at any cap: {:.2}",
+            self.max_spread()
+        )
+    }
+}
+
+
+impl Fig13 {
+    /// Machine-readable export.
+    #[must_use]
+    pub fn csv(&self) -> String {
+        let mut out = String::from("nodes,cap_w,normalised_perf\n");
+        for (n, perf) in self.node_counts.iter().zip(&self.series) {
+            for (cap, p) in CAPS.iter().zip(perf) {
+                out.push_str(&format!("{n},{cap:.0},{p:.3}\n"));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cap_response_is_concurrency_independent() {
+        let fig = run_with_nodes(&StudyContext::quick(), &[1, 4]);
+        // Same qualitative response at both node counts.
+        for s in &fig.series {
+            assert!(s[1] > 0.95, "300 W: {s:?}");
+            assert!(s[2] < 0.97 && s[2] > 0.80, "200 W: {s:?}");
+            assert!(s[3] < 0.60, "100 W: {s:?}");
+        }
+        assert!(
+            fig.max_spread() < 0.15,
+            "responses should align across node counts: {}",
+            fig.max_spread()
+        );
+    }
+}

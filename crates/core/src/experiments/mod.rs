@@ -1,0 +1,92 @@
+//! One runner per paper table/figure.
+//!
+//! Every module exposes a `run(ctx) -> FigNN` (structured rows) and the
+//! result implements `Display`, rendering the same rows/series the paper
+//! reports. The `repro` binary calls all of them.
+
+pub mod fig01;
+pub mod fig02;
+pub mod fig03;
+pub mod fig04;
+pub mod fig05;
+pub mod fig06;
+pub mod fig07;
+pub mod fig08;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod capping;
+pub mod predict_eval;
+pub mod scaling;
+pub mod table1;
+
+/// Render an aligned text table: header row + data rows.
+#[must_use]
+pub fn render_table(title: &str, header: &[String], rows: &[Vec<String>]) -> String {
+    let ncol = header.len();
+    let mut widths: Vec<usize> = header.iter().map(String::len).collect();
+    for row in rows {
+        assert_eq!(row.len(), ncol, "ragged table row");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let fmt_row = |cells: &[String]| -> String {
+        cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    out.push_str(&fmt_row(header));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncol - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+/// Format a float with the given decimals.
+#[must_use]
+pub fn f(x: f64, decimals: usize) -> String {
+    format!("{x:.decimals$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let t = render_table(
+            "T",
+            &["a".into(), "bb".into()],
+            &[vec!["1".into(), "2".into()], vec!["10".into(), "200".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines[0], "T");
+        assert!(lines[1].ends_with("bb"));
+        assert!(lines[3].ends_with("  2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        let _ = render_table("T", &["a".into()], &[vec!["1".into(), "2".into()]]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f(1.23456, 2), "1.23");
+        assert_eq!(f(100.0, 0), "100");
+    }
+}

@@ -1,0 +1,168 @@
+//! Extension (§VI-C "Next Step — Predicting VASP Power"): fit the
+//! input-parameter power predictor on the measured suite and evaluate its
+//! accuracy — the workflow a batch system would run to classify queued
+//! jobs "without costly computation".
+
+use crate::benchmarks::suite;
+use crate::experiments::{f, render_table};
+use crate::predict::{JobFeatures, PowerPredictor};
+use crate::protocol::{measure, RunConfig, StudyContext};
+
+/// One benchmark's prediction outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredictRow {
+    pub name: String,
+    pub measured_w: f64,
+    pub predicted_w: f64,
+    /// Signed relative error.
+    pub rel_err: f64,
+}
+
+/// The experiment's result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredictEval {
+    pub rows: Vec<PredictRow>,
+    /// RMS error of the fitted model, watts.
+    pub rms_w: f64,
+    /// Fitted method factors (higher-order, basic DFT).
+    pub s_higher: f64,
+    pub s_dft: f64,
+}
+
+/// Measure the suite at one node, fit the predictor, evaluate in-sample.
+#[must_use]
+pub fn run(ctx: &StudyContext) -> PredictEval {
+    let data: Vec<(String, JobFeatures, f64)> = suite()
+        .iter()
+        .map(|b| {
+            let m = measure(b, &RunConfig::nodes(1), ctx);
+            (
+                b.name().to_string(),
+                JobFeatures::from_params(&b.params(), 1),
+                m.node_summary.high_mode_w,
+            )
+        })
+        .collect();
+
+    let mut predictor = PowerPredictor::baseline();
+    let fit_data: Vec<(JobFeatures, f64)> =
+        data.iter().map(|(_, f, p)| (*f, *p)).collect();
+    let rms_w = predictor.fit_method_factors(&fit_data);
+
+    let rows = data
+        .into_iter()
+        .map(|(name, feats, measured_w)| {
+            let predicted_w = predictor.predict_node_w(&feats);
+            PredictRow {
+                name,
+                measured_w,
+                predicted_w,
+                rel_err: (predicted_w - measured_w) / measured_w,
+            }
+        })
+        .collect();
+
+    PredictEval {
+        rows,
+        rms_w,
+        s_higher: predictor.s_higher,
+        s_dft: predictor.s_dft,
+    }
+}
+
+impl PredictEval {
+    /// Largest absolute relative error across the suite.
+    #[must_use]
+    pub fn worst_rel_err(&self) -> f64 {
+        self.rows
+            .iter()
+            .map(|r| r.rel_err.abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+impl std::fmt::Display for PredictEval {
+    fn fmt(&self, fmt: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let header = vec![
+            "benchmark".to_string(),
+            "measured W".to_string(),
+            "predicted W".to_string(),
+            "error".to_string(),
+        ];
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.name.clone(),
+                    f(r.measured_w, 0),
+                    f(r.predicted_w, 0),
+                    format!("{:+.1}%", r.rel_err * 100.0),
+                ]
+            })
+            .collect();
+        writeln!(
+            fmt,
+            "{}",
+            render_table(
+                "Extension (§VI-C) — input-parameter power predictor, fitted on the suite",
+                &header,
+                &rows
+            )
+        )?;
+        writeln!(
+            fmt,
+            "RMS {:.0} W; fitted method factors: higher-order {:.2}, DFT {:.2}",
+            self.rms_w, self.s_higher, self.s_dft
+        )
+    }
+}
+
+
+impl PredictEval {
+    /// Machine-readable export.
+    #[must_use]
+    pub fn csv(&self) -> String {
+        let mut out = String::from("benchmark,measured_w,predicted_w,rel_err\n");
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{},{:.1},{:.1},{:.4}\n",
+                r.name, r.measured_w, r.predicted_w, r.rel_err
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predictor_fits_the_suite_within_twenty_percent() {
+        let eval = run(&StudyContext::quick());
+        assert_eq!(eval.rows.len(), 7);
+        assert!(
+            eval.worst_rel_err() < 0.25,
+            "worst error {:.1}%: {:#?}",
+            eval.worst_rel_err() * 100.0,
+            eval.rows
+        );
+        assert!(eval.rms_w < 250.0, "rms {}", eval.rms_w);
+        // The fitted factors preserve the method ordering.
+        assert!(eval.s_higher > eval.s_dft);
+    }
+
+    #[test]
+    fn predictor_separates_hungry_from_light_workloads() {
+        let eval = run(&StudyContext::quick());
+        let get = |name: &str| {
+            eval.rows
+                .iter()
+                .find(|r| r.name == name)
+                .unwrap()
+                .predicted_w
+        };
+        assert!(get("Si256_hse") > get("GaAsBi-64") + 400.0);
+    }
+}

@@ -1,0 +1,87 @@
+//! Shared node-count sweep used by Figs. 4, 5 and 8.
+
+use crate::benchmarks::Benchmark;
+use crate::protocol::{measure, Measured, RunConfig, StudyContext};
+use rayon::prelude::*;
+
+/// One benchmark measured across node counts.
+#[derive(Debug, Clone)]
+pub struct BenchScaling {
+    pub name: String,
+    /// `(nodes, measurement)` in ascending node order.
+    pub runs: Vec<(usize, Measured)>,
+}
+
+impl BenchScaling {
+    /// Parallel efficiency at each node count relative to the smallest.
+    #[must_use]
+    pub fn efficiencies(&self) -> Vec<(usize, f64)> {
+        let (n0, ref m0) = self.runs[0];
+        self.runs
+            .iter()
+            .map(|(n, m)| {
+                (
+                    *n,
+                    vpp_stats::parallel_efficiency(
+                        m0.runtime_s,
+                        *n as f64 / n0 as f64,
+                        m.runtime_s,
+                    ),
+                )
+            })
+            .collect()
+    }
+
+    /// Node-0 high power mode at each node count.
+    #[must_use]
+    pub fn high_modes(&self) -> Vec<(usize, f64)> {
+        self.runs
+            .iter()
+            .map(|(n, m)| (*n, m.node_summary.high_mode_w))
+            .collect()
+    }
+}
+
+/// Default node counts of the study's concurrency sweeps.
+pub const NODE_COUNTS: [usize; 5] = [1, 2, 4, 8, 16];
+
+/// Measure every suite benchmark at each node count.
+#[must_use]
+pub fn measure_suite(
+    benchmarks: &[Benchmark],
+    node_counts: &[usize],
+    ctx: &StudyContext,
+) -> Vec<BenchScaling> {
+    benchmarks
+        .par_iter()
+        .map(|b| BenchScaling {
+            name: b.name().to_string(),
+            runs: node_counts
+                .iter()
+                .map(|&n| {
+                    let mut cfg = RunConfig::nodes(n);
+                    cfg.seed_salt = 0x5CA1_0000 + n as u64;
+                    (n, measure(b, &cfg, ctx))
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks;
+
+    #[test]
+    fn scaling_runs_are_ordered_and_efficiencies_sane() {
+        let ctx = StudyContext::quick();
+        let data = measure_suite(&[benchmarks::b_hr105_hse()], &[1, 2], &ctx);
+        assert_eq!(data.len(), 1);
+        let eff = data[0].efficiencies();
+        assert_eq!(eff[0], (1, 1.0));
+        let (n, e) = eff[1];
+        assert_eq!(n, 2);
+        assert!(e > 0.1 && e <= 1.3, "efficiency {e}");
+    }
+}

@@ -1,0 +1,184 @@
+//! Table I: the seven benchmarks and their computational specifics.
+
+use crate::benchmarks::{suite, Benchmark};
+use crate::experiments::render_table;
+use vpp_dft::{Algo, Xc};
+
+/// One rendered Table I column (the paper lays benchmarks out as columns;
+/// we render them as rows).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Row {
+    pub name: String,
+    pub electrons: u32,
+    pub ions: usize,
+    pub functional: String,
+    pub algo: String,
+    pub nelm: usize,
+    pub nbands: usize,
+    pub nbandsexact: Option<usize>,
+    pub fft_grid: [usize; 3],
+    pub nplwv: usize,
+    pub kpoints: [usize; 3],
+    pub kpar: usize,
+}
+
+/// The rendered table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1 {
+    pub rows: Vec<Table1Row>,
+}
+
+fn functional_label(xc: Xc) -> &'static str {
+    match xc {
+        Xc::Lda => "DFT (LDA)",
+        Xc::Gga => "DFT (GGA)",
+        Xc::Hse => "HSE",
+        Xc::VdwDf => "VDW",
+        Xc::Rpa => "ACFDT/RPA",
+    }
+}
+
+fn algo_label(algo: Algo) -> &'static str {
+    match algo {
+        Algo::Normal => "BD (Normal)",
+        Algo::Fast => "BD+RMM (Fast)",
+        Algo::VeryFast => "RMM (VeryFast)",
+        Algo::Damped => "CG (Damped)",
+        Algo::All => "CG (All)",
+    }
+}
+
+fn row(b: &Benchmark) -> Table1Row {
+    let p = b.params();
+    Table1Row {
+        name: b.name().to_string(),
+        electrons: p.nelect,
+        ions: p.n_ions,
+        functional: functional_label(p.xc).to_string(),
+        algo: algo_label(p.algo).to_string(),
+        nelm: p.nelm,
+        nbands: p.nbands,
+        nbandsexact: p.nbandsexact,
+        fft_grid: p.fft_grid,
+        nplwv: p.nplwv,
+        kpoints: b.deck.kpoints,
+        kpar: p.kpar,
+    }
+}
+
+/// Regenerate Table I from the benchmark definitions.
+#[must_use]
+pub fn run() -> Table1 {
+    Table1 {
+        rows: suite().iter().map(row).collect(),
+    }
+}
+
+impl std::fmt::Display for Table1 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let header = vec![
+            "benchmark".to_string(),
+            "electrons(ions)".to_string(),
+            "functional".to_string(),
+            "algo".to_string(),
+            "NELM".to_string(),
+            "NBANDS".to_string(),
+            "NBANDSEXACT".to_string(),
+            "FFT grid".to_string(),
+            "NPLWV".to_string(),
+            "KPOINTS(KPAR)".to_string(),
+        ];
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.name.clone(),
+                    format!("{} ({})", r.electrons, r.ions),
+                    r.functional.clone(),
+                    r.algo.clone(),
+                    r.nelm.to_string(),
+                    r.nbands.to_string(),
+                    r.nbandsexact.map_or(String::new(), |n| n.to_string()),
+                    format!("{}x{}x{}", r.fft_grid[0], r.fft_grid[1], r.fft_grid[2]),
+                    r.nplwv.to_string(),
+                    format!(
+                        "{} {} {} ({})",
+                        r.kpoints[0], r.kpoints[1], r.kpoints[2], r.kpar
+                    ),
+                ]
+            })
+            .collect();
+        write!(
+            f,
+            "{}",
+            render_table("Table I — seven VASP benchmarks", &header, &rows)
+        )
+    }
+}
+
+
+impl Table1 {
+    /// Machine-readable export.
+    #[must_use]
+    pub fn csv(&self) -> String {
+        let mut out = String::from(
+            "benchmark,electrons,ions,functional,algo,nelm,nbands,nbandsexact,ngx,ngy,ngz,nplwv,k1,k2,k3,kpar\n",
+        );
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                r.name,
+                r.electrons,
+                r.ions,
+                r.functional,
+                r.algo,
+                r.nelm,
+                r.nbands,
+                r.nbandsexact.map_or(String::new(), |n| n.to_string()),
+                r.fft_grid[0],
+                r.fft_grid[1],
+                r.fft_grid[2],
+                r.nplwv,
+                r.kpoints[0],
+                r.kpoints[1],
+                r.kpoints[2],
+                r.kpar
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_seven_rows() {
+        assert_eq!(run().rows.len(), 7);
+    }
+
+    #[test]
+    fn rendering_includes_published_values() {
+        let text = run().to_string();
+        assert!(text.contains("1020 (255)"));
+        assert!(text.contains("3288 (348)"));
+        assert!(text.contains("80x120x54"));
+        assert!(text.contains("512000"));
+        assert!(text.contains("23506"));
+        assert!(text.contains("4 4 4 (2)"));
+    }
+
+    #[test]
+    fn only_si128_has_nbandsexact() {
+        let t = run();
+        for r in &t.rows {
+            if r.name == "Si128_acfdtr" {
+                assert_eq!(r.nbandsexact, Some(23_506));
+            } else {
+                assert_eq!(r.nbandsexact, None, "{}", r.name);
+            }
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! The study itself: benchmark suite, measurement protocol, and the
+//! experiment runners that regenerate every table and figure of the paper.
+//!
+//! * [`benchmarks`] — the seven Table I workloads, pinned to the published
+//!   electron/ion counts, FFT grids, NBANDS, NELM, k-meshes.
+//! * [`protocol`] — the §III-B execution & measurement protocol: five
+//!   repeats on freshly drawn nodes, DGEMM/STREAM screening prologue,
+//!   min-runtime selection, LDMS-rate sampling, KDE summaries.
+//! * [`experiments`] — one runner per table/figure (`table1`, `fig01` …
+//!   `fig13`), each returning structured rows plus a rendered text table.
+//! * [`predict`] — the §VI-C "next step": a first-cut power predictor from
+//!   input parameters.
+
+pub mod benchmarks;
+pub mod experiments;
+pub mod plot;
+pub mod predict;
+pub mod protocol;
+
+pub use benchmarks::{suite, Benchmark};
+pub use protocol::{measure, Measured, RunConfig, StudyContext};

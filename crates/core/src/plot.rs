@@ -1,0 +1,151 @@
+//! Terminal plotting for the experiment reports.
+//!
+//! The repro binary's audience reads terminals, not PDFs: these helpers
+//! render power timelines and histograms as compact Unicode charts with
+//! axes, used by the Fig. 3 / Fig. 11 reports.
+
+/// Eight-level vertical bar glyphs.
+const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// One-line sparkline of `values` scaled between `lo` and `hi`.
+/// Values outside the range are clamped.
+#[must_use]
+pub fn sparkline(values: &[f64], lo: f64, hi: f64) -> String {
+    assert!(hi > lo, "bad range [{lo}, {hi}]");
+    values
+        .iter()
+        .map(|&v| {
+            let frac = ((v - lo) / (hi - lo)).clamp(0.0, 1.0);
+            let idx = ((frac * 7.0).round() as usize).min(7);
+            BARS[idx]
+        })
+        .collect()
+}
+
+/// Multi-row timeline chart with a labelled y-axis:
+///
+/// ```text
+///  1800 |      ▄█▇▆
+///  1200 |   ▂▅████▆
+///   600 | ▁▄███████▇▂
+///       +------------
+/// ```
+#[must_use]
+pub fn timeline_chart(values: &[f64], rows: usize, lo: f64, hi: f64) -> String {
+    assert!(rows >= 2, "need at least two rows");
+    assert!(hi > lo, "bad range [{lo}, {hi}]");
+    if values.is_empty() {
+        return String::from("(no data)\n");
+    }
+    let mut out = String::new();
+    for r in (0..rows).rev() {
+        let row_lo = lo + (hi - lo) * r as f64 / rows as f64;
+        let row_hi = lo + (hi - lo) * (r + 1) as f64 / rows as f64;
+        let label = format!("{:>6.0} |", row_hi);
+        out.push_str(&label);
+        for &v in values {
+            let c = if v >= row_hi {
+                '█'
+            } else if v > row_lo {
+                let frac = (v - row_lo) / (row_hi - row_lo);
+                BARS[((frac * 7.0).round() as usize).min(7)]
+            } else {
+                ' '
+            };
+            out.push(c);
+        }
+        out.push('\n');
+    }
+    out.push_str("       +");
+    out.push_str(&"-".repeat(values.len()));
+    out.push('\n');
+    out
+}
+
+/// Horizontal histogram with counts:
+///
+/// ```text
+///  400- 600 | ███ 12
+///  600- 800 | ██████ 31
+/// ```
+#[must_use]
+pub fn histogram_chart(edges: &[f64], counts: &[usize], max_width: usize) -> String {
+    assert_eq!(edges.len(), counts.len() + 1, "edges must bound counts");
+    assert!(max_width > 0);
+    let peak = counts.iter().copied().max().unwrap_or(0).max(1);
+    let mut out = String::new();
+    for (i, &c) in counts.iter().enumerate() {
+        let bar = "█".repeat(c * max_width / peak);
+        out.push_str(&format!(
+            "{:>5.0}-{:<5.0}| {bar} {c}\n",
+            edges[i],
+            edges[i + 1]
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_levels() {
+        let s = sparkline(&[0.0, 0.5, 1.0], 0.0, 1.0);
+        let chars: Vec<char> = s.chars().collect();
+        assert_eq!(chars.len(), 3);
+        assert_eq!(chars[0], '▁');
+        assert_eq!(chars[2], '█');
+    }
+
+    #[test]
+    fn sparkline_clamps_out_of_range() {
+        let s = sparkline(&[-10.0, 10.0], 0.0, 1.0);
+        let chars: Vec<char> = s.chars().collect();
+        assert_eq!(chars[0], '▁');
+        assert_eq!(chars[1], '█');
+    }
+
+    #[test]
+    fn timeline_chart_shape() {
+        let values = vec![500.0, 1000.0, 1800.0, 1800.0, 900.0];
+        let chart = timeline_chart(&values, 3, 400.0, 2000.0);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), 4, "3 rows + axis");
+        assert!(lines[0].trim_start().starts_with("2000"));
+        assert!(lines[3].contains("+-----"));
+        // The peak value reaches into the top band (a partial bar there);
+        // the lowest value leaves the top band empty.
+        let top_row: Vec<char> = lines[0].chars().collect();
+        let peak_col = top_row[top_row.len() - 3]; // third value
+        assert_ne!(peak_col, ' ', "peak must mark the top band");
+        let low_col = top_row[top_row.len() - 5]; // first value (500 W)
+        assert_eq!(low_col, ' ');
+        // The bottom band is solid under the peak column.
+        let bottom_row: Vec<char> = lines[2].chars().collect();
+        assert_eq!(bottom_row[bottom_row.len() - 3], '█');
+    }
+
+    #[test]
+    fn timeline_chart_empty() {
+        assert!(timeline_chart(&[], 3, 0.0, 1.0).contains("no data"));
+    }
+
+    #[test]
+    fn histogram_chart_scales_to_peak() {
+        let edges = vec![0.0, 10.0, 20.0];
+        let counts = vec![2, 4];
+        let chart = histogram_chart(&edges, &counts, 8);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[1].matches('█').count() == 8, "{chart}");
+        assert!(lines[0].matches('█').count() == 4);
+        assert!(lines[0].ends_with('2'));
+    }
+
+    #[test]
+    #[should_panic(expected = "bad range")]
+    fn inverted_range_panics() {
+        let _ = sparkline(&[1.0], 2.0, 1.0);
+    }
+}

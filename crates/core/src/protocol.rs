@@ -1,0 +1,237 @@
+//! The execution & measurement protocol of §III-B.
+//!
+//! Each benchmark runs five times; the run with the minimum total runtime is
+//! the representative (it has the least chance of landing on underperforming
+//! hardware). Runs land on independently drawn nodes. Power series are
+//! collected at the production LDMS cadence and summarised with the KDE
+//! methodology.
+
+use crate::benchmarks::Benchmark;
+use rayon::prelude::*;
+use vpp_cluster::{execute, JobResult, JobSpec, NetworkModel};
+use vpp_dft::{build_plan, CostModel, ParallelLayout, ScfPlan};
+use vpp_stats::PowerSummary;
+use vpp_telemetry::{Sampler, TimeSeries};
+
+/// Shared context for every experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct StudyContext {
+    pub network: NetworkModel,
+    pub cost: CostModel,
+    pub sampler: Sampler,
+    /// Protocol repeats (the paper uses 5).
+    pub repeats: usize,
+    /// Base seed; repeat `i` of job `j` derives its fleet seed from this.
+    pub base_seed: u64,
+}
+
+impl StudyContext {
+    /// The configuration used throughout the reproduction.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self {
+            network: NetworkModel::perlmutter(),
+            cost: CostModel::calibrated(),
+            sampler: Sampler::ldms_production(),
+            repeats: 5,
+            base_seed: 0x5045_524c, // "PERL"
+        }
+    }
+
+    /// A faster context for tests/examples: 2 repeats.
+    #[must_use]
+    pub fn quick() -> Self {
+        Self {
+            repeats: 2,
+            ..Self::paper()
+        }
+    }
+
+    /// Single-repeat context for micro-benchmarks.
+    #[must_use]
+    pub fn single() -> Self {
+        Self {
+            repeats: 1,
+            ..Self::paper()
+        }
+    }
+}
+
+impl Default for StudyContext {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// One measurement request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunConfig {
+    pub nodes: usize,
+    /// GPU power cap (None = default 400 W).
+    pub cap_w: Option<f64>,
+    /// Salt so distinct experiments draw distinct fleets.
+    pub seed_salt: u64,
+}
+
+impl RunConfig {
+    /// Uncapped run on `nodes` nodes.
+    #[must_use]
+    pub fn nodes(nodes: usize) -> Self {
+        Self {
+            nodes,
+            cap_w: None,
+            seed_salt: 0,
+        }
+    }
+
+    /// Capped run.
+    #[must_use]
+    pub fn capped(nodes: usize, cap_w: f64) -> Self {
+        Self {
+            nodes,
+            cap_w: Some(cap_w),
+            seed_salt: 0,
+        }
+    }
+}
+
+/// The representative (min-runtime) measurement of a benchmark.
+#[derive(Debug, Clone)]
+pub struct Measured {
+    pub name: String,
+    pub nodes: usize,
+    pub cap_w: Option<f64>,
+    /// Runtime of the representative run, seconds.
+    pub runtime_s: f64,
+    /// Full job output of the representative run.
+    pub result: JobResult,
+    /// Node-0 total-power series at the production sampling rate.
+    pub node_series: TimeSeries,
+    /// KDE summary of the node-0 series.
+    pub node_summary: PowerSummary,
+    /// KDE summary of node-0 GPU-0.
+    pub gpu_summary: PowerSummary,
+    /// Energy-to-solution over all nodes, joules.
+    pub energy_j: f64,
+}
+
+/// Build the plan for a benchmark at a node count.
+#[must_use]
+pub fn plan_for(bench: &Benchmark, nodes: usize, ctx: &StudyContext) -> ScfPlan {
+    build_plan(&bench.params(), &ParallelLayout::nodes(nodes), &ctx.cost)
+}
+
+/// Run the full protocol: `ctx.repeats` runs on fresh fleets, keep the
+/// fastest, sample and summarise it.
+///
+/// # Panics
+/// If the benchmark produces an empty plan or zero-length series.
+#[must_use]
+pub fn measure(bench: &Benchmark, cfg: &RunConfig, ctx: &StudyContext) -> Measured {
+    let plan = plan_for(bench, cfg.nodes, ctx);
+    let results: Vec<JobResult> = (0..ctx.repeats.max(1))
+        .into_par_iter()
+        .map(|rep| {
+            let spec = JobSpec {
+                nodes: cfg.nodes,
+                gpu_power_cap_w: cfg.cap_w,
+                seed: ctx
+                    .base_seed
+                    .wrapping_add(cfg.seed_salt.wrapping_mul(0x9E37_79B9))
+                    .wrapping_add(rep as u64 * 0x1000_0001),
+                start_s: 0.0,
+                init_host_s: 6.0,
+                straggler: None,
+                os_jitter: 0.0,
+            };
+            execute(&plan, &spec, &ctx.network)
+        })
+        .collect();
+
+    let best = results
+        .into_iter()
+        .min_by(|a, b| a.runtime_s.total_cmp(&b.runtime_s))
+        .expect("at least one repeat");
+
+    // Short runs starve the production 2-s cadence; fall back to a
+    // high-rate capture (the paper used 0.1-s collection for methodology
+    // studies, and Fig. 2 shows rates ≤5 s are equivalent for the mode).
+    let sampler = if best.runtime_s < 64.0 * ctx.sampler.interval_s {
+        Sampler::ideal((best.runtime_s / 64.0).max(0.1))
+    } else {
+        ctx.sampler
+    };
+    let node_series = sampler.sample(&best.node_traces[0].node);
+    let gpu_series = sampler.sample(&best.node_traces[0].gpus[0]);
+    assert!(
+        node_series.len() >= 8,
+        "series too short to summarise ({} samples) — benchmark {} ran only {:.1}s",
+        node_series.len(),
+        bench.name(),
+        best.runtime_s
+    );
+
+    Measured {
+        name: bench.name().to_string(),
+        nodes: cfg.nodes,
+        cap_w: cfg.cap_w,
+        runtime_s: best.runtime_s,
+        energy_j: best.energy_j(),
+        node_summary: PowerSummary::from_samples(node_series.values()),
+        gpu_summary: PowerSummary::from_samples(gpu_series.values()),
+        node_series,
+        result: best,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks;
+
+    #[test]
+    fn measure_produces_consistent_summaries() {
+        let bench = benchmarks::b_hr105_hse(); // smallest/fastest benchmark
+        let m = measure(&bench, &RunConfig::nodes(1), &StudyContext::quick());
+        assert_eq!(m.nodes, 1);
+        assert!(m.runtime_s > 10.0, "runtime {}", m.runtime_s);
+        assert!(m.energy_j > 0.0);
+        assert!(m.node_summary.high_mode_w > 400.0, "{:?}", m.node_summary);
+        assert!(m.node_summary.high_mode_w < 2350.0);
+        assert!(m.gpu_summary.high_mode_w <= 400.0 * 1.2);
+    }
+
+    #[test]
+    fn min_runtime_selection_beats_mean() {
+        let bench = benchmarks::b_hr105_hse();
+        let ctx = StudyContext::quick();
+        let m = measure(&bench, &RunConfig::nodes(1), &ctx);
+        // Re-run each repeat individually: representative must be the min.
+        let plan = plan_for(&bench, 1, &ctx);
+        let mut runtimes = Vec::new();
+        for rep in 0..ctx.repeats {
+            let spec = vpp_cluster::JobSpec {
+                nodes: 1,
+                gpu_power_cap_w: None,
+                seed: ctx.base_seed.wrapping_add(rep as u64 * 0x1000_0001),
+                start_s: 0.0,
+                init_host_s: 6.0,
+                straggler: None,
+                os_jitter: 0.0,
+            };
+            runtimes.push(execute(&plan, &spec, &ctx.network).runtime_s);
+        }
+        let min = runtimes.iter().copied().fold(f64::INFINITY, f64::min);
+        assert!((m.runtime_s - min).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capped_measure_is_slower_or_equal() {
+        let bench = benchmarks::si256_hse();
+        let ctx = StudyContext::quick();
+        let base = measure(&bench, &RunConfig::nodes(1), &ctx);
+        let capped = measure(&bench, &RunConfig::capped(1, 200.0), &ctx);
+        assert!(capped.runtime_s >= base.runtime_s * 0.999);
+        assert!(capped.gpu_summary.high_mode_w <= 210.0);
+    }
+}

@@ -1,0 +1,255 @@
+//! Crystal structures: elements, supercells, and the benchmark systems.
+
+/// Chemical elements appearing in the paper's benchmark suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Element {
+    Si,
+    B,
+    Pd,
+    O,
+    Ga,
+    As,
+    Bi,
+    Cu,
+    C,
+}
+
+impl Element {
+    /// Valence electrons contributed per atom (PAW potential defaults).
+    /// These reproduce Table I's electron counts exactly — e.g. GaAsBi-64
+    /// with 32 Ga + 31 As + 1 Bi(d) gives 266 electrons.
+    #[must_use]
+    pub fn valence_electrons(self) -> u32 {
+        match self {
+            Element::Si => 4,
+            Element::B => 3,
+            Element::Pd => 10,
+            Element::O => 6,
+            Element::Ga => 3,
+            Element::As => 5,
+            Element::Bi => 15, // Bi_d potential (5d¹⁰ 6s² 6p³)
+            Element::Cu => 11,
+            Element::C => 4,
+        }
+    }
+
+    /// Default plane-wave cutoff of the element's PAW potential (ENMAX, eV).
+    #[must_use]
+    pub fn enmax_ev(self) -> f64 {
+        match self {
+            Element::Si => 245.0,
+            Element::B => 319.0,
+            Element::Pd => 251.0,
+            Element::O => 400.0,
+            Element::Ga => 283.0,
+            Element::As => 209.0,
+            Element::Bi => 243.0,
+            Element::Cu => 295.0,
+            Element::C => 400.0,
+        }
+    }
+
+    /// Chemical symbol.
+    #[must_use]
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Element::Si => "Si",
+            Element::B => "B",
+            Element::Pd => "Pd",
+            Element::O => "O",
+            Element::Ga => "Ga",
+            Element::As => "As",
+            Element::Bi => "Bi",
+            Element::Cu => "Cu",
+            Element::C => "C",
+        }
+    }
+}
+
+/// A periodic simulation cell: composition plus orthorhombic lattice
+/// lengths (Å). Non-orthorhombic benchmark cells are represented by an
+/// equivalent orthorhombic box with the same FFT grid — only the grid and
+/// volume matter to the cost model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Supercell {
+    /// Human-readable name (Table I row).
+    pub name: String,
+    /// Composition: (element, atom count) pairs.
+    pub composition: Vec<(Element, usize)>,
+    /// Orthorhombic lattice lengths, Å.
+    pub lattice_a: [f64; 3],
+}
+
+impl Supercell {
+    /// Construct and validate a cell.
+    ///
+    /// # Panics
+    /// On empty composition or non-positive lattice lengths.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        composition: Vec<(Element, usize)>,
+        lattice_a: [f64; 3],
+    ) -> Self {
+        assert!(!composition.is_empty(), "empty composition");
+        assert!(
+            composition.iter().any(|&(_, n)| n > 0),
+            "no atoms in composition"
+        );
+        assert!(
+            lattice_a.iter().all(|&l| l > 0.0 && l.is_finite()),
+            "bad lattice {lattice_a:?}"
+        );
+        Self {
+            name: name.into(),
+            composition,
+            lattice_a,
+        }
+    }
+
+    /// Total number of ions.
+    #[must_use]
+    pub fn n_ions(&self) -> usize {
+        self.composition.iter().map(|&(_, n)| n).sum()
+    }
+
+    /// Total valence electrons (NELECT).
+    #[must_use]
+    pub fn n_electrons(&self) -> u32 {
+        self.composition
+            .iter()
+            .map(|&(e, n)| e.valence_electrons() * n as u32)
+            .sum()
+    }
+
+    /// Largest ENMAX over the composition — VASP's default ENCUT.
+    #[must_use]
+    pub fn default_encut_ev(&self) -> f64 {
+        self.composition
+            .iter()
+            .map(|&(e, _)| e.enmax_ev())
+            .fold(0.0, f64::max)
+    }
+
+    /// Cell volume, Å³.
+    #[must_use]
+    pub fn volume_a3(&self) -> f64 {
+        self.lattice_a.iter().product()
+    }
+
+    /// A cubic silicon supercell with `n_atoms` atoms (diamond lattice,
+    /// a₀ = 5.43 Å, 8 atoms per conventional cell). Used for the §IV size
+    /// sweeps (Fig. 6) and the method comparison (Fig. 9).
+    #[must_use]
+    pub fn silicon(n_atoms: usize) -> Self {
+        assert!(n_atoms > 0, "need at least one atom");
+        let cells = n_atoms as f64 / 8.0;
+        let l = 5.43 * cells.cbrt();
+        Self::new(
+            format!("Si{n_atoms}"),
+            vec![(Element::Si, n_atoms)],
+            [l, l, l],
+        )
+    }
+
+    /// Derive an equivalent orthorhombic lattice from a published FFT grid
+    /// at the given cutoff, inverting the grid-sizing rule in
+    /// [`crate::params`]. Used to pin the Table I benchmarks to their
+    /// published grids.
+    #[must_use]
+    pub fn lattice_from_grid(grid: [usize; 3], encut_ev: f64) -> [f64; 3] {
+        let k = crate::params::GRID_FACTOR * encut_ev.sqrt();
+        // Choose a length that reproduces `grid` exactly after rounding up
+        // to the next FFT-friendly size: just below the target size.
+        [
+            (grid[0] as f64 - 0.5) / k,
+            (grid[1] as f64 - 0.5) / k,
+            (grid[2] as f64 - 0.5) / k,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn silicon_supercell_counts() {
+        let c = Supercell::silicon(256);
+        assert_eq!(c.n_ions(), 256);
+        assert_eq!(c.n_electrons(), 1024);
+        assert_eq!(c.default_encut_ev(), 245.0);
+    }
+
+    #[test]
+    fn silicon_lattice_scales_with_cube_root() {
+        let a = Supercell::silicon(8);
+        let b = Supercell::silicon(64);
+        assert!((a.lattice_a[0] - 5.43).abs() < 1e-12);
+        assert!((b.lattice_a[0] - 10.86).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gaasbi_composition_matches_table1_electrons() {
+        // Table I: GaAsBi-64 has 64 ions and 266 electrons.
+        let c = Supercell::new(
+            "GaAsBi-64",
+            vec![(Element::Ga, 32), (Element::As, 31), (Element::Bi, 1)],
+            [17.0, 17.0, 17.0],
+        );
+        assert_eq!(c.n_ions(), 64);
+        assert_eq!(c.n_electrons(), 266);
+    }
+
+    #[test]
+    fn pdo_compositions_match_table1() {
+        // PdO2: 174 ions, 1644 electrons; PdO4 doubles both.
+        let pdo2 = Supercell::new(
+            "PdO2",
+            vec![(Element::Pd, 150), (Element::O, 24)],
+            [17.0, 12.7, 11.4],
+        );
+        assert_eq!(pdo2.n_ions(), 174);
+        assert_eq!(pdo2.n_electrons(), 1644);
+        let pdo4 = Supercell::new(
+            "PdO4",
+            vec![(Element::Pd, 300), (Element::O, 48)],
+            [17.0, 25.4, 11.4],
+        );
+        assert_eq!(pdo4.n_ions(), 348);
+        assert_eq!(pdo4.n_electrons(), 3288);
+    }
+
+    #[test]
+    fn cuc_composition_matches_table1() {
+        let c = Supercell::new(
+            "CuC_vdw",
+            vec![(Element::Cu, 96), (Element::C, 2)],
+            [15.0, 15.0, 45.0],
+        );
+        assert_eq!(c.n_ions(), 98);
+        assert_eq!(c.n_electrons(), 1064);
+    }
+
+    #[test]
+    fn volume_is_product_of_lengths() {
+        let c = Supercell::new("x", vec![(Element::Si, 1)], [2.0, 3.0, 4.0]);
+        assert_eq!(c.volume_a3(), 24.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no atoms")]
+    fn zero_atom_composition_panics() {
+        let _ = Supercell::new("x", vec![(Element::Si, 0)], [1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn encut_takes_max_over_elements() {
+        let c = Supercell::new(
+            "pdo",
+            vec![(Element::Pd, 1), (Element::O, 1)],
+            [10.0, 10.0, 10.0],
+        );
+        assert_eq!(c.default_encut_ev(), 400.0, "O has the larger ENMAX");
+    }
+}

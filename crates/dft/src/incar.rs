@@ -1,0 +1,302 @@
+//! The input deck: the INCAR-level controls the paper varies.
+
+/// Electronic minimisation algorithm (the `ALGO` tag).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algo {
+    /// Blocked-Davidson (`ALGO = Normal`).
+    Normal,
+    /// Davidson for the first iterations, then RMM-DIIS (`ALGO = Fast`).
+    Fast,
+    /// RMM-DIIS only (`ALGO = VeryFast`).
+    VeryFast,
+    /// Damped velocity-friction MD on orbitals (`ALGO = Damped`) — the
+    /// paper's HSE runs use this (Table I).
+    Damped,
+    /// Conjugate-gradient over all bands (`ALGO = All`).
+    All,
+}
+
+impl Algo {
+    /// Average H·ψ applications per band per SCF iteration — the main
+    /// per-iteration cost knob distinguishing the schemes.
+    #[must_use]
+    pub fn hpsi_per_band(self) -> f64 {
+        match self {
+            Algo::Normal => 3.6,
+            Algo::Fast => 2.8,
+            Algo::VeryFast => 2.0,
+            Algo::Damped => 2.2,
+            Algo::All => 3.0,
+        }
+    }
+
+    /// Amortised full `NBANDS²·NPW` subspace GEMMs per iteration. RMM-DIIS
+    /// optimises bands independently and only re-orthonormalises rarely,
+    /// which is why `VeryFast` workloads (PdO2/PdO4) are FFT- rather than
+    /// GEMM-dominated and run at much lower power (Fig. 5).
+    #[must_use]
+    pub fn subspace_gemms_per_iter(self) -> f64 {
+        match self {
+            Algo::Normal => 1.0,
+            Algo::Fast => 0.7,
+            Algo::VeryFast => 0.3,
+            Algo::Damped => 0.8,
+            Algo::All => 1.2,
+        }
+    }
+
+    /// Dense subspace eigensolves per iteration.
+    #[must_use]
+    pub fn eigensolves_per_iter(self) -> f64 {
+        match self {
+            Algo::Normal => 1.0,
+            Algo::Fast => 0.7,
+            Algo::VeryFast => 0.1,
+            Algo::Damped => 0.7,
+            Algo::All => 1.0,
+        }
+    }
+}
+
+/// Exchange-correlation treatment (functional family + post-processing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Xc {
+    /// Local density approximation (CA).
+    Lda,
+    /// Generalised gradient approximation (PBE).
+    Gga,
+    /// Hybrid HSE06: adds screened exact exchange to every H·ψ.
+    Hse,
+    /// Van der Waals density functional (adds a nonlocal correlation grid
+    /// pass per iteration).
+    VdwDf,
+    /// ACFDT/RPA total energies (adds exact diagonalisation + χ₀ stages
+    /// after the SCF).
+    Rpa,
+}
+
+impl Xc {
+    /// True for the computationally heavier-than-DFT methods (paper §IV-D).
+    #[must_use]
+    pub fn is_higher_order(self) -> bool {
+        matches!(self, Xc::Hse | Xc::Rpa)
+    }
+}
+
+/// Which VASP binary runs the deck (§II-C): `vasp_gam` exploits Γ-only
+/// symmetry with real-valued wavefunctions, `vasp_std` handles general
+/// k-points, `vasp_ncl` treats non-collinear spin with spinor
+/// wavefunctions (roughly 2× the basis and 4× the subspace work).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Binary {
+    /// Γ-point-only build (`vasp_gam`).
+    Gamma,
+    /// Standard k-point build (`vasp_std`) — what the paper benchmarks.
+    #[default]
+    Standard,
+    /// Non-collinear build (`vasp_ncl`).
+    NonCollinear,
+}
+
+impl Binary {
+    /// Multiplier on per-band H·ψ (grid + projector) work.
+    #[must_use]
+    pub fn hpsi_factor(self) -> f64 {
+        match self {
+            Binary::Gamma => 0.55,
+            Binary::Standard => 1.0,
+            Binary::NonCollinear => 2.0,
+        }
+    }
+
+    /// Multiplier on subspace GEMM/eigensolver work.
+    #[must_use]
+    pub fn subspace_factor(self) -> f64 {
+        match self {
+            Binary::Gamma => 0.5,
+            Binary::Standard => 1.0,
+            Binary::NonCollinear => 4.0,
+        }
+    }
+
+    /// Executable name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Binary::Gamma => "vasp_gam",
+            Binary::Standard => "vasp_std",
+            Binary::NonCollinear => "vasp_ncl",
+        }
+    }
+}
+
+/// The subset of INCAR controls the power study exercises.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Incar {
+    pub binary: Binary,
+    pub algo: Algo,
+    pub xc: Xc,
+    /// Plane-wave cutoff override, eV (`ENCUT`); `None` = potential default.
+    pub encut_ev: Option<f64>,
+    /// Band count override (`NBANDS`); `None` = VASP default formula.
+    pub nbands: Option<usize>,
+    /// Max SCF iterations (`NELM`).
+    pub nelm: usize,
+    /// Initial non-self-consistent ("delay") iterations (`NELMDL`).
+    pub nelmdl: usize,
+    /// Monkhorst-Pack k-mesh (`KPOINTS`).
+    pub kpoints: [usize; 3],
+    /// k-point parallelisation groups (`KPAR`).
+    pub kpar: usize,
+    /// Bands blocked together per kernel batch (`NSIM`).
+    pub nsim: usize,
+    /// Bands treated exactly in ACFDT/RPA (`NBANDSEXACT`); ignored for
+    /// other functionals. `None` = derived from the basis size.
+    pub nbandsexact: Option<usize>,
+}
+
+impl Incar {
+    /// VASP-like defaults: `ALGO = Normal`, GGA, Γ-point, `NELM = 60`,
+    /// `NSIM = 4`.
+    #[must_use]
+    pub fn default_deck() -> Self {
+        Self {
+            binary: Binary::Standard,
+            algo: Algo::Normal,
+            xc: Xc::Gga,
+            encut_ev: None,
+            nbands: None,
+            nelm: 60,
+            nelmdl: 0,
+            kpoints: [1, 1, 1],
+            kpar: 1,
+            nsim: 4,
+            nbandsexact: None,
+        }
+    }
+
+    /// Validate the deck, returning a description of the first problem.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nelm == 0 {
+            return Err("NELM must be at least 1".into());
+        }
+        if self.nelmdl > self.nelm {
+            return Err("NELMDL cannot exceed NELM".into());
+        }
+        if self.kpoints.contains(&0) {
+            return Err("KPOINTS entries must be positive".into());
+        }
+        if self.kpar == 0 {
+            return Err("KPAR must be positive".into());
+        }
+        let nk: usize = self.kpoints.iter().product();
+        if self.kpar > nk {
+            return Err(format!("KPAR = {} exceeds {} k-points", self.kpar, nk));
+        }
+        if self.nsim == 0 {
+            return Err("NSIM must be positive".into());
+        }
+        if let Some(e) = self.encut_ev {
+            if !(50.0..=2000.0).contains(&e) {
+                return Err(format!("ENCUT = {e} eV outside sane range"));
+            }
+        }
+        if self.nbands == Some(0) {
+            return Err("NBANDS must be positive".into());
+        }
+        if self.binary == Binary::Gamma && self.n_kpoints() != 1 {
+            return Err("vasp_gam supports only the Γ point".into());
+        }
+        Ok(())
+    }
+
+    /// Total k-points in the mesh.
+    #[must_use]
+    pub fn n_kpoints(&self) -> usize {
+        self.kpoints.iter().product()
+    }
+}
+
+impl Default for Incar {
+    fn default() -> Self {
+        Self::default_deck()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_deck_is_valid() {
+        assert_eq!(Incar::default_deck().validate(), Ok(()));
+    }
+
+    #[test]
+    fn algo_costs_are_ordered() {
+        // Davidson does the most H·ψ work per iteration, RMM-DIIS the least.
+        assert!(Algo::Normal.hpsi_per_band() > Algo::Fast.hpsi_per_band());
+        assert!(Algo::Fast.hpsi_per_band() > Algo::VeryFast.hpsi_per_band());
+    }
+
+    #[test]
+    fn higher_order_classification() {
+        assert!(Xc::Hse.is_higher_order());
+        assert!(Xc::Rpa.is_higher_order());
+        assert!(!Xc::Lda.is_higher_order());
+        assert!(!Xc::VdwDf.is_higher_order());
+    }
+
+    #[test]
+    fn validation_catches_bad_decks() {
+        let mut d = Incar::default_deck();
+        d.nelm = 0;
+        assert!(d.validate().is_err());
+
+        let mut d = Incar::default_deck();
+        d.nelmdl = 100;
+        assert!(d.validate().is_err());
+
+        let mut d = Incar::default_deck();
+        d.kpoints = [0, 1, 1];
+        assert!(d.validate().is_err());
+
+        let mut d = Incar::default_deck();
+        d.kpar = 2; // only 1 k-point in the default mesh
+        assert!(d.validate().is_err());
+
+        let mut d = Incar::default_deck();
+        d.encut_ev = Some(10.0);
+        assert!(d.validate().is_err());
+
+        let mut d = Incar::default_deck();
+        d.nbands = Some(0);
+        assert!(d.validate().is_err());
+    }
+
+    #[test]
+    fn gamma_binary_rejects_k_meshes() {
+        let mut d = Incar::default_deck();
+        d.binary = Binary::Gamma;
+        assert_eq!(d.validate(), Ok(()));
+        d.kpoints = [2, 2, 2];
+        assert!(d.validate().unwrap_err().contains("vasp_gam"));
+    }
+
+    #[test]
+    fn binary_factors_are_ordered() {
+        assert!(Binary::Gamma.hpsi_factor() < Binary::Standard.hpsi_factor());
+        assert!(Binary::Standard.hpsi_factor() < Binary::NonCollinear.hpsi_factor());
+        assert!(Binary::NonCollinear.subspace_factor() > 2.0);
+        assert_eq!(Binary::Standard.name(), "vasp_std");
+    }
+
+    #[test]
+    fn kpar_within_mesh_is_valid() {
+        let mut d = Incar::default_deck();
+        d.kpoints = [4, 4, 4];
+        d.kpar = 2;
+        assert_eq!(d.validate(), Ok(()));
+        assert_eq!(d.n_kpoints(), 64);
+    }
+}

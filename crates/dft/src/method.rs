@@ -1,0 +1,138 @@
+//! The seven computation methods compared in §IV-D (Fig. 9).
+
+use crate::incar::{Algo, Incar, Xc};
+
+/// Types of computation (method) selectable within the single VASP binary.
+/// Fig. 9 compares these seven on Si128/Si256 supercells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// Basic DFT, blocked-Davidson (`ALGO = Normal`).
+    DftNormal,
+    /// Basic DFT, Davidson + RMM-DIIS (`ALGO = Fast`).
+    DftFast,
+    /// Basic DFT, RMM-DIIS (`ALGO = VeryFast`).
+    DftVeryFast,
+    /// Basic DFT, damped orbital dynamics (`ALGO = Damped`).
+    DftDamped,
+    /// DFT with van der Waals density functional corrections.
+    Vdw,
+    /// Hybrid HSE06 (higher-order).
+    Hse,
+    /// ACFDT/RPA total energy (higher-order).
+    Acfdtr,
+}
+
+impl Method {
+    /// All seven, in Fig. 9 display order.
+    #[must_use]
+    pub fn all() -> [Method; 7] {
+        [
+            Method::DftNormal,
+            Method::DftFast,
+            Method::DftVeryFast,
+            Method::DftDamped,
+            Method::Vdw,
+            Method::Hse,
+            Method::Acfdtr,
+        ]
+    }
+
+    /// Display label used in figures.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Method::DftNormal => "dft_normal",
+            Method::DftFast => "dft_fast",
+            Method::DftVeryFast => "dft_veryfast",
+            Method::DftDamped => "dft_damped",
+            Method::Vdw => "vdw",
+            Method::Hse => "hse",
+            Method::Acfdtr => "acfdtr",
+        }
+    }
+
+    /// True for the computationally heavier-than-DFT methods.
+    #[must_use]
+    pub fn is_higher_order(self) -> bool {
+        matches!(self, Method::Hse | Method::Acfdtr)
+    }
+
+    /// The INCAR deck implementing this method (Γ-point, default NELM).
+    #[must_use]
+    pub fn deck(self) -> Incar {
+        let mut d = Incar::default_deck();
+        match self {
+            Method::DftNormal => {
+                d.algo = Algo::Normal;
+                d.xc = Xc::Gga;
+            }
+            Method::DftFast => {
+                d.algo = Algo::Fast;
+                d.xc = Xc::Gga;
+            }
+            Method::DftVeryFast => {
+                d.algo = Algo::VeryFast;
+                d.xc = Xc::Lda;
+            }
+            Method::DftDamped => {
+                d.algo = Algo::Damped;
+                d.xc = Xc::Gga;
+            }
+            Method::Vdw => {
+                d.algo = Algo::VeryFast;
+                d.xc = Xc::VdwDf;
+            }
+            Method::Hse => {
+                d.algo = Algo::Damped;
+                d.xc = Xc::Hse;
+                d.nelm = 30;
+            }
+            Method::Acfdtr => {
+                d.algo = Algo::Normal;
+                d.xc = Xc::Rpa;
+                d.nelm = 12;
+            }
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seven_methods() {
+        assert_eq!(Method::all().len(), 7);
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let labels: std::collections::HashSet<_> =
+            Method::all().iter().map(|m| m.label()).collect();
+        assert_eq!(labels.len(), 7);
+    }
+
+    #[test]
+    fn higher_order_split_matches_paper() {
+        let higher: Vec<_> = Method::all()
+            .into_iter()
+            .filter(|m| m.is_higher_order())
+            .collect();
+        assert_eq!(higher, vec![Method::Hse, Method::Acfdtr]);
+    }
+
+    #[test]
+    fn decks_validate() {
+        for m in Method::all() {
+            assert_eq!(m.deck().validate(), Ok(()), "{m:?}");
+        }
+    }
+
+    #[test]
+    fn hse_uses_damped_cg_like_table1() {
+        // Table I: both HSE benchmarks run ALGO = Damped.
+        assert_eq!(Method::Hse.deck().algo, Algo::Damped);
+        assert_eq!(Method::Hse.deck().xc, Xc::Hse);
+    }
+}

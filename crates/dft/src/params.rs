@@ -1,0 +1,255 @@
+//! Derived computational parameters — the quantities Table I reports.
+//!
+//! From a structure and an input deck we derive what VASP derives: electron
+//! count, default band count, the FFT grid (whose product is NPLWV), and the
+//! plane-wave basis size per band (NPW). The cost model in [`crate::scf`]
+//! is driven entirely by these numbers, which is precisely the paper's point
+//! (§IV-B): NPLWV controls per-kernel width (power), NBANDS controls the
+//! sequential kernel count (runtime/energy).
+
+use crate::cell::Supercell;
+use crate::incar::{Algo, Binary, Incar, Xc};
+
+/// Grid-sizing factor: grid points per (Å · √eV), at the `PREC = Accurate`
+/// setting the benchmarks use (no wrap-around errors → 2×G_cut support).
+/// Calibrated so the Si256 cell (17.24 Å, ENCUT 245 eV) gets the 80³ grid
+/// Table I publishes.
+pub const GRID_FACTOR: f64 = 0.296_48;
+
+/// `√(2m_e)/ħ` in practical units: `G_cut [1/Å] = 0.5123 · √(ENCUT [eV])`.
+pub const GCUT_FACTOR: f64 = 0.5123;
+
+/// Smallest FFT-friendly size ≥ `n`: a product of 2, 3, 5, 7 with at least
+/// one factor of 2 (cuFFT/VASP-preferred radices).
+#[must_use]
+pub fn next_fft_size(n: usize) -> usize {
+    assert!(n > 0 && n < 1 << 30, "unreasonable grid request {n}");
+    let mut m = n.max(2);
+    loop {
+        if m.is_multiple_of(2) {
+            let mut r = m;
+            for p in [2usize, 3, 5, 7] {
+                while r.is_multiple_of(p) {
+                    r /= p;
+                }
+            }
+            if r == 1 {
+                return m;
+            }
+        }
+        m += 1;
+    }
+}
+
+/// Everything the SCF cost model needs, fully derived.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemParams {
+    pub name: String,
+    pub n_ions: usize,
+    /// Valence electrons (NELECT).
+    pub nelect: u32,
+    /// Bands (NBANDS) — deck override or the VASP default formula.
+    pub nbands: usize,
+    /// Occupied bands.
+    pub nbands_occ: usize,
+    /// Plane-wave cutoff actually used, eV.
+    pub encut_ev: f64,
+    /// Dense FFT grid dimensions.
+    pub fft_grid: [usize; 3],
+    /// Grid point count (NPLWV = product of the grid dims).
+    pub nplwv: usize,
+    /// Plane waves per band (basis size inside the cutoff sphere).
+    pub npw: usize,
+    /// Total k-points in the mesh.
+    pub nk: usize,
+    /// k-parallel groups.
+    pub kpar: usize,
+    /// Band blocking factor.
+    pub nsim: usize,
+    /// SCF iteration budget.
+    pub nelm: usize,
+    /// Non-self-consistent startup iterations.
+    pub nelmdl: usize,
+    pub algo: Algo,
+    pub xc: Xc,
+    /// Which VASP binary runs the deck.
+    pub binary: Binary,
+    /// Exactly-treated bands for ACFDT/RPA.
+    pub nbandsexact: Option<usize>,
+}
+
+impl SystemParams {
+    /// Derive parameters for `cell` under `deck`.
+    ///
+    /// # Panics
+    /// If the deck fails validation.
+    #[must_use]
+    pub fn derive(cell: &Supercell, deck: &Incar) -> Self {
+        if let Err(e) = deck.validate() {
+            panic!("invalid INCAR for {}: {e}", cell.name);
+        }
+        let encut = deck.encut_ev.unwrap_or_else(|| cell.default_encut_ev());
+        let k = GRID_FACTOR * encut.sqrt();
+        let fft_grid = [
+            next_fft_size((k * cell.lattice_a[0]).round() as usize),
+            next_fft_size((k * cell.lattice_a[1]).round() as usize),
+            next_fft_size((k * cell.lattice_a[2]).round() as usize),
+        ];
+        let nplwv = fft_grid.iter().product();
+        let gcut = GCUT_FACTOR * encut.sqrt();
+        let npw = (cell.volume_a3() * gcut.powi(3) / (6.0 * std::f64::consts::PI.powi(2)))
+            .round()
+            .max(1.0) as usize;
+        let nelect = cell.n_electrons();
+        let n_ions = cell.n_ions();
+        let nbands = deck
+            .nbands
+            .unwrap_or_else(|| default_nbands(nelect, n_ions));
+        let nbands_occ = nelect.div_ceil(2) as usize;
+        let nbandsexact = match deck.xc {
+            Xc::Rpa => Some(deck.nbandsexact.unwrap_or((npw * 16) / 25)),
+            _ => deck.nbandsexact,
+        };
+        Self {
+            name: cell.name.clone(),
+            n_ions,
+            nelect,
+            nbands,
+            nbands_occ,
+            encut_ev: encut,
+            fft_grid,
+            nplwv,
+            npw,
+            nk: deck.n_kpoints(),
+            kpar: deck.kpar,
+            nsim: deck.nsim,
+            nelm: deck.nelm,
+            nelmdl: deck.nelmdl,
+            algo: deck.algo,
+            xc: deck.xc,
+            binary: deck.binary,
+            nbandsexact,
+        }
+    }
+}
+
+/// VASP's default band count: `NELECT/2 + NIONS/2`, rounded up to a
+/// multiple of 8 (so any rank count the study uses divides evenly).
+#[must_use]
+pub fn default_nbands(nelect: u32, n_ions: usize) -> usize {
+    let raw = nelect as f64 / 2.0 + n_ions as f64 / 2.0;
+    (raw / 8.0).ceil() as usize * 8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::Element;
+
+    #[test]
+    fn next_fft_size_basics() {
+        assert_eq!(next_fft_size(1), 2);
+        assert_eq!(next_fft_size(2), 2);
+        assert_eq!(next_fft_size(48), 48);
+        assert_eq!(next_fft_size(79), 80);
+        assert_eq!(next_fft_size(80), 80);
+        assert_eq!(next_fft_size(81), 84); // 2²·3·7
+        assert_eq!(next_fft_size(97), 98); // 2·7²
+    }
+
+    #[test]
+    fn next_fft_size_is_smooth_and_even() {
+        for n in 1..500 {
+            let m = next_fft_size(n);
+            assert!(m >= n);
+            assert!(m.is_multiple_of(2));
+            let mut r = m;
+            for p in [2, 3, 5, 7] {
+                while r.is_multiple_of(p) {
+                    r /= p;
+                }
+            }
+            assert_eq!(r, 1, "{m} has a large prime factor");
+        }
+    }
+
+    #[test]
+    fn si256_grid_matches_table1() {
+        // Table I: Si256_hse — FFT grid 80×80×80, NPLWV 512000.
+        let cell = Supercell::silicon(256);
+        let p = SystemParams::derive(&cell, &Incar::default_deck());
+        assert_eq!(p.fft_grid, [80, 80, 80]);
+        assert_eq!(p.nplwv, 512_000);
+    }
+
+    #[test]
+    fn si256_npw_is_about_forty_five_thousand() {
+        let cell = Supercell::silicon(256);
+        let p = SystemParams::derive(&cell, &Incar::default_deck());
+        assert!(
+            (40_000..50_000).contains(&p.npw),
+            "npw = {} (≈ NPLWV/11.5 at PREC=Accurate expected)",
+            p.npw
+        );
+    }
+
+    #[test]
+    fn default_nbands_formula() {
+        // Si256 (255 ions after the vacancy): 1020/2 + 255/2 = 637.5 → 640.
+        assert_eq!(default_nbands(1020, 255), 640);
+        // Exactly on a multiple of 8 stays put.
+        assert_eq!(default_nbands(64, 0), 32);
+    }
+
+    #[test]
+    fn lattice_from_grid_round_trips() {
+        for grid in [[80, 80, 80], [80, 120, 54], [70, 70, 210], [48, 48, 48]] {
+            let encut = 400.0;
+            let lat = Supercell::lattice_from_grid(grid, encut);
+            let cell = Supercell::new("x", vec![(Element::Si, 4)], lat);
+            let mut deck = Incar::default_deck();
+            deck.encut_ev = Some(encut);
+            let p = SystemParams::derive(&cell, &deck);
+            assert_eq!(p.fft_grid, grid, "grid {grid:?} did not round-trip");
+        }
+    }
+
+    #[test]
+    fn nplwv_grows_with_encut() {
+        let cell = Supercell::silicon(128);
+        let mut lo = Incar::default_deck();
+        lo.encut_ev = Some(200.0);
+        let mut hi = Incar::default_deck();
+        hi.encut_ev = Some(500.0);
+        let p_lo = SystemParams::derive(&cell, &lo);
+        let p_hi = SystemParams::derive(&cell, &hi);
+        assert!(p_hi.nplwv > p_lo.nplwv);
+        assert!(p_hi.npw > p_lo.npw);
+    }
+
+    #[test]
+    fn rpa_gets_a_default_nbandsexact() {
+        let cell = Supercell::silicon(128);
+        let mut deck = Incar::default_deck();
+        deck.xc = Xc::Rpa;
+        let p = SystemParams::derive(&cell, &deck);
+        let nbe = p.nbandsexact.expect("RPA must set NBANDSEXACT");
+        assert!(nbe > p.nbands, "exact bands far exceed SCF bands");
+        assert!(nbe < p.npw, "but stay below the basis size");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid INCAR")]
+    fn invalid_deck_panics() {
+        let mut deck = Incar::default_deck();
+        deck.nelm = 0;
+        let _ = SystemParams::derive(&Supercell::silicon(8), &deck);
+    }
+
+    #[test]
+    fn occupied_bands_are_half_the_electrons() {
+        let cell = Supercell::silicon(64);
+        let p = SystemParams::derive(&cell, &Incar::default_deck());
+        assert_eq!(p.nbands_occ, 128);
+    }
+}

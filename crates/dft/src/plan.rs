@@ -1,0 +1,147 @@
+//! The lowered execution plan the cluster executor consumes.
+//!
+//! A plan is a per-rank program. The paper's benchmarks are deliberately
+//! load-balanced across MPI ranks (§III-A), so one op stream describes every
+//! rank; the executor replays it on each GPU (whose variability and power
+//! limits then differentiate the actual timings) and synchronises ranks at
+//! collectives.
+
+use vpp_gpu::Kernel;
+
+/// MPI/NCCL collective flavours with distinct time models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CollectiveKind {
+    /// Ring all-reduce (subspace matrices, density mixing).
+    AllReduce,
+    /// One-to-all broadcast (rotation matrices after a root eigensolve).
+    Broadcast,
+    /// All-to-all (plane-wave redistribution).
+    AllToAll,
+}
+
+/// One step of the per-rank program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// A GPU kernel block, identical on every rank.
+    Gpu(Kernel),
+    /// A collective across all ranks of the job; `bytes` is the per-rank
+    /// payload. Ranks synchronise here.
+    Collective { bytes: f64, kind: CollectiveKind },
+    /// Host-only stage: GPUs idle, CPU at `cpu_active`, DDR at
+    /// `mem_active` (both fractions of their dynamic range).
+    Host {
+        duration_s: f64,
+        cpu_active: f64,
+        mem_active: f64,
+    },
+}
+
+/// A complete lowered run: the op stream plus bookkeeping for tests and
+/// reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScfPlan {
+    /// Workload name (benchmark row).
+    pub name: String,
+    /// The per-rank program.
+    pub ops: Vec<Op>,
+    /// SCF iterations represented.
+    pub iterations: usize,
+}
+
+impl ScfPlan {
+    /// Sum of GPU kernel durations (unthrottled, nominal clock), seconds.
+    #[must_use]
+    pub fn gpu_time_s(&self) -> f64 {
+        self.ops
+            .iter()
+            .filter_map(|op| match op {
+                Op::Gpu(k) => Some(k.duration_s),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Sum of host-stage durations, seconds.
+    #[must_use]
+    pub fn host_time_s(&self) -> f64 {
+        self.ops
+            .iter()
+            .filter_map(|op| match op {
+                Op::Host { duration_s, .. } => Some(*duration_s),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Total bytes moved through collectives per rank.
+    #[must_use]
+    pub fn collective_bytes(&self) -> f64 {
+        self.ops
+            .iter()
+            .filter_map(|op| match op {
+                Op::Collective { bytes, .. } => Some(*bytes),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Number of collectives (each pays at least the network latency).
+    #[must_use]
+    pub fn collective_count(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, Op::Collective { .. }))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpp_gpu::KernelKind;
+
+    fn sample_plan() -> ScfPlan {
+        ScfPlan {
+            name: "test".into(),
+            ops: vec![
+                Op::Gpu(Kernel::new(KernelKind::Fft3d, 1e5, 2.0)),
+                Op::Collective {
+                    bytes: 1e6,
+                    kind: CollectiveKind::AllReduce,
+                },
+                Op::Host {
+                    duration_s: 0.5,
+                    cpu_active: 0.2,
+                    mem_active: 0.3,
+                },
+                Op::Gpu(Kernel::new(KernelKind::TensorGemm, 1e6, 1.0)),
+                Op::Collective {
+                    bytes: 2e6,
+                    kind: CollectiveKind::Broadcast,
+                },
+            ],
+            iterations: 1,
+        }
+    }
+
+    #[test]
+    fn aggregates() {
+        let p = sample_plan();
+        assert!((p.gpu_time_s() - 3.0).abs() < 1e-12);
+        assert!((p.host_time_s() - 0.5).abs() < 1e-12);
+        assert!((p.collective_bytes() - 3e6).abs() < 1e-6);
+        assert_eq!(p.collective_count(), 2);
+    }
+
+    #[test]
+    fn empty_plan_is_zero() {
+        let p = ScfPlan {
+            name: "empty".into(),
+            ops: vec![],
+            iterations: 0,
+        };
+        assert_eq!(p.gpu_time_s(), 0.0);
+        assert_eq!(p.host_time_s(), 0.0);
+        assert_eq!(p.collective_count(), 0);
+    }
+}

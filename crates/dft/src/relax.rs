@@ -1,0 +1,196 @@
+//! Ionic relaxation / molecular-dynamics drivers.
+//!
+//! Production VASP jobs rarely run a single SCF cycle: geometry
+//! optimisations (`IBRION = 1/2`) and MD (`IBRION = 0`) wrap the electronic
+//! loop in an ionic loop, with force/stress evaluation and ion updates
+//! between cycles. Power-wise this produces the long quasi-periodic
+//! timelines production telemetry actually sees: repeated SCF envelopes
+//! separated by short low-power force stages, with later ionic steps
+//! converging in fewer electronic iterations.
+
+use crate::costs::{fft_pair_flops, CostModel};
+use crate::params::SystemParams;
+use crate::plan::{CollectiveKind, Op, ScfPlan};
+use crate::scf::{build_plan, ParallelLayout};
+use vpp_gpu::{Kernel, KernelKind};
+
+/// Ionic driver configuration (`IBRION`-level controls).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IonicRun {
+    /// Ionic steps (`NSW`).
+    pub steps: usize,
+    /// Electronic iterations in the first step (the deck's `NELM`).
+    /// Later steps start from converged orbitals and need fewer.
+    pub first_step_nelm: usize,
+    /// Floor on per-step electronic iterations.
+    pub min_nelm: usize,
+    /// Geometric decay of the per-step iteration count.
+    pub nelm_decay: f64,
+}
+
+impl IonicRun {
+    /// A typical relaxation: iterations shrink ~30 % per ionic step.
+    #[must_use]
+    pub fn relaxation(steps: usize, first_step_nelm: usize) -> Self {
+        assert!(steps > 0, "need at least one ionic step");
+        Self {
+            steps,
+            first_step_nelm,
+            min_nelm: 4,
+            nelm_decay: 0.7,
+        }
+    }
+
+    /// MD: after the first step, every step needs a similar small count.
+    #[must_use]
+    pub fn molecular_dynamics(steps: usize, first_step_nelm: usize) -> Self {
+        assert!(steps > 0, "need at least one ionic step");
+        Self {
+            steps,
+            first_step_nelm,
+            min_nelm: 6,
+            nelm_decay: 0.25,
+        }
+    }
+
+    /// Electronic iterations at ionic step `i` (0-based).
+    #[must_use]
+    pub fn nelm_at(&self, step: usize) -> usize {
+        let decayed =
+            self.first_step_nelm as f64 * self.nelm_decay.powi(step.min(64) as i32);
+        (decayed.round() as usize).max(self.min_nelm)
+    }
+
+    /// Lower the full ionic run to one plan: SCF cycles with force/stress
+    /// stages between them.
+    #[must_use]
+    pub fn build_plan(
+        &self,
+        params: &SystemParams,
+        layout: &ParallelLayout,
+        cm: &CostModel,
+    ) -> ScfPlan {
+        let mut ops: Vec<Op> = Vec::new();
+        let mut iterations = 0;
+        for step in 0..self.steps {
+            let mut p = params.clone();
+            p.nelm = self.nelm_at(step);
+            iterations += p.nelm;
+            let cycle = build_plan(&p, layout, cm);
+            ops.extend(cycle.ops);
+            if step + 1 < self.steps {
+                ops.extend(force_stage(params, cm));
+            }
+        }
+        ScfPlan {
+            name: format!("{}+relax{}", params.name, self.steps),
+            ops,
+            iterations,
+        }
+    }
+}
+
+/// Force/stress evaluation + ion update between ionic steps: a few grid
+/// passes (moderate GPU load), a force reduction, and a host-side
+/// optimiser update.
+fn force_stage(p: &SystemParams, cm: &CostModel) -> Vec<Op> {
+    let nplwv = p.nplwv as f64;
+    let t_grid = 6.0 * fft_pair_flops(p.nplwv) / cm.fft_flops;
+    vec![
+        Op::Gpu(Kernel::with_duty(
+            KernelKind::MemBound,
+            nplwv * 2.0,
+            t_grid,
+            cm.duty(t_grid / 12.0),
+        )),
+        Op::Collective {
+            bytes: p.n_ions as f64 * 3.0 * 8.0,
+            kind: CollectiveKind::AllReduce,
+        },
+        Op::Host {
+            duration_s: 0.25,
+            cpu_active: 0.35,
+            mem_active: 0.30,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::Supercell;
+    use crate::incar::Incar;
+
+    fn si64() -> SystemParams {
+        let mut deck = Incar::default_deck();
+        deck.nelm = 20;
+        SystemParams::derive(&Supercell::silicon(64), &deck)
+    }
+
+    #[test]
+    fn nelm_decays_to_the_floor() {
+        let run = IonicRun::relaxation(10, 40);
+        assert_eq!(run.nelm_at(0), 40);
+        assert_eq!(run.nelm_at(1), 28);
+        assert!(run.nelm_at(9) >= run.min_nelm);
+        let mut last = usize::MAX;
+        for s in 0..10 {
+            assert!(run.nelm_at(s) <= last);
+            last = run.nelm_at(s);
+        }
+    }
+
+    #[test]
+    fn md_steps_stay_small_and_steady() {
+        let run = IonicRun::molecular_dynamics(50, 40);
+        assert_eq!(run.nelm_at(3), run.min_nelm);
+        assert_eq!(run.nelm_at(49), run.min_nelm);
+    }
+
+    #[test]
+    fn relaxation_plan_is_longer_than_single_cycle_but_sublinear() {
+        let p = si64();
+        let layout = ParallelLayout::nodes(1);
+        let cm = CostModel::calibrated();
+        let single = build_plan(&p, &layout, &cm);
+        let relaxed = IonicRun::relaxation(5, p.nelm).build_plan(&p, &layout, &cm);
+        assert!(relaxed.gpu_time_s() > single.gpu_time_s());
+        assert!(
+            relaxed.gpu_time_s() < 5.0 * single.gpu_time_s(),
+            "later ionic steps must be cheaper"
+        );
+        assert!(relaxed.iterations > single.iterations);
+    }
+
+    #[test]
+    fn force_stages_appear_between_steps() {
+        let p = si64();
+        let cm = CostModel::calibrated();
+        let plan = IonicRun::relaxation(3, 8).build_plan(&p, &ParallelLayout::nodes(1), &cm);
+        // Two force stages → two host ops with cpu_active 0.35.
+        let force_hosts = plan
+            .ops
+            .iter()
+            .filter(|op| matches!(op, Op::Host { cpu_active, .. } if (*cpu_active - 0.35).abs() < 1e-9))
+            .count();
+        assert_eq!(force_hosts, 2);
+    }
+
+    #[test]
+    fn single_step_equals_plain_scf_plus_name() {
+        let p = si64();
+        let cm = CostModel::calibrated();
+        let layout = ParallelLayout::nodes(1);
+        let run = IonicRun::relaxation(1, p.nelm);
+        let plan = run.build_plan(&p, &layout, &cm);
+        let plain = build_plan(&p, &layout, &cm);
+        assert_eq!(plan.ops, plain.ops);
+        assert!(plan.name.contains("relax1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one ionic step")]
+    fn zero_steps_panics() {
+        let _ = IonicRun::relaxation(0, 10);
+    }
+}

@@ -1,0 +1,613 @@
+//! Lowering the SCF cycle to a per-rank op stream.
+//!
+//! This encodes VASP's parallelisation structure — the property the paper's
+//! power analysis hinges on (§IV-B, §IV-C):
+//!
+//! * bands are distributed across MPI ranks (GPUs) and processed
+//!   **sequentially** in NSIM-sized blocks → more bands = more blocks =
+//!   longer runtime at unchanged power;
+//! * plane waves are distributed across the cores **within** each GPU →
+//!   more plane waves = wider kernels = higher power, up to saturation;
+//! * k-points are distributed across KPAR groups and processed sequentially
+//!   within each group, with per-k-point host work that dilutes GPU power
+//!   for k-point-heavy workloads (GaAsBi-64);
+//! * higher-order methods add their own stages: HSE exact exchange inside
+//!   every H·ψ, ACFDT/RPA a CPU-side exact diagonalisation plus GPU χ₀
+//!   contractions.
+
+use crate::costs::{eig_flops_n, fft_pair_flops, CostModel};
+use crate::params::SystemParams;
+use crate::plan::{CollectiveKind, Op, ScfPlan};
+use vpp_gpu::{Kernel, KernelKind};
+
+/// Where the job's ranks live: `nodes × gpus_per_node`, one MPI rank per
+/// GPU (the paper's §III-B configuration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelLayout {
+    pub nodes: usize,
+    pub gpus_per_node: usize,
+}
+
+impl ParallelLayout {
+    /// One to `n` Perlmutter nodes, 4 GPUs each.
+    #[must_use]
+    pub fn nodes(n: usize) -> Self {
+        assert!(n > 0, "need at least one node");
+        Self {
+            nodes: n,
+            gpus_per_node: 4,
+        }
+    }
+
+    /// Total MPI ranks (= GPUs).
+    #[must_use]
+    pub fn ranks(&self) -> usize {
+        self.nodes * self.gpus_per_node
+    }
+}
+
+/// Derived distribution of the workload over a layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Distribution {
+    /// Effective KPAR (capped by ranks and k-points).
+    pub kpar: usize,
+    /// Ranks per k-point group.
+    pub ranks_per_group: usize,
+    /// k-points each group processes sequentially.
+    pub nk_local: usize,
+    /// Bands per rank.
+    pub bands_per_rank: usize,
+    /// NSIM-blocks per band sweep.
+    pub blocks: usize,
+}
+
+impl Distribution {
+    /// Distribute `p` over `layout`.
+    #[must_use]
+    pub fn derive(p: &SystemParams, layout: &ParallelLayout) -> Self {
+        let ranks = layout.ranks();
+        let kpar = p.kpar.min(ranks).min(p.nk).max(1);
+        let ranks_per_group = (ranks / kpar).max(1);
+        let nk_local = p.nk.div_ceil(kpar);
+        let bands_per_rank = p.nbands.div_ceil(ranks_per_group).max(1);
+        let blocks = bands_per_rank.div_ceil(p.nsim);
+        Self {
+            kpar,
+            ranks_per_group,
+            nk_local,
+            bands_per_rank,
+            blocks,
+        }
+    }
+}
+
+/// Host-stage activity fractions while GPUs run (launch queues, MPI
+/// progress) — kept here so the plan is self-contained.
+const HOST_CPU_LIGHT: f64 = 0.22;
+const HOST_MEM_LIGHT: f64 = 0.30;
+/// CPU exact diagonalisation stage (all cores on the dense solver).
+const HOST_CPU_DIAG: f64 = 0.82;
+const HOST_MEM_DIAG: f64 = 0.55;
+
+/// Build the complete per-rank plan for `p` on `layout`.
+#[must_use]
+pub fn build_plan(p: &SystemParams, layout: &ParallelLayout, cm: &CostModel) -> ScfPlan {
+    let dist = Distribution::derive(p, layout);
+    let mut ops: Vec<Op> = Vec::new();
+
+    for iter in 0..p.nelm {
+        // NELMDL "delay" iterations run non-self-consistently: the charge
+        // density is frozen, so density mixing and its reduction are
+        // skipped.
+        emit_iteration(p, &dist, cm, &mut ops, iter < p.nelmdl);
+    }
+
+    if matches!(p.xc, crate::incar::Xc::Rpa) {
+        emit_rpa_epilogue(p, layout, &dist, cm, &mut ops);
+    }
+
+    ScfPlan {
+        name: p.name.clone(),
+        ops,
+        iterations: p.nelm,
+    }
+}
+
+fn emit_iteration(
+    p: &SystemParams,
+    dist: &Distribution,
+    cm: &CostModel,
+    ops: &mut Vec<Op>,
+    delay: bool,
+) {
+    // The binary build scales the fundamental work items (§II-C): vasp_gam
+    // halves them through Γ-only real wavefunctions, vasp_ncl doubles the
+    // spinor basis and quadruples subspace blocks.
+    let hpsi = p.algo.hpsi_per_band() * p.binary.hpsi_factor();
+    let subspace = p.binary.subspace_factor();
+    let nplwv = p.nplwv as f64;
+    let npw = p.npw as f64;
+
+    // Per-k-point host work: wavefunction rotations, symmetrisation,
+    // k-dependent setup. Γ-only runs take the gamma-optimised path and skip
+    // it entirely; for k-meshes it is partially rank-parallel. This is the
+    // mechanism that starves the GPUs on k-point-heavy workloads
+    // (GaAsBi-64, §III-C: "insufficient workload to fully utilize").
+    let host_k = if p.nk > 1 {
+        cm.host_per_kpoint_s * (0.3 + 0.7 / (dist.ranks_per_group as f64).sqrt())
+    } else {
+        0.0
+    };
+    // 70 % of the per-k host work manifests as sub-window launch gaps
+    // *inside* the band sweep: both the telemetry and the power regulator
+    // average over them, so they dilute kernel power (and make k-point
+    // heavy workloads cap-tolerant, Fig. 12) without appearing as separate
+    // idle stages. The remaining 30 % is a genuine host stage.
+    let gap_per_block = if dist.blocks > 0 {
+        0.7 * host_k / dist.blocks as f64
+    } else {
+        0.0
+    };
+
+    // Subspace projection/rotation GEMM budget: accumulated per block (the
+    // NSIM blocking folds the Gram/projection updates into the sweep), so
+    // it raises the sweep's average power instead of forming a separate
+    // spike.
+    let g = p.algo.subspace_gemms_per_iter() * subspace;
+    let t_gemm_total =
+        g * p.nbands as f64 * dist.bands_per_rank as f64 * npw * 8.0 / cm.gemm_flops;
+    let t_gemm_block = if dist.blocks > 0 {
+        t_gemm_total / dist.blocks as f64
+    } else {
+        0.0
+    };
+
+    for _k in 0..dist.nk_local {
+        if host_k > 0.0 {
+            ops.push(Op::Host {
+                duration_s: 0.3 * host_k,
+                cpu_active: HOST_CPU_LIGHT,
+                mem_active: HOST_MEM_LIGHT,
+            });
+        }
+
+        // Band sweep in NSIM blocks.
+        let mut bands_left = dist.bands_per_rank;
+        for _b in 0..dist.blocks {
+            let bands = bands_left.min(p.nsim) as f64;
+            bands_left = bands_left.saturating_sub(p.nsim);
+
+            // H·ψ grid part: FFTs + local potential passes.
+            let grid_flops = hpsi * bands * (cm.fft_passes / 2.0) * fft_pair_flops(p.nplwv);
+            let t_fft = grid_flops / cm.fft_flops;
+            let fft_launches = (hpsi * cm.fft_passes).max(1.0);
+            let fft_gap = 0.6 * gap_per_block;
+            let fft_duty = cm.duty(t_fft / fft_launches) * t_fft / (t_fft + fft_gap);
+            ops.push(Op::Gpu(Kernel::with_duty(
+                KernelKind::Fft3d,
+                nplwv * bands * cm.width_pipeline,
+                t_fft + fft_gap,
+                fft_duty,
+            )));
+
+            // H·ψ projector / vector-update part (bandwidth-bound).
+            let proj_flops = hpsi * bands * (npw * p.n_ions as f64 * 8.0 + npw * 24.0);
+            let t_proj = proj_flops / cm.mem_flops;
+            let proj_launches = (hpsi * 2.0).max(1.0);
+            let proj_gap = 0.4 * gap_per_block;
+            let proj_duty =
+                cm.duty(t_proj / proj_launches) * t_proj / (t_proj + proj_gap);
+            ops.push(Op::Gpu(Kernel::with_duty(
+                KernelKind::MemBound,
+                nplwv * bands * cm.width_pipeline,
+                t_proj + proj_gap,
+                proj_duty,
+            )));
+
+            // HSE: screened exact exchange inside every H·ψ. Large batched
+            // FFT+GEMM contractions over the occupied manifold — the
+            // hottest kernels in the study.
+            if matches!(p.xc, crate::incar::Xc::Hse) {
+                // The action/contraction steps are batched GEMMs on tensor
+                // cores (85 % of the time); the pair FFTs between them keep
+                // occupancy high, so the whole stage runs near TDP.
+                let points = hpsi * 0.5 * bands * p.nbands_occ as f64 * nplwv;
+                let t_x = points / cm.exchange_pts_per_s;
+                let launches = (hpsi * 2.0).max(1.0);
+                let width = nplwv * bands * cm.width_pipeline * 3.0;
+                ops.push(Op::Gpu(Kernel::with_duty(
+                    KernelKind::TensorGemm,
+                    width,
+                    0.85 * t_x,
+                    cm.duty(0.85 * t_x / launches),
+                )));
+                ops.push(Op::Gpu(Kernel::with_duty(
+                    KernelKind::Fft3d,
+                    width,
+                    0.15 * t_x,
+                    cm.duty(0.15 * t_x / launches),
+                )));
+            }
+
+            // Per-block subspace projection/rotation GEMM slice.
+            if t_gemm_block > 0.0 {
+                ops.push(Op::Gpu(Kernel::with_duty(
+                    KernelKind::TensorGemm,
+                    dist.bands_per_rank as f64 * npw * cm.width_pipeline,
+                    t_gemm_block,
+                    cm.duty(t_gemm_block / 2.0),
+                )));
+            }
+        }
+
+        // Projected Hamiltonian slab reduction after the sweep.
+        if t_gemm_total > 0.0 {
+            ops.push(Op::Collective {
+                bytes: p.nbands as f64 * dist.bands_per_rank as f64 * 16.0,
+                kind: CollectiveKind::AllReduce,
+            });
+        }
+
+        // Dense subspace eigensolve (partially distributed over the group).
+        let e = p.algo.eigensolves_per_iter() * subspace;
+        if e > 0.0 {
+            let t_eig = e * eig_flops_n(p.nbands)
+                / (cm.eig_flops * (dist.ranks_per_group as f64).powf(0.7));
+            ops.push(Op::Gpu(Kernel::with_duty(
+                KernelKind::Eigensolver,
+                (p.nbands as f64).powi(2) * 2.0,
+                t_eig,
+                cm.duty(t_eig / 4.0),
+            )));
+            // Rotation matrix slab broadcast.
+            ops.push(Op::Collective {
+                bytes: p.nbands as f64 * dist.bands_per_rank as f64 * 16.0,
+                kind: CollectiveKind::Broadcast,
+            });
+        }
+
+        // Per-k orthonormalisation reduction (latency-bound at scale).
+        ops.push(Op::Collective {
+            bytes: p.nbands as f64 * 16.0,
+            kind: CollectiveKind::AllReduce,
+        });
+    }
+
+    // Van der Waals nonlocal correlation: an extra double-grid pass.
+    if matches!(p.xc, crate::incar::Xc::VdwDf) {
+        let t_vdw = 2000.0 * nplwv / cm.mem_flops;
+        ops.push(Op::Gpu(Kernel::with_duty(
+            KernelKind::MemBound,
+            nplwv * 4.0,
+            t_vdw,
+            cm.duty(t_vdw / 8.0),
+        )));
+    }
+
+    // Density mixing: grid FFTs + charge reduction (skipped while the
+    // density is frozen during the NELMDL delay).
+    if !delay {
+        let t_mix = 4.0 * fft_pair_flops(p.nplwv) / cm.fft_flops;
+        ops.push(Op::Gpu(Kernel::with_duty(
+            KernelKind::Fft3d,
+            nplwv * cm.width_pipeline,
+            t_mix,
+            cm.duty(t_mix / 8.0),
+        )));
+        ops.push(Op::Collective {
+            bytes: nplwv * 16.0,
+            kind: CollectiveKind::AllReduce,
+        });
+    }
+
+    // Per-iteration host stage (mixer setup, convergence checks).
+    ops.push(Op::Host {
+        duration_s: cm.host_per_iter_s,
+        cpu_active: HOST_CPU_LIGHT,
+        mem_active: HOST_MEM_LIGHT,
+    });
+}
+
+/// ACFDT/RPA epilogue: the CPU-side exact diagonalisation VASP 6.4.1 had
+/// not yet ported to GPUs (the flat mid-timeline of Fig. 3) followed by the
+/// χ₀ frequency-quadrature contractions on the GPUs.
+fn emit_rpa_epilogue(
+    p: &SystemParams,
+    layout: &ParallelLayout,
+    _dist: &Distribution,
+    cm: &CostModel,
+    ops: &mut Vec<Op>,
+) {
+    let nbe = p
+        .nbandsexact
+        .expect("RPA params always carry NBANDSEXACT");
+    assert!(nbe > p.nbands_occ, "exact bands must cover the occupied set");
+
+    // Exact diagonalisation: ScaLAPACK across node CPUs, GPUs idle.
+    let t_diag =
+        eig_flops_n(nbe) / (cm.cpu_flops_per_node * (layout.nodes as f64).powf(0.85));
+    ops.push(Op::Host {
+        duration_s: t_diag,
+        cpu_active: HOST_CPU_DIAG,
+        mem_active: HOST_MEM_DIAG,
+    });
+
+    // χ₀(iω) contractions: occupied × virtual × plane-wave GEMMs, the most
+    // intense kernels in the suite.
+    let ranks = layout.ranks() as f64;
+    let nocc = p.nbands_occ as f64;
+    let nvirt = (nbe - p.nbands_occ) as f64;
+    for _f in 0..cm.rpa_freq_points {
+        let flops = nocc * nvirt * (p.npw as f64).powi(2) * cm.rpa_chi0_flops / ranks;
+        let t = flops / cm.gemm_flops;
+        ops.push(Op::Gpu(Kernel::with_duty(
+            KernelKind::TensorGemm,
+            nocc * p.npw as f64 * 8.0,
+            t,
+            cm.duty(t / 16.0),
+        )));
+        ops.push(Op::Collective {
+            bytes: p.npw as f64 * 16.0,
+            kind: CollectiveKind::AllReduce,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::Supercell;
+    use crate::incar::{Algo, Incar, Xc};
+    use crate::params::SystemParams;
+
+    fn si256(deck_mut: impl FnOnce(&mut Incar)) -> SystemParams {
+        let mut deck = Incar::default_deck();
+        deck_mut(&mut deck);
+        SystemParams::derive(&Supercell::silicon(256), &deck)
+    }
+
+    #[test]
+    fn layout_ranks() {
+        assert_eq!(ParallelLayout::nodes(4).ranks(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_panics() {
+        let _ = ParallelLayout::nodes(0);
+    }
+
+    #[test]
+    fn distribution_splits_bands_evenly() {
+        let p = si256(|_| {});
+        let d = Distribution::derive(&p, &ParallelLayout::nodes(1));
+        assert_eq!(d.kpar, 1);
+        assert_eq!(d.ranks_per_group, 4);
+        assert_eq!(d.bands_per_rank, p.nbands / 4);
+        assert_eq!(d.blocks, d.bands_per_rank.div_ceil(4));
+    }
+
+    #[test]
+    fn distribution_caps_kpar_by_ranks() {
+        let mut deck = Incar::default_deck();
+        deck.kpoints = [4, 4, 4];
+        deck.kpar = 8;
+        let p = SystemParams::derive(&Supercell::silicon(64), &deck);
+        let d = Distribution::derive(&p, &ParallelLayout::nodes(1));
+        assert_eq!(d.kpar, 4, "kpar limited by 4 ranks");
+        assert_eq!(d.nk_local, 16);
+    }
+
+    #[test]
+    fn more_bands_means_more_runtime_same_kernel_width() {
+        // §IV-B: NBANDS scales runtime/energy but not power (width).
+        let base = si256(|_| {});
+        let wide = si256(|d| d.nbands = Some(1280));
+        let l = ParallelLayout::nodes(1);
+        let cm = CostModel::calibrated();
+        let plan_base = build_plan(&base, &l, &cm);
+        let plan_wide = build_plan(&wide, &l, &cm);
+        assert!(plan_wide.gpu_time_s() > 1.5 * plan_base.gpu_time_s());
+        // Kernel widths of the band-sweep FFTs are unchanged.
+        let max_fft_width = |plan: &ScfPlan| {
+            plan.ops
+                .iter()
+                .filter_map(|op| match op {
+                    Op::Gpu(k) if k.kind == KernelKind::Fft3d => Some(k.width),
+                    _ => None,
+                })
+                .fold(0.0, f64::max)
+        };
+        assert_eq!(max_fft_width(&plan_base), max_fft_width(&plan_wide));
+    }
+
+    #[test]
+    fn more_planewaves_means_wider_kernels() {
+        // §IV-B: ENCUT (→ NPLWV) scales kernel width → power.
+        let lo = si256(|d| d.encut_ev = Some(245.0));
+        let hi = si256(|d| d.encut_ev = Some(500.0));
+        let l = ParallelLayout::nodes(1);
+        let cm = CostModel::calibrated();
+        let w = |p: &SystemParams| {
+            build_plan(p, &l, &cm)
+                .ops
+                .iter()
+                .filter_map(|op| match op {
+                    Op::Gpu(k) if k.kind == KernelKind::Fft3d => Some(k.width),
+                    _ => None,
+                })
+                .fold(0.0, f64::max)
+        };
+        assert!(w(&hi) > w(&lo));
+    }
+
+    #[test]
+    fn hse_adds_exchange_kernels() {
+        let dft = si256(|_| {});
+        let hse = si256(|d| {
+            d.xc = Xc::Hse;
+            d.algo = Algo::Damped;
+        });
+        let l = ParallelLayout::nodes(1);
+        let cm = CostModel::calibrated();
+        let gemm_time = |p: &SystemParams| {
+            build_plan(p, &l, &cm)
+                .ops
+                .iter()
+                .filter_map(|op| match op {
+                    Op::Gpu(k) if k.kind == KernelKind::TensorGemm => Some(k.duration_s),
+                    _ => None,
+                })
+                .sum::<f64>()
+        };
+        assert!(
+            gemm_time(&hse) > 10.0 * gemm_time(&dft),
+            "exchange dominates HSE GPU time"
+        );
+    }
+
+    #[test]
+    fn rpa_has_cpu_diag_stage() {
+        let p = si256(|d| {
+            d.xc = Xc::Rpa;
+            d.nelm = 10;
+        });
+        let plan = build_plan(&p, &ParallelLayout::nodes(1), &CostModel::calibrated());
+        let diag: Vec<_> = plan
+            .ops
+            .iter()
+            .filter_map(|op| match op {
+                Op::Host {
+                    duration_s,
+                    cpu_active,
+                    ..
+                } if *cpu_active > 0.5 => Some(*duration_s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(diag.len(), 1, "exactly one exact-diagonalisation stage");
+        assert!(
+            diag[0] > 10.0,
+            "diag stage is long enough to show up in timelines: {}s",
+            diag[0]
+        );
+    }
+
+    #[test]
+    fn rpa_diag_shrinks_with_nodes() {
+        let p = si256(|d| {
+            d.xc = Xc::Rpa;
+            d.nelm = 5;
+        });
+        let cm = CostModel::calibrated();
+        let diag_time = |n: usize| {
+            build_plan(&p, &ParallelLayout::nodes(n), &cm)
+                .ops
+                .iter()
+                .filter_map(|op| match op {
+                    Op::Host {
+                        duration_s,
+                        cpu_active,
+                        ..
+                    } if *cpu_active > 0.5 => Some(*duration_s),
+                    _ => None,
+                })
+                .sum::<f64>()
+        };
+        assert!(diag_time(4) < diag_time(1));
+    }
+
+    #[test]
+    fn kpoint_meshes_multiply_host_stages() {
+        let mut deck = Incar::default_deck();
+        deck.kpoints = [4, 4, 4];
+        deck.kpar = 2;
+        let p = SystemParams::derive(&Supercell::silicon(64), &deck);
+        let plan = build_plan(&p, &ParallelLayout::nodes(1), &CostModel::calibrated());
+        let gamma = SystemParams::derive(&Supercell::silicon(64), &Incar::default_deck());
+        let plan_gamma =
+            build_plan(&gamma, &ParallelLayout::nodes(1), &CostModel::calibrated());
+        assert!(plan.host_time_s() > 5.0 * plan_gamma.host_time_s());
+    }
+
+    #[test]
+    fn scaling_out_shrinks_per_rank_gpu_time() {
+        let p = si256(|_| {});
+        let cm = CostModel::calibrated();
+        let t1 = build_plan(&p, &ParallelLayout::nodes(1), &cm).gpu_time_s();
+        let t4 = build_plan(&p, &ParallelLayout::nodes(4), &cm).gpu_time_s();
+        assert!(t4 < t1, "per-rank GPU work must shrink with more nodes");
+        assert!(t4 > t1 / 8.0, "but not super-linearly");
+    }
+
+    #[test]
+    fn plans_are_deterministic() {
+        let p = si256(|_| {});
+        let cm = CostModel::calibrated();
+        let a = build_plan(&p, &ParallelLayout::nodes(2), &cm);
+        let b = build_plan(&p, &ParallelLayout::nodes(2), &cm);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn nelmdl_delay_iterations_skip_density_mixing() {
+        let with_delay = si256(|d| {
+            d.nelm = 10;
+            d.nelmdl = 5;
+        });
+        let without = si256(|d| d.nelm = 10);
+        let l = ParallelLayout::nodes(1);
+        let cm = CostModel::calibrated();
+        let collectives = |p: &SystemParams| build_plan(p, &l, &cm).collective_count();
+        assert_eq!(
+            collectives(&without) - collectives(&with_delay),
+            5,
+            "one mixing reduction skipped per delay iteration"
+        );
+        assert!(
+            build_plan(&with_delay, &l, &cm).gpu_time_s()
+                < build_plan(&without, &l, &cm).gpu_time_s()
+        );
+    }
+
+    #[test]
+    fn binary_builds_scale_work_as_documented() {
+        use crate::incar::Binary;
+        let l = ParallelLayout::nodes(1);
+        let cm = CostModel::calibrated();
+        let time = |binary: Binary| {
+            let mut deck = Incar::default_deck();
+            deck.nelm = 4;
+            deck.binary = binary;
+            let p = SystemParams::derive(&Supercell::silicon(128), &deck);
+            build_plan(&p, &l, &cm).gpu_time_s()
+        };
+        let gam = time(Binary::Gamma);
+        let std = time(Binary::Standard);
+        let ncl = time(Binary::NonCollinear);
+        assert!(gam < 0.75 * std, "vasp_gam must be cheaper: {gam} vs {std}");
+        assert!(ncl > 1.6 * std, "vasp_ncl must be dearer: {ncl} vs {std}");
+    }
+
+    #[test]
+    fn vdw_adds_membound_work() {
+        let plain = si256(|d| d.algo = Algo::VeryFast);
+        let vdw = si256(|d| {
+            d.algo = Algo::VeryFast;
+            d.xc = Xc::VdwDf;
+        });
+        let l = ParallelLayout::nodes(1);
+        let cm = CostModel::calibrated();
+        let mem_time = |p: &SystemParams| {
+            build_plan(p, &l, &cm)
+                .ops
+                .iter()
+                .filter_map(|op| match op {
+                    Op::Gpu(k) if k.kind == KernelKind::MemBound => Some(k.duration_s),
+                    _ => None,
+                })
+                .sum::<f64>()
+        };
+        assert!(mem_time(&vdw) > mem_time(&plain));
+    }
+}

@@ -1,0 +1,16 @@
+//! System-level fleet simulation.
+//!
+//! The paper's context (§I): 65 % of the variation in Perlmutter's system
+//! power is temporal variation within individual jobs, and §VI's vision is
+//! a batch system that regulates that variation through per-workload power
+//! caps. This crate closes the loop at machine scale: a partition of GPU
+//! nodes, a queue of jobs with arrival times, FIFO-with-backfill placement
+//! under optional node-power budgets, and — because every placed job is
+//! *actually executed* through the cluster simulator — a faithful aggregate
+//! system power timeline, not a static estimate.
+
+pub mod sim;
+pub mod variance;
+
+pub use sim::{simulate, FleetOutcome, FleetSpec, JobRecord, JobRequest};
+pub use variance::{decompose, VarianceDecomposition};

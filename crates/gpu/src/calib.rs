@@ -1,0 +1,164 @@
+//! Device specification and calibration constants.
+//!
+//! Every number here is either published in the paper (§II-A, §V-A) or
+//! calibrated so that the end-to-end reproduction lands in the paper's
+//! reported bands (see `DESIGN.md` §3.1 and `EXPERIMENTS.md`).
+
+/// Static specification of an NVIDIA A100-40GB SXM board as deployed in
+/// Perlmutter GPU nodes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct A100Spec {
+    /// Thermal design power, watts. Paper §II-A: 400 W.
+    pub tdp_w: f64,
+    /// Typical idle board power, watts.
+    pub idle_w: f64,
+    /// Lowest settable power limit, watts. Paper §V-A: 100 W.
+    pub min_cap_w: f64,
+    /// Highest settable power limit (the default), watts. Paper §V-A: 400 W.
+    pub max_cap_w: f64,
+    /// Boost clock, MHz (informational; the throttle model is normalised).
+    pub boost_clock_mhz: f64,
+    /// Minimum graphics clock, MHz.
+    pub min_clock_mhz: f64,
+    /// Streaming multiprocessor count.
+    pub sm_count: u32,
+    /// HBM2e bandwidth, GB/s.
+    pub hbm_bw_gbs: f64,
+    /// Saturation scale for concurrent plane-wave work, in "work units"
+    /// (see [`crate::power::Gpu::utilisation`]). A kernel carrying `width`
+    /// work units drives SM utilisation `1 - exp(-width / work_capacity)`.
+    pub work_capacity: f64,
+}
+
+impl A100Spec {
+    /// The A100-40GB as installed in Perlmutter GPU nodes.
+    #[must_use]
+    pub fn perlmutter() -> Self {
+        Self {
+            tdp_w: 400.0,
+            idle_w: 52.0,
+            min_cap_w: 100.0,
+            max_cap_w: 400.0,
+            boost_clock_mhz: 1410.0,
+            min_clock_mhz: 210.0,
+            sm_count: 108,
+            hbm_bw_gbs: 1555.0,
+            work_capacity: 1.2e6,
+        }
+    }
+}
+
+impl A100Spec {
+    /// The 80 GB HBM2e variant (present on 256 Perlmutter nodes the study
+    /// excludes, §II-A): same 400 W SXM power envelope, more/faster memory.
+    #[must_use]
+    pub fn a100_80gb() -> Self {
+        Self {
+            hbm_bw_gbs: 2039.0,
+            work_capacity: 1.4e6,
+            ..Self::perlmutter()
+        }
+    }
+
+    /// An H100-SXM-like *what-if* device for §I's architecture-transition
+    /// question: 700 W envelope, wider cap range, roughly doubled
+    /// saturation capacity. The throttle calibration carries over — the
+    /// point of the what-if is how the *policy* (e.g. the 50 %-TDP rule)
+    /// transfers, not a validated H100 model.
+    #[must_use]
+    pub fn h100_like() -> Self {
+        Self {
+            tdp_w: 700.0,
+            idle_w: 70.0,
+            min_cap_w: 200.0,
+            max_cap_w: 700.0,
+            boost_clock_mhz: 1980.0,
+            min_clock_mhz: 345.0,
+            sm_count: 132,
+            hbm_bw_gbs: 3350.0,
+            work_capacity: 2.6e6,
+        }
+    }
+}
+
+impl Default for A100Spec {
+    fn default() -> Self {
+        Self::perlmutter()
+    }
+}
+
+/// Calibrated power-cap response constants (see `DESIGN.md` §3.1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThrottleCalib {
+    /// Exponent of the concave performance response
+    /// `perf = 1 - (1 - r)^gamma` where
+    /// `r = (cap - p_base) / (p0 - p_base)`. Calibrated to reproduce the
+    /// paper's knee: ~0 % loss at 300 W, ~9 % at 200 W, >60 % at 100 W for
+    /// the power-hungry benchmarks (Fig. 12).
+    pub gamma: f64,
+    /// Non-throttleable share of a kernel's dynamic power (HBM refresh,
+    /// fixed-function units): `p_base = idle + beta * (p0 - idle)`.
+    pub beta: f64,
+    /// Regulation overshoot at very low caps (Fig. 10: bars above the line
+    /// only at the 100 W floor). The effective ceiling is
+    /// `cap * (1 + eps0 * max(0, (overshoot_knee_w - cap)) / 50)`.
+    pub eps0: f64,
+    /// Cap below which regulation error appears, watts.
+    pub overshoot_knee_w: f64,
+    /// Performance floor: throttling never slows a kernel by more than
+    /// `1 / perf_floor`.
+    pub perf_floor: f64,
+}
+
+impl ThrottleCalib {
+    /// Calibration used throughout the reproduction.
+    #[must_use]
+    pub fn calibrated() -> Self {
+        Self {
+            gamma: 4.5,
+            beta: 0.08,
+            eps0: 0.12,
+            overshoot_knee_w: 150.0,
+            perf_floor: 0.05,
+        }
+    }
+}
+
+impl Default for ThrottleCalib {
+    fn default() -> Self {
+        Self::calibrated()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perlmutter_spec_matches_paper() {
+        let s = A100Spec::perlmutter();
+        assert_eq!(s.tdp_w, 400.0, "paper §II-A: 400 W per GPU");
+        assert_eq!(s.min_cap_w, 100.0, "paper §V-A: cap range 100-400 W");
+        assert_eq!(s.max_cap_w, 400.0);
+        assert!(s.idle_w > 0.0 && s.idle_w < 100.0);
+    }
+
+    #[test]
+    fn variant_specs_are_consistent() {
+        let v80 = A100Spec::a100_80gb();
+        assert_eq!(v80.tdp_w, 400.0);
+        assert!(v80.hbm_bw_gbs > A100Spec::perlmutter().hbm_bw_gbs);
+        let h100 = A100Spec::h100_like();
+        assert!(h100.tdp_w > 1.5 * v80.tdp_w);
+        assert!(h100.min_cap_w < h100.max_cap_w);
+        assert_eq!(h100.max_cap_w, h100.tdp_w);
+    }
+
+    #[test]
+    fn calib_values_are_sane() {
+        let c = ThrottleCalib::calibrated();
+        assert!(c.gamma > 1.0, "response must be concave");
+        assert!((0.0..1.0).contains(&c.beta));
+        assert!(c.perf_floor > 0.0 && c.perf_floor < 1.0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Dynamic voltage and frequency scaling (DVFS) curve.
+//!
+//! Power capping on NVIDIA GPUs is implemented by the driver lowering the
+//! graphics clock until board power fits under the limit. The physics:
+//! dynamic power ≈ `C · f · V(f)²`, with the voltage `V` falling with the
+//! clock `f` until it hits the rail's floor, after which power falls only
+//! linearly with `f`. This module models that curve in normalised form
+//! (`f = 1` is the boost clock, `phi = 1` the full dynamic power).
+//!
+//! The production throttle response in [`crate::power`] uses a directly
+//! calibrated curve (`DESIGN.md` §3.1); this DVFS model is the physical
+//! baseline it is checked against in the `ablations` bench.
+
+/// Normalised voltage/frequency curve with a voltage floor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DvfsCurve {
+    /// Voltage floor as a fraction of the boost-clock voltage.
+    pub v_floor: f64,
+    /// Lowest reachable normalised clock (`min_clock / boost_clock`).
+    pub f_min: f64,
+}
+
+impl DvfsCurve {
+    /// Curve for the A100 (210 MHz floor out of 1410 MHz boost; ~0.7 V floor
+    /// out of ~1.0 V peak rail, normalised).
+    #[must_use]
+    pub fn a100() -> Self {
+        Self {
+            v_floor: 0.70,
+            f_min: 210.0 / 1410.0,
+        }
+    }
+
+    /// Normalised voltage at normalised clock `f`.
+    #[must_use]
+    pub fn voltage(&self, f: f64) -> f64 {
+        f.max(self.v_floor)
+    }
+
+    /// Fraction of full dynamic power drawn at normalised clock `f`:
+    /// `phi(f) = f · V(f)²`, so `phi(1) = 1`.
+    #[must_use]
+    pub fn power_fraction(&self, f: f64) -> f64 {
+        let f = f.clamp(self.f_min, 1.0);
+        let v = self.voltage(f);
+        f * v * v
+    }
+
+    /// Invert [`Self::power_fraction`]: the highest clock whose dynamic power
+    /// does not exceed `phi`. Returns `f_min` when `phi` is below the
+    /// reachable floor (the cap is then violated — regulation cannot go
+    /// lower) and `1.0` when `phi >= 1`.
+    #[must_use]
+    pub fn clock_for_power(&self, phi: f64) -> f64 {
+        if phi >= 1.0 {
+            return 1.0;
+        }
+        let phi_floor_knee = self.v_floor.powi(3); // phi at f = v_floor
+        let f = if phi >= phi_floor_knee {
+            // Cubic regime: phi = f^3 (since V = f there).
+            phi.cbrt()
+        } else {
+            // Linear regime: phi = f * v_floor^2.
+            phi / (self.v_floor * self.v_floor)
+        };
+        f.clamp(self.f_min, 1.0)
+    }
+}
+
+impl Default for DvfsCurve {
+    fn default() -> Self {
+        Self::a100()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_clock_draws_full_power() {
+        let c = DvfsCurve::a100();
+        assert!((c.power_fraction(1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_fraction_is_monotone_in_clock() {
+        let c = DvfsCurve::a100();
+        let mut last = -1.0;
+        let mut f = c.f_min;
+        while f <= 1.0 {
+            let p = c.power_fraction(f);
+            assert!(p >= last, "phi must be non-decreasing");
+            last = p;
+            f += 0.01;
+        }
+    }
+
+    #[test]
+    fn cubic_above_voltage_floor() {
+        let c = DvfsCurve::a100();
+        let f = 0.9;
+        assert!((c.power_fraction(f) - f * f * f).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_below_voltage_floor() {
+        let c = DvfsCurve::a100();
+        let f = 0.5; // below v_floor = 0.7
+        assert!((c.power_fraction(f) - f * 0.49).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clock_for_power_inverts_power_fraction() {
+        let c = DvfsCurve::a100();
+        for phi in [0.2, 0.35, 0.5, 0.7, 0.9, 0.99] {
+            let f = c.clock_for_power(phi);
+            assert!(
+                (c.power_fraction(f) - phi).abs() < 1e-9,
+                "phi = {phi}, f = {f}"
+            );
+        }
+    }
+
+    #[test]
+    fn unreachable_power_clamps_to_clock_floor() {
+        let c = DvfsCurve::a100();
+        let f = c.clock_for_power(1e-6);
+        assert_eq!(f, c.f_min);
+        assert!(c.power_fraction(f) > 1e-6, "floor power exceeds request");
+    }
+
+    #[test]
+    fn overfull_request_clamps_to_boost() {
+        let c = DvfsCurve::a100();
+        assert_eq!(c.clock_for_power(2.0), 1.0);
+    }
+}

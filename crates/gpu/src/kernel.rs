@@ -1,0 +1,236 @@
+//! GPU kernel descriptions.
+//!
+//! The DFT workload simulator (`vpp-dft`) lowers each SCF phase to a stream
+//! of [`Kernel`]s. A kernel is characterised by its *kind* (which fixes the
+//! arithmetic-intensity and cap-sensitivity parameters), its *width* (how
+//! much concurrent plane-wave work it carries — this is what NPLWV feeds),
+//! and its full-clock *duration*.
+
+/// Classes of GPU work with distinct power/throttle behaviour.
+///
+/// Intensities are fractions of the idle→TDP dynamic range reached at full
+/// SM utilisation; cap sensitivity is how strongly the kernel's runtime
+/// follows the graphics clock when the driver throttles (1 = fully
+/// compute-bound, 0 = unaffected, e.g. NIC-bound communication).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelKind {
+    /// Dense matrix multiply on tensor cores (cuBLAS GEMM): the hottest
+    /// kernels VASP runs (subspace rotation, exact exchange contractions).
+    TensorGemm,
+    /// Non-tensor-core level-3 BLAS.
+    Gemm,
+    /// Batched 3-D FFTs (cuFFT) over the plane-wave grid.
+    Fft3d,
+    /// Dense eigensolver / orthonormalisation steps (cuSOLVER).
+    Eigensolver,
+    /// Bandwidth-bound kernels: nonlocal projectors, vector updates.
+    MemBound,
+    /// GPU-side NCCL collective (SM-light, NVLink/NIC-bound).
+    NcclComm,
+    /// Host↔device transfers over PCIe.
+    HostTransfer,
+    /// GPU idle (host-side work, MPI waits, I/O).
+    Idle,
+}
+
+impl KernelKind {
+    /// Fraction of the idle→TDP dynamic range reached at full utilisation.
+    #[must_use]
+    pub fn intensity(self) -> f64 {
+        match self {
+            KernelKind::TensorGemm => 0.97,
+            KernelKind::Gemm => 0.88,
+            KernelKind::Fft3d => 0.62,
+            KernelKind::Eigensolver => 0.66,
+            KernelKind::MemBound => 0.50,
+            KernelKind::NcclComm => 0.24,
+            KernelKind::HostTransfer => 0.14,
+            KernelKind::Idle => 0.0,
+        }
+    }
+
+    /// Intensity reached when the device is *over-subscribed* (multiple
+    /// streams overlapping, huge batches): bandwidth-bound kernels at full
+    /// HBM tilt draw ~300 W on an A100, overlapped FFT pipelines approach
+    /// TDP. The power model interpolates from [`Self::intensity`] toward
+    /// this ceiling as kernel width grows far beyond the saturation scale.
+    #[must_use]
+    pub fn intensity_ceiling(self) -> f64 {
+        match self {
+            KernelKind::TensorGemm => 0.97,
+            KernelKind::Gemm => 0.95,
+            KernelKind::Fft3d => 0.97,
+            KernelKind::Eigensolver => 0.85,
+            KernelKind::MemBound => 0.72,
+            other => other.intensity(),
+        }
+    }
+
+    /// How strongly runtime follows the throttled graphics clock
+    /// (0 = not at all). Bandwidth-bound work (cuFFT, projectors) runs at
+    /// HBM speed and barely notices core-clock throttling — this is why
+    /// RMM-DIIS workloads tolerate even the 100 W floor (paper Fig. 12),
+    /// while tensor-core exchange/χ₀ GEMMs track the clock one-to-one.
+    #[must_use]
+    pub fn cap_sensitivity(self) -> f64 {
+        match self {
+            KernelKind::TensorGemm => 1.0,
+            KernelKind::Gemm => 0.90,
+            KernelKind::Fft3d => 0.30,
+            KernelKind::Eigensolver => 0.50,
+            KernelKind::MemBound => 0.25,
+            KernelKind::NcclComm => 0.05,
+            KernelKind::HostTransfer => 0.0,
+            KernelKind::Idle => 0.0,
+        }
+    }
+
+    /// All kinds, for exhaustive tests and benches.
+    #[must_use]
+    pub fn all() -> [KernelKind; 8] {
+        [
+            KernelKind::TensorGemm,
+            KernelKind::Gemm,
+            KernelKind::Fft3d,
+            KernelKind::Eigensolver,
+            KernelKind::MemBound,
+            KernelKind::NcclComm,
+            KernelKind::HostTransfer,
+            KernelKind::Idle,
+        ]
+    }
+}
+
+/// One schedulable unit of GPU work.
+///
+/// `duty` captures launch-overhead duty cycling: a *block* of many short
+/// device kernels separated by launch/synchronisation gaps is modelled as
+/// one `Kernel` whose GPU is busy only `duty` of the time. NVIDIA's power
+/// regulator averages over ~100 ms windows — longer than the gaps — so both
+/// power draw and cap enforcement see the duty-averaged load. This is what
+/// lets small workloads (GaAsBi-64, PdO2) draw little power and sail under
+/// even a 100 W cap (paper Figs. 10, 12).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Kernel {
+    pub kind: KernelKind,
+    /// Concurrent work units (≈ plane-wave coefficients touched in flight).
+    /// Drives SM utilisation; see [`crate::A100Spec::work_capacity`].
+    pub width: f64,
+    /// Duration at full boost clock with no power cap, seconds.
+    pub duration_s: f64,
+    /// Fraction of `duration_s` the device is actually executing (the rest
+    /// is launch latency / host synchronisation). In `[0, 1]`.
+    pub duty: f64,
+}
+
+impl Kernel {
+    /// Construct a fully-busy kernel (`duty = 1`).
+    ///
+    /// # Panics
+    /// If `width` is negative or `duration_s` is negative / non-finite.
+    #[must_use]
+    pub fn new(kind: KernelKind, width: f64, duration_s: f64) -> Self {
+        Self::with_duty(kind, width, duration_s, 1.0)
+    }
+
+    /// Construct a kernel block with an explicit duty cycle.
+    ///
+    /// # Panics
+    /// On non-finite or out-of-range parameters.
+    #[must_use]
+    pub fn with_duty(kind: KernelKind, width: f64, duration_s: f64, duty: f64) -> Self {
+        assert!(width >= 0.0 && width.is_finite(), "bad width {width}");
+        assert!(
+            duration_s >= 0.0 && duration_s.is_finite(),
+            "bad duration {duration_s}"
+        );
+        assert!((0.0..=1.0).contains(&duty), "bad duty {duty}");
+        Self {
+            kind,
+            width,
+            duration_s,
+            duty,
+        }
+    }
+
+    /// An idle gap of the given length.
+    #[must_use]
+    pub fn idle(duration_s: f64) -> Self {
+        Self::new(KernelKind::Idle, 0.0, duration_s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intensities_are_ordered_by_heat() {
+        assert!(KernelKind::TensorGemm.intensity() > KernelKind::Fft3d.intensity());
+        assert!(KernelKind::Fft3d.intensity() > KernelKind::MemBound.intensity());
+        assert!(KernelKind::MemBound.intensity() > KernelKind::NcclComm.intensity());
+        assert_eq!(KernelKind::Idle.intensity(), 0.0);
+    }
+
+    #[test]
+    fn all_intensities_and_sensitivities_in_unit_range() {
+        for k in KernelKind::all() {
+            assert!((0.0..=1.0).contains(&k.intensity()));
+            assert!((0.0..=1.0).contains(&k.cap_sensitivity()));
+        }
+    }
+
+    #[test]
+    fn comm_is_cap_insensitive() {
+        assert!(KernelKind::NcclComm.cap_sensitivity() < 0.1);
+        assert_eq!(KernelKind::Idle.cap_sensitivity(), 0.0);
+    }
+
+    #[test]
+    fn bandwidth_bound_kernels_are_weakly_cap_sensitive() {
+        assert!(KernelKind::Fft3d.cap_sensitivity() < 0.5);
+        assert!(KernelKind::MemBound.cap_sensitivity() < 0.5);
+        assert_eq!(KernelKind::TensorGemm.cap_sensitivity(), 1.0);
+    }
+
+    #[test]
+    fn ceilings_dominate_intensities() {
+        for k in KernelKind::all() {
+            assert!(k.intensity_ceiling() >= k.intensity(), "{k:?}");
+            assert!(k.intensity_ceiling() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn idle_constructor() {
+        let k = Kernel::idle(2.0);
+        assert_eq!(k.kind, KernelKind::Idle);
+        assert_eq!(k.width, 0.0);
+        assert_eq!(k.duration_s, 2.0);
+        assert_eq!(k.duty, 1.0);
+    }
+
+    #[test]
+    fn with_duty_stores_duty() {
+        let k = Kernel::with_duty(KernelKind::Fft3d, 1e5, 1.0, 0.5);
+        assert_eq!(k.duty, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad duty")]
+    fn out_of_range_duty_panics() {
+        let _ = Kernel::with_duty(KernelKind::Fft3d, 1e5, 1.0, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad width")]
+    fn negative_width_panics() {
+        let _ = Kernel::new(KernelKind::Gemm, -1.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad duration")]
+    fn nan_duration_panics() {
+        let _ = Kernel::new(KernelKind::Gemm, 1.0, f64::NAN);
+    }
+}

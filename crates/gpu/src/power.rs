@@ -1,0 +1,386 @@
+//! Kernel execution under the power model and power caps.
+
+use crate::calib::{A100Spec, ThrottleCalib};
+use crate::kernel::{Kernel, KernelKind};
+use crate::variability::GpuVariability;
+use vpp_sim::PowerTrace;
+
+/// Outcome of executing one kernel on a (possibly capped) GPU.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Executed {
+    /// Wall-clock duration after any throttling, seconds.
+    pub duration_s: f64,
+    /// Constant board power over that duration, watts.
+    pub watts: f64,
+    /// Normalised performance (1 = unthrottled).
+    pub perf: f64,
+}
+
+/// One A100 board instance: the shared spec plus this board's manufacturing
+/// variability and its current power limit.
+///
+/// ```
+/// use vpp_gpu::{Gpu, Kernel, KernelKind};
+///
+/// let mut gpu = Gpu::nominal();
+/// let gemm = Kernel::new(KernelKind::TensorGemm, 2.0e7, 1.0);
+/// let free = gpu.execute(&gemm);
+/// assert!(free.watts > 350.0);          // near TDP uncapped
+///
+/// gpu.set_power_limit(200.0);           // nvidia-smi -pl 200
+/// let capped = gpu.execute(&gemm);
+/// assert!(capped.watts <= 200.0);       // regulated
+/// assert!(capped.duration_s > 1.0);     // and slower
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Gpu {
+    spec: A100Spec,
+    calib: ThrottleCalib,
+    var: GpuVariability,
+    power_limit_w: f64,
+}
+
+impl Gpu {
+    /// A board with the given variability sample, capped at the default
+    /// (maximum) power limit.
+    #[must_use]
+    pub fn new(spec: A100Spec, calib: ThrottleCalib, var: GpuVariability) -> Self {
+        let limit = spec.max_cap_w;
+        Self {
+            spec,
+            calib,
+            var,
+            power_limit_w: limit,
+        }
+    }
+
+    /// A nominal board (no variability) with default spec and calibration.
+    #[must_use]
+    pub fn nominal() -> Self {
+        Self::new(
+            A100Spec::default(),
+            ThrottleCalib::default(),
+            GpuVariability::nominal(),
+        )
+    }
+
+    /// The board's spec.
+    #[must_use]
+    pub fn spec(&self) -> &A100Spec {
+        &self.spec
+    }
+
+    /// This board's idle power, watts (includes variability offset).
+    #[must_use]
+    pub fn idle_w(&self) -> f64 {
+        self.spec.idle_w + self.var.idle_offset_w
+    }
+
+    /// Current power limit, watts.
+    #[must_use]
+    pub fn power_limit_w(&self) -> f64 {
+        self.power_limit_w
+    }
+
+    /// Set the power limit, clamped to the device's settable range
+    /// (100–400 W on the A100-40GB), exactly as `nvidia-smi -pl` does.
+    /// Returns the limit actually applied.
+    pub fn set_power_limit(&mut self, watts: f64) -> f64 {
+        assert!(watts.is_finite(), "bad power limit");
+        self.power_limit_w = watts.clamp(self.spec.min_cap_w, self.spec.max_cap_w);
+        self.power_limit_w
+    }
+
+    /// Reset to the default limit (TDP).
+    pub fn reset_power_limit(&mut self) {
+        self.power_limit_w = self.spec.max_cap_w;
+    }
+
+    /// SM utilisation produced by a kernel of the given width:
+    /// `x / (1 + x)` with `x = width / work_capacity`. The slow saturation
+    /// of this curve is what lets power keep rising with NPLWV well past
+    /// the reference sizes (Fig. 7 left) before the Fig. 6 plateau.
+    #[must_use]
+    pub fn utilisation(&self, width: f64) -> f64 {
+        debug_assert!(width >= 0.0);
+        let x = width / self.spec.work_capacity;
+        x / (1.0 + x)
+    }
+
+    /// Effective arithmetic intensity of a kernel: interpolates from the
+    /// kind's base intensity toward its over-subscription ceiling as the
+    /// width grows far beyond the saturation scale (overlapping streams,
+    /// giant batches — how 2048-atom cells pull the GPUs near TDP even in
+    /// plain DFT, Fig. 6).
+    #[must_use]
+    pub fn effective_intensity(&self, kernel: &Kernel) -> f64 {
+        let base = kernel.kind.intensity();
+        let ceil = kernel.kind.intensity_ceiling();
+        if ceil <= base {
+            return base;
+        }
+        let overlap = 1.0 - (-kernel.width / (12.0 * self.spec.work_capacity)).exp();
+        base + (ceil - base) * overlap
+    }
+
+    /// Uncapped board power while running `kernel`, watts. Duty-averaged:
+    /// the regulator (and our telemetry) averages over windows longer than
+    /// launch gaps.
+    #[must_use]
+    pub fn uncapped_power(&self, kernel: &Kernel) -> f64 {
+        let u = self.utilisation(kernel.width);
+        let peak = self.spec.tdp_w * self.var.power_scale;
+        self.idle_w()
+            + kernel.duty * u * self.effective_intensity(kernel) * (peak - self.idle_w())
+    }
+
+    /// Effective power ceiling including the low-cap regulation overshoot
+    /// (Fig. 10: only near the 100 W floor does the regulator miss).
+    #[must_use]
+    pub fn effective_ceiling(&self) -> f64 {
+        let cap = self.power_limit_w;
+        let over = self.calib.eps0 * ((self.calib.overshoot_knee_w - cap) / 50.0).max(0.0);
+        cap * (1.0 + over)
+    }
+
+    /// Normalised performance of a kernel whose uncapped power is `p0`
+    /// under the current cap. 1.0 when no throttling is needed.
+    #[must_use]
+    pub fn throttle_perf(&self, p0: f64, kind: KernelKind) -> f64 {
+        let cap = self.power_limit_w;
+        if p0 <= cap {
+            return 1.0;
+        }
+        let p_base = self.idle_w() + self.calib.beta * (p0 - self.idle_w());
+        let r = ((cap - p_base) / (p0 - p_base)).clamp(0.0, 1.0);
+        let core_perf = (1.0 - (1.0 - r).powf(self.calib.gamma)).max(self.calib.perf_floor);
+        // Kernels that do not follow the graphics clock are diluted.
+        let s = kind.cap_sensitivity();
+        1.0 - s + s * core_perf
+    }
+
+    /// Execute a kernel under the current power limit.
+    ///
+    /// Throttling stretches only the busy portion of a duty-cycled block —
+    /// launch gaps are host-side and clock-independent.
+    #[must_use]
+    pub fn execute(&self, kernel: &Kernel) -> Executed {
+        let p0 = self.uncapped_power(kernel);
+        // Board-level speed variability stretches all kernels slightly.
+        let base = kernel.duration_s / self.var.speed_scale;
+        let perf = self.throttle_perf(p0, kernel.kind);
+        let duration_s = base * (kernel.duty / perf + (1.0 - kernel.duty));
+        // Overall achieved performance for reporting.
+        let overall_perf = base / duration_s.max(f64::MIN_POSITIVE);
+        let watts = p0.min(self.effective_ceiling()).max(self.idle_w().min(p0));
+        Executed {
+            duration_s,
+            watts,
+            perf: if kernel.duration_s == 0.0 { 1.0 } else { overall_perf },
+        }
+    }
+
+    /// Execute a kernel stream starting at `t0`, returning the board's power
+    /// trace and the total elapsed time.
+    #[must_use]
+    pub fn run_stream(&self, t0: f64, kernels: &[Kernel]) -> PowerTrace {
+        let mut trace = PowerTrace::new(t0);
+        for k in kernels {
+            let ex = self.execute(k);
+            trace.push(ex.duration_s, ex.watts);
+        }
+        trace
+    }
+}
+
+impl Default for Gpu {
+    fn default() -> Self {
+        Self::nominal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::KernelKind::*;
+
+    fn hot_kernel() -> Kernel {
+        // Wide tensor GEMM: effectively saturated.
+        Kernel::new(TensorGemm, 2e7, 1.0)
+    }
+
+    #[test]
+    fn idle_kernel_draws_idle_power() {
+        let gpu = Gpu::nominal();
+        let ex = gpu.execute(&Kernel::idle(1.0));
+        assert!((ex.watts - gpu.idle_w()).abs() < 1e-9);
+        assert_eq!(ex.perf, 1.0);
+    }
+
+    #[test]
+    fn saturated_tensor_gemm_approaches_tdp() {
+        let gpu = Gpu::nominal();
+        let p = gpu.uncapped_power(&hot_kernel());
+        assert!(p > 0.9 * gpu.spec().tdp_w, "p = {p}");
+        assert!(p <= gpu.spec().tdp_w);
+    }
+
+    #[test]
+    fn utilisation_saturates_monotonically() {
+        let gpu = Gpu::nominal();
+        let mut last = -1.0;
+        for w in [0.0, 1e4, 1e5, 3e5, 1e6, 1e7] {
+            let u = gpu.utilisation(w);
+            assert!(u > last);
+            assert!((0.0..=1.0).contains(&u));
+            last = u;
+        }
+        assert!(gpu.utilisation(0.0) == 0.0);
+        assert!(gpu.utilisation(1e8) > 0.98);
+    }
+
+    #[test]
+    fn power_limit_clamps_to_device_range() {
+        let mut gpu = Gpu::nominal();
+        assert_eq!(gpu.set_power_limit(50.0), 100.0);
+        assert_eq!(gpu.set_power_limit(500.0), 400.0);
+        assert_eq!(gpu.set_power_limit(250.0), 250.0);
+        gpu.reset_power_limit();
+        assert_eq!(gpu.power_limit_w(), 400.0);
+    }
+
+    #[test]
+    fn no_throttle_at_default_limit() {
+        let gpu = Gpu::nominal();
+        let ex = gpu.execute(&hot_kernel());
+        assert_eq!(ex.perf, 1.0);
+        assert!((ex.duration_s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capped_power_stays_under_cap_above_floor() {
+        let mut gpu = Gpu::nominal();
+        for cap in [350.0, 300.0, 250.0, 200.0, 150.0] {
+            gpu.set_power_limit(cap);
+            let ex = gpu.execute(&hot_kernel());
+            assert!(
+                ex.watts <= cap + 1e-9,
+                "cap {cap}: drew {} W",
+                ex.watts
+            );
+        }
+    }
+
+    #[test]
+    fn floor_cap_overshoots_slightly() {
+        let mut gpu = Gpu::nominal();
+        gpu.set_power_limit(100.0);
+        let ex = gpu.execute(&hot_kernel());
+        assert!(ex.watts > 100.0, "paper Fig. 10: error at the 100 W floor");
+        assert!(ex.watts < 125.0, "but a bounded error: {}", ex.watts);
+    }
+
+    #[test]
+    fn paper_band_300w_cap_is_nearly_free() {
+        let mut gpu = Gpu::nominal();
+        gpu.set_power_limit(300.0);
+        let perf = gpu.execute(&hot_kernel()).perf;
+        assert!(perf > 0.97, "Fig. 12: no visible loss at 300 W; perf = {perf}");
+    }
+
+    #[test]
+    fn paper_band_200w_cap_costs_some_percent_on_hot_kernels() {
+        let mut gpu = Gpu::nominal();
+        gpu.set_power_limit(200.0);
+        let perf = gpu.execute(&hot_kernel()).perf;
+        assert!(
+            (0.75..0.95).contains(&perf),
+            "Fig. 12: ~9 % workload-level loss needs 10-25 % hot-kernel loss; perf = {perf}"
+        );
+    }
+
+    #[test]
+    fn paper_band_100w_cap_is_drastic_on_hot_kernels() {
+        let mut gpu = Gpu::nominal();
+        gpu.set_power_limit(100.0);
+        let perf = gpu.execute(&hot_kernel()).perf;
+        assert!(perf < 0.45, "Fig. 12: >60 % loss at 100 W; perf = {perf}");
+    }
+
+    #[test]
+    fn cool_kernels_ignore_moderate_caps() {
+        let mut gpu = Gpu::nominal();
+        gpu.set_power_limit(200.0);
+        let cool = Kernel::new(MemBound, 5e4, 1.0);
+        let ex = gpu.execute(&cool);
+        assert_eq!(ex.perf, 1.0, "power below cap → untouched");
+    }
+
+    #[test]
+    fn comm_kernels_barely_slow_under_any_cap() {
+        let mut gpu = Gpu::nominal();
+        gpu.set_power_limit(100.0);
+        let comm = Kernel::new(NcclComm, 2e7, 1.0);
+        let ex = gpu.execute(&comm);
+        assert!(ex.perf > 0.93, "NIC-bound work is clock-insensitive");
+    }
+
+    #[test]
+    fn throttle_perf_is_monotone_in_cap() {
+        let gpu0 = Gpu::nominal();
+        let p0 = gpu0.uncapped_power(&hot_kernel());
+        let mut last = 0.0;
+        for cap in [100.0, 150.0, 200.0, 250.0, 300.0, 350.0, 400.0] {
+            let mut gpu = Gpu::nominal();
+            gpu.set_power_limit(cap);
+            let perf = gpu.throttle_perf(p0, TensorGemm);
+            assert!(perf >= last, "perf must rise with cap");
+            last = perf;
+        }
+        assert_eq!(last, 1.0);
+    }
+
+    #[test]
+    fn energy_can_drop_under_mild_cap() {
+        // At 200 W the hot kernel runs ~15 % longer but at ~53 % power:
+        // energy-to-solution falls (consistent with capping being an
+        // energy-efficiency tool).
+        let gpu = Gpu::nominal();
+        let base = gpu.execute(&hot_kernel());
+        let mut capped = Gpu::nominal();
+        capped.set_power_limit(200.0);
+        let ex = capped.execute(&hot_kernel());
+        assert!(ex.duration_s * ex.watts < base.duration_s * base.watts);
+    }
+
+    #[test]
+    fn run_stream_concatenates_kernels() {
+        let gpu = Gpu::nominal();
+        let trace = gpu.run_stream(
+            10.0,
+            &[
+                Kernel::new(TensorGemm, 2e7, 1.0),
+                Kernel::idle(0.5),
+                Kernel::new(Fft3d, 1e5, 2.0),
+            ],
+        );
+        assert!((trace.start() - 10.0).abs() < 1e-12);
+        assert!((trace.duration() - 3.5).abs() < 1e-9);
+        assert!(trace.max_power().unwrap() > 300.0);
+    }
+
+    #[test]
+    fn variability_shifts_idle_and_speed() {
+        let spec = A100Spec::default();
+        let calib = ThrottleCalib::default();
+        let var = GpuVariability {
+            idle_offset_w: 10.0,
+            power_scale: 1.0,
+            speed_scale: 0.5,
+        };
+        let gpu = Gpu::new(spec, calib, var);
+        assert!((gpu.idle_w() - (A100Spec::default().idle_w + 10.0)).abs() < 1e-12);
+        let ex = gpu.execute(&Kernel::new(Gemm, 1e5, 1.0));
+        assert!((ex.duration_s - 2.0).abs() < 1e-12, "half speed → double time");
+    }
+}

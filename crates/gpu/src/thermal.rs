@@ -1,0 +1,201 @@
+//! Board thermal dynamics.
+//!
+//! Power capping (§V) is one of two mechanisms that slow an A100 down; the
+//! other is thermal throttling when the die crosses its slowdown
+//! temperature. Perlmutter's GPU nodes are liquid-cooled, so the paper
+//! never hits the thermal limit — this model exists to *verify* that claim
+//! for our simulated workloads (none of the reproduced runs should ever
+//! throttle thermally) and to support what-if studies with weaker cooling.
+//!
+//! First-order RC model: `C·dT/dt = P_dyn − (T − T_coolant)/R_th`.
+
+use vpp_sim::PowerTrace;
+
+/// Thermal parameters of a cooled A100 board.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThermalModel {
+    /// Coolant/ambient temperature, °C.
+    pub coolant_c: f64,
+    /// Thermal resistance junction→coolant, °C/W.
+    pub r_th_c_per_w: f64,
+    /// Heat capacity of the board assembly, J/°C.
+    pub capacity_j_per_c: f64,
+    /// Die temperature where the driver starts thermal throttling, °C.
+    pub slowdown_c: f64,
+}
+
+impl ThermalModel {
+    /// Perlmutter's direct liquid cooling: low thermal resistance, cool
+    /// loop water.
+    #[must_use]
+    pub fn liquid_cooled() -> Self {
+        Self {
+            coolant_c: 32.0,
+            r_th_c_per_w: 0.085,
+            capacity_j_per_c: 1100.0,
+            slowdown_c: 83.0,
+        }
+    }
+
+    /// An air-cooled comparison point (PCIe-style chassis).
+    #[must_use]
+    pub fn air_cooled() -> Self {
+        Self {
+            coolant_c: 38.0,
+            r_th_c_per_w: 0.17,
+            capacity_j_per_c: 1100.0,
+            slowdown_c: 83.0,
+        }
+    }
+
+    /// Steady-state die temperature at constant power, °C.
+    #[must_use]
+    pub fn steady_state_c(&self, power_w: f64) -> f64 {
+        self.coolant_c + power_w * self.r_th_c_per_w
+    }
+
+    /// Thermal time constant, seconds.
+    #[must_use]
+    pub fn time_constant_s(&self) -> f64 {
+        self.r_th_c_per_w * self.capacity_j_per_c
+    }
+
+    /// Integrate the die temperature over a power trace, sampled every
+    /// `dt_s`, starting from coolant temperature (cold start).
+    ///
+    /// # Panics
+    /// If `dt_s` is not positive.
+    #[must_use]
+    pub fn temperature_series(&self, trace: &PowerTrace, dt_s: f64) -> Vec<(f64, f64)> {
+        assert!(dt_s > 0.0, "bad step {dt_s}");
+        let tau = self.time_constant_s();
+        let mut t_die = self.coolant_c;
+        let mut out = Vec::new();
+        let mut t = trace.start();
+        while t < trace.end() {
+            let p = trace.mean_power(t, t + dt_s);
+            let target = self.steady_state_c(p);
+            // Exact solution of the linear ODE over the step.
+            let alpha = (-dt_s / tau).exp();
+            t_die = target + (t_die - target) * alpha;
+            t += dt_s;
+            out.push((t, t_die));
+        }
+        out
+    }
+
+    /// Peak die temperature over a trace.
+    #[must_use]
+    pub fn peak_temperature_c(&self, trace: &PowerTrace) -> f64 {
+        self.temperature_series(trace, 1.0)
+            .into_iter()
+            .map(|(_, t)| t)
+            .fold(self.coolant_c, f64::max)
+    }
+
+    /// Fraction of the run spent above the slowdown temperature (0 under
+    /// adequate cooling — asserted for every reproduced workload).
+    #[must_use]
+    pub fn throttle_fraction(&self, trace: &PowerTrace) -> f64 {
+        let series = self.temperature_series(trace, 1.0);
+        if series.is_empty() {
+            return 0.0;
+        }
+        series.iter().filter(|&&(_, t)| t >= self.slowdown_c).count() as f64
+            / series.len() as f64
+    }
+}
+
+impl Default for ThermalModel {
+    fn default() -> Self {
+        Self::liquid_cooled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_state_scales_with_power() {
+        let m = ThermalModel::liquid_cooled();
+        assert_eq!(m.steady_state_c(0.0), 32.0);
+        let at_tdp = m.steady_state_c(400.0);
+        assert!((at_tdp - 66.0).abs() < 1.0, "400 W → ~66 °C: {at_tdp}");
+        assert!(at_tdp < m.slowdown_c, "liquid cooling holds TDP below slowdown");
+    }
+
+    #[test]
+    fn air_cooling_is_hotter() {
+        let liquid = ThermalModel::liquid_cooled();
+        let air = ThermalModel::air_cooled();
+        assert!(air.steady_state_c(300.0) > liquid.steady_state_c(300.0));
+        // Air cooling at sustained TDP would throttle.
+        assert!(air.steady_state_c(400.0) > air.slowdown_c);
+    }
+
+    #[test]
+    fn temperature_relaxes_exponentially() {
+        let m = ThermalModel::liquid_cooled();
+        let trace = PowerTrace::from_segments(0.0, [(1000.0, 400.0)]);
+        let series = m.temperature_series(&trace, 1.0);
+        let tau = m.time_constant_s();
+        // After one time constant, ~63% of the way to steady state.
+        let idx = tau.round() as usize - 1;
+        let expect = 32.0 + 0.632 * (m.steady_state_c(400.0) - 32.0);
+        assert!(
+            (series[idx].1 - expect).abs() < 1.5,
+            "T(τ) = {} vs {expect}",
+            series[idx].1
+        );
+        // And converges by 5τ.
+        let end = series.last().unwrap().1;
+        assert!((end - m.steady_state_c(400.0)).abs() < 0.1);
+    }
+
+    #[test]
+    fn bursts_are_smoothed_by_thermal_mass() {
+        let m = ThermalModel::liquid_cooled();
+        // 2 s bursts at 400 W between 2 s at 100 W.
+        let mut trace = PowerTrace::new(0.0);
+        for _ in 0..200 {
+            trace.push(2.0, 400.0);
+            trace.push(2.0, 100.0);
+        }
+        let peak = m.peak_temperature_c(&trace);
+        let mean_ss = m.steady_state_c(250.0);
+        assert!(
+            (peak - mean_ss).abs() < 2.0,
+            "fast bursts should average thermally: peak {peak} vs {mean_ss}"
+        );
+    }
+
+    #[test]
+    fn no_thermal_throttling_under_liquid_cooling_at_tdp() {
+        let m = ThermalModel::liquid_cooled();
+        let trace = PowerTrace::from_segments(0.0, [(3600.0, 400.0)]);
+        assert_eq!(m.throttle_fraction(&trace), 0.0);
+    }
+
+    #[test]
+    fn air_cooling_at_tdp_eventually_throttles() {
+        let m = ThermalModel::air_cooled();
+        let trace = PowerTrace::from_segments(0.0, [(3600.0, 400.0)]);
+        assert!(m.throttle_fraction(&trace) > 0.5);
+    }
+
+    #[test]
+    fn empty_trace_is_cold() {
+        let m = ThermalModel::liquid_cooled();
+        let trace = PowerTrace::new(0.0);
+        assert_eq!(m.peak_temperature_c(&trace), m.coolant_c);
+        assert_eq!(m.throttle_fraction(&trace), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad step")]
+    fn zero_step_panics() {
+        let trace = PowerTrace::from_segments(0.0, [(1.0, 100.0)]);
+        let _ = ThermalModel::liquid_cooled().temperature_series(&trace, 0.0);
+    }
+}

@@ -1,0 +1,25 @@
+//! MILC-like lattice-QCD workload model.
+//!
+//! §VI-B of the paper: NERSC's deployment strategy is to extend the VASP
+//! power analysis application by application, and "our approach has been
+//! recently applied to NERSC's second top application, MILC" (Acun et al.,
+//! SC24 Sustainable Computing workshop). This crate implements that next
+//! step: a lattice-QCD workload model that lowers to the same per-rank
+//! [`vpp_dft::Op`] stream the cluster executor runs, so the *identical*
+//! telemetry → KDE → capping pipeline characterises a second application.
+//!
+//! Power-wise MILC differs from VASP in exactly the ways that matter for
+//! power-aware scheduling:
+//!
+//! * its conjugate-gradient solver is **bandwidth-bound** (staggered-fermion
+//!   stencils), so sustained GPU power sits well below TDP and deep caps
+//!   cost little — matching the companion paper's finding that MILC is
+//!   cap-tolerant;
+//! * every CG iteration ends in a tiny global reduction, so communication
+//!   latency, not bandwidth, limits scaling;
+//! * gauge-force/link updates between trajectories add short compute-heavy
+//!   bursts — the power profile is quasi-periodic per trajectory.
+
+pub mod workload;
+
+pub use workload::{MilcWorkload, SolverParams};

@@ -1,0 +1,109 @@
+//! AMD EPYC 7763 "Milan" CPU power model.
+//!
+//! During GPU-resident VASP phases the host CPU runs the OpenACC runtime,
+//! MPI progress engines, and kernel launches — a light, fairly flat load
+//! (Fig. 3: CPU + memory < 10 % of node power, "primarily flat"). During
+//! the ACFDT/RPA exact-diagonalisation stage the CPU runs the dense solver
+//! alone and pulls near its TDP (the mid-timeline hump/flat of Fig. 3,
+//! bottom panel).
+
+use vpp_sim::Rng;
+
+/// Milan CPU instance with its variability sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuModel {
+    /// Idle package power, watts.
+    pub idle_w: f64,
+    /// Package TDP, watts (§II-A: 280 W).
+    pub tdp_w: f64,
+    /// Multiplicative board-to-board power offset.
+    pub power_scale: f64,
+}
+
+impl CpuModel {
+    /// Nominal Milan part.
+    #[must_use]
+    pub fn nominal() -> Self {
+        Self {
+            idle_w: 85.0,
+            tdp_w: 280.0,
+            power_scale: 1.0,
+        }
+    }
+
+    /// Draw an instance with fleet variability.
+    #[must_use]
+    pub fn sample(rng: &mut Rng) -> Self {
+        Self {
+            power_scale: rng.normal_clamped(1.0, 0.02, 0.94, 1.06),
+            ..Self::nominal()
+        }
+    }
+
+    /// Package power at the given active fraction (0 = idle, 1 = all cores
+    /// at full tilt).
+    #[must_use]
+    pub fn power(&self, active: f64) -> f64 {
+        let a = active.clamp(0.0, 1.0);
+        (self.idle_w + a * (self.tdp_w - self.idle_w)) * self.power_scale
+    }
+
+    /// Active fraction while the node hosts GPU-resident DFT work: launch
+    /// queues, MPI progress, one OpenMP thread per rank.
+    pub const GPU_HOST_DRIVE: f64 = 0.16;
+    /// Active fraction during the CPU-side exact diagonalisation (ScaLAPACK
+    /// path, all cores).
+    pub const EXACT_DIAG: f64 = 0.82;
+    /// Active fraction during STREAM (bandwidth-bound, cores mostly waiting).
+    pub const STREAM: f64 = 0.45;
+    /// Active fraction during host DGEMM.
+    pub const DGEMM: f64 = 0.95;
+}
+
+impl Default for CpuModel {
+    fn default() -> Self {
+        Self::nominal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_and_tdp_endpoints() {
+        let c = CpuModel::nominal();
+        assert_eq!(c.power(0.0), 85.0);
+        assert_eq!(c.power(1.0), 280.0);
+    }
+
+    #[test]
+    fn active_fraction_clamps() {
+        let c = CpuModel::nominal();
+        assert_eq!(c.power(-0.5), c.power(0.0));
+        assert_eq!(c.power(2.0), c.power(1.0));
+    }
+
+    #[test]
+    fn host_drive_power_is_small_share() {
+        // Fig. 3: CPU < 10 % of an ~1800 W node during GPU phases.
+        let c = CpuModel::nominal();
+        let p = c.power(CpuModel::GPU_HOST_DRIVE);
+        assert!(p < 130.0, "host-drive CPU power too high: {p}");
+    }
+
+    #[test]
+    fn exact_diag_pulls_near_tdp() {
+        let c = CpuModel::nominal();
+        let p = c.power(CpuModel::EXACT_DIAG);
+        assert!(p > 220.0, "exact diagonalisation should load the CPU: {p}");
+    }
+
+    #[test]
+    fn sampling_is_bounded_and_deterministic() {
+        let a = CpuModel::sample(&mut Rng::new(4));
+        let b = CpuModel::sample(&mut Rng::new(4));
+        assert_eq!(a, b);
+        assert!((0.94..=1.06).contains(&a.power_scale));
+    }
+}

@@ -1,0 +1,21 @@
+//! Perlmutter GPU-node model.
+//!
+//! A 40 GB GPU node (paper §II-A): one AMD EPYC 7763 "Milan" CPU, 256 GB
+//! DDR4, four NVIDIA A100 GPUs, four Slingshot NICs. Component TDPs: 280 W
+//! CPU + 4 × 400 W GPU + 470 W peripherals (DDR + NICs) = 2350 W node TDP.
+//!
+//! This crate models the non-GPU components (CPU, DDR, NIC/peripheral
+//! envelope), assembles per-component power traces into the node-level trace
+//! that NERSC's Cray PM counters expose (node total = components + the NIC /
+//! miscellaneous gap the paper notes under Fig. 3), and provides the
+//! DGEMM / STREAM / idle prologue phases the measurement protocol runs
+//! before VASP (§III-B.1).
+
+pub mod cpu;
+pub mod memory;
+pub mod node;
+pub mod prologue;
+
+pub use cpu::CpuModel;
+pub use memory::MemoryModel;
+pub use node::{ComponentTraces, NodeInstance, NodeSpec};

@@ -1,0 +1,97 @@
+//! DDR4 memory subsystem power model.
+//!
+//! The Cray PM interface reports DDR power as its own channel (§II-B). DDR
+//! power is a small, activity-dependent slice: ~20 W refresh floor rising
+//! with host-side bandwidth. During GPU-resident phases the host touches
+//! memory for MPI staging and launch bookkeeping; during STREAM it is the
+//! dominant active component.
+
+use vpp_sim::Rng;
+
+/// DDR4 memory subsystem instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoryModel {
+    /// Refresh/background power, watts.
+    pub idle_w: f64,
+    /// Power at full sustained bandwidth, watts.
+    pub max_w: f64,
+    /// Board-to-board scale.
+    pub power_scale: f64,
+}
+
+impl MemoryModel {
+    /// Nominal 256 GB DDR4 configuration.
+    #[must_use]
+    pub fn nominal() -> Self {
+        Self {
+            idle_w: 20.0,
+            max_w: 85.0,
+            power_scale: 1.0,
+        }
+    }
+
+    /// Draw an instance with fleet variability.
+    #[must_use]
+    pub fn sample(rng: &mut Rng) -> Self {
+        Self {
+            power_scale: rng.normal_clamped(1.0, 0.03, 0.92, 1.08),
+            ..Self::nominal()
+        }
+    }
+
+    /// Power at the given bandwidth fraction.
+    #[must_use]
+    pub fn power(&self, bandwidth: f64) -> f64 {
+        let b = bandwidth.clamp(0.0, 1.0);
+        (self.idle_w + b * (self.max_w - self.idle_w)) * self.power_scale
+    }
+
+    /// Bandwidth fraction while hosting GPU-resident DFT phases.
+    pub const GPU_HOST_DRIVE: f64 = 0.28;
+    /// Bandwidth fraction during CPU exact diagonalisation.
+    pub const EXACT_DIAG: f64 = 0.55;
+    /// Bandwidth fraction during STREAM.
+    pub const STREAM: f64 = 1.0;
+    /// Bandwidth fraction during host DGEMM (cache-resident blocks).
+    pub const DGEMM: f64 = 0.35;
+}
+
+impl Default for MemoryModel {
+    fn default() -> Self {
+        Self::nominal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints() {
+        let m = MemoryModel::nominal();
+        assert_eq!(m.power(0.0), 20.0);
+        assert_eq!(m.power(1.0), 85.0);
+    }
+
+    #[test]
+    fn clamping() {
+        let m = MemoryModel::nominal();
+        assert_eq!(m.power(-1.0), 20.0);
+        assert_eq!(m.power(3.0), 85.0);
+    }
+
+    #[test]
+    fn ddr_stays_a_small_slice() {
+        // Fig. 3: CPU + memory together < 10 % of node power.
+        let m = MemoryModel::nominal();
+        assert!(m.power(MemoryModel::GPU_HOST_DRIVE) < 60.0);
+    }
+
+    #[test]
+    fn deterministic_sampling() {
+        assert_eq!(
+            MemoryModel::sample(&mut Rng::new(7)),
+            MemoryModel::sample(&mut Rng::new(7))
+        );
+    }
+}

@@ -1,0 +1,163 @@
+//! DGEMM / STREAM / idle prologue phases.
+//!
+//! The paper's protocol (§III-B.1) runs DGEMM and STREAM before VASP in the
+//! same job script "to exclude the runs manifesting relatively larger
+//! manufactural differences in hardware devices", then leaves the node idle
+//! briefly. Fig. 1 shows this prologue in each node's power timeline. These
+//! generators produce the corresponding component traces for one node.
+
+use crate::cpu::CpuModel;
+use crate::memory::MemoryModel;
+use crate::node::{ComponentTraces, NodeInstance};
+use vpp_gpu::{Kernel, KernelKind};
+use vpp_sim::PowerTrace;
+
+/// Which prologue phase to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProloguePhase {
+    /// GPU + host DGEMM: saturated tensor GEMMs, CPU busy.
+    Dgemm,
+    /// STREAM: bandwidth-bound on GPU and host.
+    Stream,
+    /// Idle gap between the screen and the application run.
+    Idle,
+}
+
+impl ProloguePhase {
+    fn gpu_kernel(self, duration_s: f64) -> Kernel {
+        match self {
+            // Width far above capacity: fully saturated.
+            ProloguePhase::Dgemm => Kernel::new(KernelKind::TensorGemm, 2.5e7, duration_s),
+            ProloguePhase::Stream => Kernel::new(KernelKind::MemBound, 2.5e7, duration_s),
+            ProloguePhase::Idle => Kernel::idle(duration_s),
+        }
+    }
+
+    fn cpu_active(self) -> f64 {
+        match self {
+            ProloguePhase::Dgemm => CpuModel::DGEMM,
+            ProloguePhase::Stream => CpuModel::STREAM,
+            ProloguePhase::Idle => 0.0,
+        }
+    }
+
+    fn mem_active(self) -> f64 {
+        match self {
+            ProloguePhase::Dgemm => MemoryModel::DGEMM,
+            ProloguePhase::Stream => MemoryModel::STREAM,
+            ProloguePhase::Idle => 0.0,
+        }
+    }
+}
+
+/// Generate one prologue phase of `duration_s` seconds on `node`, starting
+/// at absolute time `t0`.
+#[must_use]
+pub fn run_phase(
+    node: &NodeInstance,
+    phase: ProloguePhase,
+    t0: f64,
+    duration_s: f64,
+) -> ComponentTraces {
+    assert!(duration_s >= 0.0);
+    let cpu = PowerTrace::from_segments(t0, [(duration_s, node.cpu.power(phase.cpu_active()))]);
+    let mem = PowerTrace::from_segments(t0, [(duration_s, node.mem.power(phase.mem_active()))]);
+    let periph_w = if matches!(phase, ProloguePhase::Idle) {
+        node.periph_idle_w
+    } else {
+        node.periph_active_w
+    };
+    let periph = PowerTrace::from_segments(t0, [(duration_s, periph_w)]);
+    // Prologue phases are time-boxed (run for a fixed wall time), so the
+    // board's speed variability changes achieved FLOP/s, not the duration.
+    let gpus = node
+        .gpus
+        .iter()
+        .map(|g| {
+            let k = phase.gpu_kernel(duration_s);
+            let p = g.uncapped_power(&k).min(g.effective_ceiling());
+            PowerTrace::from_segments(t0, [(duration_s, p)])
+        })
+        .collect();
+    ComponentTraces::assemble(cpu, mem, gpus, periph)
+}
+
+/// The full screening prologue: DGEMM, STREAM, then an idle gap, in the
+/// order visible in Fig. 1. Returns the concatenated traces.
+#[must_use]
+pub fn full_prologue(
+    node: &NodeInstance,
+    t0: f64,
+    dgemm_s: f64,
+    stream_s: f64,
+    idle_s: f64,
+) -> ComponentTraces {
+    let mut out = run_phase(node, ProloguePhase::Dgemm, t0, dgemm_s);
+    let t1 = out.node.end();
+    out.append(&run_phase(node, ProloguePhase::Stream, t1, stream_s));
+    let t2 = out.node.end();
+    out.append(&run_phase(node, ProloguePhase::Idle, t2, idle_s));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpp_sim::Rng;
+
+    #[test]
+    fn dgemm_pushes_gpus_near_tdp() {
+        let node = NodeInstance::nominal();
+        let c = run_phase(&node, ProloguePhase::Dgemm, 0.0, 10.0);
+        for g in &c.gpus {
+            assert!(g.max_power().unwrap() > 370.0);
+        }
+        // Node power under DGEMM approaches but does not exceed node TDP.
+        let peak = c.node.max_power().unwrap();
+        assert!(peak > 1900.0 && peak < 2350.0, "peak = {peak}");
+    }
+
+    #[test]
+    fn stream_draws_less_than_dgemm() {
+        let node = NodeInstance::nominal();
+        let d = run_phase(&node, ProloguePhase::Dgemm, 0.0, 5.0);
+        let s = run_phase(&node, ProloguePhase::Stream, 0.0, 5.0);
+        assert!(s.node.max_power().unwrap() < d.node.max_power().unwrap());
+        // ...but clearly more than idle.
+        assert!(s.node.max_power().unwrap() > node.idle_w() + 200.0);
+    }
+
+    #[test]
+    fn idle_phase_draws_idle_power() {
+        let node = NodeInstance::nominal();
+        let c = run_phase(&node, ProloguePhase::Idle, 0.0, 5.0);
+        assert!((c.node.power_at(1.0) - node.idle_w()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn full_prologue_ordering_and_duration() {
+        let node = NodeInstance::nominal();
+        let c = full_prologue(&node, 0.0, 10.0, 8.0, 4.0);
+        assert!((c.node.duration() - 22.0).abs() < 1e-9);
+        // Power order over the three windows: dgemm > stream > idle.
+        let p_dgemm = c.node.mean_power(0.0, 10.0);
+        let p_stream = c.node.mean_power(10.0, 18.0);
+        let p_idle = c.node.mean_power(18.0, 22.0);
+        assert!(p_dgemm > p_stream && p_stream > p_idle);
+    }
+
+    #[test]
+    fn identical_phases_differ_across_sampled_nodes() {
+        // Fig. 1: identical DGEMM/STREAM on different nodes shows visible
+        // power offsets (manufacturing variability).
+        let a = NodeInstance::sample(&mut Rng::new(100));
+        let b = NodeInstance::sample(&mut Rng::new(101));
+        let pa = run_phase(&a, ProloguePhase::Dgemm, 0.0, 5.0)
+            .node
+            .mean_power(0.0, 5.0);
+        let pb = run_phase(&b, ProloguePhase::Dgemm, 0.0, 5.0)
+            .node
+            .mean_power(0.0, 5.0);
+        assert!((pa - pb).abs() > 1.0, "nodes should differ: {pa} vs {pb}");
+    }
+}

@@ -1,0 +1,20 @@
+//! GPU power capping and power-aware scheduling.
+//!
+//! Two layers:
+//!
+//! * [`nvidia_smi`] — the `nvidia-smi -pl` analogue the paper uses to set
+//!   GPU power limits (§V): validated limits, per-GPU or node-wide, with
+//!   query support.
+//! * [`scheduler`] — the power-aware batch scheduler the paper proposes in
+//!   §VI: classify jobs by workload type, cap VASP-like jobs at 50 % TDP
+//!   (which costs <10 % performance), and reallocate the spared power to
+//!   admit more jobs under a fixed system power budget, deciding within
+//!   30-second scheduling cycles.
+
+pub mod controller;
+pub mod nvidia_smi;
+pub mod scheduler;
+
+pub use controller::{ControlledJob, Controller};
+pub use nvidia_smi::{GpuPowerInfo, NvidiaSmi, SmiError};
+pub use scheduler::{BatchJob, CapResponse, Policy, ScheduleOutcome, Scheduler, WorkloadClass};

@@ -1,0 +1,186 @@
+//! The `nvidia-smi` power-management analogue (§V: `nvidia-smi -pl`).
+//!
+//! Unlike the internal clamp on [`vpp_gpu::Gpu::set_power_limit`], this
+//! front-end rejects out-of-range requests with an error — matching the real
+//! tool's behaviour ("Provided power limit ... is not a valid power limit").
+
+use vpp_node::NodeInstance;
+
+/// Errors the management interface reports.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SmiError {
+    /// Requested limit outside the device's settable range.
+    OutOfRange {
+        requested_w: f64,
+        min_w: f64,
+        max_w: f64,
+    },
+    /// GPU index does not exist on this node.
+    NoSuchGpu { index: usize, available: usize },
+}
+
+impl std::fmt::Display for SmiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SmiError::OutOfRange {
+                requested_w,
+                min_w,
+                max_w,
+            } => write!(
+                f,
+                "provided power limit {requested_w:.2} W is not a valid power limit \
+                 (range [{min_w:.2}, {max_w:.2}] W)"
+            ),
+            SmiError::NoSuchGpu { index, available } => {
+                write!(f, "GPU {index} does not exist ({available} GPUs present)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SmiError {}
+
+/// One row of `nvidia-smi -q -d POWER` output.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuPowerInfo {
+    pub index: usize,
+    pub limit_w: f64,
+    pub min_limit_w: f64,
+    pub max_limit_w: f64,
+    pub default_limit_w: f64,
+}
+
+/// The management front-end. Stateless: operates on node instances.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NvidiaSmi;
+
+impl NvidiaSmi {
+    /// `nvidia-smi -pl <watts>`: set the limit on every GPU of the node.
+    /// Returns the applied limit.
+    pub fn set_power_limit(node: &mut NodeInstance, watts: f64) -> Result<f64, SmiError> {
+        Self::validate(node, watts)?;
+        Ok(node.set_gpu_power_limit(watts))
+    }
+
+    /// `nvidia-smi -i <idx> -pl <watts>`: set the limit on one GPU.
+    pub fn set_power_limit_gpu(
+        node: &mut NodeInstance,
+        index: usize,
+        watts: f64,
+    ) -> Result<f64, SmiError> {
+        Self::validate(node, watts)?;
+        let available = node.gpus.len();
+        let gpu = node
+            .gpus
+            .get_mut(index)
+            .ok_or(SmiError::NoSuchGpu { index, available })?;
+        Ok(gpu.set_power_limit(watts))
+    }
+
+    /// `nvidia-smi -q -d POWER`: current limits of every GPU.
+    #[must_use]
+    pub fn query(node: &NodeInstance) -> Vec<GpuPowerInfo> {
+        node.gpus
+            .iter()
+            .enumerate()
+            .map(|(index, g)| GpuPowerInfo {
+                index,
+                limit_w: g.power_limit_w(),
+                min_limit_w: g.spec().min_cap_w,
+                max_limit_w: g.spec().max_cap_w,
+                default_limit_w: g.spec().max_cap_w,
+            })
+            .collect()
+    }
+
+    /// Reset every GPU to the default limit.
+    pub fn reset(node: &mut NodeInstance) {
+        node.reset_gpu_power_limits();
+    }
+
+    fn validate(node: &NodeInstance, watts: f64) -> Result<(), SmiError> {
+        let spec = node.gpus[0].spec();
+        if !watts.is_finite() || watts < spec.min_cap_w || watts > spec.max_cap_w {
+            return Err(SmiError::OutOfRange {
+                requested_w: watts,
+                min_w: spec.min_cap_w,
+                max_w: spec.max_cap_w,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_limit_is_applied_to_all_gpus() {
+        let mut node = NodeInstance::nominal();
+        let applied = NvidiaSmi::set_power_limit(&mut node, 250.0).unwrap();
+        assert_eq!(applied, 250.0);
+        for info in NvidiaSmi::query(&node) {
+            assert_eq!(info.limit_w, 250.0);
+        }
+    }
+
+    #[test]
+    fn out_of_range_is_rejected_not_clamped() {
+        let mut node = NodeInstance::nominal();
+        let err = NvidiaSmi::set_power_limit(&mut node, 50.0).unwrap_err();
+        assert!(matches!(err, SmiError::OutOfRange { .. }));
+        // Limits untouched.
+        assert!(NvidiaSmi::query(&node).iter().all(|i| i.limit_w == 400.0));
+    }
+
+    #[test]
+    fn per_gpu_limit() {
+        let mut node = NodeInstance::nominal();
+        NvidiaSmi::set_power_limit_gpu(&mut node, 2, 300.0).unwrap();
+        let q = NvidiaSmi::query(&node);
+        assert_eq!(q[2].limit_w, 300.0);
+        assert_eq!(q[0].limit_w, 400.0);
+    }
+
+    #[test]
+    fn bad_gpu_index_errors() {
+        let mut node = NodeInstance::nominal();
+        let err = NvidiaSmi::set_power_limit_gpu(&mut node, 9, 300.0).unwrap_err();
+        assert_eq!(
+            err,
+            SmiError::NoSuchGpu {
+                index: 9,
+                available: 4
+            }
+        );
+    }
+
+    #[test]
+    fn reset_restores_defaults() {
+        let mut node = NodeInstance::nominal();
+        NvidiaSmi::set_power_limit(&mut node, 150.0).unwrap();
+        NvidiaSmi::reset(&mut node);
+        assert!(NvidiaSmi::query(&node).iter().all(|i| i.limit_w == 400.0));
+    }
+
+    #[test]
+    fn query_reports_device_range() {
+        let node = NodeInstance::nominal();
+        let q = NvidiaSmi::query(&node);
+        assert_eq!(q.len(), 4);
+        assert!(q.iter().all(|i| i.min_limit_w == 100.0 && i.max_limit_w == 400.0));
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let msg = SmiError::OutOfRange {
+            requested_w: 50.0,
+            min_w: 100.0,
+            max_w: 400.0,
+        }
+        .to_string();
+        assert!(msg.contains("50.00"));
+        assert!(msg.contains("not a valid power limit"));
+    }
+}

@@ -1,0 +1,208 @@
+//! A minimal discrete-event engine.
+//!
+//! The cluster executor uses this queue to interleave per-rank compute
+//! segments, collective communication, and telemetry events in global time
+//! order. Events scheduled for the same instant are delivered in FIFO order
+//! (a monotone sequence number breaks ties), which keeps multi-rank barriers
+//! deterministic.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+struct Entry<E> {
+    time: f64,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want earliest-first.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Earliest-first event queue with a simulation clock.
+#[derive(Default)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+    now: f64,
+}
+
+impl<E> EventQueue<E> {
+    /// A queue starting at time 0.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::starting_at(0.0)
+    }
+
+    /// A queue whose clock starts at `t0`.
+    #[must_use]
+    pub fn starting_at(t0: f64) -> Self {
+        assert!(t0.is_finite());
+        Self {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: t0,
+        }
+    }
+
+    /// Current simulation time (the time of the last delivered event).
+    #[must_use]
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    ///
+    /// # Panics
+    /// If `at` precedes the current clock (causality violation) or is not
+    /// finite.
+    pub fn schedule(&mut self, at: f64, event: E) {
+        assert!(at.is_finite(), "event time must be finite");
+        assert!(
+            at >= self.now - 1e-12,
+            "cannot schedule event at {at} before now = {}",
+            self.now
+        );
+        self.heap.push(Entry {
+            time: at,
+            seq: self.seq,
+            event,
+        });
+        self.seq += 1;
+    }
+
+    /// Schedule `event` `dt >= 0` seconds from now.
+    pub fn schedule_in(&mut self, dt: f64, event: E) {
+        assert!(dt >= 0.0, "negative delay {dt}");
+        self.schedule(self.now + dt, event);
+    }
+
+    /// Time of the next event without removing it.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<f64> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Deliver the next event, advancing the clock to its timestamp.
+    #[allow(clippy::should_implement_trait)] // queue semantics, not iteration
+    pub fn next(&mut self) -> Option<(f64, E)> {
+        let entry = self.heap.pop()?;
+        self.now = entry.time;
+        Some((entry.time, entry.event))
+    }
+
+    /// Drain all events in time order, calling `f(time, event)` for each.
+    /// Handlers may schedule further events through the returned closure
+    /// argument — use [`EventQueue::next`] in a loop for that pattern; this
+    /// convenience method is for static event sets.
+    pub fn drain(&mut self, mut f: impl FnMut(f64, E)) {
+        while let Some((t, e)) = self.next() {
+            f(t, e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_delivered_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(3.0, "c");
+        q.schedule(1.0, "a");
+        q.schedule(2.0, "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.next().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule(1.0, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.next().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_delivery() {
+        let mut q = EventQueue::new();
+        q.schedule(5.0, ());
+        assert_eq!(q.now(), 0.0);
+        q.next();
+        assert_eq!(q.now(), 5.0);
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut q = EventQueue::starting_at(10.0);
+        q.schedule_in(2.5, "x");
+        assert_eq!(q.peek_time(), Some(12.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "before now")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(5.0, ());
+        q.next();
+        q.schedule(1.0, ());
+    }
+
+    #[test]
+    fn handlers_can_chain_events() {
+        let mut q = EventQueue::new();
+        q.schedule(1.0, 3u32);
+        let mut fired = Vec::new();
+        while let Some((t, remaining)) = q.next() {
+            fired.push(t);
+            if remaining > 0 {
+                q.schedule_in(1.0, remaining - 1);
+            }
+        }
+        assert_eq!(fired, vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn drain_consumes_everything() {
+        let mut q = EventQueue::new();
+        q.schedule(1.0, 1);
+        q.schedule(2.0, 2);
+        let mut seen = 0;
+        q.drain(|_, _| seen += 1);
+        assert_eq!(seen, 2);
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,25 @@
+//! Discrete-event simulation substrate for the VASP power-profile reproduction.
+//!
+//! This crate provides the primitives everything else is built on:
+//!
+//! * [`PowerTrace`] — a piecewise-constant power signal in watts over
+//!   simulated seconds. All hardware models emit these; the telemetry and
+//!   statistics layers consume them.
+//! * [`EventQueue`] — a minimal discrete-event engine used by the cluster
+//!   executor to interleave compute and communication across ranks.
+//! * [`Rng`] — a small, fully deterministic SplitMix64-based random number
+//!   generator so that every experiment is reproducible bit-for-bit across
+//!   platforms and library versions (the paper's protocol repeats each run
+//!   five times; we need stable streams per repeat).
+//!
+//! Times are `f64` seconds from an arbitrary epoch; powers are `f64` watts;
+//! energies are joules.
+
+pub mod des;
+pub mod rng;
+pub mod trace;
+pub mod units;
+
+pub use des::EventQueue;
+pub use rng::Rng;
+pub use trace::{PowerTrace, Segment};

@@ -1,0 +1,227 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! The experiment protocol in the paper runs every benchmark five times and
+//! selects the fastest run (§III-B.1). To make those repeats — and every
+//! stochastic model ingredient (manufacturing variability, telemetry sample
+//! drops, network jitter) — reproducible independent of platform or external
+//! crate versions, we use a self-contained SplitMix64 generator. SplitMix64
+//! passes BigCrush, is trivially seedable, and supports cheap stream forking,
+//! which we use to give each node/GPU/subsystem an independent substream.
+
+/// SplitMix64 pseudo-random number generator.
+///
+/// Not cryptographically secure; used only for simulation stochasticity.
+///
+/// ```
+/// use vpp_sim::Rng;
+///
+/// let mut a = Rng::new(7);
+/// let mut b = Rng::new(7);
+/// assert_eq!(a.next_u64(), b.next_u64()); // same seed, same stream
+/// let x = a.uniform(0.0, 1.0);
+/// assert!((0.0..1.0).contains(&x));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    state: u64,
+    /// Cached second output of the Box-Muller transform.
+    spare_normal: Option<u64>,
+}
+
+const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+#[inline]
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Rng {
+    /// Create a generator from a seed. Equal seeds yield equal streams.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self {
+            state: mix(seed ^ GOLDEN_GAMMA),
+            spare_normal: None,
+        }
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(GOLDEN_GAMMA);
+        mix(self.state)
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[lo, hi)`. Requires `lo <= hi` and both finite.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(lo <= hi && lo.is_finite() && hi.is_finite());
+        lo + (hi - lo) * self.f64()
+    }
+
+    /// Uniform integer in `[0, n)`. Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "Rng::index called with n = 0");
+        // Multiply-shift rejection-free mapping; bias is negligible for the
+        // small `n` used in simulation (« 2^32).
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
+    }
+
+    /// Bernoulli trial with probability `p` of `true`.
+    pub fn bool(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Standard normal via Box-Muller (polar-free form); deterministic.
+    pub fn standard_normal(&mut self) -> f64 {
+        if let Some(bits) = self.spare_normal.take() {
+            return f64::from_bits(bits);
+        }
+        // Avoid u1 == 0 so ln is finite.
+        let u1 = ((self.next_u64() >> 11) as f64 + 1.0) * (1.0 / (1u64 << 53) as f64);
+        let u2 = self.f64();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        let (s, c) = theta.sin_cos();
+        self.spare_normal = Some((r * s).to_bits());
+        r * c
+    }
+
+    /// Normal with mean `mu` and standard deviation `sigma >= 0`.
+    pub fn normal(&mut self, mu: f64, sigma: f64) -> f64 {
+        debug_assert!(sigma >= 0.0);
+        mu + sigma * self.standard_normal()
+    }
+
+    /// Normal clamped to `[lo, hi]` (simple clipping; adequate for the mild
+    /// variability distributions used by the hardware models).
+    pub fn normal_clamped(&mut self, mu: f64, sigma: f64, lo: f64, hi: f64) -> f64 {
+        self.normal(mu, sigma).clamp(lo, hi)
+    }
+
+    /// Log-normal with the given *underlying* normal parameters.
+    pub fn lognormal(&mut self, mu: f64, sigma: f64) -> f64 {
+        self.normal(mu, sigma).exp()
+    }
+
+    /// Fork an independent substream labelled by `stream`.
+    ///
+    /// Children with distinct labels (or from distinct parents) produce
+    /// independent sequences; the parent's own stream is unaffected.
+    #[must_use]
+    pub fn fork(&self, stream: u64) -> Rng {
+        Rng::new(mix(self.state ^ mix(stream ^ 0xA076_1D64_78BD_642F)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Rng::new(1);
+        let mut b = Rng::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = Rng::new(7);
+        for _ in 0..10_000 {
+            let x = r.f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut r = Rng::new(3);
+        for _ in 0..10_000 {
+            let x = r.uniform(-2.5, 9.0);
+            assert!((-2.5..9.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn index_covers_range() {
+        let mut r = Rng::new(11);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            seen[r.index(10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "n = 0")]
+    fn index_zero_panics() {
+        Rng::new(0).index(0);
+    }
+
+    #[test]
+    fn normal_moments_are_sane() {
+        let mut r = Rng::new(99);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| r.standard_normal()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.01, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var = {var}");
+    }
+
+    #[test]
+    fn normal_clamped_respects_bounds() {
+        let mut r = Rng::new(5);
+        for _ in 0..10_000 {
+            let x = r.normal_clamped(0.0, 10.0, -1.0, 1.0);
+            assert!((-1.0..=1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn lognormal_is_positive() {
+        let mut r = Rng::new(17);
+        for _ in 0..1_000 {
+            assert!(r.lognormal(0.0, 0.5) > 0.0);
+        }
+    }
+
+    #[test]
+    fn forked_streams_are_independent_and_stable() {
+        let parent = Rng::new(1234);
+        let mut c1 = parent.fork(0);
+        let mut c2 = parent.fork(1);
+        let mut c1_again = parent.fork(0);
+        let a: Vec<u64> = (0..16).map(|_| c1.next_u64()).collect();
+        let b: Vec<u64> = (0..16).map(|_| c2.next_u64()).collect();
+        let a_again: Vec<u64> = (0..16).map(|_| c1_again.next_u64()).collect();
+        assert_eq!(a, a_again, "same label must reproduce the same stream");
+        assert_ne!(a, b, "distinct labels must differ");
+    }
+
+    #[test]
+    fn bool_probability_roughly_matches() {
+        let mut r = Rng::new(8);
+        let hits = (0..100_000).filter(|_| r.bool(0.3)).count();
+        let frac = hits as f64 / 100_000.0;
+        assert!((frac - 0.3).abs() < 0.01, "frac = {frac}");
+    }
+}

@@ -1,0 +1,538 @@
+//! Piecewise-constant power traces.
+//!
+//! Every hardware model in this workspace produces a [`PowerTrace`]: a
+//! right-open, gap-free sequence of `(duration, watts)` segments starting at
+//! some absolute simulated time. The telemetry layer samples traces with
+//! window averaging (which is how Cray PM counters report power), and the
+//! statistics layer reduces the sampled series to the paper's metrics.
+//!
+//! Segments are stored as absolute end-times so lookups are a binary search
+//! and long traces do not accumulate floating-point drift.
+
+/// One piecewise-constant segment of a [`PowerTrace`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    /// Absolute start time, seconds.
+    pub t0: f64,
+    /// Absolute end time, seconds (`t1 > t0`).
+    pub t1: f64,
+    /// Constant power over `[t0, t1)`, watts.
+    pub watts: f64,
+}
+
+impl Segment {
+    /// Duration in seconds.
+    #[must_use]
+    pub fn duration(&self) -> f64 {
+        self.t1 - self.t0
+    }
+
+    /// Energy in joules.
+    #[must_use]
+    pub fn energy(&self) -> f64 {
+        self.duration() * self.watts
+    }
+}
+
+/// A piecewise-constant power signal over `[start, end)`.
+///
+/// The trace is defined to be 0 W outside its domain, which makes summing
+/// traces of different extents (e.g. GPU traces that finish at different
+/// times within a node) well defined.
+///
+/// ```
+/// use vpp_sim::PowerTrace;
+///
+/// let mut t = PowerTrace::new(0.0);
+/// t.push(10.0, 300.0); // 10 s at 300 W
+/// t.push(5.0, 100.0);
+/// assert_eq!(t.energy(), 3500.0);
+/// assert_eq!(t.power_at(12.0), 100.0);
+/// assert_eq!(t.mean_power(5.0, 15.0), 200.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PowerTrace {
+    start: f64,
+    /// Absolute end time of segment `i`; strictly increasing.
+    ends: Vec<f64>,
+    /// Power of segment `i` in watts.
+    watts: Vec<f64>,
+}
+
+/// Tolerance used when merging adjacent segments of equal power.
+const MERGE_EPS: f64 = 1e-9;
+
+impl PowerTrace {
+    /// An empty trace beginning at `start` seconds.
+    #[must_use]
+    pub fn new(start: f64) -> Self {
+        assert!(start.is_finite(), "trace start must be finite");
+        Self {
+            start,
+            ends: Vec::new(),
+            watts: Vec::new(),
+        }
+    }
+
+    /// Build a trace from `(duration, watts)` pairs starting at `start`.
+    #[must_use]
+    pub fn from_segments(start: f64, segs: impl IntoIterator<Item = (f64, f64)>) -> Self {
+        let mut t = Self::new(start);
+        for (dur, w) in segs {
+            t.push(dur, w);
+        }
+        t
+    }
+
+    /// Append a segment of `dur` seconds at `watts` W. Zero-duration pushes
+    /// are ignored; adjacent segments of (numerically) equal power merge.
+    ///
+    /// # Panics
+    /// If `dur` is negative or not finite, or `watts` is not finite.
+    pub fn push(&mut self, dur: f64, watts: f64) {
+        assert!(dur.is_finite() && dur >= 0.0, "bad duration {dur}");
+        assert!(watts.is_finite(), "bad power {watts}");
+        if dur == 0.0 {
+            return;
+        }
+        let end = self.end() + dur;
+        if let (Some(last_end), Some(last_w)) = (self.ends.last_mut(), self.watts.last()) {
+            if (last_w - watts).abs() <= MERGE_EPS {
+                *last_end = end;
+                return;
+            }
+        }
+        self.ends.push(end);
+        self.watts.push(watts);
+    }
+
+    /// Start of the trace's domain, seconds.
+    #[must_use]
+    pub fn start(&self) -> f64 {
+        self.start
+    }
+
+    /// End of the trace's domain, seconds. Equals `start` when empty.
+    #[must_use]
+    pub fn end(&self) -> f64 {
+        *self.ends.last().unwrap_or(&self.start)
+    }
+
+    /// Total duration in seconds.
+    #[must_use]
+    pub fn duration(&self) -> f64 {
+        self.end() - self.start
+    }
+
+    /// Number of stored segments.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ends.len()
+    }
+
+    /// True when the trace holds no segments.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ends.is_empty()
+    }
+
+    /// Instantaneous power at time `t`; 0 W outside the domain.
+    #[must_use]
+    pub fn power_at(&self, t: f64) -> f64 {
+        if t < self.start || t >= self.end() || self.is_empty() {
+            return 0.0;
+        }
+        // First segment whose end exceeds t.
+        let idx = self.ends.partition_point(|&e| e <= t);
+        self.watts[idx]
+    }
+
+    /// Iterate over segments with absolute times.
+    pub fn segments(&self) -> impl Iterator<Item = Segment> + '_ {
+        (0..self.ends.len()).map(move |i| Segment {
+            t0: if i == 0 { self.start } else { self.ends[i - 1] },
+            t1: self.ends[i],
+            watts: self.watts[i],
+        })
+    }
+
+    /// Total energy in joules.
+    #[must_use]
+    pub fn energy(&self) -> f64 {
+        self.segments().map(|s| s.energy()).sum()
+    }
+
+    /// Energy delivered within `[t0, t1)`, treating the trace as 0 W outside
+    /// its domain.
+    #[must_use]
+    pub fn energy_between(&self, t0: f64, t1: f64) -> f64 {
+        if t1 <= t0 || self.is_empty() {
+            return 0.0;
+        }
+        let lo = t0.max(self.start);
+        let hi = t1.min(self.end());
+        if hi <= lo {
+            return 0.0;
+        }
+        let mut first = self.ends.partition_point(|&e| e <= lo);
+        let mut acc = 0.0;
+        let mut cursor = lo;
+        while cursor < hi && first < self.ends.len() {
+            let seg_end = self.ends[first].min(hi);
+            acc += (seg_end - cursor) * self.watts[first];
+            cursor = seg_end;
+            first += 1;
+        }
+        acc
+    }
+
+    /// Time-weighted mean power over the window `[t0, t1)` — the quantity a
+    /// window-averaging power meter reports. Portions of the window outside
+    /// the trace's domain count as 0 W.
+    #[must_use]
+    pub fn mean_power(&self, t0: f64, t1: f64) -> f64 {
+        if t1 <= t0 {
+            return 0.0;
+        }
+        self.energy_between(t0, t1) / (t1 - t0)
+    }
+
+    /// Maximum segment power; `None` for empty traces.
+    #[must_use]
+    pub fn max_power(&self) -> Option<f64> {
+        self.watts.iter().copied().reduce(f64::max)
+    }
+
+    /// Minimum segment power; `None` for empty traces.
+    #[must_use]
+    pub fn min_power(&self) -> Option<f64> {
+        self.watts.iter().copied().reduce(f64::min)
+    }
+
+    /// Shift the whole trace by `dt` seconds (positive = later).
+    pub fn shift(&mut self, dt: f64) {
+        assert!(dt.is_finite());
+        self.start += dt;
+        for e in &mut self.ends {
+            *e += dt;
+        }
+    }
+
+    /// Multiply all powers by `k`.
+    pub fn scale_power(&mut self, k: f64) {
+        assert!(k.is_finite());
+        for w in &mut self.watts {
+            *w *= k;
+        }
+    }
+
+    /// Add a constant offset (e.g. an idle floor) to every segment.
+    pub fn add_constant(&mut self, w: f64) {
+        assert!(w.is_finite());
+        for x in &mut self.watts {
+            *x += w;
+        }
+    }
+
+    /// Extract the sub-trace covering `[t0, t1)` ∩ domain.
+    #[must_use]
+    pub fn slice(&self, t0: f64, t1: f64) -> PowerTrace {
+        let lo = t0.max(self.start);
+        let hi = t1.min(self.end());
+        let mut out = PowerTrace::new(lo.min(hi));
+        if hi <= lo {
+            return out;
+        }
+        let mut idx = self.ends.partition_point(|&e| e <= lo);
+        let mut cursor = lo;
+        while cursor < hi && idx < self.ends.len() {
+            let seg_end = self.ends[idx].min(hi);
+            out.push(seg_end - cursor, self.watts[idx]);
+            cursor = seg_end;
+            idx += 1;
+        }
+        out
+    }
+
+    /// Append another trace, closing any gap between `self.end()` and
+    /// `other.start()` with 0 W. `other` must not start before `self.end()`
+    /// by more than a rounding tolerance.
+    pub fn append(&mut self, other: &PowerTrace) {
+        let gap = other.start - self.end();
+        assert!(
+            gap >= -1e-9,
+            "appended trace starts {}s before the current end",
+            -gap
+        );
+        if gap > 1e-12 {
+            self.push(gap, 0.0);
+        }
+        for seg in other.segments() {
+            self.push(seg.duration(), seg.watts);
+        }
+    }
+
+    /// Point-wise sum of several traces. The result spans the union of the
+    /// inputs' domains; each input contributes 0 W outside its own domain.
+    #[must_use]
+    pub fn sum(traces: &[&PowerTrace]) -> PowerTrace {
+        let non_empty: Vec<&&PowerTrace> = traces.iter().filter(|t| !t.is_empty()).collect();
+        if non_empty.is_empty() {
+            return PowerTrace::new(0.0);
+        }
+        let start = non_empty
+            .iter()
+            .map(|t| t.start)
+            .fold(f64::INFINITY, f64::min);
+        let end = non_empty.iter().map(|t| t.end()).fold(start, f64::max);
+        // Union of all breakpoints.
+        let mut cuts: Vec<f64> = Vec::with_capacity(non_empty.iter().map(|t| t.len()).sum());
+        cuts.push(start);
+        for t in &non_empty {
+            cuts.push(t.start);
+            cuts.extend_from_slice(&t.ends);
+        }
+        cuts.push(end);
+        cuts.sort_by(f64::total_cmp);
+        cuts.dedup_by(|a, b| (*a - *b).abs() <= MERGE_EPS);
+
+        let mut out = PowerTrace::new(start);
+        for pair in cuts.windows(2) {
+            let (t0, t1) = (pair[0], pair[1]);
+            if t1 - t0 <= 0.0 {
+                continue;
+            }
+            let mid = 0.5 * (t0 + t1);
+            let w: f64 = non_empty.iter().map(|t| t.power_at(mid)).sum();
+            out.push(t1 - t0, w);
+        }
+        out
+    }
+
+    /// Re-quantise onto windows of `dt` seconds, replacing each window with
+    /// its mean power. Energy is conserved exactly (up to rounding); detail
+    /// finer than `dt` is lost. Used to bound the memory of archived
+    /// fleet-scale traces.
+    ///
+    /// # Panics
+    /// If `dt` is not positive.
+    #[must_use]
+    pub fn coarsen(&self, dt: f64) -> PowerTrace {
+        assert!(dt > 0.0 && dt.is_finite(), "bad window {dt}");
+        let mut out = PowerTrace::new(self.start);
+        if self.is_empty() {
+            return out;
+        }
+        let mut t = self.start;
+        let end = self.end();
+        while t < end {
+            let hi = (t + dt).min(end);
+            out.push(hi - t, self.mean_power(t, hi));
+            t = hi;
+        }
+        out
+    }
+
+    /// Instantaneous point samples every `dt` seconds starting at
+    /// `start + dt/2` (midpoint sampling). Used to emulate very fast polling.
+    #[must_use]
+    pub fn sample_instant(&self, dt: f64) -> Vec<f64> {
+        assert!(dt > 0.0);
+        let n = (self.duration() / dt).floor() as usize;
+        (0..n)
+            .map(|i| self.power_at(self.start + (i as f64 + 0.5) * dt))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() <= 1e-9 * (1.0 + a.abs().max(b.abs()))
+    }
+
+    #[test]
+    fn empty_trace_basics() {
+        let t = PowerTrace::new(5.0);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.start(), 5.0);
+        assert_eq!(t.end(), 5.0);
+        assert_eq!(t.duration(), 0.0);
+        assert_eq!(t.energy(), 0.0);
+        assert_eq!(t.power_at(5.0), 0.0);
+        assert!(t.max_power().is_none());
+    }
+
+    #[test]
+    fn push_and_lookup() {
+        let t = PowerTrace::from_segments(0.0, [(1.0, 100.0), (2.0, 50.0)]);
+        assert_eq!(t.len(), 2);
+        assert!(close(t.duration(), 3.0));
+        assert_eq!(t.power_at(0.5), 100.0);
+        assert_eq!(t.power_at(1.0), 50.0);
+        assert_eq!(t.power_at(2.999), 50.0);
+        assert_eq!(t.power_at(3.0), 0.0, "right-open domain");
+        assert_eq!(t.power_at(-0.1), 0.0);
+    }
+
+    #[test]
+    fn adjacent_equal_segments_merge() {
+        let t = PowerTrace::from_segments(0.0, [(1.0, 100.0), (1.0, 100.0), (1.0, 90.0)]);
+        assert_eq!(t.len(), 2);
+        assert!(close(t.duration(), 3.0));
+    }
+
+    #[test]
+    fn zero_duration_pushes_ignored() {
+        let t = PowerTrace::from_segments(0.0, [(0.0, 42.0), (1.0, 10.0), (0.0, 7.0)]);
+        assert_eq!(t.len(), 1);
+        assert!(close(t.energy(), 10.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "bad duration")]
+    fn negative_duration_panics() {
+        PowerTrace::new(0.0).push(-1.0, 10.0);
+    }
+
+    #[test]
+    fn energy_and_mean_power() {
+        let t = PowerTrace::from_segments(0.0, [(2.0, 100.0), (2.0, 300.0)]);
+        assert!(close(t.energy(), 800.0));
+        assert!(close(t.mean_power(0.0, 4.0), 200.0));
+        assert!(close(t.mean_power(1.0, 3.0), 200.0));
+        assert!(close(t.mean_power(3.0, 5.0), 150.0), "half window is off-domain");
+        assert_eq!(t.mean_power(2.0, 2.0), 0.0);
+    }
+
+    #[test]
+    fn energy_between_partial_segments() {
+        let t = PowerTrace::from_segments(10.0, [(4.0, 50.0)]);
+        assert!(close(t.energy_between(11.0, 13.0), 100.0));
+        assert!(close(t.energy_between(0.0, 100.0), 200.0));
+        assert_eq!(t.energy_between(20.0, 30.0), 0.0);
+        assert_eq!(t.energy_between(13.0, 11.0), 0.0, "inverted window");
+    }
+
+    #[test]
+    fn shift_preserves_energy_and_shape() {
+        let mut t = PowerTrace::from_segments(0.0, [(1.0, 10.0), (1.0, 20.0)]);
+        let e = t.energy();
+        t.shift(100.0);
+        assert_eq!(t.start(), 100.0);
+        assert!(close(t.energy(), e));
+        assert_eq!(t.power_at(100.5), 10.0);
+    }
+
+    #[test]
+    fn scale_and_offset() {
+        let mut t = PowerTrace::from_segments(0.0, [(1.0, 10.0)]);
+        t.scale_power(3.0);
+        t.add_constant(5.0);
+        assert_eq!(t.power_at(0.5), 35.0);
+    }
+
+    #[test]
+    fn slice_matches_lookup() {
+        let t = PowerTrace::from_segments(0.0, [(1.0, 10.0), (1.0, 20.0), (1.0, 30.0)]);
+        let s = t.slice(0.5, 2.5);
+        assert!(close(s.start(), 0.5));
+        assert!(close(s.end(), 2.5));
+        assert_eq!(s.power_at(0.75), 10.0);
+        assert_eq!(s.power_at(1.5), 20.0);
+        assert_eq!(s.power_at(2.25), 30.0);
+        assert!(close(s.energy(), t.energy_between(0.5, 2.5)));
+    }
+
+    #[test]
+    fn slice_outside_domain_is_empty() {
+        let t = PowerTrace::from_segments(0.0, [(1.0, 10.0)]);
+        assert!(t.slice(5.0, 6.0).is_empty());
+    }
+
+    #[test]
+    fn append_with_gap_inserts_zero_power() {
+        let mut a = PowerTrace::from_segments(0.0, [(1.0, 10.0)]);
+        let b = PowerTrace::from_segments(2.0, [(1.0, 20.0)]);
+        a.append(&b);
+        assert!(close(a.end(), 3.0));
+        assert_eq!(a.power_at(1.5), 0.0);
+        assert_eq!(a.power_at(2.5), 20.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "before the current end")]
+    fn append_overlapping_panics() {
+        let mut a = PowerTrace::from_segments(0.0, [(2.0, 10.0)]);
+        let b = PowerTrace::from_segments(1.0, [(1.0, 20.0)]);
+        a.append(&b);
+    }
+
+    #[test]
+    fn sum_of_offset_traces() {
+        let a = PowerTrace::from_segments(0.0, [(2.0, 100.0)]);
+        let b = PowerTrace::from_segments(1.0, [(2.0, 50.0)]);
+        let s = PowerTrace::sum(&[&a, &b]);
+        assert!(close(s.start(), 0.0));
+        assert!(close(s.end(), 3.0));
+        assert_eq!(s.power_at(0.5), 100.0);
+        assert_eq!(s.power_at(1.5), 150.0);
+        assert_eq!(s.power_at(2.5), 50.0);
+        assert!(close(s.energy(), a.energy() + b.energy()));
+    }
+
+    #[test]
+    fn sum_ignores_empty_traces() {
+        let a = PowerTrace::from_segments(0.0, [(1.0, 10.0)]);
+        let e = PowerTrace::new(42.0);
+        let s = PowerTrace::sum(&[&a, &e]);
+        assert!(close(s.energy(), 10.0));
+        assert!(close(s.start(), 0.0));
+    }
+
+    #[test]
+    fn sample_instant_counts_and_values() {
+        let t = PowerTrace::from_segments(0.0, [(1.0, 10.0), (1.0, 20.0)]);
+        let s = t.sample_instant(0.5);
+        assert_eq!(s, vec![10.0, 10.0, 20.0, 20.0]);
+    }
+
+    #[test]
+    fn coarsen_conserves_energy_and_bounds_segments() {
+        let mut t = PowerTrace::new(0.0);
+        for i in 0..10_000 {
+            t.push(0.01, if i % 2 == 0 { 100.0 } else { 350.0 });
+        }
+        let c = t.coarsen(2.0);
+        assert!(c.len() <= (t.duration() / 2.0).ceil() as usize);
+        assert!((c.energy() - t.energy()).abs() < 1e-6 * t.energy());
+        assert!((c.duration() - t.duration()).abs() < 1e-9);
+        // Fast alternation collapses to the mean level.
+        assert!((c.power_at(50.0) - 225.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn coarsen_of_empty_trace_is_empty() {
+        assert!(PowerTrace::new(3.0).coarsen(1.0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "bad window")]
+    fn coarsen_rejects_zero_window() {
+        let _ = PowerTrace::from_segments(0.0, [(1.0, 1.0)]).coarsen(0.0);
+    }
+
+    #[test]
+    fn long_trace_no_drift() {
+        let mut t = PowerTrace::new(0.0);
+        for _ in 0..100_000 {
+            t.push(0.01, 123.0);
+            t.push(0.01, 7.0);
+        }
+        assert!((t.duration() - 2000.0).abs() < 1e-6);
+        assert!((t.energy() - (123.0 + 7.0) * 1000.0).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,55 @@
+//! Unit helpers. The convention throughout the workspace is SI base units:
+//! seconds, watts, joules. These helpers exist for readable conversions at
+//! reporting boundaries (the paper reports energies in megajoules).
+
+/// Joules → megajoules.
+#[must_use]
+pub fn joules_to_mj(j: f64) -> f64 {
+    j * 1e-6
+}
+
+/// Megajoules → joules.
+#[must_use]
+pub fn mj_to_joules(mj: f64) -> f64 {
+    mj * 1e6
+}
+
+/// Joules → kilowatt-hours.
+#[must_use]
+pub fn joules_to_kwh(j: f64) -> f64 {
+    j / 3.6e6
+}
+
+/// Seconds → a compact human-readable `h:mm:ss` string.
+#[must_use]
+pub fn format_hms(seconds: f64) -> String {
+    let total = seconds.max(0.0).round() as u64;
+    let h = total / 3600;
+    let m = (total % 3600) / 60;
+    let s = total % 60;
+    format!("{h}:{m:02}:{s:02}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mj_round_trip() {
+        assert_eq!(joules_to_mj(2.5e6), 2.5);
+        assert_eq!(mj_to_joules(joules_to_mj(123456.0)), 123456.0);
+    }
+
+    #[test]
+    fn kwh_conversion() {
+        assert!((joules_to_kwh(3.6e6) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hms_formatting() {
+        assert_eq!(format_hms(0.0), "0:00:00");
+        assert_eq!(format_hms(61.0), "0:01:01");
+        assert_eq!(format_hms(3661.4), "1:01:01");
+        assert_eq!(format_hms(-5.0), "0:00:00");
+    }
+}

@@ -1,0 +1,134 @@
+//! Descriptive statistics over sample slices.
+
+/// Arithmetic mean; 0 for empty input.
+#[must_use]
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation; 0 for fewer than two samples.
+#[must_use]
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Linear-interpolated quantile, `p ∈ [0, 1]`.
+///
+/// # Panics
+/// If `xs` is empty or `p` is outside `[0, 1]`.
+#[must_use]
+pub fn quantile(xs: &[f64], p: f64) -> f64 {
+    assert!(!xs.is_empty(), "quantile of empty slice");
+    assert!((0.0..=1.0).contains(&p), "p = {p} outside [0, 1]");
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let idx = p * (sorted.len() - 1) as f64;
+    let lo = idx.floor() as usize;
+    let hi = idx.ceil() as usize;
+    let frac = idx - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// Median (50th percentile).
+///
+/// # Panics
+/// If `xs` is empty.
+#[must_use]
+pub fn median(xs: &[f64]) -> f64 {
+    quantile(xs, 0.5)
+}
+
+/// Minimum; `None` for empty input.
+#[must_use]
+pub fn min(xs: &[f64]) -> Option<f64> {
+    xs.iter().copied().reduce(f64::min)
+}
+
+/// Maximum; `None` for empty input.
+#[must_use]
+pub fn max(xs: &[f64]) -> Option<f64> {
+    xs.iter().copied().reduce(f64::max)
+}
+
+/// Histogram with `bins` equal-width bins over `[lo, hi)`. Returns bin
+/// edges (length `bins + 1`) and counts (length `bins`). Out-of-range
+/// samples are clamped into the end bins.
+///
+/// # Panics
+/// If `bins == 0` or `hi <= lo`.
+#[must_use]
+pub fn histogram(xs: &[f64], lo: f64, hi: f64, bins: usize) -> (Vec<f64>, Vec<usize>) {
+    assert!(bins > 0, "need at least one bin");
+    assert!(hi > lo, "bad range [{lo}, {hi})");
+    let width = (hi - lo) / bins as f64;
+    let edges: Vec<f64> = (0..=bins).map(|i| lo + i as f64 * width).collect();
+    let mut counts = vec![0usize; bins];
+    for &x in xs {
+        let b = (((x - lo) / width).floor() as isize).clamp(0, bins as isize - 1) as usize;
+        counts[b] += 1;
+    }
+    (edges, counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), 5.0);
+        assert!((std_dev(&xs) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_input_behaviour() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[]), 0.0);
+        assert_eq!(min(&[]), None);
+        assert_eq!(max(&[]), None);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+        assert_eq!(median(&xs), 2.5);
+        assert_eq!(quantile(&xs, 0.25), 1.75);
+    }
+
+    #[test]
+    fn quantile_handles_unsorted_input() {
+        let xs = [9.0, 1.0, 5.0];
+        assert_eq!(median(&xs), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn quantile_rejects_bad_p() {
+        let _ = quantile(&[1.0], 1.5);
+    }
+
+    #[test]
+    fn histogram_counts_and_clamps() {
+        let xs = [-5.0, 0.5, 1.5, 1.6, 2.5, 99.0];
+        let (edges, counts) = histogram(&xs, 0.0, 3.0, 3);
+        assert_eq!(edges, vec![0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(counts, vec![2, 2, 2]); // -5 clamps low, 99 clamps high
+        assert_eq!(counts.iter().sum::<usize>(), xs.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "bad range")]
+    fn histogram_rejects_inverted_range() {
+        let _ = histogram(&[1.0], 5.0, 2.0, 4);
+    }
+}

@@ -1,0 +1,227 @@
+//! Gaussian kernel density estimation.
+
+/// Bandwidth selection rules.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Bandwidth {
+    /// Silverman's rule of thumb: `0.9 · min(σ, IQR/1.34) · n^(-1/5)`.
+    Silverman,
+    /// Scott's rule: `1.06 · σ · n^(-1/5)`.
+    Scott,
+    /// A fixed bandwidth in data units.
+    Fixed(f64),
+}
+
+/// A fitted Gaussian KDE.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Kde {
+    data: Vec<f64>,
+    bandwidth: f64,
+}
+
+const INV_SQRT_2PI: f64 = 0.398_942_280_401_432_7;
+
+impl Kde {
+    /// Fit a KDE to `data` with the chosen bandwidth rule.
+    ///
+    /// # Panics
+    /// If `data` is empty, contains non-finite values, or a fixed bandwidth
+    /// is non-positive.
+    #[must_use]
+    pub fn fit(data: &[f64], bw: Bandwidth) -> Self {
+        assert!(!data.is_empty(), "cannot fit a KDE to no data");
+        assert!(
+            data.iter().all(|x| x.is_finite()),
+            "non-finite value in KDE input"
+        );
+        let bandwidth = match bw {
+            Bandwidth::Fixed(h) => {
+                assert!(h > 0.0 && h.is_finite(), "bad fixed bandwidth {h}");
+                h
+            }
+            Bandwidth::Silverman => silverman(data),
+            Bandwidth::Scott => scott(data),
+        };
+        Self {
+            data: data.to_vec(),
+            bandwidth,
+        }
+    }
+
+    /// The bandwidth in use.
+    #[must_use]
+    pub fn bandwidth(&self) -> f64 {
+        self.bandwidth
+    }
+
+    /// Density estimate at `x`.
+    #[must_use]
+    pub fn density(&self, x: f64) -> f64 {
+        let h = self.bandwidth;
+        let inv_h = 1.0 / h;
+        let scale = INV_SQRT_2PI * inv_h / self.data.len() as f64;
+        self.data
+            .iter()
+            .map(|&xi| {
+                let z = (x - xi) * inv_h;
+                (-0.5 * z * z).exp()
+            })
+            .sum::<f64>()
+            * scale
+    }
+
+    /// Evaluate on a regular grid of `n` points spanning
+    /// `[min - 3h, max + 3h]`. Returns `(xs, densities)`.
+    ///
+    /// # Panics
+    /// If `n < 2`.
+    #[must_use]
+    pub fn grid(&self, n: usize) -> (Vec<f64>, Vec<f64>) {
+        assert!(n >= 2, "grid needs at least two points");
+        let lo = self.data.iter().copied().fold(f64::INFINITY, f64::min) - 3.0 * self.bandwidth;
+        let hi =
+            self.data.iter().copied().fold(f64::NEG_INFINITY, f64::max) + 3.0 * self.bandwidth;
+        let step = (hi - lo) / (n - 1) as f64;
+        let xs: Vec<f64> = (0..n).map(|i| lo + i as f64 * step).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| self.density(x)).collect();
+        (xs, ys)
+    }
+}
+
+fn std_dev(data: &[f64]) -> f64 {
+    let n = data.len() as f64;
+    let mean = data.iter().sum::<f64>() / n;
+    let var = data.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    var.sqrt()
+}
+
+fn iqr(data: &[f64]) -> f64 {
+    let mut sorted = data.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let q = |p: f64| {
+        let idx = p * (sorted.len() - 1) as f64;
+        let lo = idx.floor() as usize;
+        let hi = idx.ceil() as usize;
+        let frac = idx - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    };
+    q(0.75) - q(0.25)
+
+}
+
+/// Minimum bandwidth as a fraction of |data| scale, to keep degenerate
+/// (constant) inputs well-defined.
+const MIN_BW: f64 = 1e-6;
+
+fn silverman(data: &[f64]) -> f64 {
+    let n = data.len() as f64;
+    let sigma = std_dev(data);
+    let spread = if iqr(data) > 0.0 {
+        sigma.min(iqr(data) / 1.34)
+    } else {
+        sigma
+    };
+    let h = 0.9 * spread * n.powf(-0.2);
+    let scale = data.iter().fold(0.0f64, |a, &x| a.max(x.abs())).max(1.0);
+    h.max(MIN_BW * scale)
+}
+
+fn scott(data: &[f64]) -> f64 {
+    let n = data.len() as f64;
+    let h = 1.06 * std_dev(data) * n.powf(-0.2);
+    let scale = data.iter().fold(0.0f64, |a, &x| a.max(x.abs())).max(1.0);
+    h.max(MIN_BW * scale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn normalish(n: usize, mu: f64, sigma: f64) -> Vec<f64> {
+        // Deterministic pseudo-normal via sum of uniforms (Irwin-Hall).
+        (0..n)
+            .map(|i| {
+                let u: f64 = (0..12)
+                    .map(|k| ((i * 12 + k) as f64 * 0.618_033_988_75).fract())
+                    .sum();
+                mu + sigma * (u - 6.0)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn density_integrates_to_one() {
+        let data = normalish(500, 100.0, 10.0);
+        let kde = Kde::fit(&data, Bandwidth::Silverman);
+        let (xs, ys) = kde.grid(2048);
+        let step = xs[1] - xs[0];
+        let integral: f64 = ys.iter().sum::<f64>() * step;
+        assert!((integral - 1.0).abs() < 0.01, "integral = {integral}");
+    }
+
+    #[test]
+    fn density_peaks_near_the_mean() {
+        let data = normalish(1000, 50.0, 5.0);
+        let kde = Kde::fit(&data, Bandwidth::Silverman);
+        let (xs, ys) = kde.grid(512);
+        let peak_x = xs[ys
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0];
+        assert!((peak_x - 50.0).abs() < 2.0, "peak at {peak_x}");
+    }
+
+    #[test]
+    fn constant_data_is_well_defined() {
+        let data = vec![200.0; 100];
+        let kde = Kde::fit(&data, Bandwidth::Silverman);
+        assert!(kde.bandwidth() > 0.0);
+        assert!(kde.density(200.0) > 0.0);
+        let (_, ys) = kde.grid(64);
+        assert!(ys.iter().all(|y| y.is_finite()));
+    }
+
+    #[test]
+    fn fixed_bandwidth_is_respected() {
+        let data = vec![1.0, 2.0, 3.0];
+        let kde = Kde::fit(&data, Bandwidth::Fixed(0.5));
+        assert_eq!(kde.bandwidth(), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "no data")]
+    fn empty_data_panics() {
+        let _ = Kde::fit(&[], Bandwidth::Silverman);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn nan_data_panics() {
+        let _ = Kde::fit(&[1.0, f64::NAN], Bandwidth::Silverman);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad fixed bandwidth")]
+    fn zero_fixed_bandwidth_panics() {
+        let _ = Kde::fit(&[1.0], Bandwidth::Fixed(0.0));
+    }
+
+    #[test]
+    fn scott_and_silverman_are_close_for_normal_data() {
+        let data = normalish(400, 0.0, 1.0);
+        let hs = Kde::fit(&data, Bandwidth::Silverman).bandwidth();
+        let hc = Kde::fit(&data, Bandwidth::Scott).bandwidth();
+        assert!(hs > 0.0 && hc > 0.0);
+        assert!((hs / hc - 0.85).abs() < 0.3, "hs={hs}, hc={hc}");
+    }
+
+    #[test]
+    fn bimodal_data_shows_two_peaks() {
+        let mut data = normalish(400, 100.0, 4.0);
+        data.extend(normalish(400, 300.0, 4.0));
+        let kde = Kde::fit(&data, Bandwidth::Silverman);
+        assert!(kde.density(100.0) > 4.0 * kde.density(200.0));
+        assert!(kde.density(300.0) > 4.0 * kde.density(200.0));
+    }
+}

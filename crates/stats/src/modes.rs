@@ -1,0 +1,195 @@
+//! Mode detection, the high power mode, and FWHM (§III-B.3).
+//!
+//! The paper: *"we define the high power mode as the mode corresponding to
+//! the highest power"*, determined from the KDE of the power timeline, and
+//! characterise its spread with the full width at half maximum.
+
+use crate::kde::{Bandwidth, Kde};
+
+/// One detected density mode.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mode {
+    /// Location (power, watts).
+    pub x: f64,
+    /// Density at the mode.
+    pub density: f64,
+}
+
+/// Default evaluation grid resolution.
+pub const GRID_N: usize = 512;
+/// A local maximum counts as a mode when its density is at least this
+/// fraction of the global maximum (filters KDE ripples).
+pub const MIN_PROMINENCE: f64 = 0.05;
+
+/// Find the KDE modes of `data`, strongest-first filtering by prominence.
+/// Returned in ascending `x` order.
+///
+/// # Panics
+/// If `data` is empty or non-finite (propagated from the KDE fit).
+#[must_use]
+pub fn find_modes(data: &[f64]) -> Vec<Mode> {
+    let kde = Kde::fit(data, Bandwidth::Silverman);
+    let (xs, ys) = kde.grid(GRID_N);
+    let peak = ys.iter().copied().fold(0.0f64, f64::max);
+    let mut modes = Vec::new();
+    for i in 1..xs.len() - 1 {
+        if ys[i] > ys[i - 1] && ys[i] >= ys[i + 1] && ys[i] >= MIN_PROMINENCE * peak {
+            modes.push(Mode {
+                x: xs[i],
+                density: ys[i],
+            });
+        }
+    }
+    if modes.is_empty() {
+        // Degenerate (monotone or constant) density: take the grid argmax.
+        let (i, &d) = ys
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .expect("non-empty grid");
+        modes.push(Mode { x: xs[i], density: d });
+    }
+    modes
+}
+
+/// The paper's headline metric: the mode at the highest power.
+///
+/// ```
+/// // A bimodal timeline: a dominant low mode and a weaker high mode.
+/// let mut watts: Vec<f64> = (0..600).map(|i| 700.0 + (i % 20) as f64).collect();
+/// watts.extend((0..300).map(|i| 1700.0 + (i % 20) as f64));
+/// let mode = vpp_stats::high_power_mode(&watts);
+/// assert!(mode.x > 1600.0, "the *highest-power* mode wins, not the densest");
+/// ```
+///
+/// # Panics
+/// If `data` is empty or non-finite.
+#[must_use]
+pub fn high_power_mode(data: &[f64]) -> Mode {
+    *find_modes(data)
+        .last()
+        .expect("find_modes always returns at least one mode")
+}
+
+/// Full width at half maximum of the density around `mode`: the distance
+/// between the nearest half-height crossings on either side of the mode.
+///
+/// # Panics
+/// If `data` is empty or non-finite.
+#[must_use]
+pub fn fwhm(data: &[f64], mode: Mode) -> f64 {
+    let kde = Kde::fit(data, Bandwidth::Silverman);
+    let (xs, ys) = kde.grid(GRID_N);
+    let half = 0.5 * mode.density;
+    // Index nearest the mode.
+    let mi = xs
+        .iter()
+        .enumerate()
+        .min_by(|a, b| (a.1 - mode.x).abs().total_cmp(&(b.1 - mode.x).abs()))
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    // Walk left and right until the density falls below half height.
+    let mut left = xs[0];
+    for i in (0..=mi).rev() {
+        if ys[i] < half {
+            left = xs[i];
+            break;
+        }
+    }
+    let mut right = xs[xs.len() - 1];
+    for (i, &x) in xs.iter().enumerate().skip(mi) {
+        if ys[i] < half {
+            right = x;
+            break;
+        }
+    }
+    right - left
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster(center: f64, spread: f64, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let u = ((i as f64 + 0.5) / n as f64) * 2.0 - 1.0; // (-1, 1)
+                center + spread * u
+            })
+            .collect()
+    }
+
+    #[test]
+    fn unimodal_data_has_one_mode_at_center() {
+        let data = cluster(250.0, 10.0, 500);
+        let modes = find_modes(&data);
+        assert_eq!(modes.len(), 1, "{modes:?}");
+        assert!((modes[0].x - 250.0).abs() < 5.0);
+    }
+
+    #[test]
+    fn bimodal_data_yields_two_modes_high_one_wins() {
+        let mut data = cluster(120.0, 8.0, 600); // dominant low mode
+        data.extend(cluster(340.0, 8.0, 300)); // weaker high mode
+        let modes = find_modes(&data);
+        assert!(modes.len() >= 2, "{modes:?}");
+        let hpm = high_power_mode(&data);
+        assert!(
+            (hpm.x - 340.0).abs() < 10.0,
+            "high power mode should sit at the *highest power*, not the \
+             most probable: {hpm:?}"
+        );
+        // ...even though the low mode is denser.
+        assert!(modes[0].density > hpm.density);
+    }
+
+    #[test]
+    fn weak_ripples_are_filtered() {
+        // One strong cluster plus a couple of stray points.
+        let mut data = cluster(200.0, 5.0, 1000);
+        data.push(390.0);
+        data.push(391.0);
+        let modes = find_modes(&data);
+        assert_eq!(modes.len(), 1, "stray points must not create modes: {modes:?}");
+    }
+
+    #[test]
+    fn constant_data_has_a_mode_at_the_value() {
+        let data = vec![777.0; 64];
+        let m = high_power_mode(&data);
+        assert!((m.x - 777.0).abs() < 1.0, "{m:?}");
+    }
+
+    #[test]
+    fn fwhm_tracks_spread() {
+        let narrow = cluster(300.0, 5.0, 800);
+        let wide = cluster(300.0, 25.0, 800);
+        let fn_ = fwhm(&narrow, high_power_mode(&narrow));
+        let fw = fwhm(&wide, high_power_mode(&wide));
+        assert!(fw > 2.0 * fn_, "narrow {fn_}, wide {fw}");
+    }
+
+    #[test]
+    fn fwhm_is_positive_even_for_constant_data() {
+        let data = vec![100.0; 32];
+        let w = fwhm(&data, high_power_mode(&data));
+        assert!(w >= 0.0 && w.is_finite());
+    }
+
+    #[test]
+    fn modes_are_sorted_ascending() {
+        let mut data = cluster(100.0, 6.0, 300);
+        data.extend(cluster(200.0, 6.0, 300));
+        data.extend(cluster(300.0, 6.0, 300));
+        let modes = find_modes(&data);
+        for w in modes.windows(2) {
+            assert!(w[0].x < w[1].x);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no data")]
+    fn empty_input_panics() {
+        let _ = high_power_mode(&[]);
+    }
+}

@@ -1,0 +1,59 @@
+//! Speedup and parallel efficiency (paper §III-D, Fig. 4).
+
+/// Speedup `S = T(ref) / T(n)` of a run relative to a reference runtime.
+///
+/// # Panics
+/// If either runtime is non-positive.
+#[must_use]
+pub fn speedup(t_ref_s: f64, t_n_s: f64) -> f64 {
+    assert!(t_ref_s > 0.0 && t_n_s > 0.0, "runtimes must be positive");
+    t_ref_s / t_n_s
+}
+
+/// Parallel efficiency as the paper defines it: `S / N` where `S` is the
+/// speedup achieved using `N` times the reference resources.
+///
+/// # Panics
+/// If `n_ratio` is non-positive or runtimes are non-positive.
+#[must_use]
+pub fn parallel_efficiency(t_ref_s: f64, n_ratio: f64, t_n_s: f64) -> f64 {
+    assert!(n_ratio > 0.0, "resource ratio must be positive");
+    speedup(t_ref_s, t_n_s) / n_ratio
+}
+
+/// The paper's recommended minimum parallel efficiency for production runs.
+pub const RECOMMENDED_MIN_EFFICIENCY: f64 = 0.70;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_scaling_is_unit_efficiency() {
+        assert!((parallel_efficiency(100.0, 4.0, 25.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serial_fraction_lowers_efficiency() {
+        // Amdahl: 80 % parallel on 4× resources → T = 20 + 80/4 = 40.
+        let eff = parallel_efficiency(100.0, 4.0, 40.0);
+        assert!((eff - 0.625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_node_is_trivially_efficient() {
+        assert_eq!(parallel_efficiency(100.0, 1.0, 100.0), 1.0);
+    }
+
+    #[test]
+    fn superlinear_is_representable() {
+        // Cache effects can make efficiency exceed 1; don't clamp.
+        assert!(parallel_efficiency(100.0, 2.0, 45.0) > 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_runtime_panics() {
+        let _ = speedup(0.0, 1.0);
+    }
+}

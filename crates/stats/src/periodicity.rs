@@ -1,0 +1,147 @@
+//! Periodicity analysis of power timelines.
+//!
+//! VASP's power timelines are quasi-periodic at the SCF-iteration scale
+//! and MILC's at the trajectory scale (§III-C "power timeline patterns").
+//! The autocorrelation function of the sampled power recovers that period —
+//! a building block for the paper's §VI-C prediction agenda: iteration
+//! period × iteration count estimates runtime from a short power prefix.
+
+use crate::describe::mean;
+
+/// Normalised autocorrelation of `xs` at lags `0..=max_lag`.
+/// `acf[0] == 1` by construction; constant series return all-zero lags
+/// (no structure), not NaNs.
+///
+/// # Panics
+/// If `max_lag >= xs.len()` or `xs` is empty.
+#[must_use]
+pub fn autocorrelation(xs: &[f64], max_lag: usize) -> Vec<f64> {
+    assert!(!xs.is_empty(), "empty series");
+    assert!(max_lag < xs.len(), "max_lag {max_lag} >= length {}", xs.len());
+    let m = mean(xs);
+    let centred: Vec<f64> = xs.iter().map(|x| x - m).collect();
+    let var: f64 = centred.iter().map(|c| c * c).sum();
+    let mut acf = Vec::with_capacity(max_lag + 1);
+    if var <= 1e-12 {
+        acf.push(1.0);
+        acf.extend(std::iter::repeat_n(0.0, max_lag));
+        return acf;
+    }
+    for lag in 0..=max_lag {
+        let cov: f64 = centred[..xs.len() - lag]
+            .iter()
+            .zip(&centred[lag..])
+            .map(|(a, b)| a * b)
+            .sum();
+        acf.push(cov / var);
+    }
+    acf
+}
+
+/// Dominant period of a series, in samples: the lag of the first
+/// significant autocorrelation peak. `None` when no periodic structure is
+/// found above the `min_corr` threshold.
+#[must_use]
+pub fn dominant_period(xs: &[f64], max_lag: usize, min_corr: f64) -> Option<usize> {
+    if xs.len() < 8 || max_lag < 2 {
+        return None;
+    }
+    let acf = autocorrelation(xs, max_lag.min(xs.len() - 1));
+    // First local maximum after the zero-lag peak decays.
+    let mut lag = 1;
+    while lag < acf.len() && acf[lag] > acf[lag.saturating_sub(1)].min(0.999) {
+        lag += 1;
+    }
+    (lag..acf.len().saturating_sub(1))
+        .filter(|&l| acf[l] >= acf[l - 1] && acf[l] >= acf[l + 1] && acf[l] >= min_corr)
+        .max_by(|&a, &b| acf[a].total_cmp(&acf[b]))
+}
+
+/// Estimate a job's remaining runtime from a power prefix: detect the
+/// iteration period, count completed iterations, extrapolate to
+/// `total_iterations`. Returns `None` without detectable periodicity.
+#[must_use]
+pub fn extrapolate_runtime_s(
+    prefix: &[f64],
+    sample_interval_s: f64,
+    total_iterations: usize,
+) -> Option<f64> {
+    let period = dominant_period(prefix, prefix.len() / 2, 0.2)?;
+    let period_s = period as f64 * sample_interval_s;
+    Some(period_s * total_iterations as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn periodic(n: usize, period: usize, lo: f64, hi: f64) -> Vec<f64> {
+        (0..n)
+            .map(|i| if (i % period) < period / 2 { hi } else { lo })
+            .collect()
+    }
+
+    #[test]
+    fn acf_is_one_at_lag_zero() {
+        let xs = periodic(100, 10, 100.0, 300.0);
+        let acf = autocorrelation(&xs, 30);
+        assert!((acf[0] - 1.0).abs() < 1e-12);
+        assert!(acf.iter().all(|a| a.abs() <= 1.0 + 1e-9));
+    }
+
+    #[test]
+    fn acf_peaks_at_the_period() {
+        let xs = periodic(400, 20, 500.0, 1800.0);
+        let acf = autocorrelation(&xs, 60);
+        assert!(acf[20] > 0.8, "acf[20] = {}", acf[20]);
+        assert!(acf[10] < 0.0, "half-period anticorrelates: {}", acf[10]);
+        assert!(acf[40] > 0.6, "harmonic at 2 periods: {}", acf[40]);
+    }
+
+    #[test]
+    fn constant_series_has_no_structure() {
+        let xs = vec![700.0; 64];
+        let acf = autocorrelation(&xs, 16);
+        assert_eq!(acf[0], 1.0);
+        assert!(acf[1..].iter().all(|&a| a == 0.0));
+        assert_eq!(dominant_period(&xs, 16, 0.2), None);
+    }
+
+    #[test]
+    fn dominant_period_detects_square_waves() {
+        for period in [8usize, 14, 25] {
+            let xs = periodic(600, period, 600.0, 1700.0);
+            let got = dominant_period(&xs, 200, 0.3).unwrap();
+            assert!(
+                got.abs_diff(period) <= 1,
+                "period {period}: detected {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn noise_tolerant_detection() {
+        // Add deterministic "noise" on top of a period-16 wave.
+        let xs: Vec<f64> = periodic(512, 16, 800.0, 1600.0)
+            .into_iter()
+            .enumerate()
+            .map(|(i, x)| x + 60.0 * ((i * 7919) % 13) as f64 / 13.0)
+            .collect();
+        let got = dominant_period(&xs, 128, 0.3).unwrap();
+        assert!(got.abs_diff(16) <= 1, "detected {got}");
+    }
+
+    #[test]
+    fn extrapolation_scales_with_iterations() {
+        let xs = periodic(300, 12, 700.0, 1500.0);
+        let t = extrapolate_runtime_s(&xs, 2.0, 40).unwrap();
+        // period 12 samples × 2 s × 40 iterations = 960 s.
+        assert!((t - 960.0).abs() < 200.0, "t = {t}");
+    }
+
+    #[test]
+    #[should_panic(expected = "max_lag")]
+    fn oversized_lag_panics() {
+        let _ = autocorrelation(&[1.0, 2.0], 5);
+    }
+}

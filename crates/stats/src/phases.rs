@@ -1,0 +1,227 @@
+//! Power-timeline phase segmentation.
+//!
+//! The paper reads phases off its timelines by eye (Fig. 1's
+//! DGEMM/STREAM/idle/VASP segments, Fig. 3's CPU-only diagonalisation
+//! stretch, Fig. 11's capped peaks). This module detects them
+//! automatically: a greedy binary-split changepoint search that minimises
+//! within-segment variance (CART-style), with a penalty per split — enough
+//! to segment piecewise-steady power signals reliably.
+
+/// One detected phase.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Phase {
+    /// Index of the first sample.
+    pub start: usize,
+    /// One past the last sample.
+    pub end: usize,
+    /// Mean power over the phase, watts.
+    pub mean_w: f64,
+}
+
+impl Phase {
+    /// Number of samples covered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when the phase covers nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.end == self.start
+    }
+}
+
+/// Segmentation configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segmenter {
+    /// Minimum samples per phase.
+    pub min_len: usize,
+    /// A split must reduce the cost by at least
+    /// `penalty_w² × samples in the segment` to be accepted — i.e. the
+    /// means must differ by roughly this many watts.
+    pub penalty_w: f64,
+    /// Upper bound on detected phases (guards pathological inputs).
+    pub max_phases: usize,
+}
+
+impl Segmenter {
+    /// Defaults suited to node-power series at the study's cadence.
+    #[must_use]
+    pub fn node_power() -> Self {
+        Self {
+            min_len: 5,
+            penalty_w: 60.0,
+            max_phases: 24,
+        }
+    }
+
+    /// Segment `data` into phases of roughly constant power.
+    ///
+    /// # Panics
+    /// If the configuration is degenerate (`min_len == 0`).
+    #[must_use]
+    pub fn segment(&self, data: &[f64]) -> Vec<Phase> {
+        assert!(self.min_len > 0, "min_len must be positive");
+        if data.is_empty() {
+            return Vec::new();
+        }
+        // Prefix sums for O(1) segment cost.
+        let mut sum = vec![0.0f64; data.len() + 1];
+        let mut sum2 = vec![0.0f64; data.len() + 1];
+        for (i, &x) in data.iter().enumerate() {
+            sum[i + 1] = sum[i] + x;
+            sum2[i + 1] = sum2[i] + x * x;
+        }
+        let seg_cost = |a: usize, b: usize| -> f64 {
+            // Sum of squared deviations from the segment mean.
+            let n = (b - a) as f64;
+            let s = sum[b] - sum[a];
+            (sum2[b] - sum2[a]) - s * s / n
+        };
+        let seg_mean = |a: usize, b: usize| (sum[b] - sum[a]) / (b - a) as f64;
+
+        let mut bounds = vec![0, data.len()];
+        loop {
+            if bounds.len() > self.max_phases {
+                break;
+            }
+            // Find the best single split across all current segments.
+            let mut best: Option<(f64, usize)> = None;
+            for w in bounds.windows(2) {
+                let (a, b) = (w[0], w[1]);
+                if b - a < 2 * self.min_len {
+                    continue;
+                }
+                let base = seg_cost(a, b);
+                for cut in (a + self.min_len)..(b - self.min_len + 1) {
+                    let gain = base - seg_cost(a, cut) - seg_cost(cut, b);
+                    let threshold = self.penalty_w * self.penalty_w * self.min_len as f64;
+                    if gain > threshold && best.is_none_or(|(g, _)| gain > g) {
+                        best = Some((gain, cut));
+                    }
+                }
+            }
+            match best {
+                Some((_, cut)) => {
+                    let pos = bounds.partition_point(|&b| b < cut);
+                    bounds.insert(pos, cut);
+                }
+                None => break,
+            }
+        }
+
+        bounds
+            .windows(2)
+            .map(|w| Phase {
+                start: w[0],
+                end: w[1],
+                mean_w: seg_mean(w[0], w[1]),
+            })
+            .collect()
+    }
+
+    /// Convenience: the longest phase whose mean is below `threshold_w` —
+    /// how we locate the ACFDT/RPA CPU-only stage in Fig. 3/11 analyses.
+    #[must_use]
+    pub fn longest_low_phase(&self, data: &[f64], threshold_w: f64) -> Option<Phase> {
+        self.segment(data)
+            .into_iter()
+            .filter(|p| p.mean_w < threshold_w)
+            .max_by_key(Phase::len)
+    }
+}
+
+impl Default for Segmenter {
+    fn default() -> Self {
+        Self::node_power()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn steps(spec: &[(usize, f64)]) -> Vec<f64> {
+        spec.iter()
+            .flat_map(|&(n, w)| std::iter::repeat_n(w, n))
+            .collect()
+    }
+
+    #[test]
+    fn constant_signal_is_one_phase() {
+        let data = steps(&[(100, 500.0)]);
+        let phases = Segmenter::node_power().segment(&data);
+        assert_eq!(phases.len(), 1);
+        assert_eq!(phases[0].len(), 100);
+        assert!((phases[0].mean_w - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn three_clean_steps_are_found() {
+        let data = steps(&[(50, 2000.0), (30, 450.0), (60, 1500.0)]);
+        let phases = Segmenter::node_power().segment(&data);
+        assert_eq!(phases.len(), 3, "{phases:?}");
+        assert_eq!(phases[0].end, 50);
+        assert_eq!(phases[1].end, 80);
+        assert!((phases[1].mean_w - 450.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn small_wiggles_do_not_split() {
+        // ±30 W alternation is below the 60 W penalty.
+        let data: Vec<f64> = (0..200)
+            .map(|i| 1000.0 + if i % 2 == 0 { 30.0 } else { -30.0 })
+            .collect();
+        let phases = Segmenter::node_power().segment(&data);
+        assert_eq!(phases.len(), 1, "{phases:?}");
+    }
+
+    #[test]
+    fn prologue_shape_is_recovered() {
+        // Fig. 1's structure: dgemm, stream, idle, vasp.
+        let data = steps(&[(60, 1990.0), (30, 1540.0), (20, 450.0), (120, 1730.0)]);
+        let phases = Segmenter::node_power().segment(&data);
+        assert_eq!(phases.len(), 4, "{phases:?}");
+        let means: Vec<f64> = phases.iter().map(|p| p.mean_w).collect();
+        assert!((means[0] - 1990.0).abs() < 20.0);
+        assert!((means[2] - 450.0).abs() < 20.0);
+    }
+
+    #[test]
+    fn longest_low_phase_finds_the_diag_stage() {
+        let data = steps(&[(40, 1800.0), (95, 660.0), (200, 1800.0)]);
+        let p = Segmenter::node_power()
+            .longest_low_phase(&data, 900.0)
+            .unwrap();
+        assert_eq!(p.start, 40);
+        assert_eq!(p.end, 135);
+    }
+
+    #[test]
+    fn respects_max_phases() {
+        let spec: Vec<(usize, f64)> = (0..40).map(|i| (10, 300.0 * (i % 2 + 1) as f64)).collect();
+        let data = steps(&spec);
+        let seg = Segmenter {
+            max_phases: 6,
+            ..Segmenter::node_power()
+        };
+        assert!(seg.segment(&data).len() <= 6);
+    }
+
+    #[test]
+    fn empty_input_is_empty_output() {
+        assert!(Segmenter::node_power().segment(&[]).is_empty());
+    }
+
+    #[test]
+    fn phases_tile_the_input() {
+        let data = steps(&[(25, 100.0), (25, 900.0), (25, 100.0), (25, 900.0)]);
+        let phases = Segmenter::node_power().segment(&data);
+        assert_eq!(phases[0].start, 0);
+        assert_eq!(phases.last().unwrap().end, data.len());
+        for w in phases.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+    }
+}

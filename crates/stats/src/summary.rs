@@ -1,0 +1,93 @@
+//! The per-run power summary the experiment harness reports everywhere.
+
+use crate::describe::{max, mean, median, min};
+use crate::modes::{fwhm, high_power_mode};
+
+/// Everything the paper quotes about one power timeline (the text boxes of
+/// Fig. 3): high power mode + FWHM, mean, median, extremes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerSummary {
+    /// High power mode, watts.
+    pub high_mode_w: f64,
+    /// FWHM of the high power mode, watts.
+    pub fwhm_w: f64,
+    /// Mean power, watts (the paper's energy proxy).
+    pub mean_w: f64,
+    /// Median power, watts.
+    pub median_w: f64,
+    /// Minimum sample, watts.
+    pub min_w: f64,
+    /// Maximum sample, watts.
+    pub max_w: f64,
+    /// Sample count the summary is based on.
+    pub n_samples: usize,
+}
+
+impl PowerSummary {
+    /// Summarise a sampled power series.
+    ///
+    /// # Panics
+    /// If `samples` is empty.
+    #[must_use]
+    pub fn from_samples(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "cannot summarise an empty series");
+        let mode = high_power_mode(samples);
+        Self {
+            high_mode_w: mode.x,
+            fwhm_w: fwhm(samples, mode),
+            mean_w: mean(samples),
+            median_w: median(samples),
+            min_w: min(samples).unwrap(),
+            max_w: max(samples).unwrap(),
+            n_samples: samples.len(),
+        }
+    }
+}
+
+impl std::fmt::Display for PowerSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "mode {:.0} W (FWHM {:.0}), mean {:.0}, median {:.0}, range [{:.0}, {:.0}] over {} samples",
+            self.high_mode_w,
+            self.fwhm_w,
+            self.mean_w,
+            self.median_w,
+            self.min_w,
+            self.max_w,
+            self.n_samples
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_bimodal_series() {
+        let mut data: Vec<f64> = (0..400).map(|i| 150.0 + (i % 20) as f64).collect();
+        data.extend((0..200).map(|i| 350.0 + (i % 20) as f64));
+        let s = PowerSummary::from_samples(&data);
+        assert!(s.high_mode_w > 330.0, "{s:?}");
+        assert!(s.median_w < s.high_mode_w, "median sits in the low mode");
+        assert_eq!(s.min_w, 150.0);
+        assert_eq!(s.max_w, 369.0);
+        assert_eq!(s.n_samples, 600);
+        assert!(s.fwhm_w > 0.0);
+    }
+
+    #[test]
+    fn display_is_compact_single_line() {
+        let s = PowerSummary::from_samples(&[100.0, 101.0, 102.0]);
+        let text = s.to_string();
+        assert!(text.contains("mode"));
+        assert!(!text.contains('\n'));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_series_panics() {
+        let _ = PowerSummary::from_samples(&[]);
+    }
+}

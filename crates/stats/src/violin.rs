@@ -1,0 +1,97 @@
+//! Violin-plot summaries (Fig. 9).
+
+use crate::describe::{max, median, min, quantile};
+use crate::kde::{Bandwidth, Kde};
+
+/// The numbers behind one violin: quartiles plus a density outline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ViolinStats {
+    pub min: f64,
+    pub q1: f64,
+    pub median: f64,
+    pub q3: f64,
+    pub max: f64,
+    /// Density outline: `(power, density)` pairs on a regular grid.
+    pub outline: Vec<(f64, f64)>,
+}
+
+impl ViolinStats {
+    /// Summarise `data` with an `n_outline`-point density outline.
+    ///
+    /// # Panics
+    /// If `data` is empty or `n_outline < 2`.
+    #[must_use]
+    pub fn from_samples(data: &[f64], n_outline: usize) -> Self {
+        assert!(!data.is_empty(), "violin of empty data");
+        let kde = Kde::fit(data, Bandwidth::Silverman);
+        let (xs, ys) = kde.grid(n_outline);
+        Self {
+            min: min(data).unwrap(),
+            q1: quantile(data, 0.25),
+            median: median(data),
+            q3: quantile(data, 0.75),
+            max: max(data).unwrap(),
+            outline: xs.into_iter().zip(ys).collect(),
+        }
+    }
+
+    /// Interquartile range.
+    #[must_use]
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+
+    /// Number of density modes visible in the outline (multi-modality is
+    /// the reason the paper prefers violins over box plots).
+    #[must_use]
+    pub fn outline_mode_count(&self) -> usize {
+        let ys: Vec<f64> = self.outline.iter().map(|&(_, y)| y).collect();
+        let peak = ys.iter().copied().fold(0.0f64, f64::max);
+        (1..ys.len().saturating_sub(1))
+            .filter(|&i| ys[i] > ys[i - 1] && ys[i] >= ys[i + 1] && ys[i] >= 0.05 * peak)
+            .count()
+            .max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quartiles_are_ordered() {
+        let data: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let v = ViolinStats::from_samples(&data, 64);
+        assert!(v.min <= v.q1 && v.q1 <= v.median);
+        assert!(v.median <= v.q3 && v.q3 <= v.max);
+        assert!((v.median - 49.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn iqr_matches_quantiles() {
+        let data: Vec<f64> = (0..101).map(|i| i as f64).collect();
+        let v = ViolinStats::from_samples(&data, 32);
+        assert!((v.iqr() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bimodal_outline_shows_two_modes() {
+        let mut data: Vec<f64> = (0..300).map(|i| 100.0 + (i % 30) as f64 * 0.3).collect();
+        data.extend((0..300).map(|i| 300.0 + (i % 30) as f64 * 0.3));
+        let v = ViolinStats::from_samples(&data, 256);
+        assert!(v.outline_mode_count() >= 2);
+    }
+
+    #[test]
+    fn outline_length_matches_request() {
+        let data = vec![1.0, 2.0, 3.0];
+        let v = ViolinStats::from_samples(&data, 77);
+        assert_eq!(v.outline.len(), 77);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_data_panics() {
+        let _ = ViolinStats::from_samples(&[], 16);
+    }
+}

@@ -1,0 +1,187 @@
+//! On-disk archive format for the store.
+//!
+//! A directory of CSV series plus a plain-text manifest — the simplest
+//! format downstream plotting tools (pandas, gnuplot) consume directly:
+//!
+//! ```text
+//! archive/
+//!   MANIFEST          # one line per series: job,node,channel,filename
+//!   job1_n0_node.csv
+//!   job1_n0_gpu0.csv
+//!   ...
+//! ```
+
+use crate::query::{from_csv, to_csv};
+use crate::store::{Channel, Store};
+use std::path::Path;
+
+fn channel_slug(c: Channel) -> String {
+    match c {
+        Channel::Node => "node".into(),
+        Channel::Cpu => "cpu".into(),
+        Channel::Mem => "mem".into(),
+        Channel::Gpu(i) => format!("gpu{i}"),
+    }
+}
+
+fn channel_from_slug(s: &str) -> Result<Channel, String> {
+    match s {
+        "node" => Ok(Channel::Node),
+        "cpu" => Ok(Channel::Cpu),
+        "mem" => Ok(Channel::Mem),
+        other => {
+            let idx = other
+                .strip_prefix("gpu")
+                .and_then(|n| n.parse::<u8>().ok())
+                .ok_or_else(|| format!("unknown channel '{other}'"))?;
+            Ok(Channel::Gpu(idx))
+        }
+    }
+}
+
+/// Sanitise a job id into a filename fragment.
+fn slugify(job: &str) -> String {
+    job.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+        .collect()
+}
+
+/// Write every series in `store` under `dir` (created if missing).
+/// Returns the number of series written.
+///
+/// # Errors
+/// I/O failures, with the offending path in the message.
+pub fn export_dir(store: &Store, dir: &Path) -> Result<usize, String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("mkdir {}: {e}", dir.display()))?;
+    let mut manifest = String::new();
+    let mut written = 0;
+    for job in store.jobs() {
+        for node in store.nodes_of(&job) {
+            for channel in Channel::all() {
+                let Some(series) = store.query(&job, node, channel) else {
+                    continue;
+                };
+                let fname = format!("{}_n{}_{}.csv", slugify(&job), node, channel_slug(channel));
+                let path = dir.join(&fname);
+                std::fs::write(&path, to_csv(&series))
+                    .map_err(|e| format!("write {}: {e}", path.display()))?;
+                manifest.push_str(&format!("{job},{node},{},{fname}\n", channel_slug(channel)));
+                written += 1;
+            }
+        }
+    }
+    let mpath = dir.join("MANIFEST");
+    std::fs::write(&mpath, manifest).map_err(|e| format!("write {}: {e}", mpath.display()))?;
+    Ok(written)
+}
+
+/// Load an archive directory back into a fresh store.
+///
+/// # Errors
+/// Missing/garbled manifest or series files.
+pub fn import_dir(dir: &Path) -> Result<Store, String> {
+    let mpath = dir.join("MANIFEST");
+    let manifest =
+        std::fs::read_to_string(&mpath).map_err(|e| format!("read {}: {e}", mpath.display()))?;
+    let store = Store::new();
+    for (i, line) in manifest.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let parts: Vec<&str> = line.split(',').collect();
+        if parts.len() != 4 {
+            return Err(format!("MANIFEST line {}: expected 4 fields", i + 1));
+        }
+        let job = parts[0];
+        let node: usize = parts[1]
+            .parse()
+            .map_err(|_| format!("MANIFEST line {}: bad node '{}'", i + 1, parts[1]))?;
+        let channel = channel_from_slug(parts[2])
+            .map_err(|e| format!("MANIFEST line {}: {e}", i + 1))?;
+        let path = dir.join(parts[3]);
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        let series = from_csv(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        store.insert(job, node, channel, series);
+    }
+    Ok(store)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampler::Sampler;
+    use vpp_node::ComponentTraces;
+    use vpp_sim::PowerTrace;
+
+    fn populated_store() -> Store {
+        let store = Store::new();
+        let seg = |w: f64| PowerTrace::from_segments(0.0, [(20.0, w)]);
+        let traces = ComponentTraces::assemble(
+            seg(110.0),
+            seg(30.0),
+            vec![seg(300.0), seg(305.0), seg(295.0), seg(290.0)],
+            seg(140.0),
+        );
+        store.ingest_job("Si256_hse/run 1", &[traces], &Sampler::ideal(1.0));
+        store
+    }
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("vpp_archive_test_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn export_import_round_trips() {
+        let store = populated_store();
+        let dir = tmpdir("roundtrip");
+        let written = export_dir(&store, &dir).unwrap();
+        assert_eq!(written, 7);
+
+        let back = import_dir(&dir).unwrap();
+        assert_eq!(back.len(), 7);
+        let orig = store.query("Si256_hse/run 1", 0, Channel::Gpu(2)).unwrap();
+        let got = back.query("Si256_hse/run 1", 0, Channel::Gpu(2)).unwrap();
+        assert_eq!(got.len(), orig.len());
+        assert!((got.mean() - orig.mean()).abs() < 1e-3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn job_ids_are_slugified_for_filenames() {
+        let store = populated_store();
+        let dir = tmpdir("slug");
+        export_dir(&store, &dir).unwrap();
+        assert!(dir.join("Si256-hse-run-1_n0_node.csv").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_manifest_is_an_error() {
+        let dir = tmpdir("missing");
+        std::fs::create_dir_all(&dir).unwrap();
+        let err = import_dir(&dir).unwrap_err();
+        assert!(err.contains("MANIFEST"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn garbled_manifest_reports_the_line() {
+        let dir = tmpdir("garbled");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("MANIFEST"), "only,three,fields\n").unwrap();
+        let err = import_dir(&dir).unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn channel_slugs_round_trip() {
+        for c in Channel::all() {
+            assert_eq!(channel_from_slug(&channel_slug(c)).unwrap(), c);
+        }
+        assert!(channel_from_slug("gpu99x").is_err());
+    }
+}

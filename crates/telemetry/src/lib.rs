@@ -1,0 +1,29 @@
+//! Power telemetry: the LDMS / OMNI analogue (§II-B).
+//!
+//! NERSC's monitoring stack samples Cray PM counters at a nominal 1-second
+//! interval, but aggregate data rates force drops, yielding an effective
+//! 2-second cadence; the counters themselves report window-averaged power.
+//! This crate reproduces that pipeline:
+//!
+//! * [`Sampler`] — window-averaged sampling of a [`vpp_sim::PowerTrace`] at
+//!   a configurable interval, with stochastic sample drops and jitter;
+//! * [`TimeSeries`] — the sampled series, with the down-sampling used in the
+//!   paper's Fig. 2 sampling-rate study and gap statistics;
+//! * [`Store`] — a queryable, thread-safe archive of per-node, per-channel
+//!   series, standing in for the OMNI data warehouse.
+
+pub mod archive;
+pub mod query;
+pub mod sampler;
+pub mod screening;
+pub mod series;
+pub mod store;
+pub mod stream;
+
+pub use archive::{export_dir, import_dir};
+pub use query::{from_csv, to_csv, FleetStats, Query};
+pub use sampler::Sampler;
+pub use screening::{NodeVerdict, Screener};
+pub use series::TimeSeries;
+pub use store::{Channel, Store};
+pub use stream::{LiveCollector, Producer, Sample};

@@ -1,0 +1,161 @@
+//! The LDMS-like collector: window-averaged sampling with drops.
+
+use crate::series::TimeSeries;
+use vpp_sim::{PowerTrace, Rng};
+
+/// Sampling configuration.
+///
+/// ```
+/// use vpp_sim::PowerTrace;
+/// use vpp_telemetry::Sampler;
+///
+/// let trace = PowerTrace::from_segments(0.0, [(30.0, 250.0)]);
+/// let series = Sampler::ideal(2.0).sample(&trace);
+/// assert_eq!(series.len(), 15);
+/// assert!((series.mean() - 250.0).abs() < 1e-9);
+/// ```
+///
+/// Cray PM counters report the *average* power over the sampling window —
+/// not an instantaneous reading — which is why coarse sampling merges power
+/// modes instead of aliasing them (paper Fig. 2). Drops model the LDMS
+/// pipeline losing samples under aggregate load (nominal 1 s → effective
+/// 2 s in the study).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sampler {
+    /// Nominal sampling interval, seconds.
+    pub interval_s: f64,
+    /// Probability that any individual sample is dropped.
+    pub drop_prob: f64,
+    /// RNG seed for the drop/jitter process.
+    pub seed: u64,
+}
+
+impl Sampler {
+    /// Ideal sampler: fixed interval, no drops.
+    #[must_use]
+    pub fn ideal(interval_s: f64) -> Self {
+        assert!(interval_s > 0.0 && interval_s.is_finite());
+        Self {
+            interval_s,
+            drop_prob: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// The production configuration of the study: 1 s nominal with 50 %
+    /// drops → ≈2 s effective cadence.
+    #[must_use]
+    pub fn ldms_production() -> Self {
+        Self {
+            interval_s: 1.0,
+            drop_prob: 0.5,
+            seed: 0x4c44_4d53, // "LDMS"
+        }
+    }
+
+    /// High-rate capture used for the Fig. 2 methodology study (0.1 s).
+    #[must_use]
+    pub fn high_rate() -> Self {
+        Self::ideal(0.1)
+    }
+
+    /// Sample a power trace into a time series. Each kept sample at time
+    /// `t` carries the trace's mean power over `[t - interval, t)`.
+    #[must_use]
+    pub fn sample(&self, trace: &PowerTrace) -> TimeSeries {
+        assert!((0.0..1.0).contains(&self.drop_prob), "bad drop_prob");
+        let mut rng = Rng::new(self.seed);
+        let mut times = Vec::new();
+        let mut values = Vec::new();
+        let mut t = trace.start() + self.interval_s;
+        let end = trace.end();
+        while t <= end + 1e-12 {
+            if !rng.bool(self.drop_prob) {
+                times.push(t);
+                values.push(trace.mean_power(t - self.interval_s, t));
+            }
+            t += self.interval_s;
+        }
+        TimeSeries::new(times, values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square_wave(n_cycles: usize, half_s: f64, lo: f64, hi: f64) -> PowerTrace {
+        let mut t = PowerTrace::new(0.0);
+        for _ in 0..n_cycles {
+            t.push(half_s, lo);
+            t.push(half_s, hi);
+        }
+        t
+    }
+
+    #[test]
+    fn ideal_sampling_counts() {
+        let trace = square_wave(10, 1.0, 100.0, 300.0); // 20 s
+        let s = Sampler::ideal(2.0).sample(&trace);
+        assert_eq!(s.len(), 10);
+    }
+
+    #[test]
+    fn constant_trace_samples_constant() {
+        let trace = PowerTrace::from_segments(0.0, [(10.0, 250.0)]);
+        let s = Sampler::ideal(1.0).sample(&trace);
+        assert!(s.values().iter().all(|&v| (v - 250.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn window_averaging_merges_fast_structure() {
+        // 0.2 s square wave between 100 and 300 W: a 2 s window sees 200 W.
+        let trace = square_wave(100, 0.1, 100.0, 300.0);
+        let s = Sampler::ideal(2.0).sample(&trace);
+        assert!(s.values().iter().all(|&v| (v - 200.0).abs() < 1e-6));
+        // A 0.1 s sampler resolves both levels.
+        let fast = Sampler::high_rate().sample(&trace);
+        let lo = fast.values().iter().filter(|&&v| v < 150.0).count();
+        let hi = fast.values().iter().filter(|&&v| v > 250.0).count();
+        assert!(lo > 40 && hi > 40, "lo={lo} hi={hi}");
+    }
+
+    #[test]
+    fn sampling_preserves_mean_power() {
+        let trace = square_wave(50, 0.7, 120.0, 310.0);
+        let s = Sampler::ideal(1.0).sample(&trace);
+        let true_mean = trace.energy() / trace.duration();
+        assert!((s.mean() - true_mean).abs() < 5.0, "mean drifted: {}", s.mean());
+    }
+
+    #[test]
+    fn drops_stretch_effective_cadence() {
+        let trace = PowerTrace::from_segments(0.0, [(4000.0, 200.0)]);
+        let s = Sampler::ldms_production().sample(&trace);
+        let med = s.mean_interval_s().unwrap();
+        assert!((1.5..3.0).contains(&med), "mean interval = {med}");
+        assert!(s.max_gap_s().unwrap() <= 16.0, "pathological gap");
+    }
+
+    #[test]
+    fn drop_process_is_deterministic() {
+        let trace = PowerTrace::from_segments(0.0, [(100.0, 200.0)]);
+        let a = Sampler::ldms_production().sample(&trace);
+        let b = Sampler::ldms_production().sample(&trace);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_trace_yields_empty_series() {
+        let s = Sampler::ideal(1.0).sample(&PowerTrace::new(0.0));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "bad drop_prob")]
+    fn invalid_drop_prob_panics() {
+        let mut s = Sampler::ideal(1.0);
+        s.drop_prob = 1.5;
+        let _ = s.sample(&PowerTrace::from_segments(0.0, [(1.0, 1.0)]));
+    }
+}

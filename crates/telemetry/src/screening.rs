@@ -1,0 +1,160 @@
+//! Automated node screening.
+//!
+//! The paper's protocol runs DGEMM/STREAM before VASP and re-runs each
+//! benchmark five times "to exclude the runs manifesting relatively larger
+//! manufactural differences in hardware devices" (§III-B.1) — a manual
+//! screen. This module automates it: given the per-node series of one job
+//! (identical work per node), flag nodes whose power deviates from the
+//! fleet by more than a robust z-score threshold.
+
+use crate::series::TimeSeries;
+
+/// Verdict for one node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeVerdict {
+    pub node: usize,
+    /// Mean power over the compared window, watts.
+    pub mean_w: f64,
+    /// Robust z-score against the fleet median.
+    pub z_score: f64,
+    /// Flagged as an outlier?
+    pub outlier: bool,
+}
+
+/// Screening configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Screener {
+    /// |z| above which a node is flagged.
+    pub z_threshold: f64,
+}
+
+impl Screener {
+    /// The default threshold (|z| ≥ 3.5, the standard MAD-based cut).
+    #[must_use]
+    pub fn default_threshold() -> Self {
+        Self { z_threshold: 3.5 }
+    }
+
+    /// Screen per-node series of one load-balanced job.
+    ///
+    /// Uses the median/MAD robust z-score so a single bad node cannot mask
+    /// itself by inflating the spread estimate.
+    ///
+    /// # Panics
+    /// If fewer than three nodes are provided (no basis for comparison).
+    #[must_use]
+    pub fn screen(&self, per_node: &[TimeSeries]) -> Vec<NodeVerdict> {
+        assert!(
+            per_node.len() >= 3,
+            "screening needs at least 3 nodes, got {}",
+            per_node.len()
+        );
+        let means: Vec<f64> = per_node.iter().map(TimeSeries::mean).collect();
+        let mut sorted = means.clone();
+        sorted.sort_by(f64::total_cmp);
+        let median = sorted[sorted.len() / 2];
+        let mut devs: Vec<f64> = means.iter().map(|m| (m - median).abs()).collect();
+        devs.sort_by(f64::total_cmp);
+        let mad = devs[devs.len() / 2].max(1e-9);
+        // 1.4826 · MAD ≈ σ for normal data.
+        let sigma = 1.4826 * mad;
+        means
+            .iter()
+            .enumerate()
+            .map(|(node, &mean_w)| {
+                let z_score = (mean_w - median) / sigma;
+                NodeVerdict {
+                    node,
+                    mean_w,
+                    z_score,
+                    outlier: z_score.abs() >= self.z_threshold,
+                }
+            })
+            .collect()
+    }
+
+    /// Indices of flagged nodes.
+    #[must_use]
+    pub fn outliers(&self, per_node: &[TimeSeries]) -> Vec<usize> {
+        self.screen(per_node)
+            .into_iter()
+            .filter(|v| v.outlier)
+            .map(|v| v.node)
+            .collect()
+    }
+}
+
+impl Default for Screener {
+    fn default() -> Self {
+        Self::default_threshold()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(mean: f64, n: usize) -> TimeSeries {
+        let times: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let values: Vec<f64> = (0..n).map(|i| mean + ((i * 13) % 7) as f64 - 3.0).collect();
+        TimeSeries::new(times, values)
+    }
+
+    #[test]
+    fn healthy_fleet_has_no_outliers() {
+        let nodes: Vec<TimeSeries> = [1800.0, 1812.0, 1795.0, 1805.0, 1808.0]
+            .iter()
+            .map(|&m| series(m, 50))
+            .collect();
+        assert!(Screener::default().outliers(&nodes).is_empty());
+    }
+
+    #[test]
+    fn hot_node_is_flagged() {
+        let nodes: Vec<TimeSeries> = [1800.0, 1804.0, 1797.0, 1960.0, 1801.0]
+            .iter()
+            .map(|&m| series(m, 50))
+            .collect();
+        let out = Screener::default().outliers(&nodes);
+        assert_eq!(out, vec![3]);
+    }
+
+    #[test]
+    fn cold_node_is_flagged_too() {
+        // A throttling/underperforming node draws *less* power.
+        let nodes: Vec<TimeSeries> = [1800.0, 1804.0, 1620.0, 1797.0, 1801.0]
+            .iter()
+            .map(|&m| series(m, 50))
+            .collect();
+        let out = Screener::default().outliers(&nodes);
+        assert_eq!(out, vec![2]);
+    }
+
+    #[test]
+    fn one_outlier_cannot_mask_itself() {
+        // With a classical (mean/std) z-score a single extreme node can
+        // inflate σ enough to pass; MAD resists that.
+        let nodes: Vec<TimeSeries> = [1800.0, 1801.0, 1799.0, 1800.5, 2500.0]
+            .iter()
+            .map(|&m| series(m, 50))
+            .collect();
+        let out = Screener::default().outliers(&nodes);
+        assert_eq!(out, vec![4]);
+    }
+
+    #[test]
+    fn verdicts_report_all_nodes() {
+        let nodes: Vec<TimeSeries> =
+            [1.0, 2.0, 3.0].iter().map(|&m| series(1000.0 + m, 20)).collect();
+        let verdicts = Screener::default().screen(&nodes);
+        assert_eq!(verdicts.len(), 3);
+        assert!(verdicts.iter().all(|v| v.mean_w > 990.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3 nodes")]
+    fn too_few_nodes_panics() {
+        let nodes = vec![series(1.0, 10), series(2.0, 10)];
+        let _ = Screener::default().screen(&nodes);
+    }
+}

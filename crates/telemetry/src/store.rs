@@ -1,0 +1,201 @@
+//! The OMNI-like archive: per-job, per-node, per-channel series.
+
+use crate::sampler::Sampler;
+use crate::series::TimeSeries;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use vpp_node::ComponentTraces;
+
+/// Power channels the Cray PM interface exposes per node (§II-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Channel {
+    /// Total node power (includes peripherals).
+    Node,
+    /// CPU package power.
+    Cpu,
+    /// DDR memory power.
+    Mem,
+    /// One GPU board (0–3).
+    Gpu(u8),
+}
+
+impl Channel {
+    /// All channels of a 4-GPU node, in display order.
+    #[must_use]
+    pub fn all() -> [Channel; 7] {
+        [
+            Channel::Node,
+            Channel::Cpu,
+            Channel::Mem,
+            Channel::Gpu(0),
+            Channel::Gpu(1),
+            Channel::Gpu(2),
+            Channel::Gpu(3),
+        ]
+    }
+}
+
+type Key = (String, usize, Channel);
+
+/// Thread-safe archive of sampled series, keyed by
+/// `(job id, node index, channel)`.
+#[derive(Debug, Default)]
+pub struct Store {
+    data: RwLock<BTreeMap<Key, TimeSeries>>,
+}
+
+impl Store {
+    /// An empty archive.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sample every channel of every node of a finished job and archive
+    /// the results. Returns the number of series stored.
+    pub fn ingest_job(
+        &self,
+        job_id: &str,
+        nodes: &[ComponentTraces],
+        sampler: &Sampler,
+    ) -> usize {
+        let mut stored = 0;
+        let mut map = self.data.write();
+        for (idx, c) in nodes.iter().enumerate() {
+            let mut put = |chan: Channel, series: TimeSeries| {
+                map.insert((job_id.to_string(), idx, chan), series);
+                stored += 1;
+            };
+            put(Channel::Node, sampler.sample(&c.node));
+            put(Channel::Cpu, sampler.sample(&c.cpu));
+            put(Channel::Mem, sampler.sample(&c.mem));
+            for (g, gt) in c.gpus.iter().enumerate() {
+                put(Channel::Gpu(g as u8), sampler.sample(gt));
+            }
+        }
+        stored
+    }
+
+    /// Insert (or replace) one series directly — the archive import path.
+    pub fn insert(&self, job_id: &str, node: usize, channel: Channel, series: TimeSeries) {
+        self.data
+            .write()
+            .insert((job_id.to_string(), node, channel), series);
+    }
+
+    /// Retrieve one series.
+    #[must_use]
+    pub fn query(&self, job_id: &str, node: usize, channel: Channel) -> Option<TimeSeries> {
+        self.data
+            .read()
+            .get(&(job_id.to_string(), node, channel))
+            .cloned()
+    }
+
+    /// Node indices recorded for a job.
+    #[must_use]
+    pub fn nodes_of(&self, job_id: &str) -> Vec<usize> {
+        let map = self.data.read();
+        let mut nodes: Vec<usize> = map
+            .keys()
+            .filter(|(j, _, _)| j == job_id)
+            .map(|&(_, n, _)| n)
+            .collect();
+        nodes.dedup();
+        nodes
+    }
+
+    /// All job ids in the archive.
+    #[must_use]
+    pub fn jobs(&self) -> Vec<String> {
+        let map = self.data.read();
+        let mut jobs: Vec<String> = map.keys().map(|(j, _, _)| j.clone()).collect();
+        jobs.dedup();
+        jobs
+    }
+
+    /// Number of stored series.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.read().len()
+    }
+
+    /// True when nothing has been ingested.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpp_sim::PowerTrace;
+
+    fn fake_node_traces() -> ComponentTraces {
+        let seg = |w: f64| PowerTrace::from_segments(0.0, [(10.0, w)]);
+        ComponentTraces::assemble(
+            seg(100.0),
+            seg(30.0),
+            vec![seg(200.0), seg(210.0), seg(190.0), seg(205.0)],
+            seg(130.0),
+        )
+    }
+
+    #[test]
+    fn ingest_stores_seven_channels_per_node() {
+        let store = Store::new();
+        let n = store.ingest_job("job1", &[fake_node_traces()], &Sampler::ideal(1.0));
+        assert_eq!(n, 7);
+        assert_eq!(store.len(), 7);
+    }
+
+    #[test]
+    fn query_round_trips() {
+        let store = Store::new();
+        store.ingest_job("job1", &[fake_node_traces()], &Sampler::ideal(1.0));
+        let node = store.query("job1", 0, Channel::Node).unwrap();
+        assert!((node.mean() - 1065.0).abs() < 1e-9, "{}", node.mean());
+        let g2 = store.query("job1", 0, Channel::Gpu(2)).unwrap();
+        assert!((g2.mean() - 190.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn missing_series_is_none() {
+        let store = Store::new();
+        assert!(store.query("nope", 0, Channel::Node).is_none());
+    }
+
+    #[test]
+    fn job_and_node_listings() {
+        let store = Store::new();
+        store.ingest_job(
+            "a",
+            &[fake_node_traces(), fake_node_traces()],
+            &Sampler::ideal(1.0),
+        );
+        store.ingest_job("b", &[fake_node_traces()], &Sampler::ideal(1.0));
+        assert_eq!(store.jobs(), vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(store.nodes_of("a"), vec![0, 1]);
+    }
+
+    #[test]
+    fn channel_all_lists_seven() {
+        assert_eq!(Channel::all().len(), 7);
+    }
+
+    #[test]
+    fn concurrent_reads_are_safe() {
+        let store = std::sync::Arc::new(Store::new());
+        store.ingest_job("j", &[fake_node_traces()], &Sampler::ideal(1.0));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let s = store.clone();
+                std::thread::spawn(move || s.query("j", 0, Channel::Node).unwrap().mean())
+            })
+            .collect();
+        for h in handles {
+            assert!((h.join().unwrap() - 1065.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Pick the best power cap per workload under energy / EDP / ED²P
+//! objectives (the §VII metric family) from measured operating points.
+//!
+//! ```text
+//! cargo run --release --example energy_tradeoff [benchmark]
+//! ```
+
+use vasp_power_profiles::core::{benchmarks, protocol};
+use vasp_power_profiles::stats::energy_metrics::{best_point, Objective, OperatingPoint};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "Si256_hse".into());
+    let suite = benchmarks::suite();
+    let Some(bench) = suite.iter().find(|b| b.name() == name) else {
+        eprintln!("unknown benchmark '{name}'");
+        std::process::exit(2);
+    };
+    let nodes = bench.cap_study_nodes;
+    let ctx = protocol::StudyContext::quick();
+
+    println!("energy/performance trade-off: {name} on {nodes} node(s)\n");
+    println!(
+        "{:>6}  {:>10}  {:>10}  {:>12}  {:>14}",
+        "cap W", "runtime s", "energy MJ", "EDP GJ·s", "ED²P TJ·s²"
+    );
+    let mut points = Vec::new();
+    for cap in [400.0, 300.0, 250.0, 200.0, 150.0, 100.0] {
+        let m = if cap >= 400.0 {
+            protocol::measure(bench, &protocol::RunConfig::nodes(nodes), &ctx)
+        } else {
+            protocol::measure(bench, &protocol::RunConfig::capped(nodes, cap), &ctx)
+        };
+        let p = OperatingPoint {
+            cap_w: cap,
+            energy_j: m.energy_j,
+            runtime_s: m.runtime_s,
+        };
+        println!(
+            "{:>6.0}  {:>10.0}  {:>10.2}  {:>12.2}  {:>14.2}",
+            cap,
+            p.runtime_s,
+            p.energy_j / 1e6,
+            p.edp() / 1e9,
+            p.ed2p() / 1e12
+        );
+        points.push(p);
+    }
+
+    println!();
+    for obj in [Objective::Energy, Objective::Edp, Objective::Ed2p] {
+        let best = best_point(&points, obj);
+        println!("best cap under {obj:?}: {:.0} W", best.cap_w);
+    }
+    println!(
+        "\nreading: deep caps always save energy; whether they *pay* depends on\n\
+         how much delay the objective tolerates — and on the workload's cap\n\
+         sensitivity (compare Si256_hse with PdO2)."
+    );
+}

@@ -1,0 +1,116 @@
+//! A machine-scale what-if: one partition, a morning's worth of mixed VASP
+//! and MILC jobs, with and without the paper's 50 %-TDP capping policy.
+//!
+//! ```text
+//! cargo run --release --example machine_day [partition_nodes]
+//! ```
+//!
+//! Every placed job is executed through the full simulator, so the system
+//! power timeline is the *sum of real job traces* plus idle nodes — the
+//! quantity NERSC's operations data (paper §I, ref [14]) actually shows.
+
+use vasp_power_profiles::cluster::NetworkModel;
+use vasp_power_profiles::core::{benchmarks, protocol};
+use vasp_power_profiles::dft::{CostModel, ParallelLayout};
+use vasp_power_profiles::fleet::{simulate, FleetSpec, JobRequest};
+use vasp_power_profiles::lqcd::{MilcWorkload, SolverParams};
+use vasp_power_profiles::sim::Rng;
+
+fn main() {
+    let partition: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("partition_nodes"))
+        .unwrap_or(12);
+
+    let net = NetworkModel::perlmutter();
+    let cm = CostModel::calibrated();
+    let ctx = protocol::StudyContext::quick();
+
+    // Build a mixed queue: shortened versions of three VASP workloads plus
+    // a MILC run, arriving over the first half hour.
+    let mut rng = Rng::new(0xDA7);
+    let mut requests = Vec::new();
+    let mut id = 0u64;
+    for round in 0..3 {
+        for bench in [
+            benchmarks::b_hr105_hse(),
+            benchmarks::pdo2(),
+            benchmarks::si128_acfdtr(),
+        ] {
+            let nodes = bench.cap_study_nodes;
+            let plan = protocol::plan_for(&bench, nodes, &ctx);
+            requests.push(JobRequest {
+                id,
+                name: bench.name().to_string(),
+                plan,
+                nodes,
+                arrival_s: round as f64 * 600.0 + rng.uniform(0.0, 300.0),
+                cap_w: None,
+                est_node_power_w: 1400.0,
+            });
+            id += 1;
+        }
+        let milc = MilcWorkload {
+            lattice: [32, 32, 32, 48],
+            trajectories: 2,
+            md_steps: 6,
+            solver: SolverParams {
+                cg_iters: 400,
+                solves_per_step: 2,
+            },
+        };
+        requests.push(JobRequest {
+            id,
+            name: "milc".into(),
+            plan: milc.build_plan(&ParallelLayout::nodes(1), &net, &cm),
+            nodes: 1,
+            arrival_s: round as f64 * 600.0 + rng.uniform(0.0, 300.0),
+            cap_w: None,
+            est_node_power_w: 1200.0,
+        });
+        id += 1;
+    }
+
+    let spec = FleetSpec::new(partition);
+    println!(
+        "machine-day: {} jobs on a {partition}-node partition\n",
+        requests.len()
+    );
+    println!(
+        "{:<24} {:>11} {:>9} {:>9} {:>9} {:>7}",
+        "policy", "makespan s", "peak kW", "mean kW", "wait s", "util"
+    );
+
+    for (label, cap) in [("uncapped (default)", None), ("50% TDP cap (paper)", Some(200.0))] {
+        let reqs: Vec<JobRequest> = requests
+            .iter()
+            .cloned()
+            .map(|mut r| {
+                r.cap_w = cap;
+                if cap.is_some() {
+                    r.est_node_power_w = r.est_node_power_w.min(1100.0);
+                }
+                r
+            })
+            .collect();
+        let out = simulate(&spec, &reqs, &net);
+        let var = vasp_power_profiles::fleet::decompose(&out, spec.idle_node_w, spec.nodes, 2.0);
+        println!(
+            "{label:<24} {:>11.0} {:>9.1} {:>9.1} {:>9.0} {:>6.0}%   temporal var {:>3.0}%",
+            out.makespan_s,
+            out.peak_system_power_w() / 1000.0,
+            out.mean_system_power_w() / 1000.0,
+            out.mean_wait_s(),
+            out.utilisation * 100.0,
+            var.temporal_fraction * 100.0
+        );
+    }
+
+    println!(
+        "\ncapping shaves the partition's peak (headroom a scheduler can\n\
+         hand to other partitions) at a small makespan cost — §VI's trade.\n\
+         'temporal var' decomposes system-power variance: the share caused by\n\
+         jobs' own power moving over time (the paper's §I context reports 65%\n\
+         on Perlmutter)."
+    );
+}

@@ -1,0 +1,77 @@
+//! §VI-B's deployment step: apply the identical power-profiling pipeline to
+//! NERSC's second-largest application, MILC (lattice QCD), and compare its
+//! cap response with VASP's.
+//!
+//! ```text
+//! cargo run --release --example milc_comparison
+//! ```
+
+use vasp_power_profiles::cluster::{execute, JobSpec, NetworkModel};
+use vasp_power_profiles::core::{benchmarks, protocol};
+use vasp_power_profiles::dft::{CostModel, ParallelLayout};
+use vasp_power_profiles::lqcd::{MilcWorkload, SolverParams};
+use vasp_power_profiles::stats::high_power_mode;
+use vasp_power_profiles::telemetry::Sampler;
+
+fn main() {
+    let net = NetworkModel::perlmutter();
+    let cm = CostModel::calibrated();
+    let milc = MilcWorkload {
+        lattice: [48, 48, 48, 64],
+        trajectories: 3,
+        md_steps: 10,
+        solver: SolverParams {
+            cg_iters: 800,
+            solves_per_step: 2,
+        },
+    };
+    let layout = ParallelLayout::nodes(1);
+    let plan = milc.build_plan(&layout, &net, &cm);
+
+    println!(
+        "MILC {}³×{} lattice, {} trajectories, 1 node\n",
+        milc.lattice[0], milc.lattice[3], milc.trajectories
+    );
+    println!("{:>6}  {:>10}  {:>6}  {:>12}", "cap W", "runtime s", "perf", "node mode W");
+
+    let mut milc_rows = Vec::new();
+    let mut base_runtime = 0.0;
+    for cap in [400.0, 300.0, 200.0, 100.0] {
+        let mut spec = JobSpec::new(1);
+        if cap < 400.0 {
+            spec.gpu_power_cap_w = Some(cap);
+        }
+        let res = execute(&plan, &spec, &net);
+        if cap >= 400.0 {
+            base_runtime = res.runtime_s;
+        }
+        let series = Sampler::ideal(1.0).sample(&res.node_traces[0].node);
+        let mode = high_power_mode(series.values()).x;
+        let perf = base_runtime / res.runtime_s;
+        println!("{cap:>6.0}  {:>10.0}  {perf:>6.2}  {mode:>12.0}", res.runtime_s);
+        milc_rows.push((cap, perf));
+    }
+
+    // VASP's hungriest workload, same caps, for contrast.
+    println!("\nSi256_hse (VASP's power-hungriest), same caps:\n");
+    println!("{:>6}  {:>6}", "cap W", "perf");
+    let ctx = protocol::StudyContext::quick();
+    let bench = benchmarks::si256_hse();
+    let base = protocol::measure(&bench, &protocol::RunConfig::nodes(1), &ctx);
+    for cap in [400.0, 300.0, 200.0, 100.0] {
+        let perf = if cap >= 400.0 {
+            1.0
+        } else {
+            let m = protocol::measure(&bench, &protocol::RunConfig::capped(1, cap), &ctx);
+            base.runtime_s / m.runtime_s
+        };
+        println!("{cap:>6.0}  {perf:>6.2}");
+    }
+
+    println!(
+        "\nfinding (matches Acun et al., the paper's §VI-B follow-up): MILC's\n\
+         bandwidth-bound solver tolerates even the 100 W floor, while VASP's\n\
+         tensor-core-heavy HSE collapses there — per-application cap policies\n\
+         are exactly what a power-aware scheduler should exploit."
+    );
+}

@@ -1,0 +1,59 @@
+//! Automatic phase segmentation of a power timeline.
+//!
+//! ```text
+//! cargo run --release --example phase_detection [benchmark]
+//! ```
+//!
+//! Runs a benchmark, samples its node power, and segments the timeline into
+//! phases of roughly constant power — recovering by algorithm what the
+//! paper reads off its figures by eye (e.g. Si128_acfdtr's CPU-only exact
+//! diagonalisation stretch in Fig. 3).
+
+use vasp_power_profiles::core::{benchmarks, protocol};
+use vasp_power_profiles::stats::Segmenter;
+
+fn main() {
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "Si128_acfdtr".into());
+    let suite = benchmarks::suite();
+    let Some(bench) = suite.iter().find(|b| b.name() == name) else {
+        eprintln!("unknown benchmark '{name}'");
+        std::process::exit(2);
+    };
+
+    let ctx = protocol::StudyContext::quick();
+    let m = protocol::measure(bench, &protocol::RunConfig::nodes(1), &ctx);
+    let times = m.node_series.times();
+    let values = m.node_series.values();
+    let interval = m.node_series.mean_interval_s().unwrap_or(1.0);
+
+    println!(
+        "{name}: {:.0} s runtime, {} samples at ~{interval:.1} s\n",
+        m.runtime_s,
+        values.len()
+    );
+
+    let seg = Segmenter::node_power();
+    let phases = seg.segment(values);
+    println!(
+        "{:>8}  {:>8}  {:>10}  {:>10}",
+        "from s", "to s", "duration s", "mean W"
+    );
+    for p in &phases {
+        let t0 = times[p.start];
+        let t1 = times[p.end - 1];
+        println!("{t0:>8.0}  {t1:>8.0}  {:>10.0}  {:>10.0}", t1 - t0, p.mean_w);
+    }
+
+    if let Some(low) = seg.longest_low_phase(values, 900.0) {
+        println!(
+            "\nlongest low-power phase: {:.0} s at {:.0} W \
+             (the ACFDT/RPA CPU-only diagonalisation, for Si128_acfdtr)",
+            (low.len() as f64) * interval,
+            low.mean_w
+        );
+    } else {
+        println!("\nno low-power phase below 900 W — GPU-resident throughout");
+    }
+}

@@ -1,0 +1,61 @@
+//! Power-capping trade-off study for one workload (paper §V).
+//!
+//! ```text
+//! cargo run --release --example power_capping_study [benchmark] [nodes]
+//! ```
+//!
+//! Sweeps GPU power limits from 400 W down to 100 W in 50 W steps and
+//! prints the performance / power / energy trade-off, plus the deepest cap
+//! that keeps the slowdown within the paper's 10 % criterion.
+
+use vasp_power_profiles::core::{benchmarks, protocol};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let name = args.first().map_or("Si256_hse", String::as_str);
+    let suite = benchmarks::suite();
+    let Some(bench) = suite.iter().find(|b| b.name() == name) else {
+        eprintln!("unknown benchmark '{name}'");
+        std::process::exit(2);
+    };
+    let nodes: usize = args
+        .get(1)
+        .map(|s| s.parse().expect("nodes must be a positive integer"))
+        .unwrap_or(bench.cap_study_nodes);
+
+    let ctx = protocol::StudyContext::quick();
+    println!("power-capping study: {name} on {nodes} node(s)\n");
+    println!(
+        "{:>6}  {:>10}  {:>9}  {:>12}  {:>11}  {:>10}",
+        "cap W", "runtime s", "perf", "node mode W", "GPU mode W", "energy MJ"
+    );
+
+    let base = protocol::measure(bench, &protocol::RunConfig::nodes(nodes), &ctx);
+    let mut best_cap = 400.0;
+    for cap in [400.0, 350.0, 300.0, 250.0, 200.0, 150.0, 100.0] {
+        let m = if cap >= 400.0 {
+            base.clone()
+        } else {
+            protocol::measure(bench, &protocol::RunConfig::capped(nodes, cap), &ctx)
+        };
+        let perf = base.runtime_s / m.runtime_s;
+        if perf >= 0.90 {
+            best_cap = cap;
+        }
+        println!(
+            "{:>6.0}  {:>10.0}  {:>9.2}  {:>12.0}  {:>11.0}  {:>10.2}",
+            cap,
+            m.runtime_s,
+            perf,
+            m.node_summary.high_mode_w,
+            m.gpu_summary.high_mode_w,
+            m.energy_j / 1e6
+        );
+    }
+
+    println!(
+        "\ndeepest cap within the paper's 10% criterion: {best_cap:.0} W \
+         ({:.0}% of TDP)",
+        best_cap / 4.0
+    );
+}

@@ -1,0 +1,50 @@
+//! Quickstart: run one benchmark on one node and print its power profile.
+//!
+//! ```text
+//! cargo run --release --example quickstart [benchmark-name] [nodes]
+//! ```
+//!
+//! This walks the whole pipeline: Table I benchmark → SCF plan → simulated
+//! job on a modelled Perlmutter node → LDMS-rate sampling → the paper's KDE
+//! power summary.
+
+use vasp_power_profiles::core::{benchmarks, protocol};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let name = args.first().map_or("Si256_hse", String::as_str);
+    let nodes: usize = args
+        .get(1)
+        .map(|s| s.parse().expect("nodes must be a positive integer"))
+        .unwrap_or(1);
+
+    let suite = benchmarks::suite();
+    let Some(bench) = suite.iter().find(|b| b.name() == name) else {
+        eprintln!("unknown benchmark '{name}'; available:");
+        for b in &suite {
+            eprintln!("  {}", b.name());
+        }
+        std::process::exit(2);
+    };
+
+    let p = bench.params();
+    println!("benchmark      : {}", bench.name());
+    println!(
+        "system         : {} ions, {} electrons, NBANDS {}, NPLWV {}, {} k-points",
+        p.n_ions, p.nelect, p.nbands, p.nplwv, p.nk
+    );
+    println!("nodes          : {nodes} (4× A100 each)");
+
+    let ctx = protocol::StudyContext::paper();
+    let m = protocol::measure(bench, &protocol::RunConfig::nodes(nodes), &ctx);
+
+    println!("runtime        : {:.0} s (best of {} repeats)", m.runtime_s, ctx.repeats);
+    println!("energy         : {:.2} MJ", m.energy_j / 1e6);
+    println!("node power     : {}", m.node_summary);
+    println!("GPU-0 power    : {}", m.gpu_summary);
+    println!(
+        "effective rate : {:.1} s between samples (nominal {:.0} s with drops)",
+        m.node_series.mean_interval_s().unwrap_or(f64::NAN),
+        ctx.sampler.interval_s
+    );
+}

@@ -1,0 +1,112 @@
+//! The §VI proposal, end to end: a power-aware batch scheduler that
+//! classifies queued VASP jobs, caps the tolerant ones at 50 % TDP, and
+//! reallocates the spared power to admit more jobs under a fixed system
+//! power budget.
+//!
+//! ```text
+//! cargo run --release --example scheduler_simulation [total_nodes] [budget_kW]
+//! ```
+//!
+//! Cap-response curves are *measured* from the simulated suite (not
+//! hand-written), then fed to the scheduler — exactly the workflow the
+//! paper proposes for a production batch system.
+
+use vasp_power_profiles::core::{benchmarks, protocol};
+use vasp_power_profiles::dft::Xc;
+use vasp_power_profiles::powercap::{
+    BatchJob, CapResponse, Policy, Scheduler, WorkloadClass,
+};
+
+fn classify(xc: Xc) -> WorkloadClass {
+    match xc {
+        Xc::Hse | Xc::Rpa => WorkloadClass::PowerHungry,
+        Xc::Lda | Xc::Gga => WorkloadClass::Moderate,
+        Xc::VdwDf => WorkloadClass::Light,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let total_nodes: usize = args
+        .first()
+        .map(|s| s.parse().expect("total_nodes"))
+        .unwrap_or(16);
+    let budget_kw: f64 = args
+        .get(1)
+        .map(|s| s.parse().expect("budget_kW"))
+        .unwrap_or(18.0);
+
+    // Step 1: profile each benchmark's cap response on its study node count.
+    let ctx = protocol::StudyContext::quick();
+    println!("profiling cap responses (simulated measurements)...");
+    let mut queue = Vec::new();
+    let mut id = 0;
+    for bench in benchmarks::suite() {
+        let nodes = bench.cap_study_nodes;
+        let base = protocol::measure(&bench, &protocol::RunConfig::nodes(nodes), &ctx);
+        let mut points = Vec::new();
+        for cap in [100.0, 200.0, 300.0, 400.0] {
+            let m = if cap >= 400.0 {
+                base.clone()
+            } else {
+                protocol::measure(&bench, &protocol::RunConfig::capped(nodes, cap), &ctx)
+            };
+            points.push((
+                cap,
+                base.runtime_s / m.runtime_s,
+                m.energy_j / m.runtime_s / nodes as f64,
+            ));
+        }
+        let response = CapResponse::new(points);
+        println!(
+            "  {:<14} {} node(s): perf@200W {:.2}, power@200W {:.0} W/node",
+            bench.name(),
+            nodes,
+            response.perf_at(200.0),
+            response.power_at(200.0)
+        );
+        // Each benchmark contributes three queued jobs.
+        for _ in 0..3 {
+            queue.push(BatchJob {
+                id,
+                name: bench.name().to_string(),
+                class: classify(bench.deck.xc),
+                nodes,
+                base_runtime_s: base.runtime_s,
+                response: response.clone(),
+                arrival_s: 0.0,
+            });
+            id += 1;
+        }
+    }
+
+    // Step 2: schedule under a tight power budget with each policy.
+    let sched = Scheduler::new(total_nodes, budget_kw * 1000.0);
+    println!(
+        "\nscheduling {} jobs on {total_nodes} nodes under a {budget_kw:.0} kW budget:",
+        queue.len()
+    );
+    println!(
+        "{:<22} {:>12} {:>12} {:>12} {:>10}",
+        "policy", "makespan s", "peak kW", "mean kW", "jobs/h"
+    );
+    for (label, policy) in [
+        ("uncapped (default)", Policy::Uncapped),
+        ("fixed 200 W (50% TDP)", Policy::FixedCap(200.0)),
+        ("class-aware (paper)", Policy::ClassAware),
+    ] {
+        let out = sched.run(&queue, policy);
+        println!(
+            "{:<22} {:>12.0} {:>12.1} {:>12.1} {:>10.1}",
+            label,
+            out.makespan_s,
+            out.peak_power_w / 1000.0,
+            out.mean_power_w / 1000.0,
+            out.throughput_per_hour()
+        );
+    }
+    println!(
+        "\nthe paper's claim (§VI): capping tolerant workloads at 50% TDP frees\n\
+         power to admit more jobs, raising throughput under a power-limited system."
+    );
+}

@@ -1,0 +1,52 @@
+//! Survey the full seven-benchmark suite across node counts — a compact
+//! version of the paper's Figs. 4 + 5 (parallel efficiency and per-node
+//! power mode vs concurrency).
+//!
+//! ```text
+//! cargo run --release --example workload_survey [max_nodes]
+//! ```
+
+use vasp_power_profiles::core::{benchmarks, protocol};
+use vasp_power_profiles::stats::parallel_efficiency;
+
+fn main() {
+    let max_nodes: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("max_nodes must be a positive integer"))
+        .unwrap_or(4);
+    let mut node_counts = vec![1usize];
+    while node_counts.last().unwrap() * 2 <= max_nodes {
+        node_counts.push(node_counts.last().unwrap() * 2);
+    }
+
+    let ctx = protocol::StudyContext::quick();
+    println!("workload survey over {node_counts:?} nodes\n");
+    println!(
+        "{:<14} {:>6}  {:>10}  {:>6}  {:>12}  {:>10}",
+        "benchmark", "nodes", "runtime s", "PE", "node mode W", "energy MJ"
+    );
+
+    for bench in benchmarks::suite() {
+        let mut t1 = None;
+        for &n in &node_counts {
+            let m = protocol::measure(&bench, &protocol::RunConfig::nodes(n), &ctx);
+            let t_ref = *t1.get_or_insert(m.runtime_s);
+            let pe = parallel_efficiency(t_ref, n as f64, m.runtime_s);
+            println!(
+                "{:<14} {:>6}  {:>10.0}  {:>6.2}  {:>12.0}  {:>10.2}",
+                m.name,
+                n,
+                m.runtime_s,
+                pe,
+                m.node_summary.high_mode_w,
+                m.energy_j / 1e6
+            );
+        }
+        println!();
+    }
+
+    println!(
+        "the paper's headline: power varies with *workload* (766-1810 W/node)\n\
+         far more than with *concurrency* (flat while PE ≥ 70%)."
+    );
+}

@@ -1,0 +1,170 @@
+//! Regenerate every table and figure of the paper.
+//!
+//! Usage:
+//! ```text
+//! repro                       # run everything (Table I + Figs. 1–13 + predict)
+//! repro table1 fig12          # run a subset
+//! repro --quick               # fewer protocol repeats (faster)
+//! repro --csv out/            # also write machine-readable CSVs per experiment
+//! ```
+
+use std::time::Instant;
+use vpp_core::experiments::{
+    capping, fig01, fig02, fig03, fig04, fig05, fig06, fig07, fig08, fig09, fig10, fig11,
+    fig12, fig13, predict_eval, scaling, table1,
+};
+use vpp_core::protocol::StudyContext;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let csv_dir = args
+        .iter()
+        .position(|a| a == "--csv")
+        .map(|i| args.get(i + 1).expect("--csv needs a directory").clone());
+    if let Some(dir) = &csv_dir {
+        std::fs::create_dir_all(dir).expect("cannot create the CSV directory");
+    }
+    let selected: Vec<&str> = {
+        let mut skip_next = false;
+        args.iter()
+            .filter(|a| {
+                if skip_next {
+                    skip_next = false;
+                    return false;
+                }
+                if *a == "--csv" {
+                    skip_next = true;
+                    return false;
+                }
+                !a.starts_with("--")
+            })
+            .map(String::as_str)
+            .collect()
+    };
+    let want = |name: &str| selected.is_empty() || selected.contains(&name);
+
+    let ctx = if quick {
+        StudyContext::quick()
+    } else {
+        StudyContext::paper()
+    };
+
+    let write_csv = |name: &str, csv: &str| {
+        if let Some(dir) = &csv_dir {
+            let path = format!("{dir}/{name}.csv");
+            std::fs::write(&path, csv).expect("cannot write CSV");
+            eprintln!("[wrote {path}]");
+        }
+    };
+
+    let ran = std::cell::Cell::new(0);
+    let section = |name: &str, f: &mut dyn FnMut() -> (String, String)| {
+        if !want(name) {
+            return;
+        }
+        let t = Instant::now();
+        let (body, csv) = f();
+        println!("{body}");
+        write_csv(name, &csv);
+        eprintln!("[{name} done in {:.1}s]", t.elapsed().as_secs_f64());
+        ran.set(ran.get() + 1);
+    };
+
+    section("table1", &mut || {
+        let r = table1::run();
+        (r.to_string(), r.csv())
+    });
+    section("fig1", &mut || {
+        let r = fig01::run(&ctx);
+        (r.to_string(), r.csv())
+    });
+    section("fig2", &mut || {
+        let r = fig02::run(&ctx);
+        (r.to_string(), r.csv())
+    });
+    section("fig3", &mut || {
+        let r = fig03::run(&ctx);
+        (r.to_string(), r.csv())
+    });
+
+    // Figs. 4 and 5 share one node-count sweep.
+    if want("fig4") || want("fig5") {
+        let t = Instant::now();
+        let data = scaling::measure_suite(
+            &vpp_core::benchmarks::suite(),
+            &scaling::NODE_COUNTS,
+            &ctx,
+        );
+        if want("fig4") {
+            let r = fig04::from_scaling(&data, &scaling::NODE_COUNTS);
+            println!("{r}");
+            write_csv("fig4", &r.csv());
+            ran.set(ran.get() + 1);
+        }
+        if want("fig5") {
+            let r = fig05::from_scaling(&data, &scaling::NODE_COUNTS);
+            println!("{r}");
+            write_csv("fig5", &r.csv());
+            ran.set(ran.get() + 1);
+        }
+        eprintln!("[fig4+fig5 done in {:.1}s]", t.elapsed().as_secs_f64());
+    }
+
+    section("fig6", &mut || {
+        let r = fig06::run(&ctx);
+        (r.to_string(), r.csv())
+    });
+    section("fig7", &mut || {
+        let r = fig07::run(&ctx);
+        (r.to_string(), r.csv())
+    });
+    section("fig8", &mut || {
+        let r = fig08::run(&ctx);
+        (r.to_string(), r.csv())
+    });
+    section("fig9", &mut || {
+        let r = fig09::run(&ctx);
+        (r.to_string(), r.csv())
+    });
+
+    // Figs. 10 and 12 share one cap sweep.
+    if want("fig10") || want("fig12") {
+        let t = Instant::now();
+        let data = capping::measure_caps(&vpp_core::benchmarks::suite(), &ctx);
+        if want("fig10") {
+            let r = fig10::from_caps(&data);
+            println!("{r}");
+            write_csv("fig10", &r.csv());
+            ran.set(ran.get() + 1);
+        }
+        if want("fig12") {
+            let r = fig12::from_caps(&data);
+            println!("{r}");
+            write_csv("fig12", &r.csv());
+            ran.set(ran.get() + 1);
+        }
+        eprintln!("[fig10+fig12 done in {:.1}s]", t.elapsed().as_secs_f64());
+    }
+
+    section("fig11", &mut || {
+        let r = fig11::run(&ctx);
+        (r.to_string(), r.csv())
+    });
+    section("predict", &mut || {
+        let r = predict_eval::run(&ctx);
+        (r.to_string(), r.csv())
+    });
+    section("fig13", &mut || {
+        let r = fig13::run(&ctx);
+        (r.to_string(), r.csv())
+    });
+
+    if ran.get() == 0 {
+        eprintln!(
+            "nothing matched {selected:?}; known: table1 fig1..fig13 predict \
+             (plus --quick, --csv DIR)"
+        );
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,251 @@
+//! `vpp` — the operator's command-line tool.
+//!
+//! ```text
+//! vpp profile <benchmark|dir> [--nodes N] [--cap W] [--quick]
+//! vpp caps    <benchmark>     [--nodes N]
+//! vpp screen  <benchmark>     [--nodes N] [--straggler IDX:FACTOR]
+//! vpp phases  <benchmark>     [--nodes N]
+//! vpp list
+//! ```
+//!
+//! `<benchmark>` is a Table I name (see `vpp list`); a directory containing
+//! `INCAR` / `POSCAR` (and optionally `KPOINTS`) works everywhere a
+//! benchmark name does.
+
+use vasp_power_profiles::cluster::{execute, JobSpec, NetworkModel, Straggler};
+use vasp_power_profiles::core::{benchmarks, protocol};
+use vasp_power_profiles::dft::{parse_incar, parse_kpoints, parse_poscar};
+use vasp_power_profiles::stats::Segmenter;
+use vasp_power_profiles::telemetry::{Sampler, Screener};
+
+struct Args {
+    positional: Vec<String>,
+    nodes: Option<usize>,
+    cap: Option<f64>,
+    quick: bool,
+    straggler: Option<(usize, f64)>,
+}
+
+fn parse_args(raw: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        positional: Vec::new(),
+        nodes: None,
+        cap: None,
+        quick: false,
+        straggler: None,
+    };
+    let mut it = raw.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--nodes" => {
+                let v = it.next().ok_or("--nodes needs a value")?;
+                args.nodes = Some(v.parse().map_err(|_| format!("bad --nodes '{v}'"))?);
+            }
+            "--cap" => {
+                let v = it.next().ok_or("--cap needs a value")?;
+                args.cap = Some(v.parse().map_err(|_| format!("bad --cap '{v}'"))?);
+            }
+            "--straggler" => {
+                let v = it.next().ok_or("--straggler needs IDX:FACTOR")?;
+                let (idx, factor) = v
+                    .split_once(':')
+                    .ok_or_else(|| format!("bad --straggler '{v}' (want IDX:FACTOR)"))?;
+                args.straggler = Some((
+                    idx.parse().map_err(|_| format!("bad straggler index '{idx}'"))?,
+                    factor
+                        .parse()
+                        .map_err(|_| format!("bad straggler factor '{factor}'"))?,
+                ));
+            }
+            "--quick" => args.quick = true,
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag '{other}'"));
+            }
+            other => args.positional.push(other.to_string()),
+        }
+    }
+    Ok(args)
+}
+
+/// Resolve a benchmark name or an input-deck directory.
+fn resolve(target: &str) -> Result<benchmarks::Benchmark, String> {
+    if let Some(b) = benchmarks::suite().into_iter().find(|b| b.name() == target) {
+        return Ok(b);
+    }
+    let dir = std::path::Path::new(target);
+    if dir.is_dir() {
+        let incar = std::fs::read_to_string(dir.join("INCAR"))
+            .map_err(|e| format!("cannot read {target}/INCAR: {e}"))?;
+        let poscar = std::fs::read_to_string(dir.join("POSCAR"))
+            .map_err(|e| format!("cannot read {target}/POSCAR: {e}"))?;
+        let mut deck = parse_incar(&incar).map_err(|e| format!("INCAR: {e}"))?.deck;
+        let cell = parse_poscar(&poscar).map_err(|e| format!("POSCAR: {e}"))?;
+        if let Ok(kp) = std::fs::read_to_string(dir.join("KPOINTS")) {
+            deck.kpoints = parse_kpoints(&kp).map_err(|e| format!("KPOINTS: {e}"))?;
+        }
+        deck.validate().map_err(|e| format!("combined deck: {e}"))?;
+        return Ok(benchmarks::Benchmark {
+            cell,
+            deck,
+            cap_study_nodes: 1,
+        });
+    }
+    Err(format!(
+        "'{target}' is neither a benchmark name nor an input directory; try `vpp list`"
+    ))
+}
+
+fn ctx(quick: bool) -> protocol::StudyContext {
+    if quick {
+        protocol::StudyContext::quick()
+    } else {
+        protocol::StudyContext::paper()
+    }
+}
+
+fn cmd_list() {
+    println!("{:<14} {:>9} {:>7} {:>8}  functional", "benchmark", "electrons", "ions", "NPLWV");
+    for b in benchmarks::suite() {
+        let p = b.params();
+        println!(
+            "{:<14} {:>9} {:>7} {:>8}  {:?}",
+            b.name(),
+            p.nelect,
+            p.n_ions,
+            p.nplwv,
+            p.xc
+        );
+    }
+}
+
+fn cmd_profile(args: &Args) -> Result<(), String> {
+    let target = args.positional.first().ok_or("profile needs a target")?;
+    let bench = resolve(target)?;
+    let nodes = args.nodes.unwrap_or(1);
+    let cfg = match args.cap {
+        Some(c) => protocol::RunConfig::capped(nodes, c),
+        None => protocol::RunConfig::nodes(nodes),
+    };
+    let m = protocol::measure(&bench, &cfg, &ctx(args.quick));
+    println!("workload   : {} on {nodes} node(s)", bench.name());
+    if let Some(c) = args.cap {
+        println!("GPU cap    : {c:.0} W");
+    }
+    println!("runtime    : {:.0} s", m.runtime_s);
+    println!("energy     : {:.2} MJ", m.energy_j / 1e6);
+    println!("node power : {}", m.node_summary);
+    println!("GPU0 power : {}", m.gpu_summary);
+    Ok(())
+}
+
+fn cmd_caps(args: &Args) -> Result<(), String> {
+    let target = args.positional.first().ok_or("caps needs a target")?;
+    let bench = resolve(target)?;
+    let nodes = args.nodes.unwrap_or(bench.cap_study_nodes);
+    let c = ctx(args.quick);
+    println!(
+        "{:>6} {:>10} {:>6} {:>12} {:>10}",
+        "cap W", "runtime s", "perf", "node mode W", "energy MJ"
+    );
+    let base = protocol::measure(&bench, &protocol::RunConfig::nodes(nodes), &c);
+    for cap in [400.0, 300.0, 200.0, 100.0] {
+        let m = if cap >= 400.0 {
+            base.clone()
+        } else {
+            protocol::measure(&bench, &protocol::RunConfig::capped(nodes, cap), &c)
+        };
+        println!(
+            "{cap:>6.0} {:>10.0} {:>6.2} {:>12.0} {:>10.2}",
+            m.runtime_s,
+            base.runtime_s / m.runtime_s,
+            m.node_summary.high_mode_w,
+            m.energy_j / 1e6
+        );
+    }
+    Ok(())
+}
+
+fn cmd_screen(args: &Args) -> Result<(), String> {
+    let target = args.positional.first().ok_or("screen needs a target")?;
+    let bench = resolve(target)?;
+    let nodes = args.nodes.unwrap_or(4).max(3);
+    let c = ctx(true);
+    let plan = protocol::plan_for(&bench, nodes, &c);
+    let mut spec = JobSpec::new(nodes);
+    if let Some((idx, factor)) = args.straggler {
+        if idx >= nodes {
+            return Err(format!("straggler index {idx} out of {nodes} nodes"));
+        }
+        spec.straggler = Some(Straggler {
+            node: idx,
+            slowdown: factor,
+        });
+        println!("(injected straggler: node {idx} at {factor}x)");
+    }
+    let res = execute(&plan, &spec, &NetworkModel::perlmutter());
+    let sampler = Sampler::ideal(1.0);
+    let per_node: Vec<_> = res
+        .node_traces
+        .iter()
+        .map(|t| sampler.sample(&t.node))
+        .collect();
+    println!("{:>5} {:>10} {:>8}  verdict", "node", "mean W", "z");
+    for v in Screener::default_threshold().screen(&per_node) {
+        println!(
+            "{:>5} {:>10.0} {:>8.2}  {}",
+            v.node,
+            v.mean_w,
+            v.z_score,
+            if v.outlier { "OUTLIER" } else { "ok" }
+        );
+    }
+    Ok(())
+}
+
+fn cmd_phases(args: &Args) -> Result<(), String> {
+    let target = args.positional.first().ok_or("phases needs a target")?;
+    let bench = resolve(target)?;
+    let nodes = args.nodes.unwrap_or(1);
+    let m = protocol::measure(&bench, &protocol::RunConfig::nodes(nodes), &ctx(true));
+    let interval = m.node_series.mean_interval_s().unwrap_or(1.0);
+    println!("{:>10} {:>12} {:>10}", "duration s", "mean W", "samples");
+    for p in Segmenter::node_power().segment(m.node_series.values()) {
+        println!(
+            "{:>10.0} {:>12.0} {:>10}",
+            p.len() as f64 * interval,
+            p.mean_w,
+            p.len()
+        );
+    }
+    Ok(())
+}
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = raw.split_first() else {
+        eprintln!("usage: vpp <profile|caps|screen|phases|list> ...");
+        std::process::exit(2);
+    };
+    let args = match parse_args(rest) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let result = match cmd.as_str() {
+        "list" => {
+            cmd_list();
+            Ok(())
+        }
+        "profile" => cmd_profile(&args),
+        "caps" => cmd_caps(&args),
+        "screen" => cmd_screen(&args),
+        "phases" => cmd_phases(&args),
+        other => Err(format!("unknown command '{other}'")),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,92 @@
+//! Integration tests for the `vpp` CLI binary.
+
+use std::process::Command;
+
+fn vpp() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_vpp"))
+}
+
+#[test]
+fn list_names_the_seven_benchmarks() {
+    let out = vpp().arg("list").output().expect("vpp runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for name in [
+        "Si256_hse",
+        "B.hR105_hse",
+        "PdO4",
+        "PdO2",
+        "GaAsBi-64",
+        "CuC_vdw",
+        "Si128_acfdtr",
+    ] {
+        assert!(text.contains(name), "missing {name} in:\n{text}");
+    }
+}
+
+#[test]
+fn profile_reports_a_power_summary() {
+    let out = vpp()
+        .args(["profile", "B.hR105_hse", "--quick"])
+        .output()
+        .expect("vpp runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("node power"));
+    assert!(text.contains("mode"));
+}
+
+#[test]
+fn unknown_benchmark_fails_with_guidance() {
+    let out = vpp().args(["profile", "NoSuchThing"]).output().expect("vpp runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("vpp list"), "{err}");
+}
+
+#[test]
+fn unknown_flag_is_rejected() {
+    let out = vpp()
+        .args(["profile", "PdO2", "--bogus"])
+        .output()
+        .expect("vpp runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag"));
+}
+
+#[test]
+fn missing_command_prints_usage() {
+    let out = vpp().output().expect("vpp runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
+
+#[test]
+fn screen_flags_injected_straggler() {
+    let out = vpp()
+        .args(["screen", "PdO4", "--nodes", "4", "--straggler", "2:1.5"])
+        .output()
+        .expect("vpp runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("OUTLIER"), "{text}");
+}
+
+#[test]
+fn profile_accepts_an_input_deck_directory() {
+    let dir = std::env::temp_dir().join(format!("vpp_cli_deck_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("INCAR"), "ALGO = Fast\nNELM = 12\n").unwrap();
+    std::fs::write(
+        dir.join("POSCAR"),
+        "Si64\n1.0\n10.86 0 0\n0 10.86 0\n0 0 10.86\nSi\n64\nDirect\n",
+    )
+    .unwrap();
+    let out = vpp()
+        .args(["profile", dir.to_str().unwrap(), "--quick"])
+        .output()
+        .expect("vpp runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("Si64"));
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,67 @@
+//! Reproducibility: the entire pipeline is bit-deterministic under fixed
+//! seeds, and distinct seeds model distinct physical placements.
+
+use vasp_power_profiles::cluster::{execute, JobSpec, NetworkModel};
+use vasp_power_profiles::core::{benchmarks, protocol};
+use vasp_power_profiles::dft::{build_plan, CostModel, ParallelLayout};
+
+#[test]
+fn measurements_are_bit_reproducible() {
+    let ctx = protocol::StudyContext::quick();
+    let bench = benchmarks::b_hr105_hse();
+    let a = protocol::measure(&bench, &protocol::RunConfig::nodes(1), &ctx);
+    let b = protocol::measure(&bench, &protocol::RunConfig::nodes(1), &ctx);
+    assert_eq!(a.runtime_s.to_bits(), b.runtime_s.to_bits());
+    assert_eq!(a.energy_j.to_bits(), b.energy_j.to_bits());
+    assert_eq!(a.node_series, b.node_series);
+    assert_eq!(a.node_summary, b.node_summary);
+}
+
+#[test]
+fn repeats_differ_but_modestly() {
+    // The protocol's five repeats land on different fleets: runtimes and
+    // powers differ slightly (that's what min-selection screens), but
+    // within a few percent.
+    let bench = benchmarks::pdo4();
+    let plan = build_plan(
+        &bench.params(),
+        &ParallelLayout::nodes(1),
+        &CostModel::calibrated(),
+    );
+    let net = NetworkModel::perlmutter();
+    let runtimes: Vec<f64> = (0..5)
+        .map(|rep| {
+            let mut spec = JobSpec::new(1);
+            spec.seed = 0xDE7E_0000 + rep;
+            execute(&plan, &spec, &net).runtime_s
+        })
+        .collect();
+    let lo = runtimes.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = runtimes.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    assert!(hi > lo, "fleets must differ: {runtimes:?}");
+    assert!(hi / lo < 1.06, "but only a few percent: {runtimes:?}");
+}
+
+#[test]
+fn experiment_results_are_stable_across_calls() {
+    let ctx = protocol::StudyContext::quick();
+    let a = vasp_power_profiles::core::experiments::fig02::run(&ctx);
+    let b = vasp_power_profiles::core::experiments::fig02::run(&ctx);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn seed_salt_changes_the_fleet_not_the_physics() {
+    let bench = benchmarks::b_hr105_hse();
+    let ctx = protocol::StudyContext::quick();
+    let mut cfg1 = protocol::RunConfig::nodes(1);
+    cfg1.seed_salt = 1;
+    let mut cfg2 = protocol::RunConfig::nodes(1);
+    cfg2.seed_salt = 2;
+    let a = protocol::measure(&bench, &cfg1, &ctx);
+    let b = protocol::measure(&bench, &cfg2, &ctx);
+    assert_ne!(a.runtime_s.to_bits(), b.runtime_s.to_bits(), "fleets differ");
+    let rel = (a.node_summary.high_mode_w - b.node_summary.high_mode_w).abs()
+        / a.node_summary.high_mode_w;
+    assert!(rel < 0.08, "physics must agree across fleets: {rel}");
+}

@@ -1,0 +1,58 @@
+//! Golden regression pins: outputs that must never drift without an
+//! intentional recalibration (in which case update the constants here and
+//! `EXPERIMENTS.md` together).
+
+use vasp_power_profiles::core::experiments::table1;
+
+#[test]
+fn table1_text_is_pinned() {
+    let text = table1::run().to_string();
+    // Table I is fully deterministic (derived, no simulation): pin the
+    // load-bearing cells.
+    for needle in [
+        "Si256_hse       1020 (255)         HSE     CG (Damped)    41     640",
+        "80x80x80   512000",
+        "PdO4       3288 (348)   DFT (LDA)  RMM (VeryFast)    60    2048",
+        "GaAsBi-64         266 (64)   DFT (GGA)   BD+RMM (Fast)    60     192",
+        "4 4 4 (2)",
+        "Si128_acfdtr        512 (128)   ACFDT/RPA     BD (Normal)    12     320        23506",
+    ] {
+        assert!(text.contains(needle), "missing: {needle}\nin:\n{text}");
+    }
+}
+
+#[test]
+fn table1_csv_is_pinned() {
+    let csv = table1::run().csv();
+    let lines: Vec<&str> = csv.lines().collect();
+    assert_eq!(lines.len(), 8, "header + 7 benchmarks");
+    assert_eq!(
+        lines[0],
+        "benchmark,electrons,ions,functional,algo,nelm,nbands,nbandsexact,ngx,ngy,ngz,nplwv,k1,k2,k3,kpar"
+    );
+    assert!(lines[1].starts_with("Si256_hse,1020,255,HSE,"));
+    assert!(lines[7].contains("23506"));
+}
+
+#[test]
+fn suite_parameters_are_bitwise_stable() {
+    // The derived parameters drive every experiment; pin their exact
+    // values so silent drift in the derivation chain is caught.
+    let expect: [(&str, usize, usize); 7] = [
+        ("Si256_hse", 512_000, 44_609),
+        ("B.hR105_hse", 110_592, 9_337),
+        ("PdO4", 518_400, 44_282),
+        ("PdO2", 259_200, 22_048),
+        ("GaAsBi-64", 343_000, 29_248),
+        ("CuC_vdw", 1_029_000, 88_164),
+        ("Si128_acfdtr", 216_000, 18_352),
+    ];
+    for (bench, &(name, nplwv, npw)) in
+        vasp_power_profiles::core::benchmarks::suite().iter().zip(&expect)
+    {
+        let p = bench.params();
+        assert_eq!(p.name, name);
+        assert_eq!(p.nplwv, nplwv, "{name} NPLWV");
+        assert_eq!(p.npw, npw, "{name} NPW");
+    }
+}

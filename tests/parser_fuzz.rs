@@ -1,0 +1,80 @@
+//! Robustness properties of the VASP-format parsers: arbitrary input must
+//! never panic, and valid input must round-trip.
+
+use proptest::prelude::*;
+use vasp_power_profiles::dft::{parse_incar, parse_kpoints, parse_poscar};
+
+proptest! {
+    #[test]
+    fn incar_parser_never_panics(text in ".{0,400}") {
+        // Any outcome is fine; panicking is not.
+        let _ = parse_incar(&text);
+    }
+
+    #[test]
+    fn kpoints_parser_never_panics(text in ".{0,200}") {
+        let _ = parse_kpoints(&text);
+    }
+
+    #[test]
+    fn poscar_parser_never_panics(text in ".{0,400}") {
+        let _ = parse_poscar(&text);
+    }
+
+    #[test]
+    fn incar_parser_never_panics_on_taggy_input(
+        lines in prop::collection::vec(
+            ("[A-Z]{2,12}", "[ -~]{0,20}"),
+            0..12
+        )
+    ) {
+        let text: String = lines
+            .iter()
+            .map(|(t, v)| format!("{t} = {v}\n"))
+            .collect();
+        let _ = parse_incar(&text);
+    }
+
+    #[test]
+    fn valid_incar_round_trips(
+        nelm in 1usize..200,
+        nbands in 1usize..4096,
+        encut in 100.0f64..900.0,
+        nsim in 1usize..16,
+    ) {
+        let text = format!(
+            "NELM = {nelm}\nNBANDS = {nbands}\nENCUT = {encut}\nNSIM = {nsim}\n"
+        );
+        let deck = parse_incar(&text).expect("valid deck").deck;
+        prop_assert_eq!(deck.nelm, nelm);
+        prop_assert_eq!(deck.nbands, Some(nbands));
+        prop_assert_eq!(deck.nsim, nsim);
+        prop_assert!((deck.encut_ev.unwrap() - encut).abs() < 1e-9);
+    }
+
+    #[test]
+    fn valid_poscar_counts_round_trip(
+        counts in prop::collection::vec(1usize..300, 1..3),
+        lat in 5.0f64..40.0,
+    ) {
+        let species = ["Si", "O", "Cu"];
+        let names: Vec<&str> = species.iter().take(counts.len()).copied().collect();
+        let text = format!(
+            "fuzzed\n1.0\n{lat} 0 0\n0 {lat} 0\n0 0 {lat}\n{}\n{}\nDirect\n",
+            names.join(" "),
+            counts.iter().map(ToString::to_string).collect::<Vec<_>>().join(" ")
+        );
+        let cell = parse_poscar(&text).expect("valid structure");
+        prop_assert_eq!(cell.n_ions(), counts.iter().sum::<usize>());
+    }
+
+    #[test]
+    fn valid_kpoints_round_trip(mesh in prop::collection::vec(1usize..12, 3)) {
+        let text = format!(
+            "mesh\n0\nGamma\n{} {} {}\n",
+            mesh[0], mesh[1], mesh[2]
+        );
+        let got = parse_kpoints(&text).expect("valid mesh");
+        prop_assert_eq!(got.to_vec(), mesh);
+    }
+}
