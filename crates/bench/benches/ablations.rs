@@ -2,31 +2,22 @@
 //!
 //! Each ablation runs the same workload under two model variants and
 //! reports both the runtime cost and (via eprintln at setup) the modelled
-//! quantity that changes, so `cargo bench` output documents the effect:
+//! quantity that changes, so the bench output documents the effect:
 //!
 //! * calibrated throttle response vs the physically-derived DVFS curve;
 //! * window-averaged sampling vs instantaneous point sampling;
 //! * manufacturing variability on vs off;
 //! * duty-cycle modelling on vs off.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use std::time::Duration;
 use vpp_bench::{run, small_workload};
 use vpp_gpu::{DvfsCurve, Gpu, Kernel, KernelKind};
+use vpp_substrate::Harness;
 use vpp_telemetry::Sampler;
-
-fn configured(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
-    let mut g = c.benchmark_group("ablations");
-    g.sample_size(10);
-    g.measurement_time(Duration::from_secs(3));
-    g.warm_up_time(Duration::from_millis(500));
-    g
-}
 
 /// Throttle response: the calibrated `(1-(1-r)^γ)` curve vs solving the
 /// DVFS voltage/frequency model directly (time ∝ 1/f).
-fn ablation_throttle_model(c: &mut Criterion) {
+fn ablation_throttle_model(h: &mut Harness) {
     let kernel = Kernel::new(KernelKind::TensorGemm, 5e7, 1.0);
     let gpu = Gpu::nominal();
     let p0 = gpu.uncapped_power(&kernel);
@@ -42,18 +33,16 @@ fn ablation_throttle_model(c: &mut Criterion) {
          raw DVFS perf {dvfs_perf:.3}"
     );
 
-    let mut g = configured(c);
-    g.bench_function("throttle_calibrated", |b| {
-        b.iter(|| black_box(capped.throttle_perf(black_box(p0), KernelKind::TensorGemm)))
+    h.bench("throttle_calibrated", move || {
+        capped.throttle_perf(black_box(p0), KernelKind::TensorGemm)
     });
-    g.bench_function("throttle_dvfs_solve", |b| {
-        b.iter(|| black_box(dvfs.clock_for_power(black_box(phi))))
+    h.bench("throttle_dvfs_solve", move || {
+        dvfs.clock_for_power(black_box(phi))
     });
-    g.finish();
 }
 
 /// Sampling: window-averaged (Cray PM semantics) vs instantaneous points.
-fn ablation_sampling(c: &mut Criterion) {
+fn ablation_sampling(h: &mut Harness) {
     let plan = small_workload();
     let res = run(&plan, 1, None);
     let trace = res.node_traces[0].node.clone();
@@ -66,46 +55,32 @@ fn ablation_sampling(c: &mut Criterion) {
          {i_mode:.0} W (Fig. 2's merging only happens with window averaging)"
     );
 
-    let mut g = configured(c);
-    g.bench_function("sampling_window_averaged", |b| {
-        b.iter(|| black_box(Sampler::ideal(2.0).sample(&trace).mean()))
+    let t2 = trace.clone();
+    h.bench("sampling_window_averaged", move || {
+        Sampler::ideal(2.0).sample(&trace).mean()
     });
-    g.bench_function("sampling_instantaneous", |b| {
-        b.iter(|| black_box(trace.sample_instant(2.0).len()))
-    });
-    g.finish();
+    h.bench("sampling_instantaneous", move || t2.sample_instant(2.0).len());
 }
 
 /// Variability: sampled fleets vs nominal hardware.
-fn ablation_variability(c: &mut Criterion) {
+fn ablation_variability(h: &mut Harness) {
     let plan = small_workload();
-    let mut g = configured(c);
-    g.bench_function("fleet_sampled_nodes", |b| {
-        let mut seed = 0u64;
-        b.iter(|| {
-            seed += 1;
-            let mut spec = vpp_cluster::JobSpec::new(1);
-            spec.seed = seed;
-            black_box(
-                vpp_cluster::execute(&plan, &spec, &vpp_cluster::NetworkModel::perlmutter())
-                    .runtime_s,
-            )
-        })
+    let p2 = plan.clone();
+    let mut seed = 0u64;
+    h.bench("fleet_sampled_nodes", move || {
+        seed += 1;
+        let mut spec = vpp_cluster::JobSpec::new(1);
+        spec.seed = seed;
+        vpp_cluster::execute(&plan, &spec, &vpp_cluster::NetworkModel::perlmutter()).runtime_s
     });
-    g.bench_function("fleet_fixed_node", |b| {
-        let spec = vpp_cluster::JobSpec::new(1);
-        b.iter(|| {
-            black_box(
-                vpp_cluster::execute(&plan, &spec, &vpp_cluster::NetworkModel::perlmutter())
-                    .runtime_s,
-            )
-        })
+    let spec = vpp_cluster::JobSpec::new(1);
+    h.bench("fleet_fixed_node", move || {
+        vpp_cluster::execute(&p2, &spec, &vpp_cluster::NetworkModel::perlmutter()).runtime_s
     });
-    g.finish();
 }
 
 /// Duty cycling: with vs without the launch-gap duty model.
-fn ablation_duty(c: &mut Criterion) {
+fn ablation_duty(h: &mut Harness) {
     let gpu = Gpu::nominal();
     let with = Kernel::with_duty(KernelKind::Fft3d, 2e6, 1.0, 0.5);
     let without = Kernel::new(KernelKind::Fft3d, 2e6, 1.0);
@@ -115,21 +90,16 @@ fn ablation_duty(c: &mut Criterion) {
         gpu.uncapped_power(&with),
         gpu.uncapped_power(&without)
     );
-    let mut g = configured(c);
-    g.bench_function("execute_with_duty", |b| {
-        b.iter(|| black_box(gpu.execute(&with).watts))
-    });
-    g.bench_function("execute_full_duty", |b| {
-        b.iter(|| black_box(gpu.execute(&without).watts))
-    });
-    g.finish();
+    let g2 = gpu.clone();
+    h.bench("execute_with_duty", move || gpu.execute(&with).watts);
+    h.bench("execute_full_duty", move || g2.execute(&without).watts);
 }
 
-criterion_group!(
-    ablations,
-    ablation_throttle_model,
-    ablation_sampling,
-    ablation_variability,
-    ablation_duty
-);
-criterion_main!(ablations);
+fn main() {
+    let mut h = Harness::new("ablations");
+    ablation_throttle_model(&mut h);
+    ablation_sampling(&mut h);
+    ablation_variability(&mut h);
+    ablation_duty(&mut h);
+    h.finish();
+}

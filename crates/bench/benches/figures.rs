@@ -1,185 +1,86 @@
-//! One Criterion bench per paper table/figure.
+//! One bench entry per paper table/figure.
 //!
 //! Each bench regenerates its table/figure at reduced scale (one protocol
 //! repeat, trimmed sweeps). The measured quantity is the end-to-end cost of
 //! the regeneration pipeline — workload lowering, cluster simulation,
 //! telemetry, and statistics.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use std::time::Duration;
 use vpp_bench::{bench_ctx, plan, run};
 use vpp_core::benchmarks;
 use vpp_core::experiments::{fig02, fig11, table1};
 use vpp_core::protocol::{measure, RunConfig};
+use vpp_substrate::Harness;
 
-fn configured(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
-    let mut g = c.benchmark_group("figures");
-    g.sample_size(10);
-    g.measurement_time(Duration::from_secs(3));
-    g.warm_up_time(Duration::from_millis(500));
-    g
-}
+fn main() {
+    let mut h = Harness::new("figures");
+    let ctx = bench_ctx();
 
-fn bench_table1(c: &mut Criterion) {
-    let mut g = configured(c);
-    g.bench_function("table1_regenerate", |b| {
-        b.iter(|| black_box(table1::run().to_string()))
-    });
-    g.finish();
-}
+    h.bench("table1_regenerate", || table1::run().to_string().len());
 
-fn bench_fig01(c: &mut Criterion) {
     // Four-node prologue + job, single fleet.
-    let mut g = configured(c);
-    let p = plan(&benchmarks::si256_hse(), 4);
-    g.bench_function("fig01_multinode_job", |b| {
-        b.iter(|| black_box(run(&p, 4, None).runtime_s))
-    });
-    g.finish();
-}
+    let p1 = plan(&benchmarks::si256_hse(), 4);
+    h.bench("fig01_multinode_job", move || run(&p1, 4, None).runtime_s);
 
-fn bench_fig02(c: &mut Criterion) {
-    let mut g = configured(c);
-    let ctx = bench_ctx();
-    g.bench_function("fig02_sampling_rates", |b| {
-        b.iter(|| black_box(fig02::run(&ctx).mode_stability_w()))
+    h.bench("fig02_sampling_rates", move || {
+        fig02::run(&ctx).mode_stability_w()
     });
-    g.finish();
-}
 
-fn bench_fig03(c: &mut Criterion) {
-    let mut g = configured(c);
-    let ctx = bench_ctx();
-    let bench = benchmarks::gaasbi64();
-    g.bench_function("fig03_timeline_panel", |b| {
-        b.iter(|| {
-            let m = measure(&bench, &RunConfig::nodes(1), &ctx);
-            black_box(m.node_summary.high_mode_w)
-        })
+    let b3 = benchmarks::gaasbi64();
+    h.bench("fig03_timeline_panel", move || {
+        measure(&b3, &RunConfig::nodes(1), &ctx).node_summary.high_mode_w
     });
-    g.finish();
-}
 
-fn bench_fig04_fig05(c: &mut Criterion) {
     // The shared scaling sweep, reduced to two benchmarks × {1, 2} nodes.
-    let mut g = configured(c);
-    let ctx = bench_ctx();
-    let suite = [benchmarks::pdo2(), benchmarks::b_hr105_hse()];
-    g.bench_function("fig04_fig05_scaling_sweep", |b| {
-        b.iter(|| {
-            let data =
-                vpp_core::experiments::scaling::measure_suite(&suite, &[1, 2], &ctx);
-            black_box(data[0].efficiencies())
-        })
+    let suite45 = [benchmarks::pdo2(), benchmarks::b_hr105_hse()];
+    h.bench("fig04_fig05_scaling_sweep", move || {
+        let data = vpp_core::experiments::scaling::measure_suite(&suite45, &[1, 2], &ctx);
+        black_box(data[0].efficiencies()).len()
     });
-    g.finish();
-}
 
-fn bench_fig06(c: &mut Criterion) {
     // One representative size point of the sweep.
-    let mut g = configured(c);
     let deck = vpp_dft::Incar::default_deck();
-    let p = vpp_dft::SystemParams::derive(&vpp_dft::Supercell::silicon(512), &deck);
-    let plan = vpp_dft::build_plan(
-        &p,
-        &vpp_dft::ParallelLayout::nodes(1),
-        &bench_ctx().cost,
-    );
-    g.bench_function("fig06_size_point_si512", |b| {
-        b.iter(|| black_box(run(&plan, 1, None).energy_j()))
+    let p6 = vpp_dft::SystemParams::derive(&vpp_dft::Supercell::silicon(512), &deck);
+    let plan6 = vpp_dft::build_plan(&p6, &vpp_dft::ParallelLayout::nodes(1), &ctx.cost);
+    h.bench("fig06_size_point_si512", move || {
+        run(&plan6, 1, None).energy_j()
     });
-    g.finish();
-}
 
-fn bench_fig07(c: &mut Criterion) {
-    let mut g = configured(c);
-    let ctx = bench_ctx();
-    g.bench_function("fig07_parameter_sweeps", |b| {
-        b.iter(|| {
-            let fig = vpp_core::experiments::fig07::run_with_nelm(&ctx, Some(3));
-            black_box(fig.nplwv_rows.len())
-        })
+    h.bench("fig07_parameter_sweeps", move || {
+        vpp_core::experiments::fig07::run_with_nelm(&ctx, Some(3))
+            .nplwv_rows
+            .len()
     });
-    g.finish();
-}
 
-fn bench_fig08(c: &mut Criterion) {
-    let mut g = configured(c);
-    let ctx = bench_ctx();
-    let bench = benchmarks::si256_hse();
-    g.bench_function("fig08_concurrency_point", |b| {
-        b.iter(|| black_box(measure(&bench, &RunConfig::nodes(4), &ctx).energy_j))
+    let b8 = benchmarks::si256_hse();
+    h.bench("fig08_concurrency_point", move || {
+        measure(&b8, &RunConfig::nodes(4), &ctx).energy_j
     });
-    g.finish();
-}
 
-fn bench_fig09(c: &mut Criterion) {
-    let mut g = configured(c);
-    let cost = bench_ctx().cost;
-    g.bench_function("fig09_method_violin_si128", |b| {
-        b.iter(|| {
-            let deck = vpp_dft::Method::DftVeryFast.deck();
-            let p = vpp_dft::SystemParams::derive(&vpp_dft::Supercell::silicon(128), &deck);
-            let plan = vpp_dft::build_plan(&p, &vpp_dft::ParallelLayout::nodes(1), &cost);
-            let res = run(&plan, 1, None);
-            let series =
-                vpp_telemetry::Sampler::ideal(0.5).sample(&res.node_traces[0].node);
-            black_box(vpp_stats::ViolinStats::from_samples(series.values(), 64).median)
-        })
+    let cost9 = ctx.cost.clone();
+    h.bench("fig09_method_violin_si128", move || {
+        let deck = vpp_dft::Method::DftVeryFast.deck();
+        let p = vpp_dft::SystemParams::derive(&vpp_dft::Supercell::silicon(128), &deck);
+        let plan = vpp_dft::build_plan(&p, &vpp_dft::ParallelLayout::nodes(1), &cost9);
+        let res = run(&plan, 1, None);
+        let series = vpp_telemetry::Sampler::ideal(0.5).sample(&res.node_traces[0].node);
+        vpp_stats::ViolinStats::from_samples(series.values(), 64).median
     });
-    g.finish();
-}
 
-fn bench_fig10_fig12(c: &mut Criterion) {
     // One benchmark through the full four-cap sweep.
-    let mut g = configured(c);
-    let ctx = bench_ctx();
-    let suite = [benchmarks::pdo2()];
-    g.bench_function("fig10_fig12_cap_sweep", |b| {
-        b.iter(|| {
-            let data = vpp_core::experiments::capping::measure_caps(&suite, &ctx);
-            black_box(data[0].normalised_perf())
-        })
+    let suite1012 = [benchmarks::pdo2()];
+    h.bench("fig10_fig12_cap_sweep", move || {
+        let data = vpp_core::experiments::capping::measure_caps(&suite1012, &ctx);
+        black_box(data[0].normalised_perf()).len()
     });
-    g.finish();
-}
 
-fn bench_fig11(c: &mut Criterion) {
-    let mut g = configured(c);
-    let ctx = bench_ctx();
-    g.bench_function("fig11_cap_timeline_pair", |b| {
-        b.iter(|| black_box(fig11::run(&ctx).peak_reduction()))
+    h.bench("fig11_cap_timeline_pair", move || {
+        fig11::run(&ctx).peak_reduction()
     });
-    g.finish();
-}
 
-fn bench_fig13(c: &mut Criterion) {
-    let mut g = configured(c);
-    let ctx = bench_ctx();
-    g.bench_function("fig13_caps_at_two_node_counts", |b| {
-        b.iter(|| {
-            black_box(
-                vpp_core::experiments::fig13::run_with_nodes(&ctx, &[1, 2]).max_spread(),
-            )
-        })
+    h.bench("fig13_caps_at_two_node_counts", move || {
+        vpp_core::experiments::fig13::run_with_nodes(&ctx, &[1, 2]).max_spread()
     });
-    g.finish();
-}
 
-criterion_group!(
-    figures,
-    bench_table1,
-    bench_fig01,
-    bench_fig02,
-    bench_fig03,
-    bench_fig04_fig05,
-    bench_fig06,
-    bench_fig07,
-    bench_fig08,
-    bench_fig09,
-    bench_fig10_fig12,
-    bench_fig11,
-    bench_fig13
-);
-criterion_main!(figures);
+    h.finish();
+}

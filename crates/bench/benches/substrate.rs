@@ -1,20 +1,17 @@
 //! Micro-benchmarks of the simulation substrate's hot paths: trace algebra,
 //! the event queue, sampling, KDE/mode extraction, and plan lowering.
+//!
+//! The `*_before_after` entries pit the superseded algorithms (kept in
+//! `vpp_sim::trace::reference` and `Kde::grid_exact`) against the shipping
+//! fast paths; their speedups land in the `comparisons` array of
+//! `BENCH_results.json`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use std::time::Duration;
+use vpp_sim::trace::reference;
 use vpp_sim::{EventQueue, PowerTrace, Rng};
 use vpp_stats::kde::{Bandwidth, Kde};
+use vpp_substrate::Harness;
 use vpp_telemetry::Sampler;
-
-fn configured(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
-    let mut g = c.benchmark_group("substrate");
-    g.sample_size(20);
-    g.measurement_time(Duration::from_secs(2));
-    g.warm_up_time(Duration::from_millis(300));
-    g
-}
 
 fn long_trace(segments: usize) -> PowerTrace {
     let mut rng = Rng::new(7);
@@ -25,113 +22,133 @@ fn long_trace(segments: usize) -> PowerTrace {
     t
 }
 
-fn bench_trace_ops(c: &mut Criterion) {
-    let mut g = configured(c);
+/// A one-hour trace with sub-second structure (~72k segments).
+fn hour_trace() -> PowerTrace {
+    let mut rng = Rng::new(13);
+    let mut t = PowerTrace::new(0.0);
+    while t.duration() < 3600.0 {
+        t.push(rng.uniform(0.01, 0.1), rng.uniform(50.0, 2000.0));
+    }
+    t
+}
+
+fn bench_trace_ops(h: &mut Harness) {
     let a = long_trace(50_000);
     let b = long_trace(50_000);
-    g.bench_function("trace_build_100k_segments", |bch| {
-        bch.iter(|| black_box(long_trace(100_000).len()))
-    });
-    g.bench_function("trace_energy_50k", |bch| {
-        bch.iter(|| black_box(a.energy()))
-    });
-    g.bench_function("trace_sum_two_50k", |bch| {
-        bch.iter(|| black_box(PowerTrace::sum(&[&a, &b]).len()))
-    });
-    g.bench_function("trace_window_mean_50k", |bch| {
-        bch.iter(|| black_box(a.mean_power(100.0, 500.0)))
-    });
-    g.finish();
-}
+    h.bench("trace_build_100k_segments", || long_trace(100_000).len());
+    h.bench("trace_energy_50k", || a.energy());
+    h.bench("trace_sum_two_50k", || PowerTrace::sum(&[&a, &b]).len());
+    h.bench("trace_window_mean_50k", || a.mean_power(100.0, 500.0));
 
-fn bench_event_queue(c: &mut Criterion) {
-    let mut g = configured(c);
-    g.bench_function("event_queue_10k_schedule_drain", |bch| {
-        bch.iter(|| {
-            let mut q = EventQueue::new();
-            let mut rng = Rng::new(3);
-            for i in 0..10_000 {
-                q.schedule(rng.uniform(0.0, 1e6), i);
+    // 64 offset traces of 2k segments each: the fleet-aggregation shape.
+    let fleet: Vec<PowerTrace> = (0..64)
+        .map(|i| {
+            let mut rng = Rng::new(100 + i);
+            let mut t = PowerTrace::new(i as f64 * 0.37);
+            for _ in 0..2_000 {
+                t.push(rng.uniform(0.01, 0.5), rng.uniform(50.0, 2000.0));
             }
-            let mut n = 0;
-            q.drain(|_, _| n += 1);
-            black_box(n)
-        })
-    });
-    g.finish();
-}
-
-fn bench_sampling(c: &mut Criterion) {
-    let mut g = configured(c);
-    let trace = long_trace(50_000);
-    g.bench_function("sampler_2s_over_50k_segments", |bch| {
-        bch.iter(|| black_box(Sampler::ideal(2.0).sample(&trace).len()))
-    });
-    g.bench_function("sampler_high_rate_over_50k_segments", |bch| {
-        bch.iter(|| black_box(Sampler::high_rate().sample(&trace).len()))
-    });
-    g.finish();
-}
-
-fn bench_stats(c: &mut Criterion) {
-    let mut g = configured(c);
-    let mut rng = Rng::new(11);
-    let data: Vec<f64> = (0..4000)
-        .map(|_| {
-            if rng.bool(0.7) {
-                rng.normal(1700.0, 40.0)
-            } else {
-                rng.normal(700.0, 60.0)
-            }
+            t
         })
         .collect();
-    g.bench_function("kde_fit_and_grid_4k_samples", |bch| {
-        bch.iter(|| {
-            let kde = Kde::fit(&data, Bandwidth::Silverman);
-            black_box(kde.grid(512).1[256])
-        })
+    let refs: Vec<&PowerTrace> = fleet.iter().collect();
+    h.compare(
+        "sum_64_traces_before_after",
+        || reference::sum_cut_union(black_box(&refs)).len(),
+        || PowerTrace::sum(black_box(&refs)).len(),
+    );
+}
+
+fn bench_event_queue(h: &mut Harness) {
+    h.bench("event_queue_10k_schedule_drain", || {
+        let mut q = EventQueue::new();
+        let mut rng = Rng::new(3);
+        for i in 0..10_000 {
+            q.schedule(rng.uniform(0.0, 1e6), i);
+        }
+        let mut n = 0;
+        q.drain(|_, _| n += 1);
+        n
     });
-    g.bench_function("high_power_mode_4k_samples", |bch| {
-        bch.iter(|| black_box(vpp_stats::high_power_mode(&data).x))
+}
+
+fn bench_sampling(h: &mut Harness) {
+    let trace = long_trace(50_000);
+    h.bench("sampler_2s_over_50k_segments", || {
+        Sampler::ideal(2.0).sample(&trace).len()
     });
-    g.bench_function("fwhm_4k_samples", |bch| {
+    h.bench("sampler_high_rate_over_50k_segments", || {
+        Sampler::high_rate().sample(&trace).len()
+    });
+
+    // One hour at the production 1-s cadence: sweep vs per-query windows.
+    let hour = hour_trace();
+    let n_windows = (hour.duration() / 1.0).floor() as usize;
+    h.compare(
+        "sample_1h_trace_before_after",
+        || reference::window_means_per_query(black_box(&hour), hour.start(), 1.0, n_windows).len(),
+        || black_box(&hour).window_means(hour.start(), 1.0, n_windows).len(),
+    );
+}
+
+fn bench_stats(h: &mut Harness) {
+    let mut rng = Rng::new(11);
+    let bimodal = |n: usize, rng: &mut Rng| -> Vec<f64> {
+        (0..n)
+            .map(|_| {
+                if rng.bool(0.7) {
+                    rng.normal(1700.0, 40.0)
+                } else {
+                    rng.normal(700.0, 60.0)
+                }
+            })
+            .collect()
+    };
+    let data = bimodal(4_000, &mut rng);
+    h.bench("kde_fit_and_grid_4k_samples", || {
+        let kde = Kde::fit(&data, Bandwidth::Silverman);
+        kde.grid(512).1[256]
+    });
+    h.bench("high_power_mode_4k_samples", || {
+        vpp_stats::high_power_mode(&data).x
+    });
+    h.bench("fwhm_4k_samples", {
         let mode = vpp_stats::high_power_mode(&data);
-        bch.iter(|| black_box(vpp_stats::fwhm(&data, mode)))
+        move || vpp_stats::fwhm(&data, mode)
     });
-    g.finish();
+
+    // The acceptance workload: a 512-point grid over 10k samples.
+    let data10k = bimodal(10_000, &mut rng);
+    let kde = Kde::fit(&data10k, Bandwidth::Silverman);
+    h.compare(
+        "kde_grid_10k_samples_before_after",
+        || black_box(&kde).grid_exact(512).1[256],
+        || black_box(&kde).grid(512).1[256],
+    );
 }
 
-fn bench_plan_lowering(c: &mut Criterion) {
-    let mut g = configured(c);
-    g.bench_function("lower_pdo4_plan", |bch| {
-        let p = vpp_core::benchmarks::pdo4().params();
-        let cost = vpp_dft::CostModel::calibrated();
-        bch.iter(|| {
-            black_box(
-                vpp_dft::build_plan(&p, &vpp_dft::ParallelLayout::nodes(2), &cost)
-                    .ops
-                    .len(),
-            )
-        })
+fn bench_plan_lowering(h: &mut Harness) {
+    let p = vpp_core::benchmarks::pdo4().params();
+    let cost = vpp_dft::CostModel::calibrated();
+    h.bench("lower_pdo4_plan", || {
+        vpp_dft::build_plan(&p, &vpp_dft::ParallelLayout::nodes(2), &cost)
+            .ops
+            .len()
     });
-    g.finish();
 }
 
-fn bench_parsers(c: &mut Criterion) {
-    let mut g = configured(c);
+fn bench_parsers(h: &mut Harness) {
     let incar = "ALGO = Damped\nLHFCALC = .TRUE.\nNELM = 41\nNBANDS = 640\nENCUT = 400\nNSIM = 4\n";
-    g.bench_function("parse_incar", |bch| {
-        bch.iter(|| black_box(vpp_dft::parse_incar(black_box(incar)).unwrap().deck.nelm))
+    h.bench("parse_incar", || {
+        vpp_dft::parse_incar(black_box(incar)).unwrap().deck.nelm
     });
     let poscar = "Si256\n1.0\n17.24 0 0\n0 17.24 0\n0 0 17.24\nSi\n255\nDirect\n";
-    g.bench_function("parse_poscar", |bch| {
-        bch.iter(|| black_box(vpp_dft::parse_poscar(black_box(poscar)).unwrap().n_ions()))
+    h.bench("parse_poscar", || {
+        vpp_dft::parse_poscar(black_box(poscar)).unwrap().n_ions()
     });
-    g.finish();
 }
 
-fn bench_lqcd_lowering(c: &mut Criterion) {
-    let mut g = configured(c);
+fn bench_lqcd_lowering(h: &mut Harness) {
     let w = vpp_lqcd::MilcWorkload {
         lattice: [32, 32, 32, 48],
         trajectories: 2,
@@ -143,20 +160,14 @@ fn bench_lqcd_lowering(c: &mut Criterion) {
     };
     let net = vpp_cluster::NetworkModel::perlmutter();
     let cm = vpp_dft::CostModel::calibrated();
-    g.bench_function("lower_milc_plan", |bch| {
-        bch.iter(|| {
-            black_box(
-                w.build_plan(&vpp_dft::ParallelLayout::nodes(1), &net, &cm)
-                    .ops
-                    .len(),
-            )
-        })
+    h.bench("lower_milc_plan", || {
+        w.build_plan(&vpp_dft::ParallelLayout::nodes(1), &net, &cm)
+            .ops
+            .len()
     });
-    g.finish();
 }
 
-fn bench_fleet(c: &mut Criterion) {
-    let mut g = configured(c);
+fn bench_fleet(h: &mut Harness) {
     let mut deck = vpp_dft::Incar::default_deck();
     deck.nelm = 6;
     let p = vpp_dft::SystemParams::derive(&vpp_dft::Supercell::silicon(128), &deck);
@@ -178,21 +189,20 @@ fn bench_fleet(c: &mut Criterion) {
         .collect();
     let spec = vpp_fleet::FleetSpec::new(2);
     let net = vpp_cluster::NetworkModel::perlmutter();
-    g.bench_function("fleet_four_jobs_two_nodes", |bch| {
-        bch.iter(|| black_box(vpp_fleet::simulate(&spec, &requests, &net).makespan_s))
+    h.bench("fleet_four_jobs_two_nodes", || {
+        vpp_fleet::simulate(&spec, &requests, &net).makespan_s
     });
-    g.finish();
 }
 
-criterion_group!(
-    substrate,
-    bench_trace_ops,
-    bench_event_queue,
-    bench_sampling,
-    bench_stats,
-    bench_plan_lowering,
-    bench_parsers,
-    bench_lqcd_lowering,
-    bench_fleet
-);
-criterion_main!(substrate);
+fn main() {
+    let mut h = Harness::new("substrate");
+    bench_trace_ops(&mut h);
+    bench_event_queue(&mut h);
+    bench_sampling(&mut h);
+    bench_stats(&mut h);
+    bench_plan_lowering(&mut h);
+    bench_parsers(&mut h);
+    bench_lqcd_lowering(&mut h);
+    bench_fleet(&mut h);
+    h.finish();
+}

@@ -1,4 +1,4 @@
-//! Shared fixtures for the Criterion benchmark harness.
+//! Shared fixtures for the in-tree benchmark harness ([`vpp_substrate::Harness`]).
 //!
 //! Each bench in `benches/figures.rs` regenerates one paper table/figure at
 //! a *reduced scale* (single protocol repeat, trimmed sweeps) so the whole

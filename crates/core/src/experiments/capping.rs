@@ -37,21 +37,34 @@ impl BenchCaps {
 }
 
 /// Measure `benchmarks` under every cap.
+///
+/// Every (benchmark, cap) cell is an independent measurement, so the whole
+/// grid fans out on the substrate pool (previously a serial double loop).
 #[must_use]
 pub fn measure_caps(benchmarks: &[Benchmark], ctx: &StudyContext) -> Vec<BenchCaps> {
+    let grid: Vec<(usize, usize)> = (0..benchmarks.len())
+        .flat_map(|b| (0..CAPS.len()).map(move |c| (b, c)))
+        .collect();
+    let mut measured = vpp_substrate::par_map(grid, |(bi, ci)| {
+        let b = &benchmarks[bi];
+        let cap = CAPS[ci];
+        let mut cfg = RunConfig::capped(b.cap_study_nodes, cap);
+        cfg.seed_salt = 0xCA9 + cap as u64;
+        (bi, ci, measure(b, &cfg, ctx))
+    });
+    measured.sort_by_key(|&(bi, ci, _)| (bi, ci));
+    let mut per_bench: Vec<Vec<(f64, Measured)>> =
+        (0..benchmarks.len()).map(|_| Vec::new()).collect();
+    for (bi, ci, m) in measured {
+        per_bench[bi].push((CAPS[ci], m));
+    }
     benchmarks
         .iter()
-        .map(|b| BenchCaps {
+        .zip(per_bench)
+        .map(|(b, runs)| BenchCaps {
             name: b.name().to_string(),
             nodes: b.cap_study_nodes,
-            runs: CAPS
-                .iter()
-                .map(|&cap| {
-                    let mut cfg = RunConfig::capped(b.cap_study_nodes, cap);
-                    cfg.seed_salt = 0xCA9 + cap as u64;
-                    (cap, measure(b, &cfg, ctx))
-                })
-                .collect(),
+            runs,
         })
         .collect()
 }

@@ -2,7 +2,6 @@
 
 use crate::benchmarks::Benchmark;
 use crate::protocol::{measure, Measured, RunConfig, StudyContext};
-use rayon::prelude::*;
 
 /// One benchmark measured across node counts.
 #[derive(Debug, Clone)]
@@ -52,18 +51,29 @@ pub fn measure_suite(
     node_counts: &[usize],
     ctx: &StudyContext,
 ) -> Vec<BenchScaling> {
+    // One pool task per (benchmark, node count): finer grain than the old
+    // per-benchmark rayon split, so a 16-node run cannot serialise the tail.
+    let grid: Vec<(usize, usize)> = (0..benchmarks.len())
+        .flat_map(|b| (0..node_counts.len()).map(move |n| (b, n)))
+        .collect();
+    let mut measured = vpp_substrate::par_map(grid, |(bi, ni)| {
+        let n = node_counts[ni];
+        let mut cfg = RunConfig::nodes(n);
+        cfg.seed_salt = 0x5CA1_0000 + n as u64;
+        (bi, n, measure(&benchmarks[bi], &cfg, ctx))
+    });
+    measured.sort_by_key(|&(bi, n, _)| (bi, n));
+    let mut per_bench: Vec<Vec<(usize, Measured)>> =
+        (0..benchmarks.len()).map(|_| Vec::new()).collect();
+    for (bi, n, m) in measured {
+        per_bench[bi].push((n, m));
+    }
     benchmarks
-        .par_iter()
-        .map(|b| BenchScaling {
+        .iter()
+        .zip(per_bench)
+        .map(|(b, runs)| BenchScaling {
             name: b.name().to_string(),
-            runs: node_counts
-                .iter()
-                .map(|&n| {
-                    let mut cfg = RunConfig::nodes(n);
-                    cfg.seed_salt = 0x5CA1_0000 + n as u64;
-                    (n, measure(b, &cfg, ctx))
-                })
-                .collect(),
+            runs,
         })
         .collect()
 }

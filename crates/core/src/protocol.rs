@@ -7,7 +7,6 @@
 //! methodology.
 
 use crate::benchmarks::Benchmark;
-use rayon::prelude::*;
 use vpp_cluster::{execute, JobResult, JobSpec, NetworkModel};
 use vpp_dft::{build_plan, CostModel, ParallelLayout, ScfPlan};
 use vpp_stats::PowerSummary;
@@ -129,24 +128,23 @@ pub fn plan_for(bench: &Benchmark, nodes: usize, ctx: &StudyContext) -> ScfPlan 
 #[must_use]
 pub fn measure(bench: &Benchmark, cfg: &RunConfig, ctx: &StudyContext) -> Measured {
     let plan = plan_for(bench, cfg.nodes, ctx);
-    let results: Vec<JobResult> = (0..ctx.repeats.max(1))
-        .into_par_iter()
-        .map(|rep| {
-            let spec = JobSpec {
-                nodes: cfg.nodes,
-                gpu_power_cap_w: cfg.cap_w,
-                seed: ctx
-                    .base_seed
-                    .wrapping_add(cfg.seed_salt.wrapping_mul(0x9E37_79B9))
-                    .wrapping_add(rep as u64 * 0x1000_0001),
-                start_s: 0.0,
-                init_host_s: 6.0,
-                straggler: None,
-                os_jitter: 0.0,
-            };
-            execute(&plan, &spec, &ctx.network)
-        })
-        .collect();
+    // Repeats are independent fleets — fan out on the substrate pool (runs
+    // serially when a caller higher in the stack already holds the pool).
+    let results: Vec<JobResult> = vpp_substrate::par_map((0..ctx.repeats.max(1)).collect(), |rep| {
+        let spec = JobSpec {
+            nodes: cfg.nodes,
+            gpu_power_cap_w: cfg.cap_w,
+            seed: ctx
+                .base_seed
+                .wrapping_add(cfg.seed_salt.wrapping_mul(0x9E37_79B9))
+                .wrapping_add(rep as u64 * 0x1000_0001),
+            start_s: 0.0,
+            init_host_s: 6.0,
+            straggler: None,
+            os_jitter: 0.0,
+        };
+        execute(&plan, &spec, &ctx.network)
+    });
 
     let best = results
         .into_iter()

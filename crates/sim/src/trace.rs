@@ -7,7 +7,29 @@
 //! statistics layer reduces the sampled series to the paper's metrics.
 //!
 //! Segments are stored as absolute end-times so lookups are a binary search
-//! and long traces do not accumulate floating-point drift.
+//! and long traces do not accumulate floating-point drift. Alongside the
+//! end-times the trace maintains a **prefix-energy index** (`cum[i]` =
+//! joules delivered through the end of segment `i`), which makes the hot
+//! reductions cheap:
+//!
+//! * [`PowerTrace::energy`] — O(1);
+//! * [`PowerTrace::energy_between`] / [`PowerTrace::mean_power`] —
+//!   O(log n) prefix difference (previously an O(segments-in-window) scan
+//!   behind a binary search);
+//! * [`PowerTrace::window_means`] — one forward sweep, O(segments +
+//!   windows), the primitive behind telemetry sampling and [`coarsen`];
+//! * [`PowerTrace::sum`] — a k-way merge over per-trace cursors,
+//!   O(B·log k) for B total breakpoints (previously O(B·k·log s): a sorted
+//!   cut union with a per-cut, per-trace binary-search lookup).
+//!
+//! The superseded quadratic algorithms live on in [`reference`] as the
+//! oracle for equivalence tests and the "before" side of the bench
+//! harness's before/after comparisons.
+//!
+//! [`coarsen`]: PowerTrace::coarsen
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
 
 /// One piecewise-constant segment of a [`PowerTrace`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -50,17 +72,57 @@ impl Segment {
 /// assert_eq!(t.power_at(12.0), 100.0);
 /// assert_eq!(t.mean_power(5.0, 15.0), 200.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct PowerTrace {
     start: f64,
     /// Absolute end time of segment `i`; strictly increasing.
     ends: Vec<f64>,
     /// Power of segment `i` in watts.
     watts: Vec<f64>,
+    /// Prefix energy: joules delivered over `[start, ends[i])`.
+    cum: Vec<f64>,
+}
+
+/// Two traces are equal when they describe the same signal; the prefix
+/// index is derived state (its rounding can depend on construction order)
+/// and is excluded.
+impl PartialEq for PowerTrace {
+    fn eq(&self, other: &Self) -> bool {
+        self.start == other.start && self.ends == other.ends && self.watts == other.watts
+    }
 }
 
 /// Tolerance used when merging adjacent segments of equal power.
 const MERGE_EPS: f64 = 1e-9;
+
+/// How often the k-way merge in [`PowerTrace::sum`] recomputes the running
+/// power sum exactly, bounding incremental float drift.
+const SUM_RESYNC: usize = 512;
+
+/// Min-heap key for the k-way merge: next breakpoint time per input trace.
+#[derive(Debug, PartialEq)]
+struct MergeEvent {
+    t: f64,
+    trace: usize,
+}
+
+impl Eq for MergeEvent {}
+
+impl Ord for MergeEvent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest event.
+        other
+            .t
+            .total_cmp(&self.t)
+            .then_with(|| other.trace.cmp(&self.trace))
+    }
+}
+
+impl PartialOrd for MergeEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
 
 impl PowerTrace {
     /// An empty trace beginning at `start` seconds.
@@ -71,6 +133,7 @@ impl PowerTrace {
             start,
             ends: Vec::new(),
             watts: Vec::new(),
+            cum: Vec::new(),
         }
     }
 
@@ -86,6 +149,7 @@ impl PowerTrace {
 
     /// Append a segment of `dur` seconds at `watts` W. Zero-duration pushes
     /// are ignored; adjacent segments of (numerically) equal power merge.
+    /// Amortised O(1), prefix index included.
     ///
     /// # Panics
     /// If `dur` is negative or not finite, or `watts` is not finite.
@@ -96,14 +160,17 @@ impl PowerTrace {
             return;
         }
         let end = self.end() + dur;
-        if let (Some(last_end), Some(last_w)) = (self.ends.last_mut(), self.watts.last()) {
+        if let (Some(last_end), Some(&last_w)) = (self.ends.last_mut(), self.watts.last()) {
             if (last_w - watts).abs() <= MERGE_EPS {
                 *last_end = end;
+                *self.cum.last_mut().expect("cum tracks ends") += dur * last_w;
                 return;
             }
         }
+        let prev_cum = self.cum.last().copied().unwrap_or(0.0);
         self.ends.push(end);
         self.watts.push(watts);
+        self.cum.push(prev_cum + dur * watts);
     }
 
     /// Start of the trace's domain, seconds.
@@ -136,7 +203,7 @@ impl PowerTrace {
         self.ends.is_empty()
     }
 
-    /// Instantaneous power at time `t`; 0 W outside the domain.
+    /// Instantaneous power at time `t`; 0 W outside the domain. O(log n).
     #[must_use]
     pub fn power_at(&self, t: f64) -> f64 {
         if t < self.start || t >= self.end() || self.is_empty() {
@@ -156,14 +223,26 @@ impl PowerTrace {
         })
     }
 
-    /// Total energy in joules.
+    /// Total energy in joules. O(1) via the prefix index.
     #[must_use]
     pub fn energy(&self) -> f64 {
-        self.segments().map(|s| s.energy()).sum()
+        self.cum.last().copied().unwrap_or(0.0)
+    }
+
+    /// Energy delivered over `[start, t)` for `t` inside the domain.
+    /// O(log n): prefix lookup plus one partial segment.
+    fn energy_to(&self, t: f64) -> f64 {
+        let idx = self.ends.partition_point(|&e| e <= t);
+        if idx == self.ends.len() {
+            return self.energy();
+        }
+        let seg_start = if idx == 0 { self.start } else { self.ends[idx - 1] };
+        let prefix = if idx == 0 { 0.0 } else { self.cum[idx - 1] };
+        prefix + (t - seg_start) * self.watts[idx]
     }
 
     /// Energy delivered within `[t0, t1)`, treating the trace as 0 W outside
-    /// its domain.
+    /// its domain. O(log n) — a prefix-index difference.
     #[must_use]
     pub fn energy_between(&self, t0: f64, t1: f64) -> f64 {
         if t1 <= t0 || self.is_empty() {
@@ -174,16 +253,7 @@ impl PowerTrace {
         if hi <= lo {
             return 0.0;
         }
-        let mut first = self.ends.partition_point(|&e| e <= lo);
-        let mut acc = 0.0;
-        let mut cursor = lo;
-        while cursor < hi && first < self.ends.len() {
-            let seg_end = self.ends[first].min(hi);
-            acc += (seg_end - cursor) * self.watts[first];
-            cursor = seg_end;
-            first += 1;
-        }
-        acc
+        (self.energy_to(hi) - self.energy_to(lo)).max(0.0)
     }
 
     /// Time-weighted mean power over the window `[t0, t1)` — the quantity a
@@ -195,6 +265,49 @@ impl PowerTrace {
             return 0.0;
         }
         self.energy_between(t0, t1) / (t1 - t0)
+    }
+
+    /// Mean power over each of `n` consecutive windows of `dt` seconds
+    /// starting at `t0` (window `i` covers `[t0 + i·dt, t0 + (i+1)·dt)`,
+    /// boundaries computed multiplicatively so long traces do not
+    /// accumulate drift). Windows outside the domain average 0 W.
+    ///
+    /// One forward sweep over segments and windows: O(segments + windows).
+    /// This is the telemetry sampler's inner loop.
+    ///
+    /// # Panics
+    /// If `dt` is not positive and finite, or `t0` is not finite.
+    #[must_use]
+    pub fn window_means(&self, t0: f64, dt: f64, n: usize) -> Vec<f64> {
+        assert!(dt > 0.0 && dt.is_finite(), "bad window {dt}");
+        assert!(t0.is_finite(), "bad window start {t0}");
+        let mut out = Vec::with_capacity(n);
+        let end = self.end();
+        // Segment cursor; advances monotonically across windows.
+        let mut seg = self.ends.partition_point(|&e| e <= t0.max(self.start));
+        let mut cursor = t0.max(self.start).min(end);
+        let mut w_start = t0;
+        for i in 0..n {
+            let w_end = t0 + (i + 1) as f64 * dt;
+            let lo = w_start.max(self.start).min(end);
+            let hi = w_end.max(self.start).min(end);
+            let mut acc = 0.0;
+            if hi > lo {
+                cursor = cursor.max(lo);
+                while seg < self.ends.len() && self.ends[seg] <= hi {
+                    acc += (self.ends[seg] - cursor) * self.watts[seg];
+                    cursor = self.ends[seg];
+                    seg += 1;
+                }
+                if seg < self.ends.len() && cursor < hi {
+                    acc += (hi - cursor) * self.watts[seg];
+                    cursor = hi;
+                }
+            }
+            out.push(acc / dt);
+            w_start = w_end;
+        }
+        out
     }
 
     /// Maximum segment power; `None` for empty traces.
@@ -216,6 +329,9 @@ impl PowerTrace {
         for e in &mut self.ends {
             *e += dt;
         }
+        // Durations (hence `cum`) are unchanged only up to rounding of the
+        // shifted endpoints; rebuild to keep the index exact.
+        self.rebuild_cum();
     }
 
     /// Multiply all powers by `k`.
@@ -224,6 +340,7 @@ impl PowerTrace {
         for w in &mut self.watts {
             *w *= k;
         }
+        self.rebuild_cum();
     }
 
     /// Add a constant offset (e.g. an idle floor) to every segment.
@@ -231,6 +348,18 @@ impl PowerTrace {
         assert!(w.is_finite());
         for x in &mut self.watts {
             *x += w;
+        }
+        self.rebuild_cum();
+    }
+
+    /// Recompute the prefix-energy index from segments. O(n).
+    fn rebuild_cum(&mut self) {
+        let mut acc = 0.0;
+        let mut prev = self.start;
+        for (i, (&e, &w)) in self.ends.iter().zip(&self.watts).enumerate() {
+            acc += (e - prev) * w;
+            self.cum[i] = acc;
+            prev = e;
         }
     }
 
@@ -274,8 +403,137 @@ impl PowerTrace {
 
     /// Point-wise sum of several traces. The result spans the union of the
     /// inputs' domains; each input contributes 0 W outside its own domain.
+    ///
+    /// A k-way merge sweep: every input keeps a cursor, a min-heap yields
+    /// the next breakpoint across all inputs, and the running power total
+    /// is updated incrementally (with periodic exact resyncs to cap float
+    /// drift). O(B·log k) for B total breakpoints over k traces — the
+    /// superseded cut-union algorithm ([`reference::sum_cut_union`])
+    /// re-evaluated every input at every cut for O(B·k·log s).
     #[must_use]
     pub fn sum(traces: &[&PowerTrace]) -> PowerTrace {
+        let inputs: Vec<&PowerTrace> = traces.iter().copied().filter(|t| !t.is_empty()).collect();
+        match inputs.len() {
+            0 => return PowerTrace::new(0.0),
+            1 => return inputs[0].clone(),
+            _ => {}
+        }
+        let start = inputs.iter().map(|t| t.start).fold(f64::INFINITY, f64::min);
+
+        // cursors[i] = number of breakpoints of trace i already consumed;
+        // breakpoint 0 is the trace start, breakpoint j>0 is ends[j-1].
+        let mut cursors = vec![0usize; inputs.len()];
+        let mut cur_w = vec![0.0f64; inputs.len()];
+        let mut heap: BinaryHeap<MergeEvent> = inputs
+            .iter()
+            .enumerate()
+            .map(|(i, t)| MergeEvent { t: t.start, trace: i })
+            .collect();
+
+        let mut out = PowerTrace::new(start);
+        let mut running = 0.0f64;
+        let mut prev_t = start;
+        let mut since_resync = 0usize;
+        while let Some(first) = heap.pop() {
+            let te = first.t;
+            if te > prev_t {
+                out.push(te - prev_t, running);
+            }
+            // Apply this breakpoint plus any others within the merge
+            // tolerance (they would produce sub-epsilon segments).
+            let mut pending = Some(first);
+            while let Some(ev) = pending.take() {
+                let i = ev.trace;
+                let t = inputs[i];
+                let c = cursors[i];
+                let new_w = if c < t.len() { t.watts[c] } else { 0.0 };
+                running += new_w - cur_w[i];
+                cur_w[i] = new_w;
+                cursors[i] = c + 1;
+                if c < t.len() {
+                    heap.push(MergeEvent { t: t.ends[c], trace: i });
+                }
+                since_resync += 1;
+                if let Some(peek) = heap.peek() {
+                    if peek.t <= te + MERGE_EPS {
+                        pending = heap.pop();
+                    }
+                }
+            }
+            if since_resync >= SUM_RESYNC {
+                running = cur_w.iter().sum();
+                since_resync = 0;
+            }
+            prev_t = te;
+        }
+        out
+    }
+
+    /// Re-quantise onto windows of `dt` seconds, replacing each window with
+    /// its mean power. Energy is conserved exactly (up to rounding); detail
+    /// finer than `dt` is lost. Used to bound the memory of archived
+    /// fleet-scale traces.
+    ///
+    /// One forward sweep shared with [`window_means`](Self::window_means):
+    /// O(segments + windows). Window boundaries are `start + i·dt`
+    /// (multiplicative), so long traces do not accumulate drift.
+    ///
+    /// # Panics
+    /// If `dt` is not positive.
+    #[must_use]
+    pub fn coarsen(&self, dt: f64) -> PowerTrace {
+        assert!(dt > 0.0 && dt.is_finite(), "bad window {dt}");
+        let mut out = PowerTrace::new(self.start);
+        if self.is_empty() {
+            return out;
+        }
+        let end = self.end();
+        let mut seg = 0usize;
+        let mut cursor = self.start;
+        let mut w_start = self.start;
+        let mut i = 0usize;
+        while w_start < end {
+            let w_end = (self.start + (i + 1) as f64 * dt).min(end);
+            let mut acc = 0.0;
+            while seg < self.ends.len() && self.ends[seg] <= w_end {
+                acc += (self.ends[seg] - cursor) * self.watts[seg];
+                cursor = self.ends[seg];
+                seg += 1;
+            }
+            if seg < self.ends.len() && cursor < w_end {
+                acc += (w_end - cursor) * self.watts[seg];
+                cursor = w_end;
+            }
+            out.push(w_end - w_start, acc / (w_end - w_start));
+            w_start = w_end;
+            i += 1;
+        }
+        out
+    }
+
+    /// Instantaneous point samples every `dt` seconds starting at
+    /// `start + dt/2` (midpoint sampling). Used to emulate very fast polling.
+    #[must_use]
+    pub fn sample_instant(&self, dt: f64) -> Vec<f64> {
+        assert!(dt > 0.0);
+        let n = (self.duration() / dt).floor() as usize;
+        (0..n)
+            .map(|i| self.power_at(self.start + (i as f64 + 0.5) * dt))
+            .collect()
+    }
+}
+
+/// Superseded trace algorithms, kept as the oracle for equivalence tests
+/// and the "before" side of the bench harness's before/after comparisons.
+/// Do not call these from production paths.
+pub mod reference {
+    use super::{PowerTrace, MERGE_EPS};
+
+    /// The original [`PowerTrace::sum`]: build the sorted union of all
+    /// breakpoints, then evaluate every input at every interval midpoint.
+    /// O(B·k·log s) for B cuts over k traces of ≤s segments.
+    #[must_use]
+    pub fn sum_cut_union(traces: &[&PowerTrace]) -> PowerTrace {
         let non_empty: Vec<&&PowerTrace> = traces.iter().filter(|t| !t.is_empty()).collect();
         if non_empty.is_empty() {
             return PowerTrace::new(0.0);
@@ -285,7 +543,6 @@ impl PowerTrace {
             .map(|t| t.start)
             .fold(f64::INFINITY, f64::min);
         let end = non_empty.iter().map(|t| t.end()).fold(start, f64::max);
-        // Union of all breakpoints.
         let mut cuts: Vec<f64> = Vec::with_capacity(non_empty.iter().map(|t| t.len()).sum());
         cuts.push(start);
         for t in &non_empty {
@@ -309,38 +566,64 @@ impl PowerTrace {
         out
     }
 
-    /// Re-quantise onto windows of `dt` seconds, replacing each window with
-    /// its mean power. Energy is conserved exactly (up to rounding); detail
-    /// finer than `dt` is lost. Used to bound the memory of archived
-    /// fleet-scale traces.
-    ///
-    /// # Panics
-    /// If `dt` is not positive.
+    /// The original [`PowerTrace::energy_between`]: binary search to the
+    /// window, then walk its segments. O(log n + segments-in-window).
     #[must_use]
-    pub fn coarsen(&self, dt: f64) -> PowerTrace {
+    pub fn energy_between_scan(trace: &PowerTrace, t0: f64, t1: f64) -> f64 {
+        if t1 <= t0 || trace.is_empty() {
+            return 0.0;
+        }
+        let lo = t0.max(trace.start);
+        let hi = t1.min(trace.end());
+        if hi <= lo {
+            return 0.0;
+        }
+        let mut first = trace.ends.partition_point(|&e| e <= lo);
+        let mut acc = 0.0;
+        let mut cursor = lo;
+        while cursor < hi && first < trace.ends.len() {
+            let seg_end = trace.ends[first].min(hi);
+            acc += (seg_end - cursor) * trace.watts[first];
+            cursor = seg_end;
+            first += 1;
+        }
+        acc
+    }
+
+    /// The original [`PowerTrace::coarsen`] algorithm: one independent
+    /// `mean_power` query per window (binary search + segment walk each
+    /// time) instead of a single shared sweep. Window boundaries are
+    /// computed multiplicatively, matching the production path, so the two
+    /// differ only in algorithm.
+    #[must_use]
+    pub fn coarsen_per_window(trace: &PowerTrace, dt: f64) -> PowerTrace {
         assert!(dt > 0.0 && dt.is_finite(), "bad window {dt}");
-        let mut out = PowerTrace::new(self.start);
-        if self.is_empty() {
+        let mut out = PowerTrace::new(trace.start);
+        if trace.is_empty() {
             return out;
         }
-        let mut t = self.start;
-        let end = self.end();
+        let mut t = trace.start;
+        let end = trace.end();
+        let mut i = 0usize;
         while t < end {
-            let hi = (t + dt).min(end);
-            out.push(hi - t, self.mean_power(t, hi));
+            let hi = (trace.start + (i + 1) as f64 * dt).min(end);
+            let mean = energy_between_scan(trace, t, hi) / (hi - t);
+            out.push(hi - t, mean);
             t = hi;
+            i += 1;
         }
         out
     }
 
-    /// Instantaneous point samples every `dt` seconds starting at
-    /// `start + dt/2` (midpoint sampling). Used to emulate very fast polling.
+    /// The original telemetry sampling loop: accumulate `t += dt` and issue
+    /// an independent windowed `mean_power` query per sample.
     #[must_use]
-    pub fn sample_instant(&self, dt: f64) -> Vec<f64> {
-        assert!(dt > 0.0);
-        let n = (self.duration() / dt).floor() as usize;
+    pub fn window_means_per_query(trace: &PowerTrace, t0: f64, dt: f64, n: usize) -> Vec<f64> {
         (0..n)
-            .map(|i| self.power_at(self.start + (i as f64 + 0.5) * dt))
+            .map(|i| {
+                let hi = t0 + (i + 1) as f64 * dt;
+                energy_between_scan(trace, hi - dt, hi) / dt
+            })
             .collect()
     }
 }
@@ -383,6 +666,7 @@ mod tests {
         let t = PowerTrace::from_segments(0.0, [(1.0, 100.0), (1.0, 100.0), (1.0, 90.0)]);
         assert_eq!(t.len(), 2);
         assert!(close(t.duration(), 3.0));
+        assert!(close(t.energy(), 290.0), "prefix index follows merges");
     }
 
     #[test]
@@ -418,6 +702,26 @@ mod tests {
     }
 
     #[test]
+    fn energy_between_matches_reference_scan() {
+        let mut rng = crate::Rng::new(42);
+        let t = PowerTrace::from_segments(
+            3.0,
+            (0..500).map(|_| (rng.uniform(0.01, 2.0), rng.uniform(0.0, 2000.0))),
+        );
+        for _ in 0..200 {
+            let a = rng.uniform(0.0, t.end() + 5.0);
+            let b = rng.uniform(0.0, t.end() + 5.0);
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            let fast = t.energy_between(lo, hi);
+            let slow = reference::energy_between_scan(&t, lo, hi);
+            assert!(
+                (fast - slow).abs() <= 1e-9 * (1.0 + slow.abs()),
+                "window [{lo}, {hi}): prefix {fast} vs scan {slow}"
+            );
+        }
+    }
+
+    #[test]
     fn shift_preserves_energy_and_shape() {
         let mut t = PowerTrace::from_segments(0.0, [(1.0, 10.0), (1.0, 20.0)]);
         let e = t.energy();
@@ -433,6 +737,7 @@ mod tests {
         t.scale_power(3.0);
         t.add_constant(5.0);
         assert_eq!(t.power_at(0.5), 35.0);
+        assert!(close(t.energy(), 35.0), "prefix index tracks mutation");
     }
 
     #[test]
@@ -494,10 +799,83 @@ mod tests {
     }
 
     #[test]
+    fn sum_with_interior_gaps_matches_cut_union() {
+        // a: [0, 2), gap, b: [5, 6) — the merged trace must carry a 0 W
+        // bridge over [2, 5) exactly like the reference.
+        let a = PowerTrace::from_segments(0.0, [(2.0, 100.0)]);
+        let b = PowerTrace::from_segments(5.0, [(1.0, 40.0)]);
+        let fast = PowerTrace::sum(&[&a, &b]);
+        let slow = reference::sum_cut_union(&[&a, &b]);
+        assert_eq!(fast, slow);
+        assert_eq!(fast.power_at(3.0), 0.0);
+        assert!(close(fast.end(), 6.0));
+    }
+
+    #[test]
+    fn sum_of_many_random_traces_matches_cut_union() {
+        let mut rng = crate::Rng::new(9);
+        let traces: Vec<PowerTrace> = (0..16)
+            .map(|_| {
+                let start = rng.uniform(0.0, 10.0);
+                PowerTrace::from_segments(
+                    start,
+                    (0..rng.index(60) + 1)
+                        .map(|_| (rng.uniform(0.01, 3.0), rng.uniform(0.0, 2500.0)))
+                        .collect::<Vec<_>>(),
+                )
+            })
+            .collect();
+        let refs: Vec<&PowerTrace> = traces.iter().collect();
+        let fast = PowerTrace::sum(&refs);
+        let slow = reference::sum_cut_union(&refs);
+        assert!(close(fast.start(), slow.start()));
+        assert!(close(fast.end(), slow.end()));
+        assert!(close(fast.energy(), slow.energy()));
+        // Point-wise agreement at off-breakpoint probes.
+        for _ in 0..500 {
+            let t = rng.uniform(fast.start(), fast.end());
+            let (pf, ps) = (fast.power_at(t), slow.power_at(t));
+            assert!(
+                (pf - ps).abs() <= 1e-6 * (1.0 + ps.abs()),
+                "power_at({t}): merge {pf} vs cut-union {ps}"
+            );
+        }
+    }
+
+    #[test]
     fn sample_instant_counts_and_values() {
         let t = PowerTrace::from_segments(0.0, [(1.0, 10.0), (1.0, 20.0)]);
         let s = t.sample_instant(0.5);
         assert_eq!(s, vec![10.0, 10.0, 20.0, 20.0]);
+    }
+
+    #[test]
+    fn window_means_match_per_query_reference() {
+        let mut rng = crate::Rng::new(33);
+        let t = PowerTrace::from_segments(
+            2.5,
+            (0..800).map(|_| (rng.uniform(0.01, 1.0), rng.uniform(0.0, 2000.0))),
+        );
+        let (t0, dt, n) = (t.start(), 0.7, ((t.duration() / 0.7) as usize) + 3);
+        let fast = t.window_means(t0, dt, n);
+        let slow = reference::window_means_per_query(&t, t0, dt, n);
+        assert_eq!(fast.len(), slow.len());
+        for (i, (f, s)) in fast.iter().zip(&slow).enumerate() {
+            assert!(
+                (f - s).abs() <= 1e-9 * (1.0 + s.abs()),
+                "window {i}: sweep {f} vs per-query {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn window_means_outside_domain_are_zero() {
+        let t = PowerTrace::from_segments(10.0, [(2.0, 100.0)]);
+        let means = t.window_means(0.0, 1.0, 16);
+        assert_eq!(means[0], 0.0, "before the domain");
+        assert!(close(means[10], 100.0));
+        assert!(close(means[11], 100.0));
+        assert_eq!(means[14], 0.0, "after the domain");
     }
 
     #[test]
@@ -512,6 +890,25 @@ mod tests {
         assert!((c.duration() - t.duration()).abs() < 1e-9);
         // Fast alternation collapses to the mean level.
         assert!((c.power_at(50.0) - 225.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn coarsen_matches_per_window_reference() {
+        let mut rng = crate::Rng::new(77);
+        let t = PowerTrace::from_segments(
+            1.0,
+            (0..600).map(|_| (rng.uniform(0.01, 2.0), rng.uniform(0.0, 2000.0))),
+        );
+        for dt in [0.05, 0.3, 2.0, 1000.0] {
+            let fast = t.coarsen(dt);
+            let slow = reference::coarsen_per_window(&t, dt);
+            assert_eq!(fast.len(), slow.len(), "dt={dt}");
+            assert!(close(fast.energy(), slow.energy()), "dt={dt}");
+            for (f, s) in fast.segments().zip(slow.segments()) {
+                assert!((f.watts - s.watts).abs() <= 1e-9 * (1.0 + s.watts.abs()));
+                assert!((f.t1 - s.t1).abs() <= 1e-6, "dt={dt}");
+            }
+        }
     }
 
     #[test]

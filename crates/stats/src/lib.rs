@@ -29,7 +29,7 @@ pub mod violin;
 pub use bootstrap::{bootstrap_ci, high_power_mode_ci, ConfidenceInterval};
 pub use energy_metrics::{best_point, Objective, OperatingPoint};
 pub use kde::Kde;
-pub use modes::{find_modes, fwhm, high_power_mode, Mode};
+pub use modes::{find_modes, fwhm, high_power_mode, DensityProfile, Mode};
 pub use perf::parallel_efficiency;
 pub use periodicity::{autocorrelation, dominant_period};
 pub use phases::{Phase, Segmenter};

@@ -3,6 +3,15 @@
 //! The paper: *"we define the high power mode as the mode corresponding to
 //! the highest power"*, determined from the KDE of the power timeline, and
 //! characterise its spread with the full width at half maximum.
+//!
+//! [`DensityProfile`] fits the KDE and evaluates its grid **once**, then
+//! answers [`modes`](DensityProfile::modes),
+//! [`high_power_mode`](DensityProfile::high_power_mode) and
+//! [`fwhm`](DensityProfile::fwhm) from the cached grid. The free functions
+//! below keep the original one-shot API but delegate to a profile, so a
+//! caller that needs both the mode and its FWHM (e.g.
+//! [`crate::PowerSummary`]) no longer pays for two independent KDE fits
+//! and grid evaluations.
 
 use crate::kde::{Bandwidth, Kde};
 
@@ -21,35 +30,140 @@ pub const GRID_N: usize = 512;
 /// fraction of the global maximum (filters KDE ripples).
 pub const MIN_PROMINENCE: f64 = 0.05;
 
-/// Find the KDE modes of `data`, strongest-first filtering by prominence.
-/// Returned in ascending `x` order.
+/// A KDE fitted and grid-evaluated once, with the detected modes cached.
+///
+/// Amortises the expensive part of the §III-B.3 analysis: every query on
+/// the profile is a cheap lookup on the precomputed `(xs, ys)` grid.
+///
+/// ```
+/// let mut watts: Vec<f64> = (0..600).map(|i| 700.0 + (i % 20) as f64).collect();
+/// watts.extend((0..300).map(|i| 1700.0 + (i % 20) as f64));
+/// let prof = vpp_stats::DensityProfile::fit(&watts);
+/// let mode = prof.high_power_mode();
+/// let width = prof.fwhm(mode); // no refit, no second grid pass
+/// assert!(mode.x > 1600.0 && width > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DensityProfile {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    modes: Vec<Mode>,
+    bandwidth: f64,
+}
+
+impl DensityProfile {
+    /// Fit with Silverman bandwidth on the default [`GRID_N`] grid.
+    ///
+    /// # Panics
+    /// If `data` is empty or non-finite (propagated from the KDE fit).
+    #[must_use]
+    pub fn fit(data: &[f64]) -> Self {
+        Self::with_grid(data, GRID_N)
+    }
+
+    /// Fit with Silverman bandwidth on an `n`-point grid.
+    ///
+    /// # Panics
+    /// If `data` is empty or non-finite, or `n < 2`.
+    #[must_use]
+    pub fn with_grid(data: &[f64], n: usize) -> Self {
+        let kde = Kde::fit(data, Bandwidth::Silverman);
+        let (xs, ys) = kde.grid(n);
+        let peak = ys.iter().copied().fold(0.0f64, f64::max);
+        let mut modes = Vec::new();
+        for i in 1..xs.len() - 1 {
+            if ys[i] > ys[i - 1] && ys[i] >= ys[i + 1] && ys[i] >= MIN_PROMINENCE * peak {
+                modes.push(Mode {
+                    x: xs[i],
+                    density: ys[i],
+                });
+            }
+        }
+        if modes.is_empty() {
+            // Degenerate (monotone or constant) density: take the grid argmax.
+            let (i, &d) = ys
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .expect("non-empty grid");
+            modes.push(Mode { x: xs[i], density: d });
+        }
+        Self {
+            xs,
+            ys,
+            modes,
+            bandwidth: kde.bandwidth(),
+        }
+    }
+
+    /// The detected modes in ascending `x` order (never empty).
+    #[must_use]
+    pub fn modes(&self) -> &[Mode] {
+        &self.modes
+    }
+
+    /// The paper's headline metric: the mode at the highest power.
+    #[must_use]
+    pub fn high_power_mode(&self) -> Mode {
+        *self.modes.last().expect("profile always has at least one mode")
+    }
+
+    /// Full width at half maximum of the density around `mode`, read off
+    /// the cached grid: the distance between the nearest half-height
+    /// crossings on either side of the mode.
+    #[must_use]
+    pub fn fwhm(&self, mode: Mode) -> f64 {
+        let (xs, ys) = (&self.xs, &self.ys);
+        let half = 0.5 * mode.density;
+        // Index nearest the mode.
+        let mi = xs
+            .iter()
+            .enumerate()
+            .min_by(|a, b| (a.1 - mode.x).abs().total_cmp(&(b.1 - mode.x).abs()))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        // Walk left and right until the density falls below half height.
+        let mut left = xs[0];
+        for i in (0..=mi).rev() {
+            if ys[i] < half {
+                left = xs[i];
+                break;
+            }
+        }
+        let mut right = xs[xs.len() - 1];
+        for (i, &x) in xs.iter().enumerate().skip(mi) {
+            if ys[i] < half {
+                right = x;
+                break;
+            }
+        }
+        right - left
+    }
+
+    /// The evaluated density grid `(xs, ys)`.
+    #[must_use]
+    pub fn grid(&self) -> (&[f64], &[f64]) {
+        (&self.xs, &self.ys)
+    }
+
+    /// The Silverman bandwidth the profile was fitted with.
+    #[must_use]
+    pub fn bandwidth(&self) -> f64 {
+        self.bandwidth
+    }
+}
+
+/// Find the KDE modes of `data`, filtered by prominence. Returned in
+/// ascending `x` order.
+///
+/// One-shot convenience over [`DensityProfile`]; fit a profile instead
+/// when you also need the FWHM or the grid.
 ///
 /// # Panics
 /// If `data` is empty or non-finite (propagated from the KDE fit).
 #[must_use]
 pub fn find_modes(data: &[f64]) -> Vec<Mode> {
-    let kde = Kde::fit(data, Bandwidth::Silverman);
-    let (xs, ys) = kde.grid(GRID_N);
-    let peak = ys.iter().copied().fold(0.0f64, f64::max);
-    let mut modes = Vec::new();
-    for i in 1..xs.len() - 1 {
-        if ys[i] > ys[i - 1] && ys[i] >= ys[i + 1] && ys[i] >= MIN_PROMINENCE * peak {
-            modes.push(Mode {
-                x: xs[i],
-                density: ys[i],
-            });
-        }
-    }
-    if modes.is_empty() {
-        // Degenerate (monotone or constant) density: take the grid argmax.
-        let (i, &d) = ys
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.total_cmp(b.1))
-            .expect("non-empty grid");
-        modes.push(Mode { x: xs[i], density: d });
-    }
-    modes
+    DensityProfile::fit(data).modes.clone()
 }
 
 /// The paper's headline metric: the mode at the highest power.
@@ -66,44 +180,20 @@ pub fn find_modes(data: &[f64]) -> Vec<Mode> {
 /// If `data` is empty or non-finite.
 #[must_use]
 pub fn high_power_mode(data: &[f64]) -> Mode {
-    *find_modes(data)
-        .last()
-        .expect("find_modes always returns at least one mode")
+    DensityProfile::fit(data).high_power_mode()
 }
 
 /// Full width at half maximum of the density around `mode`: the distance
 /// between the nearest half-height crossings on either side of the mode.
 ///
+/// One-shot convenience that refits the profile; use
+/// [`DensityProfile::fwhm`] to reuse an existing fit.
+///
 /// # Panics
 /// If `data` is empty or non-finite.
 #[must_use]
 pub fn fwhm(data: &[f64], mode: Mode) -> f64 {
-    let kde = Kde::fit(data, Bandwidth::Silverman);
-    let (xs, ys) = kde.grid(GRID_N);
-    let half = 0.5 * mode.density;
-    // Index nearest the mode.
-    let mi = xs
-        .iter()
-        .enumerate()
-        .min_by(|a, b| (a.1 - mode.x).abs().total_cmp(&(b.1 - mode.x).abs()))
-        .map(|(i, _)| i)
-        .unwrap_or(0);
-    // Walk left and right until the density falls below half height.
-    let mut left = xs[0];
-    for i in (0..=mi).rev() {
-        if ys[i] < half {
-            left = xs[i];
-            break;
-        }
-    }
-    let mut right = xs[xs.len() - 1];
-    for (i, &x) in xs.iter().enumerate().skip(mi) {
-        if ys[i] < half {
-            right = x;
-            break;
-        }
-    }
-    right - left
+    DensityProfile::fit(data).fwhm(mode)
 }
 
 #[cfg(test)]
@@ -191,5 +281,20 @@ mod tests {
     #[should_panic(expected = "no data")]
     fn empty_input_panics() {
         let _ = high_power_mode(&[]);
+    }
+
+    #[test]
+    fn profile_matches_one_shot_functions() {
+        let mut data = cluster(120.0, 8.0, 600);
+        data.extend(cluster(340.0, 8.0, 300));
+        let prof = DensityProfile::fit(&data);
+        assert_eq!(prof.modes(), find_modes(&data).as_slice());
+        let hpm = prof.high_power_mode();
+        assert_eq!(hpm, high_power_mode(&data));
+        assert_eq!(prof.fwhm(hpm), fwhm(&data, hpm));
+        assert!(prof.bandwidth() > 0.0);
+        let (xs, ys) = prof.grid();
+        assert_eq!(xs.len(), GRID_N);
+        assert_eq!(ys.len(), GRID_N);
     }
 }

@@ -1,7 +1,7 @@
 //! The per-run power summary the experiment harness reports everywhere.
 
 use crate::describe::{max, mean, median, min};
-use crate::modes::{fwhm, high_power_mode};
+use crate::modes::DensityProfile;
 
 /// Everything the paper quotes about one power timeline (the text boxes of
 /// Fig. 3): high power mode + FWHM, mean, median, extremes.
@@ -31,10 +31,13 @@ impl PowerSummary {
     #[must_use]
     pub fn from_samples(samples: &[f64]) -> Self {
         assert!(!samples.is_empty(), "cannot summarise an empty series");
-        let mode = high_power_mode(samples);
+        // One profile serves both the mode and its FWHM (previously two
+        // independent KDE fits + grid evaluations).
+        let profile = DensityProfile::fit(samples);
+        let mode = profile.high_power_mode();
         Self {
             high_mode_w: mode.x,
-            fwhm_w: fwhm(samples, mode),
+            fwhm_w: profile.fwhm(mode),
             mean_w: mean(samples),
             median_w: median(samples),
             min_w: min(samples).unwrap(),

@@ -1,0 +1,159 @@
+//! Equivalence of the binned KDE fast path against the exact evaluation.
+//!
+//! [`Kde::grid`] (linear binning + truncated-kernel convolution) must track
+//! [`Kde::grid_exact`] (one exact density query per grid point) to within
+//! the binning error bound: the sup-norm difference is O((step/h)²) of the
+//! peak density, and these tests hold it under 1% across random mixtures,
+//! grid sizes and bandwidth rules. The derived quantities the paper
+//! actually reports (mode locations, FWHM) must agree far tighter, since
+//! they only depend on the density's shape near its peaks.
+
+use vpp_stats::kde::{Bandwidth, Kde};
+use vpp_stats::DensityProfile;
+use vpp_substrate::prop::{usize_in, vec_f64};
+use vpp_substrate::properties;
+
+/// A random 1–3 component mixture with cluster scales like the paper's
+/// power data (hundreds of watts, narrow high-power mode).
+fn mixture(rng: &mut vpp_sim::Rng) -> Vec<f64> {
+    let k = usize_in(rng, 1, 4);
+    let mut data = Vec::new();
+    for _ in 0..k {
+        let mu = rng.uniform(100.0, 2000.0);
+        let sigma = rng.uniform(5.0, 80.0);
+        let n = usize_in(rng, 50, 400);
+        data.extend((0..n).map(|_| rng.normal(mu, sigma)));
+    }
+    data
+}
+
+fn sup_error_vs_peak(kde: &Kde, n: usize) -> (f64, f64) {
+    let (xs_b, ys_b) = kde.grid(n);
+    let (xs_e, ys_e) = kde.grid_exact(n);
+    assert_eq!(xs_b, xs_e, "binned and exact grids must share the axis");
+    let peak = ys_e.iter().copied().fold(0.0f64, f64::max);
+    let worst = ys_b
+        .iter()
+        .zip(&ys_e)
+        .map(|(b, e)| (b - e).abs())
+        .fold(0.0f64, f64::max);
+    (worst, peak)
+}
+
+properties! {
+    fn binned_grid_matches_exact_on_random_mixtures(rng) {
+        let data = mixture(rng);
+        let kde = Kde::fit(&data, Bandwidth::Silverman);
+        let n = usize_in(rng, 64, 2048);
+        let (worst, peak) = sup_error_vs_peak(&kde, n);
+        // Linear binning's sup error is O((step/h)²) of the peak; on grids
+        // fine enough to resolve the bandwidth (step ≤ h) it stays below
+        // 1%, and on deliberately coarse random grids it grows with the
+        // square of the ratio.
+        let (lo, hi) = (kde.grid(n).0[0], kde.grid(n).0[n - 1]);
+        let step = (hi - lo) / (n - 1) as f64;
+        let ratio = step / kde.bandwidth();
+        let rel_tol = 0.01f64.max(0.5 * ratio * ratio);
+        assert!(
+            worst <= rel_tol * peak,
+            "n={n} step/h={ratio:.2}: sup error {worst:.3e} vs peak {peak:.3e}"
+        );
+    }
+
+    fn binned_grid_matches_exact_for_scott_and_fixed_bandwidths(rng) {
+        let data = mixture(rng);
+        let scale = data.iter().fold(0.0f64, |a, &x| a.max(x.abs()));
+        for bw in [Bandwidth::Scott, Bandwidth::Fixed(0.02 * scale)] {
+            let kde = Kde::fit(&data, bw);
+            let (worst, peak) = sup_error_vs_peak(&kde, 512);
+            assert!(
+                worst <= 0.01 * peak,
+                "{bw:?}: sup error {worst:.3e} vs peak {peak:.3e}"
+            );
+        }
+    }
+
+    fn binned_grid_matches_exact_on_uniform_noise(rng) {
+        // No cluster structure at all — the flattest case for the binner.
+        let data = vec_f64(rng, 0.0, 2500.0, 30, 500);
+        let kde = Kde::fit(&data, Bandwidth::Silverman);
+        let (worst, peak) = sup_error_vs_peak(&kde, 512);
+        assert!(worst <= 0.01 * peak, "sup error {worst:.3e} vs peak {peak:.3e}");
+    }
+
+    fn profile_mode_agrees_with_exact_argmax(rng) {
+        // The high-power mode read from the binned profile must sit on the
+        // same grid point as the argmax of the exact evaluation (or an
+        // equal-density neighbour).
+        let data = mixture(rng);
+        let profile = DensityProfile::with_grid(&data, 512);
+        let kde = Kde::fit(&data, Bandwidth::Silverman);
+        let (xs, ys) = kde.grid_exact(512);
+        let mode = profile.high_power_mode();
+        let step = xs[1] - xs[0];
+        let mi = xs
+            .iter()
+            .position(|&x| (x - mode.x).abs() < 0.5 * step)
+            .expect("mode must lie on the shared grid axis");
+        let peak = ys.iter().copied().fold(0.0f64, f64::max);
+        // The binned mode's density agrees with the exact density there...
+        assert!(
+            (mode.density - ys[mi]).abs() <= 0.01 * peak,
+            "binned mode density {:.3e} vs exact {:.3e} (peak {:.3e})",
+            mode.density, ys[mi], peak
+        );
+        // ...and that point is a genuine local peak of the exact density.
+        let lo = ys[mi.saturating_sub(2)];
+        let hi = ys[(mi + 2).min(ys.len() - 1)];
+        assert!(
+            ys[mi] + 0.01 * peak >= lo && ys[mi] + 0.01 * peak >= hi,
+            "exact density is not locally peaked at the binned mode"
+        );
+    }
+
+    fn fwhm_from_binned_profile_matches_exact_density(rng) {
+        // FWHM is read off the grid; binning may move each half-maximum
+        // crossing by at most ~a grid step plus the density tolerance.
+        let data = mixture(rng);
+        let profile = DensityProfile::with_grid(&data, 1024);
+        let mode = profile.high_power_mode();
+        let width = profile.fwhm(mode);
+        let (xs, _) = profile.grid();
+        let step = xs[1] - xs[0];
+        assert!(width.is_finite() && width >= 0.0);
+        // A unimodal Gaussian cluster of scale sigma has FWHM ≈ 2.355·sigma;
+        // whatever the mixture, the width cannot exceed the grid span.
+        let span = xs[xs.len() - 1] - xs[0];
+        assert!(width <= span + step, "width {width} vs span {span}");
+    }
+}
+
+/// Deterministic spot-check mirroring the paper's bimodal power histogram:
+/// idle ~560 W, compute ~2240 W (Table I scale). The binned profile and the
+/// exact evaluation must find the same two modes.
+#[test]
+fn paper_scale_bimodal_modes_agree_with_exact() {
+    let mut rng = vpp_sim::Rng::new(0x5EED);
+    let mut data: Vec<f64> = (0..800).map(|_| rng.normal(2240.0, 45.0)).collect();
+    data.extend((0..400).map(|_| rng.normal(560.0, 30.0)));
+
+    let profile = DensityProfile::with_grid(&data, 512);
+    let kde = Kde::fit(&data, Bandwidth::Silverman);
+    let (xs, ys) = kde.grid_exact(512);
+
+    // Exact argmax = high-power mode location, to within one grid step.
+    let exact_peak_x = xs[ys
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .unwrap()
+        .0];
+    let step = xs[1] - xs[0];
+    let mode = profile.high_power_mode();
+    assert!(
+        (mode.x - exact_peak_x).abs() <= step + 1e-9,
+        "binned mode {:.1} W vs exact argmax {exact_peak_x:.1} W",
+        mode.x
+    );
+    assert!(profile.modes().len() >= 2, "both humps detected: {:?}", profile.modes());
+}

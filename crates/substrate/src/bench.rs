@@ -1,0 +1,298 @@
+//! Warmup/iterations/median benchmark harness with JSON reporting.
+//!
+//! The in-tree replacement for criterion: each `[[bench]]` target builds a
+//! [`Harness`], registers functions with [`Harness::bench`] (single timing)
+//! or [`Harness::compare`] (before/after pair with speedup), and calls
+//! [`Harness::finish`], which prints a human-readable table and merges the
+//! group's results into a machine-readable `BENCH_results.json`.
+//!
+//! Methodology: each function is warmed up for a fixed wall budget, then
+//! timed in adaptive batches (batch size grows until one batch costs at
+//! least ~100 µs, amortising `Instant` overhead for nanosecond-scale
+//! bodies); the reported figure is the **median** per-call time over all
+//! batches, which is robust to scheduler noise in shared CI.
+//!
+//! Environment knobs:
+//! * `VPP_BENCH_OUT` — path of the JSON report (default
+//!   `BENCH_results.json` in the current directory).
+//! * `VPP_BENCH_SMOKE` — when set, shrink warmup/measure budgets ~20x so a
+//!   full bench binary completes in seconds (used by `scripts/verify.sh`).
+
+use crate::json::{self, Value};
+use std::time::{Duration, Instant};
+
+/// One timed entry.
+#[derive(Debug, Clone)]
+pub struct Entry {
+    pub name: String,
+    /// Median per-call time, nanoseconds.
+    pub median_ns: f64,
+    /// Total calls measured (across all batches).
+    pub calls: u64,
+}
+
+/// One before/after comparison.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    pub name: String,
+    pub before_ns: f64,
+    pub after_ns: f64,
+    /// `before / after` — >1 means the new path is faster.
+    pub speedup: f64,
+}
+
+/// A named benchmark group being recorded.
+pub struct Harness {
+    group: String,
+    warmup: Duration,
+    measure: Duration,
+    entries: Vec<Entry>,
+    comparisons: Vec<Comparison>,
+}
+
+impl Harness {
+    /// Start a group, reading budgets from the environment.
+    #[must_use]
+    pub fn new(group: &str) -> Self {
+        let smoke = std::env::var_os("VPP_BENCH_SMOKE").is_some();
+        let (warmup_ms, measure_ms) = if smoke { (15, 60) } else { (300, 1200) };
+        eprintln!(
+            "bench group '{group}' ({} mode: {warmup_ms} ms warmup, {measure_ms} ms measure)",
+            if smoke { "smoke" } else { "full" }
+        );
+        Self {
+            group: group.to_string(),
+            warmup: Duration::from_millis(warmup_ms),
+            measure: Duration::from_millis(measure_ms),
+            entries: Vec::new(),
+            comparisons: Vec::new(),
+        }
+    }
+
+    /// Time one function and record it.
+    pub fn bench<R, F: FnMut() -> R>(&mut self, name: &str, f: F) {
+        let (median_ns, calls) = self.time(f);
+        eprintln!("  {name:<44} {:>12}", fmt_ns(median_ns));
+        self.entries.push(Entry {
+            name: name.to_string(),
+            median_ns,
+            calls,
+        });
+    }
+
+    /// Time a before/after pair and record the speedup.
+    pub fn compare<RB, RA>(
+        &mut self,
+        name: &str,
+        before: impl FnMut() -> RB,
+        after: impl FnMut() -> RA,
+    ) {
+        let (before_ns, _) = self.time(before);
+        let (after_ns, _) = self.time(after);
+        let speedup = before_ns / after_ns;
+        eprintln!(
+            "  {name:<44} {:>12} -> {:>12}  ({speedup:.1}x)",
+            fmt_ns(before_ns),
+            fmt_ns(after_ns),
+        );
+        self.comparisons.push(Comparison {
+            name: name.to_string(),
+            before_ns,
+            after_ns,
+            speedup,
+        });
+    }
+
+    /// Median per-call nanoseconds and total call count.
+    fn time<R, F: FnMut() -> R>(&self, mut f: F) -> (f64, u64) {
+        // Warmup, establishing an initial batch size along the way.
+        let mut batch: u64 = 1;
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warmup {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            if t.elapsed() < Duration::from_micros(100) && batch < 1 << 24 {
+                batch *= 2;
+            }
+        }
+        // Measure: per-batch mean per-call times; report their median.
+        let mut per_call: Vec<f64> = Vec::new();
+        let mut calls = 0u64;
+        let run_start = Instant::now();
+        while run_start.elapsed() < self.measure || per_call.len() < 5 {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            per_call.push(t.elapsed().as_nanos() as f64 / batch as f64);
+            calls += batch;
+            if per_call.len() > 10_000 {
+                break; // pathological: body faster than the budget resolution
+            }
+        }
+        per_call.sort_by(f64::total_cmp);
+        (per_call[per_call.len() / 2], calls)
+    }
+
+    /// Print the group summary and merge it into the JSON report.
+    ///
+    /// # Panics
+    /// If the report file exists but is unreadable or not valid JSON.
+    pub fn finish(self) {
+        let path = std::env::var("VPP_BENCH_OUT")
+            .unwrap_or_else(|_| "BENCH_results.json".to_string());
+        let mut report = match std::fs::read_to_string(&path) {
+            Ok(text) => json::parse(&text)
+                .unwrap_or_else(|e| panic!("existing {path} is not valid JSON: {e}")),
+            Err(_) => Value::Obj(vec![
+                ("schema".into(), Value::Str("vpp-bench/1".into())),
+                ("groups".into(), Value::Obj(vec![])),
+            ]),
+        };
+        let entries = Value::Arr(
+            self.entries
+                .iter()
+                .map(|e| {
+                    Value::Obj(vec![
+                        ("name".into(), Value::Str(e.name.clone())),
+                        ("median_ns".into(), Value::Num(e.median_ns)),
+                        ("calls".into(), Value::Num(e.calls as f64)),
+                    ])
+                })
+                .collect(),
+        );
+        let comparisons = Value::Arr(
+            self.comparisons
+                .iter()
+                .map(|c| {
+                    Value::Obj(vec![
+                        ("name".into(), Value::Str(c.name.clone())),
+                        ("before_ns".into(), Value::Num(c.before_ns)),
+                        ("after_ns".into(), Value::Num(c.after_ns)),
+                        ("speedup".into(), Value::Num(c.speedup)),
+                    ])
+                })
+                .collect(),
+        );
+        let group = Value::Obj(vec![
+            ("entries".into(), entries),
+            ("comparisons".into(), comparisons),
+        ]);
+        if report.get("groups").is_none() {
+            report.set("groups", Value::Obj(vec![]));
+        }
+        let groups = match &mut report {
+            Value::Obj(m) => m.iter_mut().find(|(k, _)| k == "groups").map(|(_, v)| v),
+            _ => None,
+        };
+        let members = match groups {
+            Some(Value::Obj(members)) => members,
+            _ => panic!("{path}: 'groups' is not an object"),
+        };
+        if let Some(slot) = members.iter_mut().find(|(k, _)| *k == self.group) {
+            slot.1 = group;
+        } else {
+            members.push((self.group.clone(), group));
+        }
+        std::fs::write(&path, report.pretty())
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        eprintln!("bench group '{}' written to {path}", self.group);
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.0} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke_harness(group: &str) -> Harness {
+        Harness {
+            group: group.to_string(),
+            warmup: Duration::from_millis(1),
+            measure: Duration::from_millis(5),
+            entries: Vec::new(),
+            comparisons: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn timing_is_positive_and_ordered() {
+        let mut h = smoke_harness("t");
+        h.bench("cheap", || 1 + 1);
+        h.bench("costly", || (0..20_000).map(|i| i as f64).sum::<f64>());
+        assert!(h.entries[0].median_ns > 0.0);
+        assert!(
+            h.entries[1].median_ns > h.entries[0].median_ns,
+            "20k-element sum must cost more than an add: {:?}",
+            h.entries
+        );
+    }
+
+    #[test]
+    fn compare_reports_speedup_direction() {
+        let mut h = smoke_harness("t");
+        h.compare(
+            "sum",
+            || (0..50_000).map(|i| i as f64).sum::<f64>(),
+            || (0..500).map(|i| i as f64).sum::<f64>(),
+        );
+        assert!(h.comparisons[0].speedup > 1.0, "{:?}", h.comparisons);
+    }
+
+    #[test]
+    fn finish_merges_groups_into_one_report() {
+        let dir = std::env::temp_dir().join(format!("vpp_bench_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_results.json");
+        let _ = std::fs::remove_file(&path);
+        // Serialise access to the env var within this test binary.
+        std::env::set_var("VPP_BENCH_OUT", &path);
+
+        let mut a = smoke_harness("alpha");
+        a.bench("x", || 0);
+        a.finish();
+        let mut b = smoke_harness("beta");
+        b.compare("y", || 0, || 0);
+        b.finish();
+        // Re-running a group replaces it rather than duplicating.
+        let mut a2 = smoke_harness("alpha");
+        a2.bench("x", || 0);
+        a2.finish();
+
+        let report = json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let groups = report.get("groups").unwrap();
+        let Value::Obj(members) = groups else { panic!() };
+        assert_eq!(members.len(), 2, "alpha replaced, beta kept");
+        let alpha = groups.get("alpha").unwrap();
+        assert_eq!(
+            alpha.get("entries").unwrap().as_arr().unwrap()[0]
+                .get("name")
+                .unwrap()
+                .as_str(),
+            Some("x")
+        );
+        let beta = groups.get("beta").unwrap();
+        assert!(
+            beta.get("comparisons").unwrap().as_arr().unwrap()[0]
+                .get("speedup")
+                .unwrap()
+                .as_f64()
+                .is_some()
+        );
+        std::env::remove_var("VPP_BENCH_OUT");
+        let _ = std::fs::remove_file(&path);
+    }
+}

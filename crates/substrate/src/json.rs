@@ -1,0 +1,370 @@
+//! A minimal JSON value model (no serde).
+//!
+//! Just enough JSON to write and re-read `BENCH_results.json`: objects keep
+//! insertion order, numbers are `f64`, strings escape the mandatory set.
+//! DESIGN.md's "no serde" stance stands; this is ~150 lines of std.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Value>),
+    /// Insertion-ordered object.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Member lookup on objects; `None` elsewhere.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric payload, if any.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// String payload, if any.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Array payload, if any.
+    #[must_use]
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Insert or replace a member (objects only).
+    ///
+    /// # Panics
+    /// If `self` is not an object.
+    pub fn set(&mut self, key: &str, value: Value) {
+        let Value::Obj(members) = self else {
+            panic!("Value::set on a non-object");
+        };
+        if let Some(slot) = members.iter_mut().find(|(k, _)| k == key) {
+            slot.1 = value;
+        } else {
+            members.push((key.to_string(), value));
+        }
+    }
+
+    /// Serialise with 2-space indentation and a trailing newline.
+    #[must_use]
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent + 1);
+        let close = "  ".repeat(indent);
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Num(x) => write_num(out, *x),
+            Value::Str(s) => write_str(out, s),
+            Value::Arr(items) if items.is_empty() => out.push_str("[]"),
+            Value::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    out.push_str(if i == 0 { "\n" } else { ",\n" });
+                    out.push_str(&pad);
+                    v.write(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&close);
+                out.push(']');
+            }
+            Value::Obj(members) if members.is_empty() => out.push_str("{}"),
+            Value::Obj(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    out.push_str(if i == 0 { "\n" } else { ",\n" });
+                    out.push_str(&pad);
+                    write_str(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&close);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_num(out: &mut String, x: f64) {
+    if x.is_finite() {
+        if x == x.trunc() && x.abs() < 1e15 {
+            let _ = write!(out, "{}", x as i64);
+        } else {
+            let _ = write!(out, "{x}");
+        }
+    } else {
+        out.push_str("null"); // JSON has no NaN/Inf
+    }
+}
+
+fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parse a JSON document. Accepts exactly one top-level value.
+///
+/// # Errors
+/// A human-readable message with the byte offset of the first problem.
+pub fn parse(text: &str) -> Result<Value, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {pos}", char::from(b)))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut members = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Obj(members));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                expect(bytes, pos, b':')?;
+                let value = parse_value(bytes, pos)?;
+                members.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Obj(members));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => Ok(Value::Str(parse_string(bytes, pos)?)),
+        Some(b't') if bytes[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Value::Bool(true))
+        }
+        Some(b'f') if bytes[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Value::Bool(false))
+        }
+        Some(b'n') if bytes[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(Value::Null)
+        }
+        Some(_) => {
+            let start = *pos;
+            while *pos < bytes.len()
+                && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            std::str::from_utf8(&bytes[start..*pos])
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .map(Value::Num)
+                .ok_or_else(|| format!("bad literal at byte {start}"))
+        }
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}"));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    while let Some(&b) = bytes.get(*pos) {
+        *pos += 1;
+        match b {
+            b'"' => return Ok(out),
+            b'\\' => {
+                let esc = bytes.get(*pos).copied().ok_or("unterminated escape")?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    b'r' => out.push('\r'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let hex = bytes
+                            .get(*pos..*pos + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or(format!("bad \\u escape at byte {pos}"))?;
+                        *pos += 4;
+                        out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                    }
+                    other => return Err(format!("unknown escape '\\{}'", char::from(other))),
+                }
+            }
+            _ => {
+                // Re-sync on UTF-8 boundaries: walk back one, take the char.
+                *pos -= 1;
+                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
+                let c = rest.chars().next().ok_or("unterminated string")?;
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_a_report_shaped_document() {
+        let doc = Value::Obj(vec![
+            ("schema".into(), Value::Str("vpp-bench/1".into())),
+            (
+                "groups".into(),
+                Value::Obj(vec![(
+                    "substrate".into(),
+                    Value::Arr(vec![Value::Obj(vec![
+                        ("name".into(), Value::Str("kde_grid".into())),
+                        ("median_ns".into(), Value::Num(1234.5)),
+                        ("ok".into(), Value::Bool(true)),
+                    ])]),
+                )]),
+            ),
+        ]);
+        let text = doc.pretty();
+        let back = parse(&text).unwrap();
+        assert_eq!(back, doc);
+        assert_eq!(
+            back.get("groups")
+                .and_then(|g| g.get("substrate"))
+                .and_then(Value::as_arr)
+                .unwrap()[0]
+                .get("median_ns")
+                .and_then(Value::as_f64),
+            Some(1234.5)
+        );
+    }
+
+    #[test]
+    fn integers_serialize_without_fraction() {
+        assert_eq!(Value::Num(42.0).pretty(), "42\n");
+        assert_eq!(Value::Num(0.5).pretty(), "0.5\n");
+    }
+
+    #[test]
+    fn strings_escape_and_round_trip() {
+        let s = Value::Str("a\"b\\c\nd\u{1}é".into());
+        assert_eq!(parse(&s.pretty()).unwrap(), s);
+    }
+
+    #[test]
+    fn set_replaces_and_appends() {
+        let mut obj = Value::Obj(vec![]);
+        obj.set("a", Value::Num(1.0));
+        obj.set("a", Value::Num(2.0));
+        obj.set("b", Value::Null);
+        assert_eq!(obj.get("a").unwrap().as_f64(), Some(2.0));
+        assert_eq!(obj, parse(r#"{"a": 2, "b": null}"#).unwrap());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("12 34").is_err());
+        assert!(parse("").is_err());
+    }
+}

@@ -1,0 +1,26 @@
+//! Std-only execution substrate for the workspace.
+//!
+//! The reproduction must build and run with **no external crates** (the
+//! target environments resolve dependencies offline), yet the experiment
+//! harness wants data parallelism, the test suite wants property-based
+//! testing, and the perf trajectory wants a benchmark harness with
+//! machine-readable output. This crate provides all three on `std` alone:
+//!
+//! * [`pool`] — a scoped-thread work pool ([`par_map`] / [`par_map_ref`])
+//!   that replaces rayon in the experiment harness. Nested calls degrade to
+//!   serial execution so fan-out never oversubscribes the machine.
+//! * [`prop`] — a minimal property-test harness and the [`properties!`]
+//!   macro that replace proptest: deterministic per-case RNG streams,
+//!   failing-case seed reporting, `prop_assume!`-style discards.
+//! * [`bench`] — a warmup/iterations/median benchmark harness that replaces
+//!   criterion and emits `BENCH_results.json` so before/after numbers are
+//!   tracked in-tree.
+//! * [`json`] — the tiny JSON value model backing the bench reports.
+
+pub mod bench;
+pub mod json;
+pub mod pool;
+pub mod prop;
+
+pub use bench::Harness;
+pub use pool::{par_map, par_map_ref};

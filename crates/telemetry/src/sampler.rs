@@ -61,20 +61,31 @@ impl Sampler {
 
     /// Sample a power trace into a time series. Each kept sample at time
     /// `t` carries the trace's mean power over `[t - interval, t)`.
+    ///
+    /// All window means come from one forward sweep over the trace
+    /// ([`PowerTrace::window_means`], O(segments + windows)) instead of an
+    /// independent windowed query per sample. Sample times are computed
+    /// multiplicatively (`start + i·interval`), so an hour-long trace at a
+    /// sub-second cadence no longer accumulates the float drift of the old
+    /// `t += interval` loop.
     #[must_use]
     pub fn sample(&self, trace: &PowerTrace) -> TimeSeries {
         assert!((0.0..1.0).contains(&self.drop_prob), "bad drop_prob");
         let mut rng = Rng::new(self.seed);
-        let mut times = Vec::new();
-        let mut values = Vec::new();
-        let mut t = trace.start() + self.interval_s;
-        let end = trace.end();
-        while t <= end + 1e-12 {
+        let start = trace.start();
+        let n = ((trace.duration() + 1e-12) / self.interval_s).floor() as usize;
+        let means = if n > 0 {
+            trace.window_means(start, self.interval_s, n)
+        } else {
+            Vec::new()
+        };
+        let mut times = Vec::with_capacity(n);
+        let mut values = Vec::with_capacity(n);
+        for (i, &mean) in means.iter().enumerate() {
             if !rng.bool(self.drop_prob) {
-                times.push(t);
-                values.push(trace.mean_power(t - self.interval_s, t));
+                times.push(start + (i + 1) as f64 * self.interval_s);
+                values.push(mean);
             }
-            t += self.interval_s;
         }
         TimeSeries::new(times, values)
     }
@@ -143,6 +154,21 @@ mod tests {
         let a = Sampler::ldms_production().sample(&trace);
         let b = Sampler::ldms_production().sample(&trace);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hour_long_trace_has_drift_free_sample_times() {
+        // 1 h at 0.1 s cadence: 36 000 samples. The old `t += dt`
+        // accumulator drifted by thousands of ULPs by the end; the
+        // multiplicative formula pins every timestamp.
+        let trace = PowerTrace::from_segments(0.0, [(3600.0, 200.0)]);
+        let s = Sampler::ideal(0.1).sample(&trace);
+        assert_eq!(s.len(), 36_000);
+        let times = s.times();
+        let last = times[times.len() - 1];
+        assert_eq!(last, 36_000.0 * 0.1, "exact, not approximately equal");
+        let mid = times[17_999];
+        assert_eq!(mid, 18_000.0 * 0.1);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use crate::sampler::Sampler;
 use crate::series::TimeSeries;
-use parking_lot::RwLock;
+use std::sync::RwLock;
 use std::collections::BTreeMap;
 use vpp_node::ComponentTraces;
 
@@ -60,7 +60,7 @@ impl Store {
         sampler: &Sampler,
     ) -> usize {
         let mut stored = 0;
-        let mut map = self.data.write();
+        let mut map = self.data.write().unwrap();
         for (idx, c) in nodes.iter().enumerate() {
             let mut put = |chan: Channel, series: TimeSeries| {
                 map.insert((job_id.to_string(), idx, chan), series);
@@ -80,6 +80,7 @@ impl Store {
     pub fn insert(&self, job_id: &str, node: usize, channel: Channel, series: TimeSeries) {
         self.data
             .write()
+            .unwrap()
             .insert((job_id.to_string(), node, channel), series);
     }
 
@@ -88,6 +89,7 @@ impl Store {
     pub fn query(&self, job_id: &str, node: usize, channel: Channel) -> Option<TimeSeries> {
         self.data
             .read()
+            .unwrap()
             .get(&(job_id.to_string(), node, channel))
             .cloned()
     }
@@ -95,7 +97,7 @@ impl Store {
     /// Node indices recorded for a job.
     #[must_use]
     pub fn nodes_of(&self, job_id: &str) -> Vec<usize> {
-        let map = self.data.read();
+        let map = self.data.read().unwrap();
         let mut nodes: Vec<usize> = map
             .keys()
             .filter(|(j, _, _)| j == job_id)
@@ -108,7 +110,7 @@ impl Store {
     /// All job ids in the archive.
     #[must_use]
     pub fn jobs(&self) -> Vec<String> {
-        let map = self.data.read();
+        let map = self.data.read().unwrap();
         let mut jobs: Vec<String> = map.keys().map(|(j, _, _)| j.clone()).collect();
         jobs.dedup();
         jobs
@@ -117,7 +119,7 @@ impl Store {
     /// Number of stored series.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.data.read().len()
+        self.data.read().unwrap().len()
     }
 
     /// True when nothing has been ingested.

@@ -3,15 +3,16 @@
 //! The real LDMS is a network of per-node sampler daemons pushing metric
 //! sets to aggregators (paper §II-B, ref [19]). This module reproduces that
 //! topology in-process: node producers send [`Sample`]s over a bounded
-//! crossbeam channel to one aggregator thread that folds them into
-//! per-channel series and exposes them on completion. Back-pressure from
-//! the bounded channel models the aggregate-rate limits that force the
-//! production system to drop samples.
+//! `std::sync::mpsc::sync_channel` to one aggregator thread that folds
+//! them into per-channel series and exposes them on completion.
+//! Back-pressure from the bounded channel (`send` blocks when the buffer
+//! is full) models the aggregate-rate limits that force the production
+//! system to drop samples.
 
 use crate::series::TimeSeries;
 use crate::store::Channel;
-use crossbeam::channel::{bounded, Sender};
 use std::collections::BTreeMap;
+use std::sync::mpsc::{sync_channel, SyncSender};
 use std::thread::JoinHandle;
 
 /// Points accumulated per (node, channel) before ordering.
@@ -36,7 +37,7 @@ pub struct Sample {
 /// Handle held by a producer (one per node daemon).
 #[derive(Clone)]
 pub struct Producer {
-    tx: Sender<Msg>,
+    tx: SyncSender<Msg>,
 }
 
 impl Producer {
@@ -49,7 +50,7 @@ impl Producer {
 
 /// The in-process aggregator.
 pub struct LiveCollector {
-    tx: Option<Sender<Msg>>,
+    tx: Option<SyncSender<Msg>>,
     worker: Option<JoinHandle<RawSeries>>,
 }
 
@@ -59,7 +60,7 @@ impl LiveCollector {
     #[must_use]
     pub fn start(capacity: usize) -> Self {
         assert!(capacity > 0, "capacity must be positive");
-        let (tx, rx) = bounded::<Msg>(capacity);
+        let (tx, rx) = sync_channel::<Msg>(capacity);
         let worker = std::thread::spawn(move || {
             let mut acc = RawSeries::new();
             // Exit on the shutdown sentinel (or all senders dropping), so

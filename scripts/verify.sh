@@ -1,0 +1,25 @@
+#!/usr/bin/env sh
+# Hermetic verification: offline release build, full test suite, and a
+# smoke-mode bench run that refreshes BENCH_results.json at the repo root.
+#
+# No network, no external crates — the workspace is std-only.
+set -eu
+
+ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cd "$ROOT"
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline --workspace
+
+echo "==> cargo test -q --offline"
+cargo test -q --offline --workspace
+
+echo "==> smoke bench (VPP_BENCH_SMOKE=1) -> BENCH_results.json"
+VPP_BENCH_SMOKE=1 VPP_BENCH_OUT="$ROOT/BENCH_results.json" \
+    cargo bench -q --offline -p vpp-bench
+
+echo "==> BENCH_results.json comparisons:"
+grep -A3 '"name": ".*_before_after"' "$ROOT/BENCH_results.json" \
+    | grep -E '"name"|"speedup"' || true
+
+echo "verify: OK"

@@ -7,6 +7,11 @@
 //! repro --quick               # fewer protocol repeats (faster)
 //! repro --csv out/            # also write machine-readable CSVs per experiment
 //! ```
+//!
+//! Sections are independent experiments, so they fan out across the
+//! substrate work pool and print in the canonical order once everything
+//! has finished. A single-section invocation bypasses the pool, letting
+//! the sweep inside that section parallelise instead.
 
 use std::time::Instant;
 use vpp_core::experiments::{
@@ -14,6 +19,10 @@ use vpp_core::experiments::{
     fig12, fig13, predict_eval, scaling, table1,
 };
 use vpp_core::protocol::StudyContext;
+
+/// `(section name, rendered body, CSV payload)` tuples one job produced.
+type SectionOut = Vec<(&'static str, String, String)>;
+type Job = Box<dyn Fn() -> SectionOut + Send + Sync>;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -50,121 +59,144 @@ fn main() {
         StudyContext::paper()
     };
 
-    let write_csv = |name: &str, csv: &str| {
-        if let Some(dir) = &csv_dir {
-            let path = format!("{dir}/{name}.csv");
-            std::fs::write(&path, csv).expect("cannot write CSV");
-            eprintln!("[wrote {path}]");
-        }
-    };
+    let mut jobs: Vec<(&'static str, Job)> = Vec::new();
+    let mut add = |name: &'static str, job: Job| jobs.push((name, job));
 
-    let ran = std::cell::Cell::new(0);
-    let section = |name: &str, f: &mut dyn FnMut() -> (String, String)| {
-        if !want(name) {
-            return;
-        }
-        let t = Instant::now();
-        let (body, csv) = f();
-        println!("{body}");
-        write_csv(name, &csv);
-        eprintln!("[{name} done in {:.1}s]", t.elapsed().as_secs_f64());
-        ran.set(ran.get() + 1);
-    };
-
-    section("table1", &mut || {
-        let r = table1::run();
-        (r.to_string(), r.csv())
-    });
-    section("fig1", &mut || {
-        let r = fig01::run(&ctx);
-        (r.to_string(), r.csv())
-    });
-    section("fig2", &mut || {
-        let r = fig02::run(&ctx);
-        (r.to_string(), r.csv())
-    });
-    section("fig3", &mut || {
-        let r = fig03::run(&ctx);
-        (r.to_string(), r.csv())
-    });
+    if want("table1") {
+        add("table1", Box::new(|| {
+            let r = table1::run();
+            vec![("table1", r.to_string(), r.csv())]
+        }));
+    }
+    if want("fig1") {
+        add("fig1", Box::new(move || {
+            let r = fig01::run(&ctx);
+            vec![("fig1", r.to_string(), r.csv())]
+        }));
+    }
+    if want("fig2") {
+        add("fig2", Box::new(move || {
+            let r = fig02::run(&ctx);
+            vec![("fig2", r.to_string(), r.csv())]
+        }));
+    }
+    if want("fig3") {
+        add("fig3", Box::new(move || {
+            let r = fig03::run(&ctx);
+            vec![("fig3", r.to_string(), r.csv())]
+        }));
+    }
 
     // Figs. 4 and 5 share one node-count sweep.
     if want("fig4") || want("fig5") {
-        let t = Instant::now();
-        let data = scaling::measure_suite(
-            &vpp_core::benchmarks::suite(),
-            &scaling::NODE_COUNTS,
-            &ctx,
-        );
-        if want("fig4") {
-            let r = fig04::from_scaling(&data, &scaling::NODE_COUNTS);
-            println!("{r}");
-            write_csv("fig4", &r.csv());
-            ran.set(ran.get() + 1);
-        }
-        if want("fig5") {
-            let r = fig05::from_scaling(&data, &scaling::NODE_COUNTS);
-            println!("{r}");
-            write_csv("fig5", &r.csv());
-            ran.set(ran.get() + 1);
-        }
-        eprintln!("[fig4+fig5 done in {:.1}s]", t.elapsed().as_secs_f64());
+        let (w4, w5) = (want("fig4"), want("fig5"));
+        add("fig4+fig5", Box::new(move || {
+            let data = scaling::measure_suite(
+                &vpp_core::benchmarks::suite(),
+                &scaling::NODE_COUNTS,
+                &ctx,
+            );
+            let mut out = SectionOut::new();
+            if w4 {
+                let r = fig04::from_scaling(&data, &scaling::NODE_COUNTS);
+                out.push(("fig4", r.to_string(), r.csv()));
+            }
+            if w5 {
+                let r = fig05::from_scaling(&data, &scaling::NODE_COUNTS);
+                out.push(("fig5", r.to_string(), r.csv()));
+            }
+            out
+        }));
     }
 
-    section("fig6", &mut || {
-        let r = fig06::run(&ctx);
-        (r.to_string(), r.csv())
-    });
-    section("fig7", &mut || {
-        let r = fig07::run(&ctx);
-        (r.to_string(), r.csv())
-    });
-    section("fig8", &mut || {
-        let r = fig08::run(&ctx);
-        (r.to_string(), r.csv())
-    });
-    section("fig9", &mut || {
-        let r = fig09::run(&ctx);
-        (r.to_string(), r.csv())
-    });
+    if want("fig6") {
+        add("fig6", Box::new(move || {
+            let r = fig06::run(&ctx);
+            vec![("fig6", r.to_string(), r.csv())]
+        }));
+    }
+    if want("fig7") {
+        add("fig7", Box::new(move || {
+            let r = fig07::run(&ctx);
+            vec![("fig7", r.to_string(), r.csv())]
+        }));
+    }
+    if want("fig8") {
+        add("fig8", Box::new(move || {
+            let r = fig08::run(&ctx);
+            vec![("fig8", r.to_string(), r.csv())]
+        }));
+    }
+    if want("fig9") {
+        add("fig9", Box::new(move || {
+            let r = fig09::run(&ctx);
+            vec![("fig9", r.to_string(), r.csv())]
+        }));
+    }
 
     // Figs. 10 and 12 share one cap sweep.
     if want("fig10") || want("fig12") {
-        let t = Instant::now();
-        let data = capping::measure_caps(&vpp_core::benchmarks::suite(), &ctx);
-        if want("fig10") {
-            let r = fig10::from_caps(&data);
-            println!("{r}");
-            write_csv("fig10", &r.csv());
-            ran.set(ran.get() + 1);
-        }
-        if want("fig12") {
-            let r = fig12::from_caps(&data);
-            println!("{r}");
-            write_csv("fig12", &r.csv());
-            ran.set(ran.get() + 1);
-        }
-        eprintln!("[fig10+fig12 done in {:.1}s]", t.elapsed().as_secs_f64());
+        let (w10, w12) = (want("fig10"), want("fig12"));
+        add("fig10+fig12", Box::new(move || {
+            let data = capping::measure_caps(&vpp_core::benchmarks::suite(), &ctx);
+            let mut out = SectionOut::new();
+            if w10 {
+                let r = fig10::from_caps(&data);
+                out.push(("fig10", r.to_string(), r.csv()));
+            }
+            if w12 {
+                let r = fig12::from_caps(&data);
+                out.push(("fig12", r.to_string(), r.csv()));
+            }
+            out
+        }));
     }
 
-    section("fig11", &mut || {
-        let r = fig11::run(&ctx);
-        (r.to_string(), r.csv())
-    });
-    section("predict", &mut || {
-        let r = predict_eval::run(&ctx);
-        (r.to_string(), r.csv())
-    });
-    section("fig13", &mut || {
-        let r = fig13::run(&ctx);
-        (r.to_string(), r.csv())
-    });
+    if want("fig11") {
+        add("fig11", Box::new(move || {
+            let r = fig11::run(&ctx);
+            vec![("fig11", r.to_string(), r.csv())]
+        }));
+    }
+    if want("predict") {
+        add("predict", Box::new(move || {
+            let r = predict_eval::run(&ctx);
+            vec![("predict", r.to_string(), r.csv())]
+        }));
+    }
+    if want("fig13") {
+        add("fig13", Box::new(move || {
+            let r = fig13::run(&ctx);
+            vec![("fig13", r.to_string(), r.csv())]
+        }));
+    }
 
-    if ran.get() == 0 {
+    if jobs.is_empty() {
         eprintln!(
             "nothing matched {selected:?}; known: table1 fig1..fig13 predict \
              (plus --quick, --csv DIR)"
         );
         std::process::exit(2);
     }
+
+    let wall = Instant::now();
+    let results = vpp_substrate::par_map(jobs, |(name, job)| {
+        let t = Instant::now();
+        let outputs = job();
+        (name, outputs, t.elapsed().as_secs_f64())
+    });
+
+    // Print and persist in canonical order, after all sections finished.
+    for (name, outputs, secs) in results {
+        for (section, body, csv) in outputs {
+            println!("{body}");
+            if let Some(dir) = &csv_dir {
+                let path = format!("{dir}/{section}.csv");
+                std::fs::write(&path, csv).expect("cannot write CSV");
+                eprintln!("[wrote {path}]");
+            }
+        }
+        eprintln!("[{name} done in {secs:.1}s]");
+    }
+    eprintln!("[all sections done in {:.1}s wall]", wall.elapsed().as_secs_f64());
 }

@@ -1,62 +1,57 @@
 //! Robustness properties of the VASP-format parsers: arbitrary input must
-//! never panic, and valid input must round-trip.
+//! never panic, and valid input must round-trip. Driven by the in-tree
+//! property harness; `any_string` salts printable ASCII with newlines,
+//! control bytes and multi-byte unicode so the parsers see hostile input.
 
-use proptest::prelude::*;
 use vasp_power_profiles::dft::{parse_incar, parse_kpoints, parse_poscar};
+use vpp_substrate::prop::{any_string, printable_string, upper_string, usize_in};
+use vpp_substrate::properties;
 
-proptest! {
-    #[test]
-    fn incar_parser_never_panics(text in ".{0,400}") {
+properties! {
+    fn incar_parser_never_panics(rng) {
         // Any outcome is fine; panicking is not.
-        let _ = parse_incar(&text);
+        let _ = parse_incar(&any_string(rng, 400));
     }
 
-    #[test]
-    fn kpoints_parser_never_panics(text in ".{0,200}") {
-        let _ = parse_kpoints(&text);
+    fn kpoints_parser_never_panics(rng) {
+        let _ = parse_kpoints(&any_string(rng, 200));
     }
 
-    #[test]
-    fn poscar_parser_never_panics(text in ".{0,400}") {
-        let _ = parse_poscar(&text);
+    fn poscar_parser_never_panics(rng) {
+        let _ = parse_poscar(&any_string(rng, 400));
     }
 
-    #[test]
-    fn incar_parser_never_panics_on_taggy_input(
-        lines in prop::collection::vec(
-            ("[A-Z]{2,12}", "[ -~]{0,20}"),
-            0..12
-        )
-    ) {
-        let text: String = lines
-            .iter()
-            .map(|(t, v)| format!("{t} = {v}\n"))
+    fn incar_parser_never_panics_on_taggy_input(rng) {
+        let n_lines = rng.index(12);
+        let text: String = (0..n_lines)
+            .map(|_| {
+                let tag = upper_string(rng, 2, 12);
+                let value = printable_string(rng, 20);
+                format!("{tag} = {value}\n")
+            })
             .collect();
         let _ = parse_incar(&text);
     }
 
-    #[test]
-    fn valid_incar_round_trips(
-        nelm in 1usize..200,
-        nbands in 1usize..4096,
-        encut in 100.0f64..900.0,
-        nsim in 1usize..16,
-    ) {
+    fn valid_incar_round_trips(rng) {
+        let nelm = usize_in(rng, 1, 200);
+        let nbands = usize_in(rng, 1, 4096);
+        let encut = rng.uniform(100.0, 900.0);
+        let nsim = usize_in(rng, 1, 16);
         let text = format!(
             "NELM = {nelm}\nNBANDS = {nbands}\nENCUT = {encut}\nNSIM = {nsim}\n"
         );
         let deck = parse_incar(&text).expect("valid deck").deck;
-        prop_assert_eq!(deck.nelm, nelm);
-        prop_assert_eq!(deck.nbands, Some(nbands));
-        prop_assert_eq!(deck.nsim, nsim);
-        prop_assert!((deck.encut_ev.unwrap() - encut).abs() < 1e-9);
+        assert_eq!(deck.nelm, nelm);
+        assert_eq!(deck.nbands, Some(nbands));
+        assert_eq!(deck.nsim, nsim);
+        assert!((deck.encut_ev.unwrap() - encut).abs() < 1e-9);
     }
 
-    #[test]
-    fn valid_poscar_counts_round_trip(
-        counts in prop::collection::vec(1usize..300, 1..3),
-        lat in 5.0f64..40.0,
-    ) {
+    fn valid_poscar_counts_round_trip(rng) {
+        let n_species = usize_in(rng, 1, 3);
+        let counts: Vec<usize> = (0..n_species).map(|_| usize_in(rng, 1, 300)).collect();
+        let lat = rng.uniform(5.0, 40.0);
         let species = ["Si", "O", "Cu"];
         let names: Vec<&str> = species.iter().take(counts.len()).copied().collect();
         let text = format!(
@@ -65,16 +60,16 @@ proptest! {
             counts.iter().map(ToString::to_string).collect::<Vec<_>>().join(" ")
         );
         let cell = parse_poscar(&text).expect("valid structure");
-        prop_assert_eq!(cell.n_ions(), counts.iter().sum::<usize>());
+        assert_eq!(cell.n_ions(), counts.iter().sum::<usize>());
     }
 
-    #[test]
-    fn valid_kpoints_round_trip(mesh in prop::collection::vec(1usize..12, 3)) {
+    fn valid_kpoints_round_trip(rng) {
+        let mesh: Vec<usize> = (0..3).map(|_| usize_in(rng, 1, 12)).collect();
         let text = format!(
             "mesh\n0\nGamma\n{} {} {}\n",
             mesh[0], mesh[1], mesh[2]
         );
         let got = parse_kpoints(&text).expect("valid mesh");
-        prop_assert_eq!(got.to_vec(), mesh);
+        assert_eq!(got.to_vec(), mesh);
     }
 }
