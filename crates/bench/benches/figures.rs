@@ -57,7 +57,7 @@ fn main() {
         measure(&b8, &RunConfig::nodes(4), &ctx).energy_j
     });
 
-    let cost9 = ctx.cost.clone();
+    let cost9 = ctx.cost;
     h.bench("fig09_method_violin_si128", move || {
         let deck = vpp_dft::Method::DftVeryFast.deck();
         let p = vpp_dft::SystemParams::derive(&vpp_dft::Supercell::silicon(128), &deck);

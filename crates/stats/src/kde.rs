@@ -59,6 +59,21 @@ impl Kde {
         }
     }
 
+    /// Fit a KDE to quality-screened input: non-finite values are dropped
+    /// (and counted) instead of panicking — the entry point for telemetry
+    /// that has passed, or bypassed, the quarantine layer. Returns the fit
+    /// plus the number of rejected samples, or `None` when no finite
+    /// samples remain.
+    #[must_use]
+    pub fn fit_screened(data: &[f64], bw: Bandwidth) -> Option<(Self, usize)> {
+        let finite: Vec<f64> = data.iter().copied().filter(|x| x.is_finite()).collect();
+        let rejected = data.len() - finite.len();
+        if finite.is_empty() {
+            return None;
+        }
+        Some((Self::fit(&finite, bw), rejected))
+    }
+
     /// The bandwidth in use.
     #[must_use]
     pub fn bandwidth(&self) -> f64 {
@@ -180,7 +195,6 @@ fn iqr(data: &[f64]) -> f64 {
         sorted[lo] * (1.0 - frac) + sorted[hi] * frac
     };
     q(0.75) - q(0.25)
-
 }
 
 /// Minimum bandwidth as a fraction of |data| scale, to keep degenerate
@@ -274,6 +288,28 @@ mod tests {
     #[should_panic(expected = "non-finite")]
     fn nan_data_panics() {
         let _ = Kde::fit(&[1.0, f64::NAN], Bandwidth::Silverman);
+    }
+
+    #[test]
+    fn fit_screened_drops_and_counts_non_finite() {
+        let data = [1.0, f64::NAN, 2.0, f64::INFINITY, 3.0, f64::NEG_INFINITY];
+        let (kde, rejected) = Kde::fit_screened(&data, Bandwidth::Silverman).unwrap();
+        assert_eq!(rejected, 3);
+        assert!(kde.density(2.0).is_finite());
+    }
+
+    #[test]
+    fn fit_screened_on_all_garbage_is_none() {
+        assert!(Kde::fit_screened(&[f64::NAN, f64::INFINITY], Bandwidth::Silverman).is_none());
+        assert!(Kde::fit_screened(&[], Bandwidth::Silverman).is_none());
+    }
+
+    #[test]
+    fn fit_screened_on_clean_data_matches_fit() {
+        let data = normalish(200, 10.0, 2.0);
+        let (a, rejected) = Kde::fit_screened(&data, Bandwidth::Silverman).unwrap();
+        assert_eq!(rejected, 0);
+        assert_eq!(a, Kde::fit(&data, Bandwidth::Silverman));
     }
 
     #[test]

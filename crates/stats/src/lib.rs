@@ -33,5 +33,5 @@ pub use modes::{find_modes, fwhm, high_power_mode, DensityProfile, Mode};
 pub use perf::parallel_efficiency;
 pub use periodicity::{autocorrelation, dominant_period};
 pub use phases::{Phase, Segmenter};
-pub use summary::PowerSummary;
+pub use summary::{PowerSummary, ScreenedSummary};
 pub use violin::ViolinStats;

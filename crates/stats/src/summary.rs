@@ -47,6 +47,37 @@ impl PowerSummary {
     }
 }
 
+/// A [`PowerSummary`] computed from quality-screened input, together with
+/// the effective coverage of what survived the screen.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScreenedSummary {
+    /// Summary over the finite samples.
+    pub summary: PowerSummary,
+    /// Non-finite samples rejected before summarising.
+    pub n_rejected: usize,
+    /// Fraction of the input that was usable, in `[0, 1]`.
+    pub effective_coverage: f64,
+}
+
+impl PowerSummary {
+    /// Summarise a possibly-dirty series: non-finite samples are dropped
+    /// and accounted for instead of panicking. Returns `None` when no
+    /// finite samples remain (including empty input).
+    #[must_use]
+    pub fn from_screened(samples: &[f64]) -> Option<ScreenedSummary> {
+        let finite: Vec<f64> = samples.iter().copied().filter(|x| x.is_finite()).collect();
+        if finite.is_empty() {
+            return None;
+        }
+        let n_rejected = samples.len() - finite.len();
+        Some(ScreenedSummary {
+            summary: Self::from_samples(&finite),
+            n_rejected,
+            effective_coverage: finite.len() as f64 / samples.len() as f64,
+        })
+    }
+}
+
 impl std::fmt::Display for PowerSummary {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
@@ -92,5 +123,32 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn empty_series_panics() {
         let _ = PowerSummary::from_samples(&[]);
+    }
+
+    #[test]
+    fn screened_summary_accounts_for_rejects() {
+        let mut data: Vec<f64> = (0..100).map(|i| 200.0 + (i % 10) as f64).collect();
+        data.push(f64::NAN);
+        data.push(f64::INFINITY);
+        let s = PowerSummary::from_screened(&data).unwrap();
+        assert_eq!(s.n_rejected, 2);
+        assert!((s.effective_coverage - 100.0 / 102.0).abs() < 1e-12);
+        assert_eq!(s.summary.n_samples, 100);
+        assert!(s.summary.high_mode_w.is_finite());
+    }
+
+    #[test]
+    fn screened_summary_of_garbage_is_none() {
+        assert!(PowerSummary::from_screened(&[f64::NAN]).is_none());
+        assert!(PowerSummary::from_screened(&[]).is_none());
+    }
+
+    #[test]
+    fn screened_summary_of_clean_input_matches_from_samples() {
+        let data: Vec<f64> = (0..50).map(|i| 300.0 + (i % 7) as f64).collect();
+        let s = PowerSummary::from_screened(&data).unwrap();
+        assert_eq!(s.n_rejected, 0);
+        assert_eq!(s.effective_coverage, 1.0);
+        assert_eq!(s.summary, PowerSummary::from_samples(&data));
     }
 }

@@ -90,7 +90,11 @@ macro_rules! properties {
 #[macro_export]
 macro_rules! prop_assume {
     ($cond:expr) => {
-        if !$cond {
+        // Expanded as `if…else` rather than `if !…` so float preconditions
+        // like `x > 0.0` don't trip `clippy::neg_cmp_op_on_partial_ord`
+        // at every call site.
+        if $cond {
+        } else {
             return;
         }
     };

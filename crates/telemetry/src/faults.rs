@@ -1,0 +1,441 @@
+//! Deterministic fault injection for telemetry series.
+//!
+//! Real GPU power telemetry is not merely lossy: sensors stick, readings
+//! glitch to NaN or implausible spikes, node clocks skew and jitter,
+//! energy counters reset, and racing collection daemons deliver samples
+//! out of order or twice ("Part-time Power Measurements", Yang et al.
+//! 2023). A [`FaultPlan`] corrupts a clean [`TimeSeries`] with a seeded,
+//! reproducible mix of those pathology classes and returns the exact
+//! [`FaultLog`] of what it did, so the quarantine layer
+//! ([`crate::quality`]) can be tested against ground truth: every count
+//! in the resulting [`DataQuality`](crate::DataQuality) report must match
+//! the log.
+
+use crate::quality::RawSeries;
+use crate::series::TimeSeries;
+use vpp_sim::Rng;
+
+/// Exact counts of the faults actually injected. Fields mirror the
+/// [`DataQuality`](crate::DataQuality) buckets they should surface in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultLog {
+    /// Dropout bursts removed (each produces one detectable gap).
+    pub dropout_bursts: usize,
+    /// Samples removed by all bursts together.
+    pub dropped_samples: usize,
+    /// Stuck-sensor runs written.
+    pub stuck_runs: usize,
+    /// Samples overwritten with the held value (run length − 1 each).
+    pub stuck_extra: usize,
+    /// Readings replaced with NaN.
+    pub nan_glitches: usize,
+    /// Readings replaced with an implausible spike.
+    pub spike_glitches: usize,
+    /// Readings zeroed by a counter reset.
+    pub counter_resets: usize,
+    /// Samples whose timestamps were jittered.
+    pub jittered: usize,
+    /// Samples whose timestamps were skewed/drifted.
+    pub skewed: usize,
+    /// Adjacent-pair swaps applied (each is one arrival-order inversion).
+    pub swaps: usize,
+    /// Duplicate-timestamp arrivals appended.
+    pub duplicates: usize,
+}
+
+/// A seeded recipe of telemetry pathologies. Build with [`FaultPlan::none`]
+/// plus the `with_*` setters, or start from [`FaultPlan::chaos`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for every stochastic placement decision.
+    pub seed: u64,
+    /// Number of contiguous dropout bursts to remove.
+    pub dropout_bursts: usize,
+    /// Samples per dropout burst.
+    pub dropout_burst_len: usize,
+    /// Number of stuck-sensor runs to write.
+    pub stuck_runs: usize,
+    /// Samples per stuck run (the first keeps its true value; the rest
+    /// repeat it).
+    pub stuck_run_len: usize,
+    /// Isolated NaN glitches.
+    pub nan_glitches: usize,
+    /// Isolated spike glitches.
+    pub spike_glitches: usize,
+    /// Spike amplitude, watts (must exceed the quarantine's plausible
+    /// band to be detectable).
+    pub spike_w: f64,
+    /// Isolated counter-reset readings (value forced to 0).
+    pub counter_resets: usize,
+    /// Timestamp jitter amplitude as a fraction of the smallest
+    /// inter-sample gap; capped at 0.49 so sample order is preserved.
+    pub clock_jitter_frac: f64,
+    /// Constant clock offset added to every timestamp, seconds.
+    pub clock_skew_s: f64,
+    /// Linear clock drift: each timestamp `t` becomes
+    /// `skew + t·(1 + drift)`.
+    pub clock_drift_per_s: f64,
+    /// Adjacent-pair delivery swaps (out-of-order arrivals).
+    pub swaps: usize,
+    /// Duplicate-timestamp deliveries (the racing-producer case; the
+    /// duplicate arrives later with a perturbed value).
+    pub duplicates: usize,
+}
+
+impl FaultPlan {
+    /// The identity plan: inject nothing.
+    #[must_use]
+    pub fn none(seed: u64) -> Self {
+        Self {
+            seed,
+            dropout_bursts: 0,
+            dropout_burst_len: 0,
+            stuck_runs: 0,
+            stuck_run_len: 0,
+            nan_glitches: 0,
+            spike_glitches: 0,
+            spike_w: 1e5,
+            counter_resets: 0,
+            clock_jitter_frac: 0.0,
+            clock_skew_s: 0.0,
+            clock_drift_per_s: 0.0,
+            swaps: 0,
+            duplicates: 0,
+        }
+    }
+
+    /// Every pathology class at once — the worst realistic day on the
+    /// cluster, for chaos tests and examples.
+    #[must_use]
+    pub fn chaos(seed: u64) -> Self {
+        Self::none(seed)
+            .with_dropouts(3, 4)
+            .with_stuck(2, 5)
+            .with_nans(4)
+            .with_spikes(3)
+            .with_resets(2)
+            .with_jitter(0.2)
+            .with_skew(0.5, 1e-4)
+            .with_swaps(3)
+            .with_duplicates(3)
+    }
+
+    /// `bursts` dropout bursts of `len` consecutive samples each.
+    #[must_use]
+    pub fn with_dropouts(mut self, bursts: usize, len: usize) -> Self {
+        self.dropout_bursts = bursts;
+        self.dropout_burst_len = len;
+        self
+    }
+
+    /// `runs` stuck-sensor runs of `len` samples each.
+    #[must_use]
+    pub fn with_stuck(mut self, runs: usize, len: usize) -> Self {
+        self.stuck_runs = runs;
+        self.stuck_run_len = len;
+        self
+    }
+
+    /// `n` isolated NaN readings.
+    #[must_use]
+    pub fn with_nans(mut self, n: usize) -> Self {
+        self.nan_glitches = n;
+        self
+    }
+
+    /// `n` isolated spike readings.
+    #[must_use]
+    pub fn with_spikes(mut self, n: usize) -> Self {
+        self.spike_glitches = n;
+        self
+    }
+
+    /// `n` isolated counter-reset (zero) readings.
+    #[must_use]
+    pub fn with_resets(mut self, n: usize) -> Self {
+        self.counter_resets = n;
+        self
+    }
+
+    /// Timestamp jitter of `frac` × the smallest inter-sample gap.
+    #[must_use]
+    pub fn with_jitter(mut self, frac: f64) -> Self {
+        self.clock_jitter_frac = frac;
+        self
+    }
+
+    /// Clock skew (constant offset) and linear drift.
+    #[must_use]
+    pub fn with_skew(mut self, offset_s: f64, drift_per_s: f64) -> Self {
+        self.clock_skew_s = offset_s;
+        self.clock_drift_per_s = drift_per_s;
+        self
+    }
+
+    /// `n` adjacent-pair delivery swaps.
+    #[must_use]
+    pub fn with_swaps(mut self, n: usize) -> Self {
+        self.swaps = n;
+        self
+    }
+
+    /// `n` duplicate-timestamp deliveries.
+    #[must_use]
+    pub fn with_duplicates(mut self, n: usize) -> Self {
+        self.duplicates = n;
+        self
+    }
+
+    /// Corrupt `series` according to the plan. Returns the raw (dirty)
+    /// arrival stream and the exact log of what was injected.
+    ///
+    /// Placement is rejection-sampled into disjoint, non-adjacent slots,
+    /// so fault classes never overlap and each injected fault is
+    /// independently detectable. On a series too short to host the full
+    /// plan, fewer faults are injected — the log always records what
+    /// actually happened.
+    #[must_use]
+    pub fn inject(&self, series: &TimeSeries) -> (RawSeries, FaultLog) {
+        let mut rng = Rng::new(self.seed);
+        let mut log = FaultLog::default();
+        let mut pts: Vec<(f64, f64)> = series
+            .times()
+            .iter()
+            .copied()
+            .zip(series.values().iter().copied())
+            .collect();
+        let n = pts.len();
+        // One shared occupancy mask keeps every fault site (and a 1-slot
+        // separation buffer) disjoint from every other.
+        let mut used = vec![false; n];
+
+        // -- Value faults ------------------------------------------------
+        for _ in 0..self.stuck_runs {
+            if self.stuck_run_len < 2 {
+                break;
+            }
+            if let Some(s) = pick_run(&mut rng, &mut used, self.stuck_run_len, 1) {
+                let held = pts[s].1;
+                for p in &mut pts[s + 1..s + self.stuck_run_len] {
+                    p.1 = held;
+                }
+                log.stuck_runs += 1;
+                log.stuck_extra += self.stuck_run_len - 1;
+            }
+        }
+        let singles = [
+            (self.nan_glitches, f64::NAN),
+            (self.spike_glitches, self.spike_w),
+            (self.counter_resets, 0.0),
+        ];
+        let mut injected = [0usize; 3];
+        for (class, &(count, value)) in singles.iter().enumerate() {
+            for _ in 0..count {
+                if let Some(s) = pick_run(&mut rng, &mut used, 1, 1) {
+                    pts[s].1 = value;
+                    injected[class] += 1;
+                }
+            }
+        }
+        log.nan_glitches = injected[0];
+        log.spike_glitches = injected[1];
+        log.counter_resets = injected[2];
+
+        // -- Clock faults ------------------------------------------------
+        if self.clock_jitter_frac > 0.0 && n >= 2 {
+            let min_gap = pts
+                .windows(2)
+                .map(|w| w[1].0 - w[0].0)
+                .fold(f64::INFINITY, f64::min);
+            let amp = self.clock_jitter_frac.min(0.49) * min_gap;
+            for p in &mut pts {
+                p.0 += rng.uniform(-amp, amp);
+                log.jittered += 1;
+            }
+        }
+        if self.clock_skew_s != 0.0 || self.clock_drift_per_s != 0.0 {
+            for p in &mut pts {
+                p.0 = self.clock_skew_s + p.0 * (1.0 + self.clock_drift_per_s);
+                log.skewed += 1;
+            }
+        }
+
+        // -- Structural faults -------------------------------------------
+        // Dropout bursts: interior ranges only (margin 1), so every burst
+        // leaves a detectable gap between surviving neighbours.
+        let mut burst_starts = Vec::new();
+        for _ in 0..self.dropout_bursts {
+            if self.dropout_burst_len == 0 {
+                break;
+            }
+            if let Some(s) = pick_run_interior(&mut rng, &mut used, self.dropout_burst_len, 1) {
+                burst_starts.push(s);
+                log.dropout_bursts += 1;
+                log.dropped_samples += self.dropout_burst_len;
+            }
+        }
+        if !burst_starts.is_empty() {
+            let drop = |i: usize| {
+                burst_starts
+                    .iter()
+                    .any(|&s| i >= s && i < s + self.dropout_burst_len)
+            };
+            let mut kept = Vec::with_capacity(pts.len() - log.dropped_samples);
+            let mut kept_used = Vec::with_capacity(used.len());
+            for (i, p) in pts.into_iter().enumerate() {
+                if !drop(i) {
+                    kept.push(p);
+                    kept_used.push(used[i]);
+                }
+            }
+            pts = kept;
+            used = kept_used;
+        }
+
+        // Out-of-order delivery: swap adjacent pairs at disjoint sites.
+        for _ in 0..self.swaps {
+            if let Some(s) = pick_run(&mut rng, &mut used, 2, 1) {
+                pts.swap(s, s + 1);
+                log.swaps += 1;
+            }
+        }
+
+        // Duplicate delivery: a racing producer re-sends timestamp `t`
+        // with a slightly different reading; the re-send arrives later.
+        let mut dup_sites = Vec::new();
+        for _ in 0..self.duplicates {
+            if let Some(s) = pick_run(&mut rng, &mut used, 1, 1) {
+                dup_sites.push(s);
+            }
+        }
+        dup_sites.sort_unstable_by(|a, b| b.cmp(a));
+        for s in dup_sites {
+            let (t, v) = pts[s];
+            pts.insert(s + 1, (t, v + rng.uniform(0.5, 3.0)));
+            log.duplicates += 1;
+        }
+
+        (RawSeries::from_points(pts), log)
+    }
+}
+
+/// Draw a run of `len` unused indices with `sep` untouched slots on each
+/// side, anywhere in the series. Marks the run (and its buffer) used.
+fn pick_run(rng: &mut Rng, used: &mut [bool], len: usize, sep: usize) -> Option<usize> {
+    pick_run_margin(rng, used, len, sep, 0)
+}
+
+/// As [`pick_run`], but excludes the first and last `margin` indices so
+/// the run is strictly interior.
+fn pick_run_interior(rng: &mut Rng, used: &mut [bool], len: usize, margin: usize) -> Option<usize> {
+    pick_run_margin(rng, used, len, 1, margin)
+}
+
+fn pick_run_margin(
+    rng: &mut Rng,
+    used: &mut [bool],
+    len: usize,
+    sep: usize,
+    margin: usize,
+) -> Option<usize> {
+    let n = used.len();
+    if n < len + 2 * margin || len == 0 {
+        return None;
+    }
+    let lo = margin;
+    let hi = n - margin - len; // inclusive upper bound for the start
+    for _ in 0..128 {
+        let s = lo + rng.index(hi - lo + 1);
+        let guard_lo = s.saturating_sub(sep);
+        let guard_hi = (s + len + sep).min(n);
+        if used[guard_lo..guard_hi].iter().any(|&u| u) {
+            continue;
+        }
+        for u in &mut used[guard_lo..guard_hi] {
+            *u = true;
+        }
+        return Some(s);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base(n: usize) -> TimeSeries {
+        let times: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        // Strictly varying values: no accidental stuck runs.
+        let values: Vec<f64> = (0..n).map(|i| 1500.0 + (i % 17) as f64 * 3.0).collect();
+        TimeSeries::new(times, values)
+    }
+
+    #[test]
+    fn none_plan_is_identity() {
+        let s = base(50);
+        let (raw, log) = FaultPlan::none(1).inject(&s);
+        assert_eq!(log, FaultLog::default());
+        assert_eq!(raw.points().len(), 50);
+        assert_eq!(raw, crate::quality::RawSeries::from_series(&s));
+    }
+
+    /// Bitwise point equality — `PartialEq` is useless once NaN glitches
+    /// are in the stream.
+    fn bits_eq(a: &crate::quality::RawSeries, b: &crate::quality::RawSeries) -> bool {
+        a.len() == b.len()
+            && a.points().iter().zip(b.points()).all(|(x, y)| {
+                x.0.to_bits() == y.0.to_bits() && x.1.to_bits() == y.1.to_bits()
+            })
+    }
+
+    #[test]
+    fn injection_is_deterministic_per_seed() {
+        let s = base(200);
+        let plan = FaultPlan::chaos(42);
+        let (a, la) = plan.inject(&s);
+        let (b, lb) = plan.inject(&s);
+        assert_eq!(la, lb);
+        assert!(bits_eq(&a, &b), "same seed must corrupt identically");
+        let (c, _) = FaultPlan::chaos(43).inject(&s);
+        assert!(!bits_eq(&a, &c), "distinct seeds must corrupt differently");
+    }
+
+    #[test]
+    fn log_counts_match_observable_corruption() {
+        let s = base(300);
+        let plan = FaultPlan::none(7).with_nans(5).with_spikes(4).with_resets(3);
+        let (raw, log) = plan.inject(&s);
+        assert_eq!(log.nan_glitches, 5);
+        assert_eq!(log.spike_glitches, 4);
+        assert_eq!(log.counter_resets, 3);
+        let nans = raw.points().iter().filter(|p| p.1.is_nan()).count();
+        let spikes = raw.points().iter().filter(|p| p.1 >= 1e5).count();
+        let zeros = raw.points().iter().filter(|p| p.1 == 0.0).count();
+        assert_eq!((nans, spikes, zeros), (5, 4, 3));
+    }
+
+    #[test]
+    fn short_series_injects_what_fits_and_logs_it() {
+        let s = base(4);
+        let (raw, log) = FaultPlan::none(3).with_dropouts(10, 3).inject(&s);
+        assert!(log.dropout_bursts <= 1, "log: {log:?}");
+        assert_eq!(raw.len(), 4 - log.dropped_samples);
+    }
+
+    #[test]
+    fn jitter_preserves_sample_order() {
+        let s = base(100);
+        let (raw, log) = FaultPlan::none(9).with_jitter(0.4).inject(&s);
+        assert_eq!(log.jittered, 100);
+        assert!(raw.points().windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn swaps_create_exactly_one_inversion_each() {
+        let s = base(120);
+        let (raw, log) = FaultPlan::none(11).with_swaps(6).inject(&s);
+        assert_eq!(log.swaps, 6);
+        let inversions = raw.points().windows(2).filter(|w| w[1].0 < w[0].0).count();
+        assert_eq!(inversions, 6);
+    }
+}

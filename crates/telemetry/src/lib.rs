@@ -10,9 +10,16 @@
 //! * [`TimeSeries`] — the sampled series, with the down-sampling used in the
 //!   paper's Fig. 2 sampling-rate study and gap statistics;
 //! * [`Store`] — a queryable, thread-safe archive of per-node, per-channel
-//!   series, standing in for the OMNI data warehouse.
+//!   series, standing in for the OMNI data warehouse;
+//! * [`quality`] — the quarantine-and-quality ingest that screens dirty
+//!   raw streams into valid series plus a [`DataQuality`] account;
+//! * [`faults`] — the seeded [`FaultPlan`] injector reproducing realistic
+//!   telemetry pathologies (dropout bursts, stuck sensors, NaN/spike
+//!   glitches, clock skew, counter resets, reordering, duplicates).
 
 pub mod archive;
+pub mod faults;
+pub mod quality;
 pub mod query;
 pub mod sampler;
 pub mod screening;
@@ -21,6 +28,8 @@ pub mod store;
 pub mod stream;
 
 pub use archive::{export_dir, import_dir};
+pub use faults::{FaultLog, FaultPlan};
+pub use quality::{quarantine, CleanSeries, DataQuality, QualityConfig, RawSeries};
 pub use query::{from_csv, to_csv, FleetStats, Query};
 pub use sampler::Sampler;
 pub use screening::{NodeVerdict, Screener};

@@ -31,15 +31,33 @@ pub struct Sampler {
 }
 
 impl Sampler {
+    /// Validated constructor. `drop_prob == 1.0` is legal and yields an
+    /// empty series (every sample dropped).
+    ///
+    /// # Panics
+    /// If `interval_s` is not positive and finite, or `drop_prob` is
+    /// outside `[0, 1]`.
+    #[must_use]
+    pub fn new(interval_s: f64, drop_prob: f64, seed: u64) -> Self {
+        assert!(
+            interval_s > 0.0 && interval_s.is_finite(),
+            "bad interval {interval_s}"
+        );
+        assert!(
+            (0.0..=1.0).contains(&drop_prob),
+            "bad drop_prob {drop_prob}"
+        );
+        Self {
+            interval_s,
+            drop_prob,
+            seed,
+        }
+    }
+
     /// Ideal sampler: fixed interval, no drops.
     #[must_use]
     pub fn ideal(interval_s: f64) -> Self {
-        assert!(interval_s > 0.0 && interval_s.is_finite());
-        Self {
-            interval_s,
-            drop_prob: 0.0,
-            seed: 0,
-        }
+        Self::new(interval_s, 0.0, 0)
     }
 
     /// The production configuration of the study: 1 s nominal with 50 %
@@ -70,7 +88,9 @@ impl Sampler {
     /// `t += interval` loop.
     #[must_use]
     pub fn sample(&self, trace: &PowerTrace) -> TimeSeries {
-        assert!((0.0..1.0).contains(&self.drop_prob), "bad drop_prob");
+        // Constructors validate; this backstop catches direct field edits
+        // (the fields are public). The boundary 1.0 is legal: all drops.
+        assert!((0.0..=1.0).contains(&self.drop_prob), "bad drop_prob");
         let mut rng = Rng::new(self.seed);
         let start = trace.start();
         let n = ((trace.duration() + 1e-12) / self.interval_s).floor() as usize;
@@ -183,5 +203,33 @@ mod tests {
         let mut s = Sampler::ideal(1.0);
         s.drop_prob = 1.5;
         let _ = s.sample(&PowerTrace::from_segments(0.0, [(1.0, 1.0)]));
+    }
+
+    #[test]
+    #[should_panic(expected = "bad drop_prob")]
+    fn constructor_rejects_out_of_range_drop_prob() {
+        let _ = Sampler::new(1.0, 1.5, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad interval")]
+    fn constructor_rejects_bad_interval() {
+        let _ = Sampler::new(0.0, 0.5, 0);
+    }
+
+    #[test]
+    fn all_drops_boundary_yields_empty_series() {
+        // Regression: `drop_prob == 1.0` is a legal boundary (everything
+        // dropped) and used to be rejected at `sample()` time.
+        let trace = PowerTrace::from_segments(0.0, [(100.0, 200.0)]);
+        let s = Sampler::new(1.0, 1.0, 7).sample(&trace);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn zero_drop_boundary_keeps_everything() {
+        let trace = PowerTrace::from_segments(0.0, [(100.0, 200.0)]);
+        let s = Sampler::new(1.0, 0.0, 7).sample(&trace);
+        assert_eq!(s.len(), 100);
     }
 }

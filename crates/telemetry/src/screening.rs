@@ -7,6 +7,7 @@
 //! (identical work per node), flag nodes whose power deviates from the
 //! fleet by more than a robust z-score threshold.
 
+use crate::quality::CleanSeries;
 use crate::series::TimeSeries;
 
 /// Verdict for one node.
@@ -19,6 +20,9 @@ pub struct NodeVerdict {
     pub z_score: f64,
     /// Flagged as an outlier?
     pub outlier: bool,
+    /// Flagged because its telemetry coverage was too low to trust
+    /// (only set by [`Screener::screen_quarantined`]).
+    pub low_coverage: bool,
 }
 
 /// Screening configuration.
@@ -52,10 +56,10 @@ impl Screener {
         let means: Vec<f64> = per_node.iter().map(TimeSeries::mean).collect();
         let mut sorted = means.clone();
         sorted.sort_by(f64::total_cmp);
-        let median = sorted[sorted.len() / 2];
+        let median = median_of_sorted(&sorted);
         let mut devs: Vec<f64> = means.iter().map(|m| (m - median).abs()).collect();
         devs.sort_by(f64::total_cmp);
-        let mad = devs[devs.len() / 2].max(1e-9);
+        let mad = median_of_sorted(&devs).max(1e-9);
         // 1.4826 · MAD ≈ σ for normal data.
         let sigma = 1.4826 * mad;
         means
@@ -68,9 +72,35 @@ impl Screener {
                     mean_w,
                     z_score,
                     outlier: z_score.abs() >= self.z_threshold,
+                    low_coverage: false,
                 }
             })
             .collect()
+    }
+
+    /// Screen quarantined per-node series, additionally flagging nodes
+    /// whose telemetry [`coverage`](crate::DataQuality::coverage) fell
+    /// below `min_coverage`: their means cannot be trusted, so they are
+    /// marked outliers with `low_coverage` set — the automated version of
+    /// the paper's "re-run the variant node" rule (§III-B.1).
+    ///
+    /// # Panics
+    /// If fewer than three nodes are provided.
+    #[must_use]
+    pub fn screen_quarantined(
+        &self,
+        per_node: &[CleanSeries],
+        min_coverage: f64,
+    ) -> Vec<NodeVerdict> {
+        let series: Vec<TimeSeries> = per_node.iter().map(|c| c.series.clone()).collect();
+        let mut verdicts = self.screen(&series);
+        for (v, c) in verdicts.iter_mut().zip(per_node) {
+            if c.quality.coverage < min_coverage {
+                v.low_coverage = true;
+                v.outlier = true;
+            }
+        }
+        verdicts
     }
 
     /// Indices of flagged nodes.
@@ -87,6 +117,17 @@ impl Screener {
 impl Default for Screener {
     fn default() -> Self {
         Self::default_threshold()
+    }
+}
+
+/// Median of an already-sorted slice: the average of the two middles for
+/// an even count (the upper middle alone biases every even-fleet z-score).
+fn median_of_sorted(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n.is_multiple_of(2) {
+        0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+    } else {
+        sorted[n / 2]
     }
 }
 
@@ -156,5 +197,55 @@ mod tests {
     fn too_few_nodes_panics() {
         let nodes = vec![series(1.0, 10), series(2.0, 10)];
         let _ = Screener::default().screen(&nodes);
+    }
+
+    #[test]
+    fn even_fleet_median_is_unbiased() {
+        // Regression: `sorted[len/2]` took the upper middle for even
+        // fleets, so a symmetric fleet produced asymmetric z-scores.
+        let nodes: Vec<TimeSeries> = [1000.0, 1002.0, 1004.0, 1006.0]
+            .iter()
+            .map(|&m| {
+                TimeSeries::new(vec![0.0, 1.0], vec![m, m])
+            })
+            .collect();
+        let v = Screener::default().screen(&nodes);
+        assert!(
+            (v[0].z_score + v[3].z_score).abs() < 1e-9,
+            "extremes must be symmetric about the median: {v:?}"
+        );
+        assert!(
+            (v[1].z_score + v[2].z_score).abs() < 1e-9,
+            "inner pair must be symmetric: {v:?}"
+        );
+        // Median = 1003, MAD = (1+3)/2 = 2 → z = ±3/(1.4826·2), ±1/(1.4826·2).
+        assert!((v[3].z_score - 3.0 / (1.4826 * 2.0)).abs() < 1e-9, "{v:?}");
+    }
+
+    #[test]
+    fn even_fleet_hot_node_is_still_flagged() {
+        let nodes: Vec<TimeSeries> = [1800.0, 1804.0, 1797.0, 1801.0, 1960.0, 1799.0]
+            .iter()
+            .map(|&m| series(m, 50))
+            .collect();
+        assert_eq!(Screener::default().outliers(&nodes), vec![4]);
+    }
+
+    #[test]
+    fn low_coverage_node_is_quarantine_flagged() {
+        use crate::quality::{quarantine, QualityConfig, RawSeries};
+        let cfg = QualityConfig::new(1.0);
+        let full: Vec<(f64, f64)> = (0..50).map(|i| (i as f64, 1800.0 + (i % 5) as f64)).collect();
+        // Node 2 lost most of its samples: same span, huge gaps.
+        let sparse: Vec<(f64, f64)> =
+            (0..50).step_by(10).map(|i| (i as f64, 1801.0 + (i % 7) as f64)).collect();
+        let per_node = vec![
+            quarantine(&RawSeries::from_points(full.clone()), &cfg),
+            quarantine(&RawSeries::from_points(full), &cfg),
+            quarantine(&RawSeries::from_points(sparse), &cfg),
+        ];
+        let v = Screener::default().screen_quarantined(&per_node, 0.5);
+        assert!(!v[0].low_coverage && !v[1].low_coverage);
+        assert!(v[2].low_coverage && v[2].outlier, "{v:?}");
     }
 }

@@ -111,6 +111,11 @@ impl TimeSeries {
     /// consecutive samples (how the paper derives coarser rates from the
     /// 0.1 s capture in Fig. 2). The group timestamp is the group mean.
     ///
+    /// When `len % factor != 0` the final partial group (fewer than
+    /// `factor` samples) is averaged and emitted as the last sample rather
+    /// than silently discarded; in the degenerate `factor > len` case the
+    /// result is that single partial group — the mean of the whole series.
+    ///
     /// # Panics
     /// If `factor == 0`.
     #[must_use]
@@ -119,14 +124,16 @@ impl TimeSeries {
         if factor == 1 {
             return self.clone();
         }
-        let n = self.times.len() / factor;
+        let n = self.times.len().div_ceil(factor);
         let mut times = Vec::with_capacity(n);
         let mut values = Vec::with_capacity(n);
-        for g in 0..n {
-            let lo = g * factor;
-            let hi = lo + factor;
-            times.push(self.times[lo..hi].iter().sum::<f64>() / factor as f64);
-            values.push(self.values[lo..hi].iter().sum::<f64>() / factor as f64);
+        let mut lo = 0;
+        while lo < self.times.len() {
+            let hi = (lo + factor).min(self.times.len());
+            let size = (hi - lo) as f64;
+            times.push(self.times[lo..hi].iter().sum::<f64>() / size);
+            values.push(self.values[lo..hi].iter().sum::<f64>() / size);
+            lo = hi;
         }
         TimeSeries::new(times, values)
     }
@@ -224,6 +231,43 @@ mod tests {
         let s = series();
         let d = s.downsample(2);
         assert!((d.mean() - s.mean()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn downsample_emits_the_partial_tail_group() {
+        // Regression: 5 samples at factor 2 used to drop the 5th sample;
+        // it must surface as a final 1-sample group.
+        let s = TimeSeries::new(
+            vec![0.0, 1.0, 2.0, 3.0, 4.0],
+            vec![10.0, 20.0, 30.0, 40.0, 50.0],
+        );
+        let d = s.downsample(2);
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.values(), &[15.0, 35.0, 50.0]);
+        assert_eq!(d.times(), &[0.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn downsample_partial_tail_is_averaged_not_copied() {
+        // 8 samples at factor 3: two full groups + a 2-sample tail whose
+        // emitted value must be the tail mean.
+        let s = TimeSeries::new(
+            (0..8).map(f64::from).collect(),
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 10.0, 20.0],
+        );
+        let d = s.downsample(3);
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.values(), &[2.0, 5.0, 15.0]);
+        assert_eq!(d.times(), &[1.0, 4.0, 6.5]);
+    }
+
+    #[test]
+    fn downsample_factor_beyond_len_collapses_to_one_mean_sample() {
+        let s = series();
+        let d = s.downsample(100);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.values(), &[s.mean()]);
+        assert_eq!(d.times(), &[1.5]);
     }
 
     #[test]

@@ -9,14 +9,15 @@
 //! is full) models the aggregate-rate limits that force the production
 //! system to drop samples.
 
+use crate::quality::{quarantine, CleanSeries, QualityConfig, RawSeries};
 use crate::series::TimeSeries;
 use crate::store::Channel;
 use std::collections::BTreeMap;
 use std::sync::mpsc::{sync_channel, SyncSender};
 use std::thread::JoinHandle;
 
-/// Points accumulated per (node, channel) before ordering.
-type RawSeries = BTreeMap<(usize, Channel), Vec<(f64, f64)>>;
+/// Points accumulated per (node, channel), in arrival order.
+type RawAcc = BTreeMap<(usize, Channel), Vec<(f64, f64)>>;
 
 enum Msg {
     Sample(Sample),
@@ -51,7 +52,7 @@ impl Producer {
 /// The in-process aggregator.
 pub struct LiveCollector {
     tx: Option<SyncSender<Msg>>,
-    worker: Option<JoinHandle<RawSeries>>,
+    worker: Option<JoinHandle<RawAcc>>,
 }
 
 impl LiveCollector {
@@ -62,7 +63,7 @@ impl LiveCollector {
         assert!(capacity > 0, "capacity must be positive");
         let (tx, rx) = sync_channel::<Msg>(capacity);
         let worker = std::thread::spawn(move || {
-            let mut acc = RawSeries::new();
+            let mut acc = RawAcc::new();
             // Exit on the shutdown sentinel (or all senders dropping), so
             // `finish` works even while producer handles are still alive.
             while let Ok(msg) = rx.recv() {
@@ -93,14 +94,13 @@ impl LiveCollector {
         }
     }
 
-    /// Close the intake and collect the per-channel series. Out-of-order
-    /// arrivals (producers race) are sorted by timestamp; duplicate
-    /// timestamps keep the last arrival.
+    /// Close the intake and return the per-channel streams exactly as they
+    /// arrived — unordered, possibly duplicated, possibly non-finite.
     ///
     /// # Panics
     /// If the aggregator thread panicked.
     #[must_use]
-    pub fn finish(mut self) -> BTreeMap<(usize, Channel), TimeSeries> {
+    pub fn finish_raw(mut self) -> BTreeMap<(usize, Channel), RawSeries> {
         if let Some(tx) = self.tx.take() {
             // Queued samples ahead of the sentinel are still processed.
             let _ = tx.send(Msg::Shutdown);
@@ -112,12 +112,57 @@ impl LiveCollector {
             .join()
             .expect("aggregator panicked");
         acc.into_iter()
-            .map(|(key, mut points)| {
+            .map(|(key, points)| (key, RawSeries::from_points(points)))
+            .collect()
+    }
+
+    /// Close the intake and collect the per-channel series. Out-of-order
+    /// arrivals (producers race) are sorted by timestamp; duplicate
+    /// timestamps keep the last arrival. Trusts the producers: dirty
+    /// values (NaN readings etc.) panic downstream in
+    /// [`TimeSeries::new`] — use [`finish_quarantined`](Self::finish_quarantined)
+    /// when the input may be dirty.
+    ///
+    /// # Panics
+    /// If the aggregator thread panicked.
+    #[must_use]
+    pub fn finish(self) -> BTreeMap<(usize, Channel), TimeSeries> {
+        self.finish_raw()
+            .into_iter()
+            .map(|(key, raw)| {
+                let mut points = raw.points().to_vec();
+                // Stable sort: equal timestamps keep arrival order, so the
+                // last arrival is the last of each equal-timestamp group.
                 points.sort_by(|a, b| a.0.total_cmp(&b.0));
-                points.dedup_by(|a, b| a.0 == b.0);
-                let (times, values): (Vec<f64>, Vec<f64>) = points.into_iter().unzip();
+                let mut kept: Vec<(f64, f64)> = Vec::with_capacity(points.len());
+                for p in points {
+                    match kept.last_mut() {
+                        Some(last) if last.0 == p.0 => *last = p,
+                        _ => kept.push(p),
+                    }
+                }
+                let (times, values): (Vec<f64>, Vec<f64>) = kept.into_iter().unzip();
                 (key, TimeSeries::new(times, values))
             })
+            .collect()
+    }
+
+    /// Close the intake and run every per-channel stream through the
+    /// quarantine screen: dirty data (non-finite readings, implausible
+    /// values, stuck runs, duplicates, reordering) is cleaned and
+    /// accounted for in each [`CleanSeries::quality`] report instead of
+    /// panicking downstream.
+    ///
+    /// # Panics
+    /// If the aggregator thread panicked.
+    #[must_use]
+    pub fn finish_quarantined(
+        self,
+        cfg: &QualityConfig,
+    ) -> BTreeMap<(usize, Channel), CleanSeries> {
+        self.finish_raw()
+            .into_iter()
+            .map(|(key, raw)| (key, quarantine(&raw, cfg)))
             .collect()
     }
 }
@@ -228,5 +273,100 @@ mod tests {
     fn empty_collector_finishes_empty() {
         let collector = LiveCollector::start(4);
         assert!(collector.finish().is_empty());
+    }
+
+    #[test]
+    fn duplicate_timestamps_keep_the_last_arrival() {
+        // Regression: `dedup_by` after a stable sort kept the *first*
+        // arrival, contradicting the documented keep-last contract.
+        // Two producers race on the same timestamp; arrival order is
+        // serialised by joining producer A before producer B sends.
+        let collector = LiveCollector::start(16);
+        let a = collector.producer();
+        let b = collector.producer();
+        std::thread::spawn(move || {
+            a.push(Sample {
+                node: 0,
+                channel: Channel::Node,
+                t: 1.0,
+                watts: 100.0,
+            });
+        })
+        .join()
+        .unwrap();
+        std::thread::spawn(move || {
+            b.push(Sample {
+                node: 0,
+                channel: Channel::Node,
+                t: 1.0,
+                watts: 200.0,
+            });
+        })
+        .join()
+        .unwrap();
+        let series = collector.finish();
+        assert_eq!(
+            series[&(0, Channel::Node)].values(),
+            &[200.0],
+            "the later arrival must win"
+        );
+    }
+
+    #[test]
+    fn keep_last_holds_among_earlier_and_later_neighbours() {
+        let collector = LiveCollector::start(16);
+        let p = collector.producer();
+        for (t, w) in [(1.0, 10.0), (2.0, 20.0), (2.0, 21.0), (2.0, 22.0), (3.0, 30.0)] {
+            p.push(Sample {
+                node: 0,
+                channel: Channel::Cpu,
+                t,
+                watts: w,
+            });
+        }
+        let series = collector.finish();
+        let s = &series[&(0, Channel::Cpu)];
+        assert_eq!(s.times(), &[1.0, 2.0, 3.0]);
+        assert_eq!(s.values(), &[10.0, 22.0, 30.0]);
+    }
+
+    #[test]
+    fn finish_raw_preserves_arrival_order() {
+        let collector = LiveCollector::start(16);
+        let p = collector.producer();
+        for &t in &[3.0, 1.0, 2.0] {
+            p.push(Sample {
+                node: 0,
+                channel: Channel::Node,
+                t,
+                watts: t,
+            });
+        }
+        let raw = collector.finish_raw();
+        assert_eq!(
+            raw[&(0, Channel::Node)].points(),
+            &[(3.0, 3.0), (1.0, 1.0), (2.0, 2.0)]
+        );
+    }
+
+    #[test]
+    fn finish_quarantined_survives_dirty_producers() {
+        // A NaN reading would panic `finish` downstream; the quarantined
+        // path cleans and accounts for it.
+        let collector = LiveCollector::start(16);
+        let p = collector.producer();
+        for (t, w) in [(1.0, 500.0), (2.0, f64::NAN), (3.0, 510.0), (3.0, 512.0)] {
+            p.push(Sample {
+                node: 4,
+                channel: Channel::Node,
+                t,
+                watts: w,
+            });
+        }
+        let clean = collector.finish_quarantined(&QualityConfig::new(1.0));
+        let c = &clean[&(4, Channel::Node)];
+        assert_eq!(c.series.values(), &[500.0, 512.0]);
+        assert_eq!(c.quality.non_finite_removed, 1);
+        assert_eq!(c.quality.duplicates_resolved, 1);
     }
 }

@@ -11,8 +11,14 @@ cd "$ROOT"
 echo "==> cargo build --release --offline"
 cargo build --release --offline --workspace
 
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets --offline --workspace -- -D warnings
+
 echo "==> cargo test -q --offline"
 cargo test -q --offline --workspace
+
+echo "==> fault-injection smoke (examples/dirty_telemetry)"
+cargo run -q --release --offline --example dirty_telemetry
 
 echo "==> smoke bench (VPP_BENCH_SMOKE=1) -> BENCH_results.json"
 VPP_BENCH_SMOKE=1 VPP_BENCH_OUT="$ROOT/BENCH_results.json" \

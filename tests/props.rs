@@ -199,16 +199,64 @@ properties! {
         assert!((0.0..1.0).contains(&gpu.utilisation(hi)));
     }
 
-    fn downsampling_preserves_covered_mean(rng) {
+    fn downsampling_covers_every_sample_with_group_means(rng) {
         let values = vec_f64(rng, 0.0, 2000.0, 16, 256);
         let factor = usize_in(rng, 1, 8);
         let times: Vec<f64> = (0..values.len()).map(|i| i as f64).collect();
         let series = vasp_power_profiles::telemetry::TimeSeries::new(times, values.clone());
         let d = series.downsample(factor);
-        prop_assume!(!d.is_empty());
-        let covered = d.len() * factor;
-        let direct: f64 = values[..covered].iter().sum::<f64>() / covered as f64;
-        assert!((d.mean() - direct).abs() < 1e-9 * (1.0 + direct));
+        assert_eq!(d.len(), values.len().div_ceil(factor), "partial tail kept");
+        for (lo, &got) in (0..values.len()).step_by(factor).zip(d.values()) {
+            let hi = (lo + factor).min(values.len());
+            let direct: f64 = values[lo..hi].iter().sum::<f64>() / (hi - lo) as f64;
+            assert!(
+                (got - direct).abs() < 1e-9 * (1.0 + direct.abs()),
+                "group [{lo}, {hi}): got {got}, direct {direct}"
+            );
+        }
+    }
+
+    fn screened_kde_never_panics_on_non_finite_data(rng) {
+        let mut data = vec_f64(rng, 0.0, 2500.0, 1, 100);
+        for _ in 0..usize_in(rng, 0, 8) {
+            let junk = [f64::NAN, f64::INFINITY, f64::NEG_INFINITY][rng.index(3)];
+            let pos = rng.index(data.len());
+            data.insert(pos, junk);
+        }
+        match stats::kde::Kde::fit_screened(&data, stats::kde::Bandwidth::Silverman) {
+            Some((kde, rejected)) => {
+                assert!(rejected < data.len());
+                let (_, ys) = kde.grid(128);
+                assert!(ys.iter().all(|y| y.is_finite()));
+            }
+            None => assert!(data.iter().all(|x| !x.is_finite())),
+        }
+    }
+
+    fn raw_ingest_tolerates_duplicates_and_disorder(rng) {
+        use vasp_power_profiles::telemetry::{quarantine, QualityConfig, RawSeries};
+        let n = usize_in(rng, 2, 120);
+        let mut raw = RawSeries::new();
+        for i in 0..n {
+            // ~1 in 5 timestamps is replaced by a random earlier/equal one,
+            // producing both out-of-order arrivals and exact duplicates.
+            let t = if rng.index(5) == 0 { rng.index(n) as f64 } else { i as f64 };
+            raw.push(t, rng.uniform(50.0, 2000.0));
+        }
+        let clean = quarantine(&raw, &QualityConfig::new(1.0));
+        let q = clean.quality;
+        assert_eq!(q.n_raw, n);
+        assert_eq!(q.n_kept + q.removed(), n);
+        assert_eq!(q.n_kept, clean.series.len());
+        // The screened output must satisfy TimeSeries's strict-monotone
+        // invariant, i.e. re-ingesting it cannot panic.
+        let rebuilt = vasp_power_profiles::telemetry::TimeSeries::new(
+            clean.series.times().to_vec(),
+            clean.series.values().to_vec(),
+        );
+        for w in rebuilt.times().windows(2) {
+            assert!(w[0] < w[1]);
+        }
     }
 
     fn coarsen_conserves_energy(rng) {
