@@ -1,0 +1,70 @@
+//! Overhead guard for the structured tracing substrate.
+//!
+//! The contract is "near-zero overhead when disabled": every instrumented
+//! hot path (the executor's per-op loop, the DES queue, the protocol) runs
+//! with `trace::enabled()` false in production, so the disabled primitives
+//! must cost a branch, and a fully instrumented job execution without a
+//! session must be indistinguishable from the pre-instrumentation numbers.
+//! The `execute_small_job_untraced_vs_traced` comparison records what a
+//! live session costs on top, keeping the enabled path honest too.
+
+use std::hint::black_box;
+use vpp_bench::{run, small_workload};
+use vpp_core::{benchmarks, protocol};
+use vpp_substrate::{span, trace, Harness};
+
+fn main() {
+    let mut h = Harness::new("trace_overhead");
+
+    // Primitive costs with no recorder installed: one relaxed atomic load
+    // each. The field closures must not run at all.
+    h.bench("span_open_close_disabled", || {
+        let mut s = span!("bench.span", payload = 42u64);
+        s.record("exit_payload", 1.0);
+        trace::enabled()
+    });
+    h.bench("counter_disabled", || {
+        trace::counter("bench.counter", 1);
+    });
+    h.bench("mark_with_disabled", || {
+        trace::mark_with("bench.mark", || vec![("x", 1.0.into())]);
+    });
+
+    // End-to-end: the fully instrumented executor with tracing disabled
+    // ("before") against the same run inside a live session ("after").
+    // The disabled number is the one that must match the seed baseline;
+    // the ratio documents the cost of turning tracing on.
+    let plan = small_workload();
+    h.compare(
+        "execute_small_job_untraced_vs_traced",
+        || run(black_box(&plan), 1, None).runtime_s,
+        || {
+            let session = trace::session(1 << 18);
+            let r = run(black_box(&plan), 1, None).runtime_s;
+            let report = session.finish();
+            assert_eq!(report.dropped, 0, "ring must hold a full small job");
+            r
+        },
+    );
+
+    // The acceptance workload: a full Si256_hse protocol measurement
+    // (single repeat) with tracing disabled vs inside a session. The
+    // "before" side is the production configuration — its number is the
+    // one that must sit within noise of the pre-instrumentation baseline.
+    let bench = benchmarks::si256_hse();
+    let ctx = protocol::StudyContext::single();
+    let cfg = protocol::RunConfig::nodes(1);
+    h.compare(
+        "measure_si256_untraced_vs_traced",
+        || protocol::measure(black_box(&bench), &cfg, &ctx).runtime_s,
+        || {
+            let session = trace::session(1 << 20);
+            let r = protocol::measure(black_box(&bench), &cfg, &ctx).runtime_s;
+            let report = session.finish();
+            assert_eq!(report.dropped, 0, "ring must hold a full protocol run");
+            r
+        },
+    );
+
+    h.finish();
+}

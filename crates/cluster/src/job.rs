@@ -1,10 +1,11 @@
 //! The job executor: replay a per-rank plan on modelled nodes.
 
 use crate::network::NetworkModel;
-use vpp_dft::{Op, ScfPlan};
+use vpp_dft::{CollectiveKind, Op, PhaseKind, ScfPlan};
 use vpp_gpu::{Kernel, KernelKind};
 use vpp_node::{ComponentTraces, CpuModel, MemoryModel, NodeInstance};
 use vpp_sim::{PowerTrace, Rng};
+use vpp_substrate::{span, trace};
 
 /// Fault injection: one underperforming node (failing DIMM, thermal issue,
 /// congested NIC) — what the paper's five-repeat / DGEMM-screen protocol
@@ -135,7 +136,62 @@ pub fn execute(plan: &ScfPlan, spec: &JobSpec, network: &NetworkModel) -> JobRes
         mem_active: 0.40,
     };
 
-    for op in std::iter::once(&init).chain(plan.ops.iter()) {
+    let mut job_span = span!(
+        "job.execute",
+        workload = plan.name.clone(),
+        nodes = spec.nodes,
+        ranks = ranks,
+        ops = plan.ops.len(),
+    );
+    if let Some(s) = spec.straggler {
+        trace::mark_with("job.straggler", || {
+            vec![("node", s.node.into()), ("slowdown", s.slowdown.into())]
+        });
+    }
+    let tracing = trace::enabled();
+    // Phase spans follow the plan's phase table; the injected init op at
+    // sequence 0 shifts every plan op index by one. `sim_t0`/`sim_t1`
+    // bracket each phase on the simulated clock (min at entry, max at
+    // exit) so traced boundaries can be compared with changepoints found
+    // on the power signal alone.
+    let mut open_phase: Option<(trace::SpanGuard, usize)> = None;
+    let clock_min = |c: &[f64]| c.iter().copied().fold(f64::INFINITY, f64::min);
+    let clock_max = |c: &[f64]| c.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+
+    for (seq, op) in std::iter::once(&init).chain(plan.ops.iter()).enumerate() {
+        if tracing {
+            if let Some((_, end)) = open_phase.as_ref() {
+                if seq >= *end {
+                    let (mut g, _) = open_phase.take().unwrap();
+                    g.record("sim_t1", clock_max(&clock));
+                }
+            }
+            if open_phase.is_none() {
+                let next = if seq == 0 {
+                    (!plan.phases.is_empty()).then(|| (PhaseKind::Init.name(), 0, 1))
+                } else {
+                    plan.phases
+                        .iter()
+                        .find(|ph| ph.start + 1 == seq)
+                        .map(|ph| (ph.kind.name(), ph.index, ph.end + 1))
+                };
+                if let Some((name, index, end)) = next {
+                    let t0 = clock_min(&clock);
+                    let g = trace::SpanGuard::open(name, || {
+                        vec![("index", index.into()), ("sim_t0", t0.into())]
+                    });
+                    open_phase = Some((g, end));
+                }
+            }
+            trace::counter(
+                match op {
+                    Op::Gpu(_) => "job.ops.gpu",
+                    Op::Host { .. } => "job.ops.host",
+                    Op::Collective { .. } => "job.ops.collective",
+                },
+                1,
+            );
+        }
         match op {
             Op::Gpu(kernel) => {
                 for r in 0..ranks {
@@ -171,6 +227,16 @@ pub fn execute(plan: &ScfPlan, spec: &JobSpec, network: &NetworkModel) -> JobRes
             Op::Collective { bytes, kind } => {
                 let t_sync = clock.iter().copied().fold(f64::NEG_INFINITY, f64::max);
                 let comm_s = network.collective_time(*kind, *bytes, spec.nodes, gpn);
+                let mut cspan = trace::SpanGuard::open("job.collective", || {
+                    let kind_name = match kind {
+                        CollectiveKind::AllReduce => "all_reduce",
+                        CollectiveKind::Broadcast => "broadcast",
+                        CollectiveKind::AllToAll => "all_to_all",
+                    };
+                    vec![("bytes", (*bytes).into()), ("kind", kind_name.into())]
+                });
+                cspan.record("comm_s", comm_s);
+                cspan.record("sim_wait_s", t_sync - clock_min(&clock));
                 for r in 0..ranks {
                     let gpu = &nodes[r / gpn].gpus[r % gpn];
                     let wait = t_sync - clock[r];
@@ -199,6 +265,10 @@ pub fn execute(plan: &ScfPlan, spec: &JobSpec, network: &NetworkModel) -> JobRes
 
     // Final barrier: the job ends when the slowest rank finishes.
     let t_end = clock.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if let Some((mut g, _)) = open_phase.take() {
+        g.record("sim_t1", t_end);
+    }
+    job_span.record("runtime_s", t_end - spec.start_s);
     for r in 0..ranks {
         let pad = t_end - clock[r];
         if pad > 0.0 {
@@ -423,6 +493,52 @@ mod tests {
         spec.straggler = None;
         let same = execute(&plan, &spec, &net);
         assert_eq!(base.runtime_s.to_bits(), same.runtime_s.to_bits());
+    }
+
+    #[test]
+    fn executor_emits_phase_spans_matching_the_plan() {
+        let plan = si_plan(64, 1);
+        let session = vpp_substrate::trace::session(1 << 16);
+        let res = execute(&plan, &quick_spec(1), &NetworkModel::perlmutter());
+        let report = session.finish();
+        assert!(report.well_formed().is_ok(), "{:?}", report.well_formed());
+
+        let spans = report.spans();
+        let root = spans.iter().find(|s| s.name == "job.execute").unwrap();
+        assert!(
+            (root.field_f64("runtime_s").unwrap() - res.runtime_s).abs() < 1e-9,
+            "traced runtime must equal the result"
+        );
+
+        let iters: Vec<_> = spans.iter().filter(|s| s.name == "phase.scf_iter").collect();
+        assert_eq!(iters.len(), plan.iterations);
+        // Every phase span nests under the job span and carries sim-time
+        // boundaries that tile [0, runtime] in order.
+        let mut prev_t1 = 0.0;
+        let init = spans.iter().find(|s| s.name == "phase.init").unwrap();
+        assert_eq!(init.parent, Some(root.id));
+        assert_eq!(init.field_f64("sim_t0"), Some(0.0));
+        for ph in std::iter::once(&init).chain(iters.iter()) {
+            assert_eq!(ph.parent, Some(root.id));
+            let t0 = ph.field_f64("sim_t0").unwrap();
+            let t1 = ph.field_f64("sim_t1").unwrap();
+            assert!(t0 >= prev_t1 - 1e-9, "phase starts must ascend");
+            assert!(t1 >= t0);
+            prev_t1 = t1;
+        }
+        assert!(
+            (prev_t1 - res.runtime_s).abs() < 1e-9,
+            "last phase must end at the job end"
+        );
+
+        // Collective spans nest inside phases and carry payload fields.
+        let coll = spans.iter().find(|s| s.name == "job.collective").unwrap();
+        assert!(coll.field_f64("bytes").unwrap() > 0.0);
+        assert!(spans.iter().any(|s| coll.parent == Some(s.id) && s.name.starts_with("phase.")));
+        assert_eq!(
+            report.counters["job.ops.collective"] as usize,
+            plan.collective_count()
+        );
     }
 
     #[test]

@@ -141,10 +141,17 @@ pub fn plan_for(bench: &Benchmark, nodes: usize, ctx: &StudyContext) -> ScfPlan 
 /// If the benchmark produces an empty plan or zero-length series.
 #[must_use]
 pub fn measure(bench: &Benchmark, cfg: &RunConfig, ctx: &StudyContext) -> Measured {
+    let mut measure_span = vpp_substrate::span!(
+        "protocol.measure",
+        benchmark = bench.name(),
+        nodes = cfg.nodes,
+        repeats = ctx.repeats.max(1),
+    );
     let plan = plan_for(bench, cfg.nodes, ctx);
     // Repeats are independent fleets — fan out on the substrate pool (runs
     // serially when a caller higher in the stack already holds the pool).
     let results: Vec<JobResult> = vpp_substrate::par_map((0..ctx.repeats.max(1)).collect(), |rep| {
+        let mut rep_span = vpp_substrate::span!("protocol.repeat", rep = rep);
         let spec = JobSpec {
             nodes: cfg.nodes,
             gpu_power_cap_w: cfg.cap_w,
@@ -157,7 +164,9 @@ pub fn measure(bench: &Benchmark, cfg: &RunConfig, ctx: &StudyContext) -> Measur
             straggler: None,
             os_jitter: 0.0,
         };
-        execute(&plan, &spec, &ctx.network)
+        let result = execute(&plan, &spec, &ctx.network);
+        rep_span.record("runtime_s", result.runtime_s);
+        result
     });
 
     let best = results
@@ -190,15 +199,26 @@ pub fn measure(bench: &Benchmark, cfg: &RunConfig, ctx: &StudyContext) -> Measur
         if node_quality.coverage >= ctx.min_coverage {
             break;
         }
+        vpp_substrate::trace::counter("protocol.recollections", 1);
+        vpp_substrate::trace::mark_with("protocol.recollect", || {
+            vec![
+                ("attempt", attempt.into()),
+                ("coverage", node_quality.coverage.into()),
+            ]
+        });
         active.seed = sampler.seed.wrapping_add(attempt.wrapping_mul(0x9E37_79B9));
         node_series = active.sample(&best.node_traces[0].node);
         node_quality = assess(&node_series, active.interval_s);
     }
     let quality_flagged = node_quality.coverage < ctx.min_coverage;
+    if quality_flagged {
+        vpp_substrate::trace::counter("protocol.quality_flagged", 1);
+    }
     if quality_flagged && node_series.len() < 8 {
         // Pathological drop rates can starve the series entirely; a final
         // drop-free re-collection keeps the pipeline total, with the flag
         // recording that production telemetry never reached the bar.
+        vpp_substrate::trace::counter("protocol.rescue_recollections", 1);
         active = Sampler::ideal((best.runtime_s / 64.0).max(0.1));
         node_series = active.sample(&best.node_traces[0].node);
         node_quality = assess(&node_series, active.interval_s);
@@ -211,6 +231,11 @@ pub fn measure(bench: &Benchmark, cfg: &RunConfig, ctx: &StudyContext) -> Measur
         bench.name(),
         best.runtime_s
     );
+
+    measure_span.record("runtime_s", best.runtime_s);
+    measure_span.record("energy_j", best.energy_j());
+    measure_span.record("coverage", node_quality.coverage);
+    measure_span.record("flagged", quality_flagged);
 
     Measured {
         name: bench.name().to_string(),

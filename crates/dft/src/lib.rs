@@ -36,6 +36,6 @@ pub use incar::{Algo, Binary, Incar, Xc};
 pub use io::{parse_incar, parse_kpoints, parse_poscar, ParseError};
 pub use method::Method;
 pub use params::SystemParams;
-pub use plan::{CollectiveKind, Op, ScfPlan};
+pub use plan::{CollectiveKind, Op, PhaseKind, PlanPhase, ScfPlan};
 pub use relax::IonicRun;
 pub use scf::{build_plan, ParallelLayout};

@@ -36,6 +36,48 @@ pub enum Op {
     },
 }
 
+/// Algorithmic phase a contiguous slice of the op stream belongs to.
+/// Phase names form the span vocabulary the executor emits, so the traced
+/// timeline can be compared against changepoints detected on the power
+/// signal alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PhaseKind {
+    /// Job initialisation (the executor's injected host stage).
+    Init,
+    /// One SCF iteration.
+    ScfIter,
+    /// ACFDT/RPA CPU-side exact diagonalisation.
+    RpaDiag,
+    /// ACFDT/RPA χ₀ frequency-quadrature contractions.
+    RpaChi0,
+}
+
+impl PhaseKind {
+    /// Stable span name for this phase.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            PhaseKind::Init => "phase.init",
+            PhaseKind::ScfIter => "phase.scf_iter",
+            PhaseKind::RpaDiag => "phase.rpa_diag",
+            PhaseKind::RpaChi0 => "phase.rpa_chi0",
+        }
+    }
+}
+
+/// A contiguous run of ops `[start, end)` forming one logical phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanPhase {
+    /// What the phase is.
+    pub kind: PhaseKind,
+    /// Ordinal among phases of the same kind (e.g. SCF iteration number).
+    pub index: usize,
+    /// First op index of the phase.
+    pub start: usize,
+    /// One past the last op index.
+    pub end: usize,
+}
+
 /// A complete lowered run: the op stream plus bookkeeping for tests and
 /// reports.
 #[derive(Debug, Clone, PartialEq)]
@@ -46,6 +88,9 @@ pub struct ScfPlan {
     pub ops: Vec<Op>,
     /// SCF iterations represented.
     pub iterations: usize,
+    /// Phase table: non-overlapping, ascending op ranges. May be empty for
+    /// synthetic plans; the executor then emits no phase spans.
+    pub phases: Vec<PlanPhase>,
 }
 
 impl ScfPlan {
@@ -93,6 +138,12 @@ impl ScfPlan {
             .filter(|op| matches!(op, Op::Collective { .. }))
             .count()
     }
+
+    /// The phase containing op `i`, if the phase table covers it.
+    #[must_use]
+    pub fn phase_of(&self, i: usize) -> Option<&PlanPhase> {
+        self.phases.iter().find(|ph| ph.start <= i && i < ph.end)
+    }
 }
 
 #[cfg(test)]
@@ -121,6 +172,7 @@ mod tests {
                 },
             ],
             iterations: 1,
+            phases: vec![],
         }
     }
 
@@ -139,6 +191,7 @@ mod tests {
             name: "empty".into(),
             ops: vec![],
             iterations: 0,
+            phases: vec![],
         };
         assert_eq!(p.gpu_time_s(), 0.0);
         assert_eq!(p.host_time_s(), 0.0);

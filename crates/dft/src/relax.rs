@@ -71,14 +71,23 @@ impl IonicRun {
         cm: &CostModel,
     ) -> ScfPlan {
         let mut ops: Vec<Op> = Vec::new();
+        let mut phases = Vec::new();
         let mut iterations = 0;
         for step in 0..self.steps {
             let mut p = params.clone();
             p.nelm = self.nelm_at(step);
             iterations += p.nelm;
             let cycle = build_plan(&p, layout, cm);
+            let base = ops.len();
+            phases.extend(cycle.phases.iter().map(|ph| crate::plan::PlanPhase {
+                start: ph.start + base,
+                end: ph.end + base,
+                ..*ph
+            }));
             ops.extend(cycle.ops);
             if step + 1 < self.steps {
+                // Force/stress stages sit between SCF cycles, outside any
+                // phase tile.
                 ops.extend(force_stage(params, cm));
             }
         }
@@ -86,6 +95,7 @@ impl IonicRun {
             name: format!("{}+relax{}", params.name, self.steps),
             ops,
             iterations,
+            phases,
         }
     }
 }

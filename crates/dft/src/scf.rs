@@ -17,7 +17,7 @@
 
 use crate::costs::{eig_flops_n, fft_pair_flops, CostModel};
 use crate::params::SystemParams;
-use crate::plan::{CollectiveKind, Op, ScfPlan};
+use crate::plan::{CollectiveKind, Op, PhaseKind, PlanPhase, ScfPlan};
 use vpp_gpu::{Kernel, KernelKind};
 
 /// Where the job's ranks live: `nodes × gpus_per_node`, one MPI rank per
@@ -94,22 +94,44 @@ const HOST_MEM_DIAG: f64 = 0.55;
 pub fn build_plan(p: &SystemParams, layout: &ParallelLayout, cm: &CostModel) -> ScfPlan {
     let dist = Distribution::derive(p, layout);
     let mut ops: Vec<Op> = Vec::new();
+    let mut phases: Vec<PlanPhase> = Vec::new();
 
     for iter in 0..p.nelm {
         // NELMDL "delay" iterations run non-self-consistently: the charge
         // density is frozen, so density mixing and its reduction are
         // skipped.
+        let start = ops.len();
         emit_iteration(p, &dist, cm, &mut ops, iter < p.nelmdl);
+        phases.push(PlanPhase {
+            kind: PhaseKind::ScfIter,
+            index: iter,
+            start,
+            end: ops.len(),
+        });
     }
 
     if matches!(p.xc, crate::incar::Xc::Rpa) {
-        emit_rpa_epilogue(p, layout, &dist, cm, &mut ops);
+        let start = ops.len();
+        let chi0_start = emit_rpa_epilogue(p, layout, &dist, cm, &mut ops);
+        phases.push(PlanPhase {
+            kind: PhaseKind::RpaDiag,
+            index: 0,
+            start,
+            end: chi0_start,
+        });
+        phases.push(PlanPhase {
+            kind: PhaseKind::RpaChi0,
+            index: 0,
+            start: chi0_start,
+            end: ops.len(),
+        });
     }
 
     ScfPlan {
         name: p.name.clone(),
         ops,
         iterations: p.nelm,
+        phases,
     }
 }
 
@@ -310,14 +332,15 @@ fn emit_iteration(
 
 /// ACFDT/RPA epilogue: the CPU-side exact diagonalisation VASP 6.4.1 had
 /// not yet ported to GPUs (the flat mid-timeline of Fig. 3) followed by the
-/// χ₀ frequency-quadrature contractions on the GPUs.
+/// χ₀ frequency-quadrature contractions on the GPUs. Returns the op index
+/// where the χ₀ stage begins (the diag/chi0 phase boundary).
 fn emit_rpa_epilogue(
     p: &SystemParams,
     layout: &ParallelLayout,
     _dist: &Distribution,
     cm: &CostModel,
     ops: &mut Vec<Op>,
-) {
+) -> usize {
     let nbe = p
         .nbandsexact
         .expect("RPA params always carry NBANDSEXACT");
@@ -331,6 +354,7 @@ fn emit_rpa_epilogue(
         cpu_active: HOST_CPU_DIAG,
         mem_active: HOST_MEM_DIAG,
     });
+    let chi0_start = ops.len();
 
     // χ₀(iω) contractions: occupied × virtual × plane-wave GEMMs, the most
     // intense kernels in the suite.
@@ -351,6 +375,7 @@ fn emit_rpa_epilogue(
             kind: CollectiveKind::AllReduce,
         });
     }
+    chi0_start
 }
 
 #[cfg(test)]
@@ -538,6 +563,29 @@ mod tests {
         let t4 = build_plan(&p, &ParallelLayout::nodes(4), &cm).gpu_time_s();
         assert!(t4 < t1, "per-rank GPU work must shrink with more nodes");
         assert!(t4 > t1 / 8.0, "but not super-linearly");
+    }
+
+    #[test]
+    fn phases_tile_the_op_stream() {
+        let p = si256(|d| {
+            d.xc = Xc::Rpa;
+            d.nelm = 6;
+        });
+        let plan = build_plan(&p, &ParallelLayout::nodes(1), &CostModel::calibrated());
+        assert_eq!(plan.phases.first().unwrap().start, 0);
+        assert_eq!(plan.phases.last().unwrap().end, plan.ops.len());
+        for w in plan.phases.windows(2) {
+            assert_eq!(w[0].end, w[1].start, "phases must tile without gaps");
+        }
+        let count = |kind| plan.phases.iter().filter(|ph| ph.kind == kind).count();
+        assert_eq!(count(PhaseKind::ScfIter), 6);
+        assert_eq!(count(PhaseKind::RpaDiag), 1);
+        assert_eq!(count(PhaseKind::RpaChi0), 1);
+        // phase_of maps every op back to exactly the tile that owns it.
+        for (i, _) in plan.ops.iter().enumerate() {
+            let ph = plan.phase_of(i).expect("every op belongs to a phase");
+            assert!(ph.start <= i && i < ph.end);
+        }
     }
 
     #[test]

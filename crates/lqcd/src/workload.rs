@@ -151,6 +151,9 @@ impl MilcWorkload {
             ),
             ops,
             iterations: self.trajectories,
+            // MILC trajectories don't map onto the VASP phase vocabulary;
+            // the executor emits no phase spans for an empty table.
+            phases: vec![],
         }
     }
 }

@@ -10,6 +10,7 @@
 //! enforced slowdown never exceeds the configured loss budget.
 
 use crate::scheduler::CapResponse;
+use vpp_substrate::{span, trace};
 
 /// A running job under the controller's management.
 #[derive(Debug, Clone, PartialEq)]
@@ -73,6 +74,19 @@ impl Controller {
     pub fn step(&self, jobs: &mut [ControlledJob]) -> f64 {
         let current = self.system_power_w(jobs);
         let error = current - self.budget_w;
+        let mut cycle_span = span!(
+            "powercap.cycle",
+            jobs = jobs.len(),
+            budget_w = self.budget_w,
+            power_w = current,
+        );
+        trace::counter("powercap.cycles", 1);
+        // Overshoot is the regulator's headline health metric: watts above
+        // budget entering this cycle (0 when under).
+        trace::gauge("powercap.overshoot_w", error.max(0.0));
+        if error > 0.0 {
+            trace::counter("powercap.cycles_over_budget", 1);
+        }
         if jobs.is_empty() {
             return current;
         }
@@ -95,9 +109,11 @@ impl Controller {
                     }
                     let target_power = j.response.power_at(j.cap_w) * j.nodes as f64
                         - shed * s / total_sheddable;
+                    let before = j.cap_w;
                     j.cap_w = self
                         .cap_for_power(j, target_power / j.nodes as f64)
                         .max(self.floor_for(j));
+                    Self::cap_set_mark(j, before);
                 }
             }
         } else {
@@ -121,11 +137,29 @@ impl Controller {
                     }
                     let target_power = j.response.power_at(j.cap_w) * j.nodes as f64
                         + grant * w / total_want;
+                    let before = j.cap_w;
                     j.cap_w = self.cap_for_power(j, target_power / j.nodes as f64);
+                    Self::cap_set_mark(j, before);
                 }
             }
         }
-        self.system_power_w(jobs)
+        let after = self.system_power_w(jobs);
+        cycle_span.record("power_after_w", after);
+        after
+    }
+
+    /// Emit a `powercap.cap_set` mark when a job's cap actually moved.
+    fn cap_set_mark(job: &ControlledJob, before_w: f64) {
+        if (job.cap_w - before_w).abs() > 1e-9 {
+            trace::mark_with("powercap.cap_set", || {
+                vec![
+                    ("job", job.id.into()),
+                    ("from_w", before_w.into()),
+                    ("to_w", job.cap_w.into()),
+                ]
+            });
+            trace::counter("powercap.cap_changes", 1);
+        }
     }
 
     /// Invert a job's power curve: the cap whose predicted node power is
@@ -248,6 +282,37 @@ mod tests {
         let after = ctrl.step(&mut jobs);
         // Already under budget with caps at max: nothing to relax into.
         assert!((after - before).abs() < 1.0);
+    }
+
+    #[test]
+    fn control_cycles_are_traced() {
+        let ctrl = Controller::new(4500.0);
+        let mut jobs = vec![hungry(1), hungry(2), hungry(3)];
+        let session = vpp_substrate::trace::session(4096);
+        let (cycles, power) = ctrl.converge(&mut jobs, 20);
+        let report = session.finish();
+        assert!(report.well_formed().is_ok(), "{:?}", report.well_formed());
+        assert_eq!(report.counters["powercap.cycles"] as usize, cycles);
+        assert!(report.counters["powercap.cap_changes"] >= 3, "all jobs tightened");
+        // Starting 5430 W over a 4500 W budget: the first cycle overshoots,
+        // and the gauge holds the last cycle's entering overshoot.
+        assert!(report.counters["powercap.cycles_over_budget"] >= 1);
+        let last_overshoot = report.gauges["powercap.overshoot_w"];
+        assert!(last_overshoot <= 5430.0 - 4500.0);
+        let cap_marks = report
+            .marks()
+            .iter()
+            .filter(|m| m.name == "powercap.cap_set")
+            .count();
+        assert_eq!(cap_marks as u64, report.counters["powercap.cap_changes"]);
+        let cycle_spans: Vec<_> = report
+            .spans()
+            .into_iter()
+            .filter(|s| s.name == "powercap.cycle")
+            .collect();
+        assert_eq!(cycle_spans.len(), cycles);
+        let final_span = cycle_spans.last().unwrap();
+        assert!((final_span.field_f64("power_after_w").unwrap() - power).abs() < 1e-9);
     }
 
     #[test]

@@ -83,9 +83,13 @@ impl<E> EventQueue<E> {
 
     /// Schedule `event` at absolute time `at`.
     ///
+    /// Timestamps up to `1e-12` s before the current clock are tolerated
+    /// (they arise from float rounding in duration sums) but are clamped to
+    /// `now`, so the clock never runs backwards when they are delivered.
+    ///
     /// # Panics
-    /// If `at` precedes the current clock (causality violation) or is not
-    /// finite.
+    /// If `at` precedes the current clock by more than the tolerance
+    /// (causality violation) or is not finite.
     pub fn schedule(&mut self, at: f64, event: E) {
         assert!(at.is_finite(), "event time must be finite");
         assert!(
@@ -93,8 +97,9 @@ impl<E> EventQueue<E> {
             "cannot schedule event at {at} before now = {}",
             self.now
         );
+        vpp_substrate::trace::counter("des.scheduled", 1);
         self.heap.push(Entry {
-            time: at,
+            time: at.max(self.now),
             seq: self.seq,
             event,
         });
@@ -114,10 +119,14 @@ impl<E> EventQueue<E> {
     }
 
     /// Deliver the next event, advancing the clock to its timestamp.
+    ///
+    /// The clock is monotone: delivery never moves it backwards, even if a
+    /// tolerated-late timestamp slipped below `now` (see [`Self::schedule`]).
     #[allow(clippy::should_implement_trait)] // queue semantics, not iteration
     pub fn next(&mut self) -> Option<(f64, E)> {
         let entry = self.heap.pop()?;
-        self.now = entry.time;
+        self.now = self.now.max(entry.time);
+        vpp_substrate::trace::counter("des.delivered", 1);
         Some((entry.time, entry.event))
     }
 
@@ -179,6 +188,29 @@ mod tests {
         q.schedule(5.0, ());
         q.next();
         q.schedule(1.0, ());
+    }
+
+    #[test]
+    fn clock_is_monotone_under_boundary_tolerance_scheduling() {
+        let mut q = EventQueue::new();
+        q.schedule(1.0, "a");
+        q.next();
+        assert_eq!(q.now(), 1.0);
+        // A float-rounding timestamp just inside the 1e-12 tolerance used
+        // to be accepted verbatim and dragged the clock backwards on
+        // delivery. It must now be clamped to `now`.
+        q.schedule(1.0 - 1e-13, "late");
+        q.schedule_in(0.5, "future");
+        let mut prev = q.now();
+        while q.next().is_some() {
+            assert!(
+                q.now() >= prev,
+                "clock moved backwards: {prev} -> {}",
+                q.now()
+            );
+            prev = q.now();
+        }
+        assert_eq!(q.now(), 1.5);
     }
 
     #[test]

@@ -16,9 +16,13 @@
 //! energies are joules.
 
 pub mod des;
-pub mod rng;
 pub mod trace;
 pub mod units;
+
+/// Deterministic SplitMix64 RNG, hosted by `vpp-substrate` (the layer
+/// below) and re-exported here so every historical `vpp_sim::Rng` /
+/// `vpp_sim::rng` path keeps working.
+pub use vpp_substrate::rng;
 
 pub use des::EventQueue;
 pub use rng::Rng;

@@ -30,6 +30,34 @@ pub const GRID_N: usize = 512;
 /// fraction of the global maximum (filters KDE ripples).
 pub const MIN_PROMINENCE: f64 = 0.05;
 
+/// A half-maximum width measurement with its crossing coordinates and
+/// saturation flags (see [`DensityProfile::fwhm_detailed`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FwhmEstimate {
+    /// `right - left`, watts.
+    pub width: f64,
+    /// Interpolated left half-height crossing (or the grid edge when
+    /// saturated).
+    pub left: f64,
+    /// Interpolated right half-height crossing (or the grid edge when
+    /// saturated).
+    pub right: f64,
+    /// The density never fell below half height left of the mode: `left`
+    /// is the grid edge and the true crossing lies outside the grid.
+    pub saturated_left: bool,
+    /// Same on the right side.
+    pub saturated_right: bool,
+}
+
+impl FwhmEstimate {
+    /// True when either side never crossed half height, i.e. `width` is a
+    /// lower bound clipped by the evaluation grid rather than a true FWHM.
+    #[must_use]
+    pub fn saturated(&self) -> bool {
+        self.saturated_left || self.saturated_right
+    }
+}
+
 /// A KDE fitted and grid-evaluated once, with the detected modes cached.
 ///
 /// Amortises the expensive part of the §III-B.3 analysis: every query on
@@ -69,25 +97,7 @@ impl DensityProfile {
     pub fn with_grid(data: &[f64], n: usize) -> Self {
         let kde = Kde::fit(data, Bandwidth::Silverman);
         let (xs, ys) = kde.grid(n);
-        let peak = ys.iter().copied().fold(0.0f64, f64::max);
-        let mut modes = Vec::new();
-        for i in 1..xs.len() - 1 {
-            if ys[i] > ys[i - 1] && ys[i] >= ys[i + 1] && ys[i] >= MIN_PROMINENCE * peak {
-                modes.push(Mode {
-                    x: xs[i],
-                    density: ys[i],
-                });
-            }
-        }
-        if modes.is_empty() {
-            // Degenerate (monotone or constant) density: take the grid argmax.
-            let (i, &d) = ys
-                .iter()
-                .enumerate()
-                .max_by(|a, b| a.1.total_cmp(b.1))
-                .expect("non-empty grid");
-            modes.push(Mode { x: xs[i], density: d });
-        }
+        let modes = detect_modes(&xs, &ys);
         Self {
             xs,
             ys,
@@ -111,8 +121,27 @@ impl DensityProfile {
     /// Full width at half maximum of the density around `mode`, read off
     /// the cached grid: the distance between the nearest half-height
     /// crossings on either side of the mode.
+    ///
+    /// Shorthand for [`fwhm_detailed`](Self::fwhm_detailed)`.width`.
     #[must_use]
     pub fn fwhm(&self, mode: Mode) -> f64 {
+        self.fwhm_detailed(mode).width
+    }
+
+    /// Full width at half maximum of the density around `mode`, with the
+    /// crossing coordinates and saturation flags.
+    ///
+    /// Each half-height crossing is located by **linear interpolation**
+    /// between the bracketing grid points. The previous implementation
+    /// snapped to the first grid point *below* half height, which
+    /// systematically overestimated the width by up to one grid step per
+    /// side (~0.4% of the domain per side on the default 512-point grid —
+    /// enough to swamp narrow modes). When the density never falls below
+    /// half height on a side, the corresponding `saturated_*` flag is set
+    /// and the grid edge is used, making `width` an explicit lower bound
+    /// rather than a silent guess.
+    #[must_use]
+    pub fn fwhm_detailed(&self, mode: Mode) -> FwhmEstimate {
         let (xs, ys) = (&self.xs, &self.ys);
         let half = 0.5 * mode.density;
         // Index nearest the mode.
@@ -122,22 +151,66 @@ impl DensityProfile {
             .min_by(|a, b| (a.1 - mode.x).abs().total_cmp(&(b.1 - mode.x).abs()))
             .map(|(i, _)| i)
             .unwrap_or(0);
-        // Walk left and right until the density falls below half height.
+        // Walk left until the density falls below half height, then place
+        // the crossing between that point and its inner neighbour.
         let mut left = xs[0];
+        let mut saturated_left = true;
         for i in (0..=mi).rev() {
             if ys[i] < half {
-                left = xs[i];
+                left = if i + 1 < xs.len() {
+                    interpolate_crossing(xs[i], ys[i], xs[i + 1], ys[i + 1], half)
+                } else {
+                    xs[i]
+                };
+                saturated_left = false;
                 break;
             }
         }
         let mut right = xs[xs.len() - 1];
-        for (i, &x) in xs.iter().enumerate().skip(mi) {
+        let mut saturated_right = true;
+        for i in mi..xs.len() {
             if ys[i] < half {
-                right = x;
+                right = if i > 0 {
+                    interpolate_crossing(xs[i], ys[i], xs[i - 1], ys[i - 1], half)
+                } else {
+                    xs[i]
+                };
+                saturated_right = false;
                 break;
             }
         }
-        right - left
+        FwhmEstimate {
+            width: right - left,
+            left,
+            right,
+            saturated_left,
+            saturated_right,
+        }
+    }
+
+    /// Build a profile directly from an evaluated `(xs, ys)` grid instead
+    /// of fitting a KDE — for analytic grids in tests and for replaying an
+    /// exported grid. Modes are detected with the same prominence rule as
+    /// [`with_grid`](Self::with_grid); `bandwidth` is reported as 0.
+    ///
+    /// # Panics
+    /// If the grid has fewer than two points, the lengths differ, or any
+    /// value is non-finite.
+    #[must_use]
+    pub fn from_grid(xs: Vec<f64>, ys: Vec<f64>) -> Self {
+        assert!(xs.len() >= 2, "grid needs at least 2 points");
+        assert_eq!(xs.len(), ys.len(), "grid lengths differ");
+        assert!(
+            xs.iter().chain(&ys).all(|v| v.is_finite()),
+            "grid must be finite"
+        );
+        let modes = detect_modes(&xs, &ys);
+        Self {
+            xs,
+            ys,
+            modes,
+            bandwidth: 0.0,
+        }
     }
 
     /// The evaluated density grid `(xs, ys)`.
@@ -151,6 +224,42 @@ impl DensityProfile {
     pub fn bandwidth(&self) -> f64 {
         self.bandwidth
     }
+}
+
+/// Detect prominence-filtered local maxima on an evaluated grid, falling
+/// back to the argmax for degenerate (monotone or constant) densities.
+fn detect_modes(xs: &[f64], ys: &[f64]) -> Vec<Mode> {
+    let peak = ys.iter().copied().fold(0.0f64, f64::max);
+    let mut modes = Vec::new();
+    for i in 1..xs.len() - 1 {
+        if ys[i] > ys[i - 1] && ys[i] >= ys[i + 1] && ys[i] >= MIN_PROMINENCE * peak {
+            modes.push(Mode {
+                x: xs[i],
+                density: ys[i],
+            });
+        }
+    }
+    if modes.is_empty() {
+        let (i, &d) = ys
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .expect("non-empty grid");
+        modes.push(Mode { x: xs[i], density: d });
+    }
+    modes
+}
+
+/// Abscissa where the segment from `(x_below, y_below)` to `(x_above,
+/// y_above)` crosses `level`, clamped inside the segment. Falls back to
+/// `x_below` when the segment is flat (both sides below the level).
+fn interpolate_crossing(x_below: f64, y_below: f64, x_above: f64, y_above: f64, level: f64) -> f64 {
+    let dy = y_above - y_below;
+    if dy.abs() < f64::MIN_POSITIVE {
+        return x_below;
+    }
+    let t = ((level - y_below) / dy).clamp(0.0, 1.0);
+    x_below + t * (x_above - x_below)
 }
 
 /// Find the KDE modes of `data`, filtered by prominence. Returned in
@@ -281,6 +390,123 @@ mod tests {
     #[should_panic(expected = "no data")]
     fn empty_input_panics() {
         let _ = high_power_mode(&[]);
+    }
+
+    /// Acklam's rational approximation to the inverse normal CDF
+    /// (|relative error| < 1.15e-9): enough to manufacture stratified
+    /// Gaussian samples without a random number generator.
+    #[allow(clippy::excessive_precision)] // published Acklam coefficients, kept verbatim
+    fn inv_norm_cdf(p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0);
+        const A: [f64; 6] = [
+            -3.969683028665376e+01,
+            2.209460984245205e+02,
+            -2.759285104469687e+02,
+            1.383577518672690e+02,
+            -3.066479806614716e+01,
+            2.506628277459239e+00,
+        ];
+        const B: [f64; 5] = [
+            -5.447609879822406e+01,
+            1.615858368580409e+02,
+            -1.556989798598866e+02,
+            6.680131188771972e+01,
+            -1.328068155288572e+01,
+        ];
+        const C: [f64; 6] = [
+            -7.784894002430293e-03,
+            -3.223964580411365e-01,
+            -2.400758277161838e+00,
+            -2.549732539343734e+00,
+            4.374664141464968e+00,
+            2.938163982698783e+00,
+        ];
+        const D: [f64; 4] = [
+            7.784695709041462e-03,
+            3.224671290700398e-01,
+            2.445134137142996e+00,
+            3.754408661907416e+00,
+        ];
+        const P_LOW: f64 = 0.02425;
+        if p < P_LOW {
+            let q = (-2.0 * p.ln()).sqrt();
+            (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+                / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+        } else if p <= 1.0 - P_LOW {
+            let q = p - 0.5;
+            let r = q * q;
+            (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+                / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+        } else {
+            let q = (-2.0 * (1.0 - p).ln()).sqrt();
+            -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+                / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+        }
+    }
+
+    #[test]
+    fn gaussian_fwhm_matches_the_analytic_value() {
+        // Regression for the grid-snap bug: the old walk returned the
+        // first grid point *below* half height, inflating the width by up
+        // to one grid step per side. For N(400, 10²) the analytic FWHM is
+        // 2·√(2 ln 2)·σ ≈ 23.548; KDE bandwidth widening at n = 20 000
+        // contributes ≈ +1%, so the interpolated estimate must land
+        // within 2% while the snapped one drifted further out.
+        let sigma = 10.0;
+        let n = 20_000;
+        let data: Vec<f64> = (0..n)
+            .map(|i| 400.0 + sigma * inv_norm_cdf((i as f64 + 0.5) / n as f64))
+            .collect();
+        let prof = DensityProfile::fit(&data);
+        let mode = prof.high_power_mode();
+        let est = prof.fwhm_detailed(mode);
+        assert!(!est.saturated(), "{est:?}");
+        let expected = 2.0 * (2.0 * std::f64::consts::LN_2).sqrt() * sigma;
+        let rel = (est.width - expected).abs() / expected;
+        assert!(
+            rel < 0.02,
+            "FWHM {} vs analytic {expected}: off by {:.2}%",
+            est.width,
+            100.0 * rel
+        );
+        // The crossings are symmetric about the mode for a symmetric density.
+        assert!((mode.x - est.left - (est.right - mode.x)).abs() < 0.5, "{est:?}");
+    }
+
+    #[test]
+    fn interpolated_crossings_are_exact_on_an_analytic_grid() {
+        // A triangle density on a deliberately coarse grid: the true
+        // half-height crossings sit mid-segment, where grid snapping is
+        // maximally wrong (a full step per side) but linear interpolation
+        // is exact because the density *is* piecewise linear.
+        let xs: Vec<f64> = (0..21).map(f64::from).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| (10.0 - (x - 10.0).abs()).max(0.0)).collect();
+        let prof = DensityProfile::from_grid(xs, ys);
+        let mode = prof.high_power_mode();
+        assert!((mode.x - 10.0).abs() < 1e-12);
+        let est = prof.fwhm_detailed(mode);
+        // Half height 5.0 is crossed exactly at x = 5 and x = 15.
+        assert!((est.left - 5.0).abs() < 1e-12, "{est:?}");
+        assert!((est.right - 15.0).abs() < 1e-12, "{est:?}");
+        assert!((est.width - 10.0).abs() < 1e-12, "{est:?}");
+        assert!(!est.saturated());
+    }
+
+    #[test]
+    fn density_never_below_half_is_flagged_saturated() {
+        // A hump that plateaus above half height on the right: the right
+        // crossing lies outside the grid, so the estimate must say so
+        // instead of silently returning the domain edge as a crossing.
+        let xs: Vec<f64> = (0..11).map(f64::from).collect();
+        let ys = vec![0.1, 0.3, 0.8, 1.0, 0.9, 0.8, 0.7, 0.7, 0.7, 0.7, 0.7];
+        let prof = DensityProfile::from_grid(xs.clone(), ys);
+        let mode = prof.high_power_mode();
+        let est = prof.fwhm_detailed(mode);
+        assert!(!est.saturated_left, "{est:?}");
+        assert!(est.saturated_right, "{est:?}");
+        assert!(est.saturated());
+        assert!((est.right - 10.0).abs() < 1e-12, "clips to the grid edge: {est:?}");
+        assert_eq!(prof.fwhm(mode), est.width, "fwhm() delegates to the estimate");
     }
 
     #[test]

@@ -280,13 +280,43 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                     b'b' => out.push('\u{8}'),
                     b'f' => out.push('\u{c}'),
                     b'u' => {
-                        let hex = bytes
-                            .get(*pos..*pos + 4)
-                            .and_then(|h| std::str::from_utf8(h).ok())
-                            .and_then(|h| u32::from_str_radix(h, 16).ok())
-                            .ok_or(format!("bad \\u escape at byte {pos}"))?;
-                        *pos += 4;
-                        out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        let hex = parse_hex4(bytes, pos)?;
+                        match hex {
+                            // A high surrogate must pair with a following
+                            // \uDC00..DFFF to form one astral code point
+                            // (JSON strings are UTF-16-escaped; "😀" is
+                            // "😀"). The old code fed each half
+                            // to char::from_u32 alone, mangling every
+                            // astral character into two U+FFFD.
+                            0xD800..=0xDBFF => {
+                                let paired = bytes.get(*pos) == Some(&b'\\')
+                                    && bytes.get(*pos + 1) == Some(&b'u');
+                                if paired {
+                                    let rewind = *pos;
+                                    *pos += 2;
+                                    let lo = parse_hex4(bytes, pos)?;
+                                    if (0xDC00..=0xDFFF).contains(&lo) {
+                                        let cp = 0x10000
+                                            + ((hex - 0xD800) << 10)
+                                            + (lo - 0xDC00);
+                                        out.push(
+                                            char::from_u32(cp).unwrap_or('\u{fffd}'),
+                                        );
+                                    } else {
+                                        // Unpaired high surrogate: replace
+                                        // it and let the loop re-parse the
+                                        // second escape on its own.
+                                        *pos = rewind;
+                                        out.push('\u{fffd}');
+                                    }
+                                } else {
+                                    out.push('\u{fffd}');
+                                }
+                            }
+                            // A lone low surrogate is not a scalar value.
+                            0xDC00..=0xDFFF => out.push('\u{fffd}'),
+                            _ => out.push(char::from_u32(hex).unwrap_or('\u{fffd}')),
+                        }
                     }
                     other => return Err(format!("unknown escape '\\{}'", char::from(other))),
                 }
@@ -302,6 +332,17 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
         }
     }
     Err("unterminated string".to_string())
+}
+
+/// Read four hex digits at `pos` (the payload of a `\u` escape).
+fn parse_hex4(bytes: &[u8], pos: &mut usize) -> Result<u32, String> {
+    let hex = bytes
+        .get(*pos..*pos + 4)
+        .and_then(|h| std::str::from_utf8(h).ok())
+        .and_then(|h| u32::from_str_radix(h, 16).ok())
+        .ok_or(format!("bad \\u escape at byte {pos}"))?;
+    *pos += 4;
+    Ok(hex)
 }
 
 #[cfg(test)]
@@ -348,6 +389,55 @@ mod tests {
     fn strings_escape_and_round_trip() {
         let s = Value::Str("a\"b\\c\nd\u{1}é".into());
         assert_eq!(parse(&s.pretty()).unwrap(), s);
+    }
+
+    #[test]
+    fn surrogate_pairs_decode_to_one_astral_char() {
+        // Regression: each half of the pair used to be passed to
+        // char::from_u32 on its own, turning every astral character into
+        // two U+FFFD.
+        assert_eq!(
+            parse(r#""\ud83d\ude00""#).unwrap(),
+            Value::Str("\u{1f600}".into())
+        );
+        assert_eq!(
+            parse(r#""x\ud834\udd1ey""#).unwrap(),
+            Value::Str("x\u{1d11e}y".into())
+        );
+        // Astral chars written raw by the serializer re-parse unchanged.
+        let s = Value::Str("emoji \u{1f600} and clef \u{1d11e}".into());
+        assert_eq!(parse(&s.pretty()).unwrap(), s);
+    }
+
+    #[test]
+    fn lone_surrogates_become_replacement_chars() {
+        // Unpaired low surrogate.
+        assert_eq!(
+            parse(r#""\ude00""#).unwrap(),
+            Value::Str("\u{fffd}".into())
+        );
+        // Unpaired high surrogate at end of string.
+        assert_eq!(
+            parse(r#""\ud83d""#).unwrap(),
+            Value::Str("\u{fffd}".into())
+        );
+        // High surrogate followed by a plain char.
+        assert_eq!(
+            parse(r#""\ud83dz""#).unwrap(),
+            Value::Str("\u{fffd}z".into())
+        );
+        // High surrogate followed by a non-surrogate escape: the second
+        // escape must still decode on its own.
+        assert_eq!(
+            parse(r#""\ud83d\u0041""#).unwrap(),
+            Value::Str("\u{fffd}A".into())
+        );
+        // Two high surrogates then a low one: the first is lone, the
+        // second pairs into U+1F600.
+        assert_eq!(
+            parse(r#""\ud83d\ud83d\ude00""#).unwrap(),
+            Value::Str("\u{fffd}\u{1f600}".into())
+        );
     }
 
     #[test]

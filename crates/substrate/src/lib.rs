@@ -16,11 +16,21 @@
 //!   criterion and emits `BENCH_results.json` so before/after numbers are
 //!   tracked in-tree.
 //! * [`json`] — the tiny JSON value model backing the bench reports.
+//! * [`rng`] — the deterministic SplitMix64 generator every stochastic
+//!   model ingredient draws from (re-exported by `vpp-sim` for its
+//!   historical `vpp_sim::Rng` path).
+//! * [`trace`] — a structured tracing + metrics substrate: a thread-safe
+//!   bounded recorder (installed per [`trace::session`]) collecting typed
+//!   spans ([`span!`]), marks, counters and gauges, with a near-zero-cost
+//!   no-op path when no recorder is installed.
 
 pub mod bench;
 pub mod json;
 pub mod pool;
 pub mod prop;
+pub mod rng;
+pub mod trace;
 
 pub use bench::Harness;
 pub use pool::{par_map, par_map_ref};
+pub use rng::Rng;

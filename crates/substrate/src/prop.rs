@@ -1,4 +1,4 @@
-//! Minimal property-based testing on the deterministic [`vpp_sim::Rng`].
+//! Minimal property-based testing on the deterministic [`crate::Rng`].
 //!
 //! The [`properties!`](crate::properties) macro expands each property into a
 //! `#[test]` that runs the body [`cases`]`()` times, each case with an
@@ -11,7 +11,7 @@
 //! shrinking. Simulation inputs here are small enough that reading the
 //! failing case's generated values from the assert message is workable.
 
-pub use vpp_sim::Rng;
+pub use crate::rng::Rng;
 
 /// Default number of cases per property (override with `VPP_PROP_CASES`).
 pub const DEFAULT_CASES: usize = 64;

@@ -13,7 +13,7 @@
 /// Not cryptographically secure; used only for simulation stochasticity.
 ///
 /// ```
-/// use vpp_sim::Rng;
+/// use vpp_substrate::Rng;
 ///
 /// let mut a = Rng::new(7);
 /// let mut b = Rng::new(7);

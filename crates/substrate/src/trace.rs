@@ -1,0 +1,918 @@
+//! Structured tracing and metrics for the simulator stack.
+//!
+//! Every layer of the reproduction — the DES engine, the cluster executor,
+//! the SCF planner, the power-cap controller, the telemetry pipeline and the
+//! §III-B measurement protocol — emits *typed spans*, *marks*, *counters*
+//! and *gauges* through this module. Instrumentation is compiled in
+//! unconditionally but costs a single relaxed atomic load when no recorder
+//! is installed, so the hot paths (event delivery, per-op execution) stay at
+//! their benchmarked throughput unless a trace session is active.
+//!
+//! # Model
+//!
+//! * A **span** is a named interval with enter/exit timestamps, a parent
+//!   link (thread-local nesting) and a bag of typed fields. Open one with
+//!   the [`span!`](crate::span) macro; it closes when the guard drops.
+//! * A **mark** is a point event ([`mark`] / [`mark_with`]).
+//! * A **counter** is a monotonically accumulated `u64` ([`counter`]);
+//!   a **gauge** is a last-value-wins `f64` ([`gauge`]). Neither consumes
+//!   ring-buffer capacity.
+//!
+//! A session installs one process-global recorder with a bounded ring
+//! buffer (overflow drops the newest events and counts them, so a
+//! truncated trace is detectable rather than silently misleading).
+//! Sessions are serialised on a static mutex: parallel tests each get an
+//! exclusive, uncontaminated window.
+//!
+//! ```
+//! use vpp_substrate::{span, trace};
+//!
+//! let session = trace::session(1024);
+//! {
+//!     let mut root = span!("demo.root", nodes = 4, cap_w = 400.0);
+//!     trace::counter("demo.events", 3);
+//!     root.record("converged", true);
+//! }
+//! let report = session.finish();
+//! assert_eq!(report.spans().len(), 1);
+//! assert_eq!(report.counters["demo.events"], 3);
+//! assert!(report.well_formed().is_ok());
+//! ```
+
+use std::cell::{Cell, RefCell};
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock};
+use std::time::Instant;
+
+use crate::json::Value;
+
+/// A typed field value attached to a span, mark, or report row.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Boolean flag.
+    Bool(bool),
+    /// Unsigned integer (counts, byte sizes, indices).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float (seconds, watts, joules).
+    F64(f64),
+    /// Short free-form string (benchmark names, verdict labels).
+    Str(String),
+}
+
+impl FieldValue {
+    /// Numeric view of the value, if it has one.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            FieldValue::U64(x) => Some(*x as f64),
+            FieldValue::I64(x) => Some(*x as f64),
+            FieldValue::F64(x) => Some(*x),
+            FieldValue::Bool(_) | FieldValue::Str(_) => None,
+        }
+    }
+
+    /// String view of the value, if it is one.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            FieldValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn to_json(&self) -> Value {
+        match self {
+            FieldValue::Bool(b) => Value::Bool(*b),
+            FieldValue::U64(x) => Value::Num(*x as f64),
+            FieldValue::I64(x) => Value::Num(*x as f64),
+            FieldValue::F64(x) => Value::Num(*x),
+            FieldValue::Str(s) => Value::Str(s.clone()),
+        }
+    }
+}
+
+impl fmt::Display for FieldValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldValue::Bool(b) => write!(f, "{b}"),
+            FieldValue::U64(x) => write!(f, "{x}"),
+            FieldValue::I64(x) => write!(f, "{x}"),
+            FieldValue::F64(x) => write!(f, "{x}"),
+            FieldValue::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> Self {
+        FieldValue::U64(u64::from(v))
+    }
+}
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+impl From<i32> for FieldValue {
+    fn from(v: i32) -> Self {
+        FieldValue::I64(i64::from(v))
+    }
+}
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+/// A `(key, value)` pair attached to an event.
+pub type Field = (&'static str, FieldValue);
+
+/// What a raw [`Event`] records.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A span opened. `parent` is the enclosing span on the same thread in
+    /// the same session, if any.
+    Enter {
+        /// Process-unique span id.
+        span: u64,
+        /// Enclosing span id, if nested.
+        parent: Option<u64>,
+    },
+    /// A span closed; `fields` on the event carry values recorded via
+    /// [`SpanGuard::record`].
+    Exit {
+        /// Span id being closed.
+        span: u64,
+    },
+    /// A point event.
+    Mark,
+}
+
+/// One raw entry in the recorder's ring buffer.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Static event name (dot-separated vocabulary, e.g. `"scf.iter"`).
+    pub name: &'static str,
+    /// Nanoseconds since the session started.
+    pub t_ns: u64,
+    /// Small per-session thread ordinal (0 = first thread seen).
+    pub thread: u32,
+    /// Enter / Exit / Mark.
+    pub kind: EventKind,
+    /// Typed payload.
+    pub fields: Vec<Field>,
+}
+
+struct Ring {
+    buf: VecDeque<Event>,
+    cap: usize,
+    dropped: u64,
+}
+
+/// The installed recorder backing one [`Session`].
+struct Recorder {
+    id: u64,
+    start: Instant,
+    ring: Mutex<Ring>,
+    counters: Mutex<BTreeMap<&'static str, u64>>,
+    gauges: Mutex<BTreeMap<&'static str, f64>>,
+    threads: Mutex<Vec<std::thread::ThreadId>>,
+}
+
+impl Recorder {
+    fn now_ns(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    fn push(&self, ev: Event) {
+        let mut ring = lock(&self.ring);
+        if ring.buf.len() >= ring.cap {
+            ring.dropped += 1;
+        } else {
+            ring.buf.push_back(ev);
+        }
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static RECORDER: RwLock<Option<Arc<Recorder>>> = RwLock::new(None);
+static SESSION_LOCK: Mutex<()> = Mutex::new(());
+static NEXT_SESSION_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// Open spans on this thread as `(session_id, span_id)` pairs.
+    static SPAN_STACK: RefCell<Vec<(u64, u64)>> = const { RefCell::new(Vec::new()) };
+    /// Cached `(session_id, ordinal)` so the thread registry is hit once.
+    static THREAD_ORD: Cell<Option<(u64, u32)>> = const { Cell::new(None) };
+}
+
+/// Whether a recorder is currently installed. This is the fast-path check:
+/// a single relaxed atomic load.
+#[inline]
+#[must_use]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+fn current() -> Option<Arc<Recorder>> {
+    if !enabled() {
+        return None;
+    }
+    RECORDER
+        .read()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clone()
+}
+
+fn thread_ordinal(rec: &Recorder) -> u32 {
+    THREAD_ORD.with(|c| {
+        if let Some((sid, ord)) = c.get() {
+            if sid == rec.id {
+                return ord;
+            }
+        }
+        let tid = std::thread::current().id();
+        let mut ts = lock(&rec.threads);
+        let ord = ts.iter().position(|t| *t == tid).unwrap_or_else(|| {
+            ts.push(tid);
+            ts.len() - 1
+        }) as u32;
+        c.set(Some((rec.id, ord)));
+        ord
+    })
+}
+
+/// An exclusive tracing window. Created by [`session`]; instrumentation
+/// anywhere in the process records into it until [`Session::finish`] (or
+/// drop) uninstalls the recorder.
+pub struct Session {
+    rec: Arc<Recorder>,
+    _excl: MutexGuard<'static, ()>,
+}
+
+/// Install a recorder with room for `capacity` events and return the
+/// session handle. Blocks until any other live session ends, so
+/// concurrent tests never interleave their traces.
+#[must_use]
+pub fn session(capacity: usize) -> Session {
+    let excl = SESSION_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    let rec = Arc::new(Recorder {
+        id: NEXT_SESSION_ID.fetch_add(1, Ordering::SeqCst),
+        start: Instant::now(),
+        ring: Mutex::new(Ring {
+            buf: VecDeque::with_capacity(capacity.min(1 << 16)),
+            cap: capacity,
+            dropped: 0,
+        }),
+        counters: Mutex::new(BTreeMap::new()),
+        gauges: Mutex::new(BTreeMap::new()),
+        threads: Mutex::new(Vec::new()),
+    });
+    *RECORDER.write().unwrap_or_else(PoisonError::into_inner) = Some(Arc::clone(&rec));
+    ENABLED.store(true, Ordering::SeqCst);
+    Session { rec, _excl: excl }
+}
+
+impl Session {
+    /// Uninstall the recorder and return everything it captured.
+    #[must_use]
+    pub fn finish(self) -> TraceReport {
+        let rec = Arc::clone(&self.rec);
+        drop(self); // uninstalls
+        let (events, dropped) = {
+            let mut ring = lock(&rec.ring);
+            let dropped = ring.dropped;
+            (ring.buf.drain(..).collect(), dropped)
+        };
+        let counters = std::mem::take(&mut *lock(&rec.counters));
+        let gauges = std::mem::take(&mut *lock(&rec.gauges));
+        TraceReport {
+            events,
+            counters,
+            gauges,
+            dropped,
+        }
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        ENABLED.store(false, Ordering::SeqCst);
+        *RECORDER.write().unwrap_or_else(PoisonError::into_inner) = None;
+    }
+}
+
+/// RAII guard for an open span. Closes (emits the Exit event) on drop.
+///
+/// Deliberately `!Send`: a span measures an interval on one thread, and the
+/// parent linkage is thread-local.
+pub struct SpanGuard {
+    active: Option<ActiveSpan>,
+    _not_send: PhantomData<*const ()>,
+}
+
+struct ActiveSpan {
+    rec: Arc<Recorder>,
+    id: u64,
+    name: &'static str,
+    exit_fields: Vec<Field>,
+}
+
+impl SpanGuard {
+    /// Open a span. `fields` is only invoked when a recorder is installed,
+    /// so argument formatting costs nothing on the disabled path. Prefer
+    /// the [`span!`](crate::span) macro.
+    #[must_use]
+    pub fn open<F: FnOnce() -> Vec<Field>>(name: &'static str, fields: F) -> SpanGuard {
+        let Some(rec) = current() else {
+            return SpanGuard {
+                active: None,
+                _not_send: PhantomData,
+            };
+        };
+        let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+        let thread = thread_ordinal(&rec);
+        let parent = SPAN_STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            let parent = s
+                .iter()
+                .rev()
+                .find(|(sid, _)| *sid == rec.id)
+                .map(|&(_, span)| span);
+            s.push((rec.id, id));
+            parent
+        });
+        rec.push(Event {
+            name,
+            t_ns: rec.now_ns(),
+            thread,
+            kind: EventKind::Enter { span: id, parent },
+            fields: fields(),
+        });
+        SpanGuard {
+            active: Some(ActiveSpan {
+                rec,
+                id,
+                name,
+                exit_fields: Vec::new(),
+            }),
+            _not_send: PhantomData,
+        }
+    }
+
+    /// Attach a field to the span's Exit event (e.g. a result computed
+    /// inside the span). No-op when tracing is disabled.
+    pub fn record<V: Into<FieldValue>>(&mut self, key: &'static str, value: V) {
+        if let Some(a) = &mut self.active {
+            a.exit_fields.push((key, value.into()));
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(a) = self.active.take() else { return };
+        SPAN_STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            if let Some(pos) = s
+                .iter()
+                .rposition(|&(sid, span)| sid == a.rec.id && span == a.id)
+            {
+                s.remove(pos);
+            }
+        });
+        let thread = thread_ordinal(&a.rec);
+        a.rec.push(Event {
+            name: a.name,
+            t_ns: a.rec.now_ns(),
+            thread,
+            kind: EventKind::Exit { span: a.id },
+            fields: a.exit_fields,
+        });
+    }
+}
+
+/// Open a span: `span!("name")` or `span!("name", key = value, ...)`.
+/// Field values must convert [`Into`] a
+/// [`FieldValue`](trace::FieldValue). Returns a
+/// [`SpanGuard`](trace::SpanGuard); the span closes when it drops.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::trace::SpanGuard::open($name, Vec::new)
+    };
+    ($name:expr, $($k:ident = $v:expr),+ $(,)?) => {
+        $crate::trace::SpanGuard::open($name, || {
+            vec![$((stringify!($k), $crate::trace::FieldValue::from($v))),+]
+        })
+    };
+}
+
+/// Add `delta` to the named counter. Counters aggregate in place and never
+/// consume ring capacity.
+pub fn counter(name: &'static str, delta: u64) {
+    if let Some(rec) = current() {
+        *lock(&rec.counters).entry(name).or_insert(0) += delta;
+    }
+}
+
+/// Set the named gauge to `value` (last value wins).
+pub fn gauge(name: &'static str, value: f64) {
+    if let Some(rec) = current() {
+        lock(&rec.gauges).insert(name, value);
+    }
+}
+
+/// Emit a point event with no payload.
+pub fn mark(name: &'static str) {
+    mark_with(name, Vec::new);
+}
+
+/// Emit a point event; `fields` is only invoked when tracing is enabled.
+pub fn mark_with<F: FnOnce() -> Vec<Field>>(name: &'static str, fields: F) {
+    if let Some(rec) = current() {
+        let thread = thread_ordinal(&rec);
+        rec.push(Event {
+            name,
+            t_ns: rec.now_ns(),
+            thread,
+            kind: EventKind::Mark,
+            fields: fields(),
+        });
+    }
+}
+
+/// One reconstructed span: enter/exit matched, fields merged.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// Span name.
+    pub name: &'static str,
+    /// Process-unique id.
+    pub id: u64,
+    /// Enclosing span id, if nested.
+    pub parent: Option<u64>,
+    /// Per-session thread ordinal.
+    pub thread: u32,
+    /// Enter time, ns since session start.
+    pub t_enter_ns: u64,
+    /// Exit time, ns since session start; `None` if the span never closed
+    /// (guard leaked or its Exit was dropped on ring overflow).
+    pub t_exit_ns: Option<u64>,
+    /// Enter fields followed by [`SpanGuard::record`]ed exit fields.
+    pub fields: Vec<Field>,
+}
+
+impl SpanRecord {
+    /// Wall duration in nanoseconds, if the span closed.
+    #[must_use]
+    pub fn duration_ns(&self) -> Option<u64> {
+        self.t_exit_ns.map(|t| t.saturating_sub(self.t_enter_ns))
+    }
+
+    /// First field with the given key.
+    #[must_use]
+    pub fn field(&self, key: &str) -> Option<&FieldValue> {
+        self.fields.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+
+    /// Numeric field value, if present and numeric.
+    #[must_use]
+    pub fn field_f64(&self, key: &str) -> Option<f64> {
+        self.field(key).and_then(FieldValue::as_f64)
+    }
+}
+
+/// A span plus its children — one node of [`TraceReport::span_tree`].
+#[derive(Debug, Clone)]
+pub struct SpanNode {
+    /// The span itself.
+    pub record: SpanRecord,
+    /// Child spans in enter order.
+    pub children: Vec<SpanNode>,
+}
+
+/// Everything a finished [`Session`] captured.
+#[derive(Debug, Clone)]
+pub struct TraceReport {
+    /// Raw events in ring order (which is global record order).
+    pub events: Vec<Event>,
+    /// Aggregated counters.
+    pub counters: BTreeMap<&'static str, u64>,
+    /// Last-value gauges.
+    pub gauges: BTreeMap<&'static str, f64>,
+    /// Events discarded because the ring was full.
+    pub dropped: u64,
+}
+
+impl TraceReport {
+    /// Reconstruct spans (Enter/Exit matched by id) in enter order.
+    #[must_use]
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        let mut out: Vec<SpanRecord> = Vec::new();
+        let mut by_id: BTreeMap<u64, usize> = BTreeMap::new();
+        for ev in &self.events {
+            match ev.kind {
+                EventKind::Enter { span, parent } => {
+                    by_id.insert(span, out.len());
+                    out.push(SpanRecord {
+                        name: ev.name,
+                        id: span,
+                        parent,
+                        thread: ev.thread,
+                        t_enter_ns: ev.t_ns,
+                        t_exit_ns: None,
+                        fields: ev.fields.clone(),
+                    });
+                }
+                EventKind::Exit { span } => {
+                    if let Some(&i) = by_id.get(&span) {
+                        out[i].t_exit_ns = Some(ev.t_ns);
+                        out[i].fields.extend(ev.fields.iter().cloned());
+                    }
+                }
+                EventKind::Mark => {}
+            }
+        }
+        out
+    }
+
+    /// Point events (marks) in record order.
+    #[must_use]
+    pub fn marks(&self) -> Vec<&Event> {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Mark))
+            .collect()
+    }
+
+    /// Spans assembled into forests by parent linkage, roots in enter
+    /// order. A span whose parent is missing (dropped) becomes a root.
+    #[must_use]
+    pub fn span_tree(&self) -> Vec<SpanNode> {
+        let spans = self.spans();
+        let ids: std::collections::BTreeSet<u64> = spans.iter().map(|s| s.id).collect();
+        let mut children: BTreeMap<u64, Vec<SpanRecord>> = BTreeMap::new();
+        let mut roots: Vec<SpanRecord> = Vec::new();
+        for s in spans {
+            match s.parent {
+                Some(p) if ids.contains(&p) => children.entry(p).or_default().push(s),
+                _ => roots.push(s),
+            }
+        }
+        fn build(rec: SpanRecord, children: &mut BTreeMap<u64, Vec<SpanRecord>>) -> SpanNode {
+            let kids = children.remove(&rec.id).unwrap_or_default();
+            SpanNode {
+                record: rec,
+                children: kids.into_iter().map(|k| build(k, children)).collect(),
+            }
+        }
+        roots.into_iter().map(|r| build(r, &mut children)).collect()
+    }
+
+    /// Check that the trace is structurally sound: nothing dropped, and on
+    /// every thread the Enter/Exit events form a properly nested (LIFO)
+    /// sequence whose parent links match the enclosing span. This is the
+    /// invariant the `par_map` concurrency property test asserts.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violation found.
+    pub fn well_formed(&self) -> Result<(), String> {
+        if self.dropped > 0 {
+            return Err(format!("{} events dropped by ring overflow", self.dropped));
+        }
+        let mut stacks: BTreeMap<u32, Vec<u64>> = BTreeMap::new();
+        for ev in &self.events {
+            let stack = stacks.entry(ev.thread).or_default();
+            match ev.kind {
+                EventKind::Enter { span, parent } => {
+                    if parent != stack.last().copied() {
+                        return Err(format!(
+                            "span {span} ('{}') on thread {} has parent {parent:?} \
+                             but enclosing span is {:?}",
+                            ev.name,
+                            ev.thread,
+                            stack.last()
+                        ));
+                    }
+                    stack.push(span);
+                }
+                EventKind::Exit { span } => match stack.pop() {
+                    Some(top) if top == span => {}
+                    other => {
+                        return Err(format!(
+                            "exit of span {span} ('{}') on thread {} but open span is {other:?}",
+                            ev.name, ev.thread
+                        ));
+                    }
+                },
+                EventKind::Mark => {}
+            }
+        }
+        for (t, stack) in &stacks {
+            if !stack.is_empty() {
+                return Err(format!("thread {t} ended with {} span(s) open", stack.len()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Serialise the report as a JSON value: span forest, marks, counters,
+    /// gauges and the dropped-event count.
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        fn fields_json(fields: &[Field]) -> Value {
+            Value::Obj(
+                fields
+                    .iter()
+                    .map(|(k, v)| ((*k).to_string(), v.to_json()))
+                    .collect(),
+            )
+        }
+        fn node_json(n: &SpanNode) -> Value {
+            let mut obj = vec![
+                ("name".to_string(), Value::Str(n.record.name.to_string())),
+                ("id".to_string(), Value::Num(n.record.id as f64)),
+                ("thread".to_string(), Value::Num(f64::from(n.record.thread))),
+                (
+                    "t_enter_ns".to_string(),
+                    Value::Num(n.record.t_enter_ns as f64),
+                ),
+            ];
+            if let Some(t) = n.record.t_exit_ns {
+                obj.push(("t_exit_ns".to_string(), Value::Num(t as f64)));
+            }
+            obj.push(("fields".to_string(), fields_json(&n.record.fields)));
+            obj.push((
+                "children".to_string(),
+                Value::Arr(n.children.iter().map(node_json).collect()),
+            ));
+            Value::Obj(obj)
+        }
+        let marks = self
+            .marks()
+            .iter()
+            .map(|m| {
+                Value::Obj(vec![
+                    ("name".to_string(), Value::Str(m.name.to_string())),
+                    ("t_ns".to_string(), Value::Num(m.t_ns as f64)),
+                    ("thread".to_string(), Value::Num(f64::from(m.thread))),
+                    ("fields".to_string(), fields_json(&m.fields)),
+                ])
+            })
+            .collect();
+        Value::Obj(vec![
+            (
+                "spans".to_string(),
+                Value::Arr(self.span_tree().iter().map(node_json).collect()),
+            ),
+            ("marks".to_string(), Value::Arr(marks)),
+            (
+                "counters".to_string(),
+                Value::Obj(
+                    self.counters
+                        .iter()
+                        .map(|(k, v)| ((*k).to_string(), Value::Num(*v as f64)))
+                        .collect(),
+                ),
+            ),
+            (
+                "gauges".to_string(),
+                Value::Obj(
+                    self.gauges
+                        .iter()
+                        .map(|(k, v)| ((*k).to_string(), Value::Num(*v)))
+                        .collect(),
+                ),
+            ),
+            ("dropped".to_string(), Value::Num(self.dropped as f64)),
+        ])
+    }
+
+    /// Serialise spans and marks as CSV with header
+    /// `kind,name,id,parent,thread,t_ns,dur_ns,fields`. Field bags are
+    /// `;`-joined `key=value` pairs inside a quoted cell.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        fn fields_cell(fields: &[Field]) -> String {
+            let joined = fields
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect::<Vec<_>>()
+                .join(";");
+            format!("\"{}\"", joined.replace('"', "'"))
+        }
+        let mut out = String::from("kind,name,id,parent,thread,t_ns,dur_ns,fields\n");
+        for s in self.spans() {
+            let parent = s.parent.map_or(String::new(), |p| p.to_string());
+            let dur = s.duration_ns().map_or(String::new(), |d| d.to_string());
+            out.push_str(&format!(
+                "span,{},{},{},{},{},{},{}\n",
+                s.name,
+                s.id,
+                parent,
+                s.thread,
+                s.t_enter_ns,
+                dur,
+                fields_cell(&s.fields)
+            ));
+        }
+        for m in self.marks() {
+            out.push_str(&format!(
+                "mark,{},,,{},{},,{}\n",
+                m.name,
+                m.thread,
+                m.t_ns,
+                fields_cell(&m.fields)
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_path_records_nothing_and_skips_field_closures() {
+        assert!(!enabled());
+        let mut closure_ran = false;
+        {
+            let mut g = SpanGuard::open("never", || {
+                closure_ran = true;
+                vec![]
+            });
+            g.record("x", 1u64);
+            counter("never.count", 5);
+            gauge("never.gauge", 1.0);
+            mark("never.mark");
+        }
+        assert!(!closure_ran, "field closure must not run when disabled");
+    }
+
+    #[test]
+    fn session_captures_spans_counters_gauges_and_marks() {
+        let s = session(256);
+        {
+            let mut outer = span!("outer", nodes = 4, name = "Si256_hse");
+            {
+                let _inner = span!("inner", watts = 2.5);
+                mark_with("tick", || vec![("i", FieldValue::from(7u64))]);
+            }
+            counter("c.events", 2);
+            counter("c.events", 3);
+            gauge("g.last", 1.0);
+            gauge("g.last", 4.5);
+            outer.record("done", true);
+        }
+        let report = s.finish();
+        assert!(report.well_formed().is_ok(), "{:?}", report.well_formed());
+        assert_eq!(report.dropped, 0);
+        assert_eq!(report.counters["c.events"], 5);
+        assert!((report.gauges["g.last"] - 4.5).abs() < 1e-12);
+
+        let spans = report.spans();
+        assert_eq!(spans.len(), 2);
+        let outer = &spans[0];
+        let inner = &spans[1];
+        assert_eq!(outer.name, "outer");
+        assert_eq!(outer.parent, None);
+        assert_eq!(outer.field_f64("nodes"), Some(4.0));
+        assert_eq!(outer.field("name").and_then(FieldValue::as_str), Some("Si256_hse"));
+        assert_eq!(outer.field("done"), Some(&FieldValue::Bool(true)));
+        assert_eq!(inner.parent, Some(outer.id));
+        assert!(inner.t_enter_ns >= outer.t_enter_ns);
+        assert!(inner.t_exit_ns.unwrap() <= outer.t_exit_ns.unwrap());
+
+        let tree = report.span_tree();
+        assert_eq!(tree.len(), 1);
+        assert_eq!(tree[0].record.name, "outer");
+        assert_eq!(tree[0].children.len(), 1);
+        assert_eq!(tree[0].children[0].record.name, "inner");
+
+        assert_eq!(report.marks().len(), 1);
+        assert_eq!(report.marks()[0].name, "tick");
+    }
+
+    #[test]
+    fn ring_overflow_drops_and_counts() {
+        let s = session(3);
+        for _ in 0..4 {
+            mark("m");
+        }
+        let report = s.finish();
+        assert_eq!(report.events.len(), 3);
+        assert_eq!(report.dropped, 1);
+        assert!(report.well_formed().is_err());
+    }
+
+    #[test]
+    fn sessions_do_not_leak_across_finish() {
+        let s = session(16);
+        mark("first");
+        let r1 = s.finish();
+        assert_eq!(r1.events.len(), 1);
+        mark("between"); // disabled: dropped silently
+        let s2 = session(16);
+        mark("second");
+        let r2 = s2.finish();
+        assert_eq!(r2.events.len(), 1);
+        assert_eq!(r2.events[0].name, "second");
+    }
+
+    #[test]
+    fn cross_thread_spans_have_independent_parents() {
+        let s = session(1024);
+        {
+            let _root = span!("root");
+            std::thread::scope(|scope| {
+                for _ in 0..4 {
+                    scope.spawn(|| {
+                        let _w = span!("worker");
+                    });
+                }
+            });
+        }
+        let report = s.finish();
+        assert!(report.well_formed().is_ok(), "{:?}", report.well_formed());
+        let spans = report.spans();
+        let workers: Vec<_> = spans.iter().filter(|s| s.name == "worker").collect();
+        assert_eq!(workers.len(), 4);
+        // Worker threads have no enclosing span on their own thread.
+        assert!(workers.iter().all(|w| w.parent.is_none()));
+        // Thread ordinals are small and distinct from the main thread's.
+        let root = spans.iter().find(|s| s.name == "root").unwrap();
+        assert!(workers.iter().all(|w| w.thread != root.thread));
+    }
+
+    #[test]
+    fn json_and_csv_exports_are_consistent() {
+        let s = session(64);
+        {
+            let _g = span!("export.span", bytes = 1024u64);
+            mark("export.mark");
+        }
+        counter_snapshot_helper();
+        let report = s.finish();
+        let json = report.to_json();
+        let spans = json.get("spans").and_then(Value::as_arr).unwrap();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(
+            spans[0].get("name").and_then(Value::as_str),
+            Some("export.span")
+        );
+        let reparsed = crate::json::parse(&json.pretty()).expect("valid JSON");
+        assert_eq!(
+            reparsed
+                .get("counters")
+                .and_then(|c| c.get("export.count"))
+                .and_then(Value::as_f64),
+            Some(2.0)
+        );
+        let csv = report.to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("kind,name,id,parent,thread,t_ns,dur_ns,fields"));
+        assert!(csv.contains("span,export.span"));
+        assert!(csv.contains("mark,export.mark"));
+    }
+
+    fn counter_snapshot_helper() {
+        counter("export.count", 2);
+    }
+}

@@ -328,6 +328,10 @@ pub fn quarantine(raw: &RawSeries, cfg: &QualityConfig) -> CleanSeries {
         }
     };
 
+    vpp_substrate::trace::counter("telemetry.ingest.raw", q.n_raw as u64);
+    vpp_substrate::trace::counter("telemetry.ingest.kept", q.n_kept as u64);
+    vpp_substrate::trace::counter("telemetry.ingest.quarantined", q.removed() as u64);
+
     let (times, values): (Vec<f64>, Vec<f64>) = kept.into_iter().unzip();
     CleanSeries {
         series: TimeSeries::new(times, values),

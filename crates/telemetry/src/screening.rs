@@ -62,7 +62,7 @@ impl Screener {
         let mad = median_of_sorted(&devs).max(1e-9);
         // 1.4826 · MAD ≈ σ for normal data.
         let sigma = 1.4826 * mad;
-        means
+        let verdicts: Vec<NodeVerdict> = means
             .iter()
             .enumerate()
             .map(|(node, &mean_w)| {
@@ -75,7 +75,19 @@ impl Screener {
                     low_coverage: false,
                 }
             })
-            .collect()
+            .collect();
+        vpp_substrate::trace::counter("screening.nodes", verdicts.len() as u64);
+        for v in verdicts.iter().filter(|v| v.outlier) {
+            vpp_substrate::trace::counter("screening.outliers", 1);
+            vpp_substrate::trace::mark_with("screening.outlier", || {
+                vec![
+                    ("node", v.node.into()),
+                    ("mean_w", v.mean_w.into()),
+                    ("z_score", v.z_score.into()),
+                ]
+            });
+        }
+        verdicts
     }
 
     /// Screen quarantined per-node series, additionally flagging nodes
@@ -98,6 +110,7 @@ impl Screener {
             if c.quality.coverage < min_coverage {
                 v.low_coverage = true;
                 v.outlier = true;
+                vpp_substrate::trace::counter("screening.low_coverage", 1);
             }
         }
         verdicts

@@ -20,6 +20,12 @@ cargo test -q --offline --workspace
 echo "==> fault-injection smoke (examples/dirty_telemetry)"
 cargo run -q --release --offline --example dirty_telemetry
 
+echo "==> trace smoke (vpp trace B.hR105_hse --quick)"
+cargo run -q --release --offline --bin vpp -- trace B.hR105_hse --quick
+
+echo "==> JSON round-trip property (256 cases)"
+VPP_PROP_CASES=256 cargo test -q --offline -p vpp-substrate --test json_roundtrip
+
 echo "==> smoke bench (VPP_BENCH_SMOKE=1) -> BENCH_results.json"
 VPP_BENCH_SMOKE=1 VPP_BENCH_OUT="$ROOT/BENCH_results.json" \
     cargo bench -q --offline -p vpp-bench

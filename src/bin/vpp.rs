@@ -5,6 +5,7 @@
 //! vpp caps    <benchmark>     [--nodes N]
 //! vpp screen  <benchmark>     [--nodes N] [--straggler IDX:FACTOR]
 //! vpp phases  <benchmark>     [--nodes N]
+//! vpp trace   <benchmark>     [--nodes N] [--cap W] [--quick]
 //! vpp list
 //! ```
 //!
@@ -16,6 +17,7 @@ use vasp_power_profiles::cluster::{execute, JobSpec, NetworkModel, Straggler};
 use vasp_power_profiles::core::{benchmarks, protocol};
 use vasp_power_profiles::dft::{parse_incar, parse_kpoints, parse_poscar};
 use vasp_power_profiles::stats::Segmenter;
+use vasp_power_profiles::substrate::trace;
 use vasp_power_profiles::telemetry::{Sampler, Screener};
 
 struct Args {
@@ -220,10 +222,150 @@ fn cmd_phases(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Sum of node-level energy over a sim-time window, joules.
+fn window_energy_j(m: &protocol::Measured, t0: f64, t1: f64) -> f64 {
+    m.result
+        .node_traces
+        .iter()
+        .map(|c| c.node.energy_between(t0, t1))
+        .sum()
+}
+
+/// Per-span detail column: sim-time window plus attributed energy for
+/// phase spans, the recorded sim runtime for execution-level spans.
+fn span_detail(rec: &trace::SpanRecord, m: &protocol::Measured) -> String {
+    if let (Some(t0), Some(t1)) = (rec.field_f64("sim_t0"), rec.field_f64("sim_t1")) {
+        let e = window_energy_j(m, t0, t1);
+        let total = m.result.energy_j().max(1e-12);
+        return format!(
+            "sim {t0:>7.1} -> {t1:>7.1} s  {:>9.1} kJ ({:>4.1}%)",
+            e / 1e3,
+            100.0 * e / total
+        );
+    }
+    if let Some(r) = rec.field_f64("runtime_s") {
+        return format!("sim runtime {r:.0} s");
+    }
+    String::new()
+}
+
+fn print_trace_line(label: &str, depth: usize, wall_ms: f64, detail: &str) {
+    let padded = format!("{}{label}", "  ".repeat(depth));
+    println!("{padded:<44} {wall_ms:>9.3}  {detail}");
+}
+
+fn print_span(node: &trace::SpanNode, depth: usize, m: &protocol::Measured) {
+    let label = match node.record.field_f64("index") {
+        Some(i) => format!("{}[{}]", node.record.name, i as u64),
+        None => node.record.name.to_string(),
+    };
+    let wall_ms = node.record.duration_ns().map_or(f64::NAN, |d| d as f64 / 1e6);
+    print_trace_line(&label, depth, wall_ms, &span_detail(&node.record, m));
+    print_span_children(&node.children, depth + 1, m);
+}
+
+/// Print a sibling list, collapsing runs of more than four same-named
+/// spans (SCF iterations, collectives) into one aggregate row so deep
+/// traces stay readable.
+fn print_span_children(children: &[trace::SpanNode], depth: usize, m: &protocol::Measured) {
+    let mut i = 0;
+    while i < children.len() {
+        let name = children[i].record.name;
+        let mut j = i;
+        while j < children.len() && children[j].record.name == name {
+            j += 1;
+        }
+        let group = &children[i..j];
+        if group.len() <= 4 {
+            for n in group {
+                print_span(n, depth, m);
+            }
+        } else {
+            let wall_ms: f64 = group
+                .iter()
+                .filter_map(|n| n.record.duration_ns())
+                .sum::<u64>() as f64
+                / 1e6;
+            let t0 = group
+                .iter()
+                .filter_map(|n| n.record.field_f64("sim_t0"))
+                .fold(f64::INFINITY, f64::min);
+            let t1 = group
+                .iter()
+                .filter_map(|n| n.record.field_f64("sim_t1"))
+                .fold(f64::NEG_INFINITY, f64::max);
+            let detail = if t0.is_finite() && t1.is_finite() {
+                let e = window_energy_j(m, t0, t1);
+                let total = m.result.energy_j().max(1e-12);
+                format!(
+                    "sim {t0:>7.1} -> {t1:>7.1} s  {:>9.1} kJ ({:>4.1}%)",
+                    e / 1e3,
+                    100.0 * e / total
+                )
+            } else {
+                String::new()
+            };
+            print_trace_line(&format!("{name} x{}", group.len()), depth, wall_ms, &detail);
+        }
+        i = j;
+    }
+}
+
+fn cmd_trace(args: &Args) -> Result<(), String> {
+    let target = args.positional.first().ok_or("trace needs a target")?;
+    let bench = resolve(target)?;
+    let nodes = args.nodes.unwrap_or(1);
+    let cfg = match args.cap {
+        Some(c) => protocol::RunConfig::capped(nodes, c),
+        None => protocol::RunConfig::nodes(nodes),
+    };
+    let mut c = ctx(args.quick);
+    // One traced run: the span tree of a single execution, not the
+    // protocol's repeat spread.
+    c.repeats = 1;
+    let session = trace::session(1 << 20);
+    let m = protocol::measure(&bench, &cfg, &c);
+    let report = session.finish();
+    report.well_formed()?;
+    println!("workload    : {} on {nodes} node(s)", bench.name());
+    if let Some(cap) = args.cap {
+        println!("GPU cap     : {cap:.0} W");
+    }
+    println!(
+        "sim runtime : {:.0} s    energy {:.2} MJ",
+        m.runtime_s,
+        m.energy_j / 1e6
+    );
+    println!();
+    println!("{:<44} {:>9}  detail", "span", "wall ms");
+    for root in report.span_tree() {
+        print_span(&root, 0, &m);
+    }
+    if !report.counters.is_empty() {
+        println!();
+        println!("counters:");
+        for (k, v) in &report.counters {
+            println!("  {k:<30} {v:>12}");
+        }
+    }
+    if !report.gauges.is_empty() {
+        println!();
+        println!("gauges:");
+        for (k, v) in &report.gauges {
+            println!("  {k:<30} {v:>12.1}");
+        }
+    }
+    if report.dropped > 0 {
+        println!();
+        println!("(ring overflow: {} events dropped)", report.dropped);
+    }
+    Ok(())
+}
+
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = raw.split_first() else {
-        eprintln!("usage: vpp <profile|caps|screen|phases|list> ...");
+        eprintln!("usage: vpp <profile|caps|screen|phases|trace|list> ...");
         std::process::exit(2);
     };
     let args = match parse_args(rest) {
@@ -242,6 +384,7 @@ fn main() {
         "caps" => cmd_caps(&args),
         "screen" => cmd_screen(&args),
         "phases" => cmd_phases(&args),
+        "trace" => cmd_trace(&args),
         other => Err(format!("unknown command '{other}'")),
     };
     if let Err(e) = result {

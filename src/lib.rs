@@ -48,4 +48,5 @@ pub use vpp_node as node;
 pub use vpp_powercap as powercap;
 pub use vpp_sim as sim;
 pub use vpp_stats as stats;
+pub use vpp_substrate as substrate;
 pub use vpp_telemetry as telemetry;

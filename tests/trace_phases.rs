@@ -1,0 +1,90 @@
+//! The tracing substrate against the statistical phase detector.
+//!
+//! A Fig-3 style run (Si256_hse, one node) is executed under a trace
+//! session; the traced `phase.*` span boundaries — which come from the
+//! *planner's* phase table — must agree with the changepoints the
+//! `vpp_stats::phases` Segmenter finds in the sampled power timeline,
+//! within one sampling window. The two views are produced by completely
+//! independent code paths, so this is an end-to-end consistency check on
+//! both.
+
+use vasp_power_profiles::core::{benchmarks, protocol};
+use vasp_power_profiles::stats::Segmenter;
+use vasp_power_profiles::substrate::{par_map, prop, properties, span, trace};
+use vasp_power_profiles::telemetry::Sampler;
+
+#[test]
+fn traced_phase_boundaries_match_changepoint_detection() {
+    let bench = benchmarks::si256_hse();
+    let mut ctx = protocol::StudyContext::single();
+    // Gap-free 1 Hz sampling: one sampling window == one second.
+    ctx.sampler = Sampler::ideal(1.0);
+    let session = trace::session(1 << 20);
+    let m = protocol::measure(&bench, &protocol::RunConfig::nodes(1), &ctx);
+    let report = session.finish();
+    report.well_formed().expect("trace must be well-formed");
+
+    // Every phase boundary the executor traced, in sim time.
+    let mut boundaries: Vec<f64> = Vec::new();
+    for s in report.spans() {
+        if s.name.starts_with("phase.") {
+            let t0 = s.field_f64("sim_t0").expect("phase spans carry sim_t0");
+            let t1 = s.field_f64("sim_t1").expect("phase spans carry sim_t1");
+            boundaries.push(t0);
+            boundaries.push(t1);
+        }
+    }
+    assert!(!boundaries.is_empty(), "the run must emit phase spans");
+
+    let dt = m.node_series.mean_interval_s().expect("sampled series");
+    let times = m.node_series.times();
+    let segments = Segmenter::node_power().segment(m.node_series.values());
+    assert!(
+        segments.len() >= 2,
+        "a Fig-3 run has detectable phase structure, got {segments:?}"
+    );
+    // Every interior changepoint the detector finds must sit within one
+    // sampling window of a boundary the executor traced.
+    for seg in &segments[1..] {
+        let t_cp = times[seg.start];
+        let nearest = boundaries
+            .iter()
+            .map(|b| (t_cp - b).abs())
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            nearest <= dt + 1e-9,
+            "changepoint at {t_cp:.1}s is {nearest:.2}s from the nearest \
+             traced phase boundary (sampling window {dt:.2}s)"
+        );
+    }
+}
+
+properties! {
+    /// Spans opened on pool workers must nest LIFO per thread and carry
+    /// parents recorded on the same thread, whatever the fan-out.
+    fn span_nesting_is_well_formed_under_par_map(rng) {
+        let tasks: Vec<usize> =
+            (0..prop::usize_in(rng, 1, 9)).map(|_| rng.index(5)).collect();
+        let session = trace::session(1 << 14);
+        let results = par_map(tasks.clone(), |depth| {
+            fn nest(d: usize) {
+                let mut s = span!("prop.level", depth = d);
+                if d > 0 {
+                    nest(d - 1);
+                }
+                s.record("done", true);
+            }
+            nest(depth);
+            trace::counter("prop.tasks", 1);
+            depth
+        });
+        let report = session.finish();
+        report.well_formed().expect("concurrent spans must stay well-formed");
+        assert_eq!(results, tasks);
+        assert_eq!(report.counters["prop.tasks"] as usize, tasks.len());
+        // One span per nesting level per task.
+        let expected: usize = tasks.iter().map(|d| d + 1).sum();
+        let levels = report.spans().iter().filter(|s| s.name == "prop.level").count();
+        assert_eq!(levels, expected);
+    }
+}
