@@ -1,0 +1,30 @@
+//! Flight-recorder baselines: per-benchmark per-phase trace aggregates
+//! stored under the `trace_baselines` group of `BENCH_results.json`.
+//!
+//! Each entry is timed untraced as usual; the stored baseline comes from
+//! one traced run of the identical pinned recipe
+//! (`vpp_core::flight::baseline_ctx` / `baseline_cfg`), rolled up into a
+//! whole-run aggregate plus one sample per `protocol.repeat` subtree.
+//! `vpp trace diff <benchmark>` re-runs that recipe and compares against
+//! what this bench stored.
+
+use std::hint::black_box;
+use vpp_core::benchmarks;
+use vpp_core::flight;
+use vpp_core::protocol::measure;
+use vpp_substrate::Harness;
+
+fn main() {
+    let mut h = Harness::new(flight::BASELINE_GROUP);
+    let ctx = flight::baseline_ctx();
+    let cfg = flight::baseline_cfg();
+
+    for bench in [benchmarks::si256_hse(), benchmarks::b_hr105_hse()] {
+        let name = bench.name().to_string();
+        h.bench_traced(&name, flight::SAMPLE_SPAN, move || {
+            black_box(measure(&bench, &cfg, &ctx).runtime_s)
+        });
+    }
+
+    h.finish();
+}

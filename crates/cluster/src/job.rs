@@ -37,6 +37,11 @@ pub struct JobSpec {
     /// OS-noise amplitude: each op on each rank is stretched by up to this
     /// fraction (uniform, per-rank deterministic). 0 = no jitter.
     pub os_jitter: f64,
+    /// Fault injection for regression-triage testing: stretch every
+    /// compute op (GPU and host, not collectives) inside phases of the
+    /// given kind by the factor. `vpp trace diff` must name exactly this
+    /// phase as the culprit.
+    pub phase_slowdown: Option<(PhaseKind, f64)>,
 }
 
 impl JobSpec {
@@ -52,6 +57,7 @@ impl JobSpec {
             init_host_s: 6.0,
             straggler: None,
             os_jitter: 0.0,
+            phase_slowdown: None,
         }
     }
 }
@@ -114,6 +120,29 @@ pub fn execute(plan: &ScfPlan, spec: &JobSpec, network: &NetworkModel) -> JobRes
         assert!(s.node < spec.nodes, "straggler node out of range");
         assert!(s.slowdown >= 1.0, "straggler must not speed up");
     }
+    if let Some((_, f)) = spec.phase_slowdown {
+        assert!(f.is_finite() && f > 0.0, "phase slowdown factor must be positive");
+    }
+    // Op-index → slowdown factor for the injected phase perturbation. The
+    // injected init op at seq 0 precedes the plan, so plan op `i` runs at
+    // sequence `i + 1`.
+    let phase_factor = |seq: usize| -> f64 {
+        let Some((kind, f)) = spec.phase_slowdown else {
+            return 1.0;
+        };
+        let Some(i) = seq.checked_sub(1) else {
+            return 1.0;
+        };
+        if plan
+            .phases
+            .iter()
+            .any(|ph| ph.kind == kind && ph.start <= i && i < ph.end)
+        {
+            f
+        } else {
+            1.0
+        }
+    };
     let mut jitter_rngs: Vec<Rng> = (0..ranks)
         .map(|r| Rng::new(spec.seed ^ 0x6a69_7474).fork(r as u64))
         .collect();
@@ -153,17 +182,51 @@ pub fn execute(plan: &ScfPlan, spec: &JobSpec, network: &NetworkModel) -> JobRes
     // sequence 0 shifts every plan op index by one. `sim_t0`/`sim_t1`
     // bracket each phase on the simulated clock (min at entry, max at
     // exit) so traced boundaries can be compared with changepoints found
-    // on the power signal alone.
-    let mut open_phase: Option<(trace::SpanGuard, usize)> = None;
+    // on the power signal alone. Each phase also snapshots the fleet's
+    // accumulated component energy at entry so its exit can record the
+    // exact energy attributed to the phase's ops (`energy_j`) — the
+    // quantity the flight-recorder baselines and `vpp trace diff` track.
+    struct OpenPhase {
+        guard: trace::SpanGuard,
+        end: usize,
+        energy0: f64,
+        cpu_ends0: Vec<f64>,
+    }
+    let mut open_phase: Option<OpenPhase> = None;
     let clock_min = |c: &[f64]| c.iter().copied().fold(f64::INFINITY, f64::min);
     let clock_max = |c: &[f64]| c.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let acc_energy = |gpu: &[PowerTrace], cpu: &[PowerTrace], mem: &[PowerTrace]| -> f64 {
+        gpu.iter()
+            .chain(cpu.iter())
+            .chain(mem.iter())
+            .map(PowerTrace::energy)
+            .sum()
+    };
+    // Energy attributed to the open phase: growth of the accumulated
+    // GPU/CPU/DDR energy since phase entry, plus peripherals over each
+    // node's locally elapsed span. Exact (not a window estimate): every
+    // queried interval ends at a trace's current end.
+    let phase_energy = |ph: &OpenPhase,
+                        gpu: &[PowerTrace],
+                        cpu: &[PowerTrace],
+                        mem: &[PowerTrace],
+                        nodes: &[NodeInstance]| {
+        let periph: f64 = nodes
+            .iter()
+            .zip(cpu.iter().zip(&ph.cpu_ends0))
+            .map(|(n, (c, e0))| (c.end() - e0) * n.periph_active_w)
+            .sum();
+        acc_energy(gpu, cpu, mem) - ph.energy0 + periph
+    };
 
     for (seq, op) in std::iter::once(&init).chain(plan.ops.iter()).enumerate() {
         if tracing {
-            if let Some((_, end)) = open_phase.as_ref() {
-                if seq >= *end {
-                    let (mut g, _) = open_phase.take().unwrap();
-                    g.record("sim_t1", clock_max(&clock));
+            if let Some(open) = open_phase.as_ref() {
+                if seq >= open.end {
+                    let mut ph = open_phase.take().unwrap();
+                    let e = phase_energy(&ph, &gpu_traces, &cpu_traces, &mem_traces, &nodes);
+                    ph.guard.record("sim_t1", clock_max(&clock));
+                    ph.guard.record("energy_j", e);
                 }
             }
             if open_phase.is_none() {
@@ -180,7 +243,12 @@ pub fn execute(plan: &ScfPlan, spec: &JobSpec, network: &NetworkModel) -> JobRes
                     let g = trace::SpanGuard::open(name, || {
                         vec![("index", index.into()), ("sim_t0", t0.into())]
                     });
-                    open_phase = Some((g, end));
+                    open_phase = Some(OpenPhase {
+                        guard: g,
+                        end,
+                        energy0: acc_energy(&gpu_traces, &cpu_traces, &mem_traces),
+                        cpu_ends0: cpu_traces.iter().map(PowerTrace::end).collect(),
+                    });
                 }
             }
             trace::counter(
@@ -192,19 +260,20 @@ pub fn execute(plan: &ScfPlan, spec: &JobSpec, network: &NetworkModel) -> JobRes
                 1,
             );
         }
+        let pf = phase_factor(seq);
         match op {
             Op::Gpu(kernel) => {
                 for r in 0..ranks {
                     let gpu = &nodes[r / gpn].gpus[r % gpn];
                     let ex = gpu.execute(kernel);
-                    let dur = ex.duration_s * stretch(r, &mut jitter_rngs);
+                    let dur = ex.duration_s * stretch(r, &mut jitter_rngs) * pf;
                     gpu_traces[r].push(dur, ex.watts);
                     clock[r] += dur;
                 }
                 for (n, node) in nodes.iter().enumerate() {
                     // The host drives launch queues while GPUs compute; use
                     // the node's first rank as the node-local timeline.
-                    let dur = nodes[n].gpus[0].execute(kernel).duration_s;
+                    let dur = nodes[n].gpus[0].execute(kernel).duration_s * pf;
                     cpu_traces[n].push(dur, node.cpu.power(CpuModel::GPU_HOST_DRIVE));
                     mem_traces[n].push(dur, node.mem.power(MemoryModel::GPU_HOST_DRIVE));
                 }
@@ -214,14 +283,15 @@ pub fn execute(plan: &ScfPlan, spec: &JobSpec, network: &NetworkModel) -> JobRes
                 cpu_active,
                 mem_active,
             } => {
+                let dur = duration_s * pf;
                 for r in 0..ranks {
                     let gpu = &nodes[r / gpn].gpus[r % gpn];
-                    gpu_traces[r].push(*duration_s, gpu.idle_w());
-                    clock[r] += duration_s;
+                    gpu_traces[r].push(dur, gpu.idle_w());
+                    clock[r] += dur;
                 }
                 for (n, node) in nodes.iter().enumerate() {
-                    cpu_traces[n].push(*duration_s, node.cpu.power(*cpu_active));
-                    mem_traces[n].push(*duration_s, node.mem.power(*mem_active));
+                    cpu_traces[n].push(dur, node.cpu.power(*cpu_active));
+                    mem_traces[n].push(dur, node.mem.power(*mem_active));
                 }
             }
             Op::Collective { bytes, kind } => {
@@ -263,11 +333,10 @@ pub fn execute(plan: &ScfPlan, spec: &JobSpec, network: &NetworkModel) -> JobRes
         }
     }
 
-    // Final barrier: the job ends when the slowest rank finishes.
+    // Final barrier: the job ends when the slowest rank finishes. Pad
+    // every channel out to the barrier first, so the last phase's energy
+    // attribution includes the barrier-wait idle energy.
     let t_end = clock.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-    if let Some((mut g, _)) = open_phase.take() {
-        g.record("sim_t1", t_end);
-    }
     job_span.record("runtime_s", t_end - spec.start_s);
     for r in 0..ranks {
         let pad = t_end - clock[r];
@@ -285,6 +354,11 @@ pub fn execute(plan: &ScfPlan, spec: &JobSpec, network: &NetworkModel) -> JobRes
         if pad > 0.0 {
             mem_traces[n].push(pad, node.mem.power(0.0));
         }
+    }
+    if let Some(mut ph) = open_phase.take() {
+        let e = phase_energy(&ph, &gpu_traces, &cpu_traces, &mem_traces, &nodes);
+        ph.guard.record("sim_t1", t_end);
+        ph.guard.record("energy_j", e);
     }
 
     // Assemble per-node channels (peripherals active for the job's span).
@@ -539,6 +613,77 @@ mod tests {
             report.counters["job.ops.collective"] as usize,
             plan.collective_count()
         );
+    }
+
+    #[test]
+    fn phase_energy_attribution_sums_to_job_energy() {
+        let plan = si_plan(64, 1);
+        let session = vpp_substrate::trace::session(1 << 16);
+        let res = execute(&plan, &quick_spec(1), &NetworkModel::perlmutter());
+        let report = session.finish();
+        let spans = report.spans();
+        let phases: Vec<_> = spans
+            .iter()
+            .filter(|s| s.name.starts_with("phase."))
+            .collect();
+        assert!(!phases.is_empty());
+        for ph in &phases {
+            assert!(
+                ph.field_f64("energy_j").unwrap() > 0.0,
+                "{} must attribute energy",
+                ph.name
+            );
+        }
+        // Every op belongs to exactly one phase and the final-barrier pad
+        // is folded into the last phase, so the attribution partitions
+        // the job's total energy.
+        let phase_e: f64 = phases.iter().map(|s| s.field_f64("energy_j").unwrap()).sum();
+        let total = res.energy_j();
+        assert!(
+            (phase_e - total).abs() < 1e-6 * total,
+            "phase sum {phase_e} vs job total {total}"
+        );
+    }
+
+    #[test]
+    fn phase_slowdown_stretches_only_the_target_phase() {
+        let plan = si_plan(64, 1);
+        let net = NetworkModel::perlmutter();
+        let run_traced = |spec: &JobSpec| {
+            let session = vpp_substrate::trace::session(1 << 16);
+            let res = execute(&plan, spec, &net);
+            (res, session.finish().aggregate())
+        };
+        let (base, base_agg) = run_traced(&quick_spec(1));
+        let mut spec = quick_spec(1);
+        spec.phase_slowdown = Some((PhaseKind::ScfIter, 1.5));
+        let (slow, slow_agg) = run_traced(&spec);
+        let (again, _) = run_traced(&spec);
+        assert_eq!(slow.runtime_s, again.runtime_s, "injection must be seeded");
+        assert!(slow.runtime_s > base.runtime_s);
+
+        let sim = |agg: &vpp_substrate::trace::TraceAggregate, name: &str| {
+            agg.span(name).unwrap().sim_s
+        };
+        assert_eq!(
+            sim(&base_agg, "phase.init"),
+            sim(&slow_agg, "phase.init"),
+            "untargeted phase must be untouched"
+        );
+        let ratio = sim(&slow_agg, "phase.scf_iter") / sim(&base_agg, "phase.scf_iter");
+        assert!(
+            (1.2..=1.5 + 1e-9).contains(&ratio),
+            "compute ops stretch 1.5x, collectives don't: ratio {ratio}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "phase slowdown factor must be positive")]
+    fn phase_slowdown_factor_is_validated() {
+        let plan = si_plan(64, 1);
+        let mut spec = quick_spec(1);
+        spec.phase_slowdown = Some((PhaseKind::ScfIter, 0.0));
+        let _ = execute(&plan, &spec, &NetworkModel::perlmutter());
     }
 
     #[test]

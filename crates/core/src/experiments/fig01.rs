@@ -48,6 +48,7 @@ pub fn run(ctx: &StudyContext) -> Fig01 {
         init_host_s: 6.0,
         straggler: None,
         os_jitter: 0.0,
+        phase_slowdown: None,
     };
     let result = execute(&plan, &spec, &ctx.network);
 

@@ -55,6 +55,7 @@ pub fn run(ctx: &StudyContext) -> Fig06 {
                 init_host_s: 2.0,
                 straggler: None,
                 os_jitter: 0.0,
+                phase_slowdown: None,
             };
             let res = execute(&plan, &spec, &ctx.network);
             let c = &res.node_traces[0];

@@ -10,9 +10,13 @@
 //!   `fig13`), each returning structured rows plus a rendered text table.
 //! * [`predict`] — the §VI-C "next step": a first-cut power predictor from
 //!   input parameters.
+//! * [`flight`] — the flight recorder: per-benchmark trace baselines for
+//!   `vpp trace diff` regression triage, and the per-phase
+//!   energy-to-solution table.
 
 pub mod benchmarks;
 pub mod experiments;
+pub mod flight;
 pub mod plot;
 pub mod predict;
 pub mod protocol;

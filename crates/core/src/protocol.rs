@@ -8,7 +8,7 @@
 
 use crate::benchmarks::Benchmark;
 use vpp_cluster::{execute, JobResult, JobSpec, NetworkModel};
-use vpp_dft::{build_plan, CostModel, ParallelLayout, ScfPlan};
+use vpp_dft::{build_plan, CostModel, ParallelLayout, PhaseKind, ScfPlan};
 use vpp_stats::PowerSummary;
 use vpp_telemetry::{quarantine, DataQuality, QualityConfig, RawSeries, Sampler, TimeSeries};
 
@@ -78,6 +78,10 @@ pub struct RunConfig {
     pub cap_w: Option<f64>,
     /// Salt so distinct experiments draw distinct fleets.
     pub seed_salt: u64,
+    /// Artificial slowdown injected into every repeat's jobs
+    /// ([`JobSpec::phase_slowdown`]) — the regression fixture that
+    /// `vpp trace diff` must rank as the culprit phase.
+    pub perturb: Option<(PhaseKind, f64)>,
 }
 
 impl RunConfig {
@@ -88,6 +92,7 @@ impl RunConfig {
             nodes,
             cap_w: None,
             seed_salt: 0,
+            perturb: None,
         }
     }
 
@@ -95,10 +100,16 @@ impl RunConfig {
     #[must_use]
     pub fn capped(nodes: usize, cap_w: f64) -> Self {
         Self {
-            nodes,
             cap_w: Some(cap_w),
-            seed_salt: 0,
+            ..Self::nodes(nodes)
         }
+    }
+
+    /// This config with an injected phase slowdown.
+    #[must_use]
+    pub fn perturbed(mut self, phase: PhaseKind, factor: f64) -> Self {
+        self.perturb = Some((phase, factor));
+        self
     }
 }
 
@@ -150,28 +161,32 @@ pub fn measure(bench: &Benchmark, cfg: &RunConfig, ctx: &StudyContext) -> Measur
     let plan = plan_for(bench, cfg.nodes, ctx);
     // Repeats are independent fleets — fan out on the substrate pool (runs
     // serially when a caller higher in the stack already holds the pool).
-    let results: Vec<JobResult> = vpp_substrate::par_map((0..ctx.repeats.max(1)).collect(), |rep| {
-        let mut rep_span = vpp_substrate::span!("protocol.repeat", rep = rep);
-        let spec = JobSpec {
-            nodes: cfg.nodes,
-            gpu_power_cap_w: cfg.cap_w,
-            seed: ctx
-                .base_seed
-                .wrapping_add(cfg.seed_salt.wrapping_mul(0x9E37_79B9))
-                .wrapping_add(rep as u64 * 0x1000_0001),
-            start_s: 0.0,
-            init_host_s: 6.0,
-            straggler: None,
-            os_jitter: 0.0,
-        };
-        let result = execute(&plan, &spec, &ctx.network);
-        rep_span.record("runtime_s", result.runtime_s);
-        result
-    });
+    // Each repeat carries its span id forward so the quality gate can
+    // link any re-collection back to the measurement it rescued.
+    let results: Vec<(JobResult, Option<u64>)> =
+        vpp_substrate::par_map((0..ctx.repeats.max(1)).collect(), |rep| {
+            let mut rep_span = vpp_substrate::span!("protocol.repeat", rep = rep);
+            let spec = JobSpec {
+                nodes: cfg.nodes,
+                gpu_power_cap_w: cfg.cap_w,
+                seed: ctx
+                    .base_seed
+                    .wrapping_add(cfg.seed_salt.wrapping_mul(0x9E37_79B9))
+                    .wrapping_add(rep as u64 * 0x1000_0001),
+                start_s: 0.0,
+                init_host_s: 6.0,
+                straggler: None,
+                os_jitter: 0.0,
+                phase_slowdown: cfg.perturb,
+            };
+            let result = execute(&plan, &spec, &ctx.network);
+            rep_span.record("runtime_s", result.runtime_s);
+            (result, rep_span.id())
+        });
 
-    let best = results
+    let (best, best_span) = results
         .into_iter()
-        .min_by(|a, b| a.runtime_s.total_cmp(&b.runtime_s))
+        .min_by(|a, b| a.0.runtime_s.total_cmp(&b.0.runtime_s))
         .expect("at least one repeat");
 
     // Short runs starve the production 2-s cadence; fall back to a
@@ -200,15 +215,23 @@ pub fn measure(bench: &Benchmark, cfg: &RunConfig, ctx: &StudyContext) -> Measur
             break;
         }
         vpp_substrate::trace::counter("protocol.recollections", 1);
-        vpp_substrate::trace::mark_with("protocol.recollect", || {
+        // A span (not a mark) so the re-collection has its own duration
+        // and can carry `link_span` — the id of the repeat whose
+        // measurement it is rescuing. Quarantine forensics walk this
+        // link from a flagged series back to the job that produced it.
+        let mut rc_span = vpp_substrate::trace::SpanGuard::open("protocol.recollect", || {
             vec![
                 ("attempt", attempt.into()),
                 ("coverage", node_quality.coverage.into()),
             ]
         });
+        if let Some(id) = best_span {
+            rc_span.record("link_span", id);
+        }
         active.seed = sampler.seed.wrapping_add(attempt.wrapping_mul(0x9E37_79B9));
         node_series = active.sample(&best.node_traces[0].node);
         node_quality = assess(&node_series, active.interval_s);
+        rc_span.record("new_coverage", node_quality.coverage);
     }
     let quality_flagged = node_quality.coverage < ctx.min_coverage;
     if quality_flagged {
@@ -219,10 +242,19 @@ pub fn measure(bench: &Benchmark, cfg: &RunConfig, ctx: &StudyContext) -> Measur
         // drop-free re-collection keeps the pipeline total, with the flag
         // recording that production telemetry never reached the bar.
         vpp_substrate::trace::counter("protocol.rescue_recollections", 1);
+        let mut rescue_span =
+            vpp_substrate::trace::SpanGuard::open("protocol.rescue_recollect", || {
+                vec![("coverage", node_quality.coverage.into())]
+            });
+        if let Some(id) = best_span {
+            rescue_span.record("link_span", id);
+        }
         active = Sampler::ideal((best.runtime_s / 64.0).max(0.1));
         node_series = active.sample(&best.node_traces[0].node);
         node_quality = assess(&node_series, active.interval_s);
+        rescue_span.record("new_coverage", node_quality.coverage);
     }
+    vpp_substrate::trace::gauge("protocol.coverage", node_quality.coverage);
     let gpu_series = active.sample(&best.node_traces[0].gpus[0]);
     assert!(
         node_series.len() >= 8,
@@ -286,6 +318,7 @@ mod tests {
                 init_host_s: 6.0,
                 straggler: None,
                 os_jitter: 0.0,
+                phase_slowdown: None,
             };
             runtimes.push(execute(&plan, &spec, &ctx.network).runtime_s);
         }
@@ -327,6 +360,60 @@ mod tests {
         assert!(m.quality_flagged, "production telemetry never reached the bar");
         assert!(m.node_series.len() >= 8);
         assert!(m.node_quality.coverage > 0.9, "rescue is drop-free");
+    }
+
+    #[test]
+    fn recollections_are_spans_linked_to_the_rescued_repeat() {
+        let bench = benchmarks::b_hr105_hse();
+        let mut ctx = StudyContext::quick();
+        ctx.sampler = Sampler::new(0.25, 0.7, 0xBAD);
+        ctx.min_coverage = 0.9; // unreachable: forces re-collections
+        let session = vpp_substrate::trace::session(1 << 20);
+        let m = measure(&bench, &RunConfig::nodes(1), &ctx);
+        let report = session.finish();
+        assert!(m.quality_flagged);
+        assert_eq!(report.counters["protocol.recollections"], 2);
+
+        let spans = report.spans();
+        let recollects: Vec<_> = spans
+            .iter()
+            .filter(|s| s.name == "protocol.recollect")
+            .collect();
+        assert_eq!(recollects.len(), 2, "both retries must be spans");
+        // Every re-collection links to the repeat whose measurement it
+        // rescued: the one that produced the representative runtime.
+        let best_rep = spans
+            .iter()
+            .find(|s| {
+                s.name == "protocol.repeat"
+                    && s.field_f64("runtime_s")
+                        .is_some_and(|r| (r - m.runtime_s).abs() < 1e-12)
+            })
+            .expect("the representative repeat span");
+        for rc in &recollects {
+            assert_eq!(
+                rc.field_f64("link_span"),
+                Some(best_rep.id as f64),
+                "re-collection must link the rescued measurement"
+            );
+            assert!(rc.field_f64("attempt").is_some());
+            assert!(rc.field_f64("new_coverage").is_some());
+            assert!(rc.duration_ns().is_some(), "re-collection must close");
+        }
+        // The final coverage is exported as a gauge for scrapers.
+        assert!(report.gauges["protocol.coverage"] < 0.9);
+    }
+
+    #[test]
+    fn perturbed_config_slows_only_the_target_phase() {
+        let bench = benchmarks::b_hr105_hse();
+        let ctx = StudyContext::single();
+        let base = measure(&bench, &RunConfig::nodes(1), &ctx);
+        let cfg = RunConfig::nodes(1).perturbed(vpp_dft::PhaseKind::ScfIter, 1.5);
+        let slow = measure(&bench, &cfg, &ctx);
+        assert!(slow.runtime_s > base.runtime_s * 1.1);
+        let again = measure(&bench, &cfg, &ctx);
+        assert_eq!(slow.runtime_s, again.runtime_s, "injection is deterministic");
     }
 
     #[test]

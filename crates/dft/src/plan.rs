@@ -63,6 +63,21 @@ impl PhaseKind {
             PhaseKind::RpaChi0 => "phase.rpa_chi0",
         }
     }
+
+    /// Inverse of [`PhaseKind::name`], also accepting the bare suffix
+    /// (`"scf_iter"` as well as `"phase.scf_iter"`) — the form the CLI's
+    /// `--perturb` flag takes.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<PhaseKind> {
+        let bare = s.strip_prefix("phase.").unwrap_or(s);
+        match bare {
+            "init" => Some(PhaseKind::Init),
+            "scf_iter" => Some(PhaseKind::ScfIter),
+            "rpa_diag" => Some(PhaseKind::RpaDiag),
+            "rpa_chi0" => Some(PhaseKind::RpaChi0),
+            _ => None,
+        }
+    }
 }
 
 /// A contiguous run of ops `[start, end)` forming one logical phase.

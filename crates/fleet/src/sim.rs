@@ -200,6 +200,7 @@ pub fn simulate(spec: &FleetSpec, requests: &[JobRequest], network: &NetworkMode
                         init_host_s: 6.0,
                         straggler: None,
                         os_jitter: 0.0,
+                        phase_slowdown: None,
                     };
                     let result = execute(&req.plan, &job_spec, network);
                     let end_s = t + result.runtime_s;

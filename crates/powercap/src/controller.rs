@@ -82,7 +82,9 @@ impl Controller {
         );
         trace::counter("powercap.cycles", 1);
         // Overshoot is the regulator's headline health metric: watts above
-        // budget entering this cycle (0 when under).
+        // budget entering this cycle (0 when under). The budget gauge
+        // makes the target visible in the same exposition.
+        trace::gauge("powercap.budget_w", self.budget_w);
         trace::gauge("powercap.overshoot_w", error.max(0.0));
         if error > 0.0 {
             trace::counter("powercap.cycles_over_budget", 1);

@@ -13,7 +13,9 @@
 //! * [`violin`] — the quartile + density summaries behind Fig. 9;
 //! * [`perf`] — speedup / parallel-efficiency helpers (Fig. 4);
 //! * [`summary`] — the one-stop [`summary::PowerSummary`] the experiment
-//!   harness reports for every run.
+//!   harness reports for every run;
+//! * [`trace_diff`] — flight-recorder regression triage: paired-bootstrap
+//!   comparison of per-phase trace aggregates against a stored baseline.
 
 pub mod bootstrap;
 pub mod describe;
@@ -24,6 +26,7 @@ pub mod perf;
 pub mod periodicity;
 pub mod phases;
 pub mod summary;
+pub mod trace_diff;
 pub mod violin;
 
 pub use bootstrap::{bootstrap_ci, high_power_mode_ci, ConfidenceInterval};
@@ -34,4 +37,5 @@ pub use perf::parallel_efficiency;
 pub use periodicity::{autocorrelation, dominant_period};
 pub use phases::{Phase, Segmenter};
 pub use summary::{PowerSummary, ScreenedSummary};
+pub use trace_diff::{diff as trace_diff, CounterDelta, DiffConfig, DiffRow, TraceDiff};
 pub use violin::ViolinStats;

@@ -19,6 +19,7 @@
 //!   full bench binary completes in seconds (used by `scripts/verify.sh`).
 
 use crate::json::{self, Value};
+use crate::trace::{self, TraceAggregate};
 use std::time::{Duration, Instant};
 
 /// One timed entry.
@@ -29,6 +30,70 @@ pub struct Entry {
     pub median_ns: f64,
     /// Total calls measured (across all batches).
     pub calls: u64,
+}
+
+/// A per-benchmark flight-recorder baseline: the whole-run trace aggregate
+/// (per-phase wall/sim/energy totals plus counters) and one aggregate per
+/// repeat subtree, so a later `vpp trace diff` can bootstrap a paired CI
+/// over repeats instead of comparing two opaque top-line numbers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceBaseline {
+    /// Whole-report aggregate (includes session counters).
+    pub aggregate: TraceAggregate,
+    /// Per-repeat subtree aggregates, ordered by the repeat's `rep` field.
+    pub samples: Vec<TraceAggregate>,
+}
+
+impl TraceBaseline {
+    /// Serialise for the `baselines` member of a bench group.
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        Value::Obj(vec![
+            ("aggregate".into(), self.aggregate.to_json()),
+            (
+                "samples".into(),
+                Value::Arr(self.samples.iter().map(TraceAggregate::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Parse a baseline previously written by [`TraceBaseline::to_json`].
+    ///
+    /// # Errors
+    /// Describes the first missing or mistyped member.
+    pub fn from_json(v: &Value) -> Result<TraceBaseline, String> {
+        let aggregate = TraceAggregate::from_json(
+            v.get("aggregate").ok_or("baseline: missing 'aggregate'")?,
+        )?;
+        let samples = v
+            .get("samples")
+            .and_then(Value::as_arr)
+            .ok_or("baseline: missing 'samples' array")?
+            .iter()
+            .map(TraceAggregate::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(TraceBaseline { aggregate, samples })
+    }
+}
+
+/// Load one benchmark's stored [`TraceBaseline`] from a bench report
+/// written by [`Harness::finish`].
+///
+/// # Errors
+/// If the file is missing/unparseable or the group/benchmark has no
+/// baseline recorded.
+pub fn load_baseline(path: &str, group: &str, name: &str) -> Result<TraceBaseline, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let report = json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let entry = report
+        .get("groups")
+        .and_then(|g| g.get(group))
+        .and_then(|g| g.get("baselines"))
+        .and_then(|b| b.get(name))
+        .ok_or_else(|| {
+            format!("{path}: no baseline for '{name}' in group '{group}' — run the baselines bench first")
+        })?;
+    TraceBaseline::from_json(entry)
 }
 
 /// One before/after comparison.
@@ -48,6 +113,7 @@ pub struct Harness {
     measure: Duration,
     entries: Vec<Entry>,
     comparisons: Vec<Comparison>,
+    baselines: Vec<(String, TraceBaseline)>,
 }
 
 impl Harness {
@@ -66,6 +132,7 @@ impl Harness {
             measure: Duration::from_millis(measure_ms),
             entries: Vec::new(),
             comparisons: Vec::new(),
+            baselines: Vec::new(),
         }
     }
 
@@ -78,6 +145,39 @@ impl Harness {
             median_ns,
             calls,
         });
+    }
+
+    /// Time one function and additionally record its flight-recorder
+    /// baseline: `f` is timed untraced as usual, then run once inside a
+    /// trace session whose report is rolled up into a [`TraceBaseline`]
+    /// (whole-run aggregate plus one per-repeat sample for every
+    /// `sample_span` subtree, e.g. `"protocol.repeat"`). The baseline is
+    /// written under the group's `baselines` member by
+    /// [`Harness::finish`], where `vpp trace diff` finds it.
+    pub fn bench_traced<R, F: FnMut() -> R>(
+        &mut self,
+        name: &str,
+        sample_span: &'static str,
+        mut f: F,
+    ) {
+        self.bench(name, &mut f);
+        let session = trace::session(1 << 22);
+        std::hint::black_box(f());
+        let report = session.finish();
+        assert_eq!(
+            report.dropped, 0,
+            "baseline trace for '{name}' overflowed its event budget"
+        );
+        let baseline = TraceBaseline {
+            aggregate: report.aggregate(),
+            samples: report.aggregates_under(sample_span),
+        };
+        eprintln!(
+            "  {name:<44} baseline: {} span kinds, {} repeat sample(s)",
+            baseline.aggregate.spans.len(),
+            baseline.samples.len()
+        );
+        self.baselines.push((name.to_string(), baseline));
     }
 
     /// Time a before/after pair and record the speedup.
@@ -176,10 +276,21 @@ impl Harness {
                 })
                 .collect(),
         );
-        let group = Value::Obj(vec![
+        let mut group = Value::Obj(vec![
             ("entries".into(), entries),
             ("comparisons".into(), comparisons),
         ]);
+        if !self.baselines.is_empty() {
+            group.set(
+                "baselines",
+                Value::Obj(
+                    self.baselines
+                        .iter()
+                        .map(|(name, b)| (name.clone(), b.to_json()))
+                        .collect(),
+                ),
+            );
+        }
         if report.get("groups").is_none() {
             report.set("groups", Value::Obj(vec![]));
         }
@@ -218,6 +329,9 @@ fn fmt_ns(ns: f64) -> String {
 mod tests {
     use super::*;
 
+    /// Serialises tests that point VPP_BENCH_OUT at their own temp file.
+    static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     fn smoke_harness(group: &str) -> Harness {
         Harness {
             group: group.to_string(),
@@ -225,6 +339,7 @@ mod tests {
             measure: Duration::from_millis(5),
             entries: Vec::new(),
             comparisons: Vec::new(),
+            baselines: Vec::new(),
         }
     }
 
@@ -258,7 +373,7 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("BENCH_results.json");
         let _ = std::fs::remove_file(&path);
-        // Serialise access to the env var within this test binary.
+        let _env = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         std::env::set_var("VPP_BENCH_OUT", &path);
 
         let mut a = smoke_harness("alpha");
@@ -293,6 +408,44 @@ mod tests {
                 .is_some()
         );
         std::env::remove_var("VPP_BENCH_OUT");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn bench_traced_stores_a_loadable_baseline() {
+        let dir = std::env::temp_dir().join(format!("vpp_baseline_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_baseline.json");
+        let _ = std::fs::remove_file(&path);
+
+        let mut h = smoke_harness("trace_baselines");
+        h.bench_traced("toy", "toy.rep", || {
+            // Only the traced run records spans; the timing runs see a
+            // disabled recorder and stay silent.
+            for rep in 0..3u64 {
+                let _r = crate::span!("toy.rep", rep = rep);
+                let mut p = crate::span!("toy.phase", sim_t0 = 0.0);
+                p.record("sim_t1", 2.0);
+                p.record("energy_j", 5.0);
+            }
+            trace::counter("toy.ticks", 1);
+        });
+        assert_eq!(h.baselines.len(), 1);
+        let b = &h.baselines[0].1;
+        assert_eq!(b.samples.len(), 3);
+        assert_eq!(b.aggregate.span("toy.phase").unwrap().count, 3);
+        assert!((b.aggregate.span("toy.phase").unwrap().energy_j - 15.0).abs() < 1e-9);
+
+        // Round-trips through finish() + load_baseline().
+        let _env = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        std::env::set_var("VPP_BENCH_OUT", &path);
+        let expected = b.clone();
+        h.finish();
+        std::env::remove_var("VPP_BENCH_OUT");
+        let loaded =
+            load_baseline(path.to_str().unwrap(), "trace_baselines", "toy").unwrap();
+        assert_eq!(loaded, expected);
+        assert!(load_baseline(path.to_str().unwrap(), "trace_baselines", "missing").is_err());
         let _ = std::fs::remove_file(&path);
     }
 }

@@ -79,6 +79,45 @@ impl Value {
         out
     }
 
+    /// Serialise on one line with no whitespace — the JSONL record shape.
+    #[must_use]
+    pub fn compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Num(x) => write_num(out, *x),
+            Value::Str(s) => write_str(out, s),
+            Value::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write_compact(out);
+                }
+                out.push(']');
+            }
+            Value::Obj(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_str(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write(&self, out: &mut String, indent: usize) {
         let pad = "  ".repeat(indent + 1);
         let close = "  ".repeat(indent);
@@ -437,6 +476,23 @@ mod tests {
         assert_eq!(
             parse(r#""\ud83d\ud83d\ude00""#).unwrap(),
             Value::Str("\u{fffd}\u{1f600}".into())
+        );
+    }
+
+    #[test]
+    fn compact_is_single_line_and_reparses() {
+        let doc = Value::Obj(vec![
+            ("name".into(), Value::Str("a\"b\nc".into())),
+            ("xs".into(), Value::Arr(vec![Value::Num(1.0), Value::Null])),
+            ("obj".into(), Value::Obj(vec![("k".into(), Value::Bool(true))])),
+            ("empty".into(), Value::Arr(vec![])),
+        ]);
+        let line = doc.compact();
+        assert!(!line.contains('\n'), "compact must be one line: {line}");
+        assert_eq!(parse(&line).unwrap(), doc);
+        assert_eq!(
+            Value::Arr(vec![]).compact() + &Value::Obj(vec![]).compact(),
+            "[]{}"
         );
     }
 

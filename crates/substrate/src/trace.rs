@@ -18,11 +18,25 @@
 //!   a **gauge** is a last-value-wins `f64` ([`gauge`]). Neither consumes
 //!   ring-buffer capacity.
 //!
-//! A session installs one process-global recorder with a bounded ring
-//! buffer (overflow drops the newest events and counts them, so a
+//! A session installs one process-global recorder with a bounded event
+//! budget (overflow drops the newest events and counts them, so a
 //! truncated trace is detectable rather than silently misleading).
-//! Sessions are serialised on a static mutex: parallel tests each get an
-//! exclusive, uncontaminated window.
+//! Events are staged in **thread-local buffers** and flushed in bulk —
+//! when a buffer fills, when a thread's outermost span for the session
+//! closes, and at [`Session::finish`] — so the enabled path costs one
+//! uncontended lock per event instead of serialising every instrumented
+//! thread on a global ring mutex. Sessions are serialised on a static
+//! mutex: parallel tests each get an exclusive, uncontaminated window.
+//!
+//! # Flight-recorder surface
+//!
+//! A finished session yields a [`TraceReport`]; beyond the raw events it
+//! offers [`TraceReport::aggregate`] / [`TraceReport::aggregates_under`]
+//! (per-phase wall/sim/energy roll-ups used as bench baselines and by the
+//! `vpp trace diff` regression triage), [`TraceReport::to_jsonl`] (one
+//! event per line, re-parseable by [`crate::json::parse`]) and
+//! [`TraceReport::metrics_snapshot`] → [`MetricsSnapshot::to_prom`]
+//! (Prometheus text exposition for scrapers).
 //!
 //! ```
 //! use vpp_substrate::{span, trace};
@@ -40,8 +54,9 @@
 //! ```
 
 use std::cell::{Cell, RefCell};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::BTreeMap;
 use std::fmt;
+use std::fmt::Write as _;
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock};
@@ -178,7 +193,7 @@ pub enum EventKind {
     Mark,
 }
 
-/// One raw entry in the recorder's ring buffer.
+/// One raw entry in the recorder's event log.
 #[derive(Debug, Clone)]
 pub struct Event {
     /// Static event name (dot-separated vocabulary, e.g. `"scf.iter"`).
@@ -193,17 +208,68 @@ pub struct Event {
     pub fields: Vec<Field>,
 }
 
-struct Ring {
-    buf: VecDeque<Event>,
-    cap: usize,
-    dropped: u64,
+impl Event {
+    /// Canonical JSON encoding — the line format of
+    /// [`TraceReport::to_jsonl`]. Re-parsing the encoding with
+    /// [`crate::json::parse`] yields a structurally equal value, so the
+    /// JSONL stream round-trips through the in-tree parser.
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        let kind = match self.kind {
+            EventKind::Enter { .. } => "enter",
+            EventKind::Exit { .. } => "exit",
+            EventKind::Mark => "mark",
+        };
+        let mut obj = vec![
+            ("kind".to_string(), Value::Str(kind.to_string())),
+            ("name".to_string(), Value::Str(self.name.to_string())),
+            ("t_ns".to_string(), Value::Num(self.t_ns as f64)),
+            ("thread".to_string(), Value::Num(f64::from(self.thread))),
+        ];
+        match self.kind {
+            EventKind::Enter { span, parent } => {
+                obj.push(("span".to_string(), Value::Num(span as f64)));
+                if let Some(p) = parent {
+                    obj.push(("parent".to_string(), Value::Num(p as f64)));
+                }
+            }
+            EventKind::Exit { span } => {
+                obj.push(("span".to_string(), Value::Num(span as f64)));
+            }
+            EventKind::Mark => {}
+        }
+        obj.push((
+            "fields".to_string(),
+            Value::Obj(
+                self.fields
+                    .iter()
+                    .map(|(k, v)| ((*k).to_string(), v.to_json()))
+                    .collect(),
+            ),
+        ));
+        Value::Obj(obj)
+    }
 }
+
+/// Events a thread stages before a bulk flush to the central log.
+const FLUSH_BATCH: usize = 256;
+
+type EventBuffer = Arc<Mutex<Vec<Event>>>;
 
 /// The installed recorder backing one [`Session`].
 struct Recorder {
     id: u64,
     start: Instant,
-    ring: Mutex<Ring>,
+    /// Maximum events the session will admit.
+    cap: usize,
+    /// Events admitted so far (ticket counter; tickets ≥ `cap` drop).
+    admitted: AtomicU64,
+    dropped: AtomicU64,
+    /// Flushed event batches (per-thread subsequences stay ordered).
+    central: Mutex<Vec<Event>>,
+    /// Every thread-local staging buffer opened for this session, so
+    /// `finish` can drain stragglers without thread cooperation.
+    buffers: Mutex<Vec<EventBuffer>>,
     counters: Mutex<BTreeMap<&'static str, u64>>,
     gauges: Mutex<BTreeMap<&'static str, f64>>,
     threads: Mutex<Vec<std::thread::ThreadId>>,
@@ -214,13 +280,46 @@ impl Recorder {
         u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
     }
 
+    /// Stage an event in this thread's buffer, flushing opportunistically.
+    /// Single TL access, no per-event `Arc` traffic, and the staging `Vec`
+    /// keeps its capacity across flushes — the steady-state cost is one
+    /// uncontended lock and a `Vec` push.
     fn push(&self, ev: Event) {
-        let mut ring = lock(&self.ring);
-        if ring.buf.len() >= ring.cap {
-            ring.dropped += 1;
-        } else {
-            ring.buf.push_back(ev);
+        let ticket = self.admitted.fetch_add(1, Ordering::Relaxed);
+        if ticket >= self.cap as u64 {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
         }
+        TL_BUFFER.with(|slot| {
+            let mut slot = slot.borrow_mut();
+            if !matches!(slot.as_ref(), Some((sid, _)) if *sid == self.id) {
+                let buf: EventBuffer = Arc::new(Mutex::new(Vec::with_capacity(FLUSH_BATCH)));
+                lock(&self.buffers).push(Arc::clone(&buf));
+                *slot = Some((self.id, buf));
+            }
+            let (_, buf) = slot.as_ref().expect("installed above");
+            let mut staged = lock(buf);
+            staged.push(ev);
+            if staged.len() >= FLUSH_BATCH {
+                // Drain (not take): the staging allocation survives the
+                // flush, so steady state never touches the allocator.
+                lock(&self.central).extend(staged.drain(..));
+            }
+        });
+    }
+
+    /// Move this thread's staged events into the central log.
+    fn flush_current_thread(&self) {
+        TL_BUFFER.with(|slot| {
+            if let Some((sid, buf)) = slot.borrow().as_ref() {
+                if *sid == self.id {
+                    let mut staged = lock(buf);
+                    if !staged.is_empty() {
+                        lock(&self.central).extend(staged.drain(..));
+                    }
+                }
+            }
+        });
     }
 }
 
@@ -239,6 +338,8 @@ thread_local! {
     static SPAN_STACK: RefCell<Vec<(u64, u64)>> = const { RefCell::new(Vec::new()) };
     /// Cached `(session_id, ordinal)` so the thread registry is hit once.
     static THREAD_ORD: Cell<Option<(u64, u32)>> = const { Cell::new(None) };
+    /// This thread's staging buffer for the current session.
+    static TL_BUFFER: RefCell<Option<(u64, EventBuffer)>> = const { RefCell::new(None) };
 }
 
 /// Whether a recorder is currently installed. This is the fast-path check:
@@ -294,11 +395,11 @@ pub fn session(capacity: usize) -> Session {
     let rec = Arc::new(Recorder {
         id: NEXT_SESSION_ID.fetch_add(1, Ordering::SeqCst),
         start: Instant::now(),
-        ring: Mutex::new(Ring {
-            buf: VecDeque::with_capacity(capacity.min(1 << 16)),
-            cap: capacity,
-            dropped: 0,
-        }),
+        cap: capacity,
+        admitted: AtomicU64::new(0),
+        dropped: AtomicU64::new(0),
+        central: Mutex::new(Vec::new()),
+        buffers: Mutex::new(Vec::new()),
         counters: Mutex::new(BTreeMap::new()),
         gauges: Mutex::new(BTreeMap::new()),
         threads: Mutex::new(Vec::new()),
@@ -309,16 +410,41 @@ pub fn session(capacity: usize) -> Session {
 }
 
 impl Session {
+    /// Counters and gauges accumulated so far, without ending the session.
+    /// Span-duration summaries need the full event log, so the live
+    /// snapshot leaves [`MetricsSnapshot::spans`] empty; counters read
+    /// here are monotone across successive calls.
+    #[must_use]
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: lock(&self.rec.counters)
+                .iter()
+                .map(|(k, v)| ((*k).to_string(), *v))
+                .collect(),
+            gauges: lock(&self.rec.gauges)
+                .iter()
+                .map(|(k, v)| ((*k).to_string(), *v))
+                .collect(),
+            spans: Vec::new(),
+        }
+    }
+
     /// Uninstall the recorder and return everything it captured.
     #[must_use]
     pub fn finish(self) -> TraceReport {
         let rec = Arc::clone(&self.rec);
         drop(self); // uninstalls
-        let (events, dropped) = {
-            let mut ring = lock(&rec.ring);
-            let dropped = ring.dropped;
-            (ring.buf.drain(..).collect(), dropped)
-        };
+        let dropped = rec.dropped.load(Ordering::SeqCst);
+        // Central batches first, then per-thread stragglers: a thread's
+        // staged events are strictly later than its flushed ones, so every
+        // per-thread subsequence stays ordered; the stable sort by
+        // timestamp then rebuilds a coherent global order without ever
+        // reordering a thread against itself.
+        let mut events = std::mem::take(&mut *lock(&rec.central));
+        for buf in lock(&rec.buffers).iter() {
+            events.append(&mut *lock(buf));
+        }
+        events.sort_by_key(|e| e.t_ns);
         let counters = std::mem::take(&mut *lock(&rec.counters));
         let gauges = std::mem::take(&mut *lock(&rec.gauges));
         TraceReport {
@@ -395,6 +521,15 @@ impl SpanGuard {
         }
     }
 
+    /// The recording session's id for this span, if one is active. Other
+    /// events can carry it (e.g. a `link_span` field) to reference this
+    /// span from outside its subtree — the §III-B protocol links
+    /// re-collections to the measurement they rescued this way.
+    #[must_use]
+    pub fn id(&self) -> Option<u64> {
+        self.active.as_ref().map(|a| a.id)
+    }
+
     /// Attach a field to the span's Exit event (e.g. a result computed
     /// inside the span). No-op when tracing is disabled.
     pub fn record<V: Into<FieldValue>>(&mut self, key: &'static str, value: V) {
@@ -407,7 +542,7 @@ impl SpanGuard {
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         let Some(a) = self.active.take() else { return };
-        SPAN_STACK.with(|s| {
+        let root_closed = SPAN_STACK.with(|s| {
             let mut s = s.borrow_mut();
             if let Some(pos) = s
                 .iter()
@@ -415,6 +550,7 @@ impl Drop for SpanGuard {
             {
                 s.remove(pos);
             }
+            !s.iter().any(|(sid, _)| *sid == a.rec.id)
         });
         let thread = thread_ordinal(&a.rec);
         a.rec.push(Event {
@@ -424,6 +560,11 @@ impl Drop for SpanGuard {
             kind: EventKind::Exit { span: a.id },
             fields: a.exit_fields,
         });
+        if root_closed {
+            // The thread's outermost span for this session just closed —
+            // a natural quiescent point to publish the staged batch.
+            a.rec.flush_current_thread();
+        }
     }
 }
 
@@ -515,6 +656,16 @@ impl SpanRecord {
     pub fn field_f64(&self, key: &str) -> Option<f64> {
         self.field(key).and_then(FieldValue::as_f64)
     }
+
+    /// Simulated-clock duration `sim_t1 - sim_t0`, if the span carries a
+    /// sim-time window (the executor's phase spans do).
+    #[must_use]
+    pub fn sim_duration_s(&self) -> Option<f64> {
+        match (self.field_f64("sim_t0"), self.field_f64("sim_t1")) {
+            (Some(t0), Some(t1)) => Some(t1 - t0),
+            _ => None,
+        }
+    }
 }
 
 /// A span plus its children — one node of [`TraceReport::span_tree`].
@@ -529,13 +680,14 @@ pub struct SpanNode {
 /// Everything a finished [`Session`] captured.
 #[derive(Debug, Clone)]
 pub struct TraceReport {
-    /// Raw events in ring order (which is global record order).
+    /// Raw events, stably ordered by timestamp (per-thread record order is
+    /// preserved exactly).
     pub events: Vec<Event>,
     /// Aggregated counters.
     pub counters: BTreeMap<&'static str, u64>,
     /// Last-value gauges.
     pub gauges: BTreeMap<&'static str, f64>,
-    /// Events discarded because the ring was full.
+    /// Events discarded because the session's event budget was exhausted.
     pub dropped: u64,
 }
 
@@ -604,6 +756,23 @@ impl TraceReport {
         roots.into_iter().map(|r| build(r, &mut children)).collect()
     }
 
+    /// The subtree rooted at span `id`, if that span is in the report.
+    #[must_use]
+    pub fn subtree(&self, id: u64) -> Option<SpanNode> {
+        fn find(nodes: &[SpanNode], id: u64) -> Option<SpanNode> {
+            for n in nodes {
+                if n.record.id == id {
+                    return Some(n.clone());
+                }
+                if let Some(hit) = find(&n.children, id) {
+                    return Some(hit);
+                }
+            }
+            None
+        }
+        find(&self.span_tree(), id)
+    }
+
     /// Check that the trace is structurally sound: nothing dropped, and on
     /// every thread the Enter/Exit events form a properly nested (LIFO)
     /// sequence whose parent links match the enclosing span. This is the
@@ -650,6 +819,78 @@ impl TraceReport {
             }
         }
         Ok(())
+    }
+
+    /// Roll the whole report up into per-span-name totals plus counters.
+    #[must_use]
+    pub fn aggregate(&self) -> TraceAggregate {
+        let mut agg = TraceAggregate::default();
+        for s in self.spans() {
+            agg.add_span(&s);
+        }
+        agg.counters = self
+            .counters
+            .iter()
+            .map(|(k, v)| ((*k).to_string(), *v))
+            .collect();
+        agg
+    }
+
+    /// One [`TraceAggregate`] per span named `root` (each covering that
+    /// span's whole subtree, the root included). Results are ordered by
+    /// the root's numeric `rep` field when present — the §III-B protocol
+    /// stamps its repeat spans with one, which keeps per-repeat samples
+    /// aligned between a stored baseline and a re-run even when a work
+    /// pool finished the repeats out of order — and by enter time
+    /// otherwise. Counters are session-global, so per-subtree aggregates
+    /// carry none.
+    #[must_use]
+    pub fn aggregates_under(&self, root: &str) -> Vec<TraceAggregate> {
+        fn walk(nodes: &[SpanNode], root: &str, out: &mut Vec<(f64, u64, TraceAggregate)>) {
+            for n in nodes {
+                if n.record.name == root {
+                    let mut agg = TraceAggregate::default();
+                    agg.add_subtree(n);
+                    let rep = n.record.field_f64("rep").unwrap_or(f64::INFINITY);
+                    out.push((rep, n.record.t_enter_ns, agg));
+                } else {
+                    walk(&n.children, root, out);
+                }
+            }
+        }
+        let mut found: Vec<(f64, u64, TraceAggregate)> = Vec::new();
+        walk(&self.span_tree(), root, &mut found);
+        found.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        found.into_iter().map(|(_, _, agg)| agg).collect()
+    }
+
+    /// Counter/gauge/span-duration view of the report for the Prometheus
+    /// exposition ([`MetricsSnapshot::to_prom`]).
+    #[must_use]
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut spans: BTreeMap<String, SpanSummary> = BTreeMap::new();
+        for s in self.spans() {
+            let e = spans.entry(s.name.to_string()).or_insert_with(|| SpanSummary {
+                name: s.name.to_string(),
+                count: 0,
+                total_s: 0.0,
+            });
+            e.count += 1;
+            e.total_s += s.duration_ns().unwrap_or(0) as f64 / 1e9;
+        }
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|(k, v)| ((*k).to_string(), *v))
+                .collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .map(|(k, v)| ((*k).to_string(), *v))
+                .collect(),
+            spans: spans.into_values().collect(),
+        }
     }
 
     /// Serialise the report as a JSON value: span forest, marks, counters,
@@ -724,19 +965,27 @@ impl TraceReport {
         ])
     }
 
+    /// Serialise the raw event stream as JSON Lines: one compact JSON
+    /// object per event ([`Event::to_json`]), in report order. Every line
+    /// re-parses with [`crate::json::parse`]; counters and gauges are not
+    /// events and live in [`TraceReport::to_json`] /
+    /// [`MetricsSnapshot::to_prom`] instead.
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for ev in &self.events {
+            out.push_str(&ev.to_json().compact());
+            out.push('\n');
+        }
+        out
+    }
+
     /// Serialise spans and marks as CSV with header
     /// `kind,name,id,parent,thread,t_ns,dur_ns,fields`. Field bags are
-    /// `;`-joined `key=value` pairs inside a quoted cell.
+    /// `;`-joined `key=value` pairs inside one RFC-4180 quoted cell
+    /// (embedded `"` doubled; commas and newlines survive verbatim).
     #[must_use]
     pub fn to_csv(&self) -> String {
-        fn fields_cell(fields: &[Field]) -> String {
-            let joined = fields
-                .iter()
-                .map(|(k, v)| format!("{k}={v}"))
-                .collect::<Vec<_>>()
-                .join(";");
-            format!("\"{}\"", joined.replace('"', "'"))
-        }
         let mut out = String::from("kind,name,id,parent,thread,t_ns,dur_ns,fields\n");
         for s in self.spans() {
             let parent = s.parent.map_or(String::new(), |p| p.to_string());
@@ -749,7 +998,7 @@ impl TraceReport {
                 s.thread,
                 s.t_enter_ns,
                 dur,
-                fields_cell(&s.fields)
+                csv_fields_cell(&s.fields)
             ));
         }
         for m in self.marks() {
@@ -758,10 +1007,278 @@ impl TraceReport {
                 m.name,
                 m.thread,
                 m.t_ns,
-                fields_cell(&m.fields)
+                csv_fields_cell(&m.fields)
             ));
         }
         out
+    }
+}
+
+/// RFC-4180 quoting for the CSV `fields` cell: the cell is always quoted
+/// and embedded quotes are doubled, so commas, newlines and `"` in field
+/// values round-trip instead of being rewritten.
+fn csv_fields_cell(fields: &[Field]) -> String {
+    let joined = fields
+        .iter()
+        .map(|(k, v)| format!("{k}={v}"))
+        .collect::<Vec<_>>()
+        .join(";");
+    format!("\"{}\"", joined.replace('"', "\"\""))
+}
+
+/// Per-span-name totals over one trace (or one span subtree): how many
+/// times the span ran, its wall-clock cost, and — where the span carries
+/// the executor's `sim_t0`/`sim_t1`/`energy_j` fields — the simulated
+/// duration and attributed energy. This is the unit the bench harness
+/// stores as a baseline and `vpp trace diff` compares.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanStat {
+    /// Span name (`phase.scf_iter`, `job.collective`, …).
+    pub name: String,
+    /// Number of spans with this name.
+    pub count: u64,
+    /// Total wall-clock nanoseconds (closed spans only).
+    pub wall_ns: u64,
+    /// Total simulated seconds (spans carrying a sim-time window).
+    pub sim_s: f64,
+    /// Total attributed energy, joules (spans carrying `energy_j`).
+    pub energy_j: f64,
+}
+
+/// A rolled-up trace: per-span-name [`SpanStat`]s plus (for whole-report
+/// aggregates) the session's counters. Serialises to/from the JSON stored
+/// in `BENCH_results.json` baselines.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TraceAggregate {
+    /// Per-name totals, sorted by name.
+    pub spans: Vec<SpanStat>,
+    /// Session counters (empty for per-subtree aggregates — counters are
+    /// session-global and cannot be attributed to one subtree).
+    pub counters: BTreeMap<String, u64>,
+}
+
+impl TraceAggregate {
+    fn stat_mut(&mut self, name: &str) -> &mut SpanStat {
+        match self.spans.binary_search_by(|s| s.name.as_str().cmp(name)) {
+            Ok(i) => &mut self.spans[i],
+            Err(i) => {
+                self.spans.insert(
+                    i,
+                    SpanStat {
+                        name: name.to_string(),
+                        count: 0,
+                        wall_ns: 0,
+                        sim_s: 0.0,
+                        energy_j: 0.0,
+                    },
+                );
+                &mut self.spans[i]
+            }
+        }
+    }
+
+    fn add_span(&mut self, s: &SpanRecord) {
+        let energy = s.field_f64("energy_j").unwrap_or(0.0);
+        let sim = s.sim_duration_s().unwrap_or(0.0);
+        let stat = self.stat_mut(s.name);
+        stat.count += 1;
+        stat.wall_ns += s.duration_ns().unwrap_or(0);
+        stat.sim_s += sim;
+        stat.energy_j += energy;
+    }
+
+    fn add_subtree(&mut self, node: &SpanNode) {
+        self.add_span(&node.record);
+        for c in &node.children {
+            self.add_subtree(c);
+        }
+    }
+
+    /// The stat for a span name, if any span with that name was seen.
+    #[must_use]
+    pub fn span(&self, name: &str) -> Option<&SpanStat> {
+        self.spans
+            .binary_search_by(|s| s.name.as_str().cmp(name))
+            .ok()
+            .map(|i| &self.spans[i])
+    }
+
+    /// All span names in this aggregate, sorted.
+    #[must_use]
+    pub fn span_names(&self) -> Vec<&str> {
+        self.spans.iter().map(|s| s.name.as_str()).collect()
+    }
+
+    /// Serialise for `BENCH_results.json`.
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        Value::Obj(vec![
+            (
+                "spans".to_string(),
+                Value::Arr(
+                    self.spans
+                        .iter()
+                        .map(|s| {
+                            Value::Obj(vec![
+                                ("name".to_string(), Value::Str(s.name.clone())),
+                                ("count".to_string(), Value::Num(s.count as f64)),
+                                ("wall_ns".to_string(), Value::Num(s.wall_ns as f64)),
+                                ("sim_s".to_string(), Value::Num(s.sim_s)),
+                                ("energy_j".to_string(), Value::Num(s.energy_j)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "counters".to_string(),
+                Value::Obj(
+                    self.counters
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Value::Num(*v as f64)))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parse an aggregate previously written by [`TraceAggregate::to_json`].
+    ///
+    /// # Errors
+    /// Describes the first missing or mistyped member.
+    pub fn from_json(v: &Value) -> Result<TraceAggregate, String> {
+        let mut agg = TraceAggregate::default();
+        let spans = v
+            .get("spans")
+            .and_then(Value::as_arr)
+            .ok_or("aggregate: missing 'spans' array")?;
+        for s in spans {
+            let name = s
+                .get("name")
+                .and_then(Value::as_str)
+                .ok_or("aggregate span: missing 'name'")?;
+            let num = |key: &str| -> Result<f64, String> {
+                s.get(key)
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| format!("aggregate span '{name}': missing '{key}'"))
+            };
+            let stat = agg.stat_mut(name);
+            stat.count = num("count")? as u64;
+            stat.wall_ns = num("wall_ns")? as u64;
+            stat.sim_s = num("sim_s")?;
+            stat.energy_j = num("energy_j")?;
+        }
+        if let Some(Value::Obj(members)) = v.get("counters") {
+            for (k, v) in members {
+                let n = v
+                    .as_f64()
+                    .ok_or_else(|| format!("aggregate counter '{k}': not a number"))?;
+                agg.counters.insert(k.clone(), n as u64);
+            }
+        }
+        Ok(agg)
+    }
+}
+
+/// Per-span-name duration summary inside a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanSummary {
+    /// Span name.
+    pub name: String,
+    /// Closed-or-open span count.
+    pub count: u64,
+    /// Total wall seconds over closed spans.
+    pub total_s: f64,
+}
+
+/// A scrape-ready view of a session's metrics: counters, gauges, and
+/// span-duration summaries. Produced live via [`Session::metrics_snapshot`]
+/// (counters/gauges only) or from a finished report via
+/// [`TraceReport::metrics_snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Monotone counters.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-value gauges.
+    pub gauges: BTreeMap<String, f64>,
+    /// Per-name span duration summaries (empty on live snapshots).
+    pub spans: Vec<SpanSummary>,
+}
+
+impl MetricsSnapshot {
+    /// Render the snapshot in the Prometheus text exposition format
+    /// (version 0.0.4): counters as `vpp_<name>_total`, gauges as
+    /// `vpp_<name>`, span durations as a `vpp_span_duration_seconds`
+    /// summary with a `span` label. Metric names are sanitised to the
+    /// `[a-zA-Z_:][a-zA-Z0-9_:]*` charset (the dots of the trace
+    /// vocabulary become underscores); label values are escaped per the
+    /// exposition spec.
+    #[must_use]
+    pub fn to_prom(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let metric = format!("vpp_{}_total", prom_name(name));
+            let _ = writeln!(out, "# TYPE {metric} counter");
+            let _ = writeln!(out, "{metric} {v}");
+        }
+        for (name, v) in &self.gauges {
+            let metric = format!("vpp_{}", prom_name(name));
+            let _ = writeln!(out, "# TYPE {metric} gauge");
+            let _ = writeln!(out, "{metric} {}", prom_f64(*v));
+        }
+        if !self.spans.is_empty() {
+            let _ = writeln!(out, "# TYPE vpp_span_duration_seconds summary");
+            for s in &self.spans {
+                let label = prom_label_value(&s.name);
+                let _ = writeln!(
+                    out,
+                    "vpp_span_duration_seconds_count{{span=\"{label}\"}} {}",
+                    s.count
+                );
+                let _ = writeln!(
+                    out,
+                    "vpp_span_duration_seconds_sum{{span=\"{label}\"}} {}",
+                    prom_f64(s.total_s)
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Sanitise a trace name into the Prometheus metric-name charset.
+fn prom_name(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// Escape a label value per the exposition format: `\`, `"`, newline.
+fn prom_label_value(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+/// Prometheus float rendering (`+Inf`/`-Inf`/`NaN` spellings).
+fn prom_f64(x: f64) -> String {
+    if x.is_nan() {
+        "NaN".to_string()
+    } else if x == f64::INFINITY {
+        "+Inf".to_string()
+    } else if x == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{x}")
     }
 }
 
@@ -882,6 +1399,42 @@ mod tests {
     }
 
     #[test]
+    fn buffered_appends_survive_unflushed_threads_and_preserve_order() {
+        // More events than one FLUSH_BATCH on the main thread plus worker
+        // threads that never hit a flush point other than root-span exit:
+        // everything must still land in the report, per-thread order
+        // intact (well_formed checks the Enter/Exit pairing per thread).
+        let s = session(1 << 14);
+        {
+            let _root = span!("root");
+            for _ in 0..(FLUSH_BATCH + 17) {
+                let _m = span!("main.iter");
+            }
+            std::thread::scope(|scope| {
+                for _ in 0..3 {
+                    scope.spawn(|| {
+                        for _ in 0..5 {
+                            let _w = span!("worker.iter");
+                        }
+                        mark("worker.done");
+                    });
+                }
+            });
+        }
+        let report = s.finish();
+        assert!(report.well_formed().is_ok(), "{:?}", report.well_formed());
+        let spans = report.spans();
+        assert_eq!(
+            spans.iter().filter(|s| s.name == "main.iter").count(),
+            FLUSH_BATCH + 17
+        );
+        assert_eq!(spans.iter().filter(|s| s.name == "worker.iter").count(), 15);
+        assert_eq!(report.marks().len(), 3);
+        // Timestamps are globally sorted after the merge.
+        assert!(report.events.windows(2).all(|w| w[0].t_ns <= w[1].t_ns));
+    }
+
+    #[test]
     fn json_and_csv_exports_are_consistent() {
         let s = session(64);
         {
@@ -914,5 +1467,147 @@ mod tests {
 
     fn counter_snapshot_helper() {
         counter("export.count", 2);
+    }
+
+    #[test]
+    fn csv_fields_use_rfc4180_escaping() {
+        let s = session(64);
+        {
+            let _g = span!("csv.span", label = "a\"b,c\nd");
+        }
+        let report = s.finish();
+        let csv = report.to_csv();
+        // The quote is doubled, the comma and newline survive verbatim.
+        assert!(
+            csv.contains("\"label=a\"\"b,c\nd\""),
+            "cell must be RFC-4180 quoted: {csv}"
+        );
+        // Round-trip through a small RFC-4180 reader: the data row's
+        // quoted cell reassembles the original value.
+        let body = csv.strip_prefix("kind,name,id,parent,thread,t_ns,dur_ns,fields\n").unwrap();
+        let cells = parse_csv_record(body);
+        assert_eq!(cells[0], "span");
+        assert_eq!(cells[1], "csv.span");
+        assert_eq!(cells.last().unwrap(), "label=a\"b,c\nd");
+    }
+
+    /// Minimal RFC-4180 record reader (quoted cells, doubled quotes,
+    /// embedded commas/newlines) for the round-trip test.
+    fn parse_csv_record(text: &str) -> Vec<String> {
+        let mut cells = vec![String::new()];
+        let mut chars = text.chars().peekable();
+        let mut quoted = false;
+        while let Some(c) = chars.next() {
+            match c {
+                '"' if !quoted => quoted = true,
+                '"' if quoted => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        cells.last_mut().unwrap().push('"');
+                    } else {
+                        quoted = false;
+                    }
+                }
+                ',' if !quoted => cells.push(String::new()),
+                '\n' if !quoted => break,
+                c => cells.last_mut().unwrap().push(c),
+            }
+        }
+        cells
+    }
+
+    #[test]
+    fn jsonl_lines_reparse_to_the_event_encoding() {
+        let s = session(64);
+        {
+            let mut g = span!("line.span", bytes = 7u64, label = "x,\"y\"");
+            mark_with("line.mark", || vec![("ok", true.into())]);
+            g.record("result", 1.5);
+        }
+        let report = s.finish();
+        let jsonl = report.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), report.events.len());
+        for (line, ev) in lines.iter().zip(&report.events) {
+            let parsed = crate::json::parse(line).expect("line parses");
+            assert_eq!(parsed, ev.to_json(), "line {line}");
+        }
+    }
+
+    #[test]
+    fn aggregate_rolls_up_per_name_totals() {
+        let s = session(256);
+        {
+            let _outer = span!("agg.outer");
+            for i in 0..3u64 {
+                let mut g = span!("agg.phase", sim_t0 = i as f64);
+                g.record("sim_t1", i as f64 + 2.0);
+                g.record("energy_j", 10.0);
+            }
+        }
+        counter("agg.count", 4);
+        let report = s.finish();
+        let agg = report.aggregate();
+        let phase = agg.span("agg.phase").unwrap();
+        assert_eq!(phase.count, 3);
+        assert!((phase.sim_s - 6.0).abs() < 1e-12);
+        assert!((phase.energy_j - 30.0).abs() < 1e-12);
+        assert_eq!(agg.counters["agg.count"], 4);
+        assert_eq!(agg.span("agg.outer").unwrap().count, 1);
+
+        let back = TraceAggregate::from_json(&agg.to_json()).unwrap();
+        assert_eq!(back, agg);
+    }
+
+    #[test]
+    fn aggregates_under_orders_by_rep_field() {
+        let s = session(256);
+        {
+            // Repeats recorded out of order, as a pool would.
+            for rep in [2u64, 0, 1] {
+                let _r = span!("agg.rep", rep = rep);
+                let mut p = span!("agg.inner", sim_t0 = 0.0);
+                p.record("sim_t1", (rep + 1) as f64);
+            }
+        }
+        let report = s.finish();
+        let samples = report.aggregates_under("agg.rep");
+        assert_eq!(samples.len(), 3);
+        let sims: Vec<f64> = samples
+            .iter()
+            .map(|a| a.span("agg.inner").unwrap().sim_s)
+            .collect();
+        assert_eq!(sims, vec![1.0, 2.0, 3.0], "sorted by rep, not record order");
+        assert!(samples.iter().all(|a| a.counters.is_empty()));
+    }
+
+    #[test]
+    fn prom_exposition_is_well_formed() {
+        let s = session(64);
+        {
+            let _g = span!("prom.span");
+        }
+        counter("prom.hits", 3);
+        gauge("prom.overshoot_w", 1.25);
+        let report = s.finish();
+        let prom = report.metrics_snapshot().to_prom();
+        assert!(prom.contains("# TYPE vpp_prom_hits_total counter"));
+        assert!(prom.contains("vpp_prom_hits_total 3"));
+        assert!(prom.contains("# TYPE vpp_prom_overshoot_w gauge"));
+        assert!(prom.contains("vpp_prom_overshoot_w 1.25"));
+        assert!(prom.contains("vpp_span_duration_seconds_count{span=\"prom.span\"} 1"));
+    }
+
+    #[test]
+    fn live_snapshot_counters_are_monotone() {
+        let s = session(64);
+        counter("mono.ticks", 2);
+        let first = s.metrics_snapshot();
+        counter("mono.ticks", 3);
+        let second = s.metrics_snapshot();
+        let _ = s.finish();
+        assert_eq!(first.counters["mono.ticks"], 2);
+        assert_eq!(second.counters["mono.ticks"], 5);
+        assert!(first.spans.is_empty(), "live snapshots skip span summaries");
     }
 }

@@ -34,4 +34,21 @@ echo "==> BENCH_results.json comparisons:"
 grep -A3 '"name": ".*_before_after"' "$ROOT/BENCH_results.json" \
     | grep -E '"name"|"speedup"' || true
 
+echo "==> trace diff smoke: unperturbed re-run must match its baseline"
+VPP_BENCH_OUT="$ROOT/BENCH_results.json" \
+    cargo run -q --release --offline --bin vpp -- trace diff Si256_hse
+
+echo "==> trace diff smoke: fabricated regression must be caught (exit 1)"
+if VPP_BENCH_OUT="$ROOT/BENCH_results.json" \
+    cargo run -q --release --offline --bin vpp -- \
+    trace diff Si256_hse --perturb scf_iter:1.6 > /tmp/vpp_diff_perturbed.out
+then
+    echo "verify: FAIL — perturbed trace diff did not exit 1" >&2
+    exit 1
+fi
+grep -q "REGRESSION — phase.scf_iter" /tmp/vpp_diff_perturbed.out || {
+    echo "verify: FAIL — diff did not name phase.scf_iter as the culprit" >&2
+    exit 1
+}
+
 echo "verify: OK"

@@ -18,6 +18,7 @@ use vpp_core::experiments::{
     capping, fig01, fig02, fig03, fig04, fig05, fig06, fig07, fig08, fig09, fig10, fig11,
     fig12, fig13, predict_eval, scaling, table1,
 };
+use vpp_core::flight;
 use vpp_core::protocol::StudyContext;
 
 /// `(section name, rendered body, CSV payload)` tuples one job produced.
@@ -170,11 +171,17 @@ fn main() {
             vec![("fig13", r.to_string(), r.csv())]
         }));
     }
+    if want("phase_energy") {
+        add("phase_energy", Box::new(move || {
+            let r = flight::phase_energy(&ctx);
+            vec![("phase_energy", r.to_string(), r.csv())]
+        }));
+    }
 
     if jobs.is_empty() {
         eprintln!(
             "nothing matched {selected:?}; known: table1 fig1..fig13 predict \
-             (plus --quick, --csv DIR)"
+             phase_energy (plus --quick, --csv DIR)"
         );
         std::process::exit(2);
     }

@@ -1,22 +1,34 @@
 //! `vpp` — the operator's command-line tool.
 //!
 //! ```text
-//! vpp profile <benchmark|dir> [--nodes N] [--cap W] [--quick]
-//! vpp caps    <benchmark>     [--nodes N]
-//! vpp screen  <benchmark>     [--nodes N] [--straggler IDX:FACTOR]
-//! vpp phases  <benchmark>     [--nodes N]
-//! vpp trace   <benchmark>     [--nodes N] [--cap W] [--quick]
+//! vpp profile    <benchmark|dir> [--nodes N] [--cap W] [--quick]
+//! vpp caps       <benchmark>     [--nodes N]
+//! vpp screen     <benchmark>     [--nodes N] [--straggler IDX:FACTOR]
+//! vpp phases     <benchmark>     [--nodes N]
+//! vpp trace      <benchmark>     [--nodes N] [--cap W] [--quick]
+//!                                [--format tree|csv|json|jsonl|prom]
+//!                                [--perturb PHASE:FACTOR]
+//! vpp trace diff <benchmark>     [--perturb PHASE:FACTOR]
 //! vpp list
 //! ```
 //!
 //! `<benchmark>` is a Table I name (see `vpp list`); a directory containing
 //! `INCAR` / `POSCAR` (and optionally `KPOINTS`) works everywhere a
 //! benchmark name does.
+//!
+//! `trace diff` re-runs the benchmark with the pinned baseline recipe,
+//! compares the per-phase trace aggregates against the baseline stored in
+//! `BENCH_results.json` (group `trace_baselines`, written by
+//! `cargo bench -p vpp-bench --bench baselines`), and exits 1 when a
+//! significant regression is found. `--perturb` injects an artificial
+//! phase slowdown — the regression fixture. Setting `VPP_BENCH_DIFF=1`
+//! turns a plain `vpp trace <benchmark>` into `vpp trace diff <benchmark>`.
 
 use vasp_power_profiles::cluster::{execute, JobSpec, NetworkModel, Straggler};
-use vasp_power_profiles::core::{benchmarks, protocol};
-use vasp_power_profiles::dft::{parse_incar, parse_kpoints, parse_poscar};
-use vasp_power_profiles::stats::Segmenter;
+use vasp_power_profiles::core::{benchmarks, flight, protocol};
+use vasp_power_profiles::dft::{parse_incar, parse_kpoints, parse_poscar, PhaseKind};
+use vasp_power_profiles::stats::{trace_diff, DiffConfig, Segmenter};
+use vasp_power_profiles::substrate::bench::load_baseline;
 use vasp_power_profiles::substrate::trace;
 use vasp_power_profiles::telemetry::{Sampler, Screener};
 
@@ -26,6 +38,8 @@ struct Args {
     cap: Option<f64>,
     quick: bool,
     straggler: Option<(usize, f64)>,
+    format: Option<String>,
+    perturb: Option<(PhaseKind, f64)>,
 }
 
 fn parse_args(raw: &[String]) -> Result<Args, String> {
@@ -35,6 +49,8 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
         cap: None,
         quick: false,
         straggler: None,
+        format: None,
+        perturb: None,
     };
     let mut it = raw.iter();
     while let Some(a) = it.next() {
@@ -58,6 +74,26 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
                         .parse()
                         .map_err(|_| format!("bad straggler factor '{factor}'"))?,
                 ));
+            }
+            "--format" => {
+                let v = it.next().ok_or("--format needs a value")?;
+                args.format = Some(v.clone());
+            }
+            "--perturb" => {
+                let v = it.next().ok_or("--perturb needs PHASE:FACTOR")?;
+                let (phase, factor) = v
+                    .split_once(':')
+                    .ok_or_else(|| format!("bad --perturb '{v}' (want PHASE:FACTOR)"))?;
+                let kind = PhaseKind::parse(phase).ok_or_else(|| {
+                    format!("unknown phase '{phase}' (init|scf_iter|rpa_diag|rpa_chi0)")
+                })?;
+                let factor: f64 = factor
+                    .parse()
+                    .map_err(|_| format!("bad perturb factor '{factor}'"))?;
+                if !(factor > 0.0 && factor.is_finite()) {
+                    return Err(format!("perturb factor must be positive, got {factor}"));
+                }
+                args.perturb = Some((kind, factor));
             }
             "--quick" => args.quick = true,
             other if other.starts_with("--") => {
@@ -311,14 +347,113 @@ fn print_span_children(children: &[trace::SpanNode], depth: usize, m: &protocol:
     }
 }
 
+/// Re-run `target` with the pinned baseline recipe, diff its per-phase
+/// trace aggregates against the stored baseline, and print the ranked
+/// triage table. Exits 1 when a significant regression is found.
+fn cmd_trace_diff(args: &Args, target: &str) -> Result<(), String> {
+    let bench = resolve(target)?;
+    let path =
+        std::env::var("VPP_BENCH_OUT").unwrap_or_else(|_| "BENCH_results.json".to_string());
+    let base = load_baseline(&path, flight::BASELINE_GROUP, bench.name())?;
+    let mut cfg = flight::baseline_cfg();
+    println!(
+        "baseline : {path} / {} / {} ({} repeat sample(s))",
+        flight::BASELINE_GROUP,
+        bench.name(),
+        base.samples.len()
+    );
+    if let Some((kind, factor)) = args.perturb {
+        cfg = cfg.perturbed(kind, factor);
+        println!("re-run   : perturbed, {} x{factor:.2}", kind.name());
+    } else {
+        println!("re-run   : unperturbed baseline recipe");
+    }
+    let (_m, current) = flight::capture(&bench, &cfg, &flight::baseline_ctx());
+    let d = trace_diff(&base, &current, &DiffConfig::default());
+    println!("paired   : {} repeat(s) bootstrapped", d.paired_repeats);
+    println!();
+    println!(
+        "{:>4}  {:<26} {:<9} {:>12} {:>12} {:>8}  {:<26} verdict",
+        "rank", "span", "metric", "base", "current", "delta%", "95% CI (delta)"
+    );
+    for (i, r) in d.rows.iter().enumerate() {
+        let rel = if r.rel_delta.is_finite() {
+            format!("{:+.1}", 100.0 * r.rel_delta)
+        } else {
+            "new".to_string()
+        };
+        let ci = match &r.ci {
+            Some(ci) => format!("[{:+.3e}, {:+.3e}]", ci.lo, ci.hi),
+            None => "(exact)".to_string(),
+        };
+        let verdict = if r.regression {
+            "REGRESSION"
+        } else if r.significant {
+            "improved"
+        } else if r.metric == "wall_ns" {
+            "context"
+        } else {
+            "ok"
+        };
+        println!(
+            "{:>4}  {:<26} {:<9} {:>12.4} {:>12.4} {:>8}  {:<26} {verdict}",
+            i + 1,
+            r.span,
+            r.metric,
+            r.base,
+            r.current,
+            rel,
+            ci
+        );
+    }
+    if d.counter_deltas.is_empty() {
+        println!("\ncounters : all equal");
+    } else {
+        println!("\ncounters :");
+        for c in &d.counter_deltas {
+            println!("  {:<30} {:>12} -> {:>12}", c.name, c.base, c.current);
+        }
+    }
+    println!();
+    match d.top_regression() {
+        Some(top) => {
+            println!(
+                "verdict  : REGRESSION — {} {} moved {:+.1}% beyond noise",
+                top.span,
+                top.metric,
+                100.0 * top.rel_delta
+            );
+            std::process::exit(1);
+        }
+        None if d.significant().is_empty() => {
+            println!("verdict  : clean — run matches the stored baseline");
+        }
+        None => {
+            println!("verdict  : changed but not regressed (significant improvements only)");
+        }
+    }
+    Ok(())
+}
+
 fn cmd_trace(args: &Args) -> Result<(), String> {
+    // `vpp trace diff <benchmark>`, or `VPP_BENCH_DIFF=1 vpp trace <benchmark>`.
+    if args.positional.first().map(String::as_str) == Some("diff") {
+        let target = args.positional.get(1).ok_or("trace diff needs a target")?;
+        return cmd_trace_diff(args, target);
+    }
     let target = args.positional.first().ok_or("trace needs a target")?;
+    if std::env::var("VPP_BENCH_DIFF").is_ok_and(|v| v == "1") {
+        return cmd_trace_diff(args, target);
+    }
     let bench = resolve(target)?;
     let nodes = args.nodes.unwrap_or(1);
-    let cfg = match args.cap {
+    let mut cfg = match args.cap {
         Some(c) => protocol::RunConfig::capped(nodes, c),
         None => protocol::RunConfig::nodes(nodes),
     };
+    if let Some((kind, factor)) = args.perturb {
+        cfg = cfg.perturbed(kind, factor);
+    }
     let mut c = ctx(args.quick);
     // One traced run: the span tree of a single execution, not the
     // protocol's repeat spread.
@@ -327,9 +462,36 @@ fn cmd_trace(args: &Args) -> Result<(), String> {
     let m = protocol::measure(&bench, &cfg, &c);
     let report = session.finish();
     report.well_formed()?;
+    match args.format.as_deref().unwrap_or("tree") {
+        "tree" => {}
+        "csv" => {
+            print!("{}", report.to_csv());
+            return Ok(());
+        }
+        "json" => {
+            println!("{}", report.to_json().pretty());
+            return Ok(());
+        }
+        "jsonl" => {
+            print!("{}", report.to_jsonl());
+            return Ok(());
+        }
+        "prom" => {
+            print!("{}", report.metrics_snapshot().to_prom());
+            return Ok(());
+        }
+        other => {
+            return Err(format!(
+                "unknown --format '{other}' (tree|csv|json|jsonl|prom)"
+            ))
+        }
+    }
     println!("workload    : {} on {nodes} node(s)", bench.name());
     if let Some(cap) = args.cap {
         println!("GPU cap     : {cap:.0} W");
+    }
+    if let Some((kind, factor)) = args.perturb {
+        println!("perturbed   : {} x{factor:.2}", kind.name());
     }
     println!(
         "sim runtime : {:.0} s    energy {:.2} MJ",

@@ -90,3 +90,61 @@ fn profile_accepts_an_input_deck_directory() {
     assert!(String::from_utf8_lossy(&out.stdout).contains("Si64"));
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn trace_prom_format_emits_a_wellformed_exposition() {
+    let out = vpp()
+        .args(["trace", "B.hR105_hse", "--quick", "--format", "prom"])
+        .output()
+        .expect("vpp runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("# TYPE vpp_job_ops_gpu_total counter"), "{text}");
+    assert!(text.contains("vpp_span_duration_seconds"), "{text}");
+}
+
+#[test]
+fn trace_jsonl_format_is_one_json_object_per_line() {
+    let out = vpp()
+        .args(["trace", "B.hR105_hse", "--quick", "--format", "jsonl"])
+        .output()
+        .expect("vpp runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.lines().count() > 10, "expected an event stream");
+    for line in text.lines() {
+        assert!(
+            line.starts_with("{\"kind\":") && line.ends_with('}'),
+            "not a compact JSON object: {line}"
+        );
+    }
+}
+
+#[test]
+fn trace_rejects_unknown_format_and_bad_perturb() {
+    let out = vpp()
+        .args(["trace", "B.hR105_hse", "--quick", "--format", "yaml"])
+        .output()
+        .expect("vpp runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown --format"));
+
+    let out = vpp()
+        .args(["trace", "B.hR105_hse", "--perturb", "warmup:1.5"])
+        .output()
+        .expect("vpp runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown phase"));
+}
+
+#[test]
+fn trace_diff_without_a_stored_baseline_fails_with_guidance() {
+    let out = vpp()
+        .env("VPP_BENCH_OUT", "/nonexistent/bench.json")
+        .args(["trace", "diff", "B.hR105_hse"])
+        .output()
+        .expect("vpp runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("cannot read"), "{err}");
+}

@@ -1,0 +1,64 @@
+//! End-to-end flight-recorder triage: capture a baseline, re-run, diff.
+//!
+//! The simulator is deterministic per seed, so an unperturbed re-run must
+//! reproduce the baseline's sim-time/energy aggregates exactly and the
+//! diff must be clean; injecting a slowdown into one traced phase must
+//! surface exactly that phase as the top-ranked regression, with the
+//! telemetry counter deltas alongside.
+
+use vasp_power_profiles::core::{benchmarks, flight};
+use vasp_power_profiles::dft::PhaseKind;
+use vasp_power_profiles::stats::{trace_diff, DiffConfig};
+
+#[test]
+fn unperturbed_rerun_matches_its_baseline() {
+    let bench = benchmarks::b_hr105_hse();
+    let ctx = flight::baseline_ctx();
+    let (_, base) = flight::capture(&bench, &flight::baseline_cfg(), &ctx);
+    let (_, rerun) = flight::capture(&bench, &flight::baseline_cfg(), &ctx);
+    let d = trace_diff(&base, &rerun, &DiffConfig::default());
+    assert_eq!(d.paired_repeats, flight::BASELINE_REPEATS);
+    assert!(!d.has_regressions(), "{:?}", d.top_regression());
+    assert!(d.significant().is_empty(), "{:?}", d.significant());
+    assert!(d.counter_deltas.is_empty(), "{:?}", d.counter_deltas);
+}
+
+#[test]
+fn slowed_phase_is_named_top_ranked_with_counter_deltas() {
+    let bench = benchmarks::b_hr105_hse();
+    let ctx = flight::baseline_ctx();
+    let (_, base) = flight::capture(&bench, &flight::baseline_cfg(), &ctx);
+    let slowed_cfg = flight::baseline_cfg().perturbed(PhaseKind::ScfIter, 1.6);
+    let (_, slowed) = flight::capture(&bench, &slowed_cfg, &ctx);
+
+    let d = trace_diff(&base, &slowed, &DiffConfig::default());
+    assert!(d.has_regressions());
+    let top = d.top_regression().expect("a regression is ranked first");
+    assert_eq!(top.span, "phase.scf_iter", "culprit phase named: {top:?}");
+    assert!(top.rel_delta > 0.3, "{top:?}");
+    // Every significant sim/energy row blames the perturbed phase or a
+    // wrapper that contains it — never the untouched init phase.
+    for r in d.significant() {
+        assert_ne!(r.span, "phase.init", "{r:?}");
+    }
+    // A pure slowdown stretches durations without changing the op mix:
+    // the structural counters must not register deltas. (Longer runs like
+    // Si256_hse additionally move the telemetry ingest counters — the
+    // verify.sh smoke covers that side.)
+    assert!(
+        d.counter_deltas
+            .iter()
+            .all(|c| !c.name.starts_with("job.ops")),
+        "{:?}",
+        d.counter_deltas
+    );
+    // Triage is deterministic: the same comparison ranks identically.
+    let again = trace_diff(&base, &slowed, &DiffConfig::default());
+    let key = |t: &vasp_power_profiles::stats::TraceDiff| -> Vec<(String, &'static str, bool)> {
+        t.rows
+            .iter()
+            .map(|r| (r.span.clone(), r.metric, r.significant))
+            .collect()
+    };
+    assert_eq!(key(&d), key(&again));
+}
