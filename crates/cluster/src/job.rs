@@ -42,6 +42,12 @@ pub struct JobSpec {
     /// given kind by the factor. `vpp trace diff` must name exactly this
     /// phase as the culprit.
     pub phase_slowdown: Option<(PhaseKind, f64)>,
+    /// The communication-side counterpart of `phase_slowdown`: stretch
+    /// every collective's network time (not compute, not waits) by the
+    /// factor. `vpp trace diff` must see `job.collective` move — and
+    /// nothing but communication — so triage can tell a network
+    /// regression from a compute one.
+    pub collective_slowdown: Option<f64>,
 }
 
 impl JobSpec {
@@ -58,6 +64,7 @@ impl JobSpec {
             straggler: None,
             os_jitter: 0.0,
             phase_slowdown: None,
+            collective_slowdown: None,
         }
     }
 }
@@ -123,6 +130,13 @@ pub fn execute(plan: &ScfPlan, spec: &JobSpec, network: &NetworkModel) -> JobRes
     if let Some((_, f)) = spec.phase_slowdown {
         assert!(f.is_finite() && f > 0.0, "phase slowdown factor must be positive");
     }
+    if let Some(f) = spec.collective_slowdown {
+        assert!(
+            f.is_finite() && f > 0.0,
+            "collective slowdown factor must be positive"
+        );
+    }
+    let collective_factor = spec.collective_slowdown.unwrap_or(1.0);
     // Op-index → slowdown factor for the injected phase perturbation. The
     // injected init op at seq 0 precedes the plan, so plan op `i` runs at
     // sequence `i + 1`.
@@ -296,7 +310,8 @@ pub fn execute(plan: &ScfPlan, spec: &JobSpec, network: &NetworkModel) -> JobRes
             }
             Op::Collective { bytes, kind } => {
                 let t_sync = clock.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-                let comm_s = network.collective_time(*kind, *bytes, spec.nodes, gpn);
+                let comm_s =
+                    network.collective_time(*kind, *bytes, spec.nodes, gpn) * collective_factor;
                 let mut cspan = trace::SpanGuard::open("job.collective", || {
                     let kind_name = match kind {
                         CollectiveKind::AllReduce => "all_reduce",
@@ -307,6 +322,12 @@ pub fn execute(plan: &ScfPlan, spec: &JobSpec, network: &NetworkModel) -> JobRes
                 });
                 cspan.record("comm_s", comm_s);
                 cspan.record("sim_wait_s", t_sync - clock_min(&clock));
+                // The pure-communication sim window (waits excluded):
+                // aggregated `job.collective` sim_s depends only on the
+                // network model, so trace-diff triage can pin a
+                // communication regression to exactly this row.
+                cspan.record("sim_t0", t_sync);
+                cspan.record("sim_t1", t_sync + comm_s);
                 for r in 0..ranks {
                     let gpu = &nodes[r / gpn].gpus[r % gpn];
                     let wait = t_sync - clock[r];
@@ -675,6 +696,52 @@ mod tests {
             (1.2..=1.5 + 1e-9).contains(&ratio),
             "compute ops stretch 1.5x, collectives don't: ratio {ratio}"
         );
+    }
+
+    #[test]
+    fn collective_slowdown_stretches_only_communication() {
+        let plan = si_plan(64, 2);
+        let net = NetworkModel::perlmutter();
+        let run_traced = |spec: &JobSpec| {
+            let session = vpp_substrate::trace::session(1 << 16);
+            let res = execute(&plan, spec, &net);
+            (res, session.finish().aggregate())
+        };
+        let (base, base_agg) = run_traced(&quick_spec(2));
+        let mut spec = quick_spec(2);
+        spec.collective_slowdown = Some(1.5);
+        let (slow, slow_agg) = run_traced(&spec);
+        assert!(slow.runtime_s > base.runtime_s);
+
+        let sim = |agg: &vpp_substrate::trace::TraceAggregate, name: &str| {
+            agg.span(name).unwrap().sim_s
+        };
+        let base_comm = sim(&base_agg, "job.collective");
+        assert!(base_comm > 0.0, "collectives must carry a sim window");
+        let ratio = sim(&slow_agg, "job.collective") / base_comm;
+        assert!(
+            (ratio - 1.5).abs() < 1e-9,
+            "network time scales exactly by the factor: ratio {ratio}"
+        );
+        // The compute-side perturbation leaves communication untouched —
+        // the two fault classes move disjoint trace rows.
+        let mut compute = quick_spec(2);
+        compute.phase_slowdown = Some((PhaseKind::ScfIter, 1.5));
+        let (_, compute_agg) = run_traced(&compute);
+        let drift = (sim(&compute_agg, "job.collective") - base_comm).abs();
+        assert!(
+            drift < 1e-9,
+            "compute slowdown must not move job.collective sim_s (drift {drift})"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "collective slowdown factor must be positive")]
+    fn collective_slowdown_factor_is_validated() {
+        let plan = si_plan(64, 1);
+        let mut spec = quick_spec(1);
+        spec.collective_slowdown = Some(f64::NAN);
+        let _ = execute(&plan, &spec, &NetworkModel::perlmutter());
     }
 
     #[test]

@@ -49,6 +49,7 @@ pub fn run(ctx: &StudyContext) -> Fig01 {
         straggler: None,
         os_jitter: 0.0,
         phase_slowdown: None,
+        collective_slowdown: None,
     };
     let result = execute(&plan, &spec, &ctx.network);
 

@@ -47,6 +47,7 @@ pub fn run(ctx: &StudyContext) -> Fig02 {
         straggler: None,
         os_jitter: 0.0,
         phase_slowdown: None,
+        collective_slowdown: None,
     };
     let result = execute(&plan, &spec, &ctx.network);
     let gpu = &result.node_traces[0].gpus[0];

@@ -56,6 +56,7 @@ pub fn run(ctx: &StudyContext) -> Fig06 {
                 straggler: None,
                 os_jitter: 0.0,
                 phase_slowdown: None,
+                collective_slowdown: None,
             };
             let res = execute(&plan, &spec, &ctx.network);
             let c = &res.node_traces[0];

@@ -50,6 +50,7 @@ pub fn run(ctx: &StudyContext) -> Fig09 {
                 straggler: None,
                 os_jitter: 0.0,
                 phase_slowdown: None,
+                collective_slowdown: None,
             };
             let res = execute(&plan, &spec, &ctx.network);
             let series = sampler.sample(&res.node_traces[0].node);

@@ -68,6 +68,7 @@ pub fn capture(bench: &Benchmark, cfg: &RunConfig, ctx: &StudyContext) -> (Measu
     let baseline = TraceBaseline {
         aggregate: report.aggregate(),
         samples: report.aggregates_under(SAMPLE_SPAN),
+        tolerances: std::collections::BTreeMap::new(),
     };
     (m, baseline)
 }

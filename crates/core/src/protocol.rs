@@ -82,6 +82,10 @@ pub struct RunConfig {
     /// ([`JobSpec::phase_slowdown`]) — the regression fixture that
     /// `vpp trace diff` must rank as the culprit phase.
     pub perturb: Option<(PhaseKind, f64)>,
+    /// Communication-side fixture ([`JobSpec::collective_slowdown`]):
+    /// stretch every collective's network time so trace-diff triage can
+    /// distinguish a communication regression from a compute one.
+    pub perturb_collective: Option<f64>,
 }
 
 impl RunConfig {
@@ -93,6 +97,7 @@ impl RunConfig {
             cap_w: None,
             seed_salt: 0,
             perturb: None,
+            perturb_collective: None,
         }
     }
 
@@ -109,6 +114,13 @@ impl RunConfig {
     #[must_use]
     pub fn perturbed(mut self, phase: PhaseKind, factor: f64) -> Self {
         self.perturb = Some((phase, factor));
+        self
+    }
+
+    /// This config with an injected collective/network slowdown.
+    #[must_use]
+    pub fn perturbed_collective(mut self, factor: f64) -> Self {
+        self.perturb_collective = Some(factor);
         self
     }
 }
@@ -178,6 +190,7 @@ pub fn measure(bench: &Benchmark, cfg: &RunConfig, ctx: &StudyContext) -> Measur
                 straggler: None,
                 os_jitter: 0.0,
                 phase_slowdown: cfg.perturb,
+                collective_slowdown: cfg.perturb_collective,
             };
             let result = execute(&plan, &spec, &ctx.network);
             rep_span.record("runtime_s", result.runtime_s);
@@ -319,6 +332,7 @@ mod tests {
                 straggler: None,
                 os_jitter: 0.0,
                 phase_slowdown: None,
+                collective_slowdown: None,
             };
             runtimes.push(execute(&plan, &spec, &ctx.network).runtime_s);
         }

@@ -201,6 +201,7 @@ pub fn simulate(spec: &FleetSpec, requests: &[JobRequest], network: &NetworkMode
                         straggler: None,
                         os_jitter: 0.0,
                         phase_slowdown: None,
+                        collective_slowdown: None,
                     };
                     let result = execute(&req.plan, &job_spec, network);
                     let end_s = t + result.runtime_s;

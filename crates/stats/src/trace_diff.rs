@@ -24,6 +24,13 @@
 //! * Span counts and session counters are integers and compare exactly.
 //! * Wall-clock totals (`wall_ns`) are host noise; they are reported as
 //!   context rows but can never be significant and never fail a diff.
+//! * A per-span tolerance blessed into the baseline (`vpp trace accept
+//!   --tolerance phase:pct`, stored in [`TraceBaseline::tolerances`])
+//!   replaces the global noise floor for that span's continuous metrics
+//!   when it is wider — a persisted allowance for a phase that is
+//!   expected to drift. Tolerances never tighten below
+//!   [`DiffConfig::noise_floor`] and never apply to exact (count /
+//!   counter) comparisons.
 //!
 //! This is what guarantees the acceptance property: an identical-seed
 //! re-run reports no significant deltas, while a single perturbed phase
@@ -163,6 +170,13 @@ pub fn diff(base: &TraceBaseline, current: &TraceBaseline, cfg: &DiffConfig) -> 
         let c = current.aggregate.span(name);
         let b_stat = |f: fn(&vpp_substrate::trace::SpanStat) -> f64| b.map_or(0.0, f);
         let c_stat = |f: fn(&vpp_substrate::trace::SpanStat) -> f64| c.map_or(0.0, f);
+        // Per-span blessed tolerance widens (never tightens) the floor.
+        let floor = base
+            .tolerances
+            .get(name)
+            .copied()
+            .unwrap_or(cfg.noise_floor)
+            .max(cfg.noise_floor);
 
         // Deterministic continuous metrics: paired bootstrap over repeats.
         for (metric, get) in [
@@ -192,10 +206,10 @@ pub fn diff(base: &TraceBaseline, current: &TraceBaseline, cfg: &DiffConfig) -> 
                 let ci = bootstrap_ci(&deltas, cfg.resamples, cfg.level, cfg.seed, |d| {
                     d.iter().sum::<f64>() / d.len() as f64
                 });
-                let sig = !ci.contains(0.0) && rel.abs() > cfg.noise_floor;
+                let sig = !ci.contains(0.0) && rel.abs() > floor;
                 (Some(ci), sig)
             } else {
-                (None, rel.abs() > cfg.noise_floor)
+                (None, rel.abs() > floor)
             };
             rows.push(DiffRow {
                 span: name.to_string(),
@@ -330,6 +344,7 @@ mod tests {
         TraceBaseline {
             aggregate: total,
             samples,
+            tolerances: std::collections::BTreeMap::new(),
         }
     }
 
@@ -459,6 +474,62 @@ mod tests {
                     current: 7
                 },
             ]
+        );
+    }
+
+    #[test]
+    fn blessed_tolerance_widens_the_floor_for_that_span_only() {
+        let mut base = three_repeats(1.0);
+        let slow = three_repeats(1.4); // scf_iter +40%, init untouched
+        let d = diff(&base, &slow, &DiffConfig::default());
+        assert!(d.has_regressions(), "without a tolerance the move flags");
+
+        // Bless a ±50% allowance on exactly the moved phase: the diff
+        // goes clean, because the untouched phase never moved anyway.
+        base.tolerances.insert("phase.scf_iter".to_string(), 0.50);
+        let d = diff(&base, &slow, &DiffConfig::default());
+        assert!(!d.has_regressions(), "{:?}", d.significant());
+        assert!(d.significant().is_empty());
+
+        // The allowance is scoped: a different span's regression still
+        // flags even while scf_iter is tolerated.
+        let mut slow_init = three_repeats(1.4);
+        for sample in slow_init
+            .samples
+            .iter_mut()
+            .chain(std::iter::once(&mut slow_init.aggregate))
+        {
+            for s in &mut sample.spans {
+                if s.name == "phase.init" {
+                    s.sim_s *= 1.3;
+                    s.energy_j *= 1.3;
+                }
+            }
+        }
+        let d = diff(&base, &slow_init, &DiffConfig::default());
+        let top = d.top_regression().expect("init regression flags");
+        assert_eq!(top.span, "phase.init");
+        assert!(d.significant().iter().all(|r| r.span == "phase.init"));
+
+        // A tolerance below the global floor never tightens it.
+        let mut tight = three_repeats(1.0);
+        tight.tolerances.insert("phase.scf_iter".to_string(), 0.0);
+        let mut nudged = three_repeats(1.0);
+        for sample in nudged
+            .samples
+            .iter_mut()
+            .chain(std::iter::once(&mut nudged.aggregate))
+        {
+            for s in &mut sample.spans {
+                s.sim_s *= 1.0 + 5e-3; // under the 1% global floor
+                s.energy_j *= 1.0 + 5e-3;
+            }
+        }
+        let d = diff(&tight, &nudged, &DiffConfig::default());
+        assert!(
+            d.significant().is_empty(),
+            "sub-floor drift must stay quiet: {:?}",
+            d.significant()
         );
     }
 

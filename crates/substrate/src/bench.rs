@@ -20,6 +20,7 @@
 
 use crate::json::{self, Value};
 use crate::trace::{self, TraceAggregate};
+use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
 /// One timed entry.
@@ -42,22 +43,42 @@ pub struct TraceBaseline {
     pub aggregate: TraceAggregate,
     /// Per-repeat subtree aggregates, ordered by the repeat's `rep` field.
     pub samples: Vec<TraceAggregate>,
+    /// Per-span-name relative noise floors (fraction, e.g. `0.05` = ±5 %)
+    /// blessed via `vpp trace accept --tolerance`. Trace-diff uses the
+    /// override instead of its global floor for that span's continuous
+    /// metrics — a deliberate, persisted allowance for a phase that is
+    /// expected to drift.
+    pub tolerances: BTreeMap<String, f64>,
 }
 
 impl TraceBaseline {
     /// Serialise for the `baselines` member of a bench group.
     #[must_use]
     pub fn to_json(&self) -> Value {
-        Value::Obj(vec![
+        let mut obj = Value::Obj(vec![
             ("aggregate".into(), self.aggregate.to_json()),
             (
                 "samples".into(),
                 Value::Arr(self.samples.iter().map(TraceAggregate::to_json).collect()),
             ),
-        ])
+        ]);
+        if !self.tolerances.is_empty() {
+            obj.set(
+                "tolerances",
+                Value::Obj(
+                    self.tolerances
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Value::Num(*v)))
+                        .collect(),
+                ),
+            );
+        }
+        obj
     }
 
     /// Parse a baseline previously written by [`TraceBaseline::to_json`].
+    /// The `tolerances` member is optional, so baselines stored before it
+    /// existed still load.
     ///
     /// # Errors
     /// Describes the first missing or mistyped member.
@@ -72,7 +93,20 @@ impl TraceBaseline {
             .iter()
             .map(TraceAggregate::from_json)
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(TraceBaseline { aggregate, samples })
+        let mut tolerances = BTreeMap::new();
+        if let Some(Value::Obj(members)) = v.get("tolerances") {
+            for (k, t) in members {
+                let n = t
+                    .as_f64()
+                    .ok_or_else(|| format!("baseline tolerance '{k}': not a number"))?;
+                tolerances.insert(k.clone(), n);
+            }
+        }
+        Ok(TraceBaseline {
+            aggregate,
+            samples,
+            tolerances,
+        })
     }
 }
 
@@ -94,6 +128,70 @@ pub fn load_baseline(path: &str, group: &str, name: &str) -> Result<TraceBaselin
             format!("{path}: no baseline for '{name}' in group '{group}' — run the baselines bench first")
         })?;
     TraceBaseline::from_json(entry)
+}
+
+/// Write (or overwrite) one benchmark's [`TraceBaseline`] inside a bench
+/// report, creating the file, the group and its `baselines` member as
+/// needed — the in-place blessing behind `vpp trace accept`, sharing the
+/// merge-don't-clobber discipline of [`Harness::finish`].
+///
+/// # Errors
+/// If an existing file is unreadable/invalid JSON or the write fails.
+pub fn store_baseline(
+    path: &str,
+    group: &str,
+    name: &str,
+    baseline: &TraceBaseline,
+) -> Result<(), String> {
+    let mut report = match std::fs::read_to_string(path) {
+        Ok(text) => json::parse(&text).map_err(|e| format!("existing {path}: {e}"))?,
+        Err(_) => Value::Obj(vec![
+            ("schema".into(), Value::Str("vpp-bench/1".into())),
+            ("groups".into(), Value::Obj(vec![])),
+        ]),
+    };
+    if report.get("groups").is_none() {
+        report.set("groups", Value::Obj(vec![]));
+    }
+    let Value::Obj(members) = &mut report else {
+        return Err(format!("{path}: report is not a JSON object"));
+    };
+    let groups = members
+        .iter_mut()
+        .find(|(k, _)| k == "groups")
+        .map(|(_, v)| v)
+        .expect("inserted above");
+    let Value::Obj(groups) = groups else {
+        return Err(format!("{path}: 'groups' is not an object"));
+    };
+    if !groups.iter().any(|(k, _)| k == group) {
+        groups.push((group.to_string(), Value::Obj(vec![])));
+    }
+    let slot = groups
+        .iter_mut()
+        .find(|(k, _)| k == group)
+        .map(|(_, v)| v)
+        .expect("inserted above");
+    let Value::Obj(group_members) = slot else {
+        return Err(format!("{path}: group '{group}' is not an object"));
+    };
+    if !group_members.iter().any(|(k, _)| k == "baselines") {
+        group_members.push(("baselines".to_string(), Value::Obj(vec![])));
+    }
+    let baselines = group_members
+        .iter_mut()
+        .find(|(k, _)| k == "baselines")
+        .map(|(_, v)| v)
+        .expect("inserted above");
+    let Value::Obj(baselines) = baselines else {
+        return Err(format!("{path}: '{group}.baselines' is not an object"));
+    };
+    if let Some(entry) = baselines.iter_mut().find(|(k, _)| k == name) {
+        entry.1 = baseline.to_json();
+    } else {
+        baselines.push((name.to_string(), baseline.to_json()));
+    }
+    std::fs::write(path, report.pretty()).map_err(|e| format!("cannot write {path}: {e}"))
 }
 
 /// One before/after comparison.
@@ -171,6 +269,7 @@ impl Harness {
         let baseline = TraceBaseline {
             aggregate: report.aggregate(),
             samples: report.aggregates_under(sample_span),
+            tolerances: BTreeMap::new(),
         };
         eprintln!(
             "  {name:<44} baseline: {} span kinds, {} repeat sample(s)",
@@ -446,6 +545,53 @@ mod tests {
             load_baseline(path.to_str().unwrap(), "trace_baselines", "toy").unwrap();
         assert_eq!(loaded, expected);
         assert!(load_baseline(path.to_str().unwrap(), "trace_baselines", "missing").is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn store_baseline_blesses_in_place_with_tolerances() {
+        let dir = std::env::temp_dir().join(format!("vpp_store_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_store.json");
+        let _ = std::fs::remove_file(&path);
+        let path = path.to_str().unwrap().to_string();
+
+        let s = trace::session(256);
+        {
+            let mut p = crate::span!("phase.scf_iter", sim_t0 = 0.0);
+            p.record("sim_t1", 2.5);
+        }
+        trace::counter("toy.ticks", 7);
+        let agg = s.finish().aggregate();
+        let mut baseline = TraceBaseline {
+            aggregate: agg.clone(),
+            samples: vec![agg],
+            tolerances: BTreeMap::new(),
+        };
+        baseline
+            .tolerances
+            .insert("phase.scf_iter".to_string(), 0.05);
+
+        // Creates file + group + member from nothing.
+        store_baseline(&path, "trace_baselines", "toy", &baseline).unwrap();
+        let loaded = load_baseline(&path, "trace_baselines", "toy").unwrap();
+        assert_eq!(loaded, baseline);
+        assert!((loaded.tolerances["phase.scf_iter"] - 0.05).abs() < 1e-12);
+
+        // Re-blessing overwrites in place without duplicating members,
+        // and leaves sibling baselines untouched.
+        store_baseline(&path, "trace_baselines", "other", &baseline).unwrap();
+        let mut updated = baseline.clone();
+        updated.tolerances.insert("job.collective".to_string(), 0.10);
+        store_baseline(&path, "trace_baselines", "toy", &updated).unwrap();
+        assert_eq!(
+            load_baseline(&path, "trace_baselines", "toy").unwrap(),
+            updated
+        );
+        assert_eq!(
+            load_baseline(&path, "trace_baselines", "other").unwrap(),
+            baseline
+        );
         let _ = std::fs::remove_file(&path);
     }
 }

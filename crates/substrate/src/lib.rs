@@ -23,12 +23,16 @@
 //!   bounded recorder (installed per [`trace::session`]) collecting typed
 //!   spans ([`span!`]), marks, counters and gauges, with a near-zero-cost
 //!   no-op path when no recorder is installed.
+//! * [`serve`] — a std-only HTTP/1.1 observability server exposing the
+//!   live session over `GET /metrics` (Prometheus text), `/healthz` and
+//!   `/trace?format=json|jsonl|csv`, with a leak-free shutdown handle.
 
 pub mod bench;
 pub mod json;
 pub mod pool;
 pub mod prop;
 pub mod rng;
+pub mod serve;
 pub mod trace;
 
 pub use bench::Harness;

@@ -1,0 +1,512 @@
+//! Zero-dependency observability server (DESIGN.md §3.7).
+//!
+//! A minimal HTTP/1.1 exposition endpoint over [`std::net::TcpListener`],
+//! modelled on the pull-based collector stacks the paper's methodology
+//! uses out-of-band (Cray PM → LDMS → OMNI): a scraper polls the process
+//! instead of the process pushing samples. Three read-only endpoints:
+//!
+//! * `GET /metrics` — Prometheus text exposition (version 0.0.4) of the
+//!   live trace session ([`trace::live_metrics`]) plus the server's own
+//!   `vpp_up` / `vpp_serve_*` series. Works with no session active.
+//! * `GET /healthz` — JSON run state (`idle` / `running` / `done`),
+//!   workload name, uptime, request and run counters.
+//! * `GET /trace?format=json|jsonl|csv` — the in-flight session's
+//!   [`trace::live_report`] rendered through
+//!   [`ExportFormat`](trace::ExportFormat); `503` when no session is
+//!   active, `400` on formats that are not servable snapshots (`tree` is
+//!   interactive-only, `prom` lives at `/metrics`).
+//!
+//! Design constraints, in order: **never perturb the run** (requests read
+//! non-draining snapshots; the accept loop is a fixed two-worker scoped
+//! pool, the same bounded-thread idiom as [`crate::pool`]), **shut down
+//! leak-free** ([`ServeHandle::shutdown`] joins every thread; the
+//! listener is non-blocking and polled, so workers notice the flag within
+//! one poll interval without wake-up connections), and **stay std-only**
+//! (hand-rolled request-line parser, bounded header read, fixed
+//! `Content-Length` responses with `Connection: close`).
+
+use crate::json::Value;
+use crate::trace::{self, ExportFormat};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Connection workers sharing the accept loop. Scrapes are tiny and the
+/// endpoints are read-only, so two are plenty; the point is the bound.
+const WORKERS: usize = 2;
+/// How often an idle worker re-checks the shutdown flag.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+/// Per-connection socket read/write timeout.
+const IO_TIMEOUT: Duration = Duration::from_secs(2);
+/// Upper bound on the request head (request line + headers).
+const MAX_HEAD: usize = 16 * 1024;
+
+/// Where the instrumented run currently is, for `/healthz`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunState {
+    /// Server is up, workload not started.
+    Idle,
+    /// Workload in flight — scrapes see live, still-growing metrics.
+    Running,
+    /// Workload finished; the server keeps serving the final state.
+    Done,
+}
+
+impl RunState {
+    /// Lower-case token used in the `/healthz` JSON.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RunState::Idle => "idle",
+            RunState::Running => "running",
+            RunState::Done => "done",
+        }
+    }
+
+    fn from_u8(v: u8) -> RunState {
+        match v {
+            1 => RunState::Running,
+            2 => RunState::Done,
+            _ => RunState::Idle,
+        }
+    }
+}
+
+/// State shared between the handle and the worker threads.
+struct Shared {
+    started: Instant,
+    shutdown: AtomicBool,
+    state: AtomicU8,
+    requests: AtomicU64,
+    runs_completed: AtomicU64,
+    runs_total: AtomicU64,
+    workload: Mutex<String>,
+}
+
+/// A running observability server. Dropping the handle (or calling
+/// [`ServeHandle::shutdown`]) stops the accept loop and joins every
+/// worker thread — no listener threads survive the handle.
+pub struct ServeHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+/// Bind `127.0.0.1:port` (`0` picks an ephemeral port) and start serving.
+///
+/// # Errors
+/// Propagates the bind failure (port in use, permission).
+pub fn serve(port: u16) -> std::io::Result<ServeHandle> {
+    let listener = TcpListener::bind(("127.0.0.1", port))?;
+    // Non-blocking accept + poll: shutdown needs no wake-up connection
+    // and cannot race one worker stealing another's wake.
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        started: Instant::now(),
+        shutdown: AtomicBool::new(false),
+        state: AtomicU8::new(0),
+        requests: AtomicU64::new(0),
+        runs_completed: AtomicU64::new(0),
+        runs_total: AtomicU64::new(0),
+        workload: Mutex::new(String::new()),
+    });
+    let worker_shared = Arc::clone(&shared);
+    let acceptor = std::thread::Builder::new()
+        .name("vpp-serve".to_string())
+        .spawn(move || {
+            std::thread::scope(|scope| {
+                for _ in 0..WORKERS {
+                    scope.spawn(|| worker(&listener, &worker_shared));
+                }
+            });
+        })?;
+    Ok(ServeHandle {
+        addr,
+        shared,
+        acceptor: Some(acceptor),
+    })
+}
+
+impl ServeHandle {
+    /// The bound address (resolves the ephemeral port).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current run state as reported by `/healthz`.
+    #[must_use]
+    pub fn state(&self) -> RunState {
+        RunState::from_u8(self.shared.state.load(Ordering::SeqCst))
+    }
+
+    /// Advance the `/healthz` run state.
+    pub fn set_state(&self, state: RunState) {
+        let v = match state {
+            RunState::Idle => 0,
+            RunState::Running => 1,
+            RunState::Done => 2,
+        };
+        self.shared.state.store(v, Ordering::SeqCst);
+    }
+
+    /// Name the workload and how many runs `/healthz` should expect.
+    pub fn set_workload(&self, name: &str, runs_total: u64) {
+        *lock_str(&self.shared.workload) = name.to_string();
+        self.shared.runs_total.store(runs_total, Ordering::SeqCst);
+    }
+
+    /// Record one completed run (shows up in `/healthz` and `/metrics`).
+    pub fn run_completed(&self) {
+        self.shared.runs_completed.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Requests served so far.
+    #[must_use]
+    pub fn requests(&self) -> u64 {
+        self.shared.requests.load(Ordering::SeqCst)
+    }
+
+    /// Stop accepting, drain the workers and join every thread. Returns
+    /// once no server thread remains.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(acceptor) = self.acceptor.take() {
+            if acceptor.join().is_err() {
+                // A worker panicked; the scope already tore the rest down.
+                eprintln!("vpp-serve: worker thread panicked during shutdown");
+            }
+        }
+    }
+}
+
+impl Drop for ServeHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn lock_str(m: &Mutex<String>) -> std::sync::MutexGuard<'_, String> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn worker(listener: &TcpListener, shared: &Shared) {
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => handle_connection(stream, shared),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, shared: &Shared) {
+    // Accepted sockets inherit nothing useful from the non-blocking
+    // listener on Linux, but make the contract explicit either way.
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    let Some((method, target)) = read_request_head(&mut stream) else {
+        return; // malformed, oversized or timed-out request head
+    };
+    shared.requests.fetch_add(1, Ordering::SeqCst);
+    let response = route(&method, &target, shared);
+    let _ = write_response(&mut stream, &response);
+}
+
+/// Read until the blank line ending the header block and parse the
+/// request line. `None` on malformed input; the connection is just
+/// dropped (a scraper retries, and there is nothing useful to say).
+fn read_request_head(stream: &mut TcpStream) -> Option<(String, String)> {
+    let mut head = Vec::new();
+    let mut chunk = [0u8; 1024];
+    while !contains_blank_line(&head) {
+        if head.len() > MAX_HEAD {
+            return None;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => head.extend_from_slice(&chunk[..n]),
+            Err(_) => return None,
+        }
+    }
+    let text = String::from_utf8_lossy(&head);
+    let request_line = text.lines().next()?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next()?.to_string();
+    let target = parts.next()?.to_string();
+    let version = parts.next()?;
+    if !version.starts_with("HTTP/1.") {
+        return None;
+    }
+    Some((method, target))
+}
+
+fn contains_blank_line(buf: &[u8]) -> bool {
+    buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.windows(2).any(|w| w == b"\n\n")
+}
+
+struct Response {
+    status: u16,
+    reason: &'static str,
+    content_type: &'static str,
+    allow: Option<&'static str>,
+    body: String,
+}
+
+impl Response {
+    fn text(status: u16, reason: &'static str, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            reason,
+            content_type: "text/plain; charset=utf-8",
+            allow: None,
+            body: body.into(),
+        }
+    }
+}
+
+fn write_response(stream: &mut TcpStream, r: &Response) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        r.status,
+        r.reason,
+        r.content_type,
+        r.body.len()
+    );
+    if let Some(allow) = r.allow {
+        head.push_str("Allow: ");
+        head.push_str(allow);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(r.body.as_bytes())?;
+    stream.flush()
+}
+
+fn route(method: &str, target: &str, shared: &Shared) -> Response {
+    let (path, query) = target.split_once('?').unwrap_or((target, ""));
+    if method != "GET" {
+        let mut r = Response::text(405, "Method Not Allowed", "method not allowed\n");
+        r.allow = Some("GET");
+        return r;
+    }
+    match path {
+        "/metrics" => Response {
+            status: 200,
+            reason: "OK",
+            content_type: ExportFormat::Prom.content_type(),
+            allow: None,
+            body: metrics_body(shared),
+        },
+        "/healthz" => Response {
+            status: 200,
+            reason: "OK",
+            content_type: "application/json",
+            allow: None,
+            body: healthz_body(shared),
+        },
+        "/trace" => trace_response(query),
+        _ => Response::text(
+            404,
+            "Not Found",
+            "not found; endpoints: /metrics /healthz /trace?format=json|jsonl|csv\n",
+        ),
+    }
+}
+
+/// Live session exposition plus the server's own series. The session part
+/// is empty (not an error) when no recorder is installed, so a scraper
+/// configured before the run starts sees `vpp_up 1` immediately.
+fn metrics_body(shared: &Shared) -> String {
+    let mut out = trace::live_metrics().map(|m| m.to_prom()).unwrap_or_default();
+    let uptime = shared.started.elapsed().as_secs_f64();
+    out.push_str("# TYPE vpp_up gauge\nvpp_up 1\n");
+    out.push_str(&format!(
+        "# TYPE vpp_serve_uptime_seconds gauge\nvpp_serve_uptime_seconds {uptime}\n"
+    ));
+    out.push_str(&format!(
+        "# TYPE vpp_serve_requests_total counter\nvpp_serve_requests_total {}\n",
+        shared.requests.load(Ordering::SeqCst)
+    ));
+    out.push_str(&format!(
+        "# TYPE vpp_serve_runs_completed_total counter\nvpp_serve_runs_completed_total {}\n",
+        shared.runs_completed.load(Ordering::SeqCst)
+    ));
+    out
+}
+
+fn healthz_body(shared: &Shared) -> String {
+    let state = RunState::from_u8(shared.state.load(Ordering::SeqCst));
+    let mut doc = Value::Obj(vec![
+        (
+            "state".to_string(),
+            Value::Str(state.as_str().to_string()),
+        ),
+        (
+            "workload".to_string(),
+            Value::Str(lock_str(&shared.workload).clone()),
+        ),
+        (
+            "uptime_s".to_string(),
+            Value::Num(shared.started.elapsed().as_secs_f64()),
+        ),
+        ("tracing".to_string(), Value::Bool(trace::enabled())),
+        (
+            "requests".to_string(),
+            Value::Num(shared.requests.load(Ordering::SeqCst) as f64),
+        ),
+        (
+            "runs_completed".to_string(),
+            Value::Num(shared.runs_completed.load(Ordering::SeqCst) as f64),
+        ),
+        (
+            "runs_total".to_string(),
+            Value::Num(shared.runs_total.load(Ordering::SeqCst) as f64),
+        ),
+    ])
+    .pretty();
+    doc.push('\n');
+    doc
+}
+
+fn trace_response(query: &str) -> Response {
+    let requested = query
+        .split('&')
+        .find_map(|kv| kv.strip_prefix("format="))
+        .unwrap_or("json");
+    let fmt: ExportFormat = match requested.parse() {
+        Ok(f) => f,
+        Err(e) => return Response::text(400, "Bad Request", format!("{e}\n")),
+    };
+    if !matches!(
+        fmt,
+        ExportFormat::Json | ExportFormat::Jsonl | ExportFormat::Csv
+    ) {
+        return Response::text(
+            400,
+            "Bad Request",
+            format!(
+                "format '{fmt}' is not servable here; use json|jsonl|csv \
+                 (the prometheus exposition lives at /metrics)\n"
+            ),
+        );
+    }
+    match trace::live_report() {
+        Some(report) => Response {
+            status: 200,
+            reason: "OK",
+            content_type: fmt.content_type(),
+            allow: None,
+            body: report
+                .render(fmt)
+                .expect("json|jsonl|csv always serialise"),
+        },
+        None => Response::text(503, "Service Unavailable", "no active trace session\n"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, target: &str) -> (u16, String, String) {
+        request(addr, "GET", target)
+    }
+
+    fn request(addr: SocketAddr, method: &str, target: &str) -> (u16, String, String) {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        write!(
+            s,
+            "{method} {target} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n"
+        )
+        .expect("send request");
+        let mut raw = String::new();
+        s.read_to_string(&mut raw).expect("read response");
+        let (head, body) = raw.split_once("\r\n\r\n").expect("header terminator");
+        let status: u16 = head
+            .split_whitespace()
+            .nth(1)
+            .expect("status code")
+            .parse()
+            .expect("numeric status");
+        (status, head.to_string(), body.to_string())
+    }
+
+    #[test]
+    fn serves_metrics_and_honours_content_length() {
+        let h = serve(0).expect("bind ephemeral");
+        let (status, head, body) = get(h.addr(), "/metrics");
+        assert_eq!(status, 200);
+        assert!(head.contains("Content-Type: text/plain; version=0.0.4"));
+        assert!(body.contains("vpp_up 1"));
+        assert!(body.contains("vpp_serve_requests_total"));
+        let len: usize = head
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .expect("content-length header")
+            .parse()
+            .unwrap();
+        assert_eq!(len, body.len());
+        h.shutdown();
+    }
+
+    #[test]
+    fn unknown_paths_and_methods_are_rejected() {
+        let h = serve(0).expect("bind ephemeral");
+        let (status, _, body) = get(h.addr(), "/nope");
+        assert_eq!(status, 404);
+        assert!(body.contains("/metrics"));
+        let (status, head, _) = request(h.addr(), "POST", "/metrics");
+        assert_eq!(status, 405);
+        assert!(head.contains("Allow: GET"));
+        h.shutdown();
+    }
+
+    #[test]
+    fn trace_endpoint_needs_a_session_and_a_servable_format() {
+        let h = serve(0).expect("bind ephemeral");
+        let (status, _, body) = get(h.addr(), "/trace");
+        assert_eq!(status, 503, "no session active: {body}");
+        let (status, _, body) = get(h.addr(), "/trace?format=yaml");
+        assert_eq!(status, 400);
+        assert!(body.contains("unknown format"));
+        let (status, _, body) = get(h.addr(), "/trace?format=prom");
+        assert_eq!(status, 400);
+        assert!(body.contains("/metrics"));
+        h.shutdown();
+    }
+
+    #[test]
+    fn healthz_reports_handle_state() {
+        let h = serve(0).expect("bind ephemeral");
+        h.set_workload("unit_bench", 3);
+        let (status, _, body) = get(h.addr(), "/healthz");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"state\": \"idle\""), "{body}");
+        h.set_state(RunState::Running);
+        h.run_completed();
+        let (_, _, body) = get(h.addr(), "/healthz");
+        assert!(body.contains("\"state\": \"running\""), "{body}");
+        assert!(body.contains("\"workload\": \"unit_bench\""), "{body}");
+        h.set_state(RunState::Done);
+        assert_eq!(h.state(), RunState::Done);
+        assert!(h.requests() >= 2);
+        h.shutdown();
+    }
+}

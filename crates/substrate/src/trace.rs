@@ -321,6 +321,28 @@ impl Recorder {
             }
         });
     }
+
+    /// Non-draining copy of everything recorded so far. Lock discipline
+    /// matters: [`Recorder::push`] holds a thread's staging-buffer lock
+    /// *while* taking the central lock on a batch flush, so this snapshot
+    /// must never hold the central lock while touching a staging buffer —
+    /// it clones the central log first, releases it, then visits each
+    /// buffer one at a time. Spans still open at snapshot time appear
+    /// with their Enter event only (`t_exit_ns == None` after matching).
+    fn snapshot(&self) -> TraceReport {
+        let mut events = lock(&self.central).clone();
+        let buffers: Vec<EventBuffer> = lock(&self.buffers).clone();
+        for buf in &buffers {
+            events.extend(lock(buf).iter().cloned());
+        }
+        events.sort_by_key(|e| e.t_ns);
+        TraceReport {
+            events,
+            counters: lock(&self.counters).clone(),
+            gauges: lock(&self.gauges).clone(),
+            dropped: self.dropped.load(Ordering::Relaxed),
+        }
+    }
 }
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -358,6 +380,27 @@ fn current() -> Option<Arc<Recorder>> {
         .read()
         .unwrap_or_else(PoisonError::into_inner)
         .clone()
+}
+
+/// Live, non-draining copy of the *current* session's trace — events
+/// staged so far (open spans included, their exits still pending),
+/// counters, gauges and the dropped count. `None` when no session is
+/// active. Unlike [`Session::finish`] this leaves the recorder installed
+/// and running, so a scraper (the `serve` module's `/trace` endpoint) can
+/// read an in-flight run from any thread without owning the [`Session`].
+#[must_use]
+pub fn live_report() -> Option<TraceReport> {
+    current().map(|rec| rec.snapshot())
+}
+
+/// Live [`MetricsSnapshot`] of the current session — counters, gauges and
+/// span-duration summaries over the events recorded so far (open spans
+/// count with zero duration until they close). `None` when no session is
+/// active. Counters read here are monotone across successive calls, which
+/// is what makes the `/metrics` exposition scrape-safe mid-run.
+#[must_use]
+pub fn live_metrics() -> Option<MetricsSnapshot> {
+    live_report().map(|r| r.metrics_snapshot())
 }
 
 fn thread_ordinal(rec: &Recorder) -> u32 {
@@ -1014,6 +1057,108 @@ impl TraceReport {
     }
 }
 
+/// The one source of truth for trace export formats, shared by
+/// `vpp trace --format`, the `serve` module's `/trace` endpoint and the
+/// [`TraceReport`] exporters. Parsing ([`std::str::FromStr`]) and
+/// rendering ([`fmt::Display`]) round-trip through [`ExportFormat::name`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExportFormat {
+    /// Human-readable span tree (interactive CLI rendering only — not a
+    /// serialisation; [`TraceReport::render`] returns `None` for it).
+    Tree,
+    /// RFC-4180 CSV of spans and marks ([`TraceReport::to_csv`]).
+    Csv,
+    /// Pretty JSON document ([`TraceReport::to_json`]).
+    Json,
+    /// One compact JSON event per line ([`TraceReport::to_jsonl`]).
+    Jsonl,
+    /// Prometheus text exposition ([`MetricsSnapshot::to_prom`]).
+    Prom,
+}
+
+impl ExportFormat {
+    /// Every format, in `--help` listing order.
+    pub const ALL: [ExportFormat; 5] = [
+        ExportFormat::Tree,
+        ExportFormat::Csv,
+        ExportFormat::Json,
+        ExportFormat::Jsonl,
+        ExportFormat::Prom,
+    ];
+
+    /// Canonical lower-case name — the token [`std::str::FromStr`] accepts.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ExportFormat::Tree => "tree",
+            ExportFormat::Csv => "csv",
+            ExportFormat::Json => "json",
+            ExportFormat::Jsonl => "jsonl",
+            ExportFormat::Prom => "prom",
+        }
+    }
+
+    /// `tree|csv|json|jsonl|prom` — for usage and error messages.
+    #[must_use]
+    pub fn choices() -> String {
+        Self::ALL
+            .iter()
+            .map(|f| f.name())
+            .collect::<Vec<_>>()
+            .join("|")
+    }
+
+    /// MIME type for HTTP responses carrying this format.
+    #[must_use]
+    pub fn content_type(self) -> &'static str {
+        match self {
+            ExportFormat::Tree => "text/plain; charset=utf-8",
+            ExportFormat::Csv => "text/csv; charset=utf-8",
+            ExportFormat::Json => "application/json",
+            ExportFormat::Jsonl => "application/x-ndjson",
+            ExportFormat::Prom => "text/plain; version=0.0.4; charset=utf-8",
+        }
+    }
+}
+
+impl fmt::Display for ExportFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for ExportFormat {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Self::ALL
+            .iter()
+            .copied()
+            .find(|f| f.name() == s)
+            .ok_or_else(|| format!("unknown format '{s}' (expected {})", Self::choices()))
+    }
+}
+
+impl TraceReport {
+    /// Serialise the report in `fmt`. Returns `None` for
+    /// [`ExportFormat::Tree`], which is an interactive rendering the CLI
+    /// owns, not a serialisation of the report.
+    #[must_use]
+    pub fn render(&self, fmt: ExportFormat) -> Option<String> {
+        match fmt {
+            ExportFormat::Tree => None,
+            ExportFormat::Csv => Some(self.to_csv()),
+            ExportFormat::Json => {
+                let mut doc = self.to_json().pretty();
+                doc.push('\n');
+                Some(doc)
+            }
+            ExportFormat::Jsonl => Some(self.to_jsonl()),
+            ExportFormat::Prom => Some(self.metrics_snapshot().to_prom()),
+        }
+    }
+}
+
 /// RFC-4180 quoting for the CSV `fields` cell: the cell is always quoted
 /// and embedded quotes are doubled, so commas, newlines and `"` in field
 /// values round-trip instead of being rewritten.
@@ -1596,6 +1741,96 @@ mod tests {
         assert!(prom.contains("# TYPE vpp_prom_overshoot_w gauge"));
         assert!(prom.contains("vpp_prom_overshoot_w 1.25"));
         assert!(prom.contains("vpp_span_duration_seconds_count{span=\"prom.span\"} 1"));
+    }
+
+    #[test]
+    fn live_report_is_non_draining_and_sees_open_spans() {
+        assert!(live_report().is_none(), "no session, no live report");
+        let s = session(4096);
+        let live = {
+            let mut g = span!("live.outer", nodes = 2);
+            counter("live.ticks", 3);
+            gauge("live.coverage", 0.75);
+            let live = live_report().expect("session active");
+            g.record("done", true);
+            live
+        };
+        // The open span is visible with its Enter only.
+        let spans = live.spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "live.outer");
+        assert!(spans[0].t_exit_ns.is_none(), "span was still open");
+        assert_eq!(live.counters["live.ticks"], 3);
+        let metrics = live_metrics().expect("still active");
+        assert!((metrics.gauges["live.coverage"] - 0.75).abs() < 1e-12);
+        assert!(metrics.spans.iter().any(|s| s.name == "live.outer"));
+        // The snapshot drained nothing: finish still sees everything.
+        let report = s.finish();
+        assert!(report.well_formed().is_ok(), "{:?}", report.well_formed());
+        assert_eq!(report.spans().len(), 1);
+        assert_eq!(report.counters["live.ticks"], 3);
+        assert!(live_report().is_none(), "finish uninstalls the recorder");
+    }
+
+    #[test]
+    fn live_report_under_concurrent_writers_does_not_deadlock() {
+        // Writers batch-flush (buffer lock → central lock) while the main
+        // thread snapshots (central lock, then buffer locks one at a
+        // time); this storms both paths together.
+        let s = session(1 << 16);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..(2 * FLUSH_BATCH) {
+                        let _g = span!("storm.iter");
+                    }
+                });
+            }
+            for _ in 0..50 {
+                let _ = live_report();
+            }
+        });
+        let report = s.finish();
+        assert!(report.well_formed().is_ok(), "{:?}", report.well_formed());
+        assert_eq!(
+            report.spans().iter().filter(|s| s.name == "storm.iter").count(),
+            4 * 2 * FLUSH_BATCH
+        );
+    }
+
+    #[test]
+    fn export_format_round_trips_and_renders() {
+        for fmt in ExportFormat::ALL {
+            let back: ExportFormat = fmt.name().parse().expect("canonical name parses");
+            assert_eq!(back, fmt);
+            assert_eq!(format!("{fmt}"), fmt.name());
+        }
+        assert!("yaml".parse::<ExportFormat>().is_err());
+        assert_eq!(ExportFormat::choices(), "tree|csv|json|jsonl|prom");
+
+        let s = session(64);
+        {
+            let _g = span!("render.span");
+        }
+        counter("render.hits", 1);
+        let report = s.finish();
+        assert!(report.render(ExportFormat::Tree).is_none());
+        assert_eq!(
+            report.render(ExportFormat::Csv).unwrap(),
+            report.to_csv()
+        );
+        assert_eq!(
+            report.render(ExportFormat::Jsonl).unwrap(),
+            report.to_jsonl()
+        );
+        assert!(report
+            .render(ExportFormat::Json)
+            .unwrap()
+            .contains("render.span"));
+        assert!(report
+            .render(ExportFormat::Prom)
+            .unwrap()
+            .contains("vpp_render_hits_total 1"));
     }
 
     #[test]

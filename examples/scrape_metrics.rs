@@ -1,0 +1,66 @@
+//! Minimal std-only scraper for the observability endpoint (DESIGN.md
+//! §3.7): one HTTP/1.1 GET over `std::net::TcpStream`, body to stdout.
+//!
+//! ```text
+//! cargo run --example scrape_metrics -- http://127.0.0.1:PORT/metrics
+//! ```
+//!
+//! Exits 1 on connection errors or non-2xx responses — the shape
+//! `scripts/verify.sh` needs to poll a `vpp serve` instance without curl.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn fetch(url: &str) -> Result<(u16, String), String> {
+    let rest = url
+        .strip_prefix("http://")
+        .ok_or_else(|| format!("only http:// URLs are supported, got '{url}'"))?;
+    let (host, path) = match rest.split_once('/') {
+        Some((host, path)) => (host, format!("/{path}")),
+        None => (rest, "/".to_string()),
+    };
+    let mut stream =
+        TcpStream::connect(host).map_err(|e| format!("connect {host}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .map_err(|e| format!("set timeout: {e}"))?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: {host}\r\nConnection: close\r\n\r\n"
+    )
+    .map_err(|e| format!("send request: {e}"))?;
+    let mut raw = String::new();
+    stream
+        .read_to_string(&mut raw)
+        .map_err(|e| format!("read response: {e}"))?;
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or("malformed response: no header terminator")?;
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .ok_or("malformed status line")?
+        .parse()
+        .map_err(|_| "non-numeric status code".to_string())?;
+    Ok((status, body.to_string()))
+}
+
+fn main() {
+    let Some(url) = std::env::args().nth(1) else {
+        eprintln!("usage: scrape_metrics http://HOST:PORT/PATH");
+        std::process::exit(2);
+    };
+    match fetch(&url) {
+        Ok((status, body)) if (200..300).contains(&status) => print!("{body}"),
+        Ok((status, body)) => {
+            eprintln!("HTTP {status}");
+            eprint!("{body}");
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -51,4 +51,40 @@ grep -q "REGRESSION — phase.scf_iter" /tmp/vpp_diff_perturbed.out || {
     exit 1
 }
 
+echo "==> serve smoke: live /metrics must expose protocol.coverage"
+cargo run -q --release --offline --bin vpp -- \
+    serve B.hR105_hse --quick --metrics-port 0 > /tmp/vpp_serve.out 2>&1 &
+SERVE_PID=$!
+ADDR=
+for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's|^serving on http://||p' /tmp/vpp_serve.out | head -n 1)
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+[ -n "$ADDR" ] || {
+    echo "verify: FAIL — vpp serve never printed its address" >&2
+    kill "$SERVE_PID" 2>/dev/null || true
+    exit 1
+}
+SCRAPED=
+for _ in $(seq 1 100); do
+    if cargo run -q --release --offline --example scrape_metrics -- \
+        "http://$ADDR/metrics" > /tmp/vpp_scrape.out 2>/dev/null \
+        && grep -q '^vpp_protocol_coverage' /tmp/vpp_scrape.out; then
+        SCRAPED=1
+        break
+    fi
+    sleep 0.2
+done
+kill "$SERVE_PID" 2>/dev/null || true
+wait "$SERVE_PID" 2>/dev/null || true
+[ -n "$SCRAPED" ] || {
+    echo "verify: FAIL — /metrics never exposed vpp_protocol_coverage" >&2
+    exit 1
+}
+grep -q '^vpp_up 1' /tmp/vpp_scrape.out || {
+    echo "verify: FAIL — /metrics lost the vpp_up self-series" >&2
+    exit 1
+}
+
 echo "verify: OK"

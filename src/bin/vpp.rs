@@ -1,15 +1,25 @@
 //! `vpp` — the operator's command-line tool.
 //!
+//! Commands register in a declarative table ([`COMMANDS`]): each entry
+//! names its words (multi-word commands like `trace diff` match by
+//! longest prefix), its operand, its flag specs and its handler. Usage
+//! and `--help` text are generated from the table, and unknown flags are
+//! rejected per-command (`--straggler` belongs to `screen` and nothing
+//! else), so the parser cannot drift from the documentation.
+//!
 //! ```text
-//! vpp profile    <benchmark|dir> [--nodes N] [--cap W] [--quick]
-//! vpp caps       <benchmark>     [--nodes N]
-//! vpp screen     <benchmark>     [--nodes N] [--straggler IDX:FACTOR]
-//! vpp phases     <benchmark>     [--nodes N]
-//! vpp trace      <benchmark>     [--nodes N] [--cap W] [--quick]
-//!                                [--format tree|csv|json|jsonl|prom]
-//!                                [--perturb PHASE:FACTOR]
-//! vpp trace diff <benchmark>     [--perturb PHASE:FACTOR]
 //! vpp list
+//! vpp profile      <benchmark|dir> [--nodes N] [--cap W] [--quick] [--metrics-port PORT]
+//! vpp caps         <benchmark>     [--nodes N] [--quick] [--metrics-port PORT]
+//! vpp screen       <benchmark>     [--nodes N] [--straggler IDX:FACTOR]
+//! vpp phases       <benchmark>     [--nodes N]
+//! vpp trace        <benchmark>     [--nodes N] [--cap W] [--quick]
+//!                                  [--format tree|csv|json|jsonl|prom]
+//!                                  [--perturb PHASE:FACTOR] [--metrics-port PORT]
+//! vpp trace diff   <benchmark>     [--perturb PHASE:FACTOR]
+//! vpp trace accept <benchmark>     [--tolerance PHASE:PCT]...
+//! vpp serve        <benchmark>     [--nodes N] [--cap W] [--quick]
+//!                                  [--repeat N] [--metrics-port PORT]
 //! ```
 //!
 //! `<benchmark>` is a Table I name (see `vpp list`); a directory containing
@@ -18,92 +28,366 @@
 //!
 //! `trace diff` re-runs the benchmark with the pinned baseline recipe,
 //! compares the per-phase trace aggregates against the baseline stored in
-//! `BENCH_results.json` (group `trace_baselines`, written by
-//! `cargo bench -p vpp-bench --bench baselines`), and exits 1 when a
+//! `BENCH_results.json` (group `trace_baselines`), and exits 1 when a
 //! significant regression is found. `--perturb` injects an artificial
-//! phase slowdown — the regression fixture. Setting `VPP_BENCH_DIFF=1`
-//! turns a plain `vpp trace <benchmark>` into `vpp trace diff <benchmark>`.
+//! slowdown — a phase kind stretches compute, `collective:FACTOR`
+//! stretches network time only. Setting `VPP_BENCH_DIFF=1` turns a plain
+//! `vpp trace <benchmark>` into `vpp trace diff <benchmark>`.
+//!
+//! `trace accept` re-captures the baseline with the same pinned recipe
+//! and blesses it in place, persisting any `--tolerance PHASE:PCT`
+//! overrides alongside the samples.
+//!
+//! `serve` (and `--metrics-port` on `profile` / `caps` / `trace`) starts
+//! the std-only observability endpoint (DESIGN.md §3.7): `GET /metrics`,
+//! `/healthz` and `/trace?format=json|jsonl|csv` scrape the in-flight
+//! run live.
+
+use std::collections::BTreeMap;
+use std::io::Write;
 
 use vasp_power_profiles::cluster::{execute, JobSpec, NetworkModel, Straggler};
 use vasp_power_profiles::core::{benchmarks, flight, protocol};
 use vasp_power_profiles::dft::{parse_incar, parse_kpoints, parse_poscar, PhaseKind};
 use vasp_power_profiles::stats::{trace_diff, DiffConfig, Segmenter};
-use vasp_power_profiles::substrate::bench::load_baseline;
-use vasp_power_profiles::substrate::trace;
+use vasp_power_profiles::substrate::bench::{load_baseline, store_baseline};
+use vasp_power_profiles::substrate::serve::{self, RunState, ServeHandle};
+use vasp_power_profiles::substrate::trace::{self, ExportFormat};
 use vasp_power_profiles::telemetry::{Sampler, Screener};
 
-struct Args {
-    positional: Vec<String>,
-    nodes: Option<usize>,
-    cap: Option<f64>,
-    quick: bool,
-    straggler: Option<(usize, f64)>,
-    format: Option<String>,
-    perturb: Option<(PhaseKind, f64)>,
+// ---------------------------------------------------------------------------
+// Declarative command table
+// ---------------------------------------------------------------------------
+
+/// One flag a command accepts.
+struct FlagSpec {
+    /// Name without the leading `--`.
+    name: &'static str,
+    /// Metavar when the flag takes a value; `None` for booleans.
+    value: Option<&'static str>,
+    /// May appear more than once.
+    repeatable: bool,
+    help: &'static str,
 }
 
-fn parse_args(raw: &[String]) -> Result<Args, String> {
-    let mut args = Args {
-        positional: Vec::new(),
-        nodes: None,
-        cap: None,
-        quick: false,
-        straggler: None,
-        format: None,
-        perturb: None,
-    };
-    let mut it = raw.iter();
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--nodes" => {
-                let v = it.next().ok_or("--nodes needs a value")?;
-                args.nodes = Some(v.parse().map_err(|_| format!("bad --nodes '{v}'"))?);
+const fn flag(name: &'static str, value: &'static str, help: &'static str) -> FlagSpec {
+    FlagSpec {
+        name,
+        value: Some(value),
+        repeatable: false,
+        help,
+    }
+}
+
+const fn switch(name: &'static str, help: &'static str) -> FlagSpec {
+    FlagSpec {
+        name,
+        value: None,
+        repeatable: false,
+        help,
+    }
+}
+
+const NODES: FlagSpec = flag("nodes", "N", "nodes to simulate");
+const CAP: FlagSpec = flag("cap", "W", "per-GPU power cap, watts");
+const QUICK: FlagSpec = switch("quick", "reduced repeats / settings for smoke runs");
+const METRICS_PORT: FlagSpec = flag(
+    "metrics-port",
+    "PORT",
+    "serve /metrics, /healthz and /trace on 127.0.0.1:PORT for the run (0 = ephemeral)",
+);
+
+/// One `vpp` subcommand: words, operand, flags and handler.
+struct CommandSpec {
+    /// Command words; multi-word entries (`trace diff`) match by longest
+    /// prefix against the raw argv.
+    words: &'static [&'static str],
+    /// Operand metavar shown in usage, empty when the command takes none.
+    operand: &'static str,
+    summary: &'static str,
+    flags: &'static [FlagSpec],
+    run: fn(&Parsed) -> Result<(), String>,
+}
+
+const COMMANDS: &[CommandSpec] = &[
+    CommandSpec {
+        words: &["list"],
+        operand: "",
+        summary: "name the Table I benchmarks",
+        flags: &[],
+        run: cmd_list,
+    },
+    CommandSpec {
+        words: &["profile"],
+        operand: "<benchmark|dir>",
+        summary: "run the measurement protocol and print the power summary",
+        flags: &[NODES, CAP, QUICK, METRICS_PORT],
+        run: cmd_profile,
+    },
+    CommandSpec {
+        words: &["caps"],
+        operand: "<benchmark>",
+        summary: "sweep GPU power caps (400/300/200/100 W)",
+        flags: &[NODES, QUICK, METRICS_PORT],
+        run: cmd_caps,
+    },
+    CommandSpec {
+        words: &["screen"],
+        operand: "<benchmark>",
+        summary: "per-node power screening with z-score outlier verdicts",
+        flags: &[
+            NODES,
+            flag("straggler", "IDX:FACTOR", "inject a slow node before screening"),
+        ],
+        run: cmd_screen,
+    },
+    CommandSpec {
+        words: &["phases"],
+        operand: "<benchmark>",
+        summary: "segment the node power series into phases",
+        flags: &[NODES],
+        run: cmd_phases,
+    },
+    CommandSpec {
+        words: &["trace"],
+        operand: "<benchmark>",
+        summary: "one traced execution: span tree or a machine export",
+        flags: &[
+            NODES,
+            CAP,
+            QUICK,
+            flag("format", "FMT", "tree|csv|json|jsonl|prom (default tree)"),
+            flag(
+                "perturb",
+                "PHASE:FACTOR",
+                "slow one phase kind, or `collective:FACTOR` for network time",
+            ),
+            METRICS_PORT,
+        ],
+        run: cmd_trace,
+    },
+    CommandSpec {
+        words: &["trace", "diff"],
+        operand: "<benchmark>",
+        summary: "re-run the pinned recipe and diff against the stored baseline",
+        flags: &[flag(
+            "perturb",
+            "PHASE:FACTOR",
+            "slow one phase kind, or `collective:FACTOR` — the regression fixture",
+        )],
+        run: cmd_trace_diff,
+    },
+    CommandSpec {
+        words: &["trace", "accept"],
+        operand: "<benchmark>",
+        summary: "re-capture and bless the stored trace baseline in place",
+        flags: &[FlagSpec {
+            name: "tolerance",
+            value: Some("PHASE:PCT"),
+            repeatable: true,
+            help: "persist a per-span drift tolerance (percent) in the baseline",
+        }],
+        run: cmd_trace_accept,
+    },
+    CommandSpec {
+        words: &["serve"],
+        operand: "<benchmark>",
+        summary: "run under the observability endpoint and keep serving",
+        flags: &[
+            NODES,
+            CAP,
+            QUICK,
+            flag("repeat", "N", "measured runs before settling into serve-only mode"),
+            METRICS_PORT,
+        ],
+        run: cmd_serve,
+    },
+];
+
+/// Parsed argv for one command: operands plus `(flag, raw value)` pairs
+/// in order of appearance (booleans store an empty value).
+struct Parsed {
+    positional: Vec<String>,
+    flags: Vec<(&'static str, String)>,
+}
+
+impl Parsed {
+    fn value(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn values<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a str> {
+        self.flags
+            .iter()
+            .filter(move |(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.value(name).is_some()
+    }
+}
+
+impl CommandSpec {
+    fn id(&self) -> String {
+        self.words.join(" ")
+    }
+
+    fn parse(&self, rest: &[String]) -> Result<Parsed, String> {
+        let mut parsed = Parsed {
+            positional: Vec::new(),
+            flags: Vec::new(),
+        };
+        let mut it = rest.iter();
+        while let Some(a) = it.next() {
+            let Some(name) = a.strip_prefix("--") else {
+                parsed.positional.push(a.clone());
+                continue;
+            };
+            let Some(spec) = self.flags.iter().find(|f| f.name == name) else {
+                return Err(format!("unknown flag '--{name}' for 'vpp {}'", self.id()));
+            };
+            let value = match spec.value {
+                Some(metavar) => it
+                    .next()
+                    .ok_or_else(|| format!("--{name} needs {metavar}"))?
+                    .clone(),
+                None => String::new(),
+            };
+            if !spec.repeatable && parsed.flags.iter().any(|(n, _)| *n == spec.name) {
+                return Err(format!("--{name} given more than once"));
             }
-            "--cap" => {
-                let v = it.next().ok_or("--cap needs a value")?;
-                args.cap = Some(v.parse().map_err(|_| format!("bad --cap '{v}'"))?);
+            parsed.flags.push((spec.name, value));
+        }
+        Ok(parsed)
+    }
+
+    fn usage(&self) -> String {
+        let mut s = format!("usage: vpp {}", self.id());
+        if !self.operand.is_empty() {
+            s.push(' ');
+            s.push_str(self.operand);
+        }
+        for f in self.flags {
+            match f.value {
+                Some(metavar) => s.push_str(&format!(" [--{} {metavar}]", f.name)),
+                None => s.push_str(&format!(" [--{}]", f.name)),
             }
-            "--straggler" => {
-                let v = it.next().ok_or("--straggler needs IDX:FACTOR")?;
-                let (idx, factor) = v
-                    .split_once(':')
-                    .ok_or_else(|| format!("bad --straggler '{v}' (want IDX:FACTOR)"))?;
-                args.straggler = Some((
-                    idx.parse().map_err(|_| format!("bad straggler index '{idx}'"))?,
-                    factor
-                        .parse()
-                        .map_err(|_| format!("bad straggler factor '{factor}'"))?,
-                ));
+            if f.repeatable {
+                s.push_str("...");
             }
-            "--format" => {
-                let v = it.next().ok_or("--format needs a value")?;
-                args.format = Some(v.clone());
+        }
+        s.push('\n');
+        s
+    }
+
+    fn help(&self) -> String {
+        let mut s = self.usage();
+        s.push_str(&format!("\n{}\n", self.summary));
+        if !self.flags.is_empty() {
+            s.push_str("\nflags:\n");
+            for f in self.flags {
+                let head = match f.value {
+                    Some(metavar) => format!("--{} {metavar}", f.name),
+                    None => format!("--{}", f.name),
+                };
+                s.push_str(&format!("  {head:<28} {}\n", f.help));
             }
-            "--perturb" => {
-                let v = it.next().ok_or("--perturb needs PHASE:FACTOR")?;
-                let (phase, factor) = v
-                    .split_once(':')
-                    .ok_or_else(|| format!("bad --perturb '{v}' (want PHASE:FACTOR)"))?;
-                let kind = PhaseKind::parse(phase).ok_or_else(|| {
-                    format!("unknown phase '{phase}' (init|scf_iter|rpa_diag|rpa_chi0)")
-                })?;
-                let factor: f64 = factor
-                    .parse()
-                    .map_err(|_| format!("bad perturb factor '{factor}'"))?;
-                if !(factor > 0.0 && factor.is_finite()) {
-                    return Err(format!("perturb factor must be positive, got {factor}"));
-                }
-                args.perturb = Some((kind, factor));
-            }
-            "--quick" => args.quick = true,
-            other if other.starts_with("--") => {
-                return Err(format!("unknown flag '{other}'"));
-            }
-            other => args.positional.push(other.to_string()),
+        }
+        s
+    }
+}
+
+fn global_usage() -> String {
+    let mut s = String::from("usage: vpp <command> [flags]\n\ncommands:\n");
+    for c in COMMANDS {
+        let left = if c.operand.is_empty() {
+            c.id()
+        } else {
+            format!("{} {}", c.id(), c.operand)
+        };
+        s.push_str(&format!("  {left:<28} {}\n", c.summary));
+    }
+    s.push_str("\nrun `vpp <command> --help` for that command's flags\n");
+    s
+}
+
+/// Longest-prefix match of `raw` against the command table; returns the
+/// spec and the remaining (un-consumed) argv.
+fn match_command(raw: &[String]) -> Option<(&'static CommandSpec, &[String])> {
+    let mut best: Option<(&'static CommandSpec, usize)> = None;
+    for c in COMMANDS {
+        let n = c.words.len();
+        let hit = raw.len() >= n && raw[..n].iter().zip(c.words).all(|(a, b)| a == b);
+        if hit && best.is_none_or(|(_, len)| n > len) {
+            best = Some((c, n));
         }
     }
-    Ok(args)
+    best.map(|(c, n)| (c, &raw[n..]))
 }
+
+// ---------------------------------------------------------------------------
+// Typed flag readers
+// ---------------------------------------------------------------------------
+
+fn flag_parse<T: std::str::FromStr>(p: &Parsed, name: &str) -> Result<Option<T>, String> {
+    p.value(name)
+        .map(|v| v.parse().map_err(|_| format!("bad --{name} '{v}'")))
+        .transpose()
+}
+
+/// A `--perturb PHASE:FACTOR` value: either a compute phase kind or the
+/// `collective` pseudo-phase stretching network time only.
+#[derive(Clone, Copy)]
+enum Perturb {
+    Phase(PhaseKind, f64),
+    Collective(f64),
+}
+
+impl Perturb {
+    fn label(self) -> String {
+        match self {
+            Perturb::Phase(kind, factor) => format!("{} x{factor:.2}", kind.name()),
+            Perturb::Collective(factor) => format!("collective x{factor:.2}"),
+        }
+    }
+
+    fn apply(self, cfg: protocol::RunConfig) -> protocol::RunConfig {
+        match self {
+            Perturb::Phase(kind, factor) => cfg.perturbed(kind, factor),
+            Perturb::Collective(factor) => cfg.perturbed_collective(factor),
+        }
+    }
+}
+
+fn flag_perturb(p: &Parsed) -> Result<Option<Perturb>, String> {
+    let Some(v) = p.value("perturb") else {
+        return Ok(None);
+    };
+    let (phase, factor) = v
+        .split_once(':')
+        .ok_or_else(|| format!("bad --perturb '{v}' (want PHASE:FACTOR)"))?;
+    let factor: f64 = factor
+        .parse()
+        .map_err(|_| format!("bad perturb factor '{factor}'"))?;
+    if !(factor > 0.0 && factor.is_finite()) {
+        return Err(format!("perturb factor must be positive, got {factor}"));
+    }
+    if phase == "collective" {
+        return Ok(Some(Perturb::Collective(factor)));
+    }
+    let kind = PhaseKind::parse(phase).ok_or_else(|| {
+        format!("unknown phase '{phase}' (init|scf_iter|rpa_diag|rpa_chi0|collective)")
+    })?;
+    Ok(Some(Perturb::Phase(kind, factor)))
+}
+
+// ---------------------------------------------------------------------------
+// Shared helpers
+// ---------------------------------------------------------------------------
 
 /// Resolve a benchmark name or an input-deck directory.
 fn resolve(target: &str) -> Result<benchmarks::Benchmark, String> {
@@ -141,7 +425,30 @@ fn ctx(quick: bool) -> protocol::StudyContext {
     }
 }
 
-fn cmd_list() {
+fn flush_stdout() {
+    let _ = std::io::stdout().flush();
+}
+
+/// Start the observability server when a `--metrics-port` was given. The
+/// bound address is printed (and flushed) immediately so a scraper can
+/// find an ephemeral port before the run starts.
+fn start_server(p: &Parsed) -> Result<Option<ServeHandle>, String> {
+    let Some(port) = flag_parse::<u16>(p, "metrics-port")? else {
+        return Ok(None);
+    };
+    let handle =
+        serve::serve(port).map_err(|e| format!("cannot bind metrics port {port}: {e}"))?;
+    println!("serving on http://{}", handle.addr());
+    println!("endpoints   : /metrics /healthz /trace?format=json|jsonl|csv");
+    flush_stdout();
+    Ok(Some(handle))
+}
+
+// ---------------------------------------------------------------------------
+// Command handlers
+// ---------------------------------------------------------------------------
+
+fn cmd_list(_p: &Parsed) -> Result<(), String> {
     println!("{:<14} {:>9} {:>7} {:>8}  functional", "benchmark", "electrons", "ions", "NPLWV");
     for b in benchmarks::suite() {
         let p = b.params();
@@ -154,19 +461,35 @@ fn cmd_list() {
             p.xc
         );
     }
+    Ok(())
 }
 
-fn cmd_profile(args: &Args) -> Result<(), String> {
-    let target = args.positional.first().ok_or("profile needs a target")?;
+fn cmd_profile(p: &Parsed) -> Result<(), String> {
+    let target = p.positional.first().ok_or("profile needs a target")?;
     let bench = resolve(target)?;
-    let nodes = args.nodes.unwrap_or(1);
-    let cfg = match args.cap {
+    let nodes = flag_parse(p, "nodes")?.unwrap_or(1);
+    let cap = flag_parse::<f64>(p, "cap")?;
+    let cfg = match cap {
         Some(c) => protocol::RunConfig::capped(nodes, c),
         None => protocol::RunConfig::nodes(nodes),
     };
-    let m = protocol::measure(&bench, &cfg, &ctx(args.quick));
+    let server = start_server(p)?;
+    // The endpoint reads the live global recorder, so give it a session
+    // to scrape even though `profile` keeps no trace of its own.
+    let _session = server
+        .as_ref()
+        .map(|_| trace::session(flight::SESSION_CAPACITY));
+    if let Some(h) = &server {
+        h.set_workload(bench.name(), 1);
+        h.set_state(RunState::Running);
+    }
+    let m = protocol::measure(&bench, &cfg, &ctx(p.has("quick")));
+    if let Some(h) = &server {
+        h.run_completed();
+        h.set_state(RunState::Done);
+    }
     println!("workload   : {} on {nodes} node(s)", bench.name());
-    if let Some(c) = args.cap {
+    if let Some(c) = cap {
         println!("GPU cap    : {c:.0} W");
     }
     println!("runtime    : {:.0} s", m.runtime_s);
@@ -176,21 +499,36 @@ fn cmd_profile(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_caps(args: &Args) -> Result<(), String> {
-    let target = args.positional.first().ok_or("caps needs a target")?;
+fn cmd_caps(p: &Parsed) -> Result<(), String> {
+    let target = p.positional.first().ok_or("caps needs a target")?;
     let bench = resolve(target)?;
-    let nodes = args.nodes.unwrap_or(bench.cap_study_nodes);
-    let c = ctx(args.quick);
+    let nodes = flag_parse(p, "nodes")?.unwrap_or(bench.cap_study_nodes);
+    let c = ctx(p.has("quick"));
+    let server = start_server(p)?;
+    let _session = server
+        .as_ref()
+        .map(|_| trace::session(flight::SESSION_CAPACITY));
+    if let Some(h) = &server {
+        h.set_workload(bench.name(), 4);
+        h.set_state(RunState::Running);
+    }
     println!(
         "{:>6} {:>10} {:>6} {:>12} {:>10}",
         "cap W", "runtime s", "perf", "node mode W", "energy MJ"
     );
     let base = protocol::measure(&bench, &protocol::RunConfig::nodes(nodes), &c);
+    if let Some(h) = &server {
+        h.run_completed();
+    }
     for cap in [400.0, 300.0, 200.0, 100.0] {
         let m = if cap >= 400.0 {
             base.clone()
         } else {
-            protocol::measure(&bench, &protocol::RunConfig::capped(nodes, cap), &c)
+            let m = protocol::measure(&bench, &protocol::RunConfig::capped(nodes, cap), &c);
+            if let Some(h) = &server {
+                h.run_completed();
+            }
+            m
         };
         println!(
             "{cap:>6.0} {:>10.0} {:>6.2} {:>12.0} {:>10.2}",
@@ -199,18 +537,31 @@ fn cmd_caps(args: &Args) -> Result<(), String> {
             m.node_summary.high_mode_w,
             m.energy_j / 1e6
         );
+        flush_stdout();
+    }
+    if let Some(h) = &server {
+        h.set_state(RunState::Done);
     }
     Ok(())
 }
 
-fn cmd_screen(args: &Args) -> Result<(), String> {
-    let target = args.positional.first().ok_or("screen needs a target")?;
+fn cmd_screen(p: &Parsed) -> Result<(), String> {
+    let target = p.positional.first().ok_or("screen needs a target")?;
     let bench = resolve(target)?;
-    let nodes = args.nodes.unwrap_or(4).max(3);
+    let nodes = flag_parse::<usize>(p, "nodes")?.unwrap_or(4).max(3);
     let c = ctx(true);
     let plan = protocol::plan_for(&bench, nodes, &c);
     let mut spec = JobSpec::new(nodes);
-    if let Some((idx, factor)) = args.straggler {
+    if let Some(v) = p.value("straggler") {
+        let (idx, factor) = v
+            .split_once(':')
+            .ok_or_else(|| format!("bad --straggler '{v}' (want IDX:FACTOR)"))?;
+        let idx: usize = idx
+            .parse()
+            .map_err(|_| format!("bad straggler index '{idx}'"))?;
+        let factor: f64 = factor
+            .parse()
+            .map_err(|_| format!("bad straggler factor '{factor}'"))?;
         if idx >= nodes {
             return Err(format!("straggler index {idx} out of {nodes} nodes"));
         }
@@ -240,19 +591,19 @@ fn cmd_screen(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_phases(args: &Args) -> Result<(), String> {
-    let target = args.positional.first().ok_or("phases needs a target")?;
+fn cmd_phases(p: &Parsed) -> Result<(), String> {
+    let target = p.positional.first().ok_or("phases needs a target")?;
     let bench = resolve(target)?;
-    let nodes = args.nodes.unwrap_or(1);
+    let nodes = flag_parse(p, "nodes")?.unwrap_or(1);
     let m = protocol::measure(&bench, &protocol::RunConfig::nodes(nodes), &ctx(true));
     let interval = m.node_series.mean_interval_s().unwrap_or(1.0);
     println!("{:>10} {:>12} {:>10}", "duration s", "mean W", "samples");
-    for p in Segmenter::node_power().segment(m.node_series.values()) {
+    for seg in Segmenter::node_power().segment(m.node_series.values()) {
         println!(
             "{:>10.0} {:>12.0} {:>10}",
-            p.len() as f64 * interval,
-            p.mean_w,
-            p.len()
+            seg.len() as f64 * interval,
+            seg.mean_w,
+            seg.len()
         );
     }
     Ok(())
@@ -347,13 +698,17 @@ fn print_span_children(children: &[trace::SpanNode], depth: usize, m: &protocol:
     }
 }
 
+fn bench_out_path() -> String {
+    std::env::var("VPP_BENCH_OUT").unwrap_or_else(|_| "BENCH_results.json".to_string())
+}
+
 /// Re-run `target` with the pinned baseline recipe, diff its per-phase
 /// trace aggregates against the stored baseline, and print the ranked
 /// triage table. Exits 1 when a significant regression is found.
-fn cmd_trace_diff(args: &Args, target: &str) -> Result<(), String> {
+fn cmd_trace_diff(p: &Parsed) -> Result<(), String> {
+    let target = p.positional.first().ok_or("trace diff needs a target")?;
     let bench = resolve(target)?;
-    let path =
-        std::env::var("VPP_BENCH_OUT").unwrap_or_else(|_| "BENCH_results.json".to_string());
+    let path = bench_out_path();
     let base = load_baseline(&path, flight::BASELINE_GROUP, bench.name())?;
     let mut cfg = flight::baseline_cfg();
     println!(
@@ -362,11 +717,12 @@ fn cmd_trace_diff(args: &Args, target: &str) -> Result<(), String> {
         bench.name(),
         base.samples.len()
     );
-    if let Some((kind, factor)) = args.perturb {
-        cfg = cfg.perturbed(kind, factor);
-        println!("re-run   : perturbed, {} x{factor:.2}", kind.name());
-    } else {
-        println!("re-run   : unperturbed baseline recipe");
+    match flag_perturb(p)? {
+        Some(perturb) => {
+            cfg = perturb.apply(cfg);
+            println!("re-run   : perturbed, {}", perturb.label());
+        }
+        None => println!("re-run   : unperturbed baseline recipe"),
     }
     let (_m, current) = flight::capture(&bench, &cfg, &flight::baseline_ctx());
     let d = trace_diff(&base, &current, &DiffConfig::default());
@@ -435,63 +791,106 @@ fn cmd_trace_diff(args: &Args, target: &str) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_trace(args: &Args) -> Result<(), String> {
-    // `vpp trace diff <benchmark>`, or `VPP_BENCH_DIFF=1 vpp trace <benchmark>`.
-    if args.positional.first().map(String::as_str) == Some("diff") {
-        let target = args.positional.get(1).ok_or("trace diff needs a target")?;
-        return cmd_trace_diff(args, target);
+/// Re-capture `target` with the pinned recipe and bless the result as the
+/// stored baseline, persisting `--tolerance` overrides next to it.
+fn cmd_trace_accept(p: &Parsed) -> Result<(), String> {
+    let target = p.positional.first().ok_or("trace accept needs a target")?;
+    let bench = resolve(target)?;
+    let mut tolerances = BTreeMap::new();
+    for v in p.values("tolerance") {
+        let (span, pct) = v
+            .split_once(':')
+            .ok_or_else(|| format!("bad --tolerance '{v}' (want PHASE:PCT)"))?;
+        // Phase kinds normalise to their span names; anything dotted is
+        // taken as a raw span name (`job.collective`).
+        let name = match PhaseKind::parse(span) {
+            Some(kind) => kind.name().to_string(),
+            None if span.contains('.') => span.to_string(),
+            None => {
+                return Err(format!(
+                    "unknown phase '{span}' (init|scf_iter|rpa_diag|rpa_chi0, \
+                     or a span name like job.collective)"
+                ))
+            }
+        };
+        let pct: f64 = pct
+            .parse()
+            .map_err(|_| format!("bad tolerance percent '{pct}'"))?;
+        if !(pct >= 0.0 && pct.is_finite()) {
+            return Err(format!("tolerance percent must be >= 0, got {pct}"));
+        }
+        tolerances.insert(name, pct / 100.0);
     }
-    let target = args.positional.first().ok_or("trace needs a target")?;
+    let (_m, mut baseline) =
+        flight::capture(&bench, &flight::baseline_cfg(), &flight::baseline_ctx());
+    baseline.tolerances = tolerances;
+    let path = bench_out_path();
+    store_baseline(&path, flight::BASELINE_GROUP, bench.name(), &baseline)?;
+    println!(
+        "blessed  : {path} / {} / {} ({} repeat sample(s))",
+        flight::BASELINE_GROUP,
+        bench.name(),
+        baseline.samples.len()
+    );
+    if baseline.tolerances.is_empty() {
+        println!("tolerance: none (exact noise floor applies)");
+    } else {
+        for (name, frac) in &baseline.tolerances {
+            println!("tolerance: {name} ±{:.1}%", 100.0 * frac);
+        }
+    }
+    Ok(())
+}
+
+fn cmd_trace(p: &Parsed) -> Result<(), String> {
+    let target = p.positional.first().ok_or("trace needs a target")?;
     if std::env::var("VPP_BENCH_DIFF").is_ok_and(|v| v == "1") {
-        return cmd_trace_diff(args, target);
+        return cmd_trace_diff(p);
     }
     let bench = resolve(target)?;
-    let nodes = args.nodes.unwrap_or(1);
-    let mut cfg = match args.cap {
+    let nodes = flag_parse(p, "nodes")?.unwrap_or(1);
+    let cap = flag_parse::<f64>(p, "cap")?;
+    let mut cfg = match cap {
         Some(c) => protocol::RunConfig::capped(nodes, c),
         None => protocol::RunConfig::nodes(nodes),
     };
-    if let Some((kind, factor)) = args.perturb {
-        cfg = cfg.perturbed(kind, factor);
+    let perturb = flag_perturb(p)?;
+    if let Some(perturb) = perturb {
+        cfg = perturb.apply(cfg);
     }
-    let mut c = ctx(args.quick);
+    let fmt = match p.value("format") {
+        Some(v) => v
+            .parse::<ExportFormat>()
+            .map_err(|_| format!("unknown --format '{v}' ({})", ExportFormat::choices()))?,
+        None => ExportFormat::Tree,
+    };
+    let mut c = ctx(p.has("quick"));
     // One traced run: the span tree of a single execution, not the
     // protocol's repeat spread.
     c.repeats = 1;
+    let server = start_server(p)?;
     let session = trace::session(1 << 20);
+    if let Some(h) = &server {
+        h.set_workload(bench.name(), 1);
+        h.set_state(RunState::Running);
+    }
     let m = protocol::measure(&bench, &cfg, &c);
+    if let Some(h) = &server {
+        h.run_completed();
+        h.set_state(RunState::Done);
+    }
     let report = session.finish();
     report.well_formed()?;
-    match args.format.as_deref().unwrap_or("tree") {
-        "tree" => {}
-        "csv" => {
-            print!("{}", report.to_csv());
-            return Ok(());
-        }
-        "json" => {
-            println!("{}", report.to_json().pretty());
-            return Ok(());
-        }
-        "jsonl" => {
-            print!("{}", report.to_jsonl());
-            return Ok(());
-        }
-        "prom" => {
-            print!("{}", report.metrics_snapshot().to_prom());
-            return Ok(());
-        }
-        other => {
-            return Err(format!(
-                "unknown --format '{other}' (tree|csv|json|jsonl|prom)"
-            ))
-        }
+    if let Some(body) = report.render(fmt) {
+        print!("{body}");
+        return Ok(());
     }
     println!("workload    : {} on {nodes} node(s)", bench.name());
-    if let Some(cap) = args.cap {
+    if let Some(cap) = cap {
         println!("GPU cap     : {cap:.0} W");
     }
-    if let Some((kind, factor)) = args.perturb {
-        println!("perturbed   : {} x{factor:.2}", kind.name());
+    if let Some(perturb) = perturb {
+        println!("perturbed   : {}", perturb.label());
     }
     println!(
         "sim runtime : {:.0} s    energy {:.2} MJ",
@@ -524,32 +923,81 @@ fn cmd_trace(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Run the benchmark under the observability endpoint and keep serving
+/// the final state until the process is interrupted.
+fn cmd_serve(p: &Parsed) -> Result<(), String> {
+    let target = p.positional.first().ok_or("serve needs a target")?;
+    let bench = resolve(target)?;
+    let nodes = flag_parse(p, "nodes")?.unwrap_or(1);
+    let cap = flag_parse::<f64>(p, "cap")?;
+    let repeat = flag_parse::<usize>(p, "repeat")?.unwrap_or(1).max(1);
+    let port = flag_parse::<u16>(p, "metrics-port")?.unwrap_or(0);
+    let cfg = match cap {
+        Some(c) => protocol::RunConfig::capped(nodes, c),
+        None => protocol::RunConfig::nodes(nodes),
+    };
+    let handle =
+        serve::serve(port).map_err(|e| format!("cannot bind metrics port {port}: {e}"))?;
+    println!("serving on http://{}", handle.addr());
+    println!("endpoints   : /metrics /healthz /trace?format=json|jsonl|csv");
+    flush_stdout();
+    // The session stays open for the life of the process so late scrapes
+    // keep seeing the final trace state.
+    let _session = trace::session(flight::SESSION_CAPACITY);
+    handle.set_workload(bench.name(), repeat as u64);
+    handle.set_state(RunState::Running);
+    let c = ctx(p.has("quick"));
+    for r in 0..repeat {
+        let m = protocol::measure(&bench, &cfg, &c);
+        handle.run_completed();
+        println!(
+            "run {}/{repeat} : runtime {:.0} s, energy {:.2} MJ",
+            r + 1,
+            m.runtime_s,
+            m.energy_j / 1e6
+        );
+        flush_stdout();
+    }
+    handle.set_state(RunState::Done);
+    println!("all runs complete; serving until interrupted (Ctrl-C to stop)");
+    flush_stdout();
+    loop {
+        std::thread::park();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Entry point
+// ---------------------------------------------------------------------------
+
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
-    let Some((cmd, rest)) = raw.split_first() else {
-        eprintln!("usage: vpp <profile|caps|screen|phases|trace|list> ...");
+    if raw.is_empty() {
+        eprint!("{}", global_usage());
+        std::process::exit(2);
+    }
+    if raw[0] == "--help" || raw[0] == "-h" || raw[0] == "help" {
+        print!("{}", global_usage());
+        return;
+    }
+    let Some((spec, rest)) = match_command(&raw) else {
+        eprintln!("error: unknown command '{}'", raw[0]);
+        eprint!("{}", global_usage());
         std::process::exit(2);
     };
-    let args = match parse_args(rest) {
-        Ok(a) => a,
+    if rest.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{}", spec.help());
+        return;
+    }
+    let parsed = match spec.parse(rest) {
+        Ok(p) => p,
         Err(e) => {
             eprintln!("error: {e}");
+            eprint!("{}", spec.usage());
             std::process::exit(2);
         }
     };
-    let result = match cmd.as_str() {
-        "list" => {
-            cmd_list();
-            Ok(())
-        }
-        "profile" => cmd_profile(&args),
-        "caps" => cmd_caps(&args),
-        "screen" => cmd_screen(&args),
-        "phases" => cmd_phases(&args),
-        "trace" => cmd_trace(&args),
-        other => Err(format!("unknown command '{other}'")),
-    };
-    if let Err(e) = result {
+    if let Err(e) = (spec.run)(&parsed) {
         eprintln!("error: {e}");
         std::process::exit(2);
     }

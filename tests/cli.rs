@@ -1,6 +1,9 @@
 //! Integration tests for the `vpp` CLI binary.
 
-use std::process::Command;
+use std::io::{BufRead, BufReader, Read as _, Write as _};
+use std::net::TcpStream;
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
 
 fn vpp() -> Command {
     Command::new(env!("CARGO_BIN_EXE_vpp"))
@@ -50,8 +53,127 @@ fn unknown_flag_is_rejected() {
         .args(["profile", "PdO2", "--bogus"])
         .output()
         .expect("vpp runs");
-    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag"));
+}
+
+#[test]
+fn flags_are_scoped_per_subcommand() {
+    // --straggler belongs to `screen`; every other command rejects it with
+    // an error that names the command it was offered to.
+    let out = vpp()
+        .args(["phases", "PdO2", "--straggler", "2:1.5"])
+        .output()
+        .expect("vpp runs");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown flag '--straggler'"), "{err}");
+    assert!(err.contains("vpp phases"), "scoped to the command: {err}");
+    assert!(err.contains("usage: vpp phases"), "usage follows: {err}");
+
+    // --format belongs to `trace`, not `trace diff`.
+    let out = vpp()
+        .args(["trace", "diff", "B.hR105_hse", "--format", "json"])
+        .output()
+        .expect("vpp runs");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown flag '--format'"), "{err}");
+    assert!(err.contains("vpp trace diff"), "{err}");
+}
+
+#[test]
+fn every_subcommand_prints_generated_usage_on_help() {
+    let commands: &[&[&str]] = &[
+        &["list"],
+        &["profile"],
+        &["caps"],
+        &["screen"],
+        &["phases"],
+        &["trace"],
+        &["trace", "diff"],
+        &["trace", "accept"],
+        &["serve"],
+    ];
+    for words in commands {
+        let mut args: Vec<&str> = words.to_vec();
+        args.push("--help");
+        let out = vpp().args(&args).output().expect("vpp runs");
+        assert!(
+            out.status.success(),
+            "--help exits 0 for {words:?}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = String::from_utf8_lossy(&out.stdout);
+        let expect = format!("usage: vpp {}", words.join(" "));
+        assert!(text.starts_with(&expect), "{words:?} help:\n{text}");
+    }
+    let out = vpp().arg("--help").output().expect("vpp runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("usage: vpp <command>"), "{text}");
+    assert!(text.contains("trace accept"), "table lists every command: {text}");
+    assert!(text.contains("serve"), "{text}");
+}
+
+/// One HTTP GET against a `vpp serve` child; returns the response body.
+fn http_get(addr: &str, target: &str) -> Option<String> {
+    let mut s = TcpStream::connect(addr).ok()?;
+    s.set_read_timeout(Some(Duration::from_secs(5))).ok()?;
+    write!(s, "GET {target} HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n").ok()?;
+    let mut raw = String::new();
+    s.read_to_string(&mut raw).ok()?;
+    raw.split_once("\r\n\r\n").map(|(_, body)| body.to_string())
+}
+
+#[test]
+fn serve_exposes_live_metrics_on_an_ephemeral_port() {
+    let mut child = vpp()
+        .args(["serve", "B.hR105_hse", "--quick", "--metrics-port", "0"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("vpp serve spawns");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let addr = loop {
+        let line = lines
+            .next()
+            .expect("serve prints its address before exiting")
+            .expect("readable stdout");
+        if let Some(rest) = line.strip_prefix("serving on http://") {
+            break rest.trim().to_string();
+        }
+    };
+
+    // Poll until the run publishes protocol.coverage, then check the
+    // other endpoints against the same live process.
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let metrics = loop {
+        if let Some(body) = http_get(&addr, "/metrics") {
+            if body.contains("vpp_protocol_coverage") {
+                break body;
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "protocol.coverage never appeared on /metrics"
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    };
+    assert!(metrics.contains("vpp_up 1"), "{metrics}");
+    assert!(metrics.contains("vpp_serve_requests_total"), "{metrics}");
+
+    let health = http_get(&addr, "/healthz").expect("healthz responds");
+    assert!(health.contains("\"workload\": \"B.hR105_hse\""), "{health}");
+    let trace = http_get(&addr, "/trace?format=jsonl").expect("trace responds");
+    assert!(
+        trace.lines().next().is_some_and(|l| l.starts_with('{')),
+        "{trace}"
+    );
+
+    child.kill().expect("serve child killable");
+    let _ = child.wait();
 }
 
 #[test]
@@ -135,6 +257,45 @@ fn trace_rejects_unknown_format_and_bad_perturb() {
         .expect("vpp runs");
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown phase"));
+}
+
+#[test]
+fn trace_accept_blesses_a_baseline_that_diff_then_accepts() {
+    let path = std::env::temp_dir().join(format!("vpp_accept_{}.json", std::process::id()));
+    let out = vpp()
+        .env("VPP_BENCH_OUT", &path)
+        .args([
+            "trace",
+            "accept",
+            "B.hR105_hse",
+            "--tolerance",
+            "scf_iter:5",
+            "--tolerance",
+            "job.collective:10",
+        ])
+        .output()
+        .expect("vpp runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("blessed"), "{text}");
+    assert!(text.contains("phase.scf_iter"), "{text}");
+    let stored = std::fs::read_to_string(&path).expect("baseline file written");
+    assert!(stored.contains("\"tolerances\""), "{stored}");
+    assert!(stored.contains("\"job.collective\""), "{stored}");
+
+    // The blessed baseline round-trips: an unperturbed diff is clean.
+    let out = vpp()
+        .env("VPP_BENCH_OUT", &path)
+        .args(["trace", "diff", "B.hR105_hse"])
+        .output()
+        .expect("vpp runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("clean"),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let _ = std::fs::remove_file(&path);
 }
 
 #[test]

@@ -1,0 +1,212 @@
+//! Integration tests for the observability endpoint: a real scraper over
+//! `std::net::TcpStream` against a live [`serve`] instance — Prometheus
+//! text parsing, `/healthz` state transitions, request rejection, and
+//! leak-free shutdown.
+//!
+//! The server reads process-global trace state, so the tests serialize on
+//! a lock instead of trusting the harness' thread scheduling.
+
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use vasp_power_profiles::substrate::serve::{serve, RunState};
+use vasp_power_profiles::substrate::{span, trace};
+
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+fn locked() -> std::sync::MutexGuard<'static, ()> {
+    TEST_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Minimal HTTP/1.1 GET: returns `(status, head, body)`.
+fn get(addr: SocketAddr, target: &str) -> (u16, String, String) {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    write!(
+        s,
+        "GET {target} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n"
+    )
+    .expect("send request");
+    let mut raw = String::new();
+    s.read_to_string(&mut raw).expect("read response");
+    let (head, body) = raw.split_once("\r\n\r\n").expect("header terminator");
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    (status, head.to_string(), body.to_string())
+}
+
+/// Count live threads whose comm is `vpp-serve`. Linux clones inherit the
+/// parent thread's comm, so the acceptor and both scoped workers all
+/// report the name the server sets.
+fn serve_threads() -> usize {
+    std::fs::read_dir("/proc/self/task")
+        .expect("linux procfs")
+        .filter_map(Result::ok)
+        .filter_map(|e| std::fs::read_to_string(e.path().join("comm")).ok())
+        .filter(|c| c.trim() == "vpp-serve")
+        .count()
+}
+
+/// Joined threads can linger in `/proc/self/task` for a moment after
+/// `join` returns (the kernel wakes the joiner before the task entry is
+/// torn down), so zero-thread assertions poll briefly.
+fn serve_threads_settled() -> usize {
+    let mut remaining = serve_threads();
+    for _ in 0..200 {
+        if remaining == 0 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+        remaining = serve_threads();
+    }
+    remaining
+}
+
+#[test]
+fn metrics_exposition_is_parseable_prometheus_text() {
+    let _guard = locked();
+    let session = trace::session(1 << 16);
+    {
+        let mut s = span!("serve_test.work", kind = 1);
+        s.record("sim_t0", 0.0);
+        s.record("sim_t1", 2.5);
+        trace::counter("serve_test.ticks", 3);
+        trace::gauge("serve_test.level", 0.75);
+    }
+    let h = serve(0).expect("bind ephemeral");
+    let (status, head, body) = get(h.addr(), "/metrics");
+    assert_eq!(status, 200);
+    assert!(
+        head.contains("Content-Type: text/plain; version=0.0.4"),
+        "{head}"
+    );
+
+    // Strict pass over the exposition: every line is a comment or a
+    // `name value` sample with a well-formed metric name and float value,
+    // and every sample's family was declared by a preceding # TYPE line.
+    let mut typed: Vec<String> = Vec::new();
+    let mut samples = 0;
+    for line in body.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            typed.push(parts.next().expect("type line names a metric").to_string());
+            let kind = parts.next().expect("type line names a kind");
+            assert!(
+                ["counter", "gauge", "summary", "histogram"].contains(&kind),
+                "unknown metric kind: {line}"
+            );
+            continue;
+        }
+        if line.starts_with('#') || line.is_empty() {
+            continue;
+        }
+        let (name_and_labels, value) = line.rsplit_once(' ').expect("sample line");
+        let name = name_and_labels
+            .split('{')
+            .next()
+            .expect("metric name before labels");
+        assert!(
+            name.chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+            "bad metric name in: {line}"
+        );
+        assert!(
+            value.parse::<f64>().is_ok(),
+            "sample value is not a float: {line}"
+        );
+        assert!(
+            typed.iter().any(|t| name == t || name.starts_with(t.as_str())),
+            "sample before its # TYPE declaration: {line}"
+        );
+        samples += 1;
+    }
+    assert!(samples >= 4, "expected a non-trivial exposition:\n{body}");
+    assert!(body.contains("vpp_up 1"), "{body}");
+    assert!(body.contains("vpp_serve_test_ticks_total 3"), "{body}");
+    assert!(body.contains("vpp_serve_test_level 0.75"), "{body}");
+
+    h.shutdown();
+    drop(session);
+}
+
+#[test]
+fn healthz_walks_idle_running_done() {
+    let _guard = locked();
+    let h = serve(0).expect("bind ephemeral");
+    let (status, head, body) = get(h.addr(), "/healthz");
+    assert_eq!(status, 200);
+    assert!(head.contains("Content-Type: application/json"), "{head}");
+    assert!(body.contains("\"state\": \"idle\""), "{body}");
+
+    h.set_workload("serve_it", 2);
+    h.set_state(RunState::Running);
+    let (_, _, body) = get(h.addr(), "/healthz");
+    assert!(body.contains("\"state\": \"running\""), "{body}");
+    assert!(body.contains("\"workload\": \"serve_it\""), "{body}");
+    assert!(body.contains("\"runs_total\": 2"), "{body}");
+
+    h.run_completed();
+    h.run_completed();
+    h.set_state(RunState::Done);
+    let (_, _, body) = get(h.addr(), "/healthz");
+    assert!(body.contains("\"state\": \"done\""), "{body}");
+    assert!(body.contains("\"runs_completed\": 2"), "{body}");
+    h.shutdown();
+}
+
+#[test]
+fn rejects_unknown_paths_and_non_get_methods() {
+    let _guard = locked();
+    let h = serve(0).expect("bind ephemeral");
+    let (status, _, body) = get(h.addr(), "/not-an-endpoint");
+    assert_eq!(status, 404);
+    assert!(body.contains("/metrics"), "404 names the endpoints: {body}");
+
+    let mut s = TcpStream::connect(h.addr()).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    write!(s, "DELETE /metrics HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n").unwrap();
+    let mut raw = String::new();
+    s.read_to_string(&mut raw).expect("read response");
+    assert!(raw.starts_with("HTTP/1.1 405"), "{raw}");
+    assert!(raw.contains("Allow: GET"), "{raw}");
+    h.shutdown();
+}
+
+#[test]
+fn shutdown_joins_every_server_thread_and_releases_the_listener() {
+    let _guard = locked();
+    assert_eq!(serve_threads_settled(), 0, "no server threads before the test");
+    let h = serve(0).expect("bind ephemeral");
+    let addr = h.addr();
+    let (status, _, _) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    assert!(serve_threads() >= 1, "server threads alive while serving");
+
+    h.shutdown();
+    assert_eq!(serve_threads_settled(), 0, "vpp-serve threads survived shutdown");
+    assert!(
+        TcpStream::connect_timeout(&addr, Duration::from_millis(250)).is_err(),
+        "listener still accepting after shutdown"
+    );
+}
+
+#[test]
+fn dropping_the_handle_is_a_clean_shutdown_too() {
+    let _guard = locked();
+    assert_eq!(serve_threads_settled(), 0);
+    let addr;
+    {
+        let h = serve(0).expect("bind ephemeral");
+        addr = h.addr();
+        let (status, _, _) = get(addr, "/healthz");
+        assert_eq!(status, 200);
+    }
+    assert_eq!(serve_threads_settled(), 0, "drop did not join the server threads");
+    assert!(TcpStream::connect_timeout(&addr, Duration::from_millis(250)).is_err());
+}

@@ -24,6 +24,48 @@ fn unperturbed_rerun_matches_its_baseline() {
 }
 
 #[test]
+fn collective_and_compute_perturbations_move_disjoint_spans() {
+    let bench = benchmarks::b_hr105_hse();
+    let ctx = flight::baseline_ctx();
+    let (_, base) = flight::capture(&bench, &flight::baseline_cfg(), &ctx);
+
+    // Direction 1: stretching only network time must surface exactly the
+    // collective span's pure-communication window, scaled by the factor.
+    let slowed_net = flight::baseline_cfg().perturbed_collective(1.6);
+    let (_, net) = flight::capture(&bench, &slowed_net, &ctx);
+    let d = trace_diff(&base, &net, &DiffConfig::default());
+    assert!(d.has_regressions());
+    let top = d.top_regression().expect("collective regression ranked first");
+    assert_eq!(top.span, "job.collective", "culprit span named: {top:?}");
+    assert_eq!(top.metric, "sim_s", "{top:?}");
+    // The collective sim window is [t_sync, t_sync + comm_s * factor), so
+    // the aggregated sim_s scales exactly — not approximately — by 1.6.
+    assert!((top.rel_delta - 0.6).abs() < 1e-6, "{top:?}");
+    // Compute phases keep their op mix and per-op compute times.
+    assert!(
+        d.counter_deltas.iter().all(|c| !c.name.starts_with("job.ops")),
+        "{:?}",
+        d.counter_deltas
+    );
+
+    // Direction 2: a compute-phase slowdown must leave the collective's
+    // communication window untouched (waits are excluded from it).
+    let slowed_compute = flight::baseline_cfg().perturbed(PhaseKind::ScfIter, 1.6);
+    let (_, compute) = flight::capture(&bench, &slowed_compute, &ctx);
+    let d = trace_diff(&base, &compute, &DiffConfig::default());
+    let row = d
+        .rows
+        .iter()
+        .find(|r| r.span == "job.collective" && r.metric == "sim_s")
+        .expect("collective sim row present");
+    assert!(
+        !row.significant,
+        "compute perturbation leaked into the collective window: {row:?}"
+    );
+    assert!(row.rel_delta.abs() < 1e-9, "{row:?}");
+}
+
+#[test]
 fn slowed_phase_is_named_top_ranked_with_counter_deltas() {
     let bench = benchmarks::b_hr105_hse();
     let ctx = flight::baseline_ctx();
