@@ -12,6 +12,7 @@ use std::hint::black_box;
 use vpp_core::benchmarks;
 use vpp_core::flight;
 use vpp_core::protocol::measure;
+use vpp_powercap::campaign;
 use vpp_substrate::Harness;
 
 fn main() {
@@ -25,6 +26,12 @@ fn main() {
             black_box(measure(&bench, &cfg, &ctx).runtime_s)
         });
     }
+
+    // The sharded campaign hot path (calendar queue + event-driven
+    // scheduler), guarded by the same trace-diff machinery.
+    h.bench_traced(campaign::BASELINE_NAME, campaign::SAMPLE_SPAN, || {
+        campaign::baseline_body();
+    });
 
     h.finish();
 }

@@ -1,0 +1,523 @@
+//! Campaign-scale scheduling: thousands of heterogeneous VASP jobs over a
+//! partitioned machine, simulated shard-parallel with deterministic
+//! merging.
+//!
+//! The ROADMAP's north star is datacenter-scale what-if studies: run the
+//! same synthetic workload under competing cap policies (Wattlytics-style)
+//! and compare throughput, energy to solution and cap-induced slowdown at
+//! the campaign level. This module supplies:
+//!
+//! * [`CampaignSpec`] — a seeded generator of heterogeneous [`BatchJob`]s
+//!   (mixed methods → workload classes, sizes, KPAR, jittered cap-response
+//!   curves, bursty arrivals), routed round-robin over independent machine
+//!   partitions.
+//! * [`run`] — per-partition event-driven DES ([`Scheduler::run`]) fanned
+//!   out over the `vpp_substrate` pool in shards, followed by a
+//!   deterministic k-way merge of the per-partition outcomes. Partitions
+//!   are simulated independently, so the shard count changes wall-clock
+//!   only: the merged [`ScheduleOutcome`] is byte-identical for any
+//!   `shards >= 1` (the campaign determinism test pins this).
+//! * [`CampaignOutcome`] — campaign-level outputs: merged spans, exact
+//!   system peak power (event sweep over all partitions), throughput,
+//!   energy-to-solution and slowdown distributions.
+//! * The pinned trace-baseline recipe ([`baseline_spec`] /
+//!   [`baseline_body`] / [`capture_baseline`]) behind `vpp trace diff
+//!   campaign` and the `campaign` entry in `BENCH_results.json`.
+
+use crate::scheduler::{BatchJob, CapResponse, Policy, ScheduleOutcome, Scheduler, WorkloadClass};
+use std::collections::BTreeMap;
+use vpp_substrate::bench::TraceBaseline;
+use vpp_substrate::{par_map, span, trace, Rng};
+
+/// Shape of a synthetic campaign: how many jobs, over what machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignSpec {
+    /// Number of jobs to generate.
+    pub jobs: usize,
+    /// Master seed; every job derives its own stream from it.
+    pub seed: u64,
+    /// Independent machine partitions (each with its own node pool and
+    /// power budget); jobs are routed round-robin by id.
+    pub partitions: usize,
+    /// Nodes per partition.
+    pub nodes_per_partition: usize,
+    /// Power budget per partition, watts.
+    pub partition_budget_w: f64,
+    /// Arrivals spread over this window, seconds (a fraction of the queue
+    /// is backlogged at t = 0).
+    pub arrival_window_s: f64,
+}
+
+impl CampaignSpec {
+    /// A campaign of `jobs` seeded jobs over the default machine shape:
+    /// 8 partitions × 32 nodes with a 40 kW budget each.
+    #[must_use]
+    pub fn new(jobs: usize, seed: u64) -> Self {
+        Self {
+            jobs,
+            seed,
+            partitions: 8,
+            nodes_per_partition: 32,
+            partition_budget_w: 40_000.0,
+            arrival_window_s: 4.0 * 3600.0,
+        }
+    }
+
+    /// The per-partition scheduler this campaign runs on.
+    #[must_use]
+    pub fn scheduler(&self) -> Scheduler {
+        Scheduler::new(self.nodes_per_partition, self.partition_budget_w)
+    }
+
+    /// Generate the job mix deterministically: each job forks its own RNG
+    /// stream from the master seed, so the mix is independent of iteration
+    /// or shard order.
+    #[must_use]
+    pub fn generate(&self) -> Vec<BatchJob> {
+        let master = Rng::new(self.seed);
+        (0..self.jobs as u64)
+            .map(|id| {
+                let mut rng = master.fork(id);
+                synth_job(&mut rng, id, self)
+            })
+            .collect()
+    }
+}
+
+/// Draw one heterogeneous job: method mix → workload class, KPAR, a
+/// small-skewed node count and a jittered per-class cap-response curve.
+fn synth_job(rng: &mut Rng, id: u64, spec: &CampaignSpec) -> BatchJob {
+    // Method mix loosely following the paper's workload survey: mostly
+    // standard DFT, a strong HSE/RPA minority, some k-point-bound small
+    // jobs, and a tail the classifier cannot place.
+    let (method, class) = match rng.f64() {
+        x if x < 0.30 => ("hse", WorkloadClass::PowerHungry),
+        x if x < 0.42 => ("rpa", WorkloadClass::PowerHungry),
+        x if x < 0.75 => ("pbe", WorkloadClass::Moderate),
+        x if x < 0.90 => ("kpt", WorkloadClass::Light),
+        _ => ("mix", WorkloadClass::Unknown),
+    };
+    let kpar = [1usize, 2, 4, 8][rng.index(4)];
+    // Runtimes are lognormal (most jobs minutes-to-hours, a heavy tail);
+    // KPAR buys parallel speedup at ~85 % efficiency.
+    let serial_runtime = rng.lognormal(1800.0_f64.ln(), 0.7).clamp(120.0, 21_600.0);
+    let base_runtime_s = serial_runtime / (kpar as f64).powf(0.85);
+    let response = synth_response(rng, class);
+    // Small jobs dominate; KPAR widens the natural node count. Sizes are
+    // clamped to what the partition can host *and* power uncapped, so
+    // every generated job is admissible under every policy.
+    let base_nodes = [1, 1, 1, 2, 2, 3, 4, 6, 8][rng.index(9)];
+    let powerable = (spec.partition_budget_w / response.uncapped().1).floor() as usize;
+    let nodes = (base_nodes * kpar.div_ceil(2))
+        .min(spec.nodes_per_partition)
+        .min(powerable)
+        .max(1);
+    let arrival_s = if rng.bool(0.3) {
+        0.0 // backlogged at campaign start
+    } else {
+        rng.uniform(0.0, spec.arrival_window_s)
+    };
+    BatchJob {
+        id,
+        name: format!("{method}-k{kpar}-{id}"),
+        class,
+        nodes,
+        base_runtime_s,
+        response,
+        arrival_s,
+    }
+}
+
+/// A jittered per-class cap-response curve on the A100's 100–400 W range.
+fn synth_response(rng: &mut Rng, class: WorkloadClass) -> CapResponse {
+    // (perf fractions, node powers) at caps 100/200/300/400 W.
+    let (perf, power): ([f64; 4], [f64; 4]) = match class {
+        WorkloadClass::PowerHungry => ([0.40, 0.91, 1.00, 1.00], [900.0, 1300.0, 1750.0, 1810.0]),
+        WorkloadClass::Moderate => ([0.55, 0.95, 1.00, 1.00], [750.0, 1100.0, 1400.0, 1450.0]),
+        WorkloadClass::Light => ([0.96, 1.00, 1.00, 1.00], [720.0, 760.0, 764.0, 766.0]),
+        WorkloadClass::Unknown => ([0.70, 0.93, 1.00, 1.00], [800.0, 1150.0, 1500.0, 1550.0]),
+    };
+    let power_scale = rng.uniform(0.9, 1.1);
+    let points = [100.0, 200.0, 300.0, 400.0]
+        .iter()
+        .zip(perf.iter().zip(power.iter()))
+        .map(|(&cap, (&p, &w))| {
+            let p = (p * rng.uniform(0.97, 1.03)).clamp(0.05, 1.0);
+            (cap, p, w * power_scale)
+        })
+        .collect();
+    CapResponse::new(points)
+}
+
+/// Five-number-plus-mean summary of a per-job metric distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Distribution {
+    pub min: f64,
+    pub p10: f64,
+    pub p50: f64,
+    pub p90: f64,
+    pub max: f64,
+    pub mean: f64,
+}
+
+impl Distribution {
+    /// Summarise `values` (empty input yields all zeros).
+    #[must_use]
+    pub fn summarise(mut values: Vec<f64>) -> Self {
+        if values.is_empty() {
+            return Self {
+                min: 0.0,
+                p10: 0.0,
+                p50: 0.0,
+                p90: 0.0,
+                max: 0.0,
+                mean: 0.0,
+            };
+        }
+        values.sort_by(f64::total_cmp);
+        let q = |p: f64| {
+            let h = p * (values.len() - 1) as f64;
+            let lo = h.floor() as usize;
+            let hi = h.ceil() as usize;
+            values[lo] + (values[hi] - values[lo]) * (h - lo as f64)
+        };
+        Self {
+            min: values[0],
+            p10: q(0.10),
+            p50: q(0.50),
+            p90: q(0.90),
+            max: values[values.len() - 1],
+            mean: values.iter().sum::<f64>() / values.len() as f64,
+        }
+    }
+}
+
+/// Campaign-level result: the merged schedule plus the distributions the
+/// what-if comparison actually reads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignOutcome {
+    /// Jobs simulated.
+    pub jobs: usize,
+    /// Per-partition outcomes merged deterministically: spans k-way merged
+    /// by `(start, id)`, peak from an exact event sweep across partitions,
+    /// mean power energy-weighted over the campaign makespan.
+    pub merged: ScheduleOutcome,
+    /// Total energy to solution across all jobs, joules.
+    pub total_energy_j: f64,
+    /// Per-job energy to solution, joules.
+    pub energy_j: Distribution,
+    /// Per-job cap-induced slowdown (runtime under the policy relative to
+    /// the job's own uncapped runtime; 1.0 = no slowdown).
+    pub slowdown: Distribution,
+}
+
+impl CampaignOutcome {
+    /// Jobs completed per hour of campaign makespan.
+    #[must_use]
+    pub fn throughput_per_hour(&self) -> f64 {
+        self.merged.throughput_per_hour()
+    }
+}
+
+/// Run the campaign under `policy` with `shards` parallel work units.
+///
+/// Jobs are routed to partitions by `id % partitions`; each partition is
+/// an independent [`Scheduler::run`] DES. Shards group partitions into
+/// contiguous chunks executed over the substrate pool — the grouping
+/// affects wall-clock only, never the outcome.
+///
+/// # Panics
+/// If `shards == 0`, or a generated job cannot fit its partition (see
+/// [`Scheduler::job_demand`]; impossible with the default machine shape).
+#[must_use]
+pub fn run(spec: &CampaignSpec, policy: Policy, shards: usize) -> CampaignOutcome {
+    assert!(shards > 0, "need at least one shard");
+    let jobs = spec.generate();
+    let sched = spec.scheduler();
+    trace::counter("campaign.jobs", jobs.len() as u64);
+
+    // Route jobs to partitions in submission order.
+    let mut queues: Vec<Vec<BatchJob>> = (0..spec.partitions).map(|_| Vec::new()).collect();
+    for j in &jobs {
+        queues[(j.id % spec.partitions as u64) as usize].push(j.clone());
+    }
+
+    // Contiguous shard chunks; flattening restores partition order, so
+    // the result is independent of the chunk width.
+    let chunk = spec.partitions.div_ceil(shards);
+    let chunks: Vec<Vec<(usize, Vec<BatchJob>)>> = queues
+        .into_iter()
+        .enumerate()
+        .collect::<Vec<_>>()
+        .chunks(chunk)
+        .map(<[(usize, Vec<BatchJob>)]>::to_vec)
+        .collect();
+    let outcomes: Vec<ScheduleOutcome> = par_map(chunks, |chunk| {
+        chunk
+            .into_iter()
+            .map(|(p, queue)| {
+                let _g = span!(
+                    "campaign.partition",
+                    partition = p as u64,
+                    jobs = queue.len() as u64
+                );
+                sched.run(&queue, policy)
+            })
+            .collect::<Vec<_>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+
+    summarise(spec, &jobs, &sched, policy, &outcomes)
+}
+
+/// Merge per-partition outcomes and derive the campaign distributions.
+fn summarise(
+    spec: &CampaignSpec,
+    jobs: &[BatchJob],
+    sched: &Scheduler,
+    policy: Policy,
+    outcomes: &[ScheduleOutcome],
+) -> CampaignOutcome {
+    let spans = merge_spans(outcomes);
+    let makespan = spans.iter().map(|s| s.2).fold(0.0, f64::max);
+
+    // Per-job demand under the policy: powers the peak sweep and the
+    // energy/slowdown distributions. Jobs are id-dense (0..n).
+    let demand: Vec<(f64, f64)> = jobs.iter().map(|j| sched.job_demand(j, policy)).collect();
+
+    // Exact system peak: sweep start/finish edges across all partitions;
+    // at equal timestamps finishes land before starts, matching the
+    // retire-then-admit order inside each scheduler wake.
+    let mut edges: Vec<(f64, u8, f64)> = Vec::with_capacity(spans.len() * 2);
+    for &(id, start, finish) in &spans {
+        let power = demand[id as usize].1;
+        edges.push((finish, 0, -power));
+        edges.push((start, 1, power));
+    }
+    edges.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    let (mut load, mut peak) = (0.0f64, 0.0f64);
+    for (_, _, dp) in edges {
+        load += dp;
+        peak = peak.max(load);
+    }
+
+    // Mean system power over the campaign: partition power-time integrals
+    // stacked over the shared [0, makespan] window.
+    let integral: f64 = outcomes.iter().map(|o| o.mean_power_w * o.makespan_s).sum();
+    let merged = ScheduleOutcome {
+        makespan_s: makespan,
+        job_spans: spans,
+        peak_power_w: peak,
+        mean_power_w: if makespan > 0.0 { integral / makespan } else { 0.0 },
+    };
+
+    let energies: Vec<f64> = demand.iter().map(|&(rt, p)| rt * p).collect();
+    let slowdowns: Vec<f64> = jobs
+        .iter()
+        .zip(&demand)
+        .map(|(j, &(rt, _))| rt / (j.base_runtime_s / j.response.uncapped().0))
+        .collect();
+    CampaignOutcome {
+        jobs: spec.jobs,
+        merged,
+        total_energy_j: energies.iter().sum(),
+        energy_j: Distribution::summarise(energies),
+        slowdown: Distribution::summarise(slowdowns),
+    }
+}
+
+/// Deterministic k-way merge of per-partition span lists by `(start, id)`
+/// — each input list is already sorted that way, so a cursor scan yields
+/// the globally sorted sequence without re-sorting.
+fn merge_spans(outcomes: &[ScheduleOutcome]) -> Vec<(u64, f64, f64)> {
+    let mut cursors = vec![0usize; outcomes.len()];
+    let total: usize = outcomes.iter().map(|o| o.job_spans.len()).sum();
+    let mut merged = Vec::with_capacity(total);
+    for _ in 0..total {
+        let mut best: Option<(usize, (u64, f64, f64))> = None;
+        for (k, o) in outcomes.iter().enumerate() {
+            if let Some(&span) = o.job_spans.get(cursors[k]) {
+                let better = match best {
+                    None => true,
+                    Some((_, b)) => (span.1, span.0) < (b.1, b.0),
+                };
+                if better {
+                    best = Some((k, span));
+                }
+            }
+        }
+        let (k, span) = best.expect("cursor accounting is exact");
+        cursors[k] += 1;
+        merged.push(span);
+    }
+    merged
+}
+
+// ---------------------------------------------------------------------------
+// Pinned trace-baseline recipe (`vpp trace diff campaign`)
+// ---------------------------------------------------------------------------
+
+/// Baseline entry name in the `trace_baselines` group.
+pub const BASELINE_NAME: &str = "campaign";
+
+/// Span whose subtrees become the per-repeat baseline samples.
+pub const SAMPLE_SPAN: &str = "campaign.run";
+
+/// Repeats in the pinned recipe (matches the protocol baselines).
+pub const BASELINE_REPEATS: usize = 3;
+
+/// The pinned campaign the baseline measures: modest but heterogeneous,
+/// so re-runs stay cheap while still driving every policy's hot path.
+#[must_use]
+pub fn baseline_spec() -> CampaignSpec {
+    CampaignSpec {
+        partitions: 4,
+        ..CampaignSpec::new(300, 7)
+    }
+}
+
+/// The headline policy trio every campaign comparison runs.
+#[must_use]
+pub fn baseline_policies() -> [(&'static str, Policy); 3] {
+    [
+        ("uncapped", Policy::Uncapped),
+        ("class_aware", Policy::ClassAware),
+        ("sweet_spot", Policy::SweetSpot),
+    ]
+}
+
+/// The baseline body: [`BASELINE_REPEATS`] wrapped `campaign.run` spans,
+/// each covering the policy trio with per-policy sim-time and energy
+/// fields. Runs under whatever trace session the caller holds — the
+/// bench harness (`bench_traced`) and [`capture_baseline`] both use it.
+pub fn baseline_body() {
+    let spec = baseline_spec();
+    for rep in 0..BASELINE_REPEATS as u64 {
+        let _g = span!("campaign.run", rep = rep);
+        for (name, policy) in baseline_policies() {
+            let mut g = span!("campaign.policy", sim_t0 = 0.0);
+            let out = run(&spec, policy, spec.partitions);
+            g.record("policy", name);
+            g.record("sim_t1", out.merged.makespan_s);
+            g.record("energy_j", out.total_energy_j);
+        }
+    }
+}
+
+/// Capture the pinned recipe under a fresh trace session and roll it into
+/// a [`TraceBaseline`] — the re-run side of `vpp trace diff campaign`.
+///
+/// # Panics
+/// If the session overflows `capacity` (a truncated baseline would bias
+/// every later comparison).
+#[must_use]
+pub fn capture_baseline(capacity: usize) -> TraceBaseline {
+    let session = trace::session(capacity);
+    baseline_body();
+    let report = session.finish();
+    assert_eq!(
+        report.dropped, 0,
+        "campaign baseline session overflowed its event budget"
+    );
+    TraceBaseline {
+        aggregate: report.aggregate(),
+        samples: report.aggregates_under(SAMPLE_SPAN),
+        tolerances: BTreeMap::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_seed_deterministic_and_heterogeneous() {
+        let spec = CampaignSpec::new(200, 11);
+        let a = spec.generate();
+        let b = spec.generate();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 200);
+        let classes: std::collections::HashSet<_> = a.iter().map(|j| j.class).collect();
+        assert!(classes.len() >= 3, "job mix too uniform: {classes:?}");
+        let nodes: std::collections::HashSet<_> = a.iter().map(|j| j.nodes).collect();
+        assert!(nodes.len() >= 3, "sizes too uniform: {nodes:?}");
+        assert!(a.iter().all(|j| j.nodes <= spec.nodes_per_partition));
+        assert!(a.iter().any(|j| j.arrival_s == 0.0), "some backlog at t=0");
+        // A different seed moves the mix.
+        assert_ne!(CampaignSpec::new(200, 12).generate(), a);
+    }
+
+    #[test]
+    fn campaign_runs_every_job_exactly_once() {
+        let spec = CampaignSpec {
+            partitions: 3,
+            ..CampaignSpec::new(120, 5)
+        };
+        let out = run(&spec, Policy::ClassAware, 2);
+        assert_eq!(out.merged.job_spans.len(), 120);
+        let mut ids: Vec<u64> = out.merged.job_spans.iter().map(|s| s.0).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..120).collect::<Vec<u64>>());
+        // Merge order: (start, id) ascending.
+        for w in out.merged.job_spans.windows(2) {
+            assert!((w[0].1, w[0].0) <= (w[1].1, w[1].0));
+        }
+        assert!(out.merged.makespan_s > 0.0);
+        assert!(out.total_energy_j > 0.0);
+        assert!(out.energy_j.min > 0.0 && out.energy_j.min <= out.energy_j.max);
+    }
+
+    #[test]
+    fn peak_respects_the_summed_partition_budgets() {
+        let spec = CampaignSpec {
+            partitions: 4,
+            ..CampaignSpec::new(300, 7)
+        };
+        let out = run(&spec, Policy::Uncapped, 4);
+        assert!(out.merged.peak_power_w <= 4.0 * spec.partition_budget_w + 1e-6);
+        // The campaign peak can exceed any single partition's budget.
+        assert!(out.merged.peak_power_w > 0.0);
+    }
+
+    #[test]
+    fn sweet_spot_cuts_campaign_energy_but_not_for_free() {
+        let spec = baseline_spec();
+        let base = run(&spec, Policy::Uncapped, spec.partitions);
+        let sweet = run(&spec, Policy::SweetSpot, spec.partitions);
+        assert!(sweet.total_energy_j < base.total_energy_j);
+        assert!(sweet.slowdown.p50 >= base.slowdown.p50);
+        assert!((base.slowdown.p50 - 1.0).abs() < 1e-9, "uncapped has no slowdown");
+    }
+
+    #[test]
+    fn distribution_summary_matches_hand_computation() {
+        let d = Distribution::summarise(vec![4.0, 1.0, 3.0, 2.0]);
+        assert_eq!(d.min, 1.0);
+        assert_eq!(d.max, 4.0);
+        assert!((d.p50 - 2.5).abs() < 1e-12);
+        assert!((d.mean - 2.5).abs() < 1e-12);
+        let empty = Distribution::summarise(Vec::new());
+        assert_eq!(empty.max, 0.0);
+    }
+
+    #[test]
+    fn baseline_capture_yields_one_sample_per_repeat() {
+        let base = capture_baseline(1 << 22);
+        assert_eq!(base.samples.len(), BASELINE_REPEATS);
+        let runs = base.aggregate.span(SAMPLE_SPAN).expect("campaign.run aggregated");
+        assert_eq!(runs.count, BASELINE_REPEATS as u64);
+        for s in &base.samples {
+            let pol = s.span("campaign.policy").expect("policy spans nested");
+            assert_eq!(pol.count, baseline_policies().len() as u64);
+            assert!(pol.sim_s > 0.0, "policy spans carry sim time");
+            assert!(pol.energy_j > 0.0, "policy spans carry energy");
+        }
+        assert!(
+            base.aggregate.counters.contains_key("des.scheduled"),
+            "DES hot-path counters guard the new engine: {:?}",
+            base.aggregate.counters.keys().collect::<Vec<_>>()
+        );
+    }
+}

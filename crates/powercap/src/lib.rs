@@ -1,6 +1,6 @@
 //! GPU power capping and power-aware scheduling.
 //!
-//! Two layers:
+//! Three layers:
 //!
 //! * [`nvidia_smi`] — the `nvidia-smi -pl` analogue the paper uses to set
 //!   GPU power limits (§V): validated limits, per-GPU or node-wide, with
@@ -9,12 +9,17 @@
 //!   §VI: classify jobs by workload type, cap VASP-like jobs at 50 % TDP
 //!   (which costs <10 % performance), and reallocate the spared power to
 //!   admit more jobs under a fixed system power budget, deciding within
-//!   30-second scheduling cycles.
+//!   30-second scheduling cycles. Event-driven on the calendar queue.
+//! * [`campaign`] — datacenter-scale what-if campaigns: thousands of
+//!   seeded heterogeneous jobs over partitioned machines, shard-parallel
+//!   DES with deterministic merging, compared across cap policies.
 
+pub mod campaign;
 pub mod controller;
 pub mod nvidia_smi;
 pub mod scheduler;
 
+pub use campaign::{CampaignOutcome, CampaignSpec, Distribution};
 pub use controller::{ControlledJob, Controller};
 pub use nvidia_smi::{GpuPowerInfo, NvidiaSmi, SmiError};
 pub use scheduler::{BatchJob, CapResponse, Policy, ScheduleOutcome, Scheduler, WorkloadClass};

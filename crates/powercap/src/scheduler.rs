@@ -5,6 +5,20 @@
 //! cap to the classes that tolerate it with <10 % slowdown, and reallocates
 //! the spared power to admit more jobs under the site's power budget —
 //! deciding once per ~30-second scheduling cycle.
+//!
+//! ## Simulation engine
+//!
+//! [`Scheduler::run`] is event-driven: job finishes live in a
+//! [`vpp_sim::EventQueue`] and the full admission pass (retire finished
+//! jobs, re-derive free nodes/power, scan the FIFO queue) runs only at
+//! wakes where the admission state can actually change — a finish is due
+//! or a queued job's arrival has passed. Cycle boundaries in between cost
+//! O(1): the held system power is integrated over the interval and the
+//! clock steps on. Admission itself stays quantised to the paper's cycle
+//! boundaries, so the event-driven engine reproduces the superseded
+//! polling loop *exactly* — [`reference::run_polling`] is retained and the
+//! `scheduler_equivalence` property suite demands `ScheduleOutcome`
+//! equality (spans, peak, integral) between the two on random queues.
 
 /// Workload classes the scheduler can recognise from job inputs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -84,6 +98,37 @@ impl CapResponse {
         }
         self.points[self.points.len() - 1].0
     }
+
+    /// The highest measured cap — the job's default power limit (TDP of
+    /// its support). "Uncapped" operation means running here, not at any
+    /// hardwired site-wide constant.
+    #[must_use]
+    pub fn max_cap(&self) -> f64 {
+        self.points[self.points.len() - 1].0
+    }
+
+    /// Performance fraction and node power at the default (uncapped)
+    /// limit, i.e. at [`Self::max_cap`].
+    #[must_use]
+    pub fn uncapped(&self) -> (f64, f64) {
+        let p = &self.points[self.points.len() - 1];
+        (p.1, p.2)
+    }
+
+    /// The energy-optimal cap (Afzal et al.'s sweet spot): the measured
+    /// cap minimising node energy per unit of work, `power / perf`.
+    /// Ties break towards the higher cap (less throttling risk).
+    #[must_use]
+    pub fn sweet_spot_cap(&self) -> f64 {
+        let mut best = (f64::INFINITY, 0.0);
+        for &(c, p, w) in &self.points {
+            let joules_per_work = w / p;
+            if joules_per_work <= best.0 {
+                best = (joules_per_work, c);
+            }
+        }
+        best.1
+    }
 }
 
 /// One queued batch job.
@@ -110,6 +155,9 @@ pub enum Policy {
     /// The paper's proposal: per-class caps chosen so the loss stays
     /// within 10 % (Unknown jobs stay uncapped).
     ClassAware,
+    /// Energy-chasing: every job runs at its measured energy-per-work
+    /// minimum ([`CapResponse::sweet_spot_cap`]), whatever the slowdown.
+    SweetSpot,
 }
 
 /// Result of a schedule simulation.
@@ -170,50 +218,205 @@ impl Scheduler {
                 WorkloadClass::Unknown => None,
                 _ => Some(job.response.recommended_cap(self.max_loss)),
             },
+            Policy::SweetSpot => Some(job.response.sweet_spot_cap()),
         }
     }
 
-    /// Simulate the queue under `policy`.
+    /// Effective runtime (seconds) and whole-job power draw (watts) for
+    /// `job` under `policy`. Uncapped jobs run at the top of their own
+    /// measured support ([`CapResponse::uncapped`]), not at a hardwired
+    /// site constant.
     ///
     /// # Panics
-    /// If any job needs more nodes than the system has, or if a single
-    /// job's power demand exceeds the budget (it could never start).
+    /// If the job needs more nodes than the system has, or its power
+    /// demand alone exceeds the budget (it could never start).
+    #[must_use]
+    pub fn job_demand(&self, job: &BatchJob, policy: Policy) -> (f64, f64) {
+        assert!(
+            job.nodes <= self.total_nodes,
+            "job {} wants {} of {} nodes",
+            job.id,
+            job.nodes,
+            self.total_nodes
+        );
+        let (perf, node_power) = match self.cap_for(job, policy) {
+            Some(c) => (job.response.perf_at(c), job.response.power_at(c)),
+            None => job.response.uncapped(),
+        };
+        let power = node_power * job.nodes as f64;
+        assert!(
+            power <= self.power_budget_w,
+            "job {} alone exceeds the power budget",
+            job.id
+        );
+        (job.base_runtime_s / perf, power)
+    }
+
+    /// Simulate the queue under `policy`, event-driven.
+    ///
+    /// Observationally identical to [`reference::run_polling`]; the full
+    /// admission pass runs only at wakes where a finish is due or an
+    /// arrival has passed, every other cycle boundary is O(1).
+    ///
+    /// # Panics
+    /// As [`Scheduler::job_demand`], for any job in the queue.
     #[must_use]
     pub fn run(&self, queue: &[BatchJob], policy: Policy) -> ScheduleOutcome {
-        struct Running {
-            id: u64,
-            start: f64,
-            finish: f64,
-            nodes: usize,
-            power_w: f64,
-        }
-
         let demands: Vec<(f64, f64)> = queue
             .iter()
-            .map(|j| {
-                assert!(
-                    j.nodes <= self.total_nodes,
-                    "job {} wants {} of {} nodes",
-                    j.id,
-                    j.nodes,
-                    self.total_nodes
-                );
-                let cap = self.cap_for(j, policy);
-                let (perf, node_power) = match cap {
-                    Some(c) => (j.response.perf_at(c), j.response.power_at(c)),
-                    None => {
-                        let last = 400.0;
-                        (j.response.perf_at(last), j.response.power_at(last))
+            .map(|j| self.job_demand(j, policy))
+            .collect();
+
+        // Arrival order: indices by (arrival, submission order). A cursor
+        // walks it forward as arrivals pass, giving O(1) access to the
+        // next arrival that could change the admission state.
+        let mut arrival_order: Vec<usize> = (0..queue.len()).collect();
+        arrival_order.sort_by(|&a, &b| queue[a].arrival_s.total_cmp(&queue[b].arrival_s));
+        let mut cursor = 0usize;
+
+        let mut pending: Vec<usize> = (0..queue.len()).collect();
+        let mut running: Vec<Running> = Vec::new();
+        let mut finishes: vpp_sim::EventQueue<u64> = vpp_sim::EventQueue::new();
+        let mut spans: Vec<(u64, f64, f64)> = Vec::new();
+        let mut t = 0.0;
+        let mut peak = 0.0f64;
+        let mut power_time_integral = 0.0;
+        let mut last_t = 0.0;
+        // System power, re-derived only at admission wakes; between them
+        // the running set is constant, so the cached value stays exact.
+        let mut used_power = 0.0f64;
+        let mut admit = true; // t = 0 is always an admission wake
+
+        loop {
+            if admit {
+                // Retire due finishes (the queue delivers them in time
+                // order; the running list keeps span bookkeeping).
+                while finishes.next_before(t + 1e-9).is_some() {}
+                running.retain(|r| {
+                    if r.finish <= t + 1e-9 {
+                        spans.push((r.id, r.start, r.finish));
+                        false
+                    } else {
+                        true
                     }
-                };
-                let power = node_power * j.nodes as f64;
-                assert!(
-                    power <= self.power_budget_w,
-                    "job {} alone exceeds the power budget",
-                    j.id
-                );
-                (j.base_runtime_s / perf, power)
-            })
+                });
+
+                // Re-derive free capacity by the same left-to-right sums
+                // the polling loop used, keeping the arithmetic — and so
+                // every boundary-case admission decision — bit-identical.
+                let mut used_nodes: usize = running.iter().map(|r| r.nodes).sum();
+                used_power = running.iter().map(|r| r.power_w).sum();
+
+                // FIFO admission with backfill: start every *arrived*
+                // queued job that fits in free nodes and free power.
+                pending.retain(|&qi| {
+                    let job = &queue[qi];
+                    let (runtime, power) = demands[qi];
+                    if job.arrival_s <= t + 1e-9
+                        && used_nodes + job.nodes <= self.total_nodes
+                        && used_power + power <= self.power_budget_w + 1e-9
+                    {
+                        used_nodes += job.nodes;
+                        used_power += power;
+                        finishes.schedule(t + runtime, job.id);
+                        running.push(Running {
+                            id: job.id,
+                            start: t,
+                            finish: t + runtime,
+                            nodes: job.nodes,
+                            power_w: power,
+                        });
+                        false
+                    } else {
+                        true
+                    }
+                });
+
+                // Arrivals at or before this wake have been offered
+                // admission; only later ones can change the state.
+                while cursor < arrival_order.len()
+                    && queue[arrival_order[cursor]].arrival_s <= t + 1e-9
+                {
+                    cursor += 1;
+                }
+            }
+
+            peak = peak.max(used_power);
+            power_time_integral += used_power * (t - last_t).max(0.0);
+            last_t = t;
+
+            if pending.is_empty() && running.is_empty() {
+                break;
+            }
+
+            // Advance: next cycle boundary, next finish, or — when idle —
+            // the next arrival, whichever comes first.
+            let next_finish = finishes.earliest_time().unwrap_or(f64::INFINITY);
+            let next_arrival = if cursor < arrival_order.len() {
+                queue[arrival_order[cursor]].arrival_s
+            } else {
+                f64::INFINITY
+            };
+            let mut next = t + self.cycle_s;
+            if next_finish < next {
+                next = next_finish;
+            }
+            if running.is_empty() && next_arrival > next {
+                next = next_arrival;
+            }
+            t = next;
+            assert!(t.is_finite(), "scheduler stalled: no running jobs advance");
+            admit = next_finish <= t + 1e-9 || next_arrival <= t + 1e-9;
+        }
+
+        finalise(spans, peak, power_time_integral)
+    }
+}
+
+struct Running {
+    id: u64,
+    start: f64,
+    finish: f64,
+    nodes: usize,
+    power_w: f64,
+}
+
+/// Sort spans, derive the makespan and assemble the outcome — shared by
+/// the event-driven engine and the polling reference so the summary
+/// arithmetic cannot drift between them.
+fn finalise(mut spans: Vec<(u64, f64, f64)>, peak: f64, power_time_integral: f64) -> ScheduleOutcome {
+    spans.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+    let makespan = spans.iter().map(|s| s.2).fold(0.0, f64::max);
+    ScheduleOutcome {
+        makespan_s: makespan,
+        mean_power_w: if makespan > 0.0 {
+            power_time_integral / makespan
+        } else {
+            0.0
+        },
+        peak_power_w: peak,
+        job_spans: spans,
+    }
+}
+
+pub mod reference {
+    //! The superseded fixed-cycle polling engine, kept as the semantic
+    //! reference for [`Scheduler::run`]: the `scheduler_equivalence`
+    //! property suite runs both on random queues and demands identical
+    //! [`ScheduleOutcome`]s — admission order, spans, peak and integral.
+
+    use super::{finalise, BatchJob, Policy, Running, ScheduleOutcome, Scheduler};
+
+    /// Simulate the queue under `policy` with the original polling loop:
+    /// every wake rescans `running` and `pending` in full.
+    ///
+    /// # Panics
+    /// As [`Scheduler::job_demand`], for any job in the queue.
+    #[must_use]
+    pub fn run_polling(sched: &Scheduler, queue: &[BatchJob], policy: Policy) -> ScheduleOutcome {
+        let demands: Vec<(f64, f64)> = queue
+            .iter()
+            .map(|j| sched.job_demand(j, policy))
             .collect();
 
         let mut pending: Vec<usize> = (0..queue.len()).collect();
@@ -243,8 +446,8 @@ impl Scheduler {
                 let job = &queue[qi];
                 let (runtime, power) = demands[qi];
                 if job.arrival_s <= t + 1e-9
-                    && used_nodes + job.nodes <= self.total_nodes
-                    && used_power + power <= self.power_budget_w + 1e-9
+                    && used_nodes + job.nodes <= sched.total_nodes
+                    && used_power + power <= sched.power_budget_w + 1e-9
                 {
                     used_nodes += job.nodes;
                     used_power += power;
@@ -279,7 +482,7 @@ impl Scheduler {
                 .iter()
                 .map(|&qi| queue[qi].arrival_s)
                 .fold(f64::INFINITY, f64::min);
-            let mut next = t + self.cycle_s;
+            let mut next = t + sched.cycle_s;
             if next_finish < next {
                 next = next_finish;
             }
@@ -294,18 +497,7 @@ impl Scheduler {
         power_time_integral +=
             running.iter().map(|r| r.power_w).sum::<f64>() * (t - last_t).max(0.0);
 
-        spans.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
-        let makespan = spans.iter().map(|s| s.2).fold(0.0, f64::max);
-        ScheduleOutcome {
-            makespan_s: makespan,
-            mean_power_w: if makespan > 0.0 {
-                power_time_integral / makespan
-            } else {
-                0.0
-            },
-            peak_power_w: peak,
-            job_spans: spans,
-        }
+        finalise(spans, peak, power_time_integral)
     }
 }
 
@@ -361,6 +553,69 @@ mod tests {
         assert_eq!(hungry_response().recommended_cap(0.10), 200.0);
         assert_eq!(hungry_response().recommended_cap(0.005), 300.0);
         assert_eq!(light_response().recommended_cap(0.10), 100.0);
+    }
+
+    #[test]
+    fn uncapped_demand_comes_from_the_response_support() {
+        // A response whose support tops out at 350 W, not the old
+        // hardwired 400 W: uncapped jobs must run at *their* TDP.
+        let r = CapResponse::new(vec![(100.0, 0.5, 800.0), (350.0, 1.0, 1500.0)]);
+        assert_eq!(r.max_cap(), 350.0);
+        assert_eq!(r.uncapped(), (1.0, 1500.0));
+        let s = Scheduler::new(4, 10_000.0);
+        let mut j = job(1, WorkloadClass::Unknown, 2, 100.0);
+        j.response = r;
+        let (runtime, power) = s.job_demand(&j, Policy::Uncapped);
+        assert!((runtime - 100.0).abs() < 1e-12);
+        assert!((power - 3000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sweet_spot_picks_the_energy_minimum() {
+        // hungry: J-per-work 2250 / 1428.6 / 1750 / 1810 -> 200 W.
+        assert_eq!(hungry_response().sweet_spot_cap(), 200.0);
+        // light: 750 / 760 / 766 -> deepest cap already optimal.
+        assert_eq!(light_response().sweet_spot_cap(), 100.0);
+    }
+
+    #[test]
+    fn sweet_spot_policy_trades_time_for_energy() {
+        let s = Scheduler::new(16, 1.0e6);
+        let queue: Vec<BatchJob> = (0..4)
+            .map(|i| job(i, WorkloadClass::PowerHungry, 1, 600.0))
+            .collect();
+        let base = s.run(&queue, Policy::Uncapped);
+        let sweet = s.run(&queue, Policy::SweetSpot);
+        // 200 W sweet spot: 9 % slower but far below uncapped power.
+        assert!(sweet.makespan_s > base.makespan_s);
+        assert!(sweet.peak_power_w < base.peak_power_w);
+        let base_energy = base.mean_power_w * base.makespan_s;
+        let sweet_energy = sweet.mean_power_w * sweet.makespan_s;
+        assert!(sweet_energy < base_energy, "{sweet_energy} !< {base_energy}");
+    }
+
+    #[test]
+    fn event_driven_run_matches_polling_reference() {
+        let s = Scheduler::new(8, 4000.0);
+        let queue: Vec<BatchJob> = (0..6)
+            .map(|i| {
+                let mut j = job(i, WorkloadClass::PowerHungry, 1 + (i as usize % 2), 400.0);
+                j.arrival_s = i as f64 * 90.0;
+                j
+            })
+            .collect();
+        for policy in [
+            Policy::Uncapped,
+            Policy::FixedCap(200.0),
+            Policy::ClassAware,
+            Policy::SweetSpot,
+        ] {
+            assert_eq!(
+                s.run(&queue, policy),
+                reference::run_polling(&s, &queue, policy),
+                "{policy:?}"
+            );
+        }
     }
 
     #[test]

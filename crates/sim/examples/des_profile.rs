@@ -1,0 +1,88 @@
+//! Ad-hoc throughput breakdown for the calendar queue (fill vs drain).
+use std::time::Instant;
+use vpp_sim::des::reference::HeapQueue;
+use vpp_sim::{EventQueue, Rng};
+
+fn main() {
+    const N: usize = 1_000_000;
+    let mut rng = Rng::new(42);
+    let at: Vec<f64> = (0..N).map(|_| rng.uniform(0.0, 1e6)).collect();
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        let mut q: EventQueue<u32> = EventQueue::new();
+        for (i, &t) in at.iter().enumerate() {
+            q.schedule(t, i as u32);
+        }
+        let fill = t0.elapsed();
+        let t1 = Instant::now();
+        let mut n = 0u64;
+        while q.next().is_some() {
+            n += 1;
+        }
+        let drain = t1.elapsed();
+        println!(
+            "cal  fill {:>7.1} ns/ev   drain {:>7.1} ns/ev  (n={n})",
+            fill.as_nanos() as f64 / N as f64,
+            drain.as_nanos() as f64 / N as f64
+        );
+    }
+    for _ in 0..2 {
+        let t0 = Instant::now();
+        let mut q: HeapQueue<u32> = HeapQueue::new();
+        for (i, &t) in at.iter().enumerate() {
+            q.schedule(t, i as u32);
+        }
+        let fill = t0.elapsed();
+        let t1 = Instant::now();
+        let mut n = 0u64;
+        while q.next().is_some() {
+            n += 1;
+        }
+        let drain = t1.elapsed();
+        println!(
+            "heap fill {:>7.1} ns/ev   drain {:>7.1} ns/ev  (n={n})",
+            fill.as_nanos() as f64 / N as f64,
+            drain.as_nanos() as f64 / N as f64
+        );
+    }
+
+    // Hold model: pop one, push one at (popped time + increment), queue
+    // pinned at N pending.
+    const HOLD: usize = 2_000_000;
+    let inc: Vec<f64> = {
+        let mut rng = Rng::new(9);
+        (0..8192).map(|_| rng.uniform(0.0, 2.0)).collect()
+    };
+    {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        for (i, &t) in at.iter().enumerate() {
+            q.schedule(t % 2.0, i as u32);
+        }
+        let t0 = Instant::now();
+        for k in 0..HOLD {
+            let (t, e) = q.next().unwrap();
+            q.schedule(t + inc[k & 8191], e);
+        }
+        println!(
+            "cal  hold {:>7.1} ns/pair (len={})",
+            t0.elapsed().as_nanos() as f64 / HOLD as f64,
+            q.len()
+        );
+    }
+    {
+        let mut q: HeapQueue<u32> = HeapQueue::new();
+        for (i, &t) in at.iter().enumerate() {
+            q.schedule(t % 2.0, i as u32);
+        }
+        let t0 = Instant::now();
+        for k in 0..HOLD {
+            let (t, e) = q.next().unwrap();
+            q.schedule(t + inc[k & 8191], e);
+        }
+        println!(
+            "heap hold {:>7.1} ns/pair (len={})",
+            t0.elapsed().as_nanos() as f64 / HOLD as f64,
+            q.len()
+        );
+    }
+}

@@ -24,6 +24,6 @@ pub mod units;
 /// `vpp_sim::rng` path keeps working.
 pub use vpp_substrate::rng;
 
-pub use des::EventQueue;
+pub use des::{EventId, EventQueue};
 pub use rng::Rng;
 pub use trace::{PowerTrace, Segment};

@@ -1,0 +1,113 @@
+//! Differential equivalence: the calendar queue versus the retained
+//! `BinaryHeap` reference under random schedule/next/cancel interleavings.
+//!
+//! The determinism contract says the two engines are observationally
+//! identical: the same sequence of operations yields the same `(time,
+//! payload)` delivery sequence, including FIFO order within equal
+//! timestamps and clamping of timestamps inside the 1e-12 late tolerance.
+
+use vpp_sim::des::reference::HeapQueue;
+use vpp_sim::EventQueue;
+use vpp_substrate::prop::usize_in;
+use vpp_substrate::properties;
+
+properties! {
+    fn calendar_matches_heap_under_random_interleavings(rng) {
+        let mut cal = EventQueue::new();
+        let mut heap = HeapQueue::new();
+        // Live events as (calendar id, heap seq, payload).
+        let mut live: Vec<(vpp_sim::EventId, u64, u32)> = Vec::new();
+        let mut payload: u32 = 0;
+        let span = rng.uniform(1.0, 1e6);
+        let ops = usize_in(rng, 10, 400);
+        for _ in 0..ops {
+            match rng.index(8) {
+                // Schedule dominates so queues actually fill up.
+                0..=3 => {
+                    let t = match rng.index(5) {
+                        // Duplicate a live timestamp to force FIFO ties.
+                        0 if !live.is_empty() => {
+                            let probe = live[rng.index(live.len())].2;
+                            // Re-use a time drawn the same way both sides
+                            // saw it: derive from payload deterministically.
+                            cal.now() + (f64::from(probe % 97) / 97.0) * span
+                        }
+                        // Exercise the 1e-12 late-clamp path.
+                        1 => cal.now() - 1e-13,
+                        _ => cal.now() + rng.uniform(0.0, span),
+                    };
+                    let id = cal.schedule(t, payload);
+                    let seq = heap.schedule(t, payload);
+                    live.push((id, seq, payload));
+                    payload += 1;
+                }
+                4..=5 => {
+                    let got_cal = cal.next();
+                    let got_heap = heap.next();
+                    assert_eq!(got_cal, got_heap, "delivery diverged");
+                    assert_eq!(cal.now(), heap.now(), "clocks diverged");
+                    if let Some((_, p)) = got_cal {
+                        let at = live.iter().position(|e| e.2 == p).unwrap();
+                        live.swap_remove(at);
+                    }
+                }
+                6 if !live.is_empty() => {
+                    let (id, seq, p) = live.swap_remove(rng.index(live.len()));
+                    assert_eq!(cal.cancel(id), Some(p));
+                    assert!(heap.cancel(seq));
+                }
+                _ => {
+                    // Stale-handle probes must be no-ops on both sides.
+                    if payload > 0 {
+                        let seq = rng.index(payload as usize) as u64;
+                        let live_seq = live.iter().any(|e| e.1 == seq);
+                        if !live_seq {
+                            assert!(!heap.cancel(seq));
+                        }
+                    }
+                }
+            }
+            assert_eq!(cal.len(), heap.len(), "lengths diverged");
+        }
+        // Drain the remainder in lockstep.
+        loop {
+            let got_cal = cal.next();
+            assert_eq!(got_cal, heap.next(), "drain diverged");
+            assert_eq!(cal.now(), heap.now());
+            if got_cal.is_none() {
+                break;
+            }
+        }
+        assert!(cal.is_empty() && heap.is_empty());
+    }
+
+    fn same_timestamp_bursts_drain_fifo_on_both_engines(rng) {
+        let mut cal = EventQueue::new();
+        let mut heap = HeapQueue::new();
+        let bursts = usize_in(rng, 1, 20);
+        let mut payload = 0u32;
+        let mut t = 0.0;
+        for _ in 0..bursts {
+            t += rng.uniform(0.0, 10.0);
+            for _ in 0..usize_in(rng, 1, 30) {
+                cal.schedule(t, payload);
+                heap.schedule(t, payload);
+                payload += 1;
+            }
+        }
+        let mut last = (f64::NEG_INFINITY, 0u32);
+        loop {
+            match (cal.next(), heap.next()) {
+                (None, None) => break,
+                (a, b) => {
+                    assert_eq!(a, b);
+                    let (at, ap) = a.unwrap();
+                    // Global order: time ascending, payload ascending
+                    // within a timestamp (payloads are issued in order).
+                    assert!(at > last.0 || (at == last.0 && ap > last.1));
+                    last = (at, ap);
+                }
+            }
+        }
+    }
+}

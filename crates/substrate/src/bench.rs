@@ -10,7 +10,12 @@
 //! timed in adaptive batches (batch size grows until one batch costs at
 //! least ~100 µs, amortising `Instant` overhead for nanosecond-scale
 //! bodies); the reported figure is the **median** per-call time over all
-//! batches, which is robust to scheduler noise in shared CI.
+//! batches, which is robust to scheduler noise in shared CI. Before/after
+//! pairs registered via [`Harness::compare`] are measured in alternating
+//! A/B windows so slow machine drift (thermal throttling, a neighbour
+//! starting up) cancels between the legs instead of biasing one of them,
+//! and the residual first-half/second-half shift is reported as a drift
+//! bound next to each speedup.
 //!
 //! Environment knobs:
 //! * `VPP_BENCH_OUT` — path of the JSON report (default
@@ -202,6 +207,12 @@ pub struct Comparison {
     pub after_ns: f64,
     /// `before / after` — >1 means the new path is faster.
     pub speedup: f64,
+    /// Machine-drift bound: the worse of the two legs' relative shift
+    /// between the first and second half of its interleaved measurement
+    /// windows (fraction of the leg median). A speedup is only as
+    /// trustworthy as this is small — a 1.3x on a machine drifting ±40 %
+    /// is noise, the same 1.3x at ±2 % is real.
+    pub drift: f64,
 }
 
 /// A named benchmark group being recorded.
@@ -280,31 +291,54 @@ impl Harness {
     }
 
     /// Time a before/after pair and record the speedup.
+    ///
+    /// The two legs are **interleaved**: after a per-leg warmup, the
+    /// measurement budget is split into [`COMPARE_WINDOWS`] alternating
+    /// A/B windows (A B A B …) instead of timing all of `before` and then
+    /// all of `after`. A frequency ramp, thermal throttle or noisy
+    /// neighbour mid-run now hits both legs roughly equally rather than
+    /// silently inflating whichever leg ran second. Each leg's figure is
+    /// the median of its per-window medians, and the residual
+    /// first-half/second-half shift is reported as [`Comparison::drift`]
+    /// next to the speedup.
     pub fn compare<RB, RA>(
         &mut self,
         name: &str,
-        before: impl FnMut() -> RB,
-        after: impl FnMut() -> RA,
+        mut before: impl FnMut() -> RB,
+        mut after: impl FnMut() -> RA,
     ) {
-        let (before_ns, _) = self.time(before);
-        let (after_ns, _) = self.time(after);
+        let before_batch = self.warm(&mut before);
+        let after_batch = self.warm(&mut after);
+        let window = self.measure / (2 * COMPARE_WINDOWS as u32);
+        let mut before_windows = Vec::with_capacity(COMPARE_WINDOWS);
+        let mut after_windows = Vec::with_capacity(COMPARE_WINDOWS);
+        for _ in 0..COMPARE_WINDOWS {
+            before_windows.push(measure_window(&mut before, before_batch, window));
+            after_windows.push(measure_window(&mut after, after_batch, window));
+        }
+        let before_ns = median(before_windows.clone());
+        let after_ns = median(after_windows.clone());
+        let drift = half_drift(&before_windows).max(half_drift(&after_windows));
         let speedup = before_ns / after_ns;
         eprintln!(
-            "  {name:<44} {:>12} -> {:>12}  ({speedup:.1}x)",
+            "  {name:<44} {:>12} -> {:>12}  ({speedup:.1}x, drift ±{:.1}%)",
             fmt_ns(before_ns),
             fmt_ns(after_ns),
+            drift * 100.0,
         );
         self.comparisons.push(Comparison {
             name: name.to_string(),
             before_ns,
             after_ns,
             speedup,
+            drift,
         });
     }
 
-    /// Median per-call nanoseconds and total call count.
-    fn time<R, F: FnMut() -> R>(&self, mut f: F) -> (f64, u64) {
-        // Warmup, establishing an initial batch size along the way.
+    /// Warm one function for the harness's warmup budget and return the
+    /// batch size to amortise `Instant` overhead (grown until one batch
+    /// costs at least ~100 µs).
+    fn warm<R, F: FnMut() -> R>(&self, f: &mut F) -> u64 {
         let mut batch: u64 = 1;
         let warm_start = Instant::now();
         while warm_start.elapsed() < self.warmup {
@@ -316,6 +350,13 @@ impl Harness {
                 batch *= 2;
             }
         }
+        batch
+    }
+
+    /// Median per-call nanoseconds and total call count.
+    fn time<R, F: FnMut() -> R>(&self, mut f: F) -> (f64, u64) {
+        // Warmup, establishing an initial batch size along the way.
+        let batch = self.warm(&mut f);
         // Measure: per-batch mean per-call times; report their median.
         let mut per_call: Vec<f64> = Vec::new();
         let mut calls = 0u64;
@@ -371,6 +412,7 @@ impl Harness {
                         ("before_ns".into(), Value::Num(c.before_ns)),
                         ("after_ns".into(), Value::Num(c.after_ns)),
                         ("speedup".into(), Value::Num(c.speedup)),
+                        ("drift".into(), Value::Num(c.drift)),
                     ])
                 })
                 .collect(),
@@ -409,6 +451,52 @@ impl Harness {
         std::fs::write(&path, report.pretty())
             .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
         eprintln!("bench group '{}' written to {path}", self.group);
+    }
+}
+
+/// Alternating measurement windows per leg in [`Harness::compare`]. Even,
+/// so the first-half/second-half drift split is balanced.
+const COMPARE_WINDOWS: usize = 8;
+
+/// Run batches of `f` until `budget` elapses (at least one) and return the
+/// median per-call nanoseconds observed inside this window.
+fn measure_window<R, F: FnMut() -> R>(f: &mut F, batch: u64, budget: Duration) -> f64 {
+    let mut per_call: Vec<f64> = Vec::new();
+    let start = Instant::now();
+    loop {
+        let t = Instant::now();
+        for _ in 0..batch {
+            std::hint::black_box(f());
+        }
+        per_call.push(t.elapsed().as_nanos() as f64 / batch as f64);
+        if start.elapsed() >= budget || per_call.len() > 2_000 {
+            break;
+        }
+    }
+    median(per_call)
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    assert!(!xs.is_empty(), "median of no samples");
+    xs.sort_by(f64::total_cmp);
+    xs[xs.len() / 2]
+}
+
+/// Relative shift between the first and second half of a leg's window
+/// medians, as a fraction of the leg's overall median: the residual
+/// machine drift the interleaving did not cancel.
+fn half_drift(windows: &[f64]) -> f64 {
+    if windows.len() < 2 {
+        return 0.0;
+    }
+    let mid = windows.len() / 2;
+    let early = median(windows[..mid].to_vec());
+    let late = median(windows[mid..].to_vec());
+    let overall = median(windows.to_vec());
+    if overall > 0.0 {
+        (late - early).abs() / overall
+    } else {
+        0.0
     }
 }
 
@@ -464,6 +552,18 @@ mod tests {
             || (0..500).map(|i| i as f64).sum::<f64>(),
         );
         assert!(h.comparisons[0].speedup > 1.0, "{:?}", h.comparisons);
+        let drift = h.comparisons[0].drift;
+        assert!(drift.is_finite() && drift >= 0.0, "{:?}", h.comparisons);
+    }
+
+    #[test]
+    fn half_drift_measures_relative_shift() {
+        // Flat windows: no drift.
+        assert!(half_drift(&[10.0, 10.0, 10.0, 10.0]) < 1e-12);
+        // Second half 20 % slower than the first.
+        let d = half_drift(&[10.0, 10.0, 12.0, 12.0]);
+        assert!((d - 2.0 / 12.0).abs() < 1e-12, "{d}");
+        assert_eq!(half_drift(&[10.0]), 0.0);
     }
 
     #[test]

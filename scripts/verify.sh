@@ -31,8 +31,39 @@ VPP_BENCH_SMOKE=1 VPP_BENCH_OUT="$ROOT/BENCH_results.json" \
     cargo bench -q --offline -p vpp-bench
 
 echo "==> BENCH_results.json comparisons:"
-grep -A3 '"name": ".*_before_after"' "$ROOT/BENCH_results.json" \
-    | grep -E '"name"|"speedup"' || true
+grep -A4 -E '"name": "(.*_before_after|des_.*)"' "$ROOT/BENCH_results.json" \
+    | grep -E '"name"|"speedup"|"drift"' || true
+
+echo "==> DES acceptance: calendar queue >= 3x heap at 1e6 pending (measured ~8x; floor guards regressions through CI noise)"
+DES_SPEEDUP=$(grep -A4 '"name": "des_throughput_1e6"' "$ROOT/BENCH_results.json" \
+    | sed -n 's/.*"speedup": \([0-9.eE+-]*\).*/\1/p' | head -n 1)
+[ -n "$DES_SPEEDUP" ] || {
+    echo "verify: FAIL — des_throughput_1e6 comparison missing from BENCH_results.json" >&2
+    exit 1
+}
+awk -v s="$DES_SPEEDUP" 'BEGIN { exit !(s >= 3.0) }' || {
+    echo "verify: FAIL — des_throughput_1e6 speedup $DES_SPEEDUP below the 3x floor" >&2
+    exit 1
+}
+echo "    des_throughput_1e6 speedup: ${DES_SPEEDUP}x"
+
+echo "==> campaign smoke (vpp campaign --jobs 2000 --seed 7; must finish inside 60 s)"
+CAMPAIGN_T0=$(date +%s)
+cargo run -q --release --offline --bin vpp -- campaign --jobs 2000 --seed 7 \
+    > /tmp/vpp_campaign.out
+CAMPAIGN_T1=$(date +%s)
+grep -q '^sweet_spot' /tmp/vpp_campaign.out || {
+    echo "verify: FAIL — campaign table is missing the sweet_spot policy row" >&2
+    exit 1
+}
+[ $((CAMPAIGN_T1 - CAMPAIGN_T0)) -le 60 ] || {
+    echo "verify: FAIL — 2000-job campaign took $((CAMPAIGN_T1 - CAMPAIGN_T0)) s (> 60 s budget)" >&2
+    exit 1
+}
+
+echo "==> trace diff smoke: campaign re-run must match its blessed baseline"
+VPP_BENCH_OUT="$ROOT/BENCH_results.json" \
+    cargo run -q --release --offline --bin vpp -- trace diff campaign
 
 echo "==> trace diff smoke: unperturbed re-run must match its baseline"
 VPP_BENCH_OUT="$ROOT/BENCH_results.json" \

@@ -49,6 +49,7 @@ use std::io::Write;
 use vasp_power_profiles::cluster::{execute, JobSpec, NetworkModel, Straggler};
 use vasp_power_profiles::core::{benchmarks, flight, protocol};
 use vasp_power_profiles::dft::{parse_incar, parse_kpoints, parse_poscar, PhaseKind};
+use vasp_power_profiles::powercap::{campaign, CampaignSpec, Policy};
 use vasp_power_profiles::stats::{trace_diff, DiffConfig, Segmenter};
 use vasp_power_profiles::substrate::bench::{load_baseline, store_baseline};
 use vasp_power_profiles::substrate::serve::{self, RunState, ServeHandle};
@@ -147,6 +148,19 @@ const COMMANDS: &[CommandSpec] = &[
         summary: "segment the node power series into phases",
         flags: &[NODES],
         run: cmd_phases,
+    },
+    CommandSpec {
+        words: &["campaign"],
+        operand: "",
+        summary: "simulate a seeded job campaign under each cap policy",
+        flags: &[
+            flag("jobs", "N", "jobs to generate (default 2000)"),
+            flag("seed", "S", "campaign master seed (default 7)"),
+            flag("partitions", "P", "independent machine partitions (default 8)"),
+            flag("shards", "K", "parallel shards (default: one per partition)"),
+            flag("cap", "WATTS", "add a fixed-cap policy column at WATTS"),
+        ],
+        run: cmd_campaign,
     },
     CommandSpec {
         words: &["trace"],
@@ -702,11 +716,104 @@ fn bench_out_path() -> String {
     std::env::var("VPP_BENCH_OUT").unwrap_or_else(|_| "BENCH_results.json".to_string())
 }
 
+/// Simulate a seeded campaign of heterogeneous jobs under every cap
+/// policy and print the what-if comparison table.
+fn cmd_campaign(p: &Parsed) -> Result<(), String> {
+    let jobs = flag_parse(p, "jobs")?.unwrap_or(2000usize);
+    let seed = flag_parse(p, "seed")?.unwrap_or(7u64);
+    let partitions = flag_parse(p, "partitions")?.unwrap_or(8usize);
+    if jobs == 0 || partitions == 0 {
+        return Err("--jobs and --partitions must be positive".into());
+    }
+    let spec = CampaignSpec {
+        partitions,
+        ..CampaignSpec::new(jobs, seed)
+    };
+    let shards = flag_parse(p, "shards")?.unwrap_or(spec.partitions);
+    if shards == 0 {
+        return Err("--shards must be positive".into());
+    }
+    let mut policies: Vec<(String, Policy)> = campaign::baseline_policies()
+        .into_iter()
+        .map(|(n, p)| (n.to_string(), p))
+        .collect();
+    if let Some(cap) = flag_parse::<f64>(p, "cap")? {
+        if !(cap > 0.0 && cap.is_finite()) {
+            return Err(format!("--cap must be positive, got {cap}"));
+        }
+        policies.push((format!("fixed_{cap:.0}w"), Policy::FixedCap(cap)));
+    }
+    println!(
+        "campaign : {} jobs, seed {}, {} partitions x {} nodes ({:.0} kW each), {} shard(s)",
+        spec.jobs,
+        spec.seed,
+        spec.partitions,
+        spec.nodes_per_partition,
+        spec.partition_budget_w / 1e3,
+        shards
+    );
+    println!();
+    println!(
+        "{:<14} {:>8} {:>10} {:>9} {:>9} {:>10} {:>10} {:>9} {:>9}",
+        "policy",
+        "jobs/h",
+        "makespan",
+        "peak kW",
+        "mean kW",
+        "energy MJ",
+        "e_p50 MJ",
+        "slow p50",
+        "slow p90"
+    );
+    let t0 = std::time::Instant::now();
+    for (name, policy) in &policies {
+        let out = campaign::run(&spec, *policy, shards);
+        println!(
+            "{:<14} {:>8.1} {:>9.2}h {:>9.1} {:>9.1} {:>10.1} {:>10.3} {:>9.3} {:>9.3}",
+            name,
+            out.throughput_per_hour(),
+            out.merged.makespan_s / 3600.0,
+            out.merged.peak_power_w / 1e3,
+            out.merged.mean_power_w / 1e3,
+            out.total_energy_j / 1e6,
+            out.energy_j.p50 / 1e6,
+            out.slowdown.p50,
+            out.slowdown.p90
+        );
+    }
+    println!();
+    println!(
+        "simulated {} policy runs in {:.2} s wall",
+        policies.len(),
+        t0.elapsed().as_secs_f64()
+    );
+    Ok(())
+}
+
 /// Re-run `target` with the pinned baseline recipe, diff its per-phase
 /// trace aggregates against the stored baseline, and print the ranked
 /// triage table. Exits 1 when a significant regression is found.
 fn cmd_trace_diff(p: &Parsed) -> Result<(), String> {
     let target = p.positional.first().ok_or("trace diff needs a target")?;
+    // The campaign baseline is a pinned recipe of its own, not one of the
+    // Table I benchmarks: it has no perturbable protocol phases.
+    if target == campaign::BASELINE_NAME {
+        if flag_perturb(p)?.is_some() {
+            return Err("--perturb applies to protocol benchmarks, not the campaign".into());
+        }
+        let path = bench_out_path();
+        let base = load_baseline(&path, flight::BASELINE_GROUP, campaign::BASELINE_NAME)?;
+        println!(
+            "baseline : {path} / {} / {} ({} repeat sample(s))",
+            flight::BASELINE_GROUP,
+            campaign::BASELINE_NAME,
+            base.samples.len()
+        );
+        println!("re-run   : pinned campaign recipe (unperturbed)");
+        let current = campaign::capture_baseline(flight::SESSION_CAPACITY);
+        let d = trace_diff(&base, &current, &DiffConfig::default());
+        return print_trace_diff(&d);
+    }
     let bench = resolve(target)?;
     let path = bench_out_path();
     let base = load_baseline(&path, flight::BASELINE_GROUP, bench.name())?;
@@ -726,6 +833,12 @@ fn cmd_trace_diff(p: &Parsed) -> Result<(), String> {
     }
     let (_m, current) = flight::capture(&bench, &cfg, &flight::baseline_ctx());
     let d = trace_diff(&base, &current, &DiffConfig::default());
+    print_trace_diff(&d)
+}
+
+/// Print the ranked diff table, counters and verdict; exits 1 on a
+/// significant regression.
+fn print_trace_diff(d: &vasp_power_profiles::stats::TraceDiff) -> Result<(), String> {
     println!("paired   : {} repeat(s) bootstrapped", d.paired_repeats);
     println!();
     println!(
@@ -793,9 +906,8 @@ fn cmd_trace_diff(p: &Parsed) -> Result<(), String> {
 
 /// Re-capture `target` with the pinned recipe and bless the result as the
 /// stored baseline, persisting `--tolerance` overrides next to it.
-fn cmd_trace_accept(p: &Parsed) -> Result<(), String> {
-    let target = p.positional.first().ok_or("trace accept needs a target")?;
-    let bench = resolve(target)?;
+/// Parse repeated `--tolerance PHASE:PCT` flags into span-name fractions.
+fn parse_tolerances(p: &Parsed) -> Result<BTreeMap<String, f64>, String> {
     let mut tolerances = BTreeMap::new();
     for v in p.values("tolerance") {
         let (span, pct) = v
@@ -821,6 +933,26 @@ fn cmd_trace_accept(p: &Parsed) -> Result<(), String> {
         }
         tolerances.insert(name, pct / 100.0);
     }
+    Ok(tolerances)
+}
+
+fn cmd_trace_accept(p: &Parsed) -> Result<(), String> {
+    let target = p.positional.first().ok_or("trace accept needs a target")?;
+    if target == campaign::BASELINE_NAME {
+        let mut baseline = campaign::capture_baseline(flight::SESSION_CAPACITY);
+        baseline.tolerances = parse_tolerances(p)?;
+        let path = bench_out_path();
+        store_baseline(&path, flight::BASELINE_GROUP, campaign::BASELINE_NAME, &baseline)?;
+        println!(
+            "blessed  : {path} / {} / {} ({} repeat sample(s))",
+            flight::BASELINE_GROUP,
+            campaign::BASELINE_NAME,
+            baseline.samples.len()
+        );
+        return Ok(());
+    }
+    let bench = resolve(target)?;
+    let tolerances = parse_tolerances(p)?;
     let (_m, mut baseline) =
         flight::capture(&bench, &flight::baseline_cfg(), &flight::baseline_ctx());
     baseline.tolerances = tolerances;
