@@ -17,9 +17,11 @@
 pub mod benchmarks;
 pub mod experiments;
 pub mod flight;
+pub mod jobs;
 pub mod plot;
 pub mod predict;
 pub mod protocol;
 
 pub use benchmarks::{suite, Benchmark};
+pub use jobs::{ProtocolJobHandler, ServiceJobSpec};
 pub use protocol::{measure, Measured, RunConfig, StudyContext};

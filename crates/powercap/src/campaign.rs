@@ -27,6 +27,7 @@
 use crate::scheduler::{BatchJob, CapResponse, Policy, ScheduleOutcome, Scheduler, WorkloadClass};
 use std::collections::BTreeMap;
 use vpp_substrate::bench::TraceBaseline;
+use vpp_substrate::json::Value;
 use vpp_substrate::{par_map, span, trace, Rng};
 
 /// Shape of a synthetic campaign: how many jobs, over what machine.
@@ -150,6 +151,11 @@ fn synth_response(rng: &mut Rng, class: WorkloadClass) -> CapResponse {
 }
 
 /// Five-number-plus-mean summary of a per-job metric distribution.
+///
+/// An empty job set has no statistics: every field is NaN (checkable via
+/// [`Distribution::is_empty`]) and [`Distribution::to_json`] serialises
+/// it as nulls — previously it reported `p50: 0.0`, indistinguishable
+/// from a campaign whose jobs really all scored zero.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Distribution {
     pub min: f64,
@@ -161,34 +167,53 @@ pub struct Distribution {
 }
 
 impl Distribution {
-    /// Summarise `values` (empty input yields all zeros).
+    /// Summarise `values`; an empty input yields the all-NaN sentinel.
+    ///
+    /// Quantiles come from [`vpp_stats::describe::quantile`], whose contract —
+    /// panic on an empty slice — is exactly why the empty case must be
+    /// screened here rather than mapped to zeros (consistency pinned in
+    /// `empty_distributions_are_nan_not_zero`).
     #[must_use]
-    pub fn summarise(mut values: Vec<f64>) -> Self {
+    pub fn summarise(values: Vec<f64>) -> Self {
         if values.is_empty() {
             return Self {
-                min: 0.0,
-                p10: 0.0,
-                p50: 0.0,
-                p90: 0.0,
-                max: 0.0,
-                mean: 0.0,
+                min: f64::NAN,
+                p10: f64::NAN,
+                p50: f64::NAN,
+                p90: f64::NAN,
+                max: f64::NAN,
+                mean: f64::NAN,
             };
         }
-        values.sort_by(f64::total_cmp);
-        let q = |p: f64| {
-            let h = p * (values.len() - 1) as f64;
-            let lo = h.floor() as usize;
-            let hi = h.ceil() as usize;
-            values[lo] + (values[hi] - values[lo]) * (h - lo as f64)
-        };
         Self {
-            min: values[0],
-            p10: q(0.10),
-            p50: q(0.50),
-            p90: q(0.90),
-            max: values[values.len() - 1],
+            min: values.iter().copied().fold(f64::INFINITY, f64::min),
+            p10: vpp_stats::describe::quantile(&values, 0.10),
+            p50: vpp_stats::describe::quantile(&values, 0.50),
+            p90: vpp_stats::describe::quantile(&values, 0.90),
+            max: values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
             mean: values.iter().sum::<f64>() / values.len() as f64,
         }
+    }
+
+    /// True for the summary of an empty job set (all fields NaN).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.p50.is_nan()
+    }
+
+    /// JSON document; NaN fields (the empty sentinel) become `null`,
+    /// which is also the only encoding `Value` can give NaN.
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        let field = |x: f64| if x.is_nan() { Value::Null } else { Value::Num(x) };
+        Value::Obj(vec![
+            ("min".to_string(), field(self.min)),
+            ("p10".to_string(), field(self.p10)),
+            ("p50".to_string(), field(self.p50)),
+            ("p90".to_string(), field(self.p90)),
+            ("max".to_string(), field(self.max)),
+            ("mean".to_string(), field(self.mean)),
+        ])
     }
 }
 
@@ -498,8 +523,28 @@ mod tests {
         assert_eq!(d.max, 4.0);
         assert!((d.p50 - 2.5).abs() < 1e-12);
         assert!((d.mean - 2.5).abs() < 1e-12);
+        assert!(!d.is_empty());
+        // Quantiles delegate to the shared vpp_stats implementation.
+        assert_eq!(d.p10, vpp_stats::describe::quantile(&[1.0, 2.0, 3.0, 4.0], 0.10));
+    }
+
+    #[test]
+    fn empty_distributions_are_nan_not_zero() {
         let empty = Distribution::summarise(Vec::new());
-        assert_eq!(empty.max, 0.0);
+        assert!(empty.is_empty());
+        for x in [empty.min, empty.p10, empty.p50, empty.p90, empty.max, empty.mean] {
+            assert!(x.is_nan(), "empty stats must be unrepresentable as data");
+        }
+        // ...and the JSON form is nulls, never a fake zero.
+        let doc = empty.to_json();
+        assert_eq!(doc.get("p50"), Some(&Value::Null));
+        assert_eq!(doc.get("mean"), Some(&Value::Null));
+        let real = Distribution::summarise(vec![0.0, 0.0]).to_json();
+        assert_eq!(real.get("p50"), Some(&Value::Num(0.0)), "true zeros stay numeric");
+        // The screened-out case is exactly vpp_stats::describe::quantile's panic
+        // contract — the two layers agree that empty has no quantiles.
+        let panics = std::panic::catch_unwind(|| vpp_stats::describe::quantile(&[], 0.5));
+        assert!(panics.is_err(), "quantile must reject empty slices");
     }
 
     #[test]

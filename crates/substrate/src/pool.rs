@@ -76,6 +76,25 @@ where
         .collect()
 }
 
+/// Run `f` with this thread marked as pool-owned, so any [`par_map`]
+/// issued inside runs inline on the calling thread instead of fanning out.
+///
+/// This is how a job-service session keeps a whole workload on its one
+/// bound thread: the thread-local trace binding and the span stack are
+/// per-thread, so inner parallelism would escape the session's recorder.
+/// Concurrency then comes from running many sessions, not from threads
+/// within one. The previous mark is restored on exit (nesting is safe).
+pub fn serial<R>(f: impl FnOnce() -> R) -> R {
+    struct Restore(bool);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            IN_POOL.with(|flag| flag.set(self.0));
+        }
+    }
+    let _restore = Restore(IN_POOL.with(|flag| flag.replace(true)));
+    f()
+}
+
 /// Borrowing variant of [`par_map`]: map `f` over `&items` in parallel,
 /// preserving input order.
 pub fn par_map_ref<'a, T, U, F>(items: &'a [T], f: F) -> Vec<U>
@@ -144,6 +163,20 @@ mod tests {
         });
         assert_eq!(out.len(), 8);
         assert_eq!(out[2], 20 + 21 + 22 + 23);
+    }
+
+    #[test]
+    fn serial_scope_keeps_par_map_on_the_calling_thread() {
+        let caller = std::thread::current().id();
+        let out = serial(|| {
+            par_map((0..32).collect::<Vec<u32>>(), |i| {
+                assert_eq!(std::thread::current().id(), caller);
+                i * 2
+            })
+        });
+        assert_eq!(out[31], 62);
+        // The mark is restored: a later par_map may fan out again.
+        assert!(!IN_POOL.with(Cell::get));
     }
 
     #[test]

@@ -1,41 +1,65 @@
-//! Zero-dependency observability server (DESIGN.md §3.7).
+//! Zero-dependency multi-tenant simulation service (DESIGN.md §3.7).
 //!
-//! A minimal HTTP/1.1 exposition endpoint over [`std::net::TcpListener`],
-//! modelled on the pull-based collector stacks the paper's methodology
-//! uses out-of-band (Cray PM → LDMS → OMNI): a scraper polls the process
-//! instead of the process pushing samples. Three read-only endpoints:
+//! A minimal HTTP/1.1 server over [`std::net::TcpListener`], modelled on
+//! the pull-based collector stacks the paper's methodology uses
+//! out-of-band (Cray PM → LDMS → OMNI): scrapers poll the process instead
+//! of the process pushing samples. On top of the original read-only
+//! observability endpoints, the server runs a bounded **job service**:
 //!
-//! * `GET /metrics` — Prometheus text exposition (version 0.0.4) of the
-//!   live trace session ([`trace::live_metrics`]) plus the server's own
-//!   `vpp_up` / `vpp_serve_*` series. Works with no session active.
-//! * `GET /healthz` — JSON run state (`idle` / `running` / `done`),
-//!   workload name, uptime, request and run counters.
-//! * `GET /trace?format=json|jsonl|csv` — the in-flight session's
-//!   [`trace::live_report`] rendered through
-//!   [`ExportFormat`](trace::ExportFormat); `503` when no session is
-//!   active, `400` on formats that are not servable snapshots (`tree` is
-//!   interactive-only, `prom` lives at `/metrics`).
+//! * `POST /jobs` — submit a JSON job spec. The spec is validated by the
+//!   installed [`JobHandler`] (the binary wires one that checks specs
+//!   against the benchmark recipes), assigned an id and a dedicated
+//!   [`trace::LocalSession`], and queued. At most `max_sessions` jobs run
+//!   concurrently, each on its own thread with the session bound to it,
+//!   so concurrent jobs produce disjoint traces. Replies `201` with a
+//!   `Location` header and the job's status document.
+//! * `GET /jobs` — registry listing: per-job id/state/workload plus
+//!   running/queued counts.
+//! * `GET /jobs/<id>` — full status: spec, state, timings, trace
+//!   admission stats, result or error.
+//! * `GET /jobs/<id>/trace?after=SEQ&limit=N` — **cursor-streamed**
+//!   trace: a bounded jsonl chunk of events with `seq >= SEQ`, plus
+//!   `X-Vpp-Next-Cursor` (pass back as `after`), `X-Vpp-More` (events
+//!   beyond the chunk were already visible) and `X-Vpp-Job-State`
+//!   headers. A follower polls until the state is terminal and `more` is
+//!   false; each event is delivered exactly once across chunks, and no
+//!   poll re-serialises the whole log.
+//! * `GET /jobs/<id>/metrics` — the job session's own Prometheus
+//!   exposition (counters, gauges, span summaries, admission stats).
 //!
-//! Design constraints, in order: **never perturb the run** (requests read
-//! non-draining snapshots; the accept loop is a fixed two-worker scoped
-//! pool, the same bounded-thread idiom as [`crate::pool`]), **shut down
-//! leak-free** ([`ServeHandle::shutdown`] joins every thread; the
-//! listener is non-blocking and polled, so workers notice the flag within
-//! one poll interval without wake-up connections), and **stay std-only**
-//! (hand-rolled request-line parser, bounded header read, fixed
-//! `Content-Length` responses with `Connection: close`).
+//! The original endpoints remain: `GET /metrics` (process exposition —
+//! global session plus `vpp_up` / `vpp_serve_*` self-series), `GET
+//! /healthz` (JSON run state) and `GET /trace?format=json|jsonl|csv`
+//! (whole-log snapshot of the *global* session). With `federate` peers
+//! configured, `/metrics` additionally scrapes each peer's `/metrics`
+//! and merges the expositions into one document, tagging every peer
+//! sample with a `peer="..."` label and reporting reachability as
+//! `vpp_federate_peer_up`.
+//!
+//! Every `GET` route also answers `HEAD` with identical headers
+//! (including `Content-Length`) and no body, per RFC 9110 §9.3.2.
+//!
+//! Design constraints, in order: **never perturb a run** (reads are
+//! non-draining snapshots or bounded cursor chunks; the accept loop is a
+//! fixed two-worker scoped pool), **shut down leak-free**
+//! ([`ServeHandle::shutdown`] joins the acceptor, both workers and every
+//! job-runner thread), and **stay std-only** (hand-rolled request
+//! parser with bounded head and body, fixed `Content-Length` responses
+//! with `Connection: close`).
 
-use crate::json::Value;
-use crate::trace::{self, ExportFormat};
+use crate::json::{self, Value};
+use crate::pool;
+use crate::trace::{self, ExportFormat, LocalSession};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Connection workers sharing the accept loop. Scrapes are tiny and the
-/// endpoints are read-only, so two are plenty; the point is the bound.
+/// endpoints are cheap, so two are plenty; the point is the bound.
 const WORKERS: usize = 2;
 /// How often an idle worker re-checks the shutdown flag.
 const ACCEPT_POLL: Duration = Duration::from_millis(10);
@@ -43,6 +67,17 @@ const ACCEPT_POLL: Duration = Duration::from_millis(10);
 const IO_TIMEOUT: Duration = Duration::from_secs(2);
 /// Upper bound on the request head (request line + headers).
 const MAX_HEAD: usize = 16 * 1024;
+/// Upper bound on a request body (job specs are small documents).
+const MAX_BODY: usize = 256 * 1024;
+/// Event budget for each job's private trace session.
+const JOB_TRACE_CAPACITY: usize = 1 << 20;
+/// `/jobs/<id>/trace` chunk size when the query does not pick one.
+const TRACE_CHUNK_DEFAULT: usize = 512;
+/// Hard ceiling on a requested chunk size.
+const TRACE_CHUNK_MAX: usize = 4096;
+/// Concurrent job sessions unless [`ServeConfig::max_sessions`] says
+/// otherwise.
+const DEFAULT_MAX_SESSIONS: usize = 2;
 
 /// Where the instrumented run currently is, for `/healthz`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,6 +110,121 @@ impl RunState {
     }
 }
 
+/// Runs validated job specs for the service. The substrate stays
+/// workload-agnostic: the binary installs a handler that knows the
+/// benchmark recipes, and tests install synthetic ones.
+pub trait JobHandler: Send + Sync {
+    /// Check a submitted spec and return its normalised form, or a
+    /// human-readable rejection (`400` to the client).
+    ///
+    /// # Errors
+    /// A message describing why the spec is invalid.
+    fn validate(&self, spec: &Value) -> Result<Value, String>;
+
+    /// Execute a validated spec and return the result document. Called on
+    /// a dedicated thread with the job's [`LocalSession`] already bound,
+    /// so everything the run instruments lands in the job's own trace.
+    ///
+    /// # Errors
+    /// A message describing the failure (`failed` state on the job).
+    fn run(&self, spec: &Value) -> Result<Value, String>;
+}
+
+/// Lifecycle of one submitted job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum JobState {
+    Queued,
+    Running,
+    Done,
+    Failed,
+}
+
+impl JobState {
+    fn as_str(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+        }
+    }
+
+    fn terminal(self) -> bool {
+        matches!(self, JobState::Done | JobState::Failed)
+    }
+}
+
+/// One registered job: spec, lifecycle, private trace session, outcome.
+struct JobEntry {
+    spec: Value,
+    state: JobState,
+    session: LocalSession,
+    result: Option<Value>,
+    error: Option<String>,
+    submitted_s: f64,
+    started_s: Option<f64>,
+    finished_s: Option<f64>,
+}
+
+/// Session registry: all jobs ever submitted, the admission queue, and
+/// the runner threads that shutdown must join.
+#[derive(Default)]
+struct Registry {
+    next_id: u64,
+    jobs: BTreeMap<u64, JobEntry>,
+    queue: VecDeque<u64>,
+    running: usize,
+    runners: Vec<JoinHandle<()>>,
+}
+
+/// Server configuration for [`serve_with`].
+pub struct ServeConfig {
+    /// Port to bind on 127.0.0.1 (`0` picks an ephemeral port).
+    pub port: u16,
+    /// Concurrent job sessions; further jobs queue.
+    pub max_sessions: usize,
+    /// Peer `/metrics` endpoints to scrape and merge into this
+    /// instance's exposition (`host:port` or `http://host:port[/path]`).
+    pub federate: Vec<String>,
+    /// Executes `POST /jobs` submissions; without one the job endpoints
+    /// answer `503`.
+    pub handler: Option<Arc<dyn JobHandler>>,
+}
+
+impl ServeConfig {
+    /// Defaults: no federation, no handler, two concurrent sessions.
+    #[must_use]
+    pub fn new(port: u16) -> ServeConfig {
+        ServeConfig {
+            port,
+            max_sessions: DEFAULT_MAX_SESSIONS,
+            federate: Vec::new(),
+            handler: None,
+        }
+    }
+
+    /// Cap concurrent job sessions (clamped to at least 1).
+    #[must_use]
+    pub fn max_sessions(mut self, n: usize) -> ServeConfig {
+        self.max_sessions = n.max(1);
+        self
+    }
+
+    /// Scrape-and-merge these peers into `/metrics`.
+    #[must_use]
+    pub fn federate(mut self, peers: Vec<String>) -> ServeConfig {
+        self.federate = peers;
+        self
+    }
+
+    /// Install the job handler backing `POST /jobs`.
+    #[must_use]
+    pub fn handler(mut self, handler: Arc<dyn JobHandler>) -> ServeConfig {
+        self.handler = Some(handler);
+        self
+    }
+}
+
 /// State shared between the handle and the worker threads.
 struct Shared {
     started: Instant,
@@ -84,23 +234,46 @@ struct Shared {
     runs_completed: AtomicU64,
     runs_total: AtomicU64,
     workload: Mutex<String>,
+    max_sessions: usize,
+    federate: Vec<String>,
+    handler: Option<Arc<dyn JobHandler>>,
+    jobs: Mutex<Registry>,
+    jobs_submitted: AtomicU64,
+    jobs_completed: AtomicU64,
+    jobs_failed: AtomicU64,
 }
 
-/// A running observability server. Dropping the handle (or calling
+impl Shared {
+    fn uptime_s(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+}
+
+/// A running service. Dropping the handle (or calling
 /// [`ServeHandle::shutdown`]) stops the accept loop and joins every
-/// worker thread — no listener threads survive the handle.
+/// worker and job-runner thread — no server threads survive the handle.
 pub struct ServeHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
     acceptor: Option<JoinHandle<()>>,
 }
 
-/// Bind `127.0.0.1:port` (`0` picks an ephemeral port) and start serving.
+/// Bind `127.0.0.1:port` (`0` picks an ephemeral port) and start serving
+/// the observability endpoints with default [`ServeConfig`] (no job
+/// handler, no federation).
 ///
 /// # Errors
 /// Propagates the bind failure (port in use, permission).
 pub fn serve(port: u16) -> std::io::Result<ServeHandle> {
-    let listener = TcpListener::bind(("127.0.0.1", port))?;
+    serve_with(ServeConfig::new(port))
+}
+
+/// Bind and start serving with an explicit configuration.
+///
+/// # Errors
+/// Propagates the bind failure (port in use, permission).
+pub fn serve_with(cfg: ServeConfig) -> std::io::Result<ServeHandle> {
+    let listener = TcpListener::bind(("127.0.0.1", cfg.port))?;
     // Non-blocking accept + poll: shutdown needs no wake-up connection
     // and cannot race one worker stealing another's wake.
     listener.set_nonblocking(true)?;
@@ -113,6 +286,13 @@ pub fn serve(port: u16) -> std::io::Result<ServeHandle> {
         runs_completed: AtomicU64::new(0),
         runs_total: AtomicU64::new(0),
         workload: Mutex::new(String::new()),
+        max_sessions: cfg.max_sessions,
+        federate: cfg.federate,
+        handler: cfg.handler,
+        jobs: Mutex::new(Registry::default()),
+        jobs_submitted: AtomicU64::new(0),
+        jobs_completed: AtomicU64::new(0),
+        jobs_failed: AtomicU64::new(0),
     });
     let worker_shared = Arc::clone(&shared);
     let acceptor = std::thread::Builder::new()
@@ -156,7 +336,7 @@ impl ServeHandle {
 
     /// Name the workload and how many runs `/healthz` should expect.
     pub fn set_workload(&self, name: &str, runs_total: u64) {
-        *lock_str(&self.shared.workload) = name.to_string();
+        *lock(&self.shared.workload) = name.to_string();
         self.shared.runs_total.store(runs_total, Ordering::SeqCst);
     }
 
@@ -171,8 +351,16 @@ impl ServeHandle {
         self.shared.requests.load(Ordering::SeqCst)
     }
 
-    /// Stop accepting, drain the workers and join every thread. Returns
-    /// once no server thread remains.
+    /// Jobs in terminal states (done + failed) so far.
+    #[must_use]
+    pub fn jobs_finished(&self) -> u64 {
+        self.shared.jobs_completed.load(Ordering::SeqCst)
+            + self.shared.jobs_failed.load(Ordering::SeqCst)
+    }
+
+    /// Stop accepting, drain the workers, join every thread (including
+    /// job runners — in-flight jobs run to completion, queued jobs never
+    /// start). Returns once no server thread remains.
     pub fn shutdown(mut self) {
         self.stop();
     }
@@ -185,6 +373,21 @@ impl ServeHandle {
                 eprintln!("vpp-serve: worker thread panicked during shutdown");
             }
         }
+        // A finishing runner can spawn a successor through pump() right up
+        // to the moment the flag lands, so drain until the list stays
+        // empty. Handles are taken with the lock released before joining:
+        // runners take the registry lock on their way out.
+        loop {
+            let handles = std::mem::take(&mut lock(&self.shared.jobs).runners);
+            if handles.is_empty() {
+                break;
+            }
+            for h in handles {
+                if h.join().is_err() {
+                    eprintln!("vpp-serve: job runner panicked");
+                }
+            }
+        }
     }
 }
 
@@ -194,11 +397,11 @@ impl Drop for ServeHandle {
     }
 }
 
-fn lock_str(m: &Mutex<String>) -> std::sync::MutexGuard<'_, String> {
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
-fn worker(listener: &TcpListener, shared: &Shared) {
+fn worker(listener: &TcpListener, shared: &Arc<Shared>) {
     loop {
         if shared.shutdown.load(Ordering::SeqCst) {
             return;
@@ -213,50 +416,125 @@ fn worker(listener: &TcpListener, shared: &Shared) {
     }
 }
 
-fn handle_connection(mut stream: TcpStream, shared: &Shared) {
+fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
     // Accepted sockets inherit nothing useful from the non-blocking
     // listener on Linux, but make the contract explicit either way.
     let _ = stream.set_nonblocking(false);
     let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
     let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
-    let Some((method, target)) = read_request_head(&mut stream) else {
-        return; // malformed, oversized or timed-out request head
+    let req = match read_request(&mut stream) {
+        Ok(req) => req,
+        Err(Some(resp)) => {
+            // The request was understood well enough to answer (431/413);
+            // silently dropping it would leave the client guessing.
+            let _ = write_response(&mut stream, &resp, false);
+            return;
+        }
+        Err(None) => return, // malformed or disconnected: nothing to say
     };
     shared.requests.fetch_add(1, Ordering::SeqCst);
-    let response = route(&method, &target, shared);
-    let _ = write_response(&mut stream, &response);
+    let head_only = req.method == "HEAD";
+    let response = route(&req, shared);
+    let _ = write_response(&mut stream, &response, head_only);
 }
 
-/// Read until the blank line ending the header block and parse the
-/// request line. `None` on malformed input; the connection is just
-/// dropped (a scraper retries, and there is nothing useful to say).
-fn read_request_head(stream: &mut TcpStream) -> Option<(String, String)> {
+/// A parsed request: line, relevant headers, body.
+struct Request {
+    method: String,
+    target: String,
+    body: Vec<u8>,
+}
+
+/// Read and parse one request. `Err(Some(response))` is an error the
+/// client should see (oversized head → `431`, oversized body → `413`);
+/// `Err(None)` means the connection is just dropped (malformed beyond
+/// answering, or the peer went away).
+fn read_request(stream: &mut TcpStream) -> Result<Request, Option<Response>> {
     let mut head = Vec::new();
     let mut chunk = [0u8; 1024];
-    while !contains_blank_line(&head) {
+    let mut oversized = false;
+    let head_end = loop {
+        if let Some(end) = head_terminator(&head) {
+            break Some(end);
+        }
         if head.len() > MAX_HEAD {
-            return None;
+            // Answer 431 rather than silently dropping — but keep reading
+            // (to a hard cap) so a client that is still sending sees our
+            // response instead of a reset from closing on unread bytes.
+            oversized = true;
+            if head.len() > 16 * MAX_HEAD {
+                break None;
+            }
         }
         match stream.read(&mut chunk) {
-            Ok(0) => break,
+            Ok(0) => break None,
             Ok(n) => head.extend_from_slice(&chunk[..n]),
-            Err(_) => return None,
+            Err(_) => return Err(None),
+        }
+    };
+    if oversized {
+        return Err(Some(Response::text(
+            431,
+            "Request Header Fields Too Large",
+            format!("request head exceeds {MAX_HEAD} bytes\n"),
+        )));
+    }
+    let Some(head_end) = head_end else {
+        return Err(None);
+    };
+    let (head_bytes, rest) = head.split_at(head_end);
+    let text = String::from_utf8_lossy(head_bytes);
+    let mut lines = text.lines();
+    let request_line = lines.next().ok_or(None)?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().ok_or(None)?.to_string();
+    let target = parts.next().ok_or(None)?.to_string();
+    let version = parts.next().ok_or(None)?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(None);
+    }
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().map_err(|_| None)?;
+            }
         }
     }
-    let text = String::from_utf8_lossy(&head);
-    let request_line = text.lines().next()?;
-    let mut parts = request_line.split_whitespace();
-    let method = parts.next()?.to_string();
-    let target = parts.next()?.to_string();
-    let version = parts.next()?;
-    if !version.starts_with("HTTP/1.") {
-        return None;
+    if content_length > MAX_BODY {
+        return Err(Some(Response::text(
+            413,
+            "Content Too Large",
+            format!("request body exceeds {MAX_BODY} bytes\n"),
+        )));
     }
-    Some((method, target))
+    // Bytes past the terminator already read are the body's prefix.
+    let mut body = rest.to_vec();
+    while body.len() < content_length {
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err(None),
+            Ok(n) => body.extend_from_slice(&chunk[..n]),
+            Err(_) => return Err(None),
+        }
+    }
+    body.truncate(content_length);
+    Ok(Request {
+        method,
+        target,
+        body,
+    })
 }
 
-fn contains_blank_line(buf: &[u8]) -> bool {
-    buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.windows(2).any(|w| w == b"\n\n")
+/// Index just past the blank line ending the header block, accepting both
+/// `\r\n\r\n` and the bare-`\n\n` form lenient clients send (RFC 9112
+/// §2.2 recommends tolerating a missing CR).
+fn head_terminator(buf: &[u8]) -> Option<usize> {
+    let crlf = buf.windows(4).position(|w| w == b"\r\n\r\n").map(|i| i + 4);
+    let lf = buf.windows(2).position(|w| w == b"\n\n").map(|i| i + 2);
+    match (crlf, lf) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, b) => a.or(b),
+    }
 }
 
 struct Response {
@@ -264,6 +542,7 @@ struct Response {
     reason: &'static str,
     content_type: &'static str,
     allow: Option<&'static str>,
+    headers: Vec<(&'static str, String)>,
     body: String,
 }
 
@@ -274,12 +553,29 @@ impl Response {
             reason,
             content_type: "text/plain; charset=utf-8",
             allow: None,
+            headers: Vec::new(),
             body: body.into(),
+        }
+    }
+
+    fn json(status: u16, reason: &'static str, doc: &Value) -> Response {
+        let mut body = doc.pretty();
+        body.push('\n');
+        Response {
+            status,
+            reason,
+            content_type: "application/json",
+            allow: None,
+            headers: Vec::new(),
+            body,
         }
     }
 }
 
-fn write_response(stream: &mut TcpStream, r: &Response) -> std::io::Result<()> {
+/// Write `r`; for a HEAD request (`head_only`) the status line and
+/// headers — including the `Content-Length` the GET would have — go out
+/// with no body, per RFC 9110 §9.3.2.
+fn write_response(stream: &mut TcpStream, r: &Response, head_only: bool) -> std::io::Result<()> {
     let mut head = format!(
         "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
         r.status,
@@ -292,49 +588,457 @@ fn write_response(stream: &mut TcpStream, r: &Response) -> std::io::Result<()> {
         head.push_str(allow);
         head.push_str("\r\n");
     }
+    for (name, value) in &r.headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
     head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
-    stream.write_all(r.body.as_bytes())?;
+    if !head_only {
+        stream.write_all(r.body.as_bytes())?;
+    }
     stream.flush()
 }
 
-fn route(method: &str, target: &str, shared: &Shared) -> Response {
-    let (path, query) = target.split_once('?').unwrap_or((target, ""));
-    if method != "GET" {
+/// Methods a known path answers; `None` means the path does not exist.
+fn allowed_methods(path: &str) -> Option<&'static str> {
+    match path {
+        "/metrics" | "/healthz" | "/trace" => Some("GET, HEAD"),
+        "/jobs" => Some("GET, HEAD, POST"),
+        p => job_subpath(p).map(|_| "GET, HEAD"),
+    }
+}
+
+/// Parse `/jobs/<id>[/trace|/metrics]` into `(id, subresource)`.
+fn job_subpath(path: &str) -> Option<(u64, Option<&str>)> {
+    let rest = path.strip_prefix("/jobs/")?;
+    let mut segments = rest.split('/');
+    let id: u64 = segments.next()?.parse().ok()?;
+    let sub = segments.next();
+    if segments.next().is_some() {
+        return None;
+    }
+    match sub {
+        None | Some("trace") | Some("metrics") => Some((id, sub)),
+        Some(_) => None,
+    }
+}
+
+fn route(req: &Request, shared: &Arc<Shared>) -> Response {
+    let (path, query) = req.target.split_once('?').unwrap_or((&*req.target, ""));
+    let Some(allow) = allowed_methods(path) else {
+        return Response::text(
+            404,
+            "Not Found",
+            "not found; endpoints: /metrics /healthz /trace?format=json|jsonl|csv \
+             /jobs /jobs/<id> /jobs/<id>/trace?after=SEQ /jobs/<id>/metrics\n",
+        );
+    };
+    if !allow.split(", ").any(|m| m == req.method) {
         let mut r = Response::text(405, "Method Not Allowed", "method not allowed\n");
-        r.allow = Some("GET");
+        r.allow = Some(allow);
         return r;
     }
-    match path {
-        "/metrics" => Response {
+    // HEAD takes the GET path; write_response withholds the body.
+    let method = if req.method == "HEAD" { "GET" } else { &*req.method };
+    match (method, path) {
+        ("GET", "/metrics") => Response {
             status: 200,
             reason: "OK",
             content_type: ExportFormat::Prom.content_type(),
             allow: None,
+            headers: Vec::new(),
             body: metrics_body(shared),
         },
-        "/healthz" => Response {
+        ("GET", "/healthz") => Response {
             status: 200,
             reason: "OK",
             content_type: "application/json",
             allow: None,
+            headers: Vec::new(),
             body: healthz_body(shared),
         },
-        "/trace" => trace_response(query),
-        _ => Response::text(
-            404,
-            "Not Found",
-            "not found; endpoints: /metrics /healthz /trace?format=json|jsonl|csv\n",
-        ),
+        ("GET", "/trace") => trace_response(query),
+        ("POST", "/jobs") => post_job(&req.body, shared),
+        ("GET", "/jobs") => jobs_list(shared),
+        ("GET", _) => {
+            let (id, sub) = job_subpath(path).expect("allowed_methods admitted the path");
+            match sub {
+                None => job_status(id, shared),
+                Some("trace") => job_trace(id, query, shared),
+                Some("metrics") => job_metrics(id, shared),
+                Some(_) => unreachable!("job_subpath rejects other subresources"),
+            }
+        }
+        _ => unreachable!("allow list covers every dispatched method"),
     }
 }
 
-/// Live session exposition plus the server's own series. The session part
-/// is empty (not an error) when no recorder is installed, so a scraper
-/// configured before the run starts sees `vpp_up 1` immediately.
-fn metrics_body(shared: &Shared) -> String {
+// ---------------------------------------------------------------------------
+// Job service
+// ---------------------------------------------------------------------------
+
+fn post_job(body: &[u8], shared: &Arc<Shared>) -> Response {
+    let Some(handler) = shared.handler.clone() else {
+        return Response::text(
+            503,
+            "Service Unavailable",
+            "no job handler installed; start the service via `vpp serve`\n",
+        );
+    };
+    let Ok(text) = std::str::from_utf8(body) else {
+        return Response::text(400, "Bad Request", "job spec is not UTF-8\n");
+    };
+    let spec = match json::parse(text) {
+        Ok(v) => v,
+        Err(e) => return Response::text(400, "Bad Request", format!("job spec is not JSON: {e}\n")),
+    };
+    let normalised = match handler.validate(&spec) {
+        Ok(v) => v,
+        Err(e) => return Response::text(400, "Bad Request", format!("invalid job spec: {e}\n")),
+    };
+    let id = {
+        let mut reg = lock(&shared.jobs);
+        let id = reg.next_id;
+        reg.next_id += 1;
+        reg.jobs.insert(
+            id,
+            JobEntry {
+                spec: normalised,
+                state: JobState::Queued,
+                session: trace::local_session(JOB_TRACE_CAPACITY),
+                result: None,
+                error: None,
+                submitted_s: shared.uptime_s(),
+                started_s: None,
+                finished_s: None,
+            },
+        );
+        reg.queue.push_back(id);
+        id
+    };
+    shared.jobs_submitted.fetch_add(1, Ordering::SeqCst);
+    pump(shared);
+    let reg = lock(&shared.jobs);
+    let entry = reg.jobs.get(&id).expect("inserted above");
+    let mut resp = Response::json(201, "Created", &job_status_value(id, entry));
+    resp.headers.push(("Location", format!("/jobs/{id}")));
+    resp
+}
+
+/// Start queued jobs while session slots are free. Each runner gets its
+/// own thread (named like the server threads so the leak tests count it)
+/// and re-pumps when it finishes.
+fn pump(shared: &Arc<Shared>) {
+    let mut reg = lock(&shared.jobs);
+    while reg.running < shared.max_sessions && !shared.shutdown.load(Ordering::SeqCst) {
+        let Some(id) = reg.queue.pop_front() else {
+            break;
+        };
+        if let Some(entry) = reg.jobs.get_mut(&id) {
+            entry.state = JobState::Running;
+            entry.started_s = Some(shared.uptime_s());
+        }
+        reg.running += 1;
+        let runner_shared = Arc::clone(shared);
+        let handle = std::thread::Builder::new()
+            .name("vpp-serve".to_string())
+            .spawn(move || run_job(&runner_shared, id))
+            .expect("spawn job runner");
+        reg.runners.push(handle);
+    }
+}
+
+fn run_job(shared: &Arc<Shared>, id: u64) {
+    let handler = shared
+        .handler
+        .clone()
+        .expect("jobs only enqueue when a handler is installed");
+    let (session, spec) = {
+        let reg = lock(&shared.jobs);
+        let Some(entry) = reg.jobs.get(&id) else {
+            lock(&shared.jobs).running -= 1;
+            return;
+        };
+        (entry.session.clone(), entry.spec.clone())
+    };
+    // Bind the job's session to this thread and keep the whole workload
+    // here: pool::serial makes inner par_map fan-in, so instrumentation
+    // from every repeat lands in this job's recorder. Concurrency comes
+    // from running many sessions, not threads within one. catch_unwind
+    // keeps a panicking handler from stalling the queue (the binding is
+    // inside, so unwinding restores the thread's trace state).
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _bind = session.bind();
+        pool::serial(|| handler.run(&spec))
+    }));
+    {
+        let mut reg = lock(&shared.jobs);
+        if let Some(entry) = reg.jobs.get_mut(&id) {
+            entry.finished_s = Some(shared.uptime_s());
+            match outcome {
+                Ok(Ok(result)) => {
+                    entry.state = JobState::Done;
+                    entry.result = Some(result);
+                    shared.jobs_completed.fetch_add(1, Ordering::SeqCst);
+                }
+                Ok(Err(message)) => {
+                    entry.state = JobState::Failed;
+                    entry.error = Some(message);
+                    shared.jobs_failed.fetch_add(1, Ordering::SeqCst);
+                }
+                Err(_) => {
+                    entry.state = JobState::Failed;
+                    entry.error = Some("job handler panicked".to_string());
+                    shared.jobs_failed.fetch_add(1, Ordering::SeqCst);
+                }
+            }
+        }
+        reg.running -= 1;
+    }
+    pump(shared);
+}
+
+fn job_status_value(id: u64, entry: &JobEntry) -> Value {
+    let mut obj = vec![
+        ("id".to_string(), Value::Num(id as f64)),
+        (
+            "state".to_string(),
+            Value::Str(entry.state.as_str().to_string()),
+        ),
+        ("spec".to_string(), entry.spec.clone()),
+        (
+            "trace".to_string(),
+            Value::Obj(vec![
+                (
+                    "admitted".to_string(),
+                    Value::Num(entry.session.admitted() as f64),
+                ),
+                (
+                    "dropped".to_string(),
+                    Value::Num(entry.session.dropped() as f64),
+                ),
+            ]),
+        ),
+        ("submitted_s".to_string(), Value::Num(entry.submitted_s)),
+    ];
+    if let Some(t) = entry.started_s {
+        obj.push(("started_s".to_string(), Value::Num(t)));
+    }
+    if let Some(t) = entry.finished_s {
+        obj.push(("finished_s".to_string(), Value::Num(t)));
+    }
+    if let Some(result) = &entry.result {
+        obj.push(("result".to_string(), result.clone()));
+    }
+    if let Some(error) = &entry.error {
+        obj.push(("error".to_string(), Value::Str(error.clone())));
+    }
+    Value::Obj(obj)
+}
+
+fn jobs_list(shared: &Arc<Shared>) -> Response {
+    let reg = lock(&shared.jobs);
+    let jobs: Vec<Value> = reg
+        .jobs
+        .iter()
+        .map(|(id, entry)| {
+            let mut obj = vec![
+                ("id".to_string(), Value::Num(*id as f64)),
+                (
+                    "state".to_string(),
+                    Value::Str(entry.state.as_str().to_string()),
+                ),
+                ("submitted_s".to_string(), Value::Num(entry.submitted_s)),
+            ];
+            if let Some(Value::Str(w)) = entry.spec.get("workload") {
+                obj.push(("workload".to_string(), Value::Str(w.clone())));
+            }
+            Value::Obj(obj)
+        })
+        .collect();
+    let doc = Value::Obj(vec![
+        (
+            "max_sessions".to_string(),
+            Value::Num(shared.max_sessions as f64),
+        ),
+        ("running".to_string(), Value::Num(reg.running as f64)),
+        ("queued".to_string(), Value::Num(reg.queue.len() as f64)),
+        ("jobs".to_string(), Value::Arr(jobs)),
+    ]);
+    Response::json(200, "OK", &doc)
+}
+
+fn job_status(id: u64, shared: &Arc<Shared>) -> Response {
+    let reg = lock(&shared.jobs);
+    match reg.jobs.get(&id) {
+        Some(entry) => Response::json(200, "OK", &job_status_value(id, entry)),
+        None => Response::text(404, "Not Found", format!("no such job: {id}\n")),
+    }
+}
+
+/// Cursor-streamed jsonl over one job's live trace. `after` is the cursor
+/// from the previous chunk (0 for the first poll), `limit` bounds the
+/// chunk. The next cursor and whether more events were already visible
+/// travel as headers so the body stays pure jsonl.
+fn job_trace(id: u64, query: &str, shared: &Arc<Shared>) -> Response {
+    let params = match parse_query(query, &["after", "limit", "format"]) {
+        Ok(p) => p,
+        Err(e) => return Response::text(400, "Bad Request", format!("{e}\n")),
+    };
+    let mut after = 0u64;
+    let mut limit = TRACE_CHUNK_DEFAULT;
+    for (key, value) in &params {
+        match key.as_str() {
+            "after" => match value.parse() {
+                Ok(v) => after = v,
+                Err(_) => {
+                    return Response::text(
+                        400,
+                        "Bad Request",
+                        format!("'after' must be a cursor integer, got '{value}'\n"),
+                    )
+                }
+            },
+            "limit" => match value.parse::<usize>() {
+                Ok(v) if v >= 1 => limit = v.min(TRACE_CHUNK_MAX),
+                _ => {
+                    return Response::text(
+                        400,
+                        "Bad Request",
+                        format!("'limit' must be a positive integer, got '{value}'\n"),
+                    )
+                }
+            },
+            "format" => {
+                if value != "jsonl" {
+                    return Response::text(
+                        400,
+                        "Bad Request",
+                        format!("job traces stream as jsonl only, got '{value}'\n"),
+                    );
+                }
+            }
+            _ => unreachable!("parse_query rejects unknown keys"),
+        }
+    }
+    let (session, state) = {
+        let reg = lock(&shared.jobs);
+        match reg.jobs.get(&id) {
+            Some(entry) => (entry.session.clone(), entry.state),
+            None => return Response::text(404, "Not Found", format!("no such job: {id}\n")),
+        }
+    };
+    let chunk = session.events_after(after, limit);
+    let mut body = String::new();
+    for ev in &chunk.events {
+        body.push_str(&ev.to_json().compact());
+        body.push('\n');
+    }
+    Response {
+        status: 200,
+        reason: "OK",
+        content_type: ExportFormat::Jsonl.content_type(),
+        allow: None,
+        headers: vec![
+            ("X-Vpp-Next-Cursor", chunk.next.to_string()),
+            ("X-Vpp-More", chunk.more.to_string()),
+            ("X-Vpp-Job-State", state.as_str().to_string()),
+            ("X-Vpp-Dropped", session.dropped().to_string()),
+        ],
+        body,
+    }
+}
+
+fn job_metrics(id: u64, shared: &Arc<Shared>) -> Response {
+    let (session, state) = {
+        let reg = lock(&shared.jobs);
+        match reg.jobs.get(&id) {
+            Some(entry) => (entry.session.clone(), entry.state),
+            None => return Response::text(404, "Not Found", format!("no such job: {id}\n")),
+        }
+    };
+    let mut body = session.metrics_snapshot().to_prom();
+    body.push_str(&format!(
+        "# TYPE vpp_job_trace_events_admitted counter\nvpp_job_trace_events_admitted {}\n\
+         # TYPE vpp_job_trace_events_dropped counter\nvpp_job_trace_events_dropped {}\n\
+         # TYPE vpp_job_terminal gauge\nvpp_job_terminal {}\n",
+        session.admitted(),
+        session.dropped(),
+        u8::from(state.terminal()),
+    ));
+    Response {
+        status: 200,
+        reason: "OK",
+        content_type: ExportFormat::Prom.content_type(),
+        allow: None,
+        headers: Vec::new(),
+        body,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Query parsing
+// ---------------------------------------------------------------------------
+
+/// Strict query-string parse: every key must be in `allowed` (unknown
+/// keys are a client error, not a shrug), and `%XX` escapes in keys and
+/// values are decoded so values survive proxy re-encoding.
+fn parse_query(query: &str, allowed: &[&str]) -> Result<Vec<(String, String)>, String> {
+    let mut out = Vec::new();
+    for part in query.split('&').filter(|p| !p.is_empty()) {
+        let (key, value) = part.split_once('=').unwrap_or((part, ""));
+        let key = percent_decode(key)?;
+        let value = percent_decode(value)?;
+        if !allowed.contains(&key.as_str()) {
+            return Err(format!(
+                "unknown query key '{key}' (expected {})",
+                allowed.join("|")
+            ));
+        }
+        out.push((key, value));
+    }
+    Ok(out)
+}
+
+/// Decode `%XX` escapes (RFC 3986). Malformed escapes and non-UTF-8
+/// results are errors rather than passed through mangled.
+fn percent_decode(s: &str) -> Result<String, String> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            let hex = bytes
+                .get(i + 1..i + 3)
+                .and_then(|h| std::str::from_utf8(h).ok())
+                .ok_or_else(|| format!("truncated percent escape in '{s}'"))?;
+            let decoded = u8::from_str_radix(hex, 16)
+                .map_err(|_| format!("bad percent escape '%{hex}' in '{s}'"))?;
+            out.push(decoded);
+            i += 3;
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    String::from_utf8(out).map_err(|_| format!("'{s}' does not decode to UTF-8"))
+}
+
+// ---------------------------------------------------------------------------
+// Observability endpoints
+// ---------------------------------------------------------------------------
+
+/// Live session exposition plus the server's own series; with federation
+/// configured, peers' expositions are scraped and merged in with
+/// `peer="..."` labels. The session part is empty (not an error) when no
+/// recorder is installed, so a scraper configured before the run starts
+/// sees `vpp_up 1` immediately.
+fn metrics_body(shared: &Arc<Shared>) -> String {
     let mut out = trace::live_metrics().map(|m| m.to_prom()).unwrap_or_default();
-    let uptime = shared.started.elapsed().as_secs_f64();
+    let uptime = shared.uptime_s();
     out.push_str("# TYPE vpp_up gauge\nvpp_up 1\n");
     out.push_str(&format!(
         "# TYPE vpp_serve_uptime_seconds gauge\nvpp_serve_uptime_seconds {uptime}\n"
@@ -347,11 +1051,142 @@ fn metrics_body(shared: &Shared) -> String {
         "# TYPE vpp_serve_runs_completed_total counter\nvpp_serve_runs_completed_total {}\n",
         shared.runs_completed.load(Ordering::SeqCst)
     ));
+    out.push_str(&format!(
+        "# TYPE vpp_serve_jobs_submitted_total counter\nvpp_serve_jobs_submitted_total {}\n",
+        shared.jobs_submitted.load(Ordering::SeqCst)
+    ));
+    out.push_str(&format!(
+        "# TYPE vpp_serve_jobs_completed_total counter\nvpp_serve_jobs_completed_total {}\n",
+        shared.jobs_completed.load(Ordering::SeqCst)
+    ));
+    out.push_str(&format!(
+        "# TYPE vpp_serve_jobs_failed_total counter\nvpp_serve_jobs_failed_total {}\n",
+        shared.jobs_failed.load(Ordering::SeqCst)
+    ));
+    {
+        let reg = lock(&shared.jobs);
+        out.push_str(&format!(
+            "# TYPE vpp_serve_jobs_running gauge\nvpp_serve_jobs_running {}\n\
+             # TYPE vpp_serve_jobs_queued gauge\nvpp_serve_jobs_queued {}\n",
+            reg.running,
+            reg.queue.len()
+        ));
+    }
+    if !shared.federate.is_empty() {
+        merge_federated(&mut out, &shared.federate);
+    }
     out
 }
 
-fn healthz_body(shared: &Shared) -> String {
+/// Scrape each peer's exposition and append it with a `peer="..."` label
+/// on every sample. `# TYPE` lines are deduplicated against families this
+/// document already declared, so the merged exposition still parses under
+/// a strict "sample after its declaration" reader.
+fn merge_federated(out: &mut String, peers: &[String]) {
+    let mut declared: BTreeSet<String> = out
+        .lines()
+        .filter_map(|l| l.strip_prefix("# TYPE "))
+        .filter_map(|rest| rest.split_whitespace().next())
+        .map(str::to_string)
+        .collect();
+    out.push_str("# TYPE vpp_federate_peer_up gauge\n");
+    declared.insert("vpp_federate_peer_up".to_string());
+    let mut merged = String::new();
+    for peer in peers {
+        let up = match scrape_peer(peer) {
+            Ok(text) => {
+                merge_exposition(&mut merged, &mut declared, peer, &text);
+                1
+            }
+            Err(_) => 0,
+        };
+        out.push_str(&format!(
+            "vpp_federate_peer_up{{peer=\"{}\"}} {up}\n",
+            trace::prom_label_value(peer)
+        ));
+    }
+    out.push_str(&merged);
+}
+
+/// Fold one peer exposition into `merged`, labelling every sample with
+/// its origin. Comment lines other than undeclared `# TYPE`s are dropped.
+fn merge_exposition(
+    merged: &mut String,
+    declared: &mut BTreeSet<String>,
+    peer: &str,
+    text: &str,
+) {
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            if let Some(name) = rest.split_whitespace().next() {
+                if declared.insert(name.to_string()) {
+                    merged.push_str(line);
+                    merged.push('\n');
+                }
+            }
+            continue;
+        }
+        if line.starts_with('#') || line.is_empty() {
+            continue;
+        }
+        let Some((name_and_labels, value)) = line.rsplit_once(' ') else {
+            continue; // not a sample line; skip rather than corrupt
+        };
+        let peer_label = format!("peer=\"{}\"", trace::prom_label_value(peer));
+        let relabelled = match name_and_labels.split_once('{') {
+            Some((name, labels)) => format!("{name}{{{peer_label},{labels}"),
+            None => format!("{name_and_labels}{{{peer_label}}}"),
+        };
+        merged.push_str(&relabelled);
+        merged.push(' ');
+        merged.push_str(value);
+        merged.push('\n');
+    }
+}
+
+/// Minimal HTTP GET of a peer's `/metrics`. Accepts `host:port` or
+/// `http://host:port[/path]`; anything but a 200 is an error.
+fn scrape_peer(peer: &str) -> Result<String, String> {
+    let rest = peer.strip_prefix("http://").unwrap_or(peer);
+    let (hostport, path) = match rest.find('/') {
+        Some(i) => (&rest[..i], &rest[i..]),
+        None => (rest, "/metrics"),
+    };
+    let addr = hostport
+        .to_socket_addrs()
+        .map_err(|e| format!("resolve {hostport}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("resolve {hostport}: no address"))?;
+    let mut stream = TcpStream::connect_timeout(&addr, IO_TIMEOUT)
+        .map_err(|e| format!("connect {addr}: {e}"))?;
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: {hostport}\r\nConnection: close\r\n\r\n"
+    )
+    .map_err(|e| format!("send to {addr}: {e}"))?;
+    let mut raw = String::new();
+    stream
+        .read_to_string(&mut raw)
+        .map_err(|e| format!("read from {addr}: {e}"))?;
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .or_else(|| raw.split_once("\n\n"))
+        .ok_or_else(|| format!("malformed response from {addr}"))?;
+    let status = head.split_whitespace().nth(1).unwrap_or("");
+    if status != "200" {
+        return Err(format!("peer {addr} answered {status}"));
+    }
+    Ok(body.to_string())
+}
+
+fn healthz_body(shared: &Arc<Shared>) -> String {
     let state = RunState::from_u8(shared.state.load(Ordering::SeqCst));
+    let (running, queued) = {
+        let reg = lock(&shared.jobs);
+        (reg.running, reg.queue.len())
+    };
     let mut doc = Value::Obj(vec![
         (
             "state".to_string(),
@@ -359,12 +1194,9 @@ fn healthz_body(shared: &Shared) -> String {
         ),
         (
             "workload".to_string(),
-            Value::Str(lock_str(&shared.workload).clone()),
+            Value::Str(lock(&shared.workload).clone()),
         ),
-        (
-            "uptime_s".to_string(),
-            Value::Num(shared.started.elapsed().as_secs_f64()),
-        ),
+        ("uptime_s".to_string(), Value::Num(shared.uptime_s())),
         ("tracing".to_string(), Value::Bool(trace::enabled())),
         (
             "requests".to_string(),
@@ -378,6 +1210,8 @@ fn healthz_body(shared: &Shared) -> String {
             "runs_total".to_string(),
             Value::Num(shared.runs_total.load(Ordering::SeqCst) as f64),
         ),
+        ("jobs_running".to_string(), Value::Num(running as f64)),
+        ("jobs_queued".to_string(), Value::Num(queued as f64)),
     ])
     .pretty();
     doc.push('\n');
@@ -385,10 +1219,15 @@ fn healthz_body(shared: &Shared) -> String {
 }
 
 fn trace_response(query: &str) -> Response {
-    let requested = query
-        .split('&')
-        .find_map(|kv| kv.strip_prefix("format="))
-        .unwrap_or("json");
+    let params = match parse_query(query, &["format"]) {
+        Ok(p) => p,
+        Err(e) => return Response::text(400, "Bad Request", format!("{e}\n")),
+    };
+    let requested = params
+        .iter()
+        .rev()
+        .find(|(k, _)| k == "format")
+        .map_or("json", |(_, v)| v.as_str());
     let fmt: ExportFormat = match requested.parse() {
         Ok(f) => f,
         Err(e) => return Response::text(400, "Bad Request", format!("{e}\n")),
@@ -412,6 +1251,7 @@ fn trace_response(query: &str) -> Response {
             reason: "OK",
             content_type: fmt.content_type(),
             allow: None,
+            headers: Vec::new(),
             body: report
                 .render(fmt)
                 .expect("json|jsonl|csv always serialise"),
@@ -474,7 +1314,10 @@ mod tests {
         assert!(body.contains("/metrics"));
         let (status, head, _) = request(h.addr(), "POST", "/metrics");
         assert_eq!(status, 405);
-        assert!(head.contains("Allow: GET"));
+        assert!(head.contains("Allow: GET, HEAD"));
+        let (status, head, _) = request(h.addr(), "DELETE", "/jobs");
+        assert_eq!(status, 405);
+        assert!(head.contains("Allow: GET, HEAD, POST"));
         h.shutdown();
     }
 
@@ -489,6 +1332,9 @@ mod tests {
         let (status, _, body) = get(h.addr(), "/trace?format=prom");
         assert_eq!(status, 400);
         assert!(body.contains("/metrics"));
+        let (status, _, body) = get(h.addr(), "/trace?fmt=json");
+        assert_eq!(status, 400, "unknown query keys are rejected");
+        assert!(body.contains("unknown query key 'fmt'"), "{body}");
         h.shutdown();
     }
 
@@ -508,5 +1354,130 @@ mod tests {
         assert_eq!(h.state(), RunState::Done);
         assert!(h.requests() >= 2);
         h.shutdown();
+    }
+
+    #[test]
+    fn percent_decoding_and_strictness() {
+        assert_eq!(percent_decode("jsonl").unwrap(), "jsonl");
+        assert_eq!(percent_decode("json%6C").unwrap(), "jsonl");
+        assert_eq!(percent_decode("a%20b").unwrap(), "a b");
+        assert!(percent_decode("bad%2").is_err());
+        assert!(percent_decode("bad%zz").is_err());
+        assert!(percent_decode("%ff").is_err(), "lone 0xff is not UTF-8");
+
+        let ok = parse_query("after=10&limit=5", &["after", "limit"]).unwrap();
+        assert_eq!(ok, vec![
+            ("after".to_string(), "10".to_string()),
+            ("limit".to_string(), "5".to_string()),
+        ]);
+        assert!(parse_query("nope=1", &["after"]).is_err());
+        assert!(parse_query("", &["after"]).unwrap().is_empty());
+        // A proxy-encoded key still matches its allowed name.
+        let enc = parse_query("%66ormat=json%6C", &["format"]).unwrap();
+        assert_eq!(enc, vec![("format".to_string(), "jsonl".to_string())]);
+    }
+
+    #[test]
+    fn head_terminator_accepts_both_line_endings() {
+        assert_eq!(head_terminator(b"GET / HTTP/1.1\r\n\r\nrest"), Some(18));
+        assert_eq!(head_terminator(b"GET / HTTP/1.1\n\nrest"), Some(16));
+        assert_eq!(head_terminator(b"GET / HTTP/1.1\r\n"), None);
+    }
+
+    #[test]
+    fn bare_lf_requests_are_served() {
+        let h = serve(0).expect("bind ephemeral");
+        let mut s = TcpStream::connect(h.addr()).expect("connect");
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        // Lenient head: LF-only line endings, no CR anywhere.
+        s.write_all(b"GET /healthz HTTP/1.1\nHost: x\nConnection: close\n\n")
+            .unwrap();
+        let mut raw = String::new();
+        s.read_to_string(&mut raw).expect("read response");
+        assert!(raw.starts_with("HTTP/1.1 200"), "{raw}");
+        h.shutdown();
+    }
+
+    #[test]
+    fn oversized_head_gets_431_not_a_dropped_connection() {
+        let h = serve(0).expect("bind ephemeral");
+        let mut s = TcpStream::connect(h.addr()).expect("connect");
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        write!(s, "GET /metrics HTTP/1.1\r\n").unwrap();
+        let filler = format!("X-Filler: {}\r\n", "y".repeat(1000));
+        for _ in 0..(MAX_HEAD / filler.len() + 2) {
+            s.write_all(filler.as_bytes()).unwrap();
+        }
+        s.write_all(b"\r\n\r\n").unwrap();
+        let mut raw = String::new();
+        s.read_to_string(&mut raw).expect("read response");
+        assert!(raw.starts_with("HTTP/1.1 431"), "{raw}");
+        h.shutdown();
+    }
+
+    #[test]
+    fn head_requests_mirror_get_headers_without_a_body() {
+        let h = serve(0).expect("bind ephemeral");
+        let (get_status, get_head, get_body) = get(h.addr(), "/healthz");
+        assert_eq!(get_status, 200);
+        let mut s = TcpStream::connect(h.addr()).expect("connect");
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        write!(s, "HEAD /healthz HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n").unwrap();
+        let mut raw = String::new();
+        s.read_to_string(&mut raw).expect("read response");
+        let (head, body) = raw.split_once("\r\n\r\n").expect("header terminator");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(body.is_empty(), "HEAD must not carry a body: {body:?}");
+        let cl = |h: &str| -> usize {
+            h.lines()
+                .find_map(|l| l.strip_prefix("Content-Length: "))
+                .expect("content-length")
+                .parse()
+                .unwrap()
+        };
+        // Content-Length advertises what GET would send (modulo the
+        // uptime field's width, so compare against the GET's own body).
+        assert!(cl(head) > 0);
+        assert_eq!(cl(&get_head), get_body.len());
+        h.shutdown();
+    }
+
+    #[test]
+    fn job_endpoints_require_a_handler() {
+        let h = serve(0).expect("bind ephemeral");
+        let mut s = TcpStream::connect(h.addr()).expect("connect");
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let body = "{}";
+        write!(
+            s,
+            "POST /jobs HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            body.len(),
+            body
+        )
+        .unwrap();
+        let mut raw = String::new();
+        s.read_to_string(&mut raw).expect("read response");
+        assert!(raw.starts_with("HTTP/1.1 503"), "{raw}");
+        // The registry endpoints still answer (empty).
+        let (status, _, body) = get(h.addr(), "/jobs");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"jobs\": []"), "{body}");
+        let (status, _, _) = get(h.addr(), "/jobs/0");
+        assert_eq!(status, 404);
+        h.shutdown();
+    }
+
+    #[test]
+    fn merged_expositions_label_peer_samples() {
+        let mut declared = BTreeSet::new();
+        declared.insert("vpp_up".to_string());
+        let mut merged = String::new();
+        let peer_text = "# TYPE vpp_up gauge\nvpp_up 1\n# TYPE foo_total counter\nfoo_total{a=\"b\"} 3\n";
+        merge_exposition(&mut merged, &mut declared, "peer-1:9", peer_text);
+        assert!(merged.contains("vpp_up{peer=\"peer-1:9\"} 1"), "{merged}");
+        assert!(merged.contains("foo_total{peer=\"peer-1:9\",a=\"b\"} 3"), "{merged}");
+        // The duplicate TYPE for vpp_up was dropped, foo_total's kept.
+        assert!(!merged.contains("# TYPE vpp_up"), "{merged}");
+        assert!(merged.contains("# TYPE foo_total counter"), "{merged}");
     }
 }

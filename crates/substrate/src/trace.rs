@@ -198,6 +198,12 @@ pub enum EventKind {
 pub struct Event {
     /// Static event name (dot-separated vocabulary, e.g. `"scf.iter"`).
     pub name: &'static str,
+    /// Per-session admission sequence number (0-based, assigned from the
+    /// recorder's admission ticket at [`Recorder::push`] time). Within a
+    /// session, `seq` is unique and — below the event budget — dense, so a
+    /// cursor (`/jobs/<id>/trace?after=SEQ`) can resume a stream exactly
+    /// where the previous chunk stopped.
+    pub seq: u64,
     /// Nanoseconds since the session started.
     pub t_ns: u64,
     /// Small per-session thread ordinal (0 = first thread seen).
@@ -223,6 +229,7 @@ impl Event {
         let mut obj = vec![
             ("kind".to_string(), Value::Str(kind.to_string())),
             ("name".to_string(), Value::Str(self.name.to_string())),
+            ("seq".to_string(), Value::Num(self.seq as f64)),
             ("t_ns".to_string(), Value::Num(self.t_ns as f64)),
             ("thread".to_string(), Value::Num(f64::from(self.thread))),
         ];
@@ -284,12 +291,19 @@ impl Recorder {
     /// Single TL access, no per-event `Arc` traffic, and the staging `Vec`
     /// keeps its capacity across flushes — the steady-state cost is one
     /// uncontended lock and a `Vec` push.
-    fn push(&self, ev: Event) {
+    ///
+    /// The admission ticket doubles as the event's sequence number: every
+    /// admitted event gets a unique `seq` strictly below `cap`, so a seq
+    /// missing from a snapshot below the cap can only be an in-flight
+    /// event (ticket taken, not yet staged) — the invariant the cursor
+    /// reader ([`Recorder::events_after`]) relies on to never skip one.
+    fn push(&self, mut ev: Event) {
         let ticket = self.admitted.fetch_add(1, Ordering::Relaxed);
         if ticket >= self.cap as u64 {
             self.dropped.fetch_add(1, Ordering::Relaxed);
             return;
         }
+        ev.seq = ticket;
         TL_BUFFER.with(|slot| {
             let mut slot = slot.borrow_mut();
             if !matches!(slot.as_ref(), Some((sid, _)) if *sid == self.id) {
@@ -343,6 +357,58 @@ impl Recorder {
             dropped: self.dropped.load(Ordering::Relaxed),
         }
     }
+
+    /// Chunked cursor read over the live event log: up to `limit` events
+    /// with `seq >= start`, in sequence order, never skipping one.
+    ///
+    /// Exactly-once across chunks rests on the admission invariant: every
+    /// event that exists has `seq < cap`, and a seq below the admission
+    /// ticket count that is *not* visible yet can only be in flight
+    /// (ticket taken, event not yet staged). The walk therefore stops at
+    /// the first non-contiguous seq instead of serving past it — the next
+    /// poll picks the stream up at the gap once the writer lands.
+    fn events_after(&self, start: u64, limit: usize) -> CursorChunk {
+        let mut events: Vec<Event> = lock(&self.central)
+            .iter()
+            .filter(|e| e.seq >= start)
+            .cloned()
+            .collect();
+        let buffers: Vec<EventBuffer> = lock(&self.buffers).clone();
+        for buf in &buffers {
+            events.extend(lock(buf).iter().filter(|e| e.seq >= start).cloned());
+        }
+        events.sort_by_key(|e| e.seq);
+        let mut out = Vec::new();
+        let mut expect = start;
+        let mut more = false;
+        for ev in events {
+            if ev.seq != expect || out.len() >= limit {
+                // Chunk budget reached, or an in-flight writer owns the
+                // next seq; either way later events stay for the next poll.
+                more = true;
+                break;
+            }
+            expect += 1;
+            out.push(ev);
+        }
+        CursorChunk {
+            events: out,
+            next: expect,
+            more,
+        }
+    }
+}
+
+/// One bounded read from a live event stream ([`LocalSession::events_after`]).
+#[derive(Debug, Clone)]
+pub struct CursorChunk {
+    /// Events in sequence order, each delivered exactly once across chunks.
+    pub events: Vec<Event>,
+    /// Cursor to pass as `start`/`after` on the next poll.
+    pub next: u64,
+    /// Whether events beyond [`CursorChunk::next`] were already visible
+    /// when this chunk was cut (poll again without waiting).
+    pub more: bool,
 }
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -362,18 +428,29 @@ thread_local! {
     static THREAD_ORD: Cell<Option<(u64, u32)>> = const { Cell::new(None) };
     /// This thread's staging buffer for the current session.
     static TL_BUFFER: RefCell<Option<(u64, EventBuffer)>> = const { RefCell::new(None) };
+    /// Recorder bound to this thread by a [`LocalBinding`]; shadows the
+    /// process-global recorder for instrumentation on this thread.
+    static LOCAL_REC: RefCell<Option<Arc<Recorder>>> = const { RefCell::new(None) };
+    /// Cheap mirror of `LOCAL_REC.is_some()` for the [`enabled`] fast path.
+    static LOCAL_ACTIVE: Cell<bool> = const { Cell::new(false) };
 }
 
-/// Whether a recorder is currently installed. This is the fast-path check:
-/// a single relaxed atomic load.
+/// Whether instrumentation on this thread records anywhere: a recorder is
+/// installed process-wide, or a [`LocalSession`] is bound to this thread.
+/// The fast path stays one relaxed atomic load plus one thread-local read.
 #[inline]
 #[must_use]
 pub fn enabled() -> bool {
-    ENABLED.load(Ordering::Relaxed)
+    ENABLED.load(Ordering::Relaxed) || LOCAL_ACTIVE.with(Cell::get)
 }
 
 fn current() -> Option<Arc<Recorder>> {
-    if !enabled() {
+    if LOCAL_ACTIVE.with(Cell::get) {
+        if let Some(rec) = LOCAL_REC.with(|l| l.borrow().clone()) {
+            return Some(rec);
+        }
+    }
+    if !ENABLED.load(Ordering::Relaxed) {
         return None;
     }
     RECORDER
@@ -506,6 +583,146 @@ impl Drop for Session {
     }
 }
 
+/// A per-job tracing session that is *not* installed process-globally.
+///
+/// Unlike [`session`], which takes the exclusive session lock and routes
+/// every instrumented thread in the process into one recorder, a
+/// `LocalSession` only captures events from threads that explicitly
+/// [`bind`](LocalSession::bind) it. Any number of local sessions can run
+/// concurrently — the multi-tenant job service gives each job its own —
+/// and a bound local session shadows the global recorder on that thread,
+/// so concurrent jobs produce disjoint traces.
+///
+/// Cloning is cheap (an `Arc` bump); every clone reads and writes the same
+/// recorder, which is how the service thread snapshots a trace while the
+/// job thread is still producing it.
+#[derive(Clone)]
+pub struct LocalSession {
+    rec: Arc<Recorder>,
+}
+
+/// Create a detached recorder with room for `capacity` events. Nothing
+/// records into it until a thread binds it via [`LocalSession::bind`];
+/// creation neither takes the global session lock nor touches the
+/// installed recorder.
+#[must_use]
+pub fn local_session(capacity: usize) -> LocalSession {
+    LocalSession {
+        rec: Arc::new(Recorder {
+            id: NEXT_SESSION_ID.fetch_add(1, Ordering::SeqCst),
+            start: Instant::now(),
+            cap: capacity,
+            admitted: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            central: Mutex::new(Vec::new()),
+            buffers: Mutex::new(Vec::new()),
+            counters: Mutex::new(BTreeMap::new()),
+            gauges: Mutex::new(BTreeMap::new()),
+            threads: Mutex::new(Vec::new()),
+        }),
+    }
+}
+
+impl LocalSession {
+    /// Route this thread's instrumentation into the session until the
+    /// returned guard drops. Bindings nest: dropping the guard restores
+    /// whatever this thread was bound to before (guards must drop in
+    /// reverse bind order, which RAII scoping gives for free).
+    #[must_use]
+    pub fn bind(&self) -> LocalBinding {
+        let prev = LOCAL_REC.with(|l| l.borrow_mut().replace(Arc::clone(&self.rec)));
+        LOCAL_ACTIVE.with(|c| c.set(true));
+        LocalBinding {
+            rec: Arc::clone(&self.rec),
+            prev,
+            _not_send: PhantomData,
+        }
+    }
+
+    /// Live, non-draining copy of everything captured so far — same
+    /// semantics as [`live_report`], but for this session.
+    #[must_use]
+    pub fn snapshot(&self) -> TraceReport {
+        self.rec.snapshot()
+    }
+
+    /// Live [`MetricsSnapshot`] over the events captured so far (open
+    /// spans count with zero duration until they close; counters are
+    /// monotone across calls, keeping the exposition scrape-safe).
+    #[must_use]
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.rec.snapshot().metrics_snapshot()
+    }
+
+    /// Bounded cursor read: up to `limit` events with `seq >= start`, in
+    /// admission order, each event delivered exactly once across chunks.
+    /// See [`CursorChunk`] for resumption semantics.
+    #[must_use]
+    pub fn events_after(&self, start: u64, limit: usize) -> CursorChunk {
+        self.rec.events_after(start, limit)
+    }
+
+    /// Events actually admitted to the log so far (the admission-ticket
+    /// count, clamped to the event budget).
+    #[must_use]
+    pub fn admitted(&self) -> u64 {
+        let cap = self.rec.cap as u64;
+        self.rec.admitted.load(Ordering::Relaxed).min(cap)
+    }
+
+    /// Events refused because the budget was exhausted.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.rec.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Drain everything captured and return the final report. Call after
+    /// every bound thread has finished; later snapshots of surviving
+    /// clones only see events recorded after the drain.
+    #[must_use]
+    pub fn finish(self) -> TraceReport {
+        let rec = self.rec;
+        let dropped = rec.dropped.load(Ordering::SeqCst);
+        // Same order as Session::finish: central batches first, then
+        // per-thread stragglers, then a stable sort by timestamp — every
+        // per-thread subsequence stays ordered.
+        let mut events = std::mem::take(&mut *lock(&rec.central));
+        for buf in lock(&rec.buffers).iter() {
+            events.append(&mut *lock(buf));
+        }
+        events.sort_by_key(|e| e.t_ns);
+        let counters = std::mem::take(&mut *lock(&rec.counters));
+        let gauges = std::mem::take(&mut *lock(&rec.gauges));
+        TraceReport {
+            events,
+            counters,
+            gauges,
+            dropped,
+        }
+    }
+}
+
+/// Scoped thread binding for a [`LocalSession`]. On drop, flushes this
+/// thread's staged events to the session's central log and restores the
+/// thread's previous binding. Deliberately `!Send`: the binding is a
+/// property of the thread that created it.
+pub struct LocalBinding {
+    rec: Arc<Recorder>,
+    prev: Option<Arc<Recorder>>,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for LocalBinding {
+    fn drop(&mut self) {
+        self.rec.flush_current_thread();
+        LOCAL_REC.with(|l| {
+            let mut l = l.borrow_mut();
+            *l = self.prev.take();
+            LOCAL_ACTIVE.with(|c| c.set(l.is_some()));
+        });
+    }
+}
+
 /// RAII guard for an open span. Closes (emits the Exit event) on drop.
 ///
 /// Deliberately `!Send`: a span measures an interval on one thread, and the
@@ -548,6 +765,7 @@ impl SpanGuard {
         });
         rec.push(Event {
             name,
+            seq: 0, // assigned at admission
             t_ns: rec.now_ns(),
             thread,
             kind: EventKind::Enter { span: id, parent },
@@ -598,6 +816,7 @@ impl Drop for SpanGuard {
         let thread = thread_ordinal(&a.rec);
         a.rec.push(Event {
             name: a.name,
+            seq: 0, // assigned at admission
             t_ns: a.rec.now_ns(),
             thread,
             kind: EventKind::Exit { span: a.id },
@@ -653,6 +872,7 @@ pub fn mark_with<F: FnOnce() -> Vec<Field>>(name: &'static str, fields: F) {
         let thread = thread_ordinal(&rec);
         rec.push(Event {
             name,
+            seq: 0, // assigned at admission
             t_ns: rec.now_ns(),
             thread,
             kind: EventKind::Mark,
@@ -1410,7 +1630,7 @@ fn prom_name(name: &str) -> String {
 }
 
 /// Escape a label value per the exposition format: `\`, `"`, newline.
-fn prom_label_value(v: &str) -> String {
+pub(crate) fn prom_label_value(v: &str) -> String {
     v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
 }
 
@@ -1844,5 +2064,109 @@ mod tests {
         assert_eq!(first.counters["mono.ticks"], 2);
         assert_eq!(second.counters["mono.ticks"], 5);
         assert!(first.spans.is_empty(), "live snapshots skip span summaries");
+    }
+
+    #[test]
+    fn concurrent_local_sessions_record_disjoint_traces() {
+        let a = local_session(1 << 12);
+        let b = local_session(1 << 12);
+        std::thread::scope(|scope| {
+            let run = |sess: &LocalSession, name: &'static str, n: usize| {
+                let sess = sess.clone();
+                scope.spawn(move || {
+                    let _bind = sess.bind();
+                    for _ in 0..n {
+                        let _g = span!(name);
+                        counter(name, 1);
+                    }
+                });
+            };
+            run(&a, "tenant.a", 300);
+            run(&b, "tenant.b", 500);
+        });
+        let ra = a.finish();
+        let rb = b.finish();
+        assert!(ra.well_formed().is_ok());
+        assert!(rb.well_formed().is_ok());
+        assert_eq!(ra.spans().len(), 300);
+        assert_eq!(rb.spans().len(), 500);
+        assert!(ra.spans().iter().all(|s| s.name == "tenant.a"));
+        assert!(rb.spans().iter().all(|s| s.name == "tenant.b"));
+        assert_eq!(ra.counters["tenant.a"], 300);
+        assert!(!ra.counters.contains_key("tenant.b"));
+        assert_eq!(rb.counters["tenant.b"], 500);
+    }
+
+    #[test]
+    fn local_binding_shadows_and_restores() {
+        // No global recorder: the binding alone turns instrumentation on.
+        let sess = local_session(64);
+        assert!(live_report().is_none());
+        {
+            let _bind = sess.bind();
+            assert!(enabled(), "binding enables this thread");
+            mark("local.mark");
+        }
+        mark("after.unbind"); // no recorder anywhere: dropped silently
+        let report = sess.finish();
+        assert_eq!(report.marks().len(), 1);
+        assert_eq!(report.marks()[0].name, "local.mark");
+    }
+
+    #[test]
+    fn sequence_numbers_are_dense_in_admission_order() {
+        let sess = local_session(1 << 12);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let sess = sess.clone();
+                scope.spawn(move || {
+                    let _bind = sess.bind();
+                    for _ in 0..200 {
+                        mark("seq.mark");
+                    }
+                });
+            }
+        });
+        let admitted = sess.admitted();
+        assert_eq!(admitted, 800);
+        let mut seqs: Vec<u64> = sess.finish().events.iter().map(|e| e.seq).collect();
+        seqs.sort_unstable();
+        assert_eq!(seqs, (0..800).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn cursor_chunks_deliver_each_event_exactly_once() {
+        let sess = local_session(1 << 14);
+        let reader = sess.clone();
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                let sess = sess.clone();
+                scope.spawn(move || {
+                    let _bind = sess.bind();
+                    for _ in 0..(FLUSH_BATCH + 37) {
+                        mark("cursor.mark");
+                    }
+                });
+            }
+            // Poll concurrently with the writers: chunks must never skip
+            // or repeat a seq even while events are still in flight.
+            let mut seen: Vec<u64> = Vec::new();
+            let mut cursor = 0u64;
+            loop {
+                let chunk = reader.events_after(cursor, 64);
+                assert!(chunk.events.len() <= 64);
+                for (i, ev) in chunk.events.iter().enumerate() {
+                    assert_eq!(ev.seq, cursor + i as u64, "contiguous from cursor");
+                }
+                seen.extend(chunk.events.iter().map(|e| e.seq));
+                cursor = chunk.next;
+                if !chunk.more && seen.len() as u64 >= 3 * (FLUSH_BATCH as u64 + 37) {
+                    break;
+                }
+                std::thread::yield_now();
+            }
+            assert_eq!(seen, (0..3 * (FLUSH_BATCH as u64 + 37)).collect::<Vec<u64>>());
+        });
+        assert_eq!(sess.dropped(), 0);
     }
 }

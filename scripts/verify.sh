@@ -34,6 +34,21 @@ echo "==> BENCH_results.json comparisons:"
 grep -A4 -E '"name": "(.*_before_after|des_.*)"' "$ROOT/BENCH_results.json" \
     | grep -E '"name"|"speedup"|"drift"' || true
 
+echo "==> Harness::compare drift bound (worse first/second-half shift of either leg)"
+MAX_DRIFT=$(sed -n 's/.*"drift": \([0-9.eE+-]*\).*/\1/p' "$ROOT/BENCH_results.json" \
+    | sort -g | tail -n 1)
+if [ -n "$MAX_DRIFT" ]; then
+    awk -v d="$MAX_DRIFT" 'BEGIN {
+        printf "    max drift across comparisons: +/-%.1f%%\n", d * 100
+        printf "    (speedups above are only as trustworthy as this is small)\n"
+    }'
+    awk -v d="$MAX_DRIFT" 'BEGIN { exit !(d <= 0.25) }' || \
+        echo "    WARNING: host drifted more than +/-25% mid-bench; re-run on a quieter machine before trusting speedups"
+else
+    echo "verify: FAIL — no comparison in BENCH_results.json carries a drift bound" >&2
+    exit 1
+fi
+
 echo "==> DES acceptance: calendar queue >= 3x heap at 1e6 pending (measured ~8x; floor guards regressions through CI noise)"
 DES_SPEEDUP=$(grep -A4 '"name": "des_throughput_1e6"' "$ROOT/BENCH_results.json" \
     | sed -n 's/.*"speedup": \([0-9.eE+-]*\).*/\1/p' | head -n 1)
@@ -115,6 +130,10 @@ wait "$SERVE_PID" 2>/dev/null || true
 }
 grep -q '^vpp_up 1' /tmp/vpp_scrape.out || {
     echo "verify: FAIL — /metrics lost the vpp_up self-series" >&2
+    exit 1
+}
+grep -q '^job service : POST /jobs' /tmp/vpp_serve.out || {
+    echo "verify: FAIL — serve did not announce the POST /jobs service" >&2
     exit 1
 }
 

@@ -18,8 +18,9 @@
 //!                                  [--perturb PHASE:FACTOR] [--metrics-port PORT]
 //! vpp trace diff   <benchmark>     [--perturb PHASE:FACTOR]
 //! vpp trace accept <benchmark>     [--tolerance PHASE:PCT]...
-//! vpp serve        <benchmark>     [--nodes N] [--cap W] [--quick]
+//! vpp serve        [benchmark]     [--nodes N] [--cap W] [--quick]
 //!                                  [--repeat N] [--metrics-port PORT]
+//!                                  [--max-sessions N] [--federate URL]...
 //! ```
 //!
 //! `<benchmark>` is a Table I name (see `vpp list`); a directory containing
@@ -42,17 +43,28 @@
 //! the std-only observability endpoint (DESIGN.md §3.7): `GET /metrics`,
 //! `/healthz` and `/trace?format=json|jsonl|csv` scrape the in-flight
 //! run live.
+//!
+//! `serve` is also the multi-tenant job service: `POST /jobs` submits a
+//! JSON job spec (validated against the Table I recipes), `GET /jobs`
+//! lists sessions, and `/jobs/<id>`, `/jobs/<id>/trace?after=SEQ` and
+//! `/jobs/<id>/metrics` expose each job's status, cursor-streamed trace
+//! and Prometheus series. `--max-sessions` bounds concurrent sessions
+//! (further jobs queue); `--federate URL` (repeatable) merges peer
+//! `/metrics` expositions into this instance's, labelled by peer. The
+//! benchmark operand is optional — without one the process runs as a
+//! service that only executes POSTed jobs.
 
 use std::collections::BTreeMap;
 use std::io::Write;
+use std::sync::Arc;
 
 use vasp_power_profiles::cluster::{execute, JobSpec, NetworkModel, Straggler};
-use vasp_power_profiles::core::{benchmarks, flight, protocol};
+use vasp_power_profiles::core::{benchmarks, flight, protocol, ProtocolJobHandler};
 use vasp_power_profiles::dft::{parse_incar, parse_kpoints, parse_poscar, PhaseKind};
 use vasp_power_profiles::powercap::{campaign, CampaignSpec, Policy};
 use vasp_power_profiles::stats::{trace_diff, DiffConfig, Segmenter};
 use vasp_power_profiles::substrate::bench::{load_baseline, store_baseline};
-use vasp_power_profiles::substrate::serve::{self, RunState, ServeHandle};
+use vasp_power_profiles::substrate::serve::{self, RunState, ServeConfig, ServeHandle};
 use vasp_power_profiles::substrate::trace::{self, ExportFormat};
 use vasp_power_profiles::telemetry::{Sampler, Screener};
 
@@ -205,14 +217,25 @@ const COMMANDS: &[CommandSpec] = &[
     },
     CommandSpec {
         words: &["serve"],
-        operand: "<benchmark>",
-        summary: "run under the observability endpoint and keep serving",
+        operand: "[benchmark]",
+        summary: "observability endpoint + multi-tenant POST /jobs service",
         flags: &[
             NODES,
             CAP,
             QUICK,
             flag("repeat", "N", "measured runs before settling into serve-only mode"),
             METRICS_PORT,
+            flag(
+                "max-sessions",
+                "N",
+                "concurrent job sessions; further POSTed jobs queue (default 2)",
+            ),
+            FlagSpec {
+                name: "federate",
+                value: Some("URL"),
+                repeatable: true,
+                help: "merge this peer's /metrics into ours, labelled peer=\"URL\"",
+            },
         ],
         run: cmd_serve,
     },
@@ -1055,43 +1078,57 @@ fn cmd_trace(p: &Parsed) -> Result<(), String> {
     Ok(())
 }
 
-/// Run the benchmark under the observability endpoint and keep serving
-/// the final state until the process is interrupted.
+/// Run the (optional) benchmark under the observability endpoint, then
+/// keep serving — including the multi-tenant `POST /jobs` service —
+/// until the process is interrupted.
 fn cmd_serve(p: &Parsed) -> Result<(), String> {
-    let target = p.positional.first().ok_or("serve needs a target")?;
-    let bench = resolve(target)?;
+    let bench = p.positional.first().map(|t| resolve(t)).transpose()?;
     let nodes = flag_parse(p, "nodes")?.unwrap_or(1);
     let cap = flag_parse::<f64>(p, "cap")?;
     let repeat = flag_parse::<usize>(p, "repeat")?.unwrap_or(1).max(1);
     let port = flag_parse::<u16>(p, "metrics-port")?.unwrap_or(0);
-    let cfg = match cap {
-        Some(c) => protocol::RunConfig::capped(nodes, c),
-        None => protocol::RunConfig::nodes(nodes),
-    };
+    let max_sessions = flag_parse::<usize>(p, "max-sessions")?.unwrap_or(0);
+    let federate: Vec<String> = p.values("federate").map(str::to_string).collect();
+    let mut serve_cfg = ServeConfig::new(port)
+        .federate(federate)
+        .handler(Arc::new(ProtocolJobHandler));
+    if max_sessions > 0 {
+        serve_cfg = serve_cfg.max_sessions(max_sessions);
+    }
     let handle =
-        serve::serve(port).map_err(|e| format!("cannot bind metrics port {port}: {e}"))?;
+        serve::serve_with(serve_cfg).map_err(|e| format!("cannot bind metrics port {port}: {e}"))?;
     println!("serving on http://{}", handle.addr());
     println!("endpoints   : /metrics /healthz /trace?format=json|jsonl|csv");
+    println!("job service : POST /jobs, GET /jobs, /jobs/<id>[/trace?after=SEQ|/metrics]");
     flush_stdout();
     // The session stays open for the life of the process so late scrapes
-    // keep seeing the final trace state.
+    // keep seeing the final trace state; POSTed jobs record into their
+    // own per-session recorders and leave this one alone.
     let _session = trace::session(flight::SESSION_CAPACITY);
-    handle.set_workload(bench.name(), repeat as u64);
-    handle.set_state(RunState::Running);
-    let c = ctx(p.has("quick"));
-    for r in 0..repeat {
-        let m = protocol::measure(&bench, &cfg, &c);
-        handle.run_completed();
-        println!(
-            "run {}/{repeat} : runtime {:.0} s, energy {:.2} MJ",
-            r + 1,
-            m.runtime_s,
-            m.energy_j / 1e6
-        );
-        flush_stdout();
+    if let Some(bench) = &bench {
+        let cfg = match cap {
+            Some(c) => protocol::RunConfig::capped(nodes, c),
+            None => protocol::RunConfig::nodes(nodes),
+        };
+        handle.set_workload(bench.name(), repeat as u64);
+        handle.set_state(RunState::Running);
+        let c = ctx(p.has("quick"));
+        for r in 0..repeat {
+            let m = protocol::measure(bench, &cfg, &c);
+            handle.run_completed();
+            println!(
+                "run {}/{repeat} : runtime {:.0} s, energy {:.2} MJ",
+                r + 1,
+                m.runtime_s,
+                m.energy_j / 1e6
+            );
+            flush_stdout();
+        }
+        handle.set_state(RunState::Done);
+        println!("all runs complete; serving until interrupted (Ctrl-C to stop)");
+    } else {
+        println!("no benchmark operand; serving POSTed jobs until interrupted (Ctrl-C to stop)");
     }
-    handle.set_state(RunState::Done);
-    println!("all runs complete; serving until interrupted (Ctrl-C to stop)");
     flush_stdout();
     loop {
         std::thread::park();

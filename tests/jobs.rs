@@ -1,0 +1,431 @@
+//! Integration tests for the multi-tenant job service: real HTTP clients
+//! over `std::net::TcpStream` against a live [`serve_with`] instance
+//! with a synthetic [`JobHandler`].
+//!
+//! The acceptance criteria this file pins:
+//! - two concurrently POSTed jobs run simultaneously and record into
+//!   disjoint per-session traces,
+//! - `GET /jobs/<id>/trace?after=SEQ` delivers each event exactly once
+//!   across chunks,
+//! - a federated instance's `/metrics` parses as strict Prometheus text
+//!   and carries both peers' series under `peer="..."` labels.
+//!
+//! Job runner threads are named `vpp-serve` like the acceptor/workers,
+//! so the leak accounting here covers them too. Tests serialize on a
+//! lock so thread counting cannot race another test's server.
+
+use std::collections::BTreeSet;
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Barrier, Mutex};
+use std::time::{Duration, Instant};
+
+use vasp_power_profiles::substrate::json::{self, Value};
+use vasp_power_profiles::substrate::serve::{serve, serve_with, JobHandler, ServeConfig};
+use vasp_power_profiles::substrate::trace;
+
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+fn locked() -> std::sync::MutexGuard<'static, ()> {
+    TEST_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Minimal HTTP/1.1 exchange: returns `(status, head, body)`.
+fn request(addr: SocketAddr, method: &str, target: &str, body: &str) -> (u16, String, String) {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    write!(
+        s,
+        "{method} {target} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\
+         Connection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send request");
+    let mut raw = String::new();
+    s.read_to_string(&mut raw).expect("read response");
+    let (head, body) = raw.split_once("\r\n\r\n").expect("header terminator");
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    (status, head.to_string(), body.to_string())
+}
+
+fn get(addr: SocketAddr, target: &str) -> (u16, String, String) {
+    request(addr, "GET", target, "")
+}
+
+/// The value of one response header, if present.
+fn header<'a>(head: &'a str, name: &str) -> Option<&'a str> {
+    head.lines()
+        .filter_map(|l| l.split_once(": "))
+        .find(|(n, _)| *n == name)
+        .map(|(_, v)| v)
+}
+
+/// POST a job spec and return its id from the 201 body.
+fn submit(addr: SocketAddr, spec: &str) -> u64 {
+    let (status, head, body) = request(addr, "POST", "/jobs", spec);
+    assert_eq!(status, 201, "submit failed: {body}");
+    assert!(header(&head, "Location").is_some(), "201 carries Location: {head}");
+    let doc = json::parse(&body).expect("201 body is JSON");
+    doc.get("id").and_then(Value::as_f64).expect("201 body has an id") as u64
+}
+
+/// Poll `GET /jobs/<id>` until the job reaches `state` (or panic after
+/// ten seconds).
+fn await_state(addr: SocketAddr, id: u64, state: &str) -> Value {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let (status, _, body) = get(addr, &format!("/jobs/{id}"));
+        assert_eq!(status, 200, "{body}");
+        let doc = json::parse(&body).expect("status is JSON");
+        if doc.get("state").and_then(Value::as_str) == Some(state) {
+            return doc;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "job {id} never reached '{state}'; last: {body}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// A synthetic workload: `validate` demands a `tag`, `run` emits
+/// `events` marks named after the tag. With `"rendezvous": true` the run
+/// meets the test thread on `gate` once before emitting and once after,
+/// which both proves two jobs are inside `run` simultaneously and lets
+/// the test inspect a still-running job deterministically.
+struct TagHandler {
+    gate: Arc<Barrier>,
+}
+
+impl JobHandler for TagHandler {
+    fn validate(&self, spec: &Value) -> Result<Value, String> {
+        spec.get("tag")
+            .and_then(Value::as_str)
+            .ok_or("'tag' (string) is required")?;
+        Ok(spec.clone())
+    }
+
+    fn run(&self, spec: &Value) -> Result<Value, String> {
+        let tag = spec
+            .get("tag")
+            .and_then(Value::as_str)
+            .ok_or("validated spec lost its tag")?
+            .to_string();
+        let events = spec.get("events").and_then(Value::as_f64).unwrap_or(8.0) as usize;
+        let rendezvous = matches!(spec.get("rendezvous"), Some(Value::Bool(true)));
+        if rendezvous {
+            self.gate.wait();
+        }
+        for _ in 0..events {
+            match tag.as_str() {
+                "alpha" => trace::mark("job.alpha"),
+                "beta" => trace::mark("job.beta"),
+                _ => trace::mark("job.cursor"),
+            }
+        }
+        if rendezvous {
+            self.gate.wait();
+        }
+        Ok(Value::Obj(vec![
+            ("tag".to_string(), Value::Str(tag)),
+            ("events".to_string(), Value::Num(events as f64)),
+        ]))
+    }
+}
+
+/// Count live threads whose comm is `vpp-serve` (acceptor, workers and
+/// job runners all set it), polling briefly since joined tasks can
+/// linger in procfs for a moment.
+fn serve_threads_settled() -> usize {
+    let count = || {
+        std::fs::read_dir("/proc/self/task")
+            .expect("linux procfs")
+            .filter_map(Result::ok)
+            .filter_map(|e| std::fs::read_to_string(e.path().join("comm")).ok())
+            .filter(|c| c.trim() == "vpp-serve")
+            .count()
+    };
+    let mut remaining = count();
+    for _ in 0..200 {
+        if remaining == 0 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+        remaining = count();
+    }
+    remaining
+}
+
+/// Parse a jsonl trace body into `(seq, name)` pairs.
+fn trace_lines(body: &str) -> Vec<(u64, String)> {
+    body.lines()
+        .map(|line| {
+            let ev = json::parse(line).unwrap_or_else(|e| panic!("bad jsonl line '{line}': {e}"));
+            (
+                ev.get("seq").and_then(Value::as_f64).expect("event has a seq") as u64,
+                ev.get("name")
+                    .and_then(Value::as_str)
+                    .expect("event has a name")
+                    .to_string(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn concurrent_jobs_run_simultaneously_with_disjoint_traces() {
+    let _guard = locked();
+    let gate = Arc::new(Barrier::new(3)); // two jobs + this test
+    let h = serve_with(
+        ServeConfig::new(0)
+            .max_sessions(2)
+            .handler(Arc::new(TagHandler { gate: gate.clone() })),
+    )
+    .expect("bind ephemeral");
+    let addr = h.addr();
+
+    let a = submit(addr, r#"{"tag": "alpha", "events": 40, "rendezvous": true}"#);
+    let b = submit(addr, r#"{"tag": "beta", "events": 40, "rendezvous": true}"#);
+    assert_ne!(a, b);
+
+    // Both runs are inside `run` once the first rendezvous completes, and
+    // neither can finish before the second — so this snapshot must show
+    // two simultaneously running sessions.
+    gate.wait();
+    let (_, _, listing) = get(addr, "/jobs");
+    gate.wait();
+
+    let doc = json::parse(&listing).expect("listing is JSON");
+    assert_eq!(doc.get("running").and_then(Value::as_f64), Some(2.0), "{listing}");
+    let Some(Value::Arr(jobs)) = doc.get("jobs") else {
+        panic!("listing has a jobs array: {listing}");
+    };
+    for job in jobs {
+        assert_eq!(job.get("state").and_then(Value::as_str), Some("running"), "{listing}");
+    }
+
+    let done_a = await_state(addr, a, "done");
+    let done_b = await_state(addr, b, "done");
+    assert_eq!(
+        done_a.get("result").and_then(|r| r.get("tag")).and_then(Value::as_str),
+        Some("alpha")
+    );
+    assert_eq!(
+        done_b.get("result").and_then(|r| r.get("tag")).and_then(Value::as_str),
+        Some("beta")
+    );
+
+    // Each session's trace holds its own 40 marks and nothing of the
+    // neighbour's, even though both ran at the same time.
+    for (id, own, other) in [(a, "job.alpha", "job.beta"), (b, "job.beta", "job.alpha")] {
+        let (status, _, body) = get(addr, &format!("/jobs/{id}/trace?limit=4096"));
+        assert_eq!(status, 200);
+        let lines = trace_lines(&body);
+        assert_eq!(lines.len(), 40, "job {id} trace:\n{body}");
+        assert!(lines.iter().all(|(_, name)| name == own), "{body}");
+        assert!(lines.iter().all(|(_, name)| name != other), "{body}");
+    }
+
+    h.shutdown();
+    assert_eq!(serve_threads_settled(), 0, "job runner threads survived shutdown");
+}
+
+#[test]
+fn trace_cursor_delivers_each_event_exactly_once_across_chunks() {
+    let _guard = locked();
+    const EVENTS: usize = 1500; // several times the default chunk size
+    let gate = Arc::new(Barrier::new(2)); // the job + this test
+    let h = serve_with(
+        ServeConfig::new(0)
+            .max_sessions(1)
+            .handler(Arc::new(TagHandler { gate: gate.clone() })),
+    )
+    .expect("bind ephemeral");
+    let addr = h.addr();
+
+    let id = submit(
+        addr,
+        &format!(r#"{{"tag": "cursor", "events": {EVENTS}, "rendezvous": true}}"#),
+    );
+    gate.wait(); // job starts emitting; it parks on the gate again when done
+
+    // Page through the live trace with an odd chunk size. Every chunk
+    // advertises the next cursor; the union of chunks must be exactly
+    // seqs 0..EVENTS with no duplicates and no holes.
+    let mut after = 0u64;
+    let mut seen: BTreeSet<u64> = BTreeSet::new();
+    let mut saw_more = false;
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while seen.len() < EVENTS && Instant::now() < deadline {
+        let (status, head, body) = get(addr, &format!("/jobs/{id}/trace?after={after}&limit=257"));
+        assert_eq!(status, 200, "{body}");
+        for (seq, name) in trace_lines(&body) {
+            assert_eq!(name, "job.cursor");
+            assert!(seen.insert(seq), "seq {seq} delivered twice");
+        }
+        saw_more |= header(&head, "X-Vpp-More") == Some("true");
+        let next: u64 = header(&head, "X-Vpp-Next-Cursor")
+            .expect("chunk advertises a cursor")
+            .parse()
+            .expect("cursor is an integer");
+        assert!(next >= after, "cursor went backwards: {next} < {after}");
+        after = next;
+        if body.is_empty() {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+    gate.wait(); // release the job before asserting, so failures cannot deadlock shutdown
+
+    assert_eq!(seen.len(), EVENTS, "missing events");
+    assert_eq!(seen.iter().copied().collect::<Vec<_>>(), (0..EVENTS as u64).collect::<Vec<_>>());
+    assert!(saw_more, "a 257-event chunk over 1500 events must set X-Vpp-More");
+
+    let done = await_state(addr, id, "done");
+    assert_eq!(
+        done.get("trace").and_then(|t| t.get("admitted")).and_then(Value::as_f64),
+        Some(EVENTS as f64)
+    );
+
+    // Caught up: an empty chunk that keeps the cursor and reports the
+    // terminal state.
+    let (status, head, body) = get(addr, &format!("/jobs/{id}/trace?after={after}"));
+    assert_eq!(status, 200);
+    assert!(body.is_empty(), "{body}");
+    assert_eq!(header(&head, "X-Vpp-More"), Some("false"));
+    assert_eq!(header(&head, "X-Vpp-Job-State"), Some("done"));
+
+    // Strict query parsing guards the cursor protocol: unknown keys and
+    // malformed cursors are client errors, not shrugs.
+    let (status, _, body) = get(addr, &format!("/jobs/{id}/trace?cursor=5"));
+    assert_eq!(status, 400, "{body}");
+    let (status, _, body) = get(addr, &format!("/jobs/{id}/trace?after=x"));
+    assert_eq!(status, 400, "{body}");
+
+    h.shutdown();
+}
+
+#[test]
+fn queued_jobs_wait_for_a_session_and_then_run() {
+    let _guard = locked();
+    let gate = Arc::new(Barrier::new(2)); // the first job + this test
+    let h = serve_with(
+        ServeConfig::new(0)
+            .max_sessions(1)
+            .handler(Arc::new(TagHandler { gate: gate.clone() })),
+    )
+    .expect("bind ephemeral");
+    let addr = h.addr();
+
+    let first = submit(addr, r#"{"tag": "alpha", "events": 4, "rendezvous": true}"#);
+    let second = submit(addr, r#"{"tag": "beta", "events": 4}"#);
+
+    // One session: while the first job holds it at the rendezvous, the
+    // second must be queued, not running.
+    gate.wait();
+    let (_, _, listing) = get(addr, "/jobs");
+    let (_, _, queued_status) = get(addr, &format!("/jobs/{second}"));
+    gate.wait();
+
+    let doc = json::parse(&listing).expect("listing is JSON");
+    assert_eq!(doc.get("running").and_then(Value::as_f64), Some(1.0), "{listing}");
+    assert_eq!(doc.get("queued").and_then(Value::as_f64), Some(1.0), "{listing}");
+    let queued = json::parse(&queued_status).expect("status is JSON");
+    assert_eq!(queued.get("state").and_then(Value::as_str), Some("queued"));
+
+    await_state(addr, first, "done");
+    await_state(addr, second, "done");
+
+    // Invalid submissions are rejected up front and never enter the queue.
+    let (status, _, body) = request(addr, "POST", "/jobs", r#"{"no_tag": 1}"#);
+    assert_eq!(status, 400, "{body}");
+    let (status, _, body) = request(addr, "POST", "/jobs", "not json");
+    assert_eq!(status, 400, "{body}");
+    let (_, _, listing) = get(addr, "/jobs");
+    let doc = json::parse(&listing).expect("listing is JSON");
+    let Some(Value::Arr(jobs)) = doc.get("jobs") else {
+        panic!("listing has a jobs array: {listing}");
+    };
+    assert_eq!(jobs.len(), 2, "rejected specs must not be registered: {listing}");
+
+    h.shutdown();
+    assert_eq!(serve_threads_settled(), 0, "job runner threads survived shutdown");
+}
+
+#[test]
+fn federated_metrics_carry_both_peers_series() {
+    let _guard = locked();
+    let peer1 = serve(0).expect("bind peer 1");
+    let peer2 = serve(0).expect("bind peer 2");
+    let fed = serve_with(
+        ServeConfig::new(0).federate(vec![peer1.addr().to_string(), peer2.addr().to_string()]),
+    )
+    .expect("bind federated instance");
+
+    let (status, _, body) = get(fed.addr(), "/metrics");
+    assert_eq!(status, 200);
+
+    // Strict pass over the merged exposition: every sample parses and
+    // follows its family's # TYPE declaration exactly once.
+    let mut typed: Vec<String> = Vec::new();
+    for line in body.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let name = rest.split_whitespace().next().expect("type line names a metric");
+            assert!(
+                !typed.iter().any(|t| t == name),
+                "family declared twice in the merge: {line}"
+            );
+            typed.push(name.to_string());
+            continue;
+        }
+        if line.starts_with('#') || line.is_empty() {
+            continue;
+        }
+        let (name_and_labels, value) = line.rsplit_once(' ').expect("sample line");
+        let name = name_and_labels.split('{').next().expect("metric name");
+        assert!(value.parse::<f64>().is_ok(), "sample value is not a float: {line}");
+        assert!(
+            typed.iter().any(|t| name == t || name.starts_with(t.as_str())),
+            "sample before its # TYPE declaration: {line}"
+        );
+    }
+
+    // Both peers were scraped and their series are distinguishable by the
+    // peer label; the federating instance's own series stay unlabelled.
+    for peer in [&peer1, &peer2] {
+        let label = format!("peer=\"{}\"", peer.addr());
+        assert!(
+            body.contains(&format!("vpp_federate_peer_up{{{label}}} 1")),
+            "missing peer-up for {label}:\n{body}"
+        );
+        assert!(
+            body.contains(&format!("vpp_up{{{label}}} 1")),
+            "missing relabelled vpp_up for {label}:\n{body}"
+        );
+    }
+    assert!(body.contains("\nvpp_up 1\n"), "own unlabelled vpp_up survives the merge");
+
+    // An unreachable peer degrades to peer_up 0 instead of failing the
+    // whole exposition.
+    let dead = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").expect("reserve a port");
+        l.local_addr().expect("local addr")
+    };
+    let fed2 = serve_with(ServeConfig::new(0).federate(vec![dead.to_string()]))
+        .expect("bind second federated instance");
+    let (status, _, body) = get(fed2.addr(), "/metrics");
+    assert_eq!(status, 200);
+    assert!(
+        body.contains(&format!("vpp_federate_peer_up{{peer=\"{dead}\"}} 0")),
+        "{body}"
+    );
+
+    fed2.shutdown();
+    fed.shutdown();
+    peer2.shutdown();
+    peer1.shutdown();
+}

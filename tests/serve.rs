@@ -41,6 +41,35 @@ fn get(addr: SocketAddr, target: &str) -> (u16, String, String) {
     (status, head.to_string(), body.to_string())
 }
 
+/// Minimal HTTP/1.1 HEAD of the same target.
+fn head_req(addr: SocketAddr, target: &str) -> (u16, String, String) {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    write!(
+        s,
+        "HEAD {target} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n"
+    )
+    .expect("send request");
+    let mut raw = String::new();
+    s.read_to_string(&mut raw).expect("read response");
+    let (head, body) = raw.split_once("\r\n\r\n").expect("header terminator");
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    (status, head.to_string(), body.to_string())
+}
+
+/// The value of one response header, if present.
+fn header<'a>(head: &'a str, name: &str) -> Option<&'a str> {
+    head.lines()
+        .filter_map(|l| l.split_once(": "))
+        .find(|(n, _)| *n == name)
+        .map(|(_, v)| v)
+}
+
 /// Count live threads whose comm is `vpp-serve`. Linux clones inherit the
 /// parent thread's comm, so the acceptor and both scoped workers all
 /// report the name the server sets.
@@ -176,6 +205,67 @@ fn rejects_unknown_paths_and_non_get_methods() {
     assert!(raw.starts_with("HTTP/1.1 405"), "{raw}");
     assert!(raw.contains("Allow: GET"), "{raw}");
     h.shutdown();
+}
+
+#[test]
+fn head_mirrors_get_on_every_route() {
+    let _guard = locked();
+    let session = trace::session(1 << 16);
+    {
+        let mut s = span!("serve_head.work", kind = 1);
+        s.record("sim_t0", 0.0);
+        s.record("sim_t1", 1.0);
+    }
+    let h = serve(0).expect("bind ephemeral");
+
+    // RFC 9110 §9.3.2: HEAD answers with the status and header fields a
+    // GET would produce — including Content-Length — and no body. That
+    // holds on every route, 404s and 405s included.
+    for target in ["/metrics", "/healthz", "/trace?format=jsonl", "/jobs", "/nope"] {
+        let (get_status, get_head, get_body) = get(h.addr(), target);
+        let (head_status, head_head, head_body) = head_req(h.addr(), target);
+        assert_eq!(head_status, get_status, "HEAD {target} diverged from GET");
+        assert!(head_body.is_empty(), "HEAD {target} returned a body: {head_body}");
+        assert_eq!(
+            header(&head_head, "Content-Type"),
+            header(&get_head, "Content-Type"),
+            "HEAD {target} content type"
+        );
+        let announced: usize = header(&head_head, "Content-Length")
+            .unwrap_or_else(|| panic!("HEAD {target} lacks Content-Length: {head_head}"))
+            .parse()
+            .expect("numeric Content-Length");
+        assert!(
+            announced > 0 || get_body.is_empty(),
+            "HEAD {target} announced an empty body while GET returned {} bytes",
+            get_body.len()
+        );
+    }
+
+    // `/jobs` is byte-stable between consecutive requests, so HEAD's
+    // announced length must equal the body GET actually sends.
+    let (_, get_head, get_body) = get(h.addr(), "/jobs");
+    let (_, head_head, _) = head_req(h.addr(), "/jobs");
+    assert_eq!(
+        header(&head_head, "Content-Length"),
+        header(&get_head, "Content-Length")
+    );
+    assert_eq!(
+        header(&get_head, "Content-Length"),
+        Some(get_body.len().to_string().as_str())
+    );
+
+    // HEAD is advertised next to GET on a 405.
+    let mut s = TcpStream::connect(h.addr()).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    write!(s, "PUT /metrics HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n").unwrap();
+    let mut raw = String::new();
+    s.read_to_string(&mut raw).expect("read response");
+    assert!(raw.starts_with("HTTP/1.1 405"), "{raw}");
+    assert!(raw.contains("Allow: GET, HEAD"), "{raw}");
+
+    h.shutdown();
+    drop(session);
 }
 
 #[test]
