@@ -9,10 +9,10 @@
 //! [`protocol::measure`] under the job's own trace session.
 
 use crate::benchmarks::{suite, Benchmark};
-use crate::protocol::{measure, RunConfig, StudyContext};
+use crate::protocol::{measure_cancellable, Canceled, RunConfig, StudyContext};
 use vpp_stats::PowerSummary;
 use vpp_substrate::json::Value;
-use vpp_substrate::serve::JobHandler;
+use vpp_substrate::serve::{CancelToken, JobHandler};
 
 /// Bounds a submitted spec must respect. Nodes cover the paper's scaling
 /// sweep with headroom; caps are the A100's supported window; repeats and
@@ -193,7 +193,7 @@ impl JobHandler for ProtocolJobHandler {
         ServiceJobSpec::from_json(spec).map(|s| s.to_json())
     }
 
-    fn run(&self, spec: &Value) -> Result<Value, String> {
+    fn run(&self, spec: &Value, cancel: &CancelToken) -> Result<Value, String> {
         let spec = ServiceJobSpec::from_json(spec)?;
         let bench = spec
             .benchmark()
@@ -204,7 +204,12 @@ impl JobHandler for ProtocolJobHandler {
         let mut cfg = RunConfig::nodes(spec.nodes);
         cfg.cap_w = spec.cap_w;
         cfg.seed_salt = spec.seed_salt;
-        let measured = measure(&bench, &cfg, &ctx);
+        // The repeat boundary is the protocol's cancel checkpoint: a
+        // DELETE on a running job takes effect before the next repeat.
+        let measured = match measure_cancellable(&bench, &cfg, &ctx, &|| cancel.is_canceled()) {
+            Ok(m) => m,
+            Err(Canceled) => return Err("canceled between repeats".to_string()),
+        };
         let mut result = vec![
             (
                 "workload".to_string(),
@@ -290,7 +295,7 @@ mod tests {
                 r#"{"workload": "B.hR105_hse", "repeats": 1, "cap_w": 250}"#,
             ))
             .unwrap();
-        let result = handler.run(&spec).unwrap();
+        let result = handler.run(&spec, &CancelToken::new()).unwrap();
         assert_eq!(
             result.get("workload").and_then(Value::as_str),
             Some("B.hR105_hse")
@@ -299,5 +304,20 @@ mod tests {
         assert!(result.get("energy_j").and_then(Value::as_f64).unwrap() > 0.0);
         assert!(result.get("cap_w").and_then(Value::as_f64).unwrap() == 250.0);
         assert!(result.get("node").and_then(|n| n.get("high_mode_w")).is_some());
+    }
+
+    #[test]
+    fn handler_honours_a_preset_cancel_token() {
+        let handler = ProtocolJobHandler;
+        let spec = handler
+            .validate(&parse(r#"{"workload": "B.hR105_hse", "repeats": 1}"#))
+            .unwrap();
+        // Token already set: the first repeat's checkpoint fires before
+        // any fleet executes, so this returns quickly with the cancel
+        // message rather than a measurement.
+        let token = CancelToken::new();
+        token.cancel();
+        let err = handler.run(&spec, &token).unwrap_err();
+        assert!(err.contains("canceled between repeats"), "{err}");
     }
 }

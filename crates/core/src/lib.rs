@@ -24,4 +24,4 @@ pub mod protocol;
 
 pub use benchmarks::{suite, Benchmark};
 pub use jobs::{ProtocolJobHandler, ServiceJobSpec};
-pub use protocol::{measure, Measured, RunConfig, StudyContext};
+pub use protocol::{measure, measure_cancellable, Canceled, Measured, RunConfig, StudyContext};

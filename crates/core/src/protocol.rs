@@ -157,6 +157,11 @@ pub fn plan_for(bench: &Benchmark, nodes: usize, ctx: &StudyContext) -> ScfPlan 
     build_plan(&bench.params(), &ParallelLayout::nodes(nodes), &ctx.cost)
 }
 
+/// A measurement stopped early because its cancellation check fired
+/// (see [`measure_cancellable`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Canceled;
+
 /// Run the full protocol: `ctx.repeats` runs on fresh fleets, keep the
 /// fastest, sample and summarise it.
 ///
@@ -164,6 +169,30 @@ pub fn plan_for(bench: &Benchmark, nodes: usize, ctx: &StudyContext) -> ScfPlan 
 /// If the benchmark produces an empty plan or zero-length series.
 #[must_use]
 pub fn measure(bench: &Benchmark, cfg: &RunConfig, ctx: &StudyContext) -> Measured {
+    match measure_cancellable(bench, cfg, ctx, &|| false) {
+        Ok(m) => m,
+        Err(Canceled) => unreachable!("the never-cancel check cannot fire"),
+    }
+}
+
+/// [`measure`] with a cooperative cancellation check: `canceled` is
+/// polled at the start of every repeat, and a `true` abandons the
+/// measurement — remaining repeats are skipped and nothing is sampled or
+/// summarised. This is the long-running service's cancel hook; the
+/// checkpoints are repeat boundaries because a single repeat is the unit
+/// of useful work (a partial fleet execution summarises nothing).
+///
+/// # Errors
+/// [`Canceled`] when the check fired before every repeat completed.
+///
+/// # Panics
+/// If the benchmark produces an empty plan or zero-length series.
+pub fn measure_cancellable(
+    bench: &Benchmark,
+    cfg: &RunConfig,
+    ctx: &StudyContext,
+    canceled: &(dyn Fn() -> bool + Sync),
+) -> Result<Measured, Canceled> {
     let mut measure_span = vpp_substrate::span!(
         "protocol.measure",
         benchmark = bench.name(),
@@ -175,8 +204,11 @@ pub fn measure(bench: &Benchmark, cfg: &RunConfig, ctx: &StudyContext) -> Measur
     // serially when a caller higher in the stack already holds the pool).
     // Each repeat carries its span id forward so the quality gate can
     // link any re-collection back to the measurement it rescued.
-    let results: Vec<(JobResult, Option<u64>)> =
+    let results: Vec<Option<(JobResult, Option<u64>)>> =
         vpp_substrate::par_map((0..ctx.repeats.max(1)).collect(), |rep| {
+            if canceled() {
+                return None;
+            }
             let mut rep_span = vpp_substrate::span!("protocol.repeat", rep = rep);
             let spec = JobSpec {
                 nodes: cfg.nodes,
@@ -194,10 +226,21 @@ pub fn measure(bench: &Benchmark, cfg: &RunConfig, ctx: &StudyContext) -> Measur
             };
             let result = execute(&plan, &spec, &ctx.network);
             rep_span.record("runtime_s", result.runtime_s);
-            (result, rep_span.id())
+            Some((result, rep_span.id()))
         });
 
-    let (best, best_span) = results
+    let mut completed = Vec::with_capacity(results.len());
+    for r in results {
+        match r {
+            Some(done) => completed.push(done),
+            None => {
+                vpp_substrate::trace::counter("protocol.canceled", 1);
+                measure_span.record("canceled", true);
+                return Err(Canceled);
+            }
+        }
+    }
+    let (best, best_span) = completed
         .into_iter()
         .min_by(|a, b| a.0.runtime_s.total_cmp(&b.0.runtime_s))
         .expect("at least one repeat");
@@ -282,7 +325,7 @@ pub fn measure(bench: &Benchmark, cfg: &RunConfig, ctx: &StudyContext) -> Measur
     measure_span.record("coverage", node_quality.coverage);
     measure_span.record("flagged", quality_flagged);
 
-    Measured {
+    Ok(Measured {
         name: bench.name().to_string(),
         nodes: cfg.nodes,
         cap_w: cfg.cap_w,
@@ -294,7 +337,7 @@ pub fn measure(bench: &Benchmark, cfg: &RunConfig, ctx: &StudyContext) -> Measur
         result: best,
         node_quality,
         quality_flagged,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -416,6 +459,28 @@ mod tests {
         }
         // The final coverage is exported as a gauge for scrapers.
         assert!(report.gauges["protocol.coverage"] < 0.9);
+    }
+
+    #[test]
+    fn cancellation_stops_between_repeats() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let bench = benchmarks::b_hr105_hse();
+        let ctx = StudyContext::quick(); // 2 repeats
+        // Run serially so the repeat order (and thus the check count) is
+        // deterministic: the first repeat passes its check, the second
+        // sees the flag and abandons the measurement.
+        let checks = AtomicUsize::new(0);
+        let out = vpp_substrate::pool::serial(|| {
+            measure_cancellable(&bench, &RunConfig::nodes(1), &ctx, &|| {
+                checks.fetch_add(1, Ordering::SeqCst) >= 1
+            })
+        });
+        assert!(matches!(out, Err(Canceled)), "second repeat must cancel");
+        assert_eq!(checks.load(Ordering::SeqCst), 2, "one check per repeat");
+        // A check that never fires is exactly `measure`.
+        let ok = measure_cancellable(&bench, &RunConfig::nodes(1), &ctx, &|| false)
+            .expect("nothing canceled");
+        assert!(ok.runtime_s > 10.0);
     }
 
     #[test]

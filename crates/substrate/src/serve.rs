@@ -26,6 +26,29 @@
 //!   poll re-serialises the whole log.
 //! * `GET /jobs/<id>/metrics` — the job session's own Prometheus
 //!   exposition (counters, gauges, span summaries, admission stats).
+//! * `DELETE /jobs/<id>` — cancel: a queued job is removed from the
+//!   queue and terminal immediately; a running job gets its cooperative
+//!   [`CancelToken`] set (`202`, the handler stops at its next check);
+//!   an already-terminal job is a `409`.
+//!
+//! The service manages its own resource lifetimes:
+//!
+//! * **Keep-alive** — connections are persistent per RFC 9112 (the
+//!   HTTP/1.1 default): one socket serves up to [`MAX_CONN_REQUESTS`]
+//!   requests, bytes read past one body carry over as the next request's
+//!   prefix (pipelining works), and the server closes when the client
+//!   sends `Connection: close`, after a protocol error (`431`/`413`/
+//!   `408` drain-and-close), or at the request cap. A connection that
+//!   goes idle mid-request is answered `408`; one that never starts a
+//!   request is closed quietly.
+//! * **TTL eviction** — terminal jobs older than [`ServeConfig::job_ttl`]
+//!   (default 15 min; `None` keeps forever) are swept out of the
+//!   registry, freeing their session ring buffers. Evicted ids answer
+//!   `410 Gone` (not `404`), and evictions count in
+//!   `vpp_serve_jobs_evicted`.
+//! * **Backpressure** — the submission queue is bounded at
+//!   [`ServeConfig::max_queue`] (default 32); a full queue answers `429`
+//!   with `Retry-After` instead of growing without bound.
 //!
 //! The original endpoints remain: `GET /metrics` (process exposition —
 //! global session plus `vpp_up` / `vpp_serve_*` self-series), `GET
@@ -45,7 +68,7 @@
 //! ([`ServeHandle::shutdown`] joins the acceptor, both workers and every
 //! job-runner thread), and **stay std-only** (hand-rolled request
 //! parser with bounded head and body, fixed `Content-Length` responses
-//! with `Connection: close`).
+//! framing each reply on the persistent connection).
 
 use crate::json::{self, Value};
 use crate::pool;
@@ -78,6 +101,17 @@ const TRACE_CHUNK_MAX: usize = 4096;
 /// Concurrent job sessions unless [`ServeConfig::max_sessions`] says
 /// otherwise.
 const DEFAULT_MAX_SESSIONS: usize = 2;
+/// Requests one keep-alive connection may serve before the server closes
+/// it (bounds how long a single client can monopolise a worker).
+const MAX_CONN_REQUESTS: usize = 100;
+/// Terminal jobs older than this are evicted unless
+/// [`ServeConfig::job_ttl`] says otherwise.
+const DEFAULT_JOB_TTL: Duration = Duration::from_secs(15 * 60);
+/// Queued (not yet running) submissions unless [`ServeConfig::max_queue`]
+/// raises the bound; a full queue answers `429`.
+const DEFAULT_MAX_QUEUE: usize = 32;
+/// Minimum spacing between TTL eviction sweeps.
+const SWEEP_INTERVAL_MS: u64 = 200;
 
 /// Where the instrumented run currently is, for `/healthz`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -110,6 +144,32 @@ impl RunState {
     }
 }
 
+/// Cooperative cancellation flag shared between the service and one
+/// running job. `DELETE /jobs/<id>` sets it; a well-behaved handler polls
+/// [`CancelToken::is_canceled`] at its natural checkpoints (the protocol
+/// handler checks between repeats) and returns early.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-set token.
+    #[must_use]
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Request cancellation. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether cancellation has been requested.
+    #[must_use]
+    pub fn is_canceled(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
 /// Runs validated job specs for the service. The substrate stays
 /// workload-agnostic: the binary installs a handler that knows the
 /// benchmark recipes, and tests install synthetic ones.
@@ -124,10 +184,14 @@ pub trait JobHandler: Send + Sync {
     /// Execute a validated spec and return the result document. Called on
     /// a dedicated thread with the job's [`LocalSession`] already bound,
     /// so everything the run instruments lands in the job's own trace.
+    /// Long-running handlers should poll `cancel` at natural checkpoints
+    /// and bail with an error; a job whose cancel token is set when the
+    /// handler errors out lands in the `canceled` terminal state.
     ///
     /// # Errors
-    /// A message describing the failure (`failed` state on the job).
-    fn run(&self, spec: &Value) -> Result<Value, String>;
+    /// A message describing the failure (`failed` state on the job, or
+    /// `canceled` when the token was set).
+    fn run(&self, spec: &Value, cancel: &CancelToken) -> Result<Value, String>;
 }
 
 /// Lifecycle of one submitted job.
@@ -137,6 +201,7 @@ enum JobState {
     Running,
     Done,
     Failed,
+    Canceled,
 }
 
 impl JobState {
@@ -146,11 +211,12 @@ impl JobState {
             JobState::Running => "running",
             JobState::Done => "done",
             JobState::Failed => "failed",
+            JobState::Canceled => "canceled",
         }
     }
 
     fn terminal(self) -> bool {
-        matches!(self, JobState::Done | JobState::Failed)
+        matches!(self, JobState::Done | JobState::Failed | JobState::Canceled)
     }
 }
 
@@ -159,6 +225,7 @@ struct JobEntry {
     spec: Value,
     state: JobState,
     session: LocalSession,
+    cancel: CancelToken,
     result: Option<Value>,
     error: Option<String>,
     submitted_s: f64,
@@ -166,8 +233,10 @@ struct JobEntry {
     finished_s: Option<f64>,
 }
 
-/// Session registry: all jobs ever submitted, the admission queue, and
-/// the runner threads that shutdown must join.
+/// Session registry: live jobs, the admission queue, the runner threads
+/// that shutdown must join, and the ids of jobs the TTL sweep removed
+/// (kept so `GET /jobs/<id>` can answer `410 Gone` instead of `404`; an
+/// id costs 8 bytes against the ring buffers eviction frees).
 #[derive(Default)]
 struct Registry {
     next_id: u64,
@@ -175,6 +244,7 @@ struct Registry {
     queue: VecDeque<u64>,
     running: usize,
     runners: Vec<JoinHandle<()>>,
+    evicted: BTreeSet<u64>,
 }
 
 /// Server configuration for [`serve_with`].
@@ -189,10 +259,17 @@ pub struct ServeConfig {
     /// Executes `POST /jobs` submissions; without one the job endpoints
     /// answer `503`.
     pub handler: Option<Arc<dyn JobHandler>>,
+    /// Evict terminal jobs this long after they finish (`None` keeps
+    /// them forever). Evicted ids answer `410 Gone`.
+    pub job_ttl: Option<Duration>,
+    /// Bound on queued (not yet running) submissions; a full queue
+    /// answers `429` with `Retry-After`.
+    pub max_queue: usize,
 }
 
 impl ServeConfig {
-    /// Defaults: no federation, no handler, two concurrent sessions.
+    /// Defaults: no federation, no handler, two concurrent sessions,
+    /// 15-minute TTL on terminal jobs, 32 queued submissions.
     #[must_use]
     pub fn new(port: u16) -> ServeConfig {
         ServeConfig {
@@ -200,6 +277,8 @@ impl ServeConfig {
             max_sessions: DEFAULT_MAX_SESSIONS,
             federate: Vec::new(),
             handler: None,
+            job_ttl: Some(DEFAULT_JOB_TTL),
+            max_queue: DEFAULT_MAX_QUEUE,
         }
     }
 
@@ -207,6 +286,22 @@ impl ServeConfig {
     #[must_use]
     pub fn max_sessions(mut self, n: usize) -> ServeConfig {
         self.max_sessions = n.max(1);
+        self
+    }
+
+    /// How long terminal jobs linger before the sweep evicts them and
+    /// frees their trace sessions; `None` keeps them forever.
+    #[must_use]
+    pub fn job_ttl(mut self, ttl: Option<Duration>) -> ServeConfig {
+        self.job_ttl = ttl;
+        self
+    }
+
+    /// Bound the submission queue (clamped to at least 1); a full queue
+    /// answers `429`.
+    #[must_use]
+    pub fn max_queue(mut self, n: usize) -> ServeConfig {
+        self.max_queue = n.max(1);
         self
     }
 
@@ -237,10 +332,17 @@ struct Shared {
     max_sessions: usize,
     federate: Vec<String>,
     handler: Option<Arc<dyn JobHandler>>,
+    job_ttl: Option<Duration>,
+    max_queue: usize,
     jobs: Mutex<Registry>,
     jobs_submitted: AtomicU64,
     jobs_completed: AtomicU64,
     jobs_failed: AtomicU64,
+    jobs_canceled: AtomicU64,
+    jobs_evicted: AtomicU64,
+    /// Uptime millisecond after which the next TTL sweep may run; the
+    /// winner of the compare-exchange does the sweep.
+    next_sweep_ms: AtomicU64,
 }
 
 impl Shared {
@@ -289,10 +391,15 @@ pub fn serve_with(cfg: ServeConfig) -> std::io::Result<ServeHandle> {
         max_sessions: cfg.max_sessions,
         federate: cfg.federate,
         handler: cfg.handler,
+        job_ttl: cfg.job_ttl,
+        max_queue: cfg.max_queue.max(1),
         jobs: Mutex::new(Registry::default()),
         jobs_submitted: AtomicU64::new(0),
         jobs_completed: AtomicU64::new(0),
         jobs_failed: AtomicU64::new(0),
+        jobs_canceled: AtomicU64::new(0),
+        jobs_evicted: AtomicU64::new(0),
+        next_sweep_ms: AtomicU64::new(0),
     });
     let worker_shared = Arc::clone(&shared);
     let acceptor = std::thread::Builder::new()
@@ -406,6 +513,7 @@ fn worker(listener: &TcpListener, shared: &Arc<Shared>) {
         if shared.shutdown.load(Ordering::SeqCst) {
             return;
         }
+        maybe_sweep(shared);
         match listener.accept() {
             Ok((stream, _peer)) => handle_connection(stream, shared),
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -422,20 +530,46 @@ fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
     let _ = stream.set_nonblocking(false);
     let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
     let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
-    let req = match read_request(&mut stream) {
-        Ok(req) => req,
-        Err(Some(resp)) => {
-            // The request was understood well enough to answer (431/413);
-            // silently dropping it would leave the client guessing.
-            let _ = write_response(&mut stream, &resp, false);
+    // HTTP/1.1 keep-alive (RFC 9112 §9.3): one socket serves requests
+    // until the client asks to close, a protocol error forces a close,
+    // or the per-connection cap is reached. Bytes read past one request's
+    // body carry over as the next request's prefix, so pipelined clients
+    // work without any special casing.
+    let mut carry: Vec<u8> = Vec::new();
+    for served in 1..=MAX_CONN_REQUESTS {
+        let req = match read_request(&mut stream, &mut carry) {
+            Ok(req) => req,
+            Err(ReadError::Respond(resp)) => {
+                // The request was understood well enough to answer
+                // (431/413/over-long body); these always close — the
+                // connection's framing is no longer trustworthy.
+                let _ = write_response(&mut stream, &resp, false, false);
+                return;
+            }
+            Err(ReadError::TimedOutMidRequest) => {
+                // The peer went quiet with a request half-sent: say so
+                // (RFC 9110 §15.5.9) and close.
+                let resp = Response::text(
+                    408,
+                    "Request Timeout",
+                    "no complete request within the idle timeout\n",
+                );
+                let _ = write_response(&mut stream, &resp, false, false);
+                return;
+            }
+            // Idle between requests (or never sent one) / disconnected:
+            // close quietly, there is nobody to talk to.
+            Err(ReadError::Idle | ReadError::Drop) => return,
+        };
+        shared.requests.fetch_add(1, Ordering::SeqCst);
+        maybe_sweep(shared);
+        let head_only = req.method == "HEAD";
+        let response = route(&req, shared);
+        let keep = !req.close && served < MAX_CONN_REQUESTS;
+        if write_response(&mut stream, &response, head_only, keep).is_err() || !keep {
             return;
         }
-        Err(None) => return, // malformed or disconnected: nothing to say
-    };
-    shared.requests.fetch_add(1, Ordering::SeqCst);
-    let head_only = req.method == "HEAD";
-    let response = route(&req, shared);
-    let _ = write_response(&mut stream, &response, head_only);
+    }
 }
 
 /// A parsed request: line, relevant headers, body.
@@ -443,14 +577,39 @@ struct Request {
     method: String,
     target: String,
     body: Vec<u8>,
+    /// Client asked to close after this exchange (`Connection: close`,
+    /// or HTTP/1.0 without `keep-alive`).
+    close: bool,
 }
 
-/// Read and parse one request. `Err(Some(response))` is an error the
-/// client should see (oversized head → `431`, oversized body → `413`);
-/// `Err(None)` means the connection is just dropped (malformed beyond
-/// answering, or the peer went away).
-fn read_request(stream: &mut TcpStream) -> Result<Request, Option<Response>> {
-    let mut head = Vec::new();
+/// Why [`read_request`] could not produce a request.
+enum ReadError {
+    /// An error the client should see (oversized head → `431`, oversized
+    /// body → `413`, body past the declared length on a closing
+    /// connection → `400`); write it, then close.
+    Respond(Response),
+    /// No byte of a new request arrived (fresh or kept-alive connection
+    /// idled out, or the peer closed cleanly between requests).
+    Idle,
+    /// The read timed out with a request partially received.
+    TimedOutMidRequest,
+    /// Malformed beyond answering, or the peer vanished mid-request.
+    Drop,
+}
+
+fn timeout_kind(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// Read and parse one request from a (possibly kept-alive) connection.
+/// `carry` holds bytes already read past the previous request's body —
+/// the next request's prefix under pipelining — and is refilled with this
+/// request's surplus on success.
+fn read_request(stream: &mut TcpStream, carry: &mut Vec<u8>) -> Result<Request, ReadError> {
+    let mut head = std::mem::take(carry);
     let mut chunk = [0u8; 1024];
     let mut oversized = false;
     let head_end = loop {
@@ -467,42 +626,67 @@ fn read_request(stream: &mut TcpStream) -> Result<Request, Option<Response>> {
             }
         }
         match stream.read(&mut chunk) {
-            Ok(0) => break None,
+            Ok(0) => {
+                if head.is_empty() {
+                    // Clean close between requests — not an error.
+                    return Err(ReadError::Idle);
+                }
+                break None;
+            }
             Ok(n) => head.extend_from_slice(&chunk[..n]),
-            Err(_) => return Err(None),
+            Err(e) if timeout_kind(&e) => {
+                // An idle keep-alive connection is normal; a half-sent
+                // request deserves a 408 so the client knows what died.
+                return Err(if head.is_empty() {
+                    ReadError::Idle
+                } else {
+                    ReadError::TimedOutMidRequest
+                });
+            }
+            Err(_) => return Err(ReadError::Drop),
         }
     };
     if oversized {
-        return Err(Some(Response::text(
+        return Err(ReadError::Respond(Response::text(
             431,
             "Request Header Fields Too Large",
             format!("request head exceeds {MAX_HEAD} bytes\n"),
         )));
     }
     let Some(head_end) = head_end else {
-        return Err(None);
+        return Err(ReadError::Drop);
     };
     let (head_bytes, rest) = head.split_at(head_end);
     let text = String::from_utf8_lossy(head_bytes);
     let mut lines = text.lines();
-    let request_line = lines.next().ok_or(None)?;
+    let request_line = lines.next().ok_or(ReadError::Drop)?;
     let mut parts = request_line.split_whitespace();
-    let method = parts.next().ok_or(None)?.to_string();
-    let target = parts.next().ok_or(None)?.to_string();
-    let version = parts.next().ok_or(None)?;
+    let method = parts.next().ok_or(ReadError::Drop)?.to_string();
+    let target = parts.next().ok_or(ReadError::Drop)?.to_string();
+    let version = parts.next().ok_or(ReadError::Drop)?;
     if !version.starts_with("HTTP/1.") {
-        return Err(None);
+        return Err(ReadError::Drop);
     }
     let mut content_length = 0usize;
+    let mut connection = String::new();
     for line in lines {
         if let Some((name, value)) = line.split_once(':') {
-            if name.trim().eq_ignore_ascii_case("content-length") {
-                content_length = value.trim().parse().map_err(|_| None)?;
+            let name = name.trim();
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().map_err(|_| ReadError::Drop)?;
+            } else if name.eq_ignore_ascii_case("connection") {
+                connection = value.trim().to_ascii_lowercase();
             }
         }
     }
+    // Persistent is the HTTP/1.1 default; HTTP/1.0 must opt in.
+    let close = if version == "HTTP/1.0" {
+        !connection.split(',').any(|t| t.trim() == "keep-alive")
+    } else {
+        connection.split(',').any(|t| t.trim() == "close")
+    };
     if content_length > MAX_BODY {
-        return Err(Some(Response::text(
+        return Err(ReadError::Respond(Response::text(
             413,
             "Content Too Large",
             format!("request body exceeds {MAX_BODY} bytes\n"),
@@ -512,16 +696,29 @@ fn read_request(stream: &mut TcpStream) -> Result<Request, Option<Response>> {
     let mut body = rest.to_vec();
     while body.len() < content_length {
         match stream.read(&mut chunk) {
-            Ok(0) => return Err(None),
+            Ok(0) => return Err(ReadError::Drop),
             Ok(n) => body.extend_from_slice(&chunk[..n]),
-            Err(_) => return Err(None),
+            Err(e) if timeout_kind(&e) => return Err(ReadError::TimedOutMidRequest),
+            Err(_) => return Err(ReadError::Drop),
         }
     }
-    body.truncate(content_length);
+    // Surplus bytes are the next pipelined request — unless the client
+    // declared this exchange final, in which case the body is simply
+    // longer than its Content-Length and silently truncating it would
+    // hide a framing bug on the client.
+    *carry = body.split_off(content_length);
+    if close && !carry.is_empty() {
+        return Err(ReadError::Respond(Response::text(
+            400,
+            "Bad Request",
+            format!("request body longer than the declared Content-Length ({content_length} bytes)\n"),
+        )));
+    }
     Ok(Request {
         method,
         target,
         body,
+        close,
     })
 }
 
@@ -574,14 +771,22 @@ impl Response {
 
 /// Write `r`; for a HEAD request (`head_only`) the status line and
 /// headers — including the `Content-Length` the GET would have — go out
-/// with no body, per RFC 9110 §9.3.2.
-fn write_response(stream: &mut TcpStream, r: &Response, head_only: bool) -> std::io::Result<()> {
+/// with no body, per RFC 9110 §9.3.2. `keep_alive` picks the
+/// `Connection` header: the fixed `Content-Length` frames each response,
+/// so a kept-alive client knows exactly where the next one starts.
+fn write_response(
+    stream: &mut TcpStream,
+    r: &Response,
+    head_only: bool,
+    keep_alive: bool,
+) -> std::io::Result<()> {
     let mut head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         r.status,
         r.reason,
         r.content_type,
-        r.body.len()
+        r.body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
     );
     if let Some(allow) = r.allow {
         head.push_str("Allow: ");
@@ -607,7 +812,10 @@ fn allowed_methods(path: &str) -> Option<&'static str> {
     match path {
         "/metrics" | "/healthz" | "/trace" => Some("GET, HEAD"),
         "/jobs" => Some("GET, HEAD, POST"),
-        p => job_subpath(p).map(|_| "GET, HEAD"),
+        p => job_subpath(p).map(|(_, sub)| match sub {
+            None => "GET, HEAD, DELETE",
+            Some(_) => "GET, HEAD",
+        }),
     }
 }
 
@@ -633,7 +841,7 @@ fn route(req: &Request, shared: &Arc<Shared>) -> Response {
             404,
             "Not Found",
             "not found; endpoints: /metrics /healthz /trace?format=json|jsonl|csv \
-             /jobs /jobs/<id> /jobs/<id>/trace?after=SEQ /jobs/<id>/metrics\n",
+             /jobs /jobs/<id> (DELETE cancels) /jobs/<id>/trace?after=SEQ /jobs/<id>/metrics\n",
         );
     };
     if !allow.split(", ").any(|m| m == req.method) {
@@ -672,6 +880,10 @@ fn route(req: &Request, shared: &Arc<Shared>) -> Response {
                 Some(_) => unreachable!("job_subpath rejects other subresources"),
             }
         }
+        ("DELETE", _) => {
+            let (id, _) = job_subpath(path).expect("allowed_methods admitted the path");
+            cancel_job(id, shared)
+        }
         _ => unreachable!("allow list covers every dispatched method"),
     }
 }
@@ -699,8 +911,23 @@ fn post_job(body: &[u8], shared: &Arc<Shared>) -> Response {
         Ok(v) => v,
         Err(e) => return Response::text(400, "Bad Request", format!("invalid job spec: {e}\n")),
     };
+    // Backpressure check and insert share one guard, so two racing
+    // submissions cannot both squeeze past the bound.
     let id = {
         let mut reg = lock(&shared.jobs);
+        if reg.queue.len() >= shared.max_queue {
+            let mut resp = Response::text(
+                429,
+                "Too Many Requests",
+                format!(
+                    "submission queue is full ({} queued, bound {}); retry shortly\n",
+                    reg.queue.len(),
+                    shared.max_queue
+                ),
+            );
+            resp.headers.push(("Retry-After", "1".to_string()));
+            return resp;
+        }
         let id = reg.next_id;
         reg.next_id += 1;
         reg.jobs.insert(
@@ -709,6 +936,7 @@ fn post_job(body: &[u8], shared: &Arc<Shared>) -> Response {
                 spec: normalised,
                 state: JobState::Queued,
                 session: trace::local_session(JOB_TRACE_CAPACITY),
+                cancel: CancelToken::new(),
                 result: None,
                 error: None,
                 submitted_s: shared.uptime_s(),
@@ -726,6 +954,89 @@ fn post_job(body: &[u8], shared: &Arc<Shared>) -> Response {
     let mut resp = Response::json(201, "Created", &job_status_value(id, entry));
     resp.headers.push(("Location", format!("/jobs/{id}")));
     resp
+}
+
+/// `DELETE /jobs/<id>`: cancel. A queued job is terminal immediately
+/// (and leaves the queue); a running job gets its cooperative token set
+/// and keeps running until the handler's next cancel check (`202`); a
+/// terminal job is a `409`, an evicted one `410`.
+fn cancel_job(id: u64, shared: &Arc<Shared>) -> Response {
+    let mut reg = lock(&shared.jobs);
+    let Some(entry) = reg.jobs.get_mut(&id) else {
+        return if reg.evicted.contains(&id) {
+            gone(id)
+        } else {
+            Response::text(404, "Not Found", format!("no such job: {id}\n"))
+        };
+    };
+    match entry.state {
+        JobState::Queued => {
+            entry.state = JobState::Canceled;
+            entry.cancel.cancel();
+            entry.finished_s = Some(shared.uptime_s());
+            entry.error = Some("canceled before start".to_string());
+            let doc = job_status_value(id, entry);
+            reg.queue.retain(|q| *q != id);
+            shared.jobs_canceled.fetch_add(1, Ordering::SeqCst);
+            Response::json(200, "OK", &doc)
+        }
+        JobState::Running => {
+            entry.cancel.cancel();
+            Response::json(202, "Accepted", &job_status_value(id, entry))
+        }
+        terminal => Response::text(
+            409,
+            "Conflict",
+            format!("job {id} is already terminal ({})\n", terminal.as_str()),
+        ),
+    }
+}
+
+/// `410 Gone` for a job id the TTL sweep removed.
+fn gone(id: u64) -> Response {
+    Response::text(
+        410,
+        "Gone",
+        format!("job {id} was evicted after its TTL; its results are no longer held\n"),
+    )
+}
+
+/// Evict terminal jobs older than the TTL, freeing their trace sessions.
+/// Cheap enough to call from the request path: a compare-exchange on the
+/// due time elects one sweeper per [`SWEEP_INTERVAL_MS`] window, and the
+/// sweep itself is one pass over a registry the TTL keeps bounded. Runs
+/// from both the worker idle loop (so eviction happens without traffic)
+/// and the request loop (so held-open keep-alive workers still sweep).
+fn maybe_sweep(shared: &Arc<Shared>) {
+    let Some(ttl) = shared.job_ttl else { return };
+    let now_ms = u64::try_from(shared.started.elapsed().as_millis()).unwrap_or(u64::MAX);
+    let due = shared.next_sweep_ms.load(Ordering::SeqCst);
+    if now_ms < due
+        || shared
+            .next_sweep_ms
+            .compare_exchange(due, now_ms + SWEEP_INTERVAL_MS, Ordering::SeqCst, Ordering::SeqCst)
+            .is_err()
+    {
+        return;
+    }
+    let ttl_s = ttl.as_secs_f64();
+    let now_s = shared.uptime_s();
+    let mut reg = lock(&shared.jobs);
+    let expired: Vec<u64> = reg
+        .jobs
+        .iter()
+        .filter(|(_, e)| {
+            e.state.terminal() && e.finished_s.is_some_and(|t| now_s - t >= ttl_s)
+        })
+        .map(|(id, _)| *id)
+        .collect();
+    for id in expired {
+        // Dropping the entry drops its LocalSession — the last reference
+        // to the job's ring buffer once any in-flight snapshot finishes.
+        reg.jobs.remove(&id);
+        reg.evicted.insert(id);
+        shared.jobs_evicted.fetch_add(1, Ordering::SeqCst);
+    }
 }
 
 /// Start queued jobs while session slots are free. Each runner gets its
@@ -756,13 +1067,17 @@ fn run_job(shared: &Arc<Shared>, id: u64) {
         .handler
         .clone()
         .expect("jobs only enqueue when a handler is installed");
-    let (session, spec) = {
+    let fetched = {
         let reg = lock(&shared.jobs);
-        let Some(entry) = reg.jobs.get(&id) else {
-            lock(&shared.jobs).running -= 1;
-            return;
-        };
-        (entry.session.clone(), entry.spec.clone())
+        reg.jobs
+            .get(&id)
+            .map(|e| (e.session.clone(), e.spec.clone(), e.cancel.clone()))
+    };
+    let Some((session, spec, cancel)) = fetched else {
+        // The entry vanished before the runner started; free the slot.
+        lock(&shared.jobs).running -= 1;
+        pump(shared);
+        return;
     };
     // Bind the job's session to this thread and keep the whole workload
     // here: pool::serial makes inner par_map fan-in, so instrumentation
@@ -772,7 +1087,7 @@ fn run_job(shared: &Arc<Shared>, id: u64) {
     // inside, so unwinding restores the thread's trace state).
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         let _bind = session.bind();
-        pool::serial(|| handler.run(&spec))
+        pool::serial(|| handler.run(&spec, &cancel))
     }));
     {
         let mut reg = lock(&shared.jobs);
@@ -780,9 +1095,17 @@ fn run_job(shared: &Arc<Shared>, id: u64) {
             entry.finished_s = Some(shared.uptime_s());
             match outcome {
                 Ok(Ok(result)) => {
+                    // A completed result wins even when a cancel raced it.
                     entry.state = JobState::Done;
                     entry.result = Some(result);
                     shared.jobs_completed.fetch_add(1, Ordering::SeqCst);
+                }
+                Ok(Err(message)) if cancel.is_canceled() => {
+                    // The handler bailed after DELETE set the token: the
+                    // cancel, not a workload fault, is what stopped it.
+                    entry.state = JobState::Canceled;
+                    entry.error = Some(message);
+                    shared.jobs_canceled.fetch_add(1, Ordering::SeqCst);
                 }
                 Ok(Err(message)) => {
                     entry.state = JobState::Failed;
@@ -824,6 +1147,9 @@ fn job_status_value(id: u64, entry: &JobEntry) -> Value {
         ),
         ("submitted_s".to_string(), Value::Num(entry.submitted_s)),
     ];
+    if entry.cancel.is_canceled() && !entry.state.terminal() {
+        obj.push(("cancel_requested".to_string(), Value::Bool(true)));
+    }
     if let Some(t) = entry.started_s {
         obj.push(("started_s".to_string(), Value::Num(t)));
     }
@@ -839,6 +1165,10 @@ fn job_status_value(id: u64, entry: &JobEntry) -> Value {
     Value::Obj(obj)
 }
 
+/// `GET /jobs`. The whole listing — per-job rows, `running`, `queued`,
+/// `evicted` — reads under ONE registry guard, so the document is a
+/// coherent snapshot (counts always tally with the rows) rather than a
+/// torn read across separate lock acquisitions.
 fn jobs_list(shared: &Arc<Shared>) -> Response {
     let reg = lock(&shared.jobs);
     let jobs: Vec<Value> = reg
@@ -864,8 +1194,16 @@ fn jobs_list(shared: &Arc<Shared>) -> Response {
             "max_sessions".to_string(),
             Value::Num(shared.max_sessions as f64),
         ),
+        (
+            "max_queue".to_string(),
+            Value::Num(shared.max_queue as f64),
+        ),
         ("running".to_string(), Value::Num(reg.running as f64)),
         ("queued".to_string(), Value::Num(reg.queue.len() as f64)),
+        (
+            "evicted".to_string(),
+            Value::Num(reg.evicted.len() as f64),
+        ),
         ("jobs".to_string(), Value::Arr(jobs)),
     ]);
     Response::json(200, "OK", &doc)
@@ -875,6 +1213,7 @@ fn job_status(id: u64, shared: &Arc<Shared>) -> Response {
     let reg = lock(&shared.jobs);
     match reg.jobs.get(&id) {
         Some(entry) => Response::json(200, "OK", &job_status_value(id, entry)),
+        None if reg.evicted.contains(&id) => gone(id),
         None => Response::text(404, "Not Found", format!("no such job: {id}\n")),
     }
 }
@@ -891,8 +1230,10 @@ fn job_trace(id: u64, query: &str, shared: &Arc<Shared>) -> Response {
     let mut after = 0u64;
     let mut limit = TRACE_CHUNK_DEFAULT;
     for (key, value) in &params {
+        // Form decoding turns `+` into a space (`?after=+5` arrives as
+        // " 5"), so integer params trim before parsing.
         match key.as_str() {
-            "after" => match value.parse() {
+            "after" => match value.trim().parse() {
                 Ok(v) => after = v,
                 Err(_) => {
                     return Response::text(
@@ -902,7 +1243,7 @@ fn job_trace(id: u64, query: &str, shared: &Arc<Shared>) -> Response {
                     )
                 }
             },
-            "limit" => match value.parse::<usize>() {
+            "limit" => match value.trim().parse::<usize>() {
                 Ok(v) if v >= 1 => limit = v.min(TRACE_CHUNK_MAX),
                 _ => {
                     return Response::text(
@@ -928,6 +1269,7 @@ fn job_trace(id: u64, query: &str, shared: &Arc<Shared>) -> Response {
         let reg = lock(&shared.jobs);
         match reg.jobs.get(&id) {
             Some(entry) => (entry.session.clone(), entry.state),
+            None if reg.evicted.contains(&id) => return gone(id),
             None => return Response::text(404, "Not Found", format!("no such job: {id}\n")),
         }
     };
@@ -957,6 +1299,7 @@ fn job_metrics(id: u64, shared: &Arc<Shared>) -> Response {
         let reg = lock(&shared.jobs);
         match reg.jobs.get(&id) {
             Some(entry) => (entry.session.clone(), entry.state),
+            None if reg.evicted.contains(&id) => return gone(id),
             None => return Response::text(404, "Not Found", format!("no such job: {id}\n")),
         }
     };
@@ -984,14 +1327,15 @@ fn job_metrics(id: u64, shared: &Arc<Shared>) -> Response {
 // ---------------------------------------------------------------------------
 
 /// Strict query-string parse: every key must be in `allowed` (unknown
-/// keys are a client error, not a shrug), and `%XX` escapes in keys and
-/// values are decoded so values survive proxy re-encoding.
+/// keys are a client error, not a shrug), and keys and values are decoded
+/// as `application/x-www-form-urlencoded` (`%XX` escapes plus `+` as
+/// space) so values survive proxy re-encoding and HTML-form submission.
 fn parse_query(query: &str, allowed: &[&str]) -> Result<Vec<(String, String)>, String> {
     let mut out = Vec::new();
     for part in query.split('&').filter(|p| !p.is_empty()) {
         let (key, value) = part.split_once('=').unwrap_or((part, ""));
-        let key = percent_decode(key)?;
-        let value = percent_decode(value)?;
+        let key = form_decode(key)?;
+        let value = form_decode(value)?;
         if !allowed.contains(&key.as_str()) {
             return Err(format!(
                 "unknown query key '{key}' (expected {})",
@@ -1003,14 +1347,20 @@ fn parse_query(query: &str, allowed: &[&str]) -> Result<Vec<(String, String)>, S
     Ok(out)
 }
 
-/// Decode `%XX` escapes (RFC 3986). Malformed escapes and non-UTF-8
-/// results are errors rather than passed through mangled.
-fn percent_decode(s: &str) -> Result<String, String> {
+/// Decode a query component per `application/x-www-form-urlencoded`:
+/// `%XX` escapes (RFC 3986) plus `+` as space — browsers and `curl -d`
+/// both produce `+` for spaces, so pure percent-decoding mis-reads them.
+/// Malformed escapes and non-UTF-8 results are errors rather than passed
+/// through mangled.
+fn form_decode(s: &str) -> Result<String, String> {
     let bytes = s.as_bytes();
     let mut out = Vec::with_capacity(bytes.len());
     let mut i = 0;
     while i < bytes.len() {
-        if bytes[i] == b'%' {
+        if bytes[i] == b'+' {
+            out.push(b' ');
+            i += 1;
+        } else if bytes[i] == b'%' {
             let hex = bytes
                 .get(i + 1..i + 3)
                 .and_then(|h| std::str::from_utf8(h).ok())
@@ -1062,6 +1412,14 @@ fn metrics_body(shared: &Arc<Shared>) -> String {
     out.push_str(&format!(
         "# TYPE vpp_serve_jobs_failed_total counter\nvpp_serve_jobs_failed_total {}\n",
         shared.jobs_failed.load(Ordering::SeqCst)
+    ));
+    out.push_str(&format!(
+        "# TYPE vpp_serve_jobs_canceled_total counter\nvpp_serve_jobs_canceled_total {}\n",
+        shared.jobs_canceled.load(Ordering::SeqCst)
+    ));
+    out.push_str(&format!(
+        "# TYPE vpp_serve_jobs_evicted counter\nvpp_serve_jobs_evicted {}\n",
+        shared.jobs_evicted.load(Ordering::SeqCst)
     ));
     {
         let reg = lock(&shared.jobs);
@@ -1212,6 +1570,10 @@ fn healthz_body(shared: &Arc<Shared>) -> String {
         ),
         ("jobs_running".to_string(), Value::Num(running as f64)),
         ("jobs_queued".to_string(), Value::Num(queued as f64)),
+        (
+            "jobs_evicted".to_string(),
+            Value::Num(shared.jobs_evicted.load(Ordering::SeqCst) as f64),
+        ),
     ])
     .pretty();
     doc.push('\n');
@@ -1358,12 +1720,16 @@ mod tests {
 
     #[test]
     fn percent_decoding_and_strictness() {
-        assert_eq!(percent_decode("jsonl").unwrap(), "jsonl");
-        assert_eq!(percent_decode("json%6C").unwrap(), "jsonl");
-        assert_eq!(percent_decode("a%20b").unwrap(), "a b");
-        assert!(percent_decode("bad%2").is_err());
-        assert!(percent_decode("bad%zz").is_err());
-        assert!(percent_decode("%ff").is_err(), "lone 0xff is not UTF-8");
+        assert_eq!(form_decode("jsonl").unwrap(), "jsonl");
+        assert_eq!(form_decode("json%6C").unwrap(), "jsonl");
+        assert_eq!(form_decode("a%20b").unwrap(), "a b");
+        // x-www-form-urlencoded: `+` is a space, and an encoded `%2B`
+        // is the only way to say a literal plus.
+        assert_eq!(form_decode("a+b").unwrap(), "a b");
+        assert_eq!(form_decode("a%2Bb").unwrap(), "a+b");
+        assert!(form_decode("bad%2").is_err());
+        assert!(form_decode("bad%zz").is_err());
+        assert!(form_decode("%ff").is_err(), "lone 0xff is not UTF-8");
 
         let ok = parse_query("after=10&limit=5", &["after", "limit"]).unwrap();
         assert_eq!(ok, vec![
@@ -1375,6 +1741,9 @@ mod tests {
         // A proxy-encoded key still matches its allowed name.
         let enc = parse_query("%66ormat=json%6C", &["format"]).unwrap();
         assert_eq!(enc, vec![("format".to_string(), "jsonl".to_string())]);
+        // `?after=+5` decodes to " 5"; the integer endpoints trim it.
+        let plus = parse_query("after=+5", &["after"]).unwrap();
+        assert_eq!(plus, vec![("after".to_string(), " 5".to_string())]);
     }
 
     #[test]
@@ -1464,6 +1833,144 @@ mod tests {
         assert!(body.contains("\"jobs\": []"), "{body}");
         let (status, _, _) = get(h.addr(), "/jobs/0");
         assert_eq!(status, 404);
+        h.shutdown();
+    }
+
+    /// Read exactly one `Content-Length`-framed response off a kept-alive
+    /// stream. Bytes past the framed body — the start of the next
+    /// pipelined response, which the server may write back-to-back with
+    /// this one — stay in `carry` for the next call.
+    fn read_framed_with(s: &mut TcpStream, carry: &mut Vec<u8>) -> (u16, String, String) {
+        let mut buf = std::mem::take(carry);
+        let mut chunk = [0u8; 1024];
+        let head_end = loop {
+            if let Some(end) = head_terminator(&buf) {
+                break end;
+            }
+            let n = s.read(&mut chunk).expect("read head");
+            assert!(n > 0, "connection closed before a full response head");
+            buf.extend_from_slice(&chunk[..n]);
+        };
+        let head = String::from_utf8_lossy(&buf[..head_end]).to_string();
+        let len: usize = head
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .expect("content-length header")
+            .parse()
+            .unwrap();
+        let mut body = buf[head_end..].to_vec();
+        while body.len() < len {
+            let n = s.read(&mut chunk).expect("read body");
+            assert!(n > 0, "connection closed mid-body");
+            body.extend_from_slice(&chunk[..n]);
+        }
+        *carry = body.split_off(len);
+        let status: u16 = head
+            .split_whitespace()
+            .nth(1)
+            .expect("status code")
+            .parse()
+            .expect("numeric status");
+        (status, head, String::from_utf8_lossy(&body).to_string())
+    }
+
+    /// `read_framed_with` for lockstep request/response exchanges, where
+    /// no second response can be in flight behind the first.
+    fn read_framed(s: &mut TcpStream) -> (u16, String, String) {
+        let mut carry = Vec::new();
+        let out = read_framed_with(s, &mut carry);
+        assert!(carry.is_empty(), "over-read past the framed body");
+        out
+    }
+
+    #[test]
+    fn keep_alive_serves_multiple_requests_on_one_socket() {
+        let h = serve(0).expect("bind ephemeral");
+        let mut s = TcpStream::connect(h.addr()).expect("connect");
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        // No Connection header: HTTP/1.1 defaults to persistent.
+        s.write_all(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        let (status, head, _) = read_framed(&mut s);
+        assert_eq!(status, 200);
+        assert!(head.contains("Connection: keep-alive"), "{head}");
+        // Same socket, second exchange.
+        s.write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        let (status, head, body) = read_framed(&mut s);
+        assert_eq!(status, 200);
+        assert!(head.contains("Connection: keep-alive"), "{head}");
+        assert!(body.contains("vpp_up 1"), "{body}");
+        // Asking to close is honored: the response says close and the
+        // server hangs up after it.
+        s.write_all(b"GET /healthz HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
+            .unwrap();
+        let (status, head, _) = read_framed(&mut s);
+        assert_eq!(status, 200);
+        assert!(head.contains("Connection: close"), "{head}");
+        let mut rest = Vec::new();
+        s.read_to_end(&mut rest).expect("read to EOF");
+        assert!(rest.is_empty(), "bytes after the final response");
+        h.shutdown();
+    }
+
+    #[test]
+    fn pipelined_requests_are_answered_in_order() {
+        let h = serve(0).expect("bind ephemeral");
+        let mut s = TcpStream::connect(h.addr()).expect("connect");
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        // Both requests in one write; the surplus past the first head
+        // must carry over as the second request.
+        s.write_all(
+            b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n\
+              GET /nope HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n",
+        )
+        .unwrap();
+        let mut carry = Vec::new();
+        let (status, _, body) = read_framed_with(&mut s, &mut carry);
+        assert_eq!(status, 200);
+        assert!(body.contains("\"state\""), "{body}");
+        let (status, _, body) = read_framed_with(&mut s, &mut carry);
+        assert_eq!(status, 404, "{body}");
+        assert!(carry.is_empty(), "bytes after the final response");
+        h.shutdown();
+    }
+
+    #[test]
+    fn half_sent_request_gets_408_idle_connection_closes_quietly() {
+        let h = serve(0).expect("bind ephemeral");
+        // A half-sent request times out into an explicit 408.
+        let mut s = TcpStream::connect(h.addr()).expect("connect");
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        s.write_all(b"GET /healthz HT").unwrap();
+        let mut raw = String::new();
+        s.read_to_string(&mut raw).expect("read response");
+        assert!(raw.starts_with("HTTP/1.1 408"), "{raw}");
+        // A connection that never sends a byte is closed with no
+        // response at all (and without wedging the worker pool).
+        let mut idle = TcpStream::connect(h.addr()).expect("connect");
+        idle.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut raw = String::new();
+        idle.read_to_string(&mut raw).expect("read EOF");
+        assert!(raw.is_empty(), "idle connection got a response: {raw}");
+        h.shutdown();
+    }
+
+    #[test]
+    fn body_longer_than_declared_is_rejected_on_a_closing_request() {
+        let h = serve(0).expect("bind ephemeral");
+        let mut s = TcpStream::connect(h.addr()).expect("connect");
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        // Declares 2 bytes, sends 7, and says close — the extra bytes
+        // cannot be a pipelined request, so this is a framing error.
+        s.write_all(
+            b"POST /jobs HTTP/1.1\r\nHost: x\r\nContent-Length: 2\r\nConnection: close\r\n\r\n{}extra",
+        )
+        .unwrap();
+        let mut raw = String::new();
+        s.read_to_string(&mut raw).expect("read response");
+        assert!(raw.starts_with("HTTP/1.1 400"), "{raw}");
+        assert!(raw.contains("longer than the declared Content-Length"), "{raw}");
         h.shutdown();
     }
 

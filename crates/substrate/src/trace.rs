@@ -703,9 +703,10 @@ impl LocalSession {
 }
 
 /// Scoped thread binding for a [`LocalSession`]. On drop, flushes this
-/// thread's staged events to the session's central log and restores the
-/// thread's previous binding. Deliberately `!Send`: the binding is a
-/// property of the thread that created it.
+/// thread's staged events to the session's central log, releases the
+/// thread's staging buffer for the session, and restores the thread's
+/// previous binding. Deliberately `!Send`: the binding is a property of
+/// the thread that created it.
 pub struct LocalBinding {
     rec: Arc<Recorder>,
     prev: Option<Arc<Recorder>>,
@@ -715,6 +716,18 @@ pub struct LocalBinding {
 impl Drop for LocalBinding {
     fn drop(&mut self) {
         self.rec.flush_current_thread();
+        // Release this thread's staging buffer: a long-lived thread (a
+        // service worker, a test harness) must not pin a finished
+        // session's allocation in its thread-local slot — otherwise
+        // evicting the session from a registry frees the ring buffer in
+        // name only. The recorder's own `buffers` list still holds the
+        // (now drained) Vec until the recorder itself drops.
+        TL_BUFFER.with(|slot| {
+            let mut slot = slot.borrow_mut();
+            if matches!(slot.as_ref(), Some((sid, _)) if *sid == self.rec.id) {
+                *slot = None;
+            }
+        });
         LOCAL_REC.with(|l| {
             let mut l = l.borrow_mut();
             *l = self.prev.take();
@@ -2111,6 +2124,28 @@ mod tests {
         let report = sess.finish();
         assert_eq!(report.marks().len(), 1);
         assert_eq!(report.marks()[0].name, "local.mark");
+    }
+
+    #[test]
+    fn local_binding_releases_the_staging_buffer_on_teardown() {
+        // A long-lived thread must not pin a finished session's staging
+        // buffer in its thread-local slot: once the binding and the
+        // session are gone, every allocation must actually free (this is
+        // what makes a registry's TTL eviction reclaim memory).
+        let sess = local_session(64);
+        let weak_buf = {
+            let _bind = sess.bind();
+            mark("teardown.mark"); // forces a staging buffer into TL_BUFFER
+            let buffers = lock(&sess.rec.buffers);
+            Arc::downgrade(&buffers[0])
+        };
+        // Binding dropped: the TL slot let go, only the recorder holds it.
+        assert!(weak_buf.upgrade().is_some());
+        drop(sess);
+        assert!(
+            weak_buf.upgrade().is_none(),
+            "staging buffer outlived binding + session"
+        );
     }
 
     #[test]

@@ -1,62 +1,116 @@
 //! Minimal std-only scraper for the observability endpoint (DESIGN.md
-//! §3.7): one HTTP/1.1 GET over `std::net::TcpStream`, body to stdout.
+//! §3.7): HTTP/1.1 GETs over one `std::net::TcpStream`, bodies to stdout.
 //!
 //! ```text
 //! cargo run --example scrape_metrics -- http://127.0.0.1:PORT/metrics
+//! cargo run --example scrape_metrics -- http://127.0.0.1:PORT/metrics /healthz /jobs
 //! ```
 //!
-//! Exits 1 on connection errors or non-2xx responses — the shape
+//! Extra arguments are further paths fetched **over the same keep-alive
+//! connection** — the server frames every response with `Content-Length`,
+//! so the scraper reads exactly one body per request and reuses the
+//! socket (the last request says `Connection: close`). Exits 1 on
+//! connection errors or any non-2xx response — the shape
 //! `scripts/verify.sh` needs to poll a `vpp serve` instance without curl.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::time::Duration;
 
-fn fetch(url: &str) -> Result<(u16, String), String> {
-    let rest = url
-        .strip_prefix("http://")
-        .ok_or_else(|| format!("only http:// URLs are supported, got '{url}'"))?;
-    let (host, path) = match rest.split_once('/') {
-        Some((host, path)) => (host, format!("/{path}")),
-        None => (rest, "/".to_string()),
+/// Read one `Content-Length`-framed response: `(status, body)`.
+fn read_response(stream: &mut TcpStream) -> Result<(u16, String), String> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 2048];
+    let head_end = loop {
+        if let Some(i) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break i + 4;
+        }
+        let n = stream
+            .read(&mut chunk)
+            .map_err(|e| format!("read response head: {e}"))?;
+        if n == 0 {
+            return Err("connection closed before a full response head".to_string());
+        }
+        buf.extend_from_slice(&chunk[..n]);
     };
-    let mut stream =
-        TcpStream::connect(host).map_err(|e| format!("connect {host}: {e}"))?;
-    stream
-        .set_read_timeout(Some(Duration::from_secs(5)))
-        .map_err(|e| format!("set timeout: {e}"))?;
-    write!(
-        stream,
-        "GET {path} HTTP/1.1\r\nHost: {host}\r\nConnection: close\r\n\r\n"
-    )
-    .map_err(|e| format!("send request: {e}"))?;
-    let mut raw = String::new();
-    stream
-        .read_to_string(&mut raw)
-        .map_err(|e| format!("read response: {e}"))?;
-    let (head, body) = raw
-        .split_once("\r\n\r\n")
-        .ok_or("malformed response: no header terminator")?;
+    let head = String::from_utf8_lossy(&buf[..head_end]).to_string();
     let status: u16 = head
         .split_whitespace()
         .nth(1)
         .ok_or("malformed status line")?
         .parse()
         .map_err(|_| "non-numeric status code".to_string())?;
-    Ok((status, body.to_string()))
+    let len: usize = head
+        .lines()
+        .find_map(|l| l.strip_prefix("Content-Length: "))
+        .ok_or("response carries no Content-Length")?
+        .trim()
+        .parse()
+        .map_err(|_| "non-numeric Content-Length".to_string())?;
+    let mut body = buf[head_end..].to_vec();
+    while body.len() < len {
+        let n = stream
+            .read(&mut chunk)
+            .map_err(|e| format!("read response body: {e}"))?;
+        if n == 0 {
+            return Err("connection closed mid-body".to_string());
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    Ok((status, String::from_utf8_lossy(&body[..len]).to_string()))
+}
+
+/// Fetch every path over one keep-alive connection; the final request
+/// asks the server to close.
+fn fetch_all(host: &str, paths: &[String]) -> Result<Vec<(u16, String)>, String> {
+    let mut stream = TcpStream::connect(host).map_err(|e| format!("connect {host}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .map_err(|e| format!("set timeout: {e}"))?;
+    let mut out = Vec::with_capacity(paths.len());
+    for (i, path) in paths.iter().enumerate() {
+        let connection = if i + 1 == paths.len() { "close" } else { "keep-alive" };
+        write!(
+            stream,
+            "GET {path} HTTP/1.1\r\nHost: {host}\r\nConnection: {connection}\r\n\r\n"
+        )
+        .map_err(|e| format!("send request for {path}: {e}"))?;
+        out.push(read_response(&mut stream).map_err(|e| format!("{path}: {e}"))?);
+    }
+    Ok(out)
 }
 
 fn main() {
-    let Some(url) = std::env::args().nth(1) else {
-        eprintln!("usage: scrape_metrics http://HOST:PORT/PATH");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(url) = args.first() else {
+        eprintln!("usage: scrape_metrics http://HOST:PORT/PATH [PATH...]");
         std::process::exit(2);
     };
-    match fetch(&url) {
-        Ok((status, body)) if (200..300).contains(&status) => print!("{body}"),
-        Ok((status, body)) => {
-            eprintln!("HTTP {status}");
-            eprint!("{body}");
-            std::process::exit(1);
+    let Some(rest) = url.strip_prefix("http://") else {
+        eprintln!("error: only http:// URLs are supported, got '{url}'");
+        std::process::exit(1);
+    };
+    let (host, first_path) = match rest.split_once('/') {
+        Some((host, path)) => (host.to_string(), format!("/{path}")),
+        None => (rest.to_string(), "/".to_string()),
+    };
+    let mut paths = vec![first_path];
+    paths.extend(args[1..].iter().cloned());
+    match fetch_all(&host, &paths) {
+        Ok(responses) => {
+            let mut failed = false;
+            for (path, (status, body)) in paths.iter().zip(&responses) {
+                if (200..300).contains(status) {
+                    print!("{body}");
+                } else {
+                    eprintln!("{path}: HTTP {status}");
+                    eprint!("{body}");
+                    failed = true;
+                }
+            }
+            if failed {
+                std::process::exit(1);
+            }
         }
         Err(e) => {
             eprintln!("error: {e}");

@@ -114,8 +114,10 @@ done
 }
 SCRAPED=
 for _ in $(seq 1 100); do
+    # All scrapes ride one keep-alive connection: scrape_metrics fetches
+    # every extra path over the socket of the first.
     if cargo run -q --release --offline --example scrape_metrics -- \
-        "http://$ADDR/metrics" > /tmp/vpp_scrape.out 2>/dev/null \
+        "http://$ADDR/metrics" /metrics /healthz > /tmp/vpp_scrape.out 2>/dev/null \
         && grep -q '^vpp_protocol_coverage' /tmp/vpp_scrape.out; then
         SCRAPED=1
         break
@@ -130,6 +132,14 @@ wait "$SERVE_PID" 2>/dev/null || true
 }
 grep -q '^vpp_up 1' /tmp/vpp_scrape.out || {
     echo "verify: FAIL — /metrics lost the vpp_up self-series" >&2
+    exit 1
+}
+grep -q '^vpp_serve_jobs_evicted' /tmp/vpp_scrape.out || {
+    echo "verify: FAIL — /metrics lost the vpp_serve_jobs_evicted counter" >&2
+    exit 1
+}
+grep -q '"jobs_queued"' /tmp/vpp_scrape.out || {
+    echo "verify: FAIL — the keep-alive /healthz scrape went missing" >&2
     exit 1
 }
 grep -q '^job service : POST /jobs' /tmp/vpp_serve.out || {

@@ -57,6 +57,7 @@
 use std::collections::BTreeMap;
 use std::io::Write;
 use std::sync::Arc;
+use std::time::Duration;
 
 use vasp_power_profiles::cluster::{execute, JobSpec, NetworkModel, Straggler};
 use vasp_power_profiles::core::{benchmarks, flight, protocol, ProtocolJobHandler};
@@ -229,6 +230,16 @@ const COMMANDS: &[CommandSpec] = &[
                 "max-sessions",
                 "N",
                 "concurrent job sessions; further POSTed jobs queue (default 2)",
+            ),
+            flag(
+                "max-queue",
+                "N",
+                "queued submissions before POST /jobs answers 429 (default 32)",
+            ),
+            flag(
+                "job-ttl",
+                "DUR",
+                "evict terminal jobs after DUR (30s/15m/1h; 0 keeps forever; default 15m)",
             ),
             FlagSpec {
                 name: "federate",
@@ -1078,6 +1089,33 @@ fn cmd_trace(p: &Parsed) -> Result<(), String> {
     Ok(())
 }
 
+/// Parse a human duration: a non-negative number with an optional
+/// `s`/`m`/`h` suffix (bare numbers are seconds). `0` (any suffix)
+/// means "no TTL" and maps to `None`.
+fn parse_duration(raw: &str) -> Result<Option<Duration>, String> {
+    let (digits, scale_s) = match raw.strip_suffix(['s', 'm', 'h']) {
+        Some(num) => {
+            let scale = match raw.as_bytes()[raw.len() - 1] {
+                b'm' => 60.0,
+                b'h' => 3600.0,
+                _ => 1.0,
+            };
+            (num, scale)
+        }
+        None => (raw, 1.0),
+    };
+    let n: f64 = digits
+        .parse()
+        .map_err(|_| format!("expected a duration like 30s/15m/1h or 0, got '{raw}'"))?;
+    if !n.is_finite() || n < 0.0 {
+        return Err(format!("duration must be non-negative and finite, got '{raw}'"));
+    }
+    if n == 0.0 {
+        return Ok(None);
+    }
+    Ok(Some(Duration::from_secs_f64(n * scale_s)))
+}
+
 /// Run the (optional) benchmark under the observability endpoint, then
 /// keep serving — including the multi-tenant `POST /jobs` service —
 /// until the process is interrupted.
@@ -1088,6 +1126,7 @@ fn cmd_serve(p: &Parsed) -> Result<(), String> {
     let repeat = flag_parse::<usize>(p, "repeat")?.unwrap_or(1).max(1);
     let port = flag_parse::<u16>(p, "metrics-port")?.unwrap_or(0);
     let max_sessions = flag_parse::<usize>(p, "max-sessions")?.unwrap_or(0);
+    let max_queue = flag_parse::<usize>(p, "max-queue")?.unwrap_or(0);
     let federate: Vec<String> = p.values("federate").map(str::to_string).collect();
     let mut serve_cfg = ServeConfig::new(port)
         .federate(federate)
@@ -1095,11 +1134,17 @@ fn cmd_serve(p: &Parsed) -> Result<(), String> {
     if max_sessions > 0 {
         serve_cfg = serve_cfg.max_sessions(max_sessions);
     }
+    if max_queue > 0 {
+        serve_cfg = serve_cfg.max_queue(max_queue);
+    }
+    if let Some(raw) = p.value("job-ttl") {
+        serve_cfg = serve_cfg.job_ttl(parse_duration(raw).map_err(|e| format!("--job-ttl: {e}"))?);
+    }
     let handle =
         serve::serve_with(serve_cfg).map_err(|e| format!("cannot bind metrics port {port}: {e}"))?;
     println!("serving on http://{}", handle.addr());
     println!("endpoints   : /metrics /healthz /trace?format=json|jsonl|csv");
-    println!("job service : POST /jobs, GET /jobs, /jobs/<id>[/trace?after=SEQ|/metrics]");
+    println!("job service : POST /jobs, GET /jobs, DELETE /jobs/<id>, /jobs/<id>[/trace?after=SEQ|/metrics]");
     flush_stdout();
     // The session stays open for the life of the process so late scrapes
     // keep seeing the final trace state; POSTed jobs record into their

@@ -21,7 +21,9 @@ use std::sync::{Arc, Barrier, Mutex};
 use std::time::{Duration, Instant};
 
 use vasp_power_profiles::substrate::json::{self, Value};
-use vasp_power_profiles::substrate::serve::{serve, serve_with, JobHandler, ServeConfig};
+use vasp_power_profiles::substrate::serve::{
+    serve, serve_with, CancelToken, JobHandler, ServeConfig,
+};
 use vasp_power_profiles::substrate::trace;
 
 static TEST_LOCK: Mutex<()> = Mutex::new(());
@@ -97,7 +99,9 @@ fn await_state(addr: SocketAddr, id: u64, state: &str) -> Value {
 /// `events` marks named after the tag. With `"rendezvous": true` the run
 /// meets the test thread on `gate` once before emitting and once after,
 /// which both proves two jobs are inside `run` simultaneously and lets
-/// the test inspect a still-running job deterministically.
+/// the test inspect a still-running job deterministically. With
+/// `"await_cancel": true` the run parks until its [`CancelToken`] fires —
+/// a deterministically cancellable long job.
 struct TagHandler {
     gate: Arc<Barrier>,
 }
@@ -110,7 +114,7 @@ impl JobHandler for TagHandler {
         Ok(spec.clone())
     }
 
-    fn run(&self, spec: &Value) -> Result<Value, String> {
+    fn run(&self, spec: &Value, cancel: &CancelToken) -> Result<Value, String> {
         let tag = spec
             .get("tag")
             .and_then(Value::as_str)
@@ -118,6 +122,16 @@ impl JobHandler for TagHandler {
             .to_string();
         let events = spec.get("events").and_then(Value::as_f64).unwrap_or(8.0) as usize;
         let rendezvous = matches!(spec.get("rendezvous"), Some(Value::Bool(true)));
+        if matches!(spec.get("await_cancel"), Some(Value::Bool(true))) {
+            let deadline = Instant::now() + Duration::from_secs(10);
+            while !cancel.is_canceled() {
+                if Instant::now() >= deadline {
+                    return Err("await_cancel job never saw its token fire".to_string());
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            return Err("stopped at the cancel checkpoint".to_string());
+        }
         if rendezvous {
             self.gate.wait();
         }
@@ -175,6 +189,106 @@ fn trace_lines(body: &str) -> Vec<(u64, String)> {
             )
         })
         .collect()
+}
+
+/// A keep-alive HTTP client: one `TcpStream` reused for every request,
+/// reading `Content-Length`-framed responses so the next exchange starts
+/// exactly where the previous body ended. Reconnects — and counts it —
+/// only when the server signals `Connection: close` (the per-connection
+/// request cap) or the socket dies before a response.
+struct Client {
+    addr: SocketAddr,
+    stream: TcpStream,
+    reconnects: usize,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        Client {
+            addr,
+            stream: Client::dial(addr),
+            reconnects: 0,
+        }
+    }
+
+    fn dial(addr: SocketAddr) -> TcpStream {
+        let s = TcpStream::connect(addr).expect("connect");
+        s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        s
+    }
+
+    fn reconnect(&mut self) {
+        self.stream = Client::dial(self.addr);
+        self.reconnects += 1;
+    }
+
+    fn get(&mut self, target: &str) -> (u16, String, String) {
+        self.request("GET", target, "")
+    }
+
+    fn request(&mut self, method: &str, target: &str, body: &str) -> (u16, String, String) {
+        let msg = format!(
+            "{method} {target} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        if self.stream.write_all(msg.as_bytes()).is_err() {
+            // The server hung up between exchanges (request cap landed
+            // right on the previous response); it never saw this request,
+            // so resending on a fresh socket cannot double-submit.
+            self.reconnect();
+            self.stream.write_all(msg.as_bytes()).expect("send after reconnect");
+        }
+        let resp = match self.read_response() {
+            Some(resp) => resp,
+            None => {
+                self.reconnect();
+                self.stream.write_all(msg.as_bytes()).expect("send after reconnect");
+                self.read_response().expect("response after reconnect")
+            }
+        };
+        if header(&resp.1, "Connection") == Some("close") {
+            self.reconnect();
+        }
+        resp
+    }
+
+    /// One framed response, or `None` when the connection closed before
+    /// a response head arrived.
+    fn read_response(&mut self) -> Option<(u16, String, String)> {
+        let mut buf: Vec<u8> = Vec::new();
+        let mut chunk = [0u8; 2048];
+        let head_end = loop {
+            if let Some(i) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break i + 4;
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) if buf.is_empty() => return None,
+                Ok(0) => panic!("connection closed mid-head: {:?}", String::from_utf8_lossy(&buf)),
+                Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                Err(_) if buf.is_empty() => return None,
+                Err(e) => panic!("read head: {e}"),
+            }
+        };
+        let head = String::from_utf8_lossy(&buf[..head_end - 4]).to_string();
+        let len: usize = header(&head, "Content-Length")
+            .expect("framed response carries Content-Length")
+            .parse()
+            .expect("numeric Content-Length");
+        let mut body = buf[head_end..].to_vec();
+        while body.len() < len {
+            let n = self.stream.read(&mut chunk).expect("read body");
+            assert!(n > 0, "connection closed mid-body");
+            body.extend_from_slice(&chunk[..n]);
+        }
+        assert_eq!(body.len(), len, "read past the framed body");
+        let status: u16 = head
+            .split_whitespace()
+            .nth(1)
+            .expect("status code")
+            .parse()
+            .expect("numeric status");
+        Some((status, head, String::from_utf8_lossy(&body).to_string()))
+    }
 }
 
 #[test]
@@ -351,6 +465,258 @@ fn queued_jobs_wait_for_a_session_and_then_run() {
         panic!("listing has a jobs array: {listing}");
     };
     assert_eq!(jobs.len(), 2, "rejected specs must not be registered: {listing}");
+
+    h.shutdown();
+    assert_eq!(serve_threads_settled(), 0, "job runner threads survived shutdown");
+}
+
+#[test]
+fn one_keep_alive_connection_covers_submit_poll_cancel_and_eviction() {
+    let _guard = locked();
+    let gate = Arc::new(Barrier::new(1)); // unused: no rendezvous jobs here
+    let h = serve_with(
+        ServeConfig::new(0)
+            .max_sessions(1)
+            .job_ttl(Some(Duration::from_millis(250)))
+            .handler(Arc::new(TagHandler { gate })),
+    )
+    .expect("bind ephemeral");
+    let mut c = Client::connect(h.addr());
+
+    // Submit a job that parks until canceled; it takes the only session.
+    let (status, head, body) =
+        c.request("POST", "/jobs", r#"{"tag": "alpha", "await_cancel": true}"#);
+    assert_eq!(status, 201, "{body}");
+    assert_eq!(header(&head, "Connection"), Some("keep-alive"), "{head}");
+    let a = json::parse(&body).unwrap().get("id").and_then(Value::as_f64).unwrap() as u64;
+
+    // A second submission must queue behind it...
+    let (status, _, body) = c.request("POST", "/jobs", r#"{"tag": "beta"}"#);
+    assert_eq!(status, 201, "{body}");
+    let b = json::parse(&body).unwrap().get("id").and_then(Value::as_f64).unwrap() as u64;
+
+    // ...and cancel instantly while queued: terminal right away.
+    let (status, _, body) = c.request("DELETE", &format!("/jobs/{b}"), "");
+    assert_eq!(status, 200, "{body}");
+    let doc = json::parse(&body).unwrap();
+    assert_eq!(doc.get("state").and_then(Value::as_str), Some("canceled"), "{body}");
+    let (status, _, body) = c.request("DELETE", &format!("/jobs/{b}"), "");
+    assert_eq!(status, 409, "cancel of a terminal job must conflict: {body}");
+
+    // Cancel the running job: 202 now, canceled once the handler's
+    // checkpoint fires.
+    let (status, _, body) = c.request("DELETE", &format!("/jobs/{a}"), "");
+    assert_eq!(status, 202, "{body}");
+    let doc = json::parse(&body).unwrap();
+    assert_eq!(doc.get("cancel_requested"), Some(&Value::Bool(true)), "{body}");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let (status, _, body) = c.get(&format!("/jobs/{a}"));
+        assert_eq!(status, 200, "{body}");
+        let doc = json::parse(&body).unwrap();
+        match doc.get("state").and_then(Value::as_str) {
+            Some("canceled") => break,
+            other => assert!(
+                Instant::now() < deadline,
+                "job {a} stuck in {other:?}: {body}"
+            ),
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let (status, _, _) = c.request("DELETE", &format!("/jobs/{a}"), "");
+    assert_eq!(status, 409);
+
+    // The freed session runs a fresh job; cursor-poll its whole trace
+    // over the same socket.
+    let (status, _, body) = c.request("POST", "/jobs", r#"{"tag": "cursor", "events": 30}"#);
+    assert_eq!(status, 201, "{body}");
+    let d = json::parse(&body).unwrap().get("id").and_then(Value::as_f64).unwrap() as u64;
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut after = 0u64;
+    let mut seen = 0usize;
+    loop {
+        let (status, head, body) = c.get(&format!("/jobs/{d}/trace?after={after}&limit=16"));
+        assert_eq!(status, 200, "{body}");
+        for (i, (seq, name)) in trace_lines(&body).into_iter().enumerate() {
+            assert_eq!(seq, after + i as u64, "chunks are contiguous from the cursor");
+            assert_eq!(name, "job.cursor");
+        }
+        seen += body.lines().count();
+        after = header(&head, "X-Vpp-Next-Cursor").unwrap().parse().unwrap();
+        let more = header(&head, "X-Vpp-More") == Some("true");
+        let state = header(&head, "X-Vpp-Job-State").unwrap().to_string();
+        if seen >= 30 && !more && state == "done" {
+            break;
+        }
+        assert!(Instant::now() < deadline, "trace never drained: seen {seen}, state {state}");
+        if body.is_empty() {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+    assert_eq!(seen, 30, "every event exactly once");
+
+    // Everything above rode one connection.
+    assert_eq!(c.reconnects, 0, "the whole walkthrough must fit one keep-alive connection");
+
+    // TTL eviction: the canceled job ages out and its id answers 410
+    // (requests themselves drive the sweep).
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let (status, _, body) = c.get(&format!("/jobs/{b}"));
+        if status == 410 {
+            assert!(body.contains("evicted"), "{body}");
+            break;
+        }
+        assert_eq!(status, 200, "{body}");
+        assert!(Instant::now() < deadline, "job {b} never evicted: {body}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let (status, _, body) = c.get("/metrics");
+    assert_eq!(status, 200);
+    let evicted = body
+        .lines()
+        .find_map(|l| l.strip_prefix("vpp_serve_jobs_evicted "))
+        .expect("exposition carries vpp_serve_jobs_evicted")
+        .parse::<f64>()
+        .unwrap();
+    assert!(evicted >= 1.0, "{body}");
+    let canceled = body
+        .lines()
+        .find_map(|l| l.strip_prefix("vpp_serve_jobs_canceled_total "))
+        .expect("exposition carries vpp_serve_jobs_canceled_total")
+        .parse::<f64>()
+        .unwrap();
+    assert_eq!(canceled, 2.0, "one queued + one running cancel");
+
+    h.shutdown();
+    assert_eq!(serve_threads_settled(), 0, "job runner threads survived shutdown");
+}
+
+#[test]
+fn full_queue_answers_429_with_retry_after() {
+    let _guard = locked();
+    let gate = Arc::new(Barrier::new(2)); // the gated job + this test
+    let h = serve_with(
+        ServeConfig::new(0)
+            .max_sessions(1)
+            .max_queue(1)
+            .handler(Arc::new(TagHandler { gate: gate.clone() })),
+    )
+    .expect("bind ephemeral");
+    let addr = h.addr();
+
+    // One job holds the session at its rendezvous, one fills the queue.
+    let first = submit(addr, r#"{"tag": "alpha", "events": 4, "rendezvous": true}"#);
+    let second = submit(addr, r#"{"tag": "beta", "events": 4}"#);
+
+    // The queue is at its bound: the next submission is refused with
+    // backpressure, not queued.
+    let (status, head, body) = request(addr, "POST", "/jobs", r#"{"tag": "gamma"}"#);
+    assert_eq!(status, 429, "{body}");
+    assert_eq!(header(&head, "Retry-After"), Some("1"), "{head}");
+    assert!(body.contains("queue is full"), "{body}");
+
+    // Nothing was registered for the refused submission.
+    let (_, _, listing) = get(addr, "/jobs");
+    let doc = json::parse(&listing).unwrap();
+    let Some(Value::Arr(jobs)) = doc.get("jobs") else {
+        panic!("listing has a jobs array: {listing}");
+    };
+    assert_eq!(jobs.len(), 2, "{listing}");
+
+    // Release the gate: both admitted jobs complete, and a retry of the
+    // refused submission now lands.
+    gate.wait();
+    gate.wait();
+    await_state(addr, first, "done");
+    await_state(addr, second, "done");
+    let third = submit(addr, r#"{"tag": "gamma"}"#);
+    await_state(addr, third, "done");
+
+    h.shutdown();
+    assert_eq!(serve_threads_settled(), 0, "job runner threads survived shutdown");
+}
+
+#[test]
+fn soak_500_short_jobs_with_short_ttl_keeps_the_registry_bounded() {
+    let _guard = locked();
+    const JOBS: usize = 500;
+    let gate = Arc::new(Barrier::new(2)); // the plug job + this test
+    let h = serve_with(
+        ServeConfig::new(0)
+            .max_sessions(1)
+            .max_queue(8)
+            .job_ttl(Some(Duration::from_secs(1)))
+            .handler(Arc::new(TagHandler { gate: gate.clone() })),
+    )
+    .expect("bind ephemeral");
+    let mut c = Client::connect(h.addr());
+
+    // Plug the only session at the rendezvous so the queue genuinely
+    // fills: the soak must see real 429s, not a lucky drain.
+    let (status, _, _) = c.request("POST", "/jobs", r#"{"tag": "alpha", "rendezvous": true}"#);
+    assert_eq!(status, 201);
+    let mut rejected = 0usize;
+    let mut accepted = 1usize; // the plug
+    let mut released = false;
+    while accepted < JOBS {
+        let (status, _, body) = c.request("POST", "/jobs", r#"{"tag": "beta", "events": 2}"#);
+        match status {
+            201 => accepted += 1,
+            429 => {
+                rejected += 1;
+                if !released {
+                    // Queue proven full under backpressure; unplug and
+                    // let the soak throughput come from real drains.
+                    gate.wait();
+                    gate.wait();
+                    released = true;
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            other => panic!("submission answered {other}: {body}"),
+        }
+    }
+    assert!(rejected > 0, "a bounded queue must refuse at least once");
+
+    // Drain: every job terminal, then every job evicted by the 1 s TTL.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let (status, _, body) = c.get("/jobs");
+        assert_eq!(status, 200);
+        let doc = json::parse(&body).unwrap();
+        let Some(Value::Arr(jobs)) = doc.get("jobs") else {
+            panic!("listing has a jobs array: {body}");
+        };
+        // Bounded at every poll: live entries never exceed the working
+        // set (sessions + queue) plus terminal jobs younger than the TTL.
+        if jobs.is_empty() {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "registry never drained: {} entries left",
+            jobs.len()
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    let (status, _, body) = c.get("/metrics");
+    assert_eq!(status, 200);
+    let evicted = body
+        .lines()
+        .find_map(|l| l.strip_prefix("vpp_serve_jobs_evicted "))
+        .expect("exposition carries vpp_serve_jobs_evicted")
+        .parse::<f64>()
+        .unwrap();
+    assert_eq!(evicted, JOBS as f64, "every accepted job must age out");
+    let submitted = body
+        .lines()
+        .find_map(|l| l.strip_prefix("vpp_serve_jobs_submitted_total "))
+        .expect("exposition carries vpp_serve_jobs_submitted_total")
+        .parse::<f64>()
+        .unwrap();
+    assert_eq!(submitted, JOBS as f64, "429s must not count as submissions");
 
     h.shutdown();
     assert_eq!(serve_threads_settled(), 0, "job runner threads survived shutdown");
