@@ -29,6 +29,9 @@ fn main() {
     h.bench("mark_with_disabled", || {
         trace::mark_with("bench.mark", || vec![("x", 1.0.into())]);
     });
+    h.bench("histogram_disabled", || {
+        trace::histogram("bench.hist_watts", 250.0);
+    });
 
     // Per-event cost with a live recorder, in the steady-state shape the
     // simulator produces: short spans nested under a long-lived root
@@ -60,6 +63,15 @@ fn main() {
         });
         h.bench("counter_enabled", || {
             trace::counter("bench.counter", 1);
+        });
+        // The histogram acceptance bound: recording into a live
+        // per-thread shard must cost no more than 2x a counter increment
+        // (one bucket scan + three relaxed atomics vs one map update
+        // behind the staging lock).
+        let mut v = 0u64;
+        h.bench("histogram_enabled", || {
+            v = (v + 37) % 520;
+            trace::histogram("bench.hist_watts", v as f64);
         });
         if let Some((session, root)) = state.take() {
             drop(root);

@@ -205,6 +205,7 @@ pub fn execute(plan: &ScfPlan, spec: &JobSpec, network: &NetworkModel) -> JobRes
         end: usize,
         energy0: f64,
         cpu_ends0: Vec<f64>,
+        sim_t0: f64,
     }
     let mut open_phase: Option<OpenPhase> = None;
     let clock_min = |c: &[f64]| c.iter().copied().fold(f64::INFINITY, f64::min);
@@ -232,6 +233,21 @@ pub fn execute(plan: &ScfPlan, spec: &JobSpec, network: &NetworkModel) -> JobRes
             .sum();
         acc_energy(gpu, cpu, mem) - ph.energy0 + periph
     };
+    // Duration-weighted power residency: every GPU power segment lands in
+    // the `power_watts` histogram with its simulated duration (in µs) as
+    // the observation count, so bucket mass measures GPU-*time* share —
+    // the quantity behind the paper's high-power-mode fraction — rather
+    // than segment counts. Recorded at each gpu_traces push, so a live
+    // `/metrics` scrape reconstructs the residency mid-run.
+    let record_power = |dur_s: f64, watts: f64| {
+        if !tracing {
+            return;
+        }
+        let us = (dur_s * 1e6).round();
+        if us >= 1.0 {
+            trace::histogram_count("power_watts", watts, us as u64);
+        }
+    };
 
     for (seq, op) in std::iter::once(&init).chain(plan.ops.iter()).enumerate() {
         if tracing {
@@ -239,8 +255,10 @@ pub fn execute(plan: &ScfPlan, spec: &JobSpec, network: &NetworkModel) -> JobRes
                 if seq >= open.end {
                     let mut ph = open_phase.take().unwrap();
                     let e = phase_energy(&ph, &gpu_traces, &cpu_traces, &mem_traces, &nodes);
-                    ph.guard.record("sim_t1", clock_max(&clock));
+                    let t1 = clock_max(&clock);
+                    ph.guard.record("sim_t1", t1);
                     ph.guard.record("energy_j", e);
+                    trace::histogram("phase_sim_seconds", t1 - ph.sim_t0);
                 }
             }
             if open_phase.is_none() {
@@ -262,6 +280,7 @@ pub fn execute(plan: &ScfPlan, spec: &JobSpec, network: &NetworkModel) -> JobRes
                         end,
                         energy0: acc_energy(&gpu_traces, &cpu_traces, &mem_traces),
                         cpu_ends0: cpu_traces.iter().map(PowerTrace::end).collect(),
+                        sim_t0: t0,
                     });
                 }
             }
@@ -282,6 +301,7 @@ pub fn execute(plan: &ScfPlan, spec: &JobSpec, network: &NetworkModel) -> JobRes
                     let ex = gpu.execute(kernel);
                     let dur = ex.duration_s * stretch(r, &mut jitter_rngs) * pf;
                     gpu_traces[r].push(dur, ex.watts);
+                    record_power(dur, ex.watts);
                     clock[r] += dur;
                 }
                 for (n, node) in nodes.iter().enumerate() {
@@ -301,6 +321,7 @@ pub fn execute(plan: &ScfPlan, spec: &JobSpec, network: &NetworkModel) -> JobRes
                 for r in 0..ranks {
                     let gpu = &nodes[r / gpn].gpus[r % gpn];
                     gpu_traces[r].push(dur, gpu.idle_w());
+                    record_power(dur, gpu.idle_w());
                     clock[r] += dur;
                 }
                 for (n, node) in nodes.iter().enumerate() {
@@ -333,11 +354,13 @@ pub fn execute(plan: &ScfPlan, spec: &JobSpec, network: &NetworkModel) -> JobRes
                     let wait = t_sync - clock[r];
                     if wait > 0.0 {
                         gpu_traces[r].push(wait, gpu.idle_w());
+                        record_power(wait, gpu.idle_w());
                     }
                     if comm_s > 0.0 {
                         let k = Kernel::new(KernelKind::NcclComm, *bytes, comm_s);
                         let p = gpu.uncapped_power(&k).min(gpu.effective_ceiling());
                         gpu_traces[r].push(comm_s, p);
+                        record_power(comm_s, p);
                     }
                     clock[r] = t_sync + comm_s;
                 }
@@ -364,6 +387,7 @@ pub fn execute(plan: &ScfPlan, spec: &JobSpec, network: &NetworkModel) -> JobRes
         if pad > 0.0 {
             let gpu = &nodes[r / gpn].gpus[r % gpn];
             gpu_traces[r].push(pad, gpu.idle_w());
+            record_power(pad, gpu.idle_w());
         }
     }
     for (n, node) in nodes.iter().enumerate() {
@@ -380,6 +404,7 @@ pub fn execute(plan: &ScfPlan, spec: &JobSpec, network: &NetworkModel) -> JobRes
         let e = phase_energy(&ph, &gpu_traces, &cpu_traces, &mem_traces, &nodes);
         ph.guard.record("sim_t1", t_end);
         ph.guard.record("energy_j", e);
+        trace::histogram("phase_sim_seconds", t_end - ph.sim_t0);
     }
 
     // Assemble per-node channels (peripherals active for the job's span).
@@ -751,6 +776,63 @@ mod tests {
         let mut spec = quick_spec(1);
         spec.phase_slowdown = Some((PhaseKind::ScfIter, 0.0));
         let _ = execute(&plan, &spec, &NetworkModel::perlmutter());
+    }
+
+    #[test]
+    fn power_histogram_matches_trace_derived_high_power_residency() {
+        // The live `power_watts` histogram (µs-weighted per segment) must
+        // reproduce the high-power-mode residency computed from the full
+        // power traces within 2% — the paper's headline quantity, read
+        // from a single `/metrics` scrape instead of a trace download.
+        let plan = si_plan(256, 1);
+        let session = vpp_substrate::trace::session(1 << 16);
+        let res = execute(&plan, &quick_spec(1), &NetworkModel::perlmutter());
+        let report = session.finish();
+        let hist = report
+            .histograms
+            .get("power_watts")
+            .expect("executor records the power_watts histogram");
+        let thr = vpp_substrate::trace::HIGH_POWER_THRESHOLD_W;
+        let live = hist.fraction_above(thr);
+        let (mut above, mut total) = (0.0, 0.0);
+        for c in &res.node_traces {
+            for g in &c.gpus {
+                for s in g.segments() {
+                    total += s.duration();
+                    if s.watts > thr {
+                        above += s.duration();
+                    }
+                }
+            }
+        }
+        let truth = above / total;
+        assert!(
+            (0.05..0.95).contains(&truth),
+            "workload should be bimodal, residency {truth}"
+        );
+        assert!(
+            (live - truth).abs() <= 0.02,
+            "histogram residency {live} vs trace-derived {truth}"
+        );
+    }
+
+    #[test]
+    fn phase_histogram_matches_phase_span_count() {
+        let plan = si_plan(64, 1);
+        let session = vpp_substrate::trace::session(1 << 16);
+        let _ = execute(&plan, &quick_spec(1), &NetworkModel::perlmutter());
+        let report = session.finish();
+        let hist = report
+            .histograms
+            .get("phase_sim_seconds")
+            .expect("executor records per-phase sim durations");
+        let phases = report
+            .spans()
+            .iter()
+            .filter(|s| s.name.starts_with("phase."))
+            .count() as u64;
+        assert_eq!(hist.count(), phases, "one observation per closed phase");
+        assert!(hist.sum() > 0.0);
     }
 
     #[test]

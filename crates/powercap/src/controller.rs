@@ -147,6 +147,16 @@ impl Controller {
         }
         let after = self.system_power_w(jobs);
         cycle_span.record("power_after_w", after);
+        if trace::enabled() {
+            // The distribution of assigned caps across managed jobs: a
+            // scrape shows at a glance whether the regulator is pinning
+            // jobs at the floor (left mass) or leaving headroom unused
+            // (right mass). Caps live in [100, 400] W, inside the
+            // power_watts bucket table.
+            for j in jobs.iter() {
+                trace::histogram("powercap_cap_watts", j.cap_w);
+            }
+        }
         after
     }
 

@@ -59,6 +59,21 @@
 //! sample with a `peer="..."` label and reporting reachability as
 //! `vpp_federate_peer_up`.
 //!
+//! The service also watches itself:
+//!
+//! * **Per-route telemetry** — every handled request lands in a
+//!   [`trace::Histogram`] keyed by normalised route
+//!   (`vpp_serve_request_seconds{route=...}`) plus a per-status counter
+//!   (`vpp_serve_response_status_total{route=...,status=...}`), both
+//!   rendered into `/metrics`. Routes are normalised to their patterns
+//!   (`/jobs/<id>/trace`, not each id) so cardinality stays fixed.
+//! * `GET /logs?after=SEQ&limit=N&level=warn` — cursor-streamed jsonl
+//!   over the process-wide structured [`trace` journal](trace::logs_after)
+//!   (same exactly-once admission-ticket scheme as `/jobs/<id>/trace`);
+//!   the service emits warn/error records at its decision points (`429`
+//!   backpressure, TTL eviction, `408` stalls, job failure/cancel,
+//!   federation peer-down).
+//!
 //! Every `GET` route also answers `HEAD` with identical headers
 //! (including `Content-Length`) and no body, per RFC 9110 §9.3.2.
 //!
@@ -112,6 +127,8 @@ const DEFAULT_JOB_TTL: Duration = Duration::from_secs(15 * 60);
 const DEFAULT_MAX_QUEUE: usize = 32;
 /// Minimum spacing between TTL eviction sweeps.
 const SWEEP_INTERVAL_MS: u64 = 200;
+/// `/logs` chunk size when the query does not pick one.
+const LOGS_CHUNK_DEFAULT: usize = 512;
 
 /// Where the instrumented run currently is, for `/healthz`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -320,6 +337,24 @@ impl ServeConfig {
     }
 }
 
+/// Per-route service telemetry: request latency distribution plus a
+/// response count per status code. Lives under one mutex in [`Shared`];
+/// route keys are the fixed route *patterns*, so the map's cardinality is
+/// bounded by the routing table, not by traffic.
+struct RouteStat {
+    latency: trace::Histogram,
+    status: BTreeMap<u16, u64>,
+}
+
+impl RouteStat {
+    fn new() -> RouteStat {
+        RouteStat {
+            latency: trace::Histogram::new(trace::SECONDS_BUCKETS),
+            status: BTreeMap::new(),
+        }
+    }
+}
+
 /// State shared between the handle and the worker threads.
 struct Shared {
     started: Instant,
@@ -343,6 +378,9 @@ struct Shared {
     /// Uptime millisecond after which the next TTL sweep may run; the
     /// winner of the compare-exchange does the sweep.
     next_sweep_ms: AtomicU64,
+    /// Per-route latency histograms and status counters, keyed by the
+    /// normalised route pattern (see [`route_key`]).
+    route_stats: Mutex<BTreeMap<&'static str, RouteStat>>,
 }
 
 impl Shared {
@@ -400,6 +438,7 @@ pub fn serve_with(cfg: ServeConfig) -> std::io::Result<ServeHandle> {
         jobs_canceled: AtomicU64::new(0),
         jobs_evicted: AtomicU64::new(0),
         next_sweep_ms: AtomicU64::new(0),
+        route_stats: Mutex::new(BTreeMap::new()),
     });
     let worker_shared = Arc::clone(&shared);
     let acceptor = std::thread::Builder::new()
@@ -549,6 +588,12 @@ fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
             Err(ReadError::TimedOutMidRequest) => {
                 // The peer went quiet with a request half-sent: say so
                 // (RFC 9110 §15.5.9) and close.
+                crate::log_event!(
+                    Warn,
+                    "serve.http",
+                    "connection stalled mid-request; answered 408 and closed",
+                    served = served - 1,
+                );
                 let resp = Response::text(
                     408,
                     "Request Timeout",
@@ -564,7 +609,9 @@ fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
         shared.requests.fetch_add(1, Ordering::SeqCst);
         maybe_sweep(shared);
         let head_only = req.method == "HEAD";
+        let t0 = Instant::now();
         let response = route(&req, shared);
+        record_route(shared, &req.target, response.status, t0.elapsed());
         let keep = !req.close && served < MAX_CONN_REQUESTS;
         if write_response(&mut stream, &response, head_only, keep).is_err() || !keep {
             return;
@@ -810,13 +857,45 @@ fn write_response(
 /// Methods a known path answers; `None` means the path does not exist.
 fn allowed_methods(path: &str) -> Option<&'static str> {
     match path {
-        "/metrics" | "/healthz" | "/trace" => Some("GET, HEAD"),
+        "/metrics" | "/healthz" | "/trace" | "/logs" => Some("GET, HEAD"),
         "/jobs" => Some("GET, HEAD, POST"),
         p => job_subpath(p).map(|(_, sub)| match sub {
             None => "GET, HEAD, DELETE",
             Some(_) => "GET, HEAD",
         }),
     }
+}
+
+/// Normalise a request target to its route *pattern* for per-route
+/// telemetry: every `/jobs/17/trace` lands on `/jobs/<id>/trace`, and
+/// unknown paths share one `<other>` bucket, so the label set is bounded
+/// by the routing table regardless of traffic.
+fn route_key(target: &str) -> &'static str {
+    let path = target.split('?').next().unwrap_or(target);
+    match path {
+        "/metrics" => "/metrics",
+        "/healthz" => "/healthz",
+        "/trace" => "/trace",
+        "/logs" => "/logs",
+        "/jobs" => "/jobs",
+        p => match job_subpath(p) {
+            Some((_, None)) => "/jobs/<id>",
+            Some((_, Some("trace"))) => "/jobs/<id>/trace",
+            Some((_, Some("metrics"))) => "/jobs/<id>/metrics",
+            _ => "<other>",
+        },
+    }
+}
+
+/// Fold one handled request into the per-route latency histogram and
+/// status counter. One short lock per request; the map stays bounded
+/// because [`route_key`] only ever returns route patterns.
+fn record_route(shared: &Arc<Shared>, target: &str, status: u16, elapsed: Duration) {
+    let key = route_key(target);
+    let mut stats = lock(&shared.route_stats);
+    let stat = stats.entry(key).or_insert_with(RouteStat::new);
+    stat.latency.observe(elapsed.as_secs_f64());
+    *stat.status.entry(status).or_insert(0) += 1;
 }
 
 /// Parse `/jobs/<id>[/trace|/metrics]` into `(id, subresource)`.
@@ -841,7 +920,8 @@ fn route(req: &Request, shared: &Arc<Shared>) -> Response {
             404,
             "Not Found",
             "not found; endpoints: /metrics /healthz /trace?format=json|jsonl|csv \
-             /jobs /jobs/<id> (DELETE cancels) /jobs/<id>/trace?after=SEQ /jobs/<id>/metrics\n",
+             /logs?after=SEQ&level=warn /jobs /jobs/<id> (DELETE cancels) \
+             /jobs/<id>/trace?after=SEQ /jobs/<id>/metrics\n",
         );
     };
     if !allow.split(", ").any(|m| m == req.method) {
@@ -869,6 +949,7 @@ fn route(req: &Request, shared: &Arc<Shared>) -> Response {
             body: healthz_body(shared),
         },
         ("GET", "/trace") => trace_response(query),
+        ("GET", "/logs") => logs_response(query),
         ("POST", "/jobs") => post_job(&req.body, shared),
         ("GET", "/jobs") => jobs_list(shared),
         ("GET", _) => {
@@ -916,6 +997,13 @@ fn post_job(body: &[u8], shared: &Arc<Shared>) -> Response {
     let id = {
         let mut reg = lock(&shared.jobs);
         if reg.queue.len() >= shared.max_queue {
+            crate::log_event!(
+                Warn,
+                "serve.jobs",
+                "submission queue full; answered 429",
+                queued = reg.queue.len(),
+                max_queue = shared.max_queue,
+            );
             let mut resp = Response::text(
                 429,
                 "Too Many Requests",
@@ -978,6 +1066,7 @@ fn cancel_job(id: u64, shared: &Arc<Shared>) -> Response {
             let doc = job_status_value(id, entry);
             reg.queue.retain(|q| *q != id);
             shared.jobs_canceled.fetch_add(1, Ordering::SeqCst);
+            crate::log_event!(Warn, "serve.jobs", "queued job canceled", job = id);
             Response::json(200, "OK", &doc)
         }
         JobState::Running => {
@@ -1030,12 +1119,22 @@ fn maybe_sweep(shared: &Arc<Shared>) {
         })
         .map(|(id, _)| *id)
         .collect();
+    let swept = expired.len();
     for id in expired {
         // Dropping the entry drops its LocalSession — the last reference
         // to the job's ring buffer once any in-flight snapshot finishes.
         reg.jobs.remove(&id);
         reg.evicted.insert(id);
         shared.jobs_evicted.fetch_add(1, Ordering::SeqCst);
+    }
+    if swept > 0 {
+        crate::log_event!(
+            Warn,
+            "serve.jobs",
+            "TTL sweep evicted terminal jobs",
+            evicted = swept,
+            ttl_s = ttl_s,
+        );
     }
 }
 
@@ -1104,16 +1203,36 @@ fn run_job(shared: &Arc<Shared>, id: u64) {
                     // The handler bailed after DELETE set the token: the
                     // cancel, not a workload fault, is what stopped it.
                     entry.state = JobState::Canceled;
+                    crate::log_event!(
+                        Warn,
+                        "serve.jobs",
+                        "job canceled mid-run",
+                        job = id,
+                        reason = message.as_str(),
+                    );
                     entry.error = Some(message);
                     shared.jobs_canceled.fetch_add(1, Ordering::SeqCst);
                 }
                 Ok(Err(message)) => {
                     entry.state = JobState::Failed;
+                    crate::log_event!(
+                        Error,
+                        "serve.jobs",
+                        "job failed",
+                        job = id,
+                        error = message.as_str(),
+                    );
                     entry.error = Some(message);
                     shared.jobs_failed.fetch_add(1, Ordering::SeqCst);
                 }
                 Err(_) => {
                     entry.state = JobState::Failed;
+                    crate::log_event!(
+                        Error,
+                        "serve.jobs",
+                        "job handler panicked",
+                        job = id,
+                    );
                     entry.error = Some("job handler panicked".to_string());
                     shared.jobs_failed.fetch_add(1, Ordering::SeqCst);
                 }
@@ -1417,9 +1536,14 @@ fn metrics_body(shared: &Arc<Shared>) -> String {
         "# TYPE vpp_serve_jobs_canceled_total counter\nvpp_serve_jobs_canceled_total {}\n",
         shared.jobs_canceled.load(Ordering::SeqCst)
     ));
+    let evicted = shared.jobs_evicted.load(Ordering::SeqCst);
     out.push_str(&format!(
-        "# TYPE vpp_serve_jobs_evicted counter\nvpp_serve_jobs_evicted {}\n",
-        shared.jobs_evicted.load(Ordering::SeqCst)
+        "# TYPE vpp_serve_jobs_evicted_total counter\nvpp_serve_jobs_evicted_total {evicted}\n"
+    ));
+    // Deprecated alias kept for one release so dashboards keyed on the
+    // old non-`_total` name keep working while they migrate.
+    out.push_str(&format!(
+        "# TYPE vpp_serve_jobs_evicted counter\nvpp_serve_jobs_evicted {evicted}\n"
     ));
     {
         let reg = lock(&shared.jobs);
@@ -1430,10 +1554,37 @@ fn metrics_body(shared: &Arc<Shared>) -> String {
             reg.queue.len()
         ));
     }
+    route_stats_exposition(shared, &mut out);
     if !shared.federate.is_empty() {
         merge_federated(&mut out, &shared.federate);
     }
     out
+}
+
+/// Render the per-route request-latency histograms and status counters.
+/// Both families' samples carry a `route` label (and `status` for the
+/// counter); the `# TYPE` line is emitted once per family, ahead of the
+/// first sample, as strict parsers require.
+fn route_stats_exposition(shared: &Arc<Shared>, out: &mut String) {
+    let stats = lock(&shared.route_stats);
+    if stats.is_empty() {
+        return;
+    }
+    out.push_str("# TYPE vpp_serve_request_seconds histogram\n");
+    for (route, stat) in stats.iter() {
+        let labels = format!("route=\"{}\"", trace::prom_label_value(route));
+        stat.latency
+            .to_prom_lines("vpp_serve_request_seconds", &labels, out);
+    }
+    out.push_str("# TYPE vpp_serve_response_status_total counter\n");
+    for (route, stat) in stats.iter() {
+        for (status, n) in &stat.status {
+            out.push_str(&format!(
+                "vpp_serve_response_status_total{{route=\"{}\",status=\"{status}\"}} {n}\n",
+                trace::prom_label_value(route)
+            ));
+        }
+    }
 }
 
 /// Scrape each peer's exposition and append it with a `peer="..."` label
@@ -1456,7 +1607,16 @@ fn merge_federated(out: &mut String, peers: &[String]) {
                 merge_exposition(&mut merged, &mut declared, peer, &text);
                 1
             }
-            Err(_) => 0,
+            Err(e) => {
+                crate::log_event!(
+                    Warn,
+                    "serve.federate",
+                    "peer scrape failed",
+                    peer = peer.as_str(),
+                    error = e.as_str(),
+                );
+                0
+            }
         };
         out.push_str(&format!(
             "vpp_federate_peer_up{{peer=\"{}\"}} {up}\n",
@@ -1545,6 +1705,9 @@ fn healthz_body(shared: &Arc<Shared>) -> String {
         let reg = lock(&shared.jobs);
         (reg.running, reg.queue.len())
     };
+    // Level and per-level drop counts come from one journal guard
+    // acquisition, so the two can never disagree mid-snapshot.
+    let log = trace::log_stats();
     let mut doc = Value::Obj(vec![
         (
             "state".to_string(),
@@ -1573,6 +1736,21 @@ fn healthz_body(shared: &Arc<Shared>) -> String {
         (
             "jobs_evicted".to_string(),
             Value::Num(shared.jobs_evicted.load(Ordering::SeqCst) as f64),
+        ),
+        ("log_level".to_string(), Value::Str(log.level.name().to_string())),
+        (
+            "log_dropped".to_string(),
+            Value::Obj(
+                trace::LogLevel::ALL
+                    .into_iter()
+                    .map(|l| {
+                        (
+                            l.name().to_string(),
+                            Value::Num(log.dropped[l as usize] as f64),
+                        )
+                    })
+                    .collect(),
+            ),
         ),
     ])
     .pretty();
@@ -1619,6 +1797,75 @@ fn trace_response(query: &str) -> Response {
                 .expect("json|jsonl|csv always serialise"),
         },
         None => Response::text(503, "Service Unavailable", "no active trace session\n"),
+    }
+}
+
+/// `GET /logs?after=SEQ&limit=N&level=warn`: cursor-streamed jsonl over
+/// the process-wide structured journal. Mirrors `/jobs/<id>/trace`: the
+/// body is pure jsonl, the next cursor and whether more records were
+/// already admitted travel as headers, and because journal seqs are dense
+/// every record at or above the requested level is delivered exactly once
+/// across chunks.
+fn logs_response(query: &str) -> Response {
+    let params = match parse_query(query, &["after", "limit", "level"]) {
+        Ok(p) => p,
+        Err(e) => return Response::text(400, "Bad Request", format!("{e}\n")),
+    };
+    let mut after = 0u64;
+    let mut limit = LOGS_CHUNK_DEFAULT;
+    let mut min_level = trace::LogLevel::Debug;
+    for (key, value) in &params {
+        match key.as_str() {
+            "after" => match value.trim().parse() {
+                Ok(v) => after = v,
+                Err(_) => {
+                    return Response::text(
+                        400,
+                        "Bad Request",
+                        format!("'after' must be a cursor integer, got '{value}'\n"),
+                    )
+                }
+            },
+            "limit" => match value.trim().parse::<usize>() {
+                Ok(v) if v >= 1 => limit = v.min(TRACE_CHUNK_MAX),
+                _ => {
+                    return Response::text(
+                        400,
+                        "Bad Request",
+                        format!("'limit' must be a positive integer, got '{value}'\n"),
+                    )
+                }
+            },
+            "level" => match value.parse() {
+                Ok(l) => min_level = l,
+                Err(e) => return Response::text(400, "Bad Request", format!("{e}\n")),
+            },
+            _ => unreachable!("parse_query rejects unknown keys"),
+        }
+    }
+    let chunk = trace::logs_after(after, limit, min_level);
+    let mut body = String::new();
+    for rec in &chunk.records {
+        body.push_str(&rec.to_json().compact());
+        body.push('\n');
+    }
+    let dropped = trace::LogLevel::ALL
+        .into_iter()
+        .map(|l| format!("{}={}", l.name(), chunk.dropped[l as usize]))
+        .collect::<Vec<_>>()
+        .join(",");
+    Response {
+        status: 200,
+        reason: "OK",
+        content_type: ExportFormat::Jsonl.content_type(),
+        allow: None,
+        headers: vec![
+            ("X-Vpp-Next-Cursor", chunk.next.to_string()),
+            ("X-Vpp-More", chunk.more.to_string()),
+            ("X-Vpp-Log-Level", trace::log_level().name().to_string()),
+            ("X-Vpp-Dropped", dropped),
+        ],
+        body,
     }
 }
 

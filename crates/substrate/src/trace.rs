@@ -17,6 +17,17 @@
 //! * A **counter** is a monotonically accumulated `u64` ([`counter`]);
 //!   a **gauge** is a last-value-wins `f64` ([`gauge`]). Neither consumes
 //!   ring-buffer capacity.
+//! * A **histogram** is a fixed-bucket distribution ([`histogram`] /
+//!   the [`histogram!`](crate::histogram) macro): per-metric static
+//!   bucket bounds, lock-free per-thread shards folded at snapshot time,
+//!   rendered as cumulative `_bucket`/`_sum`/`_count` Prometheus series.
+//!   Like counters, histograms never consume ring-buffer capacity.
+//!
+//! Alongside the per-session recorder there is one process-wide,
+//! budget-bounded **log journal** ([`log_event!`](crate::log_event)):
+//! leveled records in severity-partitioned buffers with per-level drop
+//! accounting, read back exactly-once via [`logs_after`] cursors (the
+//! serve module's `GET /logs`).
 //!
 //! A session installs one process-global recorder with a bounded event
 //! budget (overflow drops the newest events and counts them, so a
@@ -58,8 +69,8 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::fmt::Write as _;
 use std::marker::PhantomData;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError, RwLock};
 use std::time::Instant;
 
 use crate::json::Value;
@@ -279,6 +290,9 @@ struct Recorder {
     buffers: Mutex<Vec<EventBuffer>>,
     counters: Mutex<BTreeMap<&'static str, u64>>,
     gauges: Mutex<BTreeMap<&'static str, f64>>,
+    /// Every per-thread histogram shard opened for this session, so a
+    /// snapshot can fold them without thread cooperation.
+    hist_shards: Mutex<Vec<Arc<HistogramShard>>>,
     threads: Mutex<Vec<std::thread::ThreadId>>,
 }
 
@@ -336,6 +350,60 @@ impl Recorder {
         });
     }
 
+    /// Record `n` observations of `value` into the named histogram.
+    ///
+    /// Steady state is lock-free: each thread owns one shard per metric
+    /// per session (cached in `TL_HIST`), and recording is a handful of
+    /// relaxed atomic bumps on that shard. The recorder's shard registry
+    /// is only locked the first time a thread touches a metric.
+    fn observe_histogram(&self, name: &'static str, value: f64, n: u64, bounds: &'static [f64]) {
+        TL_HIST.with(|slot| {
+            let mut slot = slot.borrow_mut();
+            let (sid, shards) = slot.get_or_insert_with(|| (self.id, Vec::new()));
+            if *sid != self.id {
+                // The thread moved to a different session: the old cache
+                // entries belong to a recorder we no longer write to.
+                *sid = self.id;
+                shards.clear();
+            }
+            if let Some(sh) = shards.iter().find(|s| s.name == name) {
+                sh.observe_n(value, n);
+                return;
+            }
+            let sh = Arc::new(HistogramShard::new(name, bounds));
+            lock(&self.hist_shards).push(Arc::clone(&sh));
+            sh.observe_n(value, n);
+            shards.push(sh);
+        });
+    }
+
+    /// Fold every thread's shards into one [`Histogram`] per metric name.
+    /// Non-draining: shards keep accumulating, and the relaxed reads give
+    /// a live (per-shard consistent) view.
+    fn fold_histograms(&self) -> BTreeMap<&'static str, Histogram> {
+        let shards: Vec<Arc<HistogramShard>> = lock(&self.hist_shards).clone();
+        let mut out: BTreeMap<&'static str, Histogram> = BTreeMap::new();
+        for sh in shards {
+            let h = out
+                .entry(sh.name)
+                .or_insert_with(|| Histogram::new(sh.bounds));
+            sh.fold_into(h);
+        }
+        out
+    }
+
+    /// Fold and zero every shard — the draining counterpart of
+    /// [`Recorder::fold_histograms`] used by `finish`. The shard registry
+    /// stays intact so surviving thread-local caches remain valid; later
+    /// observations accumulate from zero and show up in later snapshots.
+    fn drain_histograms(&self) -> BTreeMap<&'static str, Histogram> {
+        let folded = self.fold_histograms();
+        for sh in lock(&self.hist_shards).iter() {
+            sh.reset();
+        }
+        folded
+    }
+
     /// Non-draining copy of everything recorded so far. Lock discipline
     /// matters: [`Recorder::push`] holds a thread's staging-buffer lock
     /// *while* taking the central lock on a batch flush, so this snapshot
@@ -354,6 +422,7 @@ impl Recorder {
             events,
             counters: lock(&self.counters).clone(),
             gauges: lock(&self.gauges).clone(),
+            histograms: self.fold_histograms(),
             dropped: self.dropped.load(Ordering::Relaxed),
         }
     }
@@ -428,6 +497,10 @@ thread_local! {
     static THREAD_ORD: Cell<Option<(u64, u32)>> = const { Cell::new(None) };
     /// This thread's staging buffer for the current session.
     static TL_BUFFER: RefCell<Option<(u64, EventBuffer)>> = const { RefCell::new(None) };
+    /// This thread's histogram shards for the current session, keyed by
+    /// session id (a linear scan by metric name — sessions record a
+    /// handful of distinct histograms).
+    static TL_HIST: RefCell<Option<(u64, Vec<Arc<HistogramShard>>)>> = const { RefCell::new(None) };
     /// Recorder bound to this thread by a [`LocalBinding`]; shadows the
     /// process-global recorder for instrumentation on this thread.
     static LOCAL_REC: RefCell<Option<Arc<Recorder>>> = const { RefCell::new(None) };
@@ -522,6 +595,7 @@ pub fn session(capacity: usize) -> Session {
         buffers: Mutex::new(Vec::new()),
         counters: Mutex::new(BTreeMap::new()),
         gauges: Mutex::new(BTreeMap::new()),
+        hist_shards: Mutex::new(Vec::new()),
         threads: Mutex::new(Vec::new()),
     });
     *RECORDER.write().unwrap_or_else(PoisonError::into_inner) = Some(Arc::clone(&rec));
@@ -545,6 +619,12 @@ impl Session {
                 .iter()
                 .map(|(k, v)| ((*k).to_string(), *v))
                 .collect(),
+            histograms: self
+                .rec
+                .fold_histograms()
+                .into_iter()
+                .map(|(k, h)| (k.to_string(), h))
+                .collect(),
             spans: Vec::new(),
         }
     }
@@ -567,10 +647,12 @@ impl Session {
         events.sort_by_key(|e| e.t_ns);
         let counters = std::mem::take(&mut *lock(&rec.counters));
         let gauges = std::mem::take(&mut *lock(&rec.gauges));
+        let histograms = rec.drain_histograms();
         TraceReport {
             events,
             counters,
             gauges,
+            histograms,
             dropped,
         }
     }
@@ -618,6 +700,7 @@ pub fn local_session(capacity: usize) -> LocalSession {
             buffers: Mutex::new(Vec::new()),
             counters: Mutex::new(BTreeMap::new()),
             gauges: Mutex::new(BTreeMap::new()),
+            hist_shards: Mutex::new(Vec::new()),
             threads: Mutex::new(Vec::new()),
         }),
     }
@@ -693,10 +776,12 @@ impl LocalSession {
         events.sort_by_key(|e| e.t_ns);
         let counters = std::mem::take(&mut *lock(&rec.counters));
         let gauges = std::mem::take(&mut *lock(&rec.gauges));
+        let histograms = rec.drain_histograms();
         TraceReport {
             events,
             counters,
             gauges,
+            histograms,
             dropped,
         }
     }
@@ -723,6 +808,14 @@ impl Drop for LocalBinding {
         // name only. The recorder's own `buffers` list still holds the
         // (now drained) Vec until the recorder itself drops.
         TL_BUFFER.with(|slot| {
+            let mut slot = slot.borrow_mut();
+            if matches!(slot.as_ref(), Some((sid, _)) if *sid == self.rec.id) {
+                *slot = None;
+            }
+        });
+        // Same for the histogram-shard cache: the recorder's own registry
+        // keeps the shards alive for folding; the thread must not pin them.
+        TL_HIST.with(|slot| {
             let mut slot = slot.borrow_mut();
             if matches!(slot.as_ref(), Some((sid, _)) if *sid == self.rec.id) {
                 *slot = None;
@@ -894,6 +987,604 @@ pub fn mark_with<F: FnOnce() -> Vec<Field>>(name: &'static str, fields: F) {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Histograms: the third metric primitive.
+// ---------------------------------------------------------------------------
+
+/// Bucket upper bounds for GPU power draw, watts. The edges straddle the
+/// paper's two KDE modes — idle/host phases (~60–90 W) and the compute
+/// mode (~300–400 W on an uncapped A100) — with a 200 W edge between
+/// them, so cumulative bucket counts reconstruct high-power-mode
+/// residency (the fraction of GPU time above [`HIGH_POWER_THRESHOLD_W`])
+/// exactly from a live scrape.
+pub const POWER_WATTS_BUCKETS: &[f64] = &[
+    30.0, 60.0, 90.0, 120.0, 160.0, 200.0, 250.0, 300.0, 350.0, 400.0, 450.0, 520.0,
+];
+
+/// The idle/compute divide for [`POWER_WATTS_BUCKETS`]: power above this
+/// is "high-power mode" in the paper's sense. Deliberately one of the
+/// bucket edges, so the residency fraction is exact, not interpolated.
+pub const HIGH_POWER_THRESHOLD_W: f64 = 200.0;
+
+/// Bucket upper bounds for service latencies, seconds (sub-millisecond
+/// metric scrapes up to multi-second job submissions).
+pub const SECONDS_BUCKETS: &[f64] = &[
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+];
+
+/// Bucket upper bounds for simulated-clock durations, seconds (SCF
+/// phases run simulated seconds to tens of minutes).
+pub const SIM_SECONDS_BUCKETS: &[f64] = &[
+    0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0, 2000.0,
+];
+
+/// Fallback bounds for metrics without a dedicated table: decades from
+/// 0.001 to 1e6.
+pub const DEFAULT_BUCKETS: &[f64] = &[
+    0.001, 0.01, 0.1, 1.0, 10.0, 100.0, 1000.0, 10_000.0, 100_000.0, 1_000_000.0,
+];
+
+/// The static bucket table for a metric name: `*watts*` metrics get the
+/// power edges, `*_seconds` metrics get wall or simulated-time edges,
+/// everything else the decade fallback. [`histogram_with`] overrides.
+#[must_use]
+pub fn default_bounds(name: &str) -> &'static [f64] {
+    if name.contains("watts") {
+        POWER_WATTS_BUCKETS
+    } else if name.ends_with("_seconds") || name.ends_with(".seconds") {
+        if name.contains("sim") {
+            SIM_SECONDS_BUCKETS
+        } else {
+            SECONDS_BUCKETS
+        }
+    } else {
+        DEFAULT_BUCKETS
+    }
+}
+
+/// Index of the bucket `value` falls into: the first bound `>= value`
+/// (Prometheus `le` semantics), or the overflow bucket past the last.
+fn bucket_index(bounds: &[f64], value: f64) -> usize {
+    bounds
+        .iter()
+        .position(|b| value <= *b)
+        .unwrap_or(bounds.len())
+}
+
+/// A fixed-bucket, mergeable histogram: per-bucket counts against static
+/// upper bounds plus a running sum. The value type behind the
+/// [`histogram!`](crate::histogram) primitive, and usable standalone
+/// (the serve module keeps per-route latency histograms under its own
+/// lock). Counts are observation *weights*: [`Histogram::observe_n`]
+/// records `n` at once, which is how the executor weights each power
+/// segment by its duration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    bounds: &'static [f64],
+    /// Per-bucket (non-cumulative) counts; one extra overflow bucket.
+    counts: Vec<u64>,
+    sum: f64,
+    count: u64,
+}
+
+impl Histogram {
+    /// An empty histogram over `bounds` (finite, strictly ascending).
+    ///
+    /// # Panics
+    /// If `bounds` is empty, unsorted, or contains a non-finite edge.
+    #[must_use]
+    pub fn new(bounds: &'static [f64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]) && bounds.iter().all(|b| b.is_finite()),
+            "histogram bounds must be finite and strictly ascending"
+        );
+        Self {
+            bounds,
+            counts: vec![0; bounds.len() + 1],
+            sum: 0.0,
+            count: 0,
+        }
+    }
+
+    /// Record one observation.
+    pub fn observe(&mut self, value: f64) {
+        self.observe_n(value, 1);
+    }
+
+    /// Record `n` observations of `value` at once.
+    pub fn observe_n(&mut self, value: f64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.counts[bucket_index(self.bounds, value)] += n;
+        self.count += n;
+        self.sum += value * n as f64;
+    }
+
+    /// Fold `other` into `self`. Same bounds merge bucket-by-bucket; a
+    /// histogram with different bounds folds into the overflow bucket
+    /// (total mass and sum preserved, shape degraded) — callers are
+    /// expected to keep one bounds table per metric name.
+    pub fn merge(&mut self, other: &Histogram) {
+        if std::ptr::eq(self.bounds, other.bounds) || self.bounds == other.bounds {
+            for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+                *a += b;
+            }
+        } else {
+            *self.counts.last_mut().expect("overflow bucket") += other.count;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// The static bucket upper bounds.
+    #[must_use]
+    pub fn bounds(&self) -> &'static [f64] {
+        self.bounds
+    }
+
+    /// Per-bucket (non-cumulative) counts; the final entry is the
+    /// overflow (`+Inf`) bucket.
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Sum of all observed values (weighted).
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Total observation count (weighted).
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Fraction of observations strictly above `threshold`, which must be
+    /// one of the bucket bounds for the answer to be exact — the
+    /// high-power-mode residency read when `threshold` is
+    /// [`HIGH_POWER_THRESHOLD_W`]. Returns 0 for an empty histogram.
+    #[must_use]
+    pub fn fraction_above(&self, threshold: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let above: u64 = self
+            .bounds
+            .iter()
+            .zip(&self.counts)
+            .filter(|(b, _)| **b > threshold)
+            .map(|(_, c)| *c)
+            .sum::<u64>()
+            + self.counts[self.bounds.len()];
+        above as f64 / self.count as f64
+    }
+
+    /// Append the Prometheus sample lines (`_bucket` cumulative over
+    /// `le`, then `_sum` and `_count`) for this histogram. `metric` is
+    /// the already-sanitised full metric name; `labels` is either empty
+    /// or pre-rendered `key="value"` pairs (already escaped) that every
+    /// sample carries in addition to `le`. The `# TYPE` line is the
+    /// caller's job, so multi-label families declare it once.
+    pub fn to_prom_lines(&self, metric: &str, labels: &str, out: &mut String) {
+        let sep = if labels.is_empty() { "" } else { "," };
+        let mut cum = 0u64;
+        for (b, c) in self.bounds.iter().zip(&self.counts) {
+            cum += c;
+            let _ = writeln!(
+                out,
+                "{metric}_bucket{{{labels}{sep}le=\"{}\"}} {cum}",
+                prom_f64(*b)
+            );
+        }
+        cum += self.counts[self.bounds.len()];
+        let _ = writeln!(out, "{metric}_bucket{{{labels}{sep}le=\"+Inf\"}} {cum}");
+        if labels.is_empty() {
+            let _ = writeln!(out, "{metric}_sum {}", prom_f64(self.sum));
+            let _ = writeln!(out, "{metric}_count {cum}");
+        } else {
+            let _ = writeln!(out, "{metric}_sum{{{labels}}} {}", prom_f64(self.sum));
+            let _ = writeln!(out, "{metric}_count{{{labels}}} {cum}");
+        }
+    }
+
+    /// JSON view: bounds, per-bucket counts, sum, count.
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        Value::Obj(vec![
+            (
+                "bounds".to_string(),
+                Value::Arr(self.bounds.iter().map(|b| Value::Num(*b)).collect()),
+            ),
+            (
+                "counts".to_string(),
+                Value::Arr(self.counts.iter().map(|c| Value::Num(*c as f64)).collect()),
+            ),
+            ("sum".to_string(), Value::Num(self.sum)),
+            ("count".to_string(), Value::Num(self.count as f64)),
+        ])
+    }
+}
+
+/// One thread's lock-free accumulation state for one histogram metric.
+/// Only the owning thread writes; `sum_bits` therefore needs no CAS loop
+/// — a plain load/store pair is race-free, and folding readers see some
+/// recent consistent value.
+struct HistogramShard {
+    name: &'static str,
+    bounds: &'static [f64],
+    /// Per-bucket counts plus the overflow bucket.
+    counts: Vec<AtomicU64>,
+    /// `f64::to_bits` of the running (weighted) sum.
+    sum_bits: AtomicU64,
+    count: AtomicU64,
+}
+
+impl HistogramShard {
+    fn new(name: &'static str, bounds: &'static [f64]) -> Self {
+        // Validate through the value type so shard and fold agree.
+        let _ = Histogram::new(bounds);
+        Self {
+            name,
+            bounds,
+            counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum_bits: AtomicU64::new(0.0f64.to_bits()),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    fn observe_n(&self, value: f64, n: u64) {
+        self.counts[bucket_index(self.bounds, value)].fetch_add(n, Ordering::Relaxed);
+        self.count.fetch_add(n, Ordering::Relaxed);
+        let sum = f64::from_bits(self.sum_bits.load(Ordering::Relaxed));
+        self.sum_bits
+            .store((sum + value * n as f64).to_bits(), Ordering::Relaxed);
+    }
+
+    fn fold_into(&self, h: &mut Histogram) {
+        let mut shard = Histogram::new(self.bounds);
+        for (dst, src) in shard.counts.iter_mut().zip(&self.counts) {
+            *dst = src.load(Ordering::Relaxed);
+        }
+        shard.count = self.count.load(Ordering::Relaxed);
+        shard.sum = f64::from_bits(self.sum_bits.load(Ordering::Relaxed));
+        h.merge(&shard);
+    }
+
+    /// Zero the shard (after a draining fold).
+    fn reset(&self) {
+        for c in &self.counts {
+            c.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum_bits.store(0.0f64.to_bits(), Ordering::Relaxed);
+    }
+}
+
+/// Record one observation into the named histogram, using the static
+/// per-metric bucket table ([`default_bounds`]).
+pub fn histogram(name: &'static str, value: f64) {
+    histogram_count_with(name, value, 1, default_bounds(name));
+}
+
+/// Record one observation with explicit static bucket bounds. Every
+/// recording site for a given metric name must use the same bounds.
+pub fn histogram_with(name: &'static str, value: f64, bounds: &'static [f64]) {
+    histogram_count_with(name, value, 1, bounds);
+}
+
+/// Record `n` observations of `value` at once (duration weighting: the
+/// executor records each power segment with `n` = its length in
+/// microseconds, so bucket counts measure GPU-time residency).
+pub fn histogram_count(name: &'static str, value: f64, n: u64) {
+    histogram_count_with(name, value, n, default_bounds(name));
+}
+
+/// [`histogram_count`] with explicit static bucket bounds.
+pub fn histogram_count_with(name: &'static str, value: f64, n: u64, bounds: &'static [f64]) {
+    if n == 0 {
+        return;
+    }
+    if let Some(rec) = current() {
+        rec.observe_histogram(name, value, n, bounds);
+    }
+}
+
+/// Record into a histogram: `histogram!("power_watts", 312.0)` (static
+/// per-metric bucket table) or `histogram!("name", v, &BOUNDS)` with
+/// explicit bounds. Like every trace primitive, a few nanoseconds when
+/// no session is active.
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr, $value:expr) => {
+        $crate::trace::histogram($name, $value)
+    };
+    ($name:expr, $value:expr, $bounds:expr) => {
+        $crate::trace::histogram_with($name, $value, $bounds)
+    };
+}
+
+// ---------------------------------------------------------------------------
+// The process-wide structured log journal.
+// ---------------------------------------------------------------------------
+
+/// Severity of a [`LogRecord`]. Ordering is by severity: `Debug < Info <
+/// Warn < Error`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LogLevel {
+    /// Diagnostic chatter, admitted only when the journal level allows.
+    Debug = 0,
+    /// Routine service events.
+    Info = 1,
+    /// Degradation the operator should know about (backpressure,
+    /// evictions, peer scrape failures).
+    Warn = 2,
+    /// Failures (job panics, handler errors).
+    Error = 3,
+}
+
+/// Number of severity partitions in the journal.
+pub const LOG_LEVELS: usize = 4;
+
+/// Per-level capacity of the journal: once a severity partition holds
+/// this many records, further records *of that level* are dropped and
+/// counted — a flood of one severity can never evict another's records,
+/// and admitted sequence numbers stay dense.
+pub const LOG_PARTITION_CAPACITY: usize = 4096;
+
+impl LogLevel {
+    /// Every level, ascending severity.
+    pub const ALL: [LogLevel; LOG_LEVELS] =
+        [LogLevel::Debug, LogLevel::Info, LogLevel::Warn, LogLevel::Error];
+
+    /// Canonical lower-case name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            LogLevel::Debug => "debug",
+            LogLevel::Info => "info",
+            LogLevel::Warn => "warn",
+            LogLevel::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for LogLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for LogLevel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        LogLevel::ALL
+            .into_iter()
+            .find(|l| l.name() == s)
+            .ok_or_else(|| format!("unknown log level '{s}' (expected debug|info|warn|error)"))
+    }
+}
+
+/// One structured journal entry.
+#[derive(Debug, Clone)]
+pub struct LogRecord {
+    /// Dense admission sequence number (journal-global, all levels).
+    pub seq: u64,
+    /// Seconds since the journal's first use in this process.
+    pub t_s: f64,
+    /// Severity.
+    pub level: LogLevel,
+    /// Component that emitted the record (e.g. `serve.jobs`).
+    pub target: &'static str,
+    /// Human-readable message.
+    pub message: String,
+    /// Typed payload fields.
+    pub fields: Vec<Field>,
+}
+
+impl LogRecord {
+    /// Compact JSON object — one line of the `/logs` jsonl stream.
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        Value::Obj(vec![
+            ("seq".to_string(), Value::Num(self.seq as f64)),
+            ("t_s".to_string(), Value::Num(self.t_s)),
+            ("level".to_string(), Value::Str(self.level.name().to_string())),
+            ("target".to_string(), Value::Str(self.target.to_string())),
+            ("msg".to_string(), Value::Str(self.message.clone())),
+            (
+                "fields".to_string(),
+                Value::Obj(
+                    self.fields
+                        .iter()
+                        .map(|(k, v)| ((*k).to_string(), v.to_json()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// The journal proper: severity-partitioned bounded buffers plus the
+/// admission counter. One process-wide instance behind a mutex — log
+/// rates are decision-point rates (backpressure, evictions, failures),
+/// not event rates, so a single short critical section beats the staged
+/// ring's complexity here, and admission-under-lock is what keeps the
+/// sequence stream dense (no in-flight gaps for the cursor reader).
+struct JournalInner {
+    next_seq: u64,
+    admitted: [u64; LOG_LEVELS],
+    dropped: [u64; LOG_LEVELS],
+    partitions: [Vec<LogRecord>; LOG_LEVELS],
+}
+
+static JOURNAL: Mutex<JournalInner> = Mutex::new(JournalInner {
+    next_seq: 0,
+    admitted: [0; LOG_LEVELS],
+    dropped: [0; LOG_LEVELS],
+    partitions: [Vec::new(), Vec::new(), Vec::new(), Vec::new()],
+});
+
+/// Records below this severity are filtered at admission (not counted as
+/// drops — they were never eligible).
+static LOG_LEVEL: AtomicU8 = AtomicU8::new(LogLevel::Info as u8);
+
+/// The journal's time origin, pinned at first use.
+static LOG_EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Current journal admission level.
+#[must_use]
+pub fn log_level() -> LogLevel {
+    let raw = LOG_LEVEL.load(Ordering::Relaxed);
+    LogLevel::ALL
+        .into_iter()
+        .find(|l| *l as u8 == raw)
+        .unwrap_or(LogLevel::Info)
+}
+
+/// Set the journal admission level (process-wide).
+pub fn set_log_level(level: LogLevel) {
+    LOG_LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// Whether a record at `level` would currently be admitted — the cheap
+/// guard the [`log_event!`](crate::log_event) macro checks before
+/// building the message and fields.
+#[inline]
+#[must_use]
+pub fn log_enabled(level: LogLevel) -> bool {
+    level as u8 >= LOG_LEVEL.load(Ordering::Relaxed)
+}
+
+/// Append a record to the journal. Admission takes one short lock: the
+/// sequence ticket is only consumed when the record is actually stored,
+/// so admitted seqs are dense and a cursor reader never waits on a seq
+/// that will never arrive. When the level's partition is full the record
+/// is dropped and counted against that level.
+pub fn log_event(
+    level: LogLevel,
+    target: &'static str,
+    message: impl Into<String>,
+    fields: Vec<Field>,
+) {
+    if !log_enabled(level) {
+        return;
+    }
+    let t_s = LOG_EPOCH.get_or_init(Instant::now).elapsed().as_secs_f64();
+    let li = level as usize;
+    let mut j = lock(&JOURNAL);
+    if j.partitions[li].len() >= LOG_PARTITION_CAPACITY {
+        j.dropped[li] += 1;
+        return;
+    }
+    let seq = j.next_seq;
+    j.next_seq += 1;
+    j.admitted[li] += 1;
+    j.partitions[li].push(LogRecord {
+        seq,
+        t_s,
+        level,
+        target,
+        message: message.into(),
+        fields,
+    });
+}
+
+/// Emit a structured log record:
+/// `log_event!(Warn, "serve.jobs", "queue full", queued = 32)`. The
+/// message and field expressions are only evaluated when the level is
+/// admitted.
+#[macro_export]
+macro_rules! log_event {
+    ($level:ident, $target:expr, $msg:expr $(, $k:ident = $v:expr)* $(,)?) => {
+        if $crate::trace::log_enabled($crate::trace::LogLevel::$level) {
+            $crate::trace::log_event(
+                $crate::trace::LogLevel::$level,
+                $target,
+                $msg,
+                vec![$((stringify!($k), $crate::trace::FieldValue::from($v))),*],
+            );
+        }
+    };
+}
+
+/// One bounded cursor read from the journal ([`logs_after`]).
+#[derive(Debug, Clone)]
+pub struct LogChunk {
+    /// Records in sequence order, each delivered exactly once across
+    /// chunks for a given `min_level`.
+    pub records: Vec<LogRecord>,
+    /// Cursor to pass as `after` on the next poll.
+    pub next: u64,
+    /// Whether more matching records were already admitted when this
+    /// chunk was cut.
+    pub more: bool,
+    /// Per-level drop counts (records refused because their severity
+    /// partition was full), indexed by `LogLevel as usize`.
+    pub dropped: [u64; LOG_LEVELS],
+}
+
+/// Cursor read over the journal: up to `limit` records with
+/// `seq >= after` and severity `>= min_level`, in sequence order.
+///
+/// Because sequence tickets are only consumed under the journal lock for
+/// records that are actually stored, the admitted stream has no holes:
+/// every matching record is delivered exactly once across chunks, and a
+/// seq the reader skips can only belong to a record below `min_level`.
+#[must_use]
+pub fn logs_after(after: u64, limit: usize, min_level: LogLevel) -> LogChunk {
+    let j = lock(&JOURNAL);
+    let mut matching: Vec<&LogRecord> = j.partitions[min_level as usize..]
+        .iter()
+        .flat_map(|p| p.iter().filter(|r| r.seq >= after))
+        .collect();
+    matching.sort_by_key(|r| r.seq);
+    let more = matching.len() > limit;
+    let records: Vec<LogRecord> = matching.into_iter().take(limit).cloned().collect();
+    let next = if more {
+        records.last().expect("limit > 0 when more").seq + 1
+    } else {
+        // Caught up: everything admitted so far has been scanned.
+        j.next_seq.max(after)
+    };
+    LogChunk {
+        records,
+        next,
+        more,
+        dropped: j.dropped,
+    }
+}
+
+/// Journal health counters, read under one guard acquisition — what
+/// `/healthz` renders.
+#[derive(Debug, Clone, Copy)]
+pub struct LogStats {
+    /// Current admission level.
+    pub level: LogLevel,
+    /// Next sequence number to be assigned (== total admitted records).
+    pub next_seq: u64,
+    /// Per-level admitted counts, indexed by `LogLevel as usize`.
+    pub admitted: [u64; LOG_LEVELS],
+    /// Per-level drop counts, indexed by `LogLevel as usize`.
+    pub dropped: [u64; LOG_LEVELS],
+}
+
+/// Snapshot the journal's health counters.
+#[must_use]
+pub fn log_stats() -> LogStats {
+    let j = lock(&JOURNAL);
+    LogStats {
+        level: log_level(),
+        next_seq: j.next_seq,
+        admitted: j.admitted,
+        dropped: j.dropped,
+    }
+}
+
 /// One reconstructed span: enter/exit matched, fields merged.
 #[derive(Debug, Clone)]
 pub struct SpanRecord {
@@ -963,6 +1654,8 @@ pub struct TraceReport {
     pub counters: BTreeMap<&'static str, u64>,
     /// Last-value gauges.
     pub gauges: BTreeMap<&'static str, f64>,
+    /// Folded per-metric histograms (every thread's shards merged).
+    pub histograms: BTreeMap<&'static str, Histogram>,
     /// Events discarded because the session's event budget was exhausted.
     pub dropped: u64,
 }
@@ -1165,6 +1858,11 @@ impl TraceReport {
                 .iter()
                 .map(|(k, v)| ((*k).to_string(), *v))
                 .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(k, h)| ((*k).to_string(), h.clone()))
+                .collect(),
             spans: spans.into_values().collect(),
         }
     }
@@ -1234,6 +1932,15 @@ impl TraceReport {
                     self.gauges
                         .iter()
                         .map(|(k, v)| ((*k).to_string(), Value::Num(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "histograms".to_string(),
+                Value::Obj(
+                    self.histograms
+                        .iter()
+                        .map(|(k, h)| ((*k).to_string(), h.to_json()))
                         .collect(),
                 ),
             ),
@@ -1579,6 +2286,8 @@ pub struct MetricsSnapshot {
     pub counters: BTreeMap<String, u64>,
     /// Last-value gauges.
     pub gauges: BTreeMap<String, f64>,
+    /// Folded fixed-bucket histograms.
+    pub histograms: BTreeMap<String, Histogram>,
     /// Per-name span duration summaries (empty on live snapshots).
     pub spans: Vec<SpanSummary>,
 }
@@ -1603,6 +2312,11 @@ impl MetricsSnapshot {
             let metric = format!("vpp_{}", prom_name(name));
             let _ = writeln!(out, "# TYPE {metric} gauge");
             let _ = writeln!(out, "{metric} {}", prom_f64(*v));
+        }
+        for (name, h) in &self.histograms {
+            let metric = format!("vpp_{}", prom_name(name));
+            let _ = writeln!(out, "# TYPE {metric} histogram");
+            h.to_prom_lines(&metric, "", &mut out);
         }
         if !self.spans.is_empty() {
             let _ = writeln!(out, "# TYPE vpp_span_duration_seconds summary");
@@ -1977,6 +2691,31 @@ mod tests {
     }
 
     #[test]
+    fn prom_exposition_survives_hostile_names() {
+        let s = session(64);
+        {
+            let _g = span!("evil\"span\nname{}");
+        }
+        counter("evil metric-name{inject=\"1\"}", 2);
+        gauge("99 problems", 1.0);
+        let report = s.finish();
+        let prom = report.metrics_snapshot().to_prom();
+        // Characters outside [a-zA-Z0-9_:] collapse to underscores and a
+        // leading digit gets a guard, so the injected label syntax never
+        // reaches the metric name.
+        assert!(prom.contains("vpp_evil_metric_name_inject__1___total 2"), "{prom}");
+        assert!(prom.contains("vpp__99_problems 1"), "{prom}");
+        // The hostile span name is escaped inside its label value: the
+        // quote and newline cannot break out of the quoted string.
+        assert!(prom.contains("span=\"evil\\\"span\\nname{}\""), "{prom}");
+        // Every sample line still parses as `name{...} value`.
+        for line in prom.lines().filter(|l| !l.starts_with('#')) {
+            let (_, value) = line.rsplit_once(' ').expect("sample line shape");
+            assert!(value.parse::<f64>().is_ok(), "unparseable value in {line:?}");
+        }
+    }
+
+    #[test]
     fn live_report_is_non_draining_and_sees_open_spans() {
         assert!(live_report().is_none(), "no session, no live report");
         let s = session(4096);
@@ -2203,5 +2942,219 @@ mod tests {
             assert_eq!(seen, (0..3 * (FLUSH_BATCH as u64 + 37)).collect::<Vec<u64>>());
         });
         assert_eq!(sess.dropped(), 0);
+    }
+
+    #[test]
+    fn histogram_records_fold_across_threads_and_render_prom() {
+        let sess = local_session(1 << 10);
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let sess = sess.clone();
+                scope.spawn(move || {
+                    let _bind = sess.bind();
+                    for i in 0..100u64 {
+                        // Values straddle the 200 W edge deterministically.
+                        let v = if (t + i) % 4 == 0 { 80.0 } else { 340.0 };
+                        crate::histogram!("power_watts", v);
+                    }
+                    histogram_count("power_watts", 65.0, 10);
+                });
+            }
+        });
+        let report = sess.finish();
+        let h = &report.histograms["power_watts"];
+        assert_eq!(h.bounds(), POWER_WATTS_BUCKETS);
+        assert_eq!(h.count(), 4 * 100 + 4 * 10);
+        let lo = 4 * 25 + 40; // 100 per-thread values, every 4th low, plus the weighted 65 W
+        let hi = 4 * 75;
+        assert!((h.fraction_above(HIGH_POWER_THRESHOLD_W) - hi as f64 / (lo + hi) as f64).abs() < 1e-12);
+        let expected_sum = (lo - 40) as f64 * 80.0 + 40.0 * 65.0 + hi as f64 * 340.0;
+        assert!((h.sum() - expected_sum).abs() < 1e-6);
+
+        let prom = report.metrics_snapshot().to_prom();
+        assert!(prom.contains("# TYPE vpp_power_watts histogram"), "{prom}");
+        assert!(prom.contains("vpp_power_watts_bucket{le=\"+Inf\"} 440"), "{prom}");
+        assert!(prom.contains("vpp_power_watts_count 440"), "{prom}");
+        // Cumulative buckets are monotone and the 200 W edge carries
+        // exactly the low-mode mass.
+        assert!(prom.contains("vpp_power_watts_bucket{le=\"200\"} 140"), "{prom}");
+    }
+
+    #[test]
+    fn histogram_disabled_records_nothing() {
+        assert!(!enabled());
+        crate::histogram!("never_watts", 100.0);
+        histogram_count("never_watts", 100.0, 5);
+        let sess = local_session(256);
+        {
+            let _bind = sess.bind();
+        }
+        assert!(sess.finish().histograms.is_empty());
+    }
+
+    #[test]
+    fn histogram_drains_on_finish_but_shards_survive_for_surviving_clones() {
+        let sess = local_session(256);
+        let clone = sess.clone();
+        {
+            let _bind = sess.bind();
+            histogram("power_watts", 300.0);
+        }
+        let report = sess.finish();
+        assert_eq!(report.histograms["power_watts"].count(), 1);
+        // The drain zeroed the shards: a later snapshot through a clone
+        // starts from empty rather than double counting.
+        let again = clone.snapshot();
+        assert_eq!(
+            again.histograms.get("power_watts").map_or(0, Histogram::count),
+            0
+        );
+    }
+
+    #[test]
+    fn histogram_merge_with_foreign_bounds_preserves_mass_in_overflow() {
+        let mut a = Histogram::new(&[1.0, 2.0]);
+        a.observe(0.5);
+        let mut b = Histogram::new(&[10.0, 20.0]);
+        b.observe(15.0);
+        b.observe(3.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.counts()[2], 2, "foreign mass lands in +Inf");
+        assert!((a.sum() - 18.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bucket_index_uses_le_semantics() {
+        let bounds = &[1.0, 2.0, 4.0];
+        assert_eq!(bucket_index(bounds, 0.5), 0);
+        assert_eq!(bucket_index(bounds, 1.0), 0, "le is inclusive");
+        assert_eq!(bucket_index(bounds, 1.5), 1);
+        assert_eq!(bucket_index(bounds, 4.0), 2);
+        assert_eq!(bucket_index(bounds, 4.1), 3, "overflow bucket");
+    }
+
+    #[test]
+    fn default_bounds_pick_per_metric_tables() {
+        assert_eq!(default_bounds("power_watts"), POWER_WATTS_BUCKETS);
+        assert_eq!(default_bounds("serve_request_seconds"), SECONDS_BUCKETS);
+        assert_eq!(default_bounds("phase_sim_seconds"), SIM_SECONDS_BUCKETS);
+        assert_eq!(default_bounds("queue_depth"), DEFAULT_BUCKETS);
+    }
+
+    #[test]
+    fn journal_admission_is_dense_and_level_filtered() {
+        let start = log_stats().next_seq;
+        log_event(LogLevel::Info, "test.dense", "one", vec![]);
+        log_event(LogLevel::Warn, "test.dense", "two", vec![("k", 7u64.into())]);
+        log_event(LogLevel::Debug, "test.dense", "filtered", vec![]);
+        let chunk = logs_after(start, 100, LogLevel::Debug);
+        let mine: Vec<&LogRecord> = chunk
+            .records
+            .iter()
+            .filter(|r| r.target == "test.dense")
+            .collect();
+        // Debug is below the default Info admission level: never admitted.
+        assert_eq!(mine.len(), 2);
+        assert_eq!(mine[0].message, "one");
+        assert_eq!(mine[1].level, LogLevel::Warn);
+        assert!(mine[1].seq > mine[0].seq);
+        // Level filtering hides the info record but keeps seq order.
+        let warn_only = logs_after(start, 100, LogLevel::Warn);
+        assert!(warn_only
+            .records
+            .iter()
+            .filter(|r| r.target == "test.dense")
+            .all(|r| r.level >= LogLevel::Warn));
+        // The jsonl line round-trips through the in-tree JSON parser.
+        let line = mine[1].to_json().compact();
+        let doc = crate::json::parse(&line).expect("record parses");
+        assert_eq!(doc.get("level").and_then(Value::as_str), Some("warn"));
+        assert_eq!(doc.get("fields").and_then(|f| f.get("k")).and_then(Value::as_f64), Some(7.0));
+    }
+
+    #[test]
+    fn journal_concurrent_writers_never_tear_the_cursor_stream() {
+        let start = log_stats().next_seq;
+        const WRITERS: u64 = 4;
+        const EACH: u64 = 200;
+        std::thread::scope(|scope| {
+            for w in 0..WRITERS {
+                scope.spawn(move || {
+                    for i in 0..EACH {
+                        crate::log_event!(Info, "test.concurrent", format!("{w}:{i}"));
+                    }
+                });
+            }
+        });
+        let mut cursor = start;
+        let mut mine: Vec<String> = Vec::new();
+        let mut last_seq = None;
+        loop {
+            let chunk = logs_after(cursor, 97, LogLevel::Debug);
+            for r in &chunk.records {
+                assert!(Some(r.seq) > last_seq, "seqs strictly ascend across chunks");
+                last_seq = Some(r.seq);
+                if r.target == "test.concurrent" {
+                    mine.push(r.message.clone());
+                }
+            }
+            cursor = chunk.next;
+            if !chunk.more {
+                break;
+            }
+        }
+        assert_eq!(mine.len() as u64, WRITERS * EACH, "each record exactly once");
+        mine.sort();
+        mine.dedup();
+        assert_eq!(mine.len() as u64, WRITERS * EACH, "no duplicates");
+    }
+}
+
+#[cfg(test)]
+mod histogram_properties {
+    use super::*;
+
+    crate::properties! {
+        /// Folded per-thread shards must equal single-threaded
+        /// accumulation of the same observations, regardless of how the
+        /// observations are partitioned across threads.
+        fn folded_shards_equal_single_threaded_accumulation(rng) {
+            let n_threads = 1 + rng.index(6);
+            let per_thread: Vec<Vec<(f64, u64)>> = (0..n_threads)
+                .map(|_| {
+                    (0..rng.index(200))
+                        .map(|_| (rng.uniform(0.0, 600.0), 1 + rng.index(4) as u64))
+                        .collect()
+                })
+                .collect();
+
+            let sess = local_session(64);
+            std::thread::scope(|scope| {
+                for obs in &per_thread {
+                    let sess = sess.clone();
+                    scope.spawn(move || {
+                        let _bind = sess.bind();
+                        for (v, n) in obs {
+                            histogram_count("power_watts", *v, *n);
+                        }
+                    });
+                }
+            });
+            let folded = sess.finish().histograms.remove("power_watts");
+
+            let mut single = Histogram::new(POWER_WATTS_BUCKETS);
+            for (v, n) in per_thread.iter().flatten() {
+                single.observe_n(*v, *n);
+            }
+            match folded {
+                Some(h) => {
+                    assert_eq!(h.counts(), single.counts());
+                    assert_eq!(h.count(), single.count());
+                    assert!((h.sum() - single.sum()).abs() <= 1e-9 * single.sum().abs().max(1.0));
+                }
+                None => assert_eq!(single.count(), 0, "only an empty run may fold to nothing"),
+            }
+        }
     }
 }

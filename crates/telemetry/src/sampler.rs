@@ -101,10 +101,19 @@ impl Sampler {
         };
         let mut times = Vec::with_capacity(n);
         let mut values = Vec::with_capacity(n);
+        let tracing = vpp_substrate::trace::enabled();
         for (i, &mean) in means.iter().enumerate() {
             if !rng.bool(self.drop_prob) {
                 times.push(start + (i + 1) as f64 * self.interval_s);
                 values.push(mean);
+                if tracing {
+                    // The *sensor's* view of the power distribution —
+                    // window-averaged and drop-thinned — kept as a
+                    // separate histogram from the executor's ground-truth
+                    // `power_watts` so a scrape can compare the two
+                    // (Fig. 2: coarse windows merge the power modes).
+                    vpp_substrate::trace::histogram("power_watts_sampled", mean);
+                }
             }
         }
         TimeSeries::new(times, values)

@@ -4,13 +4,19 @@
 //! ```text
 //! cargo run --example scrape_metrics -- http://127.0.0.1:PORT/metrics
 //! cargo run --example scrape_metrics -- http://127.0.0.1:PORT/metrics /healthz /jobs
+//! cargo run --example scrape_metrics -- http://127.0.0.1:PORT/metrics \
+//!     'POST /jobs {"workload": "B.hR105_hse"}' '/logs?level=warn'
 //! ```
 //!
-//! Extra arguments are further paths fetched **over the same keep-alive
+//! Extra arguments are further requests sent **over the same keep-alive
 //! connection** — the server frames every response with `Content-Length`,
 //! so the scraper reads exactly one body per request and reuses the
-//! socket (the last request says `Connection: close`). Exits 1 on
-//! connection errors or any non-2xx response — the shape
+//! socket (the last request says `Connection: close`). An argument of
+//! the form `POST <path> <body>` (one shell word) submits a POST instead
+//! of a GET; its outcome is reported as a `POST <path> -> HTTP <status>`
+//! line plus the response body, and a non-2xx status is **not** an error
+//! — backpressure answers (429) are an outcome the caller greps for.
+//! Exits 1 on connection errors or any non-2xx GET response — the shape
 //! `scripts/verify.sh` needs to poll a `vpp serve` instance without curl.
 
 use std::io::{Read, Write};
@@ -18,8 +24,12 @@ use std::net::TcpStream;
 use std::time::Duration;
 
 /// Read one `Content-Length`-framed response: `(status, body)`.
-fn read_response(stream: &mut TcpStream) -> Result<(u16, String), String> {
-    let mut buf: Vec<u8> = Vec::new();
+///
+/// `carry` holds bytes already read past the previous response's body —
+/// the next response's prefix when the server streams pipelined answers
+/// back-to-back — and is refilled with this response's surplus.
+fn read_response(stream: &mut TcpStream, carry: &mut Vec<u8>) -> Result<(u16, String), String> {
+    let mut buf: Vec<u8> = std::mem::take(carry);
     let mut chunk = [0u8; 2048];
     let head_end = loop {
         if let Some(i) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
@@ -57,25 +67,73 @@ fn read_response(stream: &mut TcpStream) -> Result<(u16, String), String> {
         }
         body.extend_from_slice(&chunk[..n]);
     }
-    Ok((status, String::from_utf8_lossy(&body[..len]).to_string()))
+    *carry = body.split_off(len);
+    Ok((status, String::from_utf8_lossy(&body).to_string()))
 }
 
-/// Fetch every path over one keep-alive connection; the final request
+/// One request in the keep-alive sequence.
+enum Req {
+    Get(String),
+    Post { path: String, body: String },
+}
+
+impl Req {
+    /// `POST <path> <body>` (one argument) is a POST; anything else is a
+    /// GET of that path.
+    fn parse(arg: &str) -> Result<Req, String> {
+        let Some(rest) = arg.strip_prefix("POST ") else {
+            return Ok(Req::Get(arg.to_string()));
+        };
+        let (path, body) = rest
+            .split_once(' ')
+            .ok_or_else(|| format!("malformed POST argument (want 'POST <path> <body>'): {arg}"))?;
+        Ok(Req::Post {
+            path: path.to_string(),
+            body: body.to_string(),
+        })
+    }
+
+    fn path(&self) -> &str {
+        match self {
+            Req::Get(p) | Req::Post { path: p, .. } => p,
+        }
+    }
+}
+
+/// Send every request over one keep-alive connection; the final request
 /// asks the server to close.
-fn fetch_all(host: &str, paths: &[String]) -> Result<Vec<(u16, String)>, String> {
+///
+/// Requests are **pipelined**: all of them are written up front (they
+/// are tiny and fit the socket buffer), then the responses are read in
+/// order. Besides exercising the server's carry-buffer pipelining, this
+/// makes back-to-back POSTs land microseconds apart server-side — the
+/// shape the backpressure smoke needs to fill a one-deep queue before
+/// the first job can finish.
+fn fetch_all(host: &str, reqs: &[Req]) -> Result<Vec<(u16, String)>, String> {
     let mut stream = TcpStream::connect(host).map_err(|e| format!("connect {host}: {e}"))?;
     stream
         .set_read_timeout(Some(Duration::from_secs(5)))
         .map_err(|e| format!("set timeout: {e}"))?;
-    let mut out = Vec::with_capacity(paths.len());
-    for (i, path) in paths.iter().enumerate() {
-        let connection = if i + 1 == paths.len() { "close" } else { "keep-alive" };
-        write!(
-            stream,
-            "GET {path} HTTP/1.1\r\nHost: {host}\r\nConnection: {connection}\r\n\r\n"
-        )
-        .map_err(|e| format!("send request for {path}: {e}"))?;
-        out.push(read_response(&mut stream).map_err(|e| format!("{path}: {e}"))?);
+    for (i, req) in reqs.iter().enumerate() {
+        let connection = if i + 1 == reqs.len() { "close" } else { "keep-alive" };
+        match req {
+            Req::Get(path) => write!(
+                stream,
+                "GET {path} HTTP/1.1\r\nHost: {host}\r\nConnection: {connection}\r\n\r\n"
+            ),
+            Req::Post { path, body } => write!(
+                stream,
+                "POST {path} HTTP/1.1\r\nHost: {host}\r\nContent-Length: {}\r\n\
+                 Connection: {connection}\r\n\r\n{body}",
+                body.len()
+            ),
+        }
+        .map_err(|e| format!("send request for {}: {e}", req.path()))?;
+    }
+    let mut out = Vec::with_capacity(reqs.len());
+    let mut carry = Vec::new();
+    for req in reqs {
+        out.push(read_response(&mut stream, &mut carry).map_err(|e| format!("{}: {e}", req.path()))?);
     }
     Ok(out)
 }
@@ -83,7 +141,7 @@ fn fetch_all(host: &str, paths: &[String]) -> Result<Vec<(u16, String)>, String>
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(url) = args.first() else {
-        eprintln!("usage: scrape_metrics http://HOST:PORT/PATH [PATH...]");
+        eprintln!("usage: scrape_metrics http://HOST:PORT/PATH ['PATH' | 'POST PATH BODY']...");
         std::process::exit(2);
     };
     let Some(rest) = url.strip_prefix("http://") else {
@@ -94,18 +152,39 @@ fn main() {
         Some((host, path)) => (host.to_string(), format!("/{path}")),
         None => (rest.to_string(), "/".to_string()),
     };
-    let mut paths = vec![first_path];
-    paths.extend(args[1..].iter().cloned());
-    match fetch_all(&host, &paths) {
+    let mut reqs = vec![Req::Get(first_path)];
+    for arg in &args[1..] {
+        match Req::parse(arg) {
+            Ok(r) => reqs.push(r),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    match fetch_all(&host, &reqs) {
         Ok(responses) => {
             let mut failed = false;
-            for (path, (status, body)) in paths.iter().zip(&responses) {
-                if (200..300).contains(status) {
-                    print!("{body}");
-                } else {
-                    eprintln!("{path}: HTTP {status}");
-                    eprint!("{body}");
-                    failed = true;
+            for (req, (status, body)) in reqs.iter().zip(&responses) {
+                match req {
+                    Req::Get(path) => {
+                        if (200..300).contains(status) {
+                            print!("{body}");
+                        } else {
+                            eprintln!("{path}: HTTP {status}");
+                            eprint!("{body}");
+                            failed = true;
+                        }
+                    }
+                    // POST outcomes are data, not pass/fail: a 429 from a
+                    // full queue is exactly what the backpressure smoke
+                    // wants to observe.
+                    Req::Post { path, .. } => {
+                        println!("POST {path} -> HTTP {status}");
+                        if !body.is_empty() {
+                            println!("{body}");
+                        }
+                    }
                 }
             }
             if failed {

@@ -98,8 +98,11 @@ grep -q "REGRESSION — phase.scf_iter" /tmp/vpp_diff_perturbed.out || {
 }
 
 echo "==> serve smoke: live /metrics must expose protocol.coverage"
+# One worker session and a one-deep queue so the backpressure smoke
+# below can force a deterministic 429 with three POSTs.
 cargo run -q --release --offline --bin vpp -- \
-    serve B.hR105_hse --quick --metrics-port 0 > /tmp/vpp_serve.out 2>&1 &
+    serve B.hR105_hse --quick --metrics-port 0 --max-sessions 1 --max-queue 1 \
+    > /tmp/vpp_serve.out 2>&1 &
 SERVE_PID=$!
 ADDR=
 for _ in $(seq 1 100); do
@@ -115,36 +118,82 @@ done
 SCRAPED=
 for _ in $(seq 1 100); do
     # All scrapes ride one keep-alive connection: scrape_metrics fetches
-    # every extra path over the socket of the first.
+    # every extra path over the socket of the first. The power histogram
+    # fills as the executor runs, so it gates the retry loop too.
     if cargo run -q --release --offline --example scrape_metrics -- \
         "http://$ADDR/metrics" /metrics /healthz > /tmp/vpp_scrape.out 2>/dev/null \
-        && grep -q '^vpp_protocol_coverage' /tmp/vpp_scrape.out; then
+        && grep -q '^vpp_protocol_coverage' /tmp/vpp_scrape.out \
+        && grep -q '^vpp_power_watts_bucket' /tmp/vpp_scrape.out; then
         SCRAPED=1
         break
     fi
     sleep 0.2
 done
-kill "$SERVE_PID" 2>/dev/null || true
-wait "$SERVE_PID" 2>/dev/null || true
 [ -n "$SCRAPED" ] || {
-    echo "verify: FAIL — /metrics never exposed vpp_protocol_coverage" >&2
+    echo "verify: FAIL — /metrics never exposed vpp_protocol_coverage + vpp_power_watts_bucket" >&2
+    kill "$SERVE_PID" 2>/dev/null || true
     exit 1
 }
 grep -q '^vpp_up 1' /tmp/vpp_scrape.out || {
     echo "verify: FAIL — /metrics lost the vpp_up self-series" >&2
+    kill "$SERVE_PID" 2>/dev/null || true
     exit 1
 }
-grep -q '^vpp_serve_jobs_evicted' /tmp/vpp_scrape.out || {
-    echo "verify: FAIL — /metrics lost the vpp_serve_jobs_evicted counter" >&2
+grep -q '^vpp_serve_jobs_evicted_total' /tmp/vpp_scrape.out || {
+    echo "verify: FAIL — /metrics lost the vpp_serve_jobs_evicted_total counter" >&2
+    kill "$SERVE_PID" 2>/dev/null || true
     exit 1
 }
 grep -q '"jobs_queued"' /tmp/vpp_scrape.out || {
     echo "verify: FAIL — the keep-alive /healthz scrape went missing" >&2
+    kill "$SERVE_PID" 2>/dev/null || true
     exit 1
 }
 grep -q '^job service : POST /jobs' /tmp/vpp_serve.out || {
     echo "verify: FAIL — serve did not announce the POST /jobs service" >&2
+    kill "$SERVE_PID" 2>/dev/null || true
     exit 1
 }
+
+echo "==> backpressure smoke: a forced 429 leaves a structured warn in /logs"
+# Three POSTs against one session + one queue slot: the first runs, the
+# second queues, the third is refused. POSTs, the /logs fetch, and the
+# metrics re-read all ride one keep-alive connection.
+cargo run -q --release --offline --example scrape_metrics -- \
+    "http://$ADDR/metrics" \
+    'POST /jobs {"workload": "B.hR105_hse", "repeats": 16}' \
+    'POST /jobs {"workload": "B.hR105_hse", "repeats": 16}' \
+    'POST /jobs {"workload": "B.hR105_hse", "repeats": 16}' \
+    '/logs?after=0&level=warn&limit=4096' > /tmp/vpp_429.out 2>/dev/null || {
+    echo "verify: FAIL — backpressure scrape did not complete" >&2
+    kill "$SERVE_PID" 2>/dev/null || true
+    exit 1
+}
+grep -q 'HTTP 429' /tmp/vpp_429.out || {
+    echo "verify: FAIL — three POSTs against a full queue produced no 429" >&2
+    kill "$SERVE_PID" 2>/dev/null || true
+    exit 1
+}
+grep -q 'queue full' /tmp/vpp_429.out || {
+    echo "verify: FAIL — /logs?level=warn carries no queue-full warn record" >&2
+    kill "$SERVE_PID" 2>/dev/null || true
+    exit 1
+}
+
+echo "==> vpp logs smoke: the CLI cursor client sees the same warn"
+cargo run -q --release --offline --bin vpp -- logs "$ADDR" --level warn \
+    > /tmp/vpp_logs_cli.out 2>/dev/null || {
+    echo "verify: FAIL — vpp logs against the live service failed" >&2
+    kill "$SERVE_PID" 2>/dev/null || true
+    exit 1
+}
+grep -q 'queue full' /tmp/vpp_logs_cli.out || {
+    echo "verify: FAIL — vpp logs did not surface the queue-full warn" >&2
+    kill "$SERVE_PID" 2>/dev/null || true
+    exit 1
+}
+
+kill "$SERVE_PID" 2>/dev/null || true
+wait "$SERVE_PID" 2>/dev/null || true
 
 echo "verify: OK"

@@ -21,6 +21,7 @@
 //! vpp serve        [benchmark]     [--nodes N] [--cap W] [--quick]
 //!                                  [--repeat N] [--metrics-port PORT]
 //!                                  [--max-sessions N] [--federate URL]...
+//! vpp logs         <url>           [--after SEQ] [--level LVL] [--limit N]
 //! ```
 //!
 //! `<benchmark>` is a Table I name (see `vpp list`); a directory containing
@@ -53,6 +54,11 @@
 //! `/metrics` expositions into this instance's, labelled by peer. The
 //! benchmark operand is optional — without one the process runs as a
 //! service that only executes POSTed jobs.
+//!
+//! `logs` fetches one chunk of a running service's structured log
+//! journal (`GET /logs?after=SEQ&level=LVL&limit=N`) as jsonl on stdout;
+//! the next cursor and drop accounting print to stderr so the output
+//! pipes cleanly into `jq`.
 
 use std::collections::BTreeMap;
 use std::io::Write;
@@ -249,6 +255,17 @@ const COMMANDS: &[CommandSpec] = &[
             },
         ],
         run: cmd_serve,
+    },
+    CommandSpec {
+        words: &["logs"],
+        operand: "<url>",
+        summary: "fetch a running service's structured log journal (jsonl)",
+        flags: &[
+            flag("after", "SEQ", "cursor from the previous chunk (default 0)"),
+            flag("level", "LVL", "minimum severity: debug|info|warn|error (default debug)"),
+            flag("limit", "N", "records per chunk (default 512)"),
+        ],
+        run: cmd_logs,
     },
 ];
 
@@ -1143,7 +1160,7 @@ fn cmd_serve(p: &Parsed) -> Result<(), String> {
     let handle =
         serve::serve_with(serve_cfg).map_err(|e| format!("cannot bind metrics port {port}: {e}"))?;
     println!("serving on http://{}", handle.addr());
-    println!("endpoints   : /metrics /healthz /trace?format=json|jsonl|csv");
+    println!("endpoints   : /metrics /healthz /trace?format=json|jsonl|csv /logs?after=SEQ&level=warn");
     println!("job service : POST /jobs, GET /jobs, DELETE /jobs/<id>, /jobs/<id>[/trace?after=SEQ|/metrics]");
     flush_stdout();
     // The session stays open for the life of the process so late scrapes
@@ -1178,6 +1195,67 @@ fn cmd_serve(p: &Parsed) -> Result<(), String> {
     loop {
         std::thread::park();
     }
+}
+
+fn cmd_logs(p: &Parsed) -> Result<(), String> {
+    let target = p
+        .positional
+        .first()
+        .ok_or("logs needs the service address, e.g. `vpp logs 127.0.0.1:9100`")?;
+    let after = flag_parse::<u64>(p, "after")?.unwrap_or(0);
+    let limit = flag_parse::<usize>(p, "limit")?;
+    let level = match p.value("level") {
+        // Validate locally so a typo fails with the level vocabulary
+        // instead of a server round-trip.
+        Some(raw) => raw.parse::<trace::LogLevel>()?.name(),
+        None => trace::LogLevel::Debug.name(),
+    };
+    let mut path = format!("/logs?after={after}&level={level}");
+    if let Some(n) = limit {
+        path.push_str(&format!("&limit={n}"));
+    }
+    let hostport = target
+        .strip_prefix("http://")
+        .unwrap_or(target)
+        .split('/')
+        .next()
+        .unwrap_or(target);
+    let mut stream = std::net::TcpStream::connect(hostport)
+        .map_err(|e| format!("connect {hostport}: {e}"))?;
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: {hostport}\r\nConnection: close\r\n\r\n"
+    )
+    .map_err(|e| format!("send to {hostport}: {e}"))?;
+    let mut raw = String::new();
+    std::io::Read::read_to_string(&mut stream, &mut raw)
+        .map_err(|e| format!("read from {hostport}: {e}"))?;
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| format!("malformed response from {hostport}"))?;
+    let status = head.split_whitespace().nth(1).unwrap_or("");
+    if status != "200" {
+        return Err(format!("{hostport} answered {status}: {}", body.trim_end()));
+    }
+    print!("{body}");
+    flush_stdout();
+    // Cursor bookkeeping goes to stderr so stdout stays pure jsonl.
+    for (header, label) in [
+        ("x-vpp-next-cursor:", "next cursor"),
+        ("x-vpp-more:", "more"),
+        ("x-vpp-dropped:", "dropped"),
+    ] {
+        if let Some(v) = head
+            .lines()
+            .find(|l| l.to_ascii_lowercase().starts_with(header))
+            .and_then(|l| l.split_once(':'))
+            .map(|(_, v)| v.trim())
+        {
+            eprintln!("{label} : {v}");
+        }
+    }
+    Ok(())
 }
 
 // ---------------------------------------------------------------------------

@@ -575,11 +575,20 @@ fn one_keep_alive_connection_covers_submit_poll_cancel_and_eviction() {
     assert_eq!(status, 200);
     let evicted = body
         .lines()
-        .find_map(|l| l.strip_prefix("vpp_serve_jobs_evicted "))
-        .expect("exposition carries vpp_serve_jobs_evicted")
+        .find_map(|l| l.strip_prefix("vpp_serve_jobs_evicted_total "))
+        .expect("exposition carries vpp_serve_jobs_evicted_total")
         .parse::<f64>()
         .unwrap();
     assert!(evicted >= 1.0, "{body}");
+    // The pre-rename spelling survives one release as a deprecated alias
+    // and must agree with the canonical counter.
+    let alias = body
+        .lines()
+        .find_map(|l| l.strip_prefix("vpp_serve_jobs_evicted "))
+        .expect("deprecated alias vpp_serve_jobs_evicted still exposed")
+        .parse::<f64>()
+        .unwrap();
+    assert_eq!(alias, evicted, "alias diverged from canonical counter");
     let canceled = body
         .lines()
         .find_map(|l| l.strip_prefix("vpp_serve_jobs_canceled_total "))
@@ -611,10 +620,22 @@ fn full_queue_answers_429_with_retry_after() {
 
     // The queue is at its bound: the next submission is refused with
     // backpressure, not queued.
+    let mark = trace::log_stats().next_seq;
     let (status, head, body) = request(addr, "POST", "/jobs", r#"{"tag": "gamma"}"#);
     assert_eq!(status, 429, "{body}");
     assert_eq!(header(&head, "Retry-After"), Some("1"), "{head}");
     assert!(body.contains("queue is full"), "{body}");
+
+    // The refusal leaves a structured warn in the journal, fetchable
+    // over HTTP with cursor + severity filtering.
+    let (status, _, journal) = get(addr, &format!("/logs?after={mark}&level=warn"));
+    assert_eq!(status, 200);
+    assert!(
+        journal
+            .lines()
+            .any(|l| l.contains("serve.jobs") && l.contains("queue full")),
+        "429 left no warn record in /logs: {journal}"
+    );
 
     // Nothing was registered for the refused submission.
     let (_, _, listing) = get(addr, "/jobs");
@@ -705,8 +726,8 @@ fn soak_500_short_jobs_with_short_ttl_keeps_the_registry_bounded() {
     assert_eq!(status, 200);
     let evicted = body
         .lines()
-        .find_map(|l| l.strip_prefix("vpp_serve_jobs_evicted "))
-        .expect("exposition carries vpp_serve_jobs_evicted")
+        .find_map(|l| l.strip_prefix("vpp_serve_jobs_evicted_total "))
+        .expect("exposition carries vpp_serve_jobs_evicted_total")
         .parse::<f64>()
         .unwrap();
     assert_eq!(evicted, JOBS as f64, "every accepted job must age out");

@@ -6,11 +6,13 @@
 //! The server reads process-global trace state, so the tests serialize on
 //! a lock instead of trusting the harness' thread scheduling.
 
+use std::collections::{BTreeMap, BTreeSet};
 use std::io::{Read as _, Write as _};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::Mutex;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+use vasp_power_profiles::substrate::json::{self, Value};
 use vasp_power_profiles::substrate::serve::{serve, RunState};
 use vasp_power_profiles::substrate::{span, trace};
 
@@ -173,6 +175,22 @@ fn healthz_walks_idle_running_done() {
     assert!(head.contains("Content-Type: application/json"), "{head}");
     assert!(body.contains("\"state\": \"idle\""), "{body}");
 
+    // The journal's health rides along: current admission level plus
+    // per-severity drop counts, one guard acquisition server-side.
+    let doc = json::parse(&body).expect("healthz is JSON");
+    assert_eq!(
+        doc.get("log_level").and_then(Value::as_str),
+        Some(trace::log_level().name()),
+        "{body}"
+    );
+    let dropped = doc.get("log_dropped").expect("healthz reports log drops");
+    for level in ["debug", "info", "warn", "error"] {
+        assert!(
+            dropped.get(level).and_then(Value::as_f64).is_some(),
+            "log_dropped lacks '{level}': {body}"
+        );
+    }
+
     h.set_workload("serve_it", 2);
     h.set_state(RunState::Running);
     let (_, _, body) = get(h.addr(), "/healthz");
@@ -221,7 +239,7 @@ fn head_mirrors_get_on_every_route() {
     // RFC 9110 §9.3.2: HEAD answers with the status and header fields a
     // GET would produce — including Content-Length — and no body. That
     // holds on every route, 404s and 405s included.
-    for target in ["/metrics", "/healthz", "/trace?format=jsonl", "/jobs", "/nope"] {
+    for target in ["/metrics", "/healthz", "/trace?format=jsonl", "/logs", "/jobs", "/nope"] {
         let (get_status, get_head, get_body) = get(h.addr(), target);
         let (head_status, head_head, head_body) = head_req(h.addr(), target);
         assert_eq!(head_status, get_status, "HEAD {target} diverged from GET");
@@ -266,6 +284,221 @@ fn head_mirrors_get_on_every_route() {
 
     h.shutdown();
     drop(session);
+}
+
+/// Group one histogram family's `_bucket` samples by their non-`le`
+/// labels: `labels -> [(le, cumulative)]` in exposition order.
+fn histogram_buckets(body: &str, family: &str) -> BTreeMap<String, Vec<(String, u64)>> {
+    let mut groups: BTreeMap<String, Vec<(String, u64)>> = BTreeMap::new();
+    let prefix = format!("{family}_bucket{{");
+    for line in body.lines() {
+        let Some(rest) = line.strip_prefix(prefix.as_str()) else {
+            continue;
+        };
+        let (labels, value) = rest.rsplit_once(' ').expect("bucket sample line");
+        let labels = labels.strip_suffix('}').expect("closing label brace");
+        let mut le = None;
+        let mut others = Vec::new();
+        for part in labels.split(',') {
+            match part.strip_prefix("le=\"") {
+                Some(v) => le = Some(v.trim_end_matches('"').to_string()),
+                None => others.push(part),
+            }
+        }
+        groups.entry(others.join(",")).or_default().push((
+            le.expect("every bucket sample carries le"),
+            value.parse().expect("integer bucket count"),
+        ));
+    }
+    groups
+}
+
+/// The float value of the sample whose `name{labels}` part is exactly
+/// `name_and_labels`.
+fn sample_value(body: &str, name_and_labels: &str) -> Option<f64> {
+    body.lines()
+        .filter_map(|l| l.rsplit_once(' '))
+        .find(|(n, _)| *n == name_and_labels)
+        .map(|(_, v)| v.parse().expect("float sample value"))
+}
+
+#[test]
+fn histogram_exposition_is_cumulative_and_internally_consistent() {
+    let _guard = locked();
+    let session = trace::session(1 << 16);
+    // A bimodal power distribution straddling the 200 W bucket edge the
+    // paper's idle/compute mode split keys on: 25 low observations and
+    // 25 high, each weighted 3 (duration-weighted, like the executor).
+    for i in 0..50u64 {
+        let watts = if i % 2 == 0 { 70.0 } else { 330.0 };
+        trace::histogram_count("power_watts", watts, 3);
+    }
+    let h = serve(0).expect("bind ephemeral");
+    let (status, _, _) = get(h.addr(), "/healthz"); // populates per-route stats
+    assert_eq!(status, 200);
+    let (status, _, body) = get(h.addr(), "/metrics");
+    assert_eq!(status, 200);
+
+    // Every declared histogram family obeys the exposition contract:
+    // cumulative bucket counts are monotone nondecreasing, the series
+    // ends at le="+Inf", and that terminal count equals `_count` while
+    // `_sum` is present and finite.
+    let families: Vec<&str> = body
+        .lines()
+        .filter_map(|l| l.strip_prefix("# TYPE "))
+        .filter_map(|rest| rest.strip_suffix(" histogram"))
+        .collect();
+    assert!(families.contains(&"vpp_power_watts"), "{body}");
+    assert!(families.contains(&"vpp_serve_request_seconds"), "{body}");
+    for family in &families {
+        let groups = histogram_buckets(&body, family);
+        assert!(!groups.is_empty(), "# TYPE {family} histogram has no buckets");
+        for (labels, buckets) in &groups {
+            let mut prev = 0u64;
+            for (le, cum) in buckets {
+                assert!(
+                    *cum >= prev,
+                    "{family}{{{labels}}}: cumulative count decreased at le={le}"
+                );
+                prev = *cum;
+            }
+            let (last_le, total) = buckets.last().expect("at least one bucket");
+            assert_eq!(last_le, "+Inf", "{family}{{{labels}}} missing +Inf bucket");
+            let count_sample = if labels.is_empty() {
+                format!("{family}_count")
+            } else {
+                format!("{family}_count{{{labels}}}")
+            };
+            assert_eq!(
+                sample_value(&body, &count_sample),
+                Some(*total as f64),
+                "+Inf bucket != _count for {family}{{{labels}}}:\n{body}"
+            );
+            let sum_sample = if labels.is_empty() {
+                format!("{family}_sum")
+            } else {
+                format!("{family}_sum{{{labels}}}")
+            };
+            let sum = sample_value(&body, &sum_sample)
+                .unwrap_or_else(|| panic!("{family}{{{labels}}} lacks _sum:\n{body}"));
+            assert!(sum.is_finite(), "{family}{{{labels}}} _sum is not finite");
+        }
+    }
+
+    // The recorded distribution round-trips exactly: 150 weighted
+    // observations, 75 at or below the 200 W edge, sum 30 000 W·obs.
+    let power = &histogram_buckets(&body, "vpp_power_watts")[""];
+    let le200 = power
+        .iter()
+        .find(|(le, _)| le == "200")
+        .expect("200 W is a bucket edge of the power table");
+    assert_eq!(le200.1, 75, "{body}");
+    assert_eq!(sample_value(&body, "vpp_power_watts_count"), Some(150.0));
+    assert_eq!(
+        sample_value(&body, "vpp_power_watts_sum"),
+        Some(3.0 * (25.0 * 70.0 + 25.0 * 330.0))
+    );
+
+    // The /healthz request above shows up as per-route service telemetry.
+    let routes = histogram_buckets(&body, "vpp_serve_request_seconds");
+    assert!(
+        routes.keys().any(|k| k.contains(r#"route="/healthz""#)),
+        "{body}"
+    );
+    let ok = sample_value(
+        &body,
+        r#"vpp_serve_response_status_total{route="/healthz",status="200"}"#,
+    );
+    assert!(ok.is_some_and(|v| v >= 1.0), "{body}");
+
+    h.shutdown();
+    drop(session);
+}
+
+#[test]
+fn logs_cursor_is_exactly_once_under_concurrent_writers() {
+    let _guard = locked();
+    const WRITERS: u64 = 4;
+    const PER_WRITER: u64 = 150;
+    let h = serve(0).expect("bind ephemeral");
+    let addr = h.addr();
+
+    // Watermark the process-global journal: records admitted by other
+    // tests carry seqs below `start`, so the exactly-once accounting
+    // below only counts our own target's records.
+    let start = trace::log_stats().next_seq;
+    let threads: Vec<_> = (0..WRITERS)
+        .map(|w| {
+            std::thread::spawn(move || {
+                for i in 0..PER_WRITER {
+                    trace::log_event(
+                        trace::LogLevel::Info,
+                        "serve_test.cursor",
+                        format!("writer {w} record {i}"),
+                        vec![("writer", w.into()), ("i", i.into())],
+                    );
+                }
+            })
+        })
+        .collect();
+
+    // Page through /logs over real sockets while the writers are still
+    // racing: an odd chunk size, the cursor taken from the response
+    // header, every one of our records seen exactly once.
+    let expected = (WRITERS * PER_WRITER) as usize;
+    let mut after = start;
+    let mut seen: BTreeSet<u64> = BTreeSet::new();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while seen.len() < expected && Instant::now() < deadline {
+        let (status, head, body) = get(addr, &format!("/logs?after={after}&limit=97&level=info"));
+        assert_eq!(status, 200, "{body}");
+        for line in body.lines() {
+            let rec = json::parse(line).expect("jsonl record parses");
+            let seq = rec.get("seq").and_then(Value::as_f64).expect("record has seq") as u64;
+            if rec.get("target").and_then(Value::as_str) != Some("serve_test.cursor") {
+                continue;
+            }
+            assert!(seq >= start, "stale record leaked past the watermark");
+            assert!(seen.insert(seq), "seq {seq} delivered twice");
+        }
+        let next: u64 = header(&head, "X-Vpp-Next-Cursor")
+            .expect("chunk advertises a cursor")
+            .parse()
+            .expect("cursor is an integer");
+        assert!(next >= after, "cursor went backwards: {next} < {after}");
+        after = next;
+        if body.is_empty() {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+    for t in threads {
+        t.join().expect("writer thread");
+    }
+    assert_eq!(seen.len(), expected, "missing log records");
+
+    // Drained: the final chunk is empty, keeps the cursor, and reports
+    // no more matching records.
+    let (status, head, body) = get(addr, &format!("/logs?after={after}&limit=97&level=info"));
+    assert_eq!(status, 200);
+    assert_eq!(header(&head, "X-Vpp-More"), Some("false"), "{body}");
+
+    // Severity filtering composes with the cursor: at `level=warn` none
+    // of our info-level records appear.
+    let (status, _, body) = get(addr, &format!("/logs?after={start}&level=warn&limit=4096"));
+    assert_eq!(status, 200);
+    assert!(
+        !body.contains("serve_test.cursor"),
+        "info records leaked into level=warn: {body}"
+    );
+
+    // Malformed cursor parameters are client errors, not shrugs.
+    let (status, _, _) = get(addr, "/logs?after=x");
+    assert_eq!(status, 400);
+    let (status, _, body) = get(addr, "/logs?level=noise");
+    assert_eq!(status, 400);
+    assert!(body.contains("unknown log level"), "{body}");
+
+    h.shutdown();
 }
 
 #[test]
