@@ -4,28 +4,37 @@
 //!
 //! The ROADMAP's north star is datacenter-scale what-if studies: run the
 //! same synthetic workload under competing cap policies (Wattlytics-style)
-//! and compare throughput, energy to solution and cap-induced slowdown at
-//! the campaign level. This module supplies:
+//! and compare throughput, energy to solution, dollar cost and
+//! cap-induced slowdown at the campaign level. This module supplies:
 //!
 //! * [`CampaignSpec`] — a seeded generator of heterogeneous [`BatchJob`]s
 //!   (mixed methods → workload classes, sizes, KPAR, jittered cap-response
-//!   curves, bursty arrivals), routed round-robin over independent machine
-//!   partitions.
-//! * [`run`] — per-partition event-driven DES ([`Scheduler::run`]) fanned
-//!   out over the `vpp_substrate` pool in shards, followed by a
-//!   deterministic k-way merge of the per-partition outcomes. Partitions
-//!   are simulated independently, so the shard count changes wall-clock
-//!   only: the merged [`ScheduleOutcome`] is byte-identical for any
-//!   `shards >= 1` (the campaign determinism test pins this).
+//!   curves, bursty arrivals), routed round-robin over machine partitions.
+//! * [`run`] — the campaign simulator behind any [`CapPolicy`]. With no
+//!   site budget, partitions are independent event-driven DES runs
+//!   ([`Scheduler::run_with`]) fanned out over the `vpp_substrate` pool in
+//!   shards and merged deterministically; this path is byte-identical to
+//!   the superseded enum engine (retained as [`reference::run_enum`], the
+//!   `policy_equivalence` suite pins it). With `site_budget_w` set, the
+//!   partitions couple through a [`crate::site::SiteBudget`] ledger and
+//!   run as one global-backfill event loop ([`crate::site::run_site`]).
+//!   Either way the merged [`ScheduleOutcome`] is byte-identical for any
+//!   `shards >= 1` (the campaign determinism tests pin both paths).
 //! * [`CampaignOutcome`] — campaign-level outputs: merged spans, exact
-//!   system peak power (event sweep over all partitions), throughput,
-//!   energy-to-solution and slowdown distributions.
+//!   system peak power, throughput, energy-to-solution, the Wattlytics
+//!   TCO objective in dollars, and slowdown distributions (raw per-job
+//!   samples retained for [`CampaignOutcome::slowdown_violin`]).
 //! * The pinned trace-baseline recipe ([`baseline_spec`] /
 //!   [`baseline_body`] / [`capture_baseline`]) behind `vpp trace diff
-//!   campaign` and the `campaign` entry in `BENCH_results.json`.
+//!   campaign`, and the `repro campaign_contention` section
+//!   ([`contention_report`]).
 
-use crate::scheduler::{BatchJob, CapResponse, Policy, ScheduleOutcome, Scheduler, WorkloadClass};
+use crate::policy::{CapPolicy, ClassAware, SiteView, SweetSpot, TcoAware, TcoPrices, Uncapped};
+use crate::scheduler::{BatchJob, CapResponse, ScheduleOutcome, Scheduler, WorkloadClass};
+use crate::site;
 use std::collections::BTreeMap;
+use std::fmt;
+use vpp_stats::ViolinStats;
 use vpp_substrate::bench::TraceBaseline;
 use vpp_substrate::json::Value;
 use vpp_substrate::{par_map, span, trace, Rng};
@@ -37,8 +46,9 @@ pub struct CampaignSpec {
     pub jobs: usize,
     /// Master seed; every job derives its own stream from it.
     pub seed: u64,
-    /// Independent machine partitions (each with its own node pool and
-    /// power budget); jobs are routed round-robin by id.
+    /// Machine partitions (each with its own node pool and power budget);
+    /// jobs are routed round-robin by id — their *home* partition, which
+    /// is also where they run unless a site budget enables backfill.
     pub partitions: usize,
     /// Nodes per partition.
     pub nodes_per_partition: usize,
@@ -47,11 +57,16 @@ pub struct CampaignSpec {
     /// Arrivals spread over this window, seconds (a fraction of the queue
     /// is backlogged at t = 0).
     pub arrival_window_s: f64,
+    /// Site-wide power budget, watts. `None` leaves the partitions
+    /// independent (each capped by `partition_budget_w` alone); `Some`
+    /// couples them through one [`crate::site::SiteBudget`] ledger and
+    /// turns on cross-partition backfill.
+    pub site_budget_w: Option<f64>,
 }
 
 impl CampaignSpec {
     /// A campaign of `jobs` seeded jobs over the default machine shape:
-    /// 8 partitions × 32 nodes with a 40 kW budget each.
+    /// 8 partitions × 32 nodes with a 40 kW budget each, no site budget.
     #[must_use]
     pub fn new(jobs: usize, seed: u64) -> Self {
         Self {
@@ -61,6 +76,7 @@ impl CampaignSpec {
             nodes_per_partition: 32,
             partition_budget_w: 40_000.0,
             arrival_window_s: 4.0 * 3600.0,
+            site_budget_w: None,
         }
     }
 
@@ -68,6 +84,12 @@ impl CampaignSpec {
     #[must_use]
     pub fn scheduler(&self) -> Scheduler {
         Scheduler::new(self.nodes_per_partition, self.partition_budget_w)
+    }
+
+    /// Summed partition budgets, watts — the site's uncoupled envelope.
+    #[must_use]
+    pub fn summed_budget_w(&self) -> f64 {
+        self.partitions as f64 * self.partition_budget_w
     }
 
     /// Generate the job mix deterministically: each job forks its own RNG
@@ -234,6 +256,15 @@ pub struct CampaignOutcome {
     /// Per-job cap-induced slowdown (runtime under the policy relative to
     /// the job's own uncapped runtime; 1.0 = no slowdown).
     pub slowdown: Distribution,
+    /// The raw per-job slowdown samples behind [`CampaignOutcome::slowdown`],
+    /// in job-id order — the input to [`CampaignOutcome::slowdown_violin`].
+    pub slowdown_samples: Vec<f64>,
+    /// The Wattlytics TCO objective at [`TcoPrices::default`]: energy
+    /// dollars plus node-hour dollars summed over all jobs.
+    pub tco_usd: f64,
+    /// Jobs that started away from their home partition (always 0 without
+    /// a site budget: independent partitions cannot backfill).
+    pub backfilled: usize,
 }
 
 impl CampaignOutcome {
@@ -242,33 +273,78 @@ impl CampaignOutcome {
     pub fn throughput_per_hour(&self) -> f64 {
         self.merged.throughput_per_hour()
     }
+
+    /// Violin summary (quartiles + KDE outline) of the per-job slowdowns.
+    ///
+    /// # Panics
+    /// If the campaign had no jobs or `n_outline < 2`
+    /// ([`ViolinStats::from_samples`]'s contract).
+    #[must_use]
+    pub fn slowdown_violin(&self, n_outline: usize) -> ViolinStats {
+        ViolinStats::from_samples(&self.slowdown_samples, n_outline)
+    }
 }
 
 /// Run the campaign under `policy` with `shards` parallel work units.
 ///
-/// Jobs are routed to partitions by `id % partitions`; each partition is
-/// an independent [`Scheduler::run`] DES. Shards group partitions into
-/// contiguous chunks executed over the substrate pool — the grouping
-/// affects wall-clock only, never the outcome.
+/// Without a site budget, jobs run on their home partition
+/// (`id % partitions`) and each partition is an independent
+/// [`Scheduler::run_with`] DES; shards group partitions into contiguous
+/// chunks executed over the substrate pool. With `site_budget_w` set the
+/// partitions share one watts ledger and the campaign runs as a single
+/// global-backfill event loop ([`crate::site::run_site`]). In both modes
+/// the shard count affects wall-clock only, never the outcome: the
+/// independent path merges by `(start, id)`, the coupled path is a pure
+/// function of `(spec, policy)`.
 ///
 /// # Panics
 /// If `shards == 0`, or a generated job cannot fit its partition (see
-/// [`Scheduler::job_demand`]; impossible with the default machine shape).
+/// [`Scheduler::job_demand`]; impossible with the default machine shape),
+/// or the site budget is too tight for some job to ever start.
 #[must_use]
-pub fn run(spec: &CampaignSpec, policy: Policy, shards: usize) -> CampaignOutcome {
+pub fn run(spec: &CampaignSpec, policy: &dyn CapPolicy, shards: usize) -> CampaignOutcome {
     assert!(shards > 0, "need at least one shard");
     let jobs = spec.generate();
     let sched = spec.scheduler();
     trace::counter("campaign.jobs", jobs.len() as u64);
 
-    // Route jobs to partitions in submission order.
-    let mut queues: Vec<Vec<BatchJob>> = (0..spec.partitions).map(|_| Vec::new()).collect();
-    for j in &jobs {
-        queues[(j.id % spec.partitions as u64) as usize].push(j.clone());
+    if spec.site_budget_w.is_some() {
+        let sr = site::run_site(spec, &jobs, policy);
+        return summarise(spec, &jobs, &sr.demand, std::slice::from_ref(&sr.outcome), sr.backfilled);
     }
 
-    // Contiguous shard chunks; flattening restores partition order, so
-    // the result is independent of the chunk width.
+    let outcomes = run_partitioned(spec, route(spec, &jobs), shards, |queue| {
+        sched.run_with(queue, policy)
+    });
+    let slack = SiteView::slack();
+    let demand: Vec<(f64, f64)> = jobs
+        .iter()
+        .map(|j| sched.job_demand_with(j, policy, &slack))
+        .collect();
+    summarise(spec, &jobs, &demand, &outcomes, 0)
+}
+
+/// Route jobs to their home partitions in submission order.
+fn route(spec: &CampaignSpec, jobs: &[BatchJob]) -> Vec<Vec<BatchJob>> {
+    let mut queues: Vec<Vec<BatchJob>> = (0..spec.partitions).map(|_| Vec::new()).collect();
+    for j in jobs {
+        queues[(j.id % spec.partitions as u64) as usize].push(j.clone());
+    }
+    queues
+}
+
+/// Fan per-partition queues out over the pool in contiguous shard chunks;
+/// flattening restores partition order, so the result is independent of
+/// the chunk width. Shared by the trait path and the enum reference.
+fn run_partitioned<F>(
+    spec: &CampaignSpec,
+    queues: Vec<Vec<BatchJob>>,
+    shards: usize,
+    sim: F,
+) -> Vec<ScheduleOutcome>
+where
+    F: Fn(&[BatchJob]) -> ScheduleOutcome + Sync,
+{
     let chunk = spec.partitions.div_ceil(shards);
     let chunks: Vec<Vec<(usize, Vec<BatchJob>)>> = queues
         .into_iter()
@@ -277,7 +353,7 @@ pub fn run(spec: &CampaignSpec, policy: Policy, shards: usize) -> CampaignOutcom
         .chunks(chunk)
         .map(<[(usize, Vec<BatchJob>)]>::to_vec)
         .collect();
-    let outcomes: Vec<ScheduleOutcome> = par_map(chunks, |chunk| {
+    par_map(chunks, |chunk| {
         chunk
             .into_iter()
             .map(|(p, queue)| {
@@ -286,35 +362,32 @@ pub fn run(spec: &CampaignSpec, policy: Policy, shards: usize) -> CampaignOutcom
                     partition = p as u64,
                     jobs = queue.len() as u64
                 );
-                sched.run(&queue, policy)
+                sim(&queue)
             })
             .collect::<Vec<_>>()
     })
     .into_iter()
     .flatten()
-    .collect();
-
-    summarise(spec, &jobs, &sched, policy, &outcomes)
+    .collect()
 }
 
-/// Merge per-partition outcomes and derive the campaign distributions.
+/// Merge outcomes and derive the campaign distributions from the per-job
+/// `(runtime, power)` demands the engine actually ran (policy-free: the
+/// enum reference, the trait path and the site engine all land here).
 fn summarise(
     spec: &CampaignSpec,
     jobs: &[BatchJob],
-    sched: &Scheduler,
-    policy: Policy,
+    demand: &[(f64, f64)],
     outcomes: &[ScheduleOutcome],
+    backfilled: usize,
 ) -> CampaignOutcome {
     let spans = merge_spans(outcomes);
     let makespan = spans.iter().map(|s| s.2).fold(0.0, f64::max);
 
-    // Per-job demand under the policy: powers the peak sweep and the
-    // energy/slowdown distributions. Jobs are id-dense (0..n).
-    let demand: Vec<(f64, f64)> = jobs.iter().map(|j| sched.job_demand(j, policy)).collect();
-
     // Exact system peak: sweep start/finish edges across all partitions;
     // at equal timestamps finishes land before starts, matching the
-    // retire-then-admit order inside each scheduler wake.
+    // retire-then-admit order inside each scheduler wake. Jobs are
+    // id-dense (0..n), so `demand` is indexable by id.
     let mut edges: Vec<(f64, u8, f64)> = Vec::with_capacity(spans.len() * 2);
     for &(id, start, finish) in &spans {
         let power = demand[id as usize].1;
@@ -338,10 +411,16 @@ fn summarise(
         mean_power_w: if makespan > 0.0 { integral / makespan } else { 0.0 },
     };
 
+    let prices = TcoPrices::default();
     let energies: Vec<f64> = demand.iter().map(|&(rt, p)| rt * p).collect();
+    let tco_usd: f64 = jobs
+        .iter()
+        .zip(demand)
+        .map(|(j, &(rt, p))| prices.job_cost_usd(j.nodes, rt, rt * p))
+        .sum();
     let slowdowns: Vec<f64> = jobs
         .iter()
-        .zip(&demand)
+        .zip(demand)
         .map(|(j, &(rt, _))| rt / (j.base_runtime_s / j.response.uncapped().0))
         .collect();
     CampaignOutcome {
@@ -349,7 +428,10 @@ fn summarise(
         merged,
         total_energy_j: energies.iter().sum(),
         energy_j: Distribution::summarise(energies),
-        slowdown: Distribution::summarise(slowdowns),
+        slowdown: Distribution::summarise(slowdowns.clone()),
+        slowdown_samples: slowdowns,
+        tco_usd,
+        backfilled,
     }
 }
 
@@ -380,6 +462,45 @@ fn merge_spans(outcomes: &[ScheduleOutcome]) -> Vec<(u64, f64, f64)> {
     merged
 }
 
+pub mod reference {
+    //! The superseded closed-enum campaign path, retained as the semantic
+    //! reference for the [`CapPolicy`](super::CapPolicy) redesign: the
+    //! `policy_equivalence` differential suite runs both on the same
+    //! specs and demands byte-identical [`CampaignOutcome`]s whenever the
+    //! site budget is slack (i.e. absent — the enum engine predates the
+    //! site ledger and never had one).
+
+    use super::{route, run_partitioned, summarise, CampaignOutcome, CampaignSpec};
+    use crate::scheduler::Policy;
+    use vpp_substrate::trace;
+
+    /// Run the campaign under the closed [`Policy`] enum, exactly as
+    /// before the trait redesign: per-partition [`Scheduler::run`]
+    /// (enum-dispatched caps), shard fan-out, deterministic merge.
+    ///
+    /// [`Scheduler::run`]: crate::scheduler::Scheduler::run
+    ///
+    /// # Panics
+    /// If `shards == 0`, a job cannot fit its partition, or the spec
+    /// carries a site budget (the enum engine has no site ledger).
+    #[must_use]
+    pub fn run_enum(spec: &CampaignSpec, policy: Policy, shards: usize) -> CampaignOutcome {
+        assert!(shards > 0, "need at least one shard");
+        assert!(
+            spec.site_budget_w.is_none(),
+            "the enum reference predates the site ledger"
+        );
+        let jobs = spec.generate();
+        let sched = spec.scheduler();
+        trace::counter("campaign.jobs", jobs.len() as u64);
+        let outcomes = run_partitioned(spec, route(spec, &jobs), shards, |queue| {
+            sched.run(queue, policy)
+        });
+        let demand: Vec<(f64, f64)> = jobs.iter().map(|j| sched.job_demand(j, policy)).collect();
+        summarise(spec, &jobs, &demand, &outcomes, 0)
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Pinned trace-baseline recipe (`vpp trace diff campaign`)
 // ---------------------------------------------------------------------------
@@ -405,11 +526,11 @@ pub fn baseline_spec() -> CampaignSpec {
 
 /// The headline policy trio every campaign comparison runs.
 #[must_use]
-pub fn baseline_policies() -> [(&'static str, Policy); 3] {
+pub fn baseline_policies() -> [(&'static str, &'static dyn CapPolicy); 3] {
     [
-        ("uncapped", Policy::Uncapped),
-        ("class_aware", Policy::ClassAware),
-        ("sweet_spot", Policy::SweetSpot),
+        ("uncapped", &Uncapped),
+        ("class_aware", &ClassAware),
+        ("sweet_spot", &SweetSpot),
     ]
 }
 
@@ -453,6 +574,205 @@ pub fn capture_baseline(capacity: usize) -> TraceBaseline {
     }
 }
 
+// ---------------------------------------------------------------------------
+// `repro campaign_contention`: policies under a tight site budget
+// ---------------------------------------------------------------------------
+
+/// Site budget of the contention study, as a fraction of the summed
+/// partition budgets (the acceptance scenario: 60 %).
+pub const CONTENTION_BUDGET_FRACTION: f64 = 0.6;
+
+/// Outline points per slowdown violin in the contention report.
+pub const CONTENTION_VIOLIN_POINTS: usize = 40;
+
+/// The pinned contention campaign: the default machine throttled to
+/// [`CONTENTION_BUDGET_FRACTION`] of its summed partition budgets.
+#[must_use]
+pub fn contention_spec() -> CampaignSpec {
+    let base = CampaignSpec::new(1200, 7);
+    CampaignSpec {
+        site_budget_w: Some(CONTENTION_BUDGET_FRACTION * base.summed_budget_w()),
+        ..base
+    }
+}
+
+/// The trio plus [`TcoAware`] — the comparison the contention table runs.
+#[must_use]
+pub fn contention_policies() -> [(&'static str, &'static dyn CapPolicy); 4] {
+    [
+        ("uncapped", &Uncapped),
+        ("class_aware", &ClassAware),
+        ("sweet_spot", &SweetSpot),
+        ("tco_aware", &TcoAware::DEFAULT),
+    ]
+}
+
+/// One policy's row of the contention study.
+#[derive(Debug, Clone)]
+pub struct ContentionRow {
+    pub policy: &'static str,
+    pub outcome: CampaignOutcome,
+    pub violin: ViolinStats,
+}
+
+/// The `repro campaign_contention` section: the policy comparison table
+/// plus per-policy slowdown violins under the tight site budget.
+#[derive(Debug, Clone)]
+pub struct ContentionReport {
+    pub spec: CampaignSpec,
+    pub rows: Vec<ContentionRow>,
+}
+
+/// Run the pinned contention study.
+#[must_use]
+pub fn contention_report() -> ContentionReport {
+    let spec = contention_spec();
+    let rows = contention_policies()
+        .into_iter()
+        .map(|(name, policy)| {
+            let outcome = run(&spec, policy, spec.partitions);
+            let violin = outcome.slowdown_violin(CONTENTION_VIOLIN_POINTS);
+            ContentionRow {
+                policy: name,
+                outcome,
+                violin,
+            }
+        })
+        .collect();
+    ContentionReport { spec, rows }
+}
+
+/// Render a violin outline as an ASCII density strip (low→high x), one
+/// character per outline point.
+fn render_outline(outline: &[(f64, f64)]) -> String {
+    const LEVELS: &[u8] = b" .:-=+*#%@";
+    let peak = outline.iter().map(|&(_, y)| y).fold(0.0f64, f64::max);
+    outline
+        .iter()
+        .map(|&(_, y)| {
+            let level = if peak > 0.0 {
+                ((y / peak) * (LEVELS.len() - 1) as f64).round() as usize
+            } else {
+                0
+            };
+            LEVELS[level.min(LEVELS.len() - 1)] as char
+        })
+        .collect()
+}
+
+impl fmt::Display for ContentionReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let budget = self.spec.site_budget_w.unwrap_or(f64::INFINITY);
+        writeln!(
+            f,
+            "== campaign_contention: cap policies negotiating one site budget =="
+        )?;
+        writeln!(
+            f,
+            "campaign : {} jobs, seed {}, {} partitions x {} nodes ({:.0} kW each)",
+            self.spec.jobs,
+            self.spec.seed,
+            self.spec.partitions,
+            self.spec.nodes_per_partition,
+            self.spec.partition_budget_w / 1e3,
+        )?;
+        writeln!(
+            f,
+            "site     : {:.1} kW budget ({:.0} % of the {:.0} kW summed envelope), global backfill on",
+            budget / 1e3,
+            100.0 * budget / self.spec.summed_budget_w(),
+            self.spec.summed_budget_w() / 1e3,
+        )?;
+        writeln!(f)?;
+        writeln!(
+            f,
+            "{:<12} {:>7} {:>9} {:>8} {:>8} {:>10} {:>9} {:>9} {:>9} {:>9}",
+            "policy",
+            "jobs/h",
+            "makespan",
+            "peak kW",
+            "mean kW",
+            "energy MJ",
+            "tco $",
+            "slow p50",
+            "slow p90",
+            "backfill"
+        )?;
+        for r in &self.rows {
+            let o = &r.outcome;
+            writeln!(
+                f,
+                "{:<12} {:>7.1} {:>8.2}h {:>8.1} {:>8.1} {:>10.1} {:>9.2} {:>9.3} {:>9.3} {:>9}",
+                r.policy,
+                o.throughput_per_hour(),
+                o.merged.makespan_s / 3600.0,
+                o.merged.peak_power_w / 1e3,
+                o.merged.mean_power_w / 1e3,
+                o.total_energy_j / 1e6,
+                o.tco_usd,
+                o.slowdown.p50,
+                o.slowdown.p90,
+                o.backfilled
+            )?;
+        }
+        writeln!(f)?;
+        writeln!(
+            f,
+            "slowdown violins (min [q1 < median < q3] max; {}-point KDE outline, modes):",
+            CONTENTION_VIOLIN_POINTS
+        )?;
+        for r in &self.rows {
+            let v = &r.violin;
+            writeln!(
+                f,
+                "{:<12} {:>5.3} [{:.3} < {:.3} < {:.3}] {:>5.3}  |{}|  {}",
+                r.policy,
+                v.min,
+                v.q1,
+                v.median,
+                v.q3,
+                v.max,
+                render_outline(&v.outline),
+                v.outline_mode_count()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+impl ContentionReport {
+    /// Machine-readable form: one row per policy.
+    #[must_use]
+    pub fn csv(&self) -> String {
+        let mut out = String::from(
+            "policy,jobs_per_hour,makespan_s,peak_kw,mean_kw,energy_mj,tco_usd,\
+             slow_min,slow_q1,slow_p50,slow_q3,slow_p90,slow_max,backfilled,violin_modes\n",
+        );
+        for r in &self.rows {
+            let o = &r.outcome;
+            out.push_str(&format!(
+                "{},{:.3},{:.1},{:.3},{:.3},{:.3},{:.2},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{},{}\n",
+                r.policy,
+                o.throughput_per_hour(),
+                o.merged.makespan_s,
+                o.merged.peak_power_w / 1e3,
+                o.merged.mean_power_w / 1e3,
+                o.total_energy_j / 1e6,
+                o.tco_usd,
+                r.violin.min,
+                r.violin.q1,
+                o.slowdown.p50,
+                r.violin.q3,
+                o.slowdown.p90,
+                r.violin.max,
+                o.backfilled,
+                r.violin.outline_mode_count()
+            ));
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -480,7 +800,7 @@ mod tests {
             partitions: 3,
             ..CampaignSpec::new(120, 5)
         };
-        let out = run(&spec, Policy::ClassAware, 2);
+        let out = run(&spec, &ClassAware, 2);
         assert_eq!(out.merged.job_spans.len(), 120);
         let mut ids: Vec<u64> = out.merged.job_spans.iter().map(|s| s.0).collect();
         ids.sort_unstable();
@@ -492,6 +812,7 @@ mod tests {
         assert!(out.merged.makespan_s > 0.0);
         assert!(out.total_energy_j > 0.0);
         assert!(out.energy_j.min > 0.0 && out.energy_j.min <= out.energy_j.max);
+        assert_eq!(out.backfilled, 0, "no site budget, no backfill");
     }
 
     #[test]
@@ -500,17 +821,58 @@ mod tests {
             partitions: 4,
             ..CampaignSpec::new(300, 7)
         };
-        let out = run(&spec, Policy::Uncapped, 4);
-        assert!(out.merged.peak_power_w <= 4.0 * spec.partition_budget_w + 1e-6);
+        let out = run(&spec, &Uncapped, 4);
+        assert!(out.merged.peak_power_w <= spec.summed_budget_w() + 1e-6);
         // The campaign peak can exceed any single partition's budget.
         assert!(out.merged.peak_power_w > 0.0);
     }
 
     #[test]
+    fn site_budget_bounds_the_peak_and_backfills() {
+        let spec = CampaignSpec {
+            site_budget_w: Some(0.6 * 4.0 * 40_000.0),
+            partitions: 4,
+            ..CampaignSpec::new(300, 7)
+        };
+        let out = run(&spec, &Uncapped, spec.partitions);
+        assert!(
+            out.merged.peak_power_w <= spec.site_budget_w.unwrap() + 1e-6,
+            "peak {} exceeds the site budget",
+            out.merged.peak_power_w
+        );
+        assert_eq!(out.merged.job_spans.len(), 300, "every job still finishes");
+        assert!(out.backfilled > 0, "a contended site must backfill some jobs");
+        // Tighter envelope than the uncoupled machine: the same workload
+        // cannot finish faster.
+        let free = run(&reference_free_spec(), &Uncapped, spec.partitions);
+        assert!(out.merged.makespan_s >= free.merged.makespan_s - 1e-9);
+    }
+
+    fn reference_free_spec() -> CampaignSpec {
+        CampaignSpec {
+            partitions: 4,
+            ..CampaignSpec::new(300, 7)
+        }
+    }
+
+    #[test]
+    fn tco_aware_beats_uncapped_on_the_tco_objective() {
+        let spec = contention_spec();
+        let tco = run(&spec, &TcoAware::DEFAULT, spec.partitions);
+        let base = run(&spec, &Uncapped, spec.partitions);
+        assert!(
+            tco.tco_usd < base.tco_usd,
+            "TcoAware ${} !< Uncapped ${}",
+            tco.tco_usd,
+            base.tco_usd
+        );
+    }
+
+    #[test]
     fn sweet_spot_cuts_campaign_energy_but_not_for_free() {
         let spec = baseline_spec();
-        let base = run(&spec, Policy::Uncapped, spec.partitions);
-        let sweet = run(&spec, Policy::SweetSpot, spec.partitions);
+        let base = run(&spec, &Uncapped, spec.partitions);
+        let sweet = run(&spec, &SweetSpot, spec.partitions);
         assert!(sweet.total_energy_j < base.total_energy_j);
         assert!(sweet.slowdown.p50 >= base.slowdown.p50);
         assert!((base.slowdown.p50 - 1.0).abs() < 1e-9, "uncapped has no slowdown");

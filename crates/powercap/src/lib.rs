@@ -10,6 +10,14 @@
 //!   (which costs <10 % performance), and reallocate the spared power to
 //!   admit more jobs under a fixed system power budget, deciding within
 //!   30-second scheduling cycles. Event-driven on the calendar queue.
+//! * [`policy`] — the open [`CapPolicy`] trait the campaign layer
+//!   schedules through: the enum trio reimplemented on the trait (pinned
+//!   byte-identical by the `policy_equivalence` suite) plus the
+//!   TCO-priced [`TcoAware`] policy, all able to observe the shared site
+//!   ledger at decision time.
+//! * [`site`] — the site-coupled engine: a [`SiteBudget`] ledger of
+//!   committed watts across partitions and a single global-backfill DES
+//!   ([`site::run_site`]) for campaigns under one site-wide envelope.
 //! * [`campaign`] — datacenter-scale what-if campaigns: thousands of
 //!   seeded heterogeneous jobs over partitioned machines, shard-parallel
 //!   DES with deterministic merging, compared across cap policies.
@@ -17,9 +25,13 @@
 pub mod campaign;
 pub mod controller;
 pub mod nvidia_smi;
+pub mod policy;
 pub mod scheduler;
+pub mod site;
 
 pub use campaign::{CampaignOutcome, CampaignSpec, Distribution};
 pub use controller::{ControlledJob, Controller};
 pub use nvidia_smi::{GpuPowerInfo, NvidiaSmi, SmiError};
+pub use policy::{CapPolicy, PolicyCtx, SiteView, TcoAware, TcoPrices};
 pub use scheduler::{BatchJob, CapResponse, Policy, ScheduleOutcome, Scheduler, WorkloadClass};
+pub use site::{SiteBudget, SiteRun};

@@ -20,6 +20,8 @@
 //! `scheduler_equivalence` property suite demands `ScheduleOutcome`
 //! equality (spans, peak, integral) between the two on random queues.
 
+use crate::policy::{CapPolicy, PolicyCtx, SiteView};
+
 /// Workload classes the scheduler can recognise from job inputs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum WorkloadClass {
@@ -113,6 +115,15 @@ impl CapResponse {
     pub fn uncapped(&self) -> (f64, f64) {
         let p = &self.points[self.points.len() - 1];
         (p.1, p.2)
+    }
+
+    /// The measured `(cap_w, perf_fraction, node_power_w)` points, caps
+    /// strictly increasing. Policies that optimise over the support (e.g.
+    /// the TCO objective) scan these rather than re-sampling the
+    /// interpolant.
+    #[must_use]
+    pub fn points(&self) -> &[(f64, f64, f64)] {
+        &self.points
     }
 
     /// The energy-optimal cap (Afzal et al.'s sweet spot): the measured
@@ -232,6 +243,36 @@ impl Scheduler {
     /// demand alone exceeds the budget (it could never start).
     #[must_use]
     pub fn job_demand(&self, job: &BatchJob, policy: Policy) -> (f64, f64) {
+        self.demand_from_cap(job, self.cap_for(job, policy))
+    }
+
+    /// [`Scheduler::job_demand`] for the open [`CapPolicy`] surface: the
+    /// policy decides the cap while observing `site`, the demand
+    /// arithmetic is shared with the enum path so the two cannot drift
+    /// (the `policy_equivalence` suite pins them byte-identical under a
+    /// slack site view).
+    ///
+    /// # Panics
+    /// As [`Scheduler::job_demand`].
+    #[must_use]
+    pub fn job_demand_with(
+        &self,
+        job: &BatchJob,
+        policy: &dyn CapPolicy,
+        site: &SiteView,
+    ) -> (f64, f64) {
+        self.demand_from_cap(job, policy.cap_for(job, &self.policy_ctx(), site))
+    }
+
+    /// The context trait-based policies evaluate under.
+    #[must_use]
+    pub fn policy_ctx(&self) -> PolicyCtx {
+        PolicyCtx {
+            max_loss: self.max_loss,
+        }
+    }
+
+    fn demand_from_cap(&self, job: &BatchJob, cap: Option<f64>) -> (f64, f64) {
         assert!(
             job.nodes <= self.total_nodes,
             "job {} wants {} of {} nodes",
@@ -239,7 +280,7 @@ impl Scheduler {
             job.nodes,
             self.total_nodes
         );
-        let (perf, node_power) = match self.cap_for(job, policy) {
+        let (perf, node_power) = match cap {
             Some(c) => (job.response.perf_at(c), job.response.power_at(c)),
             None => job.response.uncapped(),
         };
@@ -266,7 +307,29 @@ impl Scheduler {
             .iter()
             .map(|j| self.job_demand(j, policy))
             .collect();
+        self.run_demands(queue, &demands)
+    }
 
+    /// [`Scheduler::run`] for the open [`CapPolicy`] surface. Caps are
+    /// decided up front under the slack [`SiteView`] — a single partition
+    /// has no site ledger; the coupled engine lives in
+    /// [`crate::site::run_site`].
+    ///
+    /// # Panics
+    /// As [`Scheduler::job_demand`], for any job in the queue.
+    #[must_use]
+    pub fn run_with(&self, queue: &[BatchJob], policy: &dyn CapPolicy) -> ScheduleOutcome {
+        let site = SiteView::slack();
+        let demands: Vec<(f64, f64)> = queue
+            .iter()
+            .map(|j| self.job_demand_with(j, policy, &site))
+            .collect();
+        self.run_demands(queue, &demands)
+    }
+
+    /// The event-driven engine proper, shared by the enum and trait entry
+    /// points so an API redesign cannot change a single admission.
+    fn run_demands(&self, queue: &[BatchJob], demands: &[(f64, f64)]) -> ScheduleOutcome {
         // Arrival order: indices by (arrival, submission order). A cursor
         // walks it forward as arrivals pass, giving O(1) access to the
         // next arrival that could change the admission state.
@@ -382,9 +445,14 @@ struct Running {
 }
 
 /// Sort spans, derive the makespan and assemble the outcome — shared by
-/// the event-driven engine and the polling reference so the summary
-/// arithmetic cannot drift between them.
-fn finalise(mut spans: Vec<(u64, f64, f64)>, peak: f64, power_time_integral: f64) -> ScheduleOutcome {
+/// the event-driven engine, the polling reference and the site-coupled
+/// engine ([`crate::site`]) so the summary arithmetic cannot drift
+/// between them.
+pub(crate) fn finalise(
+    mut spans: Vec<(u64, f64, f64)>,
+    peak: f64,
+    power_time_integral: f64,
+) -> ScheduleOutcome {
     spans.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
     let makespan = spans.iter().map(|s| s.2).fold(0.0, f64::max);
     ScheduleOutcome {

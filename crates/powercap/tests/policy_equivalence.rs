@@ -1,0 +1,68 @@
+//! The CapPolicy redesign's non-regression contract: with a slack site
+//! budget (no `site_budget_w`), trait-based policies must reproduce the
+//! superseded closed-enum campaign engine byte-for-byte. The enum path is
+//! retained as `campaign::reference::run_enum` exactly so this suite can
+//! diff the two end to end — demands, admissions, spans, peak, integral,
+//! distributions, TCO.
+
+use vpp_powercap::policy::{ClassAware, FixedCap, SweetSpot, Uncapped};
+use vpp_powercap::{campaign, CampaignSpec, CapPolicy, Policy};
+
+fn pairs() -> [(&'static str, Policy, &'static dyn CapPolicy); 4] {
+    [
+        ("uncapped", Policy::Uncapped, &Uncapped),
+        ("fixed_220w", Policy::FixedCap(220.0), &FixedCap(220.0)),
+        ("class_aware", Policy::ClassAware, &ClassAware),
+        ("sweet_spot", Policy::SweetSpot, &SweetSpot),
+    ]
+}
+
+#[test]
+fn trait_policies_match_the_enum_reference_bit_for_bit() {
+    for spec in [
+        CampaignSpec::new(180, 7),
+        CampaignSpec {
+            partitions: 3,
+            ..CampaignSpec::new(120, 5)
+        },
+        campaign::baseline_spec(),
+    ] {
+        for (name, enum_policy, trait_policy) in pairs() {
+            let via_enum = campaign::reference::run_enum(&spec, enum_policy, spec.partitions);
+            let via_trait = campaign::run(&spec, trait_policy, spec.partitions);
+            assert_eq!(
+                via_enum, via_trait,
+                "{name}: the trait redesign changed the campaign"
+            );
+            // Byte-identity, literally: identical debug serialisations.
+            assert_eq!(format!("{via_enum:?}"), format!("{via_trait:?}"), "{name}");
+        }
+    }
+}
+
+#[test]
+fn equivalence_holds_across_shard_counts() {
+    let spec = CampaignSpec {
+        partitions: 6,
+        ..CampaignSpec::new(240, 7)
+    };
+    for (name, enum_policy, trait_policy) in pairs() {
+        for shards in [1, 2, 6] {
+            assert_eq!(
+                campaign::reference::run_enum(&spec, enum_policy, shards),
+                campaign::run(&spec, trait_policy, shards),
+                "{name} at {shards} shards"
+            );
+        }
+    }
+}
+
+#[test]
+#[should_panic(expected = "predates the site ledger")]
+fn enum_reference_refuses_site_budgets() {
+    let spec = CampaignSpec {
+        site_budget_w: Some(100_000.0),
+        ..CampaignSpec::new(10, 1)
+    };
+    let _ = campaign::reference::run_enum(&spec, Policy::Uncapped, 1);
+}

@@ -1,0 +1,55 @@
+//! Golden violin: the slowdown distribution of one pinned contended
+//! campaign, quartiles and density outline frozen to the digit. The
+//! campaign engine is a pure function of (spec, policy), so these values
+//! must never drift without a deliberate re-bless — any change here means
+//! the DES, the policy arithmetic, or the KDE changed semantics.
+
+use vpp_powercap::policy::SweetSpot;
+use vpp_powercap::{campaign, CampaignSpec};
+
+fn golden_spec() -> CampaignSpec {
+    CampaignSpec {
+        partitions: 4,
+        site_budget_w: Some(0.6 * 4.0 * 40_000.0),
+        ..CampaignSpec::new(400, 11)
+    }
+}
+
+#[track_caller]
+fn pin(got: f64, want: f64, what: &str) {
+    assert!(
+        (got - want).abs() <= 1e-9,
+        "{what}: got {got:.12}, golden {want:.12}"
+    );
+}
+
+#[test]
+fn seeded_campaign_violin_is_pinned() {
+    let out = campaign::run(&golden_spec(), &SweetSpot, 1);
+    let v = out.slowdown_violin(32);
+    assert_eq!(v.outline.len(), 32);
+    pin(v.min, 0.977639709788, "min");
+    pin(v.q1, 1.036338701263, "q1");
+    pin(v.median, 1.068837600977, "median");
+    pin(v.q3, 1.095517399312, "q3");
+    pin(v.max, 1.470524421272, "max");
+    assert_eq!(v.outline_mode_count(), 2, "density mode count");
+    // Three sentinel grid points — first, middle, last — pin the KDE
+    // outline (grid placement AND density) without listing all 32.
+    pin(v.outline[0].0, 0.941663751266, "outline[0].x");
+    pin(v.outline[0].1, 0.002782502280, "outline[0].density");
+    pin(v.outline[16].0, 1.233192333732, "outline[16].x");
+    pin(v.outline[16].1, 0.0, "outline[16].density");
+    pin(v.outline[31].0, 1.506500379793, "outline[31].x");
+    pin(v.outline[31].1, 0.003900565291, "outline[31].density");
+}
+
+#[test]
+fn violin_quartiles_bracket_the_distribution_summary() {
+    let out = campaign::run(&golden_spec(), &SweetSpot, 1);
+    let v = out.slowdown_violin(32);
+    // The violin and the Distribution summary are computed from the same
+    // retained samples; their medians must agree exactly.
+    assert_eq!(v.median, out.slowdown.p50);
+    assert!(v.min <= v.q1 && v.q1 <= v.median && v.median <= v.q3 && v.q3 <= v.max);
+}

@@ -45,10 +45,14 @@
 //!   (default 15 min; `None` keeps forever) are swept out of the
 //!   registry, freeing their session ring buffers. Evicted ids answer
 //!   `410 Gone` (not `404`), and evictions count in
-//!   `vpp_serve_jobs_evicted`.
+//!   `vpp_serve_jobs_evicted_total`.
 //! * **Backpressure** — the submission queue is bounded at
 //!   [`ServeConfig::max_queue`] (default 32); a full queue answers `429`
 //!   with `Retry-After` instead of growing without bound.
+//!
+//! Every 4xx/5xx answers one structured JSON shape,
+//! `{"error": <reason phrase>, "detail": <what went wrong>}`, so clients
+//! branch on a stable member instead of scraping prose.
 //!
 //! The original endpoints remain: `GET /metrics` (process exposition —
 //! global session plus `vpp_up` / `vpp_serve_*` self-series), `GET
@@ -594,7 +598,7 @@ fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
                     "connection stalled mid-request; answered 408 and closed",
                     served = served - 1,
                 );
-                let resp = Response::text(
+                let resp = Response::error(
                     408,
                     "Request Timeout",
                     "no complete request within the idle timeout\n",
@@ -694,7 +698,7 @@ fn read_request(stream: &mut TcpStream, carry: &mut Vec<u8>) -> Result<Request, 
         }
     };
     if oversized {
-        return Err(ReadError::Respond(Response::text(
+        return Err(ReadError::Respond(Response::error(
             431,
             "Request Header Fields Too Large",
             format!("request head exceeds {MAX_HEAD} bytes\n"),
@@ -733,7 +737,7 @@ fn read_request(stream: &mut TcpStream, carry: &mut Vec<u8>) -> Result<Request, 
         connection.split(',').any(|t| t.trim() == "close")
     };
     if content_length > MAX_BODY {
-        return Err(ReadError::Respond(Response::text(
+        return Err(ReadError::Respond(Response::error(
             413,
             "Content Too Large",
             format!("request body exceeds {MAX_BODY} bytes\n"),
@@ -755,7 +759,7 @@ fn read_request(stream: &mut TcpStream, carry: &mut Vec<u8>) -> Result<Request, 
     // hide a framing bug on the client.
     *carry = body.split_off(content_length);
     if close && !carry.is_empty() {
-        return Err(ReadError::Respond(Response::text(
+        return Err(ReadError::Respond(Response::error(
             400,
             "Bad Request",
             format!("request body longer than the declared Content-Length ({content_length} bytes)\n"),
@@ -791,17 +795,6 @@ struct Response {
 }
 
 impl Response {
-    fn text(status: u16, reason: &'static str, body: impl Into<String>) -> Response {
-        Response {
-            status,
-            reason,
-            content_type: "text/plain; charset=utf-8",
-            allow: None,
-            headers: Vec::new(),
-            body: body.into(),
-        }
-    }
-
     fn json(status: u16, reason: &'static str, doc: &Value) -> Response {
         let mut body = doc.pretty();
         body.push('\n');
@@ -813,6 +806,50 @@ impl Response {
             headers: Vec::new(),
             body,
         }
+    }
+
+    /// The one error shape every 4xx/5xx answers with:
+    /// `{"error": <reason phrase>, "detail": <what went wrong>}`.
+    /// Clients branch on the stable `error` member; `detail` carries the
+    /// full sentence a human (or a log line) wants.
+    fn error(status: u16, reason: &'static str, detail: impl Into<String>) -> Response {
+        let detail = detail.into();
+        let doc = Value::Obj(vec![
+            ("error".to_string(), Value::Str(reason.to_string())),
+            (
+                "detail".to_string(),
+                Value::Str(detail.trim_end().to_string()),
+            ),
+        ]);
+        Response::json(status, reason, &doc)
+    }
+}
+
+/// The cursor-page contract shared by every jsonl stream endpoint
+/// (`/jobs/<id>/trace`, `/logs`): the body stays pure jsonl while the
+/// pagination state travels as headers — `X-Vpp-Next-Cursor` (pass back
+/// as `after`), `X-Vpp-More` (records beyond this chunk were already
+/// visible), one endpoint-specific state header, and `X-Vpp-Dropped`
+/// (the endpoint's loss accounting).
+fn cursor_page(
+    body: String,
+    next: u64,
+    more: bool,
+    state: (&'static str, String),
+    dropped: String,
+) -> Response {
+    Response {
+        status: 200,
+        reason: "OK",
+        content_type: ExportFormat::Jsonl.content_type(),
+        allow: None,
+        headers: vec![
+            ("X-Vpp-Next-Cursor", next.to_string()),
+            ("X-Vpp-More", more.to_string()),
+            state,
+            ("X-Vpp-Dropped", dropped),
+        ],
+        body,
     }
 }
 
@@ -916,7 +953,7 @@ fn job_subpath(path: &str) -> Option<(u64, Option<&str>)> {
 fn route(req: &Request, shared: &Arc<Shared>) -> Response {
     let (path, query) = req.target.split_once('?').unwrap_or((&*req.target, ""));
     let Some(allow) = allowed_methods(path) else {
-        return Response::text(
+        return Response::error(
             404,
             "Not Found",
             "not found; endpoints: /metrics /healthz /trace?format=json|jsonl|csv \
@@ -925,7 +962,7 @@ fn route(req: &Request, shared: &Arc<Shared>) -> Response {
         );
     };
     if !allow.split(", ").any(|m| m == req.method) {
-        let mut r = Response::text(405, "Method Not Allowed", "method not allowed\n");
+        let mut r = Response::error(405, "Method Not Allowed", "method not allowed\n");
         r.allow = Some(allow);
         return r;
     }
@@ -975,22 +1012,22 @@ fn route(req: &Request, shared: &Arc<Shared>) -> Response {
 
 fn post_job(body: &[u8], shared: &Arc<Shared>) -> Response {
     let Some(handler) = shared.handler.clone() else {
-        return Response::text(
+        return Response::error(
             503,
             "Service Unavailable",
             "no job handler installed; start the service via `vpp serve`\n",
         );
     };
     let Ok(text) = std::str::from_utf8(body) else {
-        return Response::text(400, "Bad Request", "job spec is not UTF-8\n");
+        return Response::error(400, "Bad Request", "job spec is not UTF-8\n");
     };
     let spec = match json::parse(text) {
         Ok(v) => v,
-        Err(e) => return Response::text(400, "Bad Request", format!("job spec is not JSON: {e}\n")),
+        Err(e) => return Response::error(400, "Bad Request", format!("job spec is not JSON: {e}\n")),
     };
     let normalised = match handler.validate(&spec) {
         Ok(v) => v,
-        Err(e) => return Response::text(400, "Bad Request", format!("invalid job spec: {e}\n")),
+        Err(e) => return Response::error(400, "Bad Request", format!("invalid job spec: {e}\n")),
     };
     // Backpressure check and insert share one guard, so two racing
     // submissions cannot both squeeze past the bound.
@@ -1004,7 +1041,7 @@ fn post_job(body: &[u8], shared: &Arc<Shared>) -> Response {
                 queued = reg.queue.len(),
                 max_queue = shared.max_queue,
             );
-            let mut resp = Response::text(
+            let mut resp = Response::error(
                 429,
                 "Too Many Requests",
                 format!(
@@ -1054,7 +1091,7 @@ fn cancel_job(id: u64, shared: &Arc<Shared>) -> Response {
         return if reg.evicted.contains(&id) {
             gone(id)
         } else {
-            Response::text(404, "Not Found", format!("no such job: {id}\n"))
+            Response::error(404, "Not Found", format!("no such job: {id}\n"))
         };
     };
     match entry.state {
@@ -1073,7 +1110,7 @@ fn cancel_job(id: u64, shared: &Arc<Shared>) -> Response {
             entry.cancel.cancel();
             Response::json(202, "Accepted", &job_status_value(id, entry))
         }
-        terminal => Response::text(
+        terminal => Response::error(
             409,
             "Conflict",
             format!("job {id} is already terminal ({})\n", terminal.as_str()),
@@ -1083,7 +1120,7 @@ fn cancel_job(id: u64, shared: &Arc<Shared>) -> Response {
 
 /// `410 Gone` for a job id the TTL sweep removed.
 fn gone(id: u64) -> Response {
-    Response::text(
+    Response::error(
         410,
         "Gone",
         format!("job {id} was evicted after its TTL; its results are no longer held\n"),
@@ -1333,7 +1370,7 @@ fn job_status(id: u64, shared: &Arc<Shared>) -> Response {
     match reg.jobs.get(&id) {
         Some(entry) => Response::json(200, "OK", &job_status_value(id, entry)),
         None if reg.evicted.contains(&id) => gone(id),
-        None => Response::text(404, "Not Found", format!("no such job: {id}\n")),
+        None => Response::error(404, "Not Found", format!("no such job: {id}\n")),
     }
 }
 
@@ -1344,7 +1381,7 @@ fn job_status(id: u64, shared: &Arc<Shared>) -> Response {
 fn job_trace(id: u64, query: &str, shared: &Arc<Shared>) -> Response {
     let params = match parse_query(query, &["after", "limit", "format"]) {
         Ok(p) => p,
-        Err(e) => return Response::text(400, "Bad Request", format!("{e}\n")),
+        Err(e) => return Response::error(400, "Bad Request", format!("{e}\n")),
     };
     let mut after = 0u64;
     let mut limit = TRACE_CHUNK_DEFAULT;
@@ -1355,7 +1392,7 @@ fn job_trace(id: u64, query: &str, shared: &Arc<Shared>) -> Response {
             "after" => match value.trim().parse() {
                 Ok(v) => after = v,
                 Err(_) => {
-                    return Response::text(
+                    return Response::error(
                         400,
                         "Bad Request",
                         format!("'after' must be a cursor integer, got '{value}'\n"),
@@ -1365,7 +1402,7 @@ fn job_trace(id: u64, query: &str, shared: &Arc<Shared>) -> Response {
             "limit" => match value.trim().parse::<usize>() {
                 Ok(v) if v >= 1 => limit = v.min(TRACE_CHUNK_MAX),
                 _ => {
-                    return Response::text(
+                    return Response::error(
                         400,
                         "Bad Request",
                         format!("'limit' must be a positive integer, got '{value}'\n"),
@@ -1374,7 +1411,7 @@ fn job_trace(id: u64, query: &str, shared: &Arc<Shared>) -> Response {
             },
             "format" => {
                 if value != "jsonl" {
-                    return Response::text(
+                    return Response::error(
                         400,
                         "Bad Request",
                         format!("job traces stream as jsonl only, got '{value}'\n"),
@@ -1389,7 +1426,7 @@ fn job_trace(id: u64, query: &str, shared: &Arc<Shared>) -> Response {
         match reg.jobs.get(&id) {
             Some(entry) => (entry.session.clone(), entry.state),
             None if reg.evicted.contains(&id) => return gone(id),
-            None => return Response::text(404, "Not Found", format!("no such job: {id}\n")),
+            None => return Response::error(404, "Not Found", format!("no such job: {id}\n")),
         }
     };
     let chunk = session.events_after(after, limit);
@@ -1398,19 +1435,13 @@ fn job_trace(id: u64, query: &str, shared: &Arc<Shared>) -> Response {
         body.push_str(&ev.to_json().compact());
         body.push('\n');
     }
-    Response {
-        status: 200,
-        reason: "OK",
-        content_type: ExportFormat::Jsonl.content_type(),
-        allow: None,
-        headers: vec![
-            ("X-Vpp-Next-Cursor", chunk.next.to_string()),
-            ("X-Vpp-More", chunk.more.to_string()),
-            ("X-Vpp-Job-State", state.as_str().to_string()),
-            ("X-Vpp-Dropped", session.dropped().to_string()),
-        ],
+    cursor_page(
         body,
-    }
+        chunk.next,
+        chunk.more,
+        ("X-Vpp-Job-State", state.as_str().to_string()),
+        session.dropped().to_string(),
+    )
 }
 
 fn job_metrics(id: u64, shared: &Arc<Shared>) -> Response {
@@ -1419,7 +1450,7 @@ fn job_metrics(id: u64, shared: &Arc<Shared>) -> Response {
         match reg.jobs.get(&id) {
             Some(entry) => (entry.session.clone(), entry.state),
             None if reg.evicted.contains(&id) => return gone(id),
-            None => return Response::text(404, "Not Found", format!("no such job: {id}\n")),
+            None => return Response::error(404, "Not Found", format!("no such job: {id}\n")),
         }
     };
     let mut body = session.metrics_snapshot().to_prom();
@@ -1536,14 +1567,9 @@ fn metrics_body(shared: &Arc<Shared>) -> String {
         "# TYPE vpp_serve_jobs_canceled_total counter\nvpp_serve_jobs_canceled_total {}\n",
         shared.jobs_canceled.load(Ordering::SeqCst)
     ));
-    let evicted = shared.jobs_evicted.load(Ordering::SeqCst);
     out.push_str(&format!(
-        "# TYPE vpp_serve_jobs_evicted_total counter\nvpp_serve_jobs_evicted_total {evicted}\n"
-    ));
-    // Deprecated alias kept for one release so dashboards keyed on the
-    // old non-`_total` name keep working while they migrate.
-    out.push_str(&format!(
-        "# TYPE vpp_serve_jobs_evicted counter\nvpp_serve_jobs_evicted {evicted}\n"
+        "# TYPE vpp_serve_jobs_evicted_total counter\nvpp_serve_jobs_evicted_total {}\n",
+        shared.jobs_evicted.load(Ordering::SeqCst)
     ));
     {
         let reg = lock(&shared.jobs);
@@ -1761,7 +1787,7 @@ fn healthz_body(shared: &Arc<Shared>) -> String {
 fn trace_response(query: &str) -> Response {
     let params = match parse_query(query, &["format"]) {
         Ok(p) => p,
-        Err(e) => return Response::text(400, "Bad Request", format!("{e}\n")),
+        Err(e) => return Response::error(400, "Bad Request", format!("{e}\n")),
     };
     let requested = params
         .iter()
@@ -1770,13 +1796,13 @@ fn trace_response(query: &str) -> Response {
         .map_or("json", |(_, v)| v.as_str());
     let fmt: ExportFormat = match requested.parse() {
         Ok(f) => f,
-        Err(e) => return Response::text(400, "Bad Request", format!("{e}\n")),
+        Err(e) => return Response::error(400, "Bad Request", format!("{e}\n")),
     };
     if !matches!(
         fmt,
         ExportFormat::Json | ExportFormat::Jsonl | ExportFormat::Csv
     ) {
-        return Response::text(
+        return Response::error(
             400,
             "Bad Request",
             format!(
@@ -1796,7 +1822,7 @@ fn trace_response(query: &str) -> Response {
                 .render(fmt)
                 .expect("json|jsonl|csv always serialise"),
         },
-        None => Response::text(503, "Service Unavailable", "no active trace session\n"),
+        None => Response::error(503, "Service Unavailable", "no active trace session\n"),
     }
 }
 
@@ -1809,7 +1835,7 @@ fn trace_response(query: &str) -> Response {
 fn logs_response(query: &str) -> Response {
     let params = match parse_query(query, &["after", "limit", "level"]) {
         Ok(p) => p,
-        Err(e) => return Response::text(400, "Bad Request", format!("{e}\n")),
+        Err(e) => return Response::error(400, "Bad Request", format!("{e}\n")),
     };
     let mut after = 0u64;
     let mut limit = LOGS_CHUNK_DEFAULT;
@@ -1819,7 +1845,7 @@ fn logs_response(query: &str) -> Response {
             "after" => match value.trim().parse() {
                 Ok(v) => after = v,
                 Err(_) => {
-                    return Response::text(
+                    return Response::error(
                         400,
                         "Bad Request",
                         format!("'after' must be a cursor integer, got '{value}'\n"),
@@ -1829,7 +1855,7 @@ fn logs_response(query: &str) -> Response {
             "limit" => match value.trim().parse::<usize>() {
                 Ok(v) if v >= 1 => limit = v.min(TRACE_CHUNK_MAX),
                 _ => {
-                    return Response::text(
+                    return Response::error(
                         400,
                         "Bad Request",
                         format!("'limit' must be a positive integer, got '{value}'\n"),
@@ -1838,7 +1864,7 @@ fn logs_response(query: &str) -> Response {
             },
             "level" => match value.parse() {
                 Ok(l) => min_level = l,
-                Err(e) => return Response::text(400, "Bad Request", format!("{e}\n")),
+                Err(e) => return Response::error(400, "Bad Request", format!("{e}\n")),
             },
             _ => unreachable!("parse_query rejects unknown keys"),
         }
@@ -1854,19 +1880,13 @@ fn logs_response(query: &str) -> Response {
         .map(|l| format!("{}={}", l.name(), chunk.dropped[l as usize]))
         .collect::<Vec<_>>()
         .join(",");
-    Response {
-        status: 200,
-        reason: "OK",
-        content_type: ExportFormat::Jsonl.content_type(),
-        allow: None,
-        headers: vec![
-            ("X-Vpp-Next-Cursor", chunk.next.to_string()),
-            ("X-Vpp-More", chunk.more.to_string()),
-            ("X-Vpp-Log-Level", trace::log_level().name().to_string()),
-            ("X-Vpp-Dropped", dropped),
-        ],
+    cursor_page(
         body,
-    }
+        chunk.next,
+        chunk.more,
+        ("X-Vpp-Log-Level", trace::log_level().name().to_string()),
+        dropped,
+    )
 }
 
 #[cfg(test)]

@@ -76,6 +76,22 @@ grep -q '^sweet_spot' /tmp/vpp_campaign.out || {
     exit 1
 }
 
+echo "==> site-budget smoke (vpp campaign --site-budget at 60% of the summed envelope)"
+# 4 partitions x 40 kW = 160 kW summed; 96 kW forces contention and
+# global backfill. The summary line proves no policy's peak ever
+# exceeded the envelope (the ledger asserts this structurally too).
+cargo run -q --release --offline --bin vpp -- campaign \
+    --jobs 600 --seed 7 --partitions 4 --site-budget 96000 --policy tco \
+    > /tmp/vpp_campaign_site.out
+grep -q '^within budget : yes' /tmp/vpp_campaign_site.out || {
+    echo "verify: FAIL — site-budget campaign peaked above its envelope" >&2
+    exit 1
+}
+grep -q '^tco_aware' /tmp/vpp_campaign_site.out || {
+    echo "verify: FAIL — --policy tco did not add the tco_aware row" >&2
+    exit 1
+}
+
 echo "==> trace diff smoke: campaign re-run must match its blessed baseline"
 VPP_BENCH_OUT="$ROOT/BENCH_results.json" \
     cargo run -q --release --offline --bin vpp -- trace diff campaign

@@ -177,11 +177,17 @@ fn main() {
             vec![("phase_energy", r.to_string(), r.csv())]
         }));
     }
+    if want("campaign_contention") {
+        add("campaign_contention", Box::new(|| {
+            let r = vpp_powercap::campaign::contention_report();
+            vec![("campaign_contention", r.to_string(), r.csv())]
+        }));
+    }
 
     if jobs.is_empty() {
         eprintln!(
             "nothing matched {selected:?}; known: table1 fig1..fig13 predict \
-             phase_energy (plus --quick, --csv DIR)"
+             phase_energy campaign_contention (plus --quick, --csv DIR)"
         );
         std::process::exit(2);
     }

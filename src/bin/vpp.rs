@@ -68,7 +68,8 @@ use std::time::Duration;
 use vasp_power_profiles::cluster::{execute, JobSpec, NetworkModel, Straggler};
 use vasp_power_profiles::core::{benchmarks, flight, protocol, ProtocolJobHandler};
 use vasp_power_profiles::dft::{parse_incar, parse_kpoints, parse_poscar, PhaseKind};
-use vasp_power_profiles::powercap::{campaign, CampaignSpec, Policy};
+use vasp_power_profiles::powercap::policy::FixedCap;
+use vasp_power_profiles::powercap::{campaign, CampaignSpec, CapPolicy, TcoAware};
 use vasp_power_profiles::stats::{trace_diff, DiffConfig, Segmenter};
 use vasp_power_profiles::substrate::bench::{load_baseline, store_baseline};
 use vasp_power_profiles::substrate::serve::{self, RunState, ServeConfig, ServeHandle};
@@ -178,6 +179,12 @@ const COMMANDS: &[CommandSpec] = &[
             flag("partitions", "P", "independent machine partitions (default 8)"),
             flag("shards", "K", "parallel shards (default: one per partition)"),
             flag("cap", "WATTS", "add a fixed-cap policy column at WATTS"),
+            flag("policy", "NAME", "add a named policy column (tco)"),
+            flag(
+                "site-budget",
+                "WATTS",
+                "site-wide envelope: couple partitions through the watt ledger",
+            ),
         ],
         run: cmd_campaign,
     },
@@ -776,23 +783,38 @@ fn cmd_campaign(p: &Parsed) -> Result<(), String> {
     if jobs == 0 || partitions == 0 {
         return Err("--jobs and --partitions must be positive".into());
     }
-    let spec = CampaignSpec {
+    let mut spec = CampaignSpec {
         partitions,
         ..CampaignSpec::new(jobs, seed)
     };
+    if let Some(budget) = flag_parse::<f64>(p, "site-budget")? {
+        if !(budget > 0.0 && budget.is_finite()) {
+            return Err(format!("--site-budget must be positive watts, got {budget}"));
+        }
+        spec.site_budget_w = Some(budget);
+    }
     let shards = flag_parse(p, "shards")?.unwrap_or(spec.partitions);
     if shards == 0 {
         return Err("--shards must be positive".into());
     }
-    let mut policies: Vec<(String, Policy)> = campaign::baseline_policies()
+    // Fixed-cap storage must outlive the borrow the policy table takes.
+    let fixed: Option<FixedCap> = match flag_parse::<f64>(p, "cap")? {
+        Some(cap) if cap > 0.0 && cap.is_finite() => Some(FixedCap(cap)),
+        Some(cap) => return Err(format!("--cap must be positive, got {cap}")),
+        None => None,
+    };
+    let mut policies: Vec<(String, &dyn CapPolicy)> = campaign::baseline_policies()
         .into_iter()
-        .map(|(n, p)| (n.to_string(), p))
+        .map(|(n, p)| (n.to_string(), p as &dyn CapPolicy))
         .collect();
-    if let Some(cap) = flag_parse::<f64>(p, "cap")? {
-        if !(cap > 0.0 && cap.is_finite()) {
-            return Err(format!("--cap must be positive, got {cap}"));
+    if let Some(fc) = &fixed {
+        policies.push((format!("fixed_{:.0}w", fc.0), fc));
+    }
+    if let Some(name) = p.value("policy") {
+        match name {
+            "tco" | "tco_aware" => policies.push(("tco_aware".into(), &TcoAware::DEFAULT)),
+            other => return Err(format!("unknown --policy '{other}'; known: tco")),
         }
-        policies.push((format!("fixed_{cap:.0}w"), Policy::FixedCap(cap)));
     }
     println!(
         "campaign : {} jobs, seed {}, {} partitions x {} nodes ({:.0} kW each), {} shard(s)",
@@ -803,36 +825,57 @@ fn cmd_campaign(p: &Parsed) -> Result<(), String> {
         spec.partition_budget_w / 1e3,
         shards
     );
+    if let Some(budget) = spec.site_budget_w {
+        println!(
+            "site     : {:.1} kW envelope ({:.0} % of the summed {:.1} kW), global backfill on",
+            budget / 1e3,
+            100.0 * budget / spec.summed_budget_w(),
+            spec.summed_budget_w() / 1e3
+        );
+    }
     println!();
     println!(
-        "{:<14} {:>8} {:>10} {:>9} {:>9} {:>10} {:>10} {:>9} {:>9}",
+        "{:<14} {:>8} {:>10} {:>9} {:>9} {:>10} {:>9} {:>9} {:>9} {:>9}",
         "policy",
         "jobs/h",
         "makespan",
         "peak kW",
         "mean kW",
         "energy MJ",
-        "e_p50 MJ",
+        "tco $",
         "slow p50",
-        "slow p90"
+        "slow p90",
+        "backfill"
     );
     let t0 = std::time::Instant::now();
+    let mut worst_peak_w: f64 = 0.0;
     for (name, policy) in &policies {
         let out = campaign::run(&spec, *policy, shards);
+        worst_peak_w = worst_peak_w.max(out.merged.peak_power_w);
         println!(
-            "{:<14} {:>8.1} {:>9.2}h {:>9.1} {:>9.1} {:>10.1} {:>10.3} {:>9.3} {:>9.3}",
+            "{:<14} {:>8.1} {:>9.2}h {:>9.1} {:>9.1} {:>10.1} {:>9.2} {:>9.3} {:>9.3} {:>9}",
             name,
             out.throughput_per_hour(),
             out.merged.makespan_s / 3600.0,
             out.merged.peak_power_w / 1e3,
             out.merged.mean_power_w / 1e3,
             out.total_energy_j / 1e6,
-            out.energy_j.p50 / 1e6,
+            out.tco_usd,
             out.slowdown.p50,
-            out.slowdown.p90
+            out.slowdown.p90,
+            out.backfilled
         );
     }
     println!();
+    if let Some(budget) = spec.site_budget_w {
+        let ok = worst_peak_w <= budget + 1e-6;
+        println!(
+            "within budget : {} (worst peak {:.1} kW vs {:.1} kW envelope)",
+            if ok { "yes" } else { "NO" },
+            worst_peak_w / 1e3,
+            budget / 1e3
+        );
+    }
     println!(
         "simulated {} policy runs in {:.2} s wall",
         policies.len(),

@@ -565,6 +565,10 @@ fn one_keep_alive_connection_covers_submit_poll_cancel_and_eviction() {
         let (status, _, body) = c.get(&format!("/jobs/{b}"));
         if status == 410 {
             assert!(body.contains("evicted"), "{body}");
+            assert!(
+                body.contains("\"error\": \"Gone\""),
+                "structured error shape: {body}"
+            );
             break;
         }
         assert_eq!(status, 200, "{body}");
@@ -580,15 +584,12 @@ fn one_keep_alive_connection_covers_submit_poll_cancel_and_eviction() {
         .parse::<f64>()
         .unwrap();
     assert!(evicted >= 1.0, "{body}");
-    // The pre-rename spelling survives one release as a deprecated alias
-    // and must agree with the canonical counter.
-    let alias = body
-        .lines()
-        .find_map(|l| l.strip_prefix("vpp_serve_jobs_evicted "))
-        .expect("deprecated alias vpp_serve_jobs_evicted still exposed")
-        .parse::<f64>()
-        .unwrap();
-    assert_eq!(alias, evicted, "alias diverged from canonical counter");
+    // The pre-rename `vpp_serve_jobs_evicted` alias has completed its
+    // one-release deprecation window: only the `_total` name is exposed.
+    assert!(
+        !body.lines().any(|l| l.starts_with("vpp_serve_jobs_evicted ")),
+        "removed alias vpp_serve_jobs_evicted resurfaced"
+    );
     let canceled = body
         .lines()
         .find_map(|l| l.strip_prefix("vpp_serve_jobs_canceled_total "))

@@ -211,9 +211,16 @@ fn healthz_walks_idle_running_done() {
 fn rejects_unknown_paths_and_non_get_methods() {
     let _guard = locked();
     let h = serve(0).expect("bind ephemeral");
-    let (status, _, body) = get(h.addr(), "/not-an-endpoint");
+    let (status, head, body) = get(h.addr(), "/not-an-endpoint");
     assert_eq!(status, 404);
     assert!(body.contains("/metrics"), "404 names the endpoints: {body}");
+    // Errors answer one structured JSON shape: {"error": ..., "detail": ...}.
+    assert!(
+        head.contains("Content-Type: application/json"),
+        "error bodies are JSON: {head}"
+    );
+    assert!(body.contains("\"error\": \"Not Found\""), "{body}");
+    assert!(body.contains("\"detail\": "), "{body}");
 
     let mut s = TcpStream::connect(h.addr()).expect("connect");
     s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
@@ -497,6 +504,10 @@ fn logs_cursor_is_exactly_once_under_concurrent_writers() {
     let (status, _, body) = get(addr, "/logs?level=noise");
     assert_eq!(status, 400);
     assert!(body.contains("unknown log level"), "{body}");
+    assert!(
+        body.contains("\"error\": \"Bad Request\""),
+        "structured error shape: {body}"
+    );
 
     h.shutdown();
 }
